@@ -1,0 +1,61 @@
+"""Ablation: performance mode (§4.2) by data-structure class.
+
+The paper reports 3-4% latency recovery for pointer-chasing structures
+(linked list, skip list), 1-2% for hashmap/rbtree, and none for the
+sketches.  This measures where the read guards actually are.
+"""
+
+import random
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.datastructures import ALL_STRUCTURES
+from conftest import emit
+
+GROUPS = {
+    "pointer-chasing": ["linkedlist", "skiplist"],
+    "tree/table": ["hashmap", "rbtree"],
+    "sketch": ["countmin", "countsketch"],
+}
+N_ELEMS = 1024
+
+
+def _mean_lookup(ds, rng, samples=25) -> float:
+    total = 0
+    for _ in range(samples):
+        ds.lookup(rng.randrange(N_ELEMS))
+        total += ds.op_cost("lookup")
+    return total / samples
+
+
+def run_perfmode():
+    out = {}
+    for group, names in GROUPS.items():
+        for name in names:
+            normal = ALL_STRUCTURES[name](KFlexRuntime())
+            pm = ALL_STRUCTURES[name](KFlexRuntime(), perf_mode=True)
+            for ds in (normal, pm):
+                for k in range(N_ELEMS):
+                    ds.update(k, k)
+            n = _mean_lookup(normal, random.Random(31))
+            p = _mean_lookup(pm, random.Random(31))
+            out[name] = (group, n, p)
+    return out
+
+
+def test_ablation_perfmode(benchmark):
+    results = benchmark.pedantic(run_perfmode, rounds=1, iterations=1)
+    lines = ["Ablation: performance mode lookup-cost recovery by class"]
+    recovery = {}
+    for name, (group, n, p) in results.items():
+        rec = (n - p) / n if n else 0.0
+        recovery.setdefault(group, []).append(rec)
+        lines.append(
+            f"   {name:<12s} ({group:<15s}) normal {n:8.1f} -> PM {p:8.1f} "
+            f"(recovered {100 * rec:4.1f}%)"
+        )
+    emit("ablation_perfmode", "\n".join(lines))
+
+    avg = {g: sum(v) / len(v) for g, v in recovery.items()}
+    # Shape: pointer chasing benefits most, sketches not at all.
+    assert avg["pointer-chasing"] >= avg["tree/table"] - 1e-9
+    assert avg["sketch"] == 0.0

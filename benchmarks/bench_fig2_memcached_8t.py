@@ -1,0 +1,30 @@
+"""Figure 2: Memcached (8 threads) — user space vs BMC vs KFlex (§5.1).
+
+Paper result: KFlex sustains 1.23-2.83x BMC and 2.33-3.01x user space,
+with the BMC gap widening as the SET share grows (BMC offloads only
+GETs); p99 is 1.41-1.95x (BMC) and 1.95-9.35x (user) lower.
+"""
+
+from repro.figures.memcached_figs import format_rows, run_memcached_comparison
+from conftest import emit
+
+
+def test_fig2_memcached_8threads(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_memcached_comparison(n_servers=8, total_requests=10_000),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_rows(results, title="Figure 2: Memcached, 8 server threads")
+    emit("fig2_memcached_8t", text)
+
+    for mix, by in results.items():
+        kf, bm, us = by["KFlex"], by["BMC"], by["User space"]
+        # Shape assertions from the paper: KFlex wins against both.
+        assert kf.throughput_mops > bm.throughput_mops
+        assert kf.throughput_mops > us.throughput_mops
+        assert kf.p99_us < us.p99_us
+    # BMC's advantage over user space collapses as SETs dominate.
+    gap_90 = results["90:10"]["BMC"].throughput_mops / results["90:10"]["User space"].throughput_mops
+    gap_10 = results["10:90"]["BMC"].throughput_mops / results["10:90"]["User space"].throughput_mops
+    assert gap_90 > gap_10

@@ -1,0 +1,20 @@
+"""Figure 3: Memcached at 16 threads — the benefits persist (§5.1)."""
+
+from repro.figures.memcached_figs import format_rows, run_memcached_comparison
+from conftest import emit
+
+
+def test_fig3_memcached_16threads(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_memcached_comparison(
+            n_servers=16, n_clients=128, total_requests=10_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_rows(results, title="Figure 3: Memcached, 16 server threads")
+    emit("fig3_memcached_16t", text)
+
+    for mix, by in results.items():
+        assert by["KFlex"].throughput_mops > by["BMC"].throughput_mops
+        assert by["KFlex"].throughput_mops > by["User space"].throughput_mops

@@ -1,0 +1,51 @@
+"""Figure 7: co-designed Memcached with user-space GC (§5.3).
+
+Paper result: 2.2-2.9x throughput vs user space (slightly below the
+GC-less 2.33-3.01x of Fig. 2, due to fast-path/GC contention) and a
+42.8-89.5% p99 reduction.
+"""
+
+from repro.figures.codesign_fig import run_codesign_comparison
+from repro.figures.memcached_figs import run_memcached_comparison
+from conftest import emit
+
+
+def test_fig7_codesign_gc(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_codesign_comparison(n_servers=8, total_requests=10_000),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Figure 7: co-designed Memcached (kernel fast path + user-space GC)"]
+    for mix, by in results.items():
+        lines.append(f"-- GETs:SETs = {mix}")
+        for name, res in by.items():
+            lines.append("   " + res.row(name))
+        ratio = by["KFlex+GC"].throughput_mops / by["User space"].throughput_mops
+        p99_cut = 1 - by["KFlex+GC"].p99_us / by["User space"].p99_us
+        lines.append(
+            f"   speedup = {ratio:.2f}x, p99 reduction = {100 * p99_cut:.1f}%"
+        )
+        assert ratio > 1.5
+        assert p99_cut > 0.2
+    emit("fig7_codesign_gc", "\n".join(lines))
+
+
+def test_fig7_gc_costs_vs_plain_kflex(benchmark):
+    """The co-designed fast path (locks + GC contention) gives up a
+    little throughput relative to Fig. 2's lock-free KFlex."""
+
+    def run():
+        plain = run_memcached_comparison(total_requests=8_000, mixes=["90:10"])
+        codesign = run_codesign_comparison(total_requests=8_000, mixes=["90:10"])
+        return plain, codesign
+
+    plain, codesign = benchmark.pedantic(run, rounds=1, iterations=1)
+    kf = plain["90:10"]["KFlex"].throughput_mops
+    gc = codesign["90:10"]["KFlex+GC"].throughput_mops
+    emit(
+        "fig7_gc_vs_plain",
+        f"Fig 7 sanity: plain KFlex {kf:.3f} MOps/s vs co-designed {gc:.3f} MOps/s",
+    )
+    assert gc <= kf * 1.02  # co-design never (meaningfully) exceeds plain
+    assert gc >= kf * 0.75  # ...and the cost of co-design is modest

@@ -1,0 +1,23 @@
+"""Table 3: guard instructions elided by the verifier's range analysis (§5.4)."""
+
+from repro.figures.table3 import format_table, run_guard_elision_table
+from conftest import emit
+
+
+def test_table3_guard_elision(benchmark):
+    rows = benchmark.pedantic(run_guard_elision_table, rounds=1, iterations=1)
+    emit("table3_guard_elision", format_table(rows))
+
+    by_name = {r.function: r for r in rows}
+    # Sketches: everything provable statically (the paper's footnote).
+    for fn in ("countmin update", "countmin lookup",
+               "countsketch update", "countsketch lookup"):
+        assert by_name[fn].pct == 100.0
+    # Pointer structures have elidable manipulation guards, and the
+    # analysis removes the overwhelming majority (paper: 76% average;
+    # our hand-emitted bytecode has provably-bounded indices everywhere,
+    # so the measured rate is higher — see EXPERIMENTS.md).
+    pointer_rows = [r for r in rows if r.total > 0]
+    total = sum(r.total for r in pointer_rows)
+    elided = sum(r.elided for r in pointer_rows)
+    assert elided / total >= 0.76

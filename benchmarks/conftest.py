@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper figure/table.  Results are saved
+under ``benchmarks/results/`` and replayed in pytest's terminal summary
+(which survives output capture), so a plain
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+every figure's rows.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_EMITTED: list = []
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _EMITTED.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _EMITTED:
+        return
+    terminalreporter.section("reproduced paper results")
+    for block in _EMITTED:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline install).
+
+``pip install -e . --no-build-isolation`` falls back to this legacy
+path; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""KFlex reproduction: fast, flexible, and practical kernel extensions.
+
+A self-contained Python implementation of the system described in
+"Fast, Flexible, and Practical Kernel Extensions" (SOSP 2024),
+including the eBPF substrate it builds on (bytecode ISA, verifier with
+tnum/range analysis, maps, helpers), the KFlex runtime (extension
+heaps, SFI, cancellations, user-space sharing), the paper's evaluation
+applications (Memcached, BMC, Redis, five data structures) and a
+measurement harness regenerating every figure and table in its §5.
+
+Quick tour::
+
+    from repro import KFlexRuntime, MacroAsm, Program, Reg
+
+    rt = KFlexRuntime()
+    m = MacroAsm()
+    m.mov(Reg.R0, 42)
+    m.exit()
+    ext = rt.load(Program("hello", m.assemble(), hook="bench",
+                          heap_size=1 << 16), attach=False)
+    assert ext.invoke(rt.make_ctx(0, [0] * 8)) == 42
+
+See ``examples/`` for runnable walkthroughs and ``DESIGN.md`` for the
+system inventory.
+"""
+
+from repro.core.runtime import KFlexRuntime, LoadedExtension
+from repro.core.heap import ExtensionHeap
+from repro.core.sharing import SharedHeapView
+from repro.ebpf.isa import Insn, Reg, disasm
+from repro.ebpf.asm import Assembler
+from repro.ebpf.macroasm import MacroAsm, Struct
+from repro.ebpf.program import Program
+from repro.ebpf.verifier import Verifier, VerifierConfig
+from repro.kernel.machine import Kernel
+from repro.errors import VerificationError, KernelPanic, LoadError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KFlexRuntime",
+    "LoadedExtension",
+    "ExtensionHeap",
+    "SharedHeapView",
+    "Insn",
+    "Reg",
+    "disasm",
+    "Assembler",
+    "MacroAsm",
+    "Struct",
+    "Program",
+    "Verifier",
+    "VerifierConfig",
+    "Kernel",
+    "VerificationError",
+    "KernelPanic",
+    "LoadError",
+]

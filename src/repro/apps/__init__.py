@@ -1,0 +1,10 @@
+"""Applications from the paper's evaluation (§5).
+
+* :mod:`repro.apps.datastructures` — hash map, linked list, red-black
+  tree, skip list and two network sketches, each written as extension
+  bytecode (§5.2, Fig. 5, Table 3).
+* :mod:`repro.apps.memcached` — user-space Memcached, the BMC baseline,
+  KFlex-Memcached and the GC co-design variant (§5.1, §5.3).
+* :mod:`repro.apps.redis` — user-space Redis/KeyDB and KFlex-Redis
+  including ZADD offload (§5.1, §5.2).
+"""

@@ -1,0 +1,32 @@
+"""Extension-defined data structures (§5.2).
+
+eBPF cannot express these — extensions may not define data structures
+or follow unbounded pointer chains (§2.2).  KFlex can: every structure
+here is plain bytecode over the extension heap, with nodes allocated by
+``kflex_malloc`` on demand.
+"""
+
+from repro.apps.datastructures.linkedlist import LinkedListDS
+from repro.apps.datastructures.hashmap import HashMapDS
+from repro.apps.datastructures.rbtree import RBTreeDS
+from repro.apps.datastructures.skiplist import SkipListDS
+from repro.apps.datastructures.sketch import CountMinSketchDS, CountSketchDS
+
+ALL_STRUCTURES = {
+    "hashmap": HashMapDS,
+    "rbtree": RBTreeDS,
+    "linkedlist": LinkedListDS,
+    "skiplist": SkipListDS,
+    "countmin": CountMinSketchDS,
+    "countsketch": CountSketchDS,
+}
+
+__all__ = [
+    "LinkedListDS",
+    "HashMapDS",
+    "RBTreeDS",
+    "SkipListDS",
+    "CountMinSketchDS",
+    "CountSketchDS",
+    "ALL_STRUCTURES",
+]

@@ -1,0 +1,140 @@
+"""Shared infrastructure for extension data structures (§5.2).
+
+Conventions:
+
+* One extension *per operation* (update / lookup / delete), matching
+  the per-function accounting of Table 3.  All operations of one
+  structure share a heap.
+* Operations use the ``bench`` hook; the context carries
+  ``(key, value)`` as 8-byte scalars at offsets 0 and 8.
+* Return values: lookup returns the value (or ``MISS``); update returns
+  ``OK``/``ERR``; delete returns ``OK``/``MISS``.
+* Globals (heads, bucket arrays, locks) live in the heap's static area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+
+R0, R1, R2, R3, R4, R5 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5
+R6, R7, R8, R9, R10 = Reg.R6, Reg.R7, Reg.R8, Reg.R9, Reg.R10
+
+OK = 1
+MISS = 0
+ERR = (1 << 64) - 22  # -ENOMEM-ish
+
+#: Fibonacci multiplicative hash constant.
+HASH_CONST = 0x9E3779B97F4A7C15
+
+
+def emit_hash(m: MacroAsm, dst: Reg, key: Reg, bits: int, scratch: Reg) -> None:
+    """dst = (key * HASH_CONST) >> (64 - bits); bounded in [0, 2**bits)."""
+    if dst != key:
+        m.mov(dst, key)
+    m.ld_imm64(scratch, HASH_CONST)
+    m.mul(dst, scratch)
+    m.rsh(dst, 64 - bits)
+
+
+def load_op_args(m: MacroAsm, key: Reg, value: Reg | None = None) -> None:
+    """Load (key, value) from the bench context in R1."""
+    m.ldx(key, R1, 0, 8)
+    if value is not None:
+        m.ldx(value, R1, 8, 8)
+
+
+@dataclass
+class OpStats:
+    """Instrumentation accounting for one operation (Table 3)."""
+
+    guards_total: int  # guard candidates on pointer manipulation
+    guards_elided: int
+    guards_emitted: int
+    formation_guards: int
+    cancel_points: int
+
+
+class DataStructureExt:
+    """Base wrapper: builds one extension per op over a shared heap.
+
+    Subclasses define ``HEAP_BITS``, ``STATIC_BYTES``, and the three
+    ``build_update/lookup/delete(m, static_base)`` emitters (any may be
+    None).  ``kmod=True`` loads every op uninstrumented — the unsafe
+    kernel-module baseline of §5.2.
+    """
+
+    NAME = "ds"
+    HEAP_BITS = 24  # 16 MB default heap
+    STATIC_BYTES = 64
+    OPS = ("update", "lookup", "delete")
+
+    def __init__(self, runtime, *, kmod: bool = False, perf_mode: bool = False,
+                 heap=None, elision: bool = True):
+        self.runtime = runtime
+        self.kmod = kmod
+        self.heap = heap or runtime.create_heap(1 << self.HEAP_BITS, name=self.NAME)
+        self.static_base = self.heap.reserve_static(self.STATIC_BYTES)
+        self.exts = {}
+        self._elision = elision
+        for op in self.OPS:
+            builder = getattr(self, f"build_{op}", None)
+            if builder is None:
+                continue
+            m = MacroAsm()
+            builder(m, self.static_base)
+            prog = Program(f"{self.NAME}_{op}", m.assemble(), hook="bench",
+                           heap_size=self.heap.size)
+            if kmod:
+                self.exts[op] = runtime.load_kmod(prog, heap=self.heap)
+            else:
+                self.exts[op] = runtime.load(
+                    prog, heap=self.heap, attach=False, perf_mode=perf_mode,
+                    elision=elision,
+                )
+        self.init()
+
+    def init(self) -> None:
+        """Subclass hook: structure-specific heap initialisation, done
+        from extension code where required (the paper's structures do
+        not rely on user space even for initialisation — our static
+        area plus allocator covers the same ground)."""
+
+    # -- invocation -------------------------------------------------------------
+
+    def _invoke(self, op: str, key: int, value: int = 0, cpu: int = 0) -> int:
+        ext = self.exts[op]
+        ctx = self.runtime.make_ctx(cpu, [key, value, 0, 0])
+        return ext.invoke(ctx, cpu=cpu)
+
+    def update(self, key: int, value: int, cpu: int = 0) -> int:
+        return self._invoke("update", key, value, cpu)
+
+    def lookup(self, key: int, cpu: int = 0) -> int:
+        return self._invoke("lookup", key, cpu=cpu)
+
+    def delete(self, key: int, cpu: int = 0) -> int:
+        return self._invoke("delete", key, cpu=cpu)
+
+    # -- accounting ---------------------------------------------------------------
+
+    def op_cost(self, op: str) -> int:
+        """Native cost units of the most recent invocation of ``op``."""
+        return self.exts[op].stats.last_cost_units
+
+    def op_stats(self, op: str) -> OpStats:
+        """Table 3 numbers for one operation."""
+        st = self.exts[op].iprog.stats
+        an = self.exts[op].iprog.analysis
+        if an is None:
+            return OpStats(0, 0, 0, 0, 0)
+        return OpStats(
+            guards_total=an.guards_total_candidates,
+            guards_elided=an.guards_elided,
+            guards_emitted=st.guards_emitted,
+            formation_guards=st.formation_guards,
+            cancel_points=st.cancel_points,
+        )

@@ -1,0 +1,107 @@
+"""Chained hash map as a KFlex extension (§5.2).
+
+Buckets live in the heap's static area (an extension global); chain
+nodes come from ``kflex_malloc``.  Bucket indexing is provably bounded
+(multiplicative hash then a right shift), so the verifier elides the
+bucket-array guards; chain-pointer dereferences are formation guards.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.macroasm import MacroAsm, Struct
+from repro.ebpf.helpers import KFLEX_MALLOC, KFLEX_FREE
+from repro.apps.datastructures.common import (
+    DataStructureExt,
+    emit_hash,
+    load_op_args,
+    ERR,
+    MISS,
+    OK,
+    R0, R2, R3, R4, R6, R7, R8, R9, R10,
+)
+
+ELEM = Struct(key=8, value=8, next=8)
+
+BUCKET_BITS = 13  # 8192 buckets
+
+
+class HashMapDS(DataStructureExt):
+    NAME = "hashmap"
+    HEAP_BITS = 24
+    STATIC_BYTES = (1 << BUCKET_BITS) * 8
+
+    def _emit_bucket_addr(self, m: MacroAsm, static: int, key: int, dst, scratch):
+        """dst = &buckets[hash(key)]; provably inside the static area."""
+        emit_hash(m, dst, key, BUCKET_BITS, scratch)
+        m.lsh(dst, 3)
+        m.heap_addr(scratch, static)
+        m.add(dst, scratch)
+
+    # -- update ------------------------------------------------------------
+
+    def build_update(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6, R7)
+        m.mov(R8, R6)
+        self._emit_bucket_addr(m, static, R6, R8, R2)  # R8 = bucket addr
+        m.ldx(R9, R8, 0, 8)  # chain head (elided: bucket is static)
+        m.mov(R3, R9)
+        with m.while_("!=", R3, 0):
+            m.ldf(R4, R3, ELEM.key)  # guard (sanitises R3)
+            with m.if_("==", R4, R6):
+                m.stf(R3, ELEM.value, R7)  # elided
+                m.mov(R0, OK)
+                m.exit()
+            m.ldf(R3, R3, ELEM.next)  # elided
+        # Not found: allocate and push at the chain head.
+        m.stx(R10, R8, -8, 8)  # bucket addr survives the call on the stack
+        m.call_helper(KFLEX_MALLOC, ELEM.size)
+        with m.if_("==", R0, 0):
+            m.ld_imm64(R0, ERR)
+            m.exit()
+        m.ldx(R8, R10, -8, 8)
+        m.stf(R0, ELEM.key, R6)
+        m.stf(R0, ELEM.value, R7)
+        m.stf(R0, ELEM.next, R9)
+        m.stx(R8, R0, 0, 8)  # bucket head = node (elided)
+        m.mov(R0, OK)
+        m.exit()
+
+    # -- lookup ------------------------------------------------------------
+
+    def build_lookup(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        m.mov(R8, R6)
+        self._emit_bucket_addr(m, static, R6, R8, R2)
+        m.ldx(R3, R8, 0, 8)  # elided
+        with m.while_("!=", R3, 0):
+            m.ldf(R4, R3, ELEM.key)  # guard
+            with m.if_("==", R4, R6):
+                m.ldf(R0, R3, ELEM.value)  # elided
+                m.exit()
+            m.ldf(R3, R3, ELEM.next)  # elided
+        m.mov(R0, MISS)
+        m.exit()
+
+    # -- delete ------------------------------------------------------------
+
+    def build_delete(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        m.mov(R8, R6)
+        self._emit_bucket_addr(m, static, R6, R8, R2)
+        m.ldx(R9, R8, 0, 8)  # cur (elided)
+        m.mov(R7, 0)  # prev = NULL
+        with m.while_("!=", R9, 0):
+            m.ldf(R4, R9, ELEM.key)  # guard (sanitises R9)
+            with m.if_("==", R4, R6):
+                m.ldf(R3, R9, ELEM.next)  # elided
+                with m.if_else("==", R7, 0) as orelse:
+                    m.stx(R8, R3, 0, 8)  # bucket head = next (elided)
+                    orelse()
+                    m.stf(R7, ELEM.next, R3)  # prev sanitised earlier: elided
+                m.call_helper(KFLEX_FREE, R9)
+                m.mov(R0, OK)
+                m.exit()
+            m.mov(R7, R9)
+            m.ldf(R9, R9, ELEM.next)  # elided
+        m.mov(R0, MISS)
+        m.exit()

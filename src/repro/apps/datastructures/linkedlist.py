@@ -1,0 +1,90 @@
+"""Doubly linked list as a KFlex extension (§5.2, Listing 1's shape).
+
+Update pushes at the head (constant time); lookup and delete traverse
+the list — the paper's Fig. 5 runs them over 64 K elements.  The
+traversal loop is exactly the ``while (e != NULL)`` pattern eBPF
+rejects (§2.2) and KFlex admits via a back-edge cancellation point.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.macroasm import MacroAsm, Struct
+from repro.ebpf.helpers import KFLEX_MALLOC, KFLEX_FREE
+from repro.apps.datastructures.common import (
+    DataStructureExt,
+    load_op_args,
+    ERR,
+    MISS,
+    OK,
+    R0, R2, R3, R6, R7, R8, R9,
+)
+
+ELEM = Struct(key=8, value=8, next=8, prev=8)
+
+HEAD_OFF = 0  # within the static area
+
+
+class LinkedListDS(DataStructureExt):
+    NAME = "linkedlist"
+    HEAP_BITS = 24
+
+    # -- update: push-front, O(1) -------------------------------------------
+
+    def build_update(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6, R7)
+        m.call_helper(KFLEX_MALLOC, ELEM.size)
+        with m.if_("==", R0, 0):
+            m.ld_imm64(R0, ERR)
+            m.exit()
+        m.mov(R8, R0)  # node
+        m.stf(R8, ELEM.key, R6)
+        m.stf(R8, ELEM.value, R7)
+        m.stf_imm(R8, ELEM.prev, 0)
+        m.heap_addr(R2, static + HEAD_OFF)
+        m.ldx(R9, R2, 0, 8)  # old head (untrusted once dereferenced)
+        m.stf(R8, ELEM.next, R9)
+        with m.if_("!=", R9, 0):
+            m.stf(R9, ELEM.prev, R8)  # guard: pointer loaded from memory
+        m.stx(R2, R8, 0, 8)  # head = node
+        m.mov(R0, OK)
+        m.exit()
+
+    # -- lookup: full traversal ------------------------------------------------
+
+    def build_lookup(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        m.heap_addr(R2, static + HEAD_OFF)
+        m.ldx(R7, R2, 0, 8)
+        with m.while_("!=", R7, 0):
+            m.ldf(R3, R7, ELEM.key)  # guard: e formed from memory
+            with m.if_("==", R3, R6):
+                m.ldf(R0, R7, ELEM.value)  # elided: e sanitised above
+                m.exit()
+            m.ldf(R7, R7, ELEM.next)  # elided
+        m.mov(R0, MISS)
+        m.exit()
+
+    # -- delete: traverse, unlink, free ----------------------------------------
+
+    def build_delete(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        m.heap_addr(R2, static + HEAD_OFF)
+        m.ldx(R7, R2, 0, 8)
+        with m.while_("!=", R7, 0):
+            m.ldf(R3, R7, ELEM.key)  # guard (sanitises R7)
+            with m.if_("==", R3, R6):
+                m.ldf(R8, R7, ELEM.next)  # elided
+                m.ldf(R9, R7, ELEM.prev)  # elided
+                with m.if_else("!=", R9, 0) as orelse:
+                    m.stf(R9, ELEM.next, R8)  # guard
+                    orelse()
+                    m.heap_addr(R2, static + HEAD_OFF)
+                    m.stx(R2, R8, 0, 8)  # head = e->next
+                with m.if_("!=", R8, 0):
+                    m.stf(R8, ELEM.prev, R9)  # guard
+                m.call_helper(KFLEX_FREE, R7)
+                m.mov(R0, OK)
+                m.exit()
+            m.ldf(R7, R7, ELEM.next)  # elided
+        m.mov(R0, MISS)
+        m.exit()

@@ -1,0 +1,88 @@
+"""Reference implementations for differential testing.
+
+Pure-Python models with the same observable semantics as the extension
+data structures (§5.2).  Tests drive the extension and the reference
+with identical operation streams and compare every result.  (The
+*performance* baseline — the paper's KMod — is the same bytecode loaded
+uninstrumented via ``KFlexRuntime.load_kmod``, not these classes.)
+"""
+
+from __future__ import annotations
+
+from repro.apps.datastructures.common import MISS, OK
+from repro.apps.datastructures.sketch import (
+    ROW_CONSTS,
+    SIGN_CONSTS,
+    ROWS,
+    WIDTH_BITS,
+)
+
+U64 = (1 << 64) - 1
+
+
+class RefMap:
+    """Reference for hashmap / rbtree / linked list / skiplist maps."""
+
+    def __init__(self):
+        self._d: dict[int, int] = {}
+
+    def update(self, key: int, value: int) -> int:
+        self._d[key] = value
+        return OK
+
+    def lookup(self, key: int) -> int:
+        return self._d.get(key, MISS)
+
+    def delete(self, key: int) -> int:
+        return OK if self._d.pop(key, None) is not None else MISS
+
+    def __len__(self):
+        return len(self._d)
+
+
+class RefCountMin:
+    def __init__(self):
+        self.rows = [[0] * (1 << WIDTH_BITS) for _ in range(ROWS)]
+
+    @staticmethod
+    def _idx(row: int, key: int) -> int:
+        return ((key * ROW_CONSTS[row]) & U64) >> (64 - WIDTH_BITS)
+
+    def update(self, key: int, delta: int) -> int:
+        for r in range(ROWS):
+            self.rows[r][self._idx(r, key)] = (
+                self.rows[r][self._idx(r, key)] + delta
+            ) & U64
+        return OK
+
+    def lookup(self, key: int) -> int:
+        return min(self.rows[r][self._idx(r, key)] for r in range(ROWS))
+
+
+class RefCountSketch:
+    def __init__(self):
+        self.rows = [[0] * (1 << WIDTH_BITS) for _ in range(ROWS)]
+
+    @staticmethod
+    def _idx(row: int, key: int) -> int:
+        return ((key * ROW_CONSTS[row]) & U64) >> (64 - WIDTH_BITS)
+
+    @staticmethod
+    def _sign(row: int, key: int) -> int:
+        return -1 if ((key * SIGN_CONSTS[row]) & U64) >> 63 else 1
+
+    def update(self, key: int, delta: int) -> int:
+        for r in range(ROWS):
+            i = self._idx(r, key)
+            self.rows[r][i] = (self.rows[r][i] + self._sign(r, key) * delta) & U64
+        return OK
+
+    def lookup(self, key: int) -> int:
+        def s64(v):
+            return v - (1 << 64) if v >= (1 << 63) else v
+
+        ests = sorted(
+            s64(self.rows[r][self._idx(r, key)]) * self._sign(r, key)
+            for r in range(ROWS)
+        )
+        return ((ests[1] + ests[2]) >> 1) & U64

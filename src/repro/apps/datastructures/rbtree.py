@@ -1,0 +1,403 @@
+"""Red-black tree as a KFlex extension (§5.2).
+
+A faithful CLRS red-black tree — insert with recolour/rotate fixup,
+delete with transplant and double-black fixup — written entirely in
+extension bytecode with ``kflex_malloc`` nodes.  This is the paper's
+flagship "impossible in eBPF" structure: unbounded descent loops,
+parent pointers, and rotations that no static verifier could bound.
+
+Node: ``{key, value, left, right, parent, color}`` (48 bytes).
+NULL children are the sentinel 0 and count as black.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.macroasm import MacroAsm, Struct
+from repro.ebpf.helpers import KFLEX_MALLOC, KFLEX_FREE
+from repro.apps.datastructures.common import (
+    DataStructureExt,
+    load_op_args,
+    ERR,
+    MISS,
+    OK,
+    R0, R2, R3, R4, R5, R6, R7, R8, R9, R10,
+)
+
+NODE = Struct(key=8, value=8, left=8, right=8, parent=8, color=8)
+
+RED = 1
+BLACK = 0
+
+ROOT_OFF = 0  # root pointer, in the static area
+
+# Stack slots used by the operations.
+SLOT_DIR = -8
+SLOT_PARENT = -16
+SLOT_Z = -24
+SLOT_YCOLOR = -32
+
+
+class RBTreeDS(DataStructureExt):
+    NAME = "rbtree"
+    HEAP_BITS = 24
+
+    # ------------------------------------------------------------------
+    # shared emitters
+    # ------------------------------------------------------------------
+
+    def _root_addr(self, m, static, dst):
+        m.heap_addr(dst, static + ROOT_OFF)
+
+    def _emit_rotate(self, m: MacroAsm, static: int, x, side: str):
+        """Inline LEFT/RIGHT-ROTATE(x).  Clobbers R2-R5; preserves x.
+
+        ``side`` is the direction of the rotation; ``x`` must hold a
+        non-NULL node pointer.
+        """
+        near = getattr(NODE, "right" if side == "left" else "left")
+        far = getattr(NODE, "left" if side == "left" else "right")
+        y, t, rootp = R4, R5, R3
+        m.ldf(y, x, near)           # y = x.near
+        m.ldf(t, y, far)            # t = y.far
+        m.stf(x, near, t)           # x.near = t
+        with m.if_("!=", t, 0):
+            m.stf(t, NODE.parent, x)
+        m.ldf(t, x, NODE.parent)    # t = x.parent
+        m.stf(y, NODE.parent, t)
+        with m.if_else("==", t, 0) as orelse:
+            self._root_addr(m, static, rootp)
+            m.stx(rootp, y, 0, 8)   # root = y
+            orelse()
+            m.ldf(R2, t, NODE.left)
+            with m.if_else("==", R2, x) as orelse2:
+                m.stf(t, NODE.left, y)
+                orelse2()
+                m.stf(t, NODE.right, y)
+        m.stf(y, far, x)            # y.far = x
+        m.stf(x, NODE.parent, y)
+
+    def _emit_transplant(self, m: MacroAsm, static: int, u, v):
+        """Replace subtree u with subtree v (v may be NULL).
+        Clobbers R2-R3; preserves u and v."""
+        m.ldf(R2, u, NODE.parent)
+        with m.if_else("==", R2, 0) as orelse:
+            self._root_addr(m, static, R3)
+            m.stx(R3, v, 0, 8)
+            orelse()
+            m.ldf(R3, R2, NODE.left)
+            with m.if_else("==", R3, u) as orelse2:
+                m.stf(R2, NODE.left, v)
+                orelse2()
+                m.stf(R2, NODE.right, v)
+        with m.if_("!=", v, 0):
+            m.ldf(R2, u, NODE.parent)
+            m.stf(v, NODE.parent, R2)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def build_lookup(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        self._root_addr(m, static, R2)
+        m.ldx(R7, R2, 0, 8)
+        with m.while_("!=", R7, 0):
+            m.ldf(R3, R7, NODE.key)
+            with m.if_("==", R3, R6):
+                m.ldf(R0, R7, NODE.value)
+                m.exit()
+            with m.if_else("<", R6, R3) as orelse:
+                m.ldf(R7, R7, NODE.left)
+                orelse()
+                m.ldf(R7, R7, NODE.right)
+        m.mov(R0, MISS)
+        m.exit()
+
+    # ------------------------------------------------------------------
+    # insert / update
+    # ------------------------------------------------------------------
+
+    def build_update(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6, R7)
+        # Descend to the insertion point.
+        m.mov(R8, 0)  # parent
+        self._root_addr(m, static, R2)
+        m.ldx(R9, R2, 0, 8)
+        m.st_imm(R10, SLOT_DIR, 0, 8)
+        with m.while_("!=", R9, 0):
+            m.ldf(R3, R9, NODE.key)
+            with m.if_("==", R3, R6):
+                m.stf(R9, NODE.value, R7)  # update in place
+                m.mov(R0, OK)
+                m.exit()
+            m.mov(R8, R9)
+            with m.if_else("<", R6, R3) as orelse:
+                m.ldf(R9, R9, NODE.left)
+                m.st_imm(R10, SLOT_DIR, 0, 8)
+                orelse()
+                m.ldf(R9, R9, NODE.right)
+                m.st_imm(R10, SLOT_DIR, 1, 8)
+        # Allocate the new node z.
+        m.stx(R10, R8, SLOT_PARENT, 8)
+        m.call_helper(KFLEX_MALLOC, NODE.size)
+        with m.if_("==", R0, 0):
+            m.ld_imm64(R0, ERR)
+            m.exit()
+        m.mov(R9, R0)  # z
+        m.ldx(R8, R10, SLOT_PARENT, 8)
+        m.stf(R9, NODE.key, R6)
+        m.stf(R9, NODE.value, R7)
+        m.stf_imm(R9, NODE.left, 0)
+        m.stf_imm(R9, NODE.right, 0)
+        m.stf(R9, NODE.parent, R8)
+        m.stf_imm(R9, NODE.color, RED)
+        with m.if_else("==", R8, 0) as orelse:
+            self._root_addr(m, static, R2)
+            m.stx(R2, R9, 0, 8)
+            orelse()
+            m.ldx(R3, R10, SLOT_DIR, 8)
+            with m.if_else("==", R3, 0) as orelse2:
+                m.stf(R8, NODE.left, R9)
+                orelse2()
+                m.stf(R8, NODE.right, R9)
+
+        # Fixup: z=R9, p=R8, g=R7, uncle=R6.
+        with m.loop() as fix:
+            m.ldf(R8, R9, NODE.parent)
+            m.jcc("==", R8, 0, fix.break_)
+            m.ldf(R2, R8, NODE.color)
+            m.jcc("!=", R2, RED, fix.break_)
+            m.ldf(R7, R8, NODE.parent)  # grandparent (non-NULL: p is red)
+            m.ldf(R2, R7, NODE.left)
+            with m.if_else("==", R2, R8) as orelse:
+                # parent is the left child; uncle on the right.
+                m.ldf(R6, R7, NODE.right)
+                uncle_black = m.fresh_label("ub")
+                m.jcc("==", R6, 0, uncle_black)
+                m.ldf(R3, R6, NODE.color)
+                m.jcc("!=", R3, RED, uncle_black)
+                # Case 1: red uncle -> recolour, move up.
+                m.stf_imm(R8, NODE.color, BLACK)
+                m.stf_imm(R6, NODE.color, BLACK)
+                m.stf_imm(R7, NODE.color, RED)
+                m.mov(R9, R7)
+                m.jmp(fix.continue_)
+                m.label(uncle_black)
+                # Case 2/3: rotations.
+                m.ldf(R3, R8, NODE.right)
+                with m.if_("==", R3, R9):
+                    m.mov(R9, R8)
+                    self._emit_rotate(m, static, R9, "left")
+                m.ldf(R8, R9, NODE.parent)
+                m.ldf(R7, R8, NODE.parent)
+                m.stf_imm(R8, NODE.color, BLACK)
+                m.stf_imm(R7, NODE.color, RED)
+                self._emit_rotate(m, static, R7, "right")
+                orelse()
+                # Mirror image: parent is the right child.
+                m.ldf(R6, R7, NODE.left)
+                uncle_black2 = m.fresh_label("ub2")
+                m.jcc("==", R6, 0, uncle_black2)
+                m.ldf(R3, R6, NODE.color)
+                m.jcc("!=", R3, RED, uncle_black2)
+                m.stf_imm(R8, NODE.color, BLACK)
+                m.stf_imm(R6, NODE.color, BLACK)
+                m.stf_imm(R7, NODE.color, RED)
+                m.mov(R9, R7)
+                m.jmp(fix.continue_)
+                m.label(uncle_black2)
+                m.ldf(R3, R8, NODE.left)
+                with m.if_("==", R3, R9):
+                    m.mov(R9, R8)
+                    self._emit_rotate(m, static, R9, "right")
+                m.ldf(R8, R9, NODE.parent)
+                m.ldf(R7, R8, NODE.parent)
+                m.stf_imm(R8, NODE.color, BLACK)
+                m.stf_imm(R7, NODE.color, RED)
+                self._emit_rotate(m, static, R7, "left")
+        # Root is always black.
+        self._root_addr(m, static, R2)
+        m.ldx(R3, R2, 0, 8)
+        with m.if_("!=", R3, 0):
+            m.stf_imm(R3, NODE.color, BLACK)
+        m.mov(R0, OK)
+        m.exit()
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+
+    def build_delete(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        # Find z.
+        self._root_addr(m, static, R2)
+        m.ldx(R9, R2, 0, 8)
+        found = m.fresh_label("found")
+        with m.while_("!=", R9, 0):
+            m.ldf(R3, R9, NODE.key)
+            m.jcc("==", R3, R6, found)
+            with m.if_else("<", R6, R3) as orelse:
+                m.ldf(R9, R9, NODE.left)
+                orelse()
+                m.ldf(R9, R9, NODE.right)
+        m.mov(R0, MISS)
+        m.exit()
+
+        m.label(found)
+        z = R9
+        m.stx(R10, z, SLOT_Z, 8)
+        # y-original-color; x in R9 after unlink, x_parent in R8.
+        m.ldf(R2, z, NODE.color)
+        m.stx(R10, R2, SLOT_YCOLOR, 8)
+        m.ldf(R3, z, NODE.left)
+        fixup = m.fresh_label("fixup")
+        with m.if_else("==", R3, 0) as orelse:
+            # x = z.right; x_parent = z.parent
+            m.ldf(R7, z, NODE.right)
+            m.ldf(R8, z, NODE.parent)
+            self._emit_transplant(m, static, z, R7)
+            m.mov(R9, R7)
+            m.jmp(fixup)
+            orelse()
+            m.ldf(R4, z, NODE.right)
+            with m.if_else("==", R4, 0) as orelse2:
+                # x = z.left; x_parent = z.parent
+                m.ldf(R7, z, NODE.left)
+                m.ldf(R8, z, NODE.parent)
+                self._emit_transplant(m, static, z, R7)
+                m.mov(R9, R7)
+                m.jmp(fixup)
+                orelse2()
+                # Two children: y = minimum(z.right).
+                m.ldf(R7, z, NODE.right)  # y cursor
+                with m.loop() as down:
+                    m.ldf(R2, R7, NODE.left)
+                    m.jcc("==", R2, 0, down.break_)
+                    m.mov(R7, R2)
+                # y = R7
+                m.ldf(R2, R7, NODE.color)
+                m.stx(R10, R2, SLOT_YCOLOR, 8)
+                m.ldf(R6, R7, NODE.right)  # x = y.right (may be 0)
+                m.ldf(R2, R7, NODE.parent)
+                with m.if_else("==", R2, R9) as orelse3:
+                    m.mov(R8, R7)  # x_parent = y
+                    orelse3()
+                    m.mov(R8, R2)  # x_parent = y.parent
+                    self._emit_transplant(m, static, R7, R6)
+                    m.ldx(R4, R10, SLOT_Z, 8)
+                    m.ldf(R3, R4, NODE.right)
+                    m.stf(R7, NODE.right, R3)
+                    m.ldf(R3, R7, NODE.right)
+                    m.stf(R3, NODE.parent, R7)
+                m.ldx(R4, R10, SLOT_Z, 8)  # z
+                self._emit_transplant(m, static, R4, R7)
+                m.ldf(R3, R4, NODE.left)
+                m.stf(R7, NODE.left, R3)
+                m.ldf(R3, R7, NODE.left)
+                m.stf(R3, NODE.parent, R7)
+                m.ldf(R3, R4, NODE.color)
+                m.stf(R7, NODE.color, R3)
+                m.mov(R9, R6)  # x
+                m.jmp(fixup)
+
+        m.label(fixup)
+        # If y's original colour was black, rebalance; x=R9 (may be 0),
+        # x_parent=R8 (0 only when x is the root).
+        m.ldx(R2, R10, SLOT_YCOLOR, 8)
+        done = m.fresh_label("done")
+        m.jcc("!=", R2, BLACK, done)
+
+        with m.loop() as fx:
+            # while x != root and x is black (NULL counts as black)
+            self._root_addr(m, static, R2)
+            m.ldx(R3, R2, 0, 8)
+            m.jcc("==", R9, R3, fx.break_)
+            nonblack = m.fresh_label("nb")
+            m.jcc("==", R9, 0, nonblack)
+            m.ldf(R2, R9, NODE.color)
+            m.jcc("==", R2, RED, fx.break_)
+            m.label(nonblack)
+            # w = sibling of x.
+            m.ldf(R2, R8, NODE.left)
+            with m.if_else("==", R2, R9) as orelse:
+                self._emit_delete_side(m, static, fx, "left")
+                orelse()
+                self._emit_delete_side(m, static, fx, "right")
+        with m.if_("!=", R9, 0):
+            m.stf_imm(R9, NODE.color, BLACK)
+
+        m.label(done)
+        m.ldx(R4, R10, SLOT_Z, 8)
+        m.call_helper(KFLEX_FREE, R4)
+        m.mov(R0, OK)
+        m.exit()
+
+    def _emit_delete_side(self, m: MacroAsm, static: int, fx, side: str):
+        """One arm of the delete fixup (x is the ``side`` child).
+
+        Registers: x=R9, x_parent=R8, w=R7; scratch R2-R6.
+        """
+        near = getattr(NODE, "right" if side == "left" else "left")
+        this = getattr(NODE, side)
+        rot_near = "left" if side == "left" else "right"
+        rot_far = "right" if side == "left" else "left"
+
+        m.ldf(R7, R8, near)  # w = sibling
+        # Case 1: w red.
+        m.ldf(R2, R7, NODE.color)
+        with m.if_("==", R2, RED):
+            m.stf_imm(R7, NODE.color, BLACK)
+            m.stf_imm(R8, NODE.color, RED)
+            self._emit_rotate(m, static, R8, rot_near)
+            m.ldf(R7, R8, near)
+        # Case 2: both of w's children black (NULL = black).
+        m.ldf(R5, R7, NODE.left)
+        wl_black = m.fresh_label("wlb")
+        m.jcc("==", R5, 0, wl_black)
+        m.ldf(R2, R5, NODE.color)
+        m.jcc("==", R2, RED, m_case3 := m.fresh_label("c3"))
+        m.label(wl_black)
+        m.ldf(R5, R7, NODE.right)
+        wr_black = m.fresh_label("wrb")
+        m.jcc("==", R5, 0, wr_black)
+        m.ldf(R2, R5, NODE.color)
+        m.jcc("==", R2, RED, m_case3)
+        m.label(wr_black)
+        # Case 2 body: recolour w red, move x up.
+        m.stf_imm(R7, NODE.color, RED)
+        m.mov(R9, R8)
+        m.ldf(R8, R9, NODE.parent)
+        m.jmp(fx.continue_)
+
+        m.label(m_case3)
+        # Case 3: w's far child black -> rotate w toward far side.
+        far_field = getattr(NODE, "right" if side == "left" else "left")
+        near_field = getattr(NODE, "left" if side == "left" else "right")
+        m.ldf(R5, R7, far_field)
+        case4 = m.fresh_label("c4")
+        do_c3 = m.fresh_label("do3")
+        m.jcc("==", R5, 0, do_c3)
+        m.ldf(R2, R5, NODE.color)
+        m.jcc("==", R2, RED, case4)
+        m.label(do_c3)
+        m.ldf(R5, R7, near_field)
+        with m.if_("!=", R5, 0):
+            m.stf_imm(R5, NODE.color, BLACK)
+        m.stf_imm(R7, NODE.color, RED)
+        self._emit_rotate(m, static, R7, rot_far)
+        m.ldf(R7, R8, near)
+
+        m.label(case4)
+        # Case 4: w takes parent's colour; parent black; far child black.
+        m.ldf(R2, R8, NODE.color)
+        m.stf(R7, NODE.color, R2)
+        m.stf_imm(R8, NODE.color, BLACK)
+        m.ldf(R5, R7, far_field)
+        with m.if_("!=", R5, 0):
+            m.stf_imm(R5, NODE.color, BLACK)
+        self._emit_rotate(m, static, R8, rot_near)
+        # x = root terminates the loop.
+        self._root_addr(m, static, R2)
+        m.ldx(R9, R2, 0, 8)
+        m.mov(R8, 0)
+        m.jmp(fx.continue_)

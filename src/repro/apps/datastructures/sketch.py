@@ -1,0 +1,149 @@
+"""Network sketches as KFlex extensions (§5.2, Fig. 5e).
+
+Count-Min and Count sketches: fixed-size counter matrices in the static
+area, indexed by per-row hashes.  Every access is provably in bounds,
+so — as Table 3 notes — the verifier proves all memory accesses
+statically and the SFI emits no guards at all.
+
+``update(key, delta)`` adds ``delta`` occurrences of ``key``;
+``lookup(key)`` returns the estimate (Count-Min: row minimum;
+Count sketch: median of signed row estimates).
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.macroasm import MacroAsm
+from repro.apps.datastructures.common import (
+    DataStructureExt,
+    load_op_args,
+    OK,
+    R0, R2, R3, R4, R5, R6, R7, R8, R9, R10,
+)
+
+ROWS = 4
+WIDTH_BITS = 12  # 4096 counters per row
+ROW_BYTES = (1 << WIDTH_BITS) * 8
+
+#: Distinct odd multipliers per row (Knuth-style multiplicative hashing).
+ROW_CONSTS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+)
+
+#: Extra multiplier whose low bit supplies the Count-sketch sign.
+SIGN_CONSTS = (
+    0xFF51AFD7ED558CCD,
+    0xC4CEB9FE1A85EC53,
+    0x2545F4914F6CDD1D,
+    0x9E6C63D0876A9F4B,
+)
+
+
+def _emit_row_counter_addr(m, static, row, key_reg, dst, scratch):
+    """dst = &rows[row][hash_row(key)] (all bounds provable)."""
+    m.mov(dst, key_reg)
+    m.ld_imm64(scratch, ROW_CONSTS[row])
+    m.mul(dst, scratch)
+    m.rsh(dst, 64 - WIDTH_BITS)
+    m.lsh(dst, 3)
+    m.heap_addr(scratch, static + row * ROW_BYTES)
+    m.add(dst, scratch)
+
+
+class CountMinSketchDS(DataStructureExt):
+    NAME = "countmin"
+    HEAP_BITS = 22
+    STATIC_BYTES = ROWS * ROW_BYTES
+    OPS = ("update", "lookup")
+
+    def build_update(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6, R7)  # key, delta
+        for row in range(ROWS):
+            _emit_row_counter_addr(m, static, row, R6, R8, R2)
+            m.ldx(R3, R8, 0, 8)
+            m.add(R3, R7)
+            m.stx(R8, R3, 0, 8)
+        m.mov(R0, OK)
+        m.exit()
+
+    def build_lookup(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        m.ld_imm64(R9, (1 << 64) - 1)  # running minimum = UINT64_MAX
+        for row in range(ROWS):
+            _emit_row_counter_addr(m, static, row, R6, R8, R2)
+            m.ldx(R3, R8, 0, 8)
+            skip = m.fresh_label("skip")
+            m.jcc(">=", R3, R9, skip)
+            m.mov(R9, R3)
+            m.label(skip)
+        m.mov(R0, R9)
+        m.exit()
+
+
+class CountSketchDS(DataStructureExt):
+    NAME = "countsketch"
+    HEAP_BITS = 22
+    STATIC_BYTES = ROWS * ROW_BYTES
+    OPS = ("update", "lookup")
+
+    def _emit_sign(self, m, row, key_reg, dst, scratch):
+        """dst = +1 or -1 from the sign hash."""
+        m.mov(dst, key_reg)
+        m.ld_imm64(scratch, SIGN_CONSTS[row])
+        m.mul(dst, scratch)
+        m.rsh(dst, 63)  # top bit: 0 or 1
+        m.lsh(dst, 1)   # 0 or 2
+        m.neg(dst)      # 0 or -2
+        m.add(dst, 1)   # +1 or -1
+
+    def build_update(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6, R7)
+        for row in range(ROWS):
+            _emit_row_counter_addr(m, static, row, R6, R8, R2)
+            self._emit_sign(m, row, R6, R9, R2)
+            m.mul(R9, R7)       # signed delta contribution
+            m.ldx(R3, R8, 0, 8)
+            m.add(R3, R9)
+            m.stx(R8, R3, 0, 8)
+        m.mov(R0, OK)
+        m.exit()
+
+    def build_lookup(self, m: MacroAsm, static: int) -> None:
+        """Median of the four signed row estimates.
+
+        The four estimates are written to the stack, sorted with an
+        unrolled compare-exchange network, and the median is the mean
+        of the two middle values (all signed arithmetic).
+        """
+        load_op_args(m, R6)
+        for row in range(ROWS):
+            _emit_row_counter_addr(m, static, row, R6, R8, R2)
+            self._emit_sign(m, row, R6, R9, R2)
+            m.ldx(R3, R8, 0, 8)
+            m.mul(R3, R9)  # estimate = sign * counter
+            m.stx(R10, R3, -8 * (row + 1), 8)
+
+        def cmpswap(off_a, off_b):
+            done = m.fresh_label("noswap")
+            m.ldx(R3, R10, off_a, 8)
+            m.ldx(R4, R10, off_b, 8)
+            m.jcc("s<=", R3, R4, done)
+            m.stx(R10, R4, off_a, 8)
+            m.stx(R10, R3, off_b, 8)
+            m.label(done)
+
+        # Batcher network for 4 elements at fp-8..fp-32.
+        a, b, c, d = -8, -16, -24, -32
+        cmpswap(a, b)
+        cmpswap(c, d)
+        cmpswap(a, c)
+        cmpswap(b, d)
+        cmpswap(b, c)
+        m.ldx(R3, R10, b, 8)
+        m.ldx(R4, R10, c, 8)
+        m.add(R3, R4)
+        m.arsh(R3, 1)  # signed mean of the middle pair
+        m.mov(R0, R3)
+        m.exit()

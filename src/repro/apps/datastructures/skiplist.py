@@ -1,0 +1,191 @@
+"""Skip list as a KFlex extension (§5.2, and the ZADD backbone of §5.2).
+
+Classic multi-level list with per-level search loops.  Levels are
+derived deterministically from a hash of the key (geometric, p = 1/2),
+which keeps extension runs reproducible; the paper's Redis offload uses
+the same structure for sorted sets (Fig. 6).
+
+The head node lives in the static area with the same field layout as
+heap nodes, so the search loop code is uniform.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.macroasm import MacroAsm, Struct
+from repro.ebpf.helpers import KFLEX_MALLOC, KFLEX_FREE
+from repro.apps.datastructures.common import (
+    DataStructureExt,
+    load_op_args,
+    ERR,
+    MISS,
+    OK,
+    R0, R2, R3, R4, R5, R6, R7, R8, R9, R10,
+)
+
+MAX_LEVEL = 8
+
+#: Node: key, value, level, next[MAX_LEVEL].
+NODE = Struct(
+    key=8, value=8, level=8,
+    **{f"next{i}": 8 for i in range(MAX_LEVEL)},
+)
+
+LEVEL_CONST = 0xC4CEB9FE1A85EC53
+
+#: Byte offset of next[0] inside a node; next[i] = NEXT_BASE + 8*i.
+NEXT_BASE = NODE.next0.off
+
+#: Predecessor scratch array in the static area (after the head node).
+#: eBPF has no variable-offset stack access, so — as a compiler would —
+#: the per-level predecessor array lives in the heap.
+SCRATCH_OFF = NODE.size
+
+
+def _next_field(i: int):
+    return getattr(NODE, f"next{i}")
+
+
+class SkipListDS(DataStructureExt):
+    NAME = "skiplist"
+    HEAP_BITS = 24
+    STATIC_BYTES = NODE.size + 8 * MAX_LEVEL  # head pseudo-node + preds
+
+    # -- emitters ------------------------------------------------------------
+
+    def _emit_descend(
+        self, m: MacroAsm, static: int, *, save_preds: bool,
+        heap_scratch: bool = False,
+    ):
+        """Walk from the head down to level 0.
+
+        Leaves x (the level-0 predecessor) in R8.  With ``save_preds``
+        the per-level predecessors are spilled to fp-8(l+1); with
+        ``heap_scratch`` they are also written to the static scratch
+        array (constant offsets, so these stores elide).
+        R6 holds the search key throughout; clobbers R2, R9.
+        """
+        m.heap_addr(R8, static)  # x = head (trusted)
+        for lvl in range(MAX_LEVEL - 1, -1, -1):
+            fld = _next_field(lvl)
+            with m.loop() as walk:
+                m.ldf(R9, R8, fld)  # y = x.next[lvl]
+                m.jcc("==", R9, 0, walk.break_)
+                m.ldf(R2, R9, NODE.key)  # guard: y from memory
+                m.jcc(">=", R2, R6, walk.break_)
+                m.mov(R8, R9)  # advance
+            if save_preds:
+                m.stx(R10, R8, -8 * (lvl + 1), 8)
+            if heap_scratch:
+                m.heap_addr(R2, static + SCRATCH_OFF + 8 * lvl)
+                m.stx(R2, R8, 0, 8)
+
+    def _emit_level(self, m: MacroAsm, key, dst, scratch):
+        """dst = deterministic level in [1, MAX_LEVEL] (geometric)."""
+        m.mov(scratch, key)
+        m.ld_imm64(dst, LEVEL_CONST)
+        m.mul(scratch, dst)
+        m.mov(dst, 1)
+        done = m.fresh_label("lvl_done")
+        for i in range(MAX_LEVEL - 1):
+            bit = m.fresh_label(f"bit{i}")
+            m.jcc("&", scratch, 1 << i, bit)
+            m.jmp(done)
+            m.label(bit)
+            m.add(dst, 1)
+        m.label(done)
+
+    # -- operations -------------------------------------------------------------
+
+    def build_update(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6, R7)
+        self._emit_descend(m, static, save_preds=True)
+        # Found?
+        m.ldf(R9, R8, _next_field(0))
+        with m.if_("!=", R9, 0):
+            m.ldf(R2, R9, NODE.key)  # guard
+            with m.if_("==", R2, R6):
+                m.stf(R9, NODE.value, R7)
+                m.mov(R0, OK)
+                m.exit()
+        # Insert: level from the key hash, node from the allocator.
+        self._emit_level(m, R6, R9, R2)
+        m.stx(R10, R9, -8 * (MAX_LEVEL + 1), 8)  # save level
+        m.call_helper(KFLEX_MALLOC, NODE.size)
+        with m.if_("==", R0, 0):
+            m.ld_imm64(R0, ERR)
+            m.exit()
+        m.mov(R9, R0)
+        m.stf(R9, NODE.key, R6)
+        m.stf(R9, NODE.value, R7)
+        m.ldx(R2, R10, -8 * (MAX_LEVEL + 1), 8)
+        m.stf(R9, NODE.level, R2)
+        for i in range(MAX_LEVEL):
+            m.stf_imm(R9, _next_field(i), 0)
+        # Link level by level (unrolled; stop above the node's level).
+        done = m.fresh_label("link_done")
+        for i in range(MAX_LEVEL):
+            m.ldx(R2, R10, -8 * (MAX_LEVEL + 1), 8)
+            m.jcc("<=", R2, i, done)
+            m.ldx(R8, R10, -8 * (i + 1), 8)  # pred at level i
+            m.ldf(R3, R8, _next_field(i))    # guard (pred from stack)
+            m.stf(R9, _next_field(i), R3)
+            m.stf(R8, _next_field(i), R9)
+        m.label(done)
+        m.mov(R0, OK)
+        m.exit()
+
+    def build_lookup(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        self._emit_descend(m, static, save_preds=False)
+        m.ldf(R9, R8, _next_field(0))
+        with m.if_("!=", R9, 0):
+            m.ldf(R2, R9, NODE.key)  # guard
+            with m.if_("==", R2, R6):
+                m.ldf(R0, R9, NODE.value)
+                m.exit()
+        m.mov(R0, MISS)
+        m.exit()
+
+    def build_delete(self, m: MacroAsm, static: int) -> None:
+        load_op_args(m, R6)
+        self._emit_descend(m, static, save_preds=False, heap_scratch=True)
+        m.ldf(R9, R8, _next_field(0))
+        with m.if_("==", R9, 0):
+            m.mov(R0, MISS)
+            m.exit()
+        m.ldf(R2, R9, NODE.key)  # guard
+        with m.if_("!=", R2, R6):
+            m.mov(R0, MISS)
+            m.exit()
+        # Unlink with a *dynamic* level loop, as a compiler emits for
+        # ``for (i = 0; i < node->level; i++)``: the level is loaded
+        # from node memory, so the computed ``next[i]`` offsets cannot
+        # be proven in bounds — these are the manipulation guards range
+        # analysis cannot elide (§5.4's partial-elision case).
+        m.ldf(R7, R9, NODE.level)  # untrusted bound
+        m.mov(R3, 0)  # i
+        with m.while_("<", R3, R7):
+            # pred = scratch[i]
+            m.mov(R5, R3)
+            m.lsh(R5, 3)
+            m.heap_addr(R4, static + SCRATCH_OFF)
+            m.add(R4, R5)
+            m.ldx(R4, R4, 0, 8)  # manipulation guard (i unbounded)
+            # pred->next[i] cell
+            m.mov(R5, R3)
+            m.lsh(R5, 3)
+            m.add(R5, NEXT_BASE)
+            m.add(R4, R5)
+            m.ldx(R2, R4, 0, 8)  # formation guard; R4 sanitised after
+            with m.if_("==", R2, R9):
+                # node->next[i]
+                m.mov(R5, R3)
+                m.lsh(R5, 3)
+                m.add(R5, NEXT_BASE)
+                m.add(R5, R9)
+                m.ldx(R2, R5, 0, 8)  # guard (node + unbounded offset)
+                m.stx(R4, R2, 0, 8)  # pred->next[i] = node->next[i]
+            m.add(R3, 1)
+        m.call_helper(KFLEX_FREE, R9)
+        m.mov(R0, OK)
+        m.exit()

@@ -1,0 +1,35 @@
+"""Memcached three ways (§5.1, §5.3).
+
+* :mod:`~repro.apps.memcached.userspace` — the stock server.
+* :mod:`~repro.apps.memcached.bmc` — BMC [42]: an eBPF look-aside cache
+  that can only serve GETs from a preallocated kernel map.
+* :mod:`~repro.apps.memcached.kflex_ext` — the full offload: GET *and*
+  SET processed in a single KFlex extension at the XDP hook.
+* :mod:`~repro.apps.memcached.gc_codesign` — §5.3's co-design: the fast
+  path stays in the kernel while a user-space thread garbage-collects
+  the shared heap through shared pointers.
+"""
+
+from repro.apps.memcached.protocol import (
+    OP_GET,
+    OP_SET,
+    REPLY_FLAG,
+    encode_get,
+    encode_set,
+    decode_reply,
+)
+from repro.apps.memcached.kflex_ext import KFlexMemcached
+from repro.apps.memcached.bmc import BmcCache
+from repro.apps.memcached.userspace import UserspaceMemcached
+
+__all__ = [
+    "OP_GET",
+    "OP_SET",
+    "REPLY_FLAG",
+    "encode_get",
+    "encode_set",
+    "decode_reply",
+    "KFlexMemcached",
+    "BmcCache",
+    "UserspaceMemcached",
+]

@@ -1,0 +1,62 @@
+"""Wire format for the Memcached experiments (§5.1).
+
+A fixed-layout binary protocol with 32 B keys and 32 B values (the
+paper reduces value size to the key size because BMC cannot handle
+larger values):
+
+====== ====== =====================================
+offset size   field
+====== ====== =====================================
+0      1      op (0 = GET, 1 = SET; reply sets 0x80)
+1      7      pad / status
+8      32     key
+40     32     value (SET request, GET reply)
+====== ====== =====================================
+
+Keys are derived from integer ids: the id in the first 8 bytes, a salt
+pattern in the rest, so extensions exercise full 32-byte compares.
+"""
+
+from __future__ import annotations
+
+import struct
+
+OP_GET = 0
+OP_SET = 1
+REPLY_FLAG = 0x80
+STATUS_HIT = 1
+STATUS_MISS = 0
+
+PKT_SIZE = 72
+KEY_OFF = 8
+VAL_OFF = 40
+KEY_SIZE = 32
+VAL_SIZE = 32
+
+_SALT = bytes(range(24))
+
+
+def key_bytes(key_id: int) -> bytes:
+    return struct.pack("<Q", key_id & (1 << 64) - 1) + _SALT
+
+
+def value_bytes(value_id: int) -> bytes:
+    return struct.pack("<Q", value_id & (1 << 64) - 1) + bytes(24)
+
+
+def encode_get(key_id: int) -> bytes:
+    return bytes([OP_GET]) + bytes(7) + key_bytes(key_id) + bytes(VAL_SIZE)
+
+
+def encode_set(key_id: int, value_id: int) -> bytes:
+    return bytes([OP_SET]) + bytes(7) + key_bytes(key_id) + value_bytes(value_id)
+
+
+def decode_reply(pkt: bytes) -> tuple[bool, int | None]:
+    """Returns (hit, value_id or None) from a reply packet."""
+    if len(pkt) < PKT_SIZE or not pkt[0] & REPLY_FLAG:
+        raise ValueError("not a reply packet")
+    hit = pkt[1] == STATUS_HIT
+    if not hit:
+        return False, None
+    return True, struct.unpack_from("<Q", pkt, VAL_OFF)[0]

@@ -1,0 +1,60 @@
+"""User-space Memcached: the stock baseline of §5.1.
+
+Functionally a hash table behind the full kernel I/O path.  The
+*functional* store is Python; the *cost* of the application's table
+work is measured by executing the same table logic as uninstrumented
+bytecode (a KMod load of the Memcached program), so all three systems'
+data-structure costs come from one implementation and differ only in
+path and instrumentation — the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.memcached import protocol as P
+
+
+@dataclass
+class UserspaceMemcached:
+    """Dict-backed store with optional per-op cost sampling hooks."""
+
+    store: dict = field(default_factory=dict)
+    gets: int = 0
+    sets: int = 0
+
+    def handle(self, pkt: bytes) -> bytes:
+        op = pkt[0]
+        key = bytes(pkt[P.KEY_OFF : P.KEY_OFF + P.KEY_SIZE])
+        if op == P.OP_GET:
+            self.gets += 1
+            value = self.store.get(key)
+            status = P.STATUS_HIT if value is not None else P.STATUS_MISS
+            out = bytearray(pkt)
+            out[0] = P.REPLY_FLAG | P.OP_GET
+            out[1] = status
+            if value is not None:
+                out[P.VAL_OFF : P.VAL_OFF + P.VAL_SIZE] = value
+            return bytes(out)
+        if op == P.OP_SET:
+            self.sets += 1
+            self.store[key] = bytes(pkt[P.VAL_OFF : P.VAL_OFF + P.VAL_SIZE])
+            out = bytearray(pkt)
+            out[0] = P.REPLY_FLAG | P.OP_SET
+            out[1] = P.STATUS_HIT
+            return bytes(out)
+        raise ValueError(f"bad op {op}")
+
+    def get(self, key_id: int):
+        return P.decode_reply(self.handle(P.encode_get(key_id)))
+
+    def set(self, key_id: int, value_id: int) -> bool:
+        hit, _ = P.decode_reply(self.handle(P.encode_set(key_id, value_id)))
+        return hit
+
+    def warm(self, n_keys: int) -> None:
+        for k in range(n_keys):
+            self.set(k, k ^ 0x5A5A)
+
+    def __len__(self):
+        return len(self.store)

@@ -1,0 +1,33 @@
+"""Redis offload (§5.1, §5.2).
+
+GET/SET/ZADD processed by a single KFlex extension at the ``sk_skb``
+hook — Redis runs everything over TCP, so requests traverse the Linux
+TCP stack before reaching the extension, which is why the paper's Redis
+gains are smaller than Memcached's (§5.1).  ZADD exercises the flagship
+flexibility claim: a skip list allocated *on demand in the fast path*
+whenever a new sorted-set key appears (§5.2, Fig. 6).
+"""
+
+from repro.apps.redis.protocol import (
+    OP_GET,
+    OP_SET,
+    OP_ZADD,
+    encode_get,
+    encode_set,
+    encode_zadd,
+    decode_reply,
+)
+from repro.apps.redis.kflex_ext import KFlexRedis
+from repro.apps.redis.userspace import UserspaceRedis
+
+__all__ = [
+    "OP_GET",
+    "OP_SET",
+    "OP_ZADD",
+    "encode_get",
+    "encode_set",
+    "encode_zadd",
+    "decode_reply",
+    "KFlexRedis",
+    "UserspaceRedis",
+]

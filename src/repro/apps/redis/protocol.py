@@ -1,0 +1,69 @@
+"""Wire format for the Redis experiments (§5.1, Fig. 6).
+
+====== ====== ==========================================
+offset size   field
+====== ====== ==========================================
+0      1      op (0 GET, 1 SET, 2 ZADD; reply sets 0x80)
+1      7      pad / status
+8      32     key (string key or sorted-set name)
+40     8      value id (SET) / score (ZADD)
+48     8      member id (ZADD)
+56     24     value tail (SET payload continues)
+====== ====== ==========================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+OP_GET = 0
+OP_SET = 1
+OP_ZADD = 2
+REPLY_FLAG = 0x80
+STATUS_OK = 1
+STATUS_MISS = 0
+
+PKT_SIZE = 80
+KEY_OFF = 8
+VAL_OFF = 40
+MEMBER_OFF = 48
+KEY_SIZE = 32
+VAL_SIZE = 32
+
+_SALT = bytes(range(100, 124))
+
+
+def key_bytes(key_id: int) -> bytes:
+    return struct.pack("<Q", key_id & (1 << 64) - 1) + _SALT
+
+
+def encode_get(key_id: int) -> bytes:
+    return bytes([OP_GET]) + bytes(7) + key_bytes(key_id) + bytes(PKT_SIZE - 40)
+
+
+def encode_set(key_id: int, value_id: int) -> bytes:
+    return (
+        bytes([OP_SET])
+        + bytes(7)
+        + key_bytes(key_id)
+        + struct.pack("<Q", value_id & (1 << 64) - 1)
+        + bytes(PKT_SIZE - 48)
+    )
+
+
+def encode_zadd(key_id: int, score: int, member: int) -> bytes:
+    return (
+        bytes([OP_ZADD])
+        + bytes(7)
+        + key_bytes(key_id)
+        + struct.pack("<QQ", score & (1 << 64) - 1, member & (1 << 64) - 1)
+        + bytes(PKT_SIZE - 56)
+    )
+
+
+def decode_reply(pkt: bytes) -> tuple[bool, int | None]:
+    if len(pkt) < 48 or not pkt[0] & REPLY_FLAG:
+        raise ValueError("not a reply packet")
+    ok = pkt[1] == STATUS_OK
+    value = struct.unpack_from("<Q", pkt, VAL_OFF)[0] if ok else None
+    return ok, value

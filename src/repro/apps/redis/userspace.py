@@ -1,0 +1,46 @@
+"""User-space Redis baseline (§5.1).
+
+The paper compares against KeyDB (a multi-threaded Redis) for GET/SET
+and single-threaded Redis for ZADD (which takes a global lock).  Same
+semantics as the extension: string store plus score-sorted sets
+implemented with bisect over a sorted list (the cost harness uses the
+KMod bytecode for the data-structure cost; this class provides the
+functional behaviour).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.apps.redis import protocol as P
+
+
+@dataclass
+class UserspaceRedis:
+    strings: dict = field(default_factory=dict)
+    zsets: dict = field(default_factory=dict)  # key -> sorted [(score, member)]
+
+    def get(self, key_id: int):
+        v = self.strings.get(key_id)
+        return (v is not None, v)
+
+    def set(self, key_id: int, value_id: int) -> bool:
+        self.strings[key_id] = value_id
+        return True
+
+    def zadd(self, key_id: int, score: int, member: int) -> bool:
+        zset = self.zsets.setdefault(key_id, [])
+        item = (score, member)
+        i = bisect.bisect_left(zset, item)
+        if i < len(zset) and zset[i] == item:
+            return True
+        zset.insert(i, item)
+        return True
+
+    def zset_members(self, key_id: int):
+        return list(self.zsets.get(key_id, []))
+
+    def warm(self, n_keys: int) -> None:
+        for k in range(n_keys):
+            self.set(k, k ^ 0x5A5A)

@@ -1,0 +1,15 @@
+"""KFlex core: the paper's primary contribution.
+
+* :mod:`repro.core.heap` — extension heaps (§3.2, §4.1)
+* :mod:`repro.core.allocator` — ``kflex_malloc``/``kflex_free`` (§4.1)
+* :mod:`repro.core.kie` — the instrumentation engine (§3.2, §3.3)
+* :mod:`repro.core.cancellation` — extension cancellations (§3.3, §4.3)
+* :mod:`repro.core.locks` — the KFlex spin lock (§3.1, §3.4)
+* :mod:`repro.core.sharing` — user-space heap sharing (§3.4, §4.4)
+* :mod:`repro.core.runtime` — load/attach/invoke pipeline (Fig. 1)
+"""
+
+from repro.core.runtime import KFlexRuntime, LoadedExtension
+from repro.core.heap import ExtensionHeap
+
+__all__ = ["KFlexRuntime", "LoadedExtension", "ExtensionHeap"]

@@ -1,0 +1,186 @@
+"""The KFlex memory allocator: ``kflex_malloc`` / ``kflex_free`` (§4.1).
+
+Mirrors the paper's structure: per-CPU caches of objects per size
+class, refilled from a global free list, with heap pages populated on
+demand as the bump pointer advances.  (The paper builds the backend on
+jemalloc extent hooks and refills caches from a user-space thread; here
+the refill path is ``maintain()``, which the runtime or an application
+thread calls periodically, preserving the same cache/refill split.)
+
+Object size metadata is kept in an allocator-side table — the moral
+equivalent of slab metadata, deliberately *outside* the heap so that a
+buggy or malicious extension scribbling over its own heap can corrupt
+its data but never the allocator's invariants (extension correctness
+vs. kernel safety, §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelPanic
+from repro.core.heap import ExtensionHeap, HEAP_HEADER_SIZE
+
+SIZE_CLASSES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+#: Objects fetched from the global list per per-CPU cache refill.
+REFILL_BATCH = 32
+
+#: Low-water mark at which ``maintain()`` refills a per-CPU cache.
+CACHE_LOW_WATER = 8
+
+
+def _size_class(size: int) -> int | None:
+    for cls in SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    return None
+
+
+@dataclass
+class AllocatorStats:
+    allocs: int = 0
+    frees: int = 0
+    fast_path_allocs: int = 0  # served from the per-CPU cache
+    refills: int = 0
+    live_bytes: int = 0
+    bump_bytes: int = 0
+
+
+class KflexAllocator:
+    """Size-class allocator over one extension heap."""
+
+    def __init__(self, heap: ExtensionHeap, n_cpus: int = 8):
+        self.heap = heap
+        self.n_cpus = n_cpus
+        #: cpu -> size class -> list of free object addresses
+        self._cache: list[dict[int, list[int]]] = [
+            {cls: [] for cls in SIZE_CLASSES} for _ in range(n_cpus)
+        ]
+        self._global: dict[int, list[int]] = {cls: [] for cls in SIZE_CLASSES}
+        self._large_free: list[tuple[int, int]] = []  # (addr, size)
+        self._bump = heap.base + HEAP_HEADER_SIZE
+        self._sizes: dict[int, int] = {}  # live object addr -> class/size
+        self.stats = AllocatorStats()
+
+    # -- allocation ----------------------------------------------------------
+
+    def malloc(self, size: int, cpu: int = 0) -> int:
+        """Allocate ``size`` bytes; returns a kernel heap address, or 0
+        (NULL) when the heap is exhausted."""
+        if size <= 0:
+            return 0
+        cls = _size_class(size)
+        self.stats.allocs += 1
+        if cls is None:
+            return self._malloc_large(size)
+        cache = self._cache[cpu % self.n_cpus][cls]
+        if cache:
+            self.stats.fast_path_allocs += 1
+            addr = cache.pop()
+        else:
+            addr = self._refill_and_pop(cpu % self.n_cpus, cls)
+            if addr == 0:
+                return 0
+        self._sizes[addr] = cls
+        self.stats.live_bytes += cls
+        return addr
+
+    def _refill_and_pop(self, cpu: int, cls: int) -> int:
+        self.stats.refills += 1
+        cache = self._cache[cpu][cls]
+        glob = self._global[cls]
+        take = min(REFILL_BATCH, len(glob))
+        if take:
+            cache.extend(glob[-take:])
+            del glob[-take:]
+        while len(cache) < REFILL_BATCH:
+            addr = self._bump_alloc(cls)
+            if addr == 0:
+                break
+            cache.append(addr)
+        return cache.pop() if cache else 0
+
+    def _bump_alloc(self, size: int) -> int:
+        # Never hand out the header or the static/global area; statics
+        # may be reserved after the allocator is constructed (at
+        # extension load), so re-check the floor on every bump.
+        floor = self.heap.base + self.heap.static_end
+        if self._bump < floor:
+            self._bump = floor
+        self.heap.alloc_started = True
+        align = size if size & (size - 1) == 0 else 8
+        addr = (self._bump + align - 1) & ~(align - 1)
+        end = addr + size
+        if end > self.heap.base + self.heap.size:
+            return 0
+        self.heap.populate(addr, size)
+        self._bump = end
+        self.stats.bump_bytes = self._bump - self.heap.base
+        return addr
+
+    def _malloc_large(self, size: int) -> int:
+        size = (size + 4095) & ~4095
+        for i, (addr, sz) in enumerate(self._large_free):
+            if sz >= size:
+                del self._large_free[i]
+                if sz > size:
+                    self._large_free.append((addr + size, sz - size))
+                self._sizes[addr] = size
+                self.stats.live_bytes += size
+                return addr
+        addr = self._bump_alloc(size)
+        if addr:
+            self._sizes[addr] = size
+            self.stats.live_bytes += size
+        return addr
+
+    # -- free -----------------------------------------------------------------
+
+    def free(self, addr: int, cpu: int = 0) -> None:
+        """Release an object.  ``addr`` is sanitised first — a wild value
+        from a buggy extension frees at worst one of its own objects."""
+        if addr == 0:
+            return
+        addr = self.heap.sanitize(addr)
+        size = self._sizes.pop(addr, None)
+        if size is None:
+            # Not a live object boundary: ignore, like a hardened
+            # allocator would (the extension corrupted only itself).
+            return
+        self.stats.frees += 1
+        self.stats.live_bytes -= size
+        if size in SIZE_CLASSES:
+            self._cache[cpu % self.n_cpus][size].append(addr)
+        else:
+            self._large_free.append((addr, size))
+
+    # -- background maintenance (§4.1's refill thread) -------------------------
+
+    def maintain(self) -> int:
+        """Refill low per-CPU caches from the global list / bump region.
+
+        Returns the number of objects moved; the paper runs this from a
+        user-space thread spawned by the KFlex runtime.
+        """
+        moved = 0
+        for cpu in range(self.n_cpus):
+            for cls in SIZE_CLASSES:
+                cache = self._cache[cpu][cls]
+                while len(cache) < CACHE_LOW_WATER:
+                    glob = self._global[cls]
+                    if glob:
+                        cache.append(glob.pop())
+                    else:
+                        addr = self._bump_alloc(cls)
+                        if addr == 0:
+                            break
+                        cache.append(addr)
+                    moved += 1
+        return moved
+
+    def is_live(self, addr: int) -> bool:
+        return addr in self._sizes
+
+    def live_objects(self) -> int:
+        return len(self._sizes)

@@ -1,0 +1,92 @@
+"""Extension cancellations (§3.3, §4.3).
+
+When an executing extension faults — at a back-edge ``*terminate``
+access after the watchdog armed it (C1), or at a heap access to an
+unpopulated page (C2), or inside a spinning lock helper — the runtime:
+
+1. finds the object table of the faulting cancellation point (keyed by
+   the *source* instruction the faulting instruction derives from);
+2. walks the table, reading each recorded location (register or stack
+   slot) from the faulted machine state and invoking the destructor for
+   every non-NULL resource value — restoring the kernel to a quiescent
+   state;
+3. returns the hook's default code, optionally adjusted by the
+   extension's cancel callback (restricted: a plain value-to-value
+   function, no loops or further cancellation points).
+
+Cancellation due to non-termination is global in scope: the extension
+is marked dead and unloaded from all CPUs, but its heap survives until
+user space closes the fd (§3.4, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelPanic
+from repro.ebpf.interpreter import ExecResult, STACK_SIZE
+from repro.ebpf.verifier.verifier import ObjTableEntry
+
+
+@dataclass
+class CancellationRecord:
+    reason: str  # "watchdog" | "page_fault" | "lock_stall" | "hard_stall" | "helper"
+    source_insn: int | None
+    released: list[tuple[str, int]] = field(default_factory=list)  # (kind, value)
+    default_ret: int = 0
+
+
+@dataclass
+class CancellationEngine:
+    """Per-runtime unwinder; destructors are bound at load time."""
+
+    aspace: object
+    #: destructor helper id -> callable(value:int, cpu:int)
+    destructors: dict[int, object] = field(default_factory=dict)
+    history: list[CancellationRecord] = field(default_factory=list)
+
+    def bind_destructor(self, helper_id: int, fn) -> None:
+        self.destructors[helper_id] = fn
+
+    def unwind(
+        self,
+        result: ExecResult,
+        table: tuple[ObjTableEntry, ...],
+        *,
+        cpu: int,
+        reason: str,
+        default_ret: int,
+        cancel_callback=None,
+    ) -> tuple[int, CancellationRecord]:
+        """Release the resources in ``table`` from the faulted state and
+        produce the value returned to the kernel."""
+        if result.fault is None:
+            raise KernelPanic("unwind of a successful execution")
+        record = CancellationRecord(reason, result.fault.orig_idx, default_ret=default_ret)
+
+        for entry in table:
+            value = self._read_location(result, entry)
+            if value == 0:
+                continue  # NULL: the resource was never acquired on this path
+            dtor = self.destructors.get(entry.destructor)
+            if dtor is None:
+                raise KernelPanic(
+                    f"no destructor bound for helper {entry.destructor}"
+                )
+            dtor(value, cpu)
+            record.released.append((entry.res_kind, value))
+
+        ret = default_ret
+        if cancel_callback is not None:
+            ret = int(cancel_callback(default_ret))
+        record.default_ret = ret
+        self.history.append(record)
+        return ret, record
+
+    def _read_location(self, result: ExecResult, entry: ObjTableEntry) -> int:
+        if entry.loc_kind == "reg":
+            return result.regs[entry.loc]
+        if entry.loc_kind == "stack":
+            addr = result.stack_base + STACK_SIZE + entry.loc
+            return self.aspace.read_int(addr, 8)
+        raise KernelPanic(f"unknown object-table location kind {entry.loc_kind!r}")

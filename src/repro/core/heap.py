@@ -1,0 +1,184 @@
+"""Extension heaps (§3.2, §4.1).
+
+A heap is a power-of-two-sized region allocated in the vmalloc area
+with an alignment request equal to its size — alignment is what makes
+the SFI mask-and-add sanitisation sound — plus 32 KB guard pages on
+each side, sized so that any 16-bit instruction offset added to a
+sanitised pointer still lands in mapped (guard) space.
+
+Physical pages are *not* preallocated: the allocator populates them on
+demand and the pages are charged to the owning application's memcg.
+Extension access to a still-unpopulated page raises a page fault, which
+is a class-C2 cancellation point (§3.3).
+
+Heaps are exposed as map-like file descriptors so user space can mmap
+them (§3.4/§4.1); ``map_user()`` creates the user-space alias mapping
+(also size-aligned, so translate-on-store composes with sanitisation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelPanic, LoadError
+from repro.kernel.addrspace import PAGE_SIZE
+from repro.kernel.vmalloc import GUARD_SIZE
+from repro.ebpf.maps import alloc_fd
+
+#: Reserved header at the start of every heap.
+#: [0:8)  terminate pointer cell (§3.3) — valid address, or 0 when the
+#:        watchdog has armed a cancellation.
+#: [8:16) the terminate target byte lives here.
+HEAP_HEADER_SIZE = 64
+
+#: Where user-space alias mappings are placed (size-aligned slots).
+USER_MAP_BASE = 0x0000_4000_0000_0000
+
+
+class ExtensionHeap:
+    """One extension's fully-owned memory region."""
+
+    def __init__(
+        self,
+        kernel,
+        size: int,
+        name: str = "heap",
+        cgroup=None,
+        *,
+        sfi=None,
+        striped_arena=None,
+    ):
+        from repro.core.sfi import KFLEX_SFI
+
+        if size & (size - 1) or size < 2 * PAGE_SIZE:
+            raise LoadError(
+                f"heap size must be a power of two >= {2 * PAGE_SIZE}, got {size}"
+            )
+        self.kernel = kernel
+        self.size = size
+        self.mask = size - 1
+        self.name = name
+        self.cgroup = cgroup
+        self.fd = alloc_fd()
+        self.closed = False
+        self.sfi = sfi or KFLEX_SFI
+        self.sfi.check_heap_size(size)
+        self.pkey = None
+
+        if striped_arena is not None:
+            # §6 heap-domain striping: dense packing, pkey isolation,
+            # no guard pages.
+            self._vm, self.pkey = striped_arena.alloc(size, name=name)
+        else:
+            self._vm = kernel.vmalloc.alloc(
+                size, align=size, guard=GUARD_SIZE, name=name
+            )
+        self.base = self._vm.base
+        if self.sfi.needs_alignment and self.base & self.mask:
+            raise KernelPanic("arena returned unaligned heap")
+        self.region = kernel.aspace.map_region(
+            self.base, size, f"heap:{name}", populated=False
+        )
+        self.region.pkey = self.pkey
+        self.user_base = 0
+        self._user_region = None
+
+        # Populate the header page and install the terminate pointer.
+        self.populate(self.base, HEAP_HEADER_SIZE)
+        self.terminate_cell = self.base
+        self.terminate_target = self.base + 8
+        kernel.aspace.write_int(self.terminate_cell, self.terminate_target, 8)
+        self.static_end = HEAP_HEADER_SIZE
+        #: Set by the allocator once dynamic objects exist; after that,
+        #: growing the static area would corrupt live allocations.
+        self.alloc_started = False
+
+    def reserve_static(self, nbytes: int) -> int:
+        """Reserve and populate a static/global area after the header.
+
+        Extension globals (list heads, bucket arrays, locks — the
+        ``.bss`` a compiler would emit) live here; the area is populated
+        at load time exactly like the paper's load-time-initialised
+        globals, while ``kflex_malloc`` objects stay demand-paged.
+        Returns the base offset of the reserved area.
+        """
+        if self.alloc_started:
+            raise LoadError(
+                "static area cannot grow after kflex_malloc handed out objects"
+            )
+        off = (self.static_end + 7) & ~7
+        if off + nbytes > self.size:
+            raise LoadError("static area exceeds heap size")
+        self.populate(self.base + off, nbytes)
+        self.static_end = off + nbytes
+        return off
+
+    # -- SFI address math -------------------------------------------------
+
+    def sanitize(self, addr: int) -> int:
+        """The guard computation of the heap's SFI scheme (§3.2)."""
+        return self.sfi.sanitize(self.base, self.size, addr)
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.base + self.size
+
+    # -- demand paging ------------------------------------------------------
+
+    def populate(self, addr: int, size: int) -> int:
+        """Populate pages for [addr, addr+size); charges the memcg.
+
+        Called by the KFlex allocator when handing out memory (§4.1),
+        never by extensions directly.
+        """
+        new_pages = self.kernel.aspace.populate(addr, size)
+        if new_pages and self.cgroup is not None:
+            self.cgroup.charge_pages(new_pages)
+        return new_pages
+
+    @property
+    def populated_bytes(self) -> int:
+        return self.region.backing.populated_pages * PAGE_SIZE
+
+    # -- user-space sharing (§3.4) -------------------------------------------
+
+    def map_user(self) -> int:
+        """Map the heap into the application's address range.
+
+        The user base is aligned to the heap size so that
+        ``user_base + (ptr & mask)`` and ``base + (ptr & mask)`` are
+        consistent views of the same offset.
+        """
+        if self.user_base:
+            return self.user_base
+        base = USER_MAP_BASE
+        while True:
+            base = (base + self.size - 1) & ~self.mask
+            if not self.kernel.aspace._overlaps(base, self.size):
+                break
+            base += self.size
+        self._user_region = self.kernel.aspace.map_region(
+            base, self.size, f"heap:{self.name}:user", backing=self.region.backing
+        )
+        self.user_base = base
+        return base
+
+    def kernel_to_user(self, addr: int) -> int:
+        if not self.user_base:
+            raise KernelPanic("heap not mapped into user space")
+        return self.user_base + (addr & self.mask)
+
+    def user_to_kernel(self, addr: int) -> int:
+        return self.base + (addr & self.mask)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the kernel side.  Matches §3.4: after a cancellation the
+        heap survives until the fd is closed / the app exits."""
+        if self.closed:
+            return
+        self.closed = True
+        self.kernel.aspace.unmap(self.base)
+        if self._user_region is not None:
+            self.kernel.aspace.unmap(self.user_base)
+        self.kernel.vmalloc.free(self._vm)
+        if self.cgroup is not None:
+            self.cgroup.uncharge_pages(self.region.backing.populated_pages)

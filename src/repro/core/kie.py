@@ -1,0 +1,182 @@
+"""Kie — the KFlex instrumentation engine (Fig. 1, step 2).
+
+Consumes verified bytecode plus the verifier's analysis and produces
+the instrumented program the JIT lowers:
+
+* **SFI guards** (§3.2): a ``GUARD`` pseudo-instruction before every
+  heap access the range analysis could not prove safe.  Guards on
+  *loads* are skipped in performance mode (§4.2).
+* **Cancellation points** (§3.3): a ``CANCELPT`` (the ``*terminate``
+  heap access) before the back edge of every loop whose termination the
+  verifier could not establish.
+* **Translate-on-store** (§3.4): a ``TRANSLATE`` before stores of heap
+  pointers when the heap is shared with user space.
+* **Object-table spills** (§4.3): for acquisition sites whose object
+  tables conflicted across paths, spill the resource to its designated
+  stack slot on acquisition, zero the slot at entry and after release.
+* **Relocations**: ``LD_IMM64`` map-fd and heap-offset pseudo
+  immediates are concretised to runtime addresses, as the kernel does
+  when loading eBPF programs.
+
+Object tables are re-keyed so the runtime can unwind from a fault in
+the *instrumented* program: every emitted instruction carries the index
+of the source instruction it belongs to, and the tables stay keyed by
+source index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import LoadError
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn
+from repro.ebpf.program import Program, PSEUDO_HEAP_OFF, PSEUDO_MAP_FD
+from repro.ebpf.rewrite import Rewriter
+from repro.ebpf.verifier.verifier import Analysis, ObjTableEntry
+
+
+@dataclass
+class KieStats:
+    guards_emitted: int = 0
+    guards_elided: int = 0
+    formation_guards: int = 0
+    cancel_points: int = 0
+    translates: int = 0
+    spills: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class InstrumentedProgram:
+    """Output of Kie, input to the JIT."""
+
+    program: Program
+    insns: list[Insn]
+    analysis: Analysis
+    #: source insn idx -> object table (for the cancellation unwinder).
+    object_tables: dict[int, tuple[ObjTableEntry, ...]]
+    stats: KieStats
+    uses_heap: bool
+
+
+def instrument(program: Program, analysis: Analysis, *, heap=None) -> InstrumentedProgram:
+    """Run the full Kie pipeline over a verified program.
+
+    Performance mode is decided during verification (it changes which
+    accesses carry ``guard=True`` in the analysis), so Kie itself is
+    mode-agnostic.
+    """
+    insns = _relocate(program, heap)
+    rw = Rewriter(insns)
+    stats = KieStats()
+
+    # Tag original instructions with their own index so runtime faults
+    # map back to source instructions (and thus object tables).
+    for i, insn in enumerate(insns):
+        rw.replace_insn(i, replace(insn, orig_idx=i))
+
+    # Spill-slot prologue zeroing (§4.3).
+    if analysis.spill_slots:
+        prologue = [
+            Insn(isa.BPF_ST | isa.BPF_MEM | isa.BPF_DW, 10, 0, off, 0)
+            for off in sorted(analysis.spill_slots.values())
+        ]
+        rw.insert_before(0, prologue)
+
+    for idx, insn in enumerate(insns):
+        # SFI guards and translate-on-store.
+        acc = analysis.accesses.get(idx)
+        pre: list[Insn] = []
+        if acc is not None and acc.guard:
+            pre.append(Insn(isa.KFLEX_GUARD, acc.base_reg, orig_idx=idx))
+            stats.guards_emitted += 1
+            if acc.category == "formation":
+                stats.formation_guards += 1
+        elif acc is not None and acc.category == "elided":
+            stats.guards_elided += 1
+        if idx in analysis.translate_stores:
+            pre.append(Insn(isa.KFLEX_TRANSLATE, insn.src, orig_idx=idx))
+            stats.translates += 1
+        # Back-edge cancellation points (C1, §3.3).
+        if idx in analysis.cp_back_edges:
+            pre.append(Insn(isa.KFLEX_CANCELPT, 0, 0, 0, idx, orig_idx=idx))
+            stats.cancel_points += 1
+        if pre:
+            rw.insert_before(idx, pre)
+
+        # Resource spills for conflicting object tables (§4.3).
+        slot = analysis.spill_slots.get(idx)
+        if slot is not None:
+            from repro.ebpf.helpers import DECLARATIONS
+
+            decl = DECLARATIONS[insn.imm]
+            stats.spills += 1
+            if decl.acquire_from == "ret":
+                rw.insert_after(
+                    idx,
+                    [Insn(isa.BPF_STX | isa.BPF_MEM | isa.BPF_DW, 10, 0, slot,
+                          orig_idx=idx)],
+                )
+            else:
+                rw.insert_before(
+                    idx,
+                    [Insn(isa.BPF_STX | isa.BPF_MEM | isa.BPF_DW, 10, 1, slot,
+                          orig_idx=idx)],
+                )
+        clears = analysis.release_clears.get(idx)
+        if clears:
+            if len(clears) == 1:
+                # Single acquisition site: this release always frees it.
+                rw.insert_after(
+                    idx,
+                    [Insn(isa.BPF_ST | isa.BPF_MEM | isa.BPF_DW, 10, 0,
+                          clears[0], 0, orig_idx=idx)],
+                )
+            else:
+                # Different paths release different spilled resources at
+                # this call: clear exactly the slot holding the value
+                # being released (in R1), before the call clobbers it.
+                # R0 is dead here (the call overwrites it), so it serves
+                # as scratch.
+                seq: list[Insn] = []
+                for off in clears:
+                    seq.append(Insn(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_DW,
+                                    0, 10, off, 0, orig_idx=idx))
+                    seq.append(Insn(isa.BPF_JMP | isa.BPF_JNE | isa.BPF_X,
+                                    0, 1, 1, 0, orig_idx=idx))
+                    seq.append(Insn(isa.BPF_ST | isa.BPF_MEM | isa.BPF_DW,
+                                    10, 0, off, 0, orig_idx=idx))
+                rw.insert_before(idx, seq)
+                stats.spills += 0  # accounted at acquisition sites
+
+    out = rw.resolve()
+    return InstrumentedProgram(
+        program=program,
+        insns=out,
+        analysis=analysis,
+        object_tables=dict(analysis.object_tables),
+        stats=stats,
+        uses_heap=heap is not None,
+    )
+
+
+def _relocate(program: Program, heap) -> list[Insn]:
+    """Concretise LD_IMM64 pseudo immediates (map fds, heap offsets)."""
+    out: list[Insn] = []
+    for i, insn in enumerate(program.insns):
+        if insn.is_ld_imm64 and insn.src == PSEUDO_MAP_FD:
+            m = program.maps.get(insn.imm64)
+            if m is None:
+                raise LoadError(f"insn {i}: unknown map fd {insn.imm64}")
+            out.append(replace(insn, src=0, imm64=m.region.base, orig_idx=i))
+        elif insn.is_ld_imm64 and insn.src == PSEUDO_HEAP_OFF:
+            if heap is None:
+                raise LoadError(f"insn {i}: heap relocation without a heap")
+            out.append(replace(insn, src=0, imm64=heap.base + (insn.imm64 or 0),
+                               orig_idx=i))
+        else:
+            out.append(insn)
+    return out

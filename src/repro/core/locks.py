@@ -1,0 +1,133 @@
+"""The KFlex spin lock (§3.1, §3.4).
+
+A lock is an 8-byte word in the extension heap, so both extensions and
+user-space code (through the mmap'd heap) operate on the same memory.
+Unlike eBPF — where the verifier admits at most one held lock — KFlex
+extensions may hold multiple lock instances simultaneously; safety
+comes not from verification but from cancellation: a deadlocked or
+starved extension stalls, the watchdog fires, and the object-table
+unwind releases every lock the extension *does* hold (§3.3).
+
+Functional simulation note: the runtime executes one extension at a
+time, so a contended acquire can never succeed by waiting — the helper
+models the runtime's spin loop by raising a stall, which the KFlex
+runtime turns into a cancellation (exactly the paper's fate for an
+extension spinning on a lock held by a preempted, non-cooperative user
+thread, §4.4).  Contention *timing* is modelled by the discrete-event
+simulator instead.  The paper's queue-based (MCS-style) ordering is
+represented by a FIFO waiter count in the lock word's upper half, kept
+so fairness-related statistics remain observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HelperFault, LockStall
+
+#: Lock word layout: low 32 bits = owner token (0 = free),
+#: high 32 bits = waiter count (statistics / queue length).
+OWNER_MASK = 0xFFFF_FFFF
+
+#: Owner-token namespaces.
+EXT_TOKEN_BASE = 0x100  # + cpu
+USER_TOKEN_BASE = 0x1_0000  # + tid
+
+
+@dataclass
+class LockStats:
+    acquisitions: int = 0
+    contended: int = 0
+    unlocks: int = 0
+    forced_releases: int = 0  # via cancellation unwind
+
+
+class LockManager:
+    """All spin-lock operations for one heap, from both sides."""
+
+    def __init__(self, heap, aspace):
+        self.heap = heap
+        self.aspace = aspace
+        self.stats = LockStats()
+
+    # -- common --------------------------------------------------------------
+
+    def _word(self, lock_addr: int) -> int:
+        addr = self.heap.sanitize(lock_addr)
+        # Helpers run as trusted kernel code: they fault heap pages in
+        # rather than trapping (extensions' own accesses, by contrast,
+        # cancel on unpopulated pages, §3.3 C2).
+        self.heap.populate(addr, 8)
+        return addr
+
+    def owner(self, lock_addr: int) -> int:
+        return self.aspace.read_int(self._word(lock_addr), 8) & OWNER_MASK
+
+    def init_lock(self, lock_addr: int) -> None:
+        self.aspace.write_int(self._word(lock_addr), 0, 8)
+
+    # -- extension side (helper implementations) --------------------------------
+
+    def ext_lock(self, lock_addr: int, cpu: int) -> None:
+        addr = self._word(lock_addr)
+        word = self.aspace.read_int(addr, 8)
+        owner = word & OWNER_MASK
+        token = EXT_TOKEN_BASE + cpu
+        if owner == 0:
+            self.aspace.write_int(addr, (word & ~OWNER_MASK) | token, 8)
+            self.stats.acquisitions += 1
+            return
+        # Held (possibly by this very invocation: self-deadlock; or by a
+        # preempted user thread).  The runtime's spin loop would never
+        # make progress in the functional simulation -> stall.
+        self.stats.contended += 1
+        self.aspace.write_int(addr, word + (1 << 32), 8)  # queue a waiter
+        raise LockStall(f"spin lock at {lock_addr:#x} held by token {owner:#x}")
+
+    def ext_unlock(self, lock_addr: int, cpu: int) -> None:
+        addr = self._word(lock_addr)
+        word = self.aspace.read_int(addr, 8)
+        owner = word & OWNER_MASK
+        if owner != EXT_TOKEN_BASE + cpu:
+            raise HelperFault(
+                f"kflex_spin_unlock of lock at {lock_addr:#x} not held by "
+                f"this CPU (owner {owner:#x})"
+            )
+        self.aspace.write_int(addr, word & ~OWNER_MASK, 8)
+        self.stats.unlocks += 1
+
+    def force_release(self, lock_addr: int, cpu: int) -> None:
+        """Destructor used by the cancellation unwinder: release the
+        lock regardless of waiter state (§3.3)."""
+        addr = self._word(lock_addr)
+        word = self.aspace.read_int(addr, 8)
+        if word & OWNER_MASK == EXT_TOKEN_BASE + cpu:
+            self.aspace.write_int(addr, word & ~OWNER_MASK, 8)
+            self.stats.forced_releases += 1
+
+    # -- user side (§3.4) ---------------------------------------------------------
+
+    def user_lock(self, lock_addr: int, thread) -> bool:
+        """Try-acquire from user space; on success the thread's rseq
+        critical-section counter is bumped so the scheduler knows to
+        grant a time-slice extension (§4.4).  Returns False if held."""
+        addr = self._word(lock_addr)
+        word = self.aspace.read_int(addr, 8)
+        if word & OWNER_MASK:
+            self.stats.contended += 1
+            return False
+        self.aspace.write_int(
+            addr, (word & ~OWNER_MASK) | (USER_TOKEN_BASE + thread.tid), 8
+        )
+        thread.rseq.enter_cs()
+        self.stats.acquisitions += 1
+        return True
+
+    def user_unlock(self, lock_addr: int, thread) -> None:
+        addr = self._word(lock_addr)
+        word = self.aspace.read_int(addr, 8)
+        if word & OWNER_MASK != USER_TOKEN_BASE + thread.tid:
+            raise ValueError("user unlock of a lock this thread does not hold")
+        self.aspace.write_int(addr, word & ~OWNER_MASK, 8)
+        thread.rseq.leave_cs()
+        self.stats.unlocks += 1

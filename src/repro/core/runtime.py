@@ -1,0 +1,439 @@
+"""The KFlex runtime: load, attach, invoke (Fig. 1).
+
+``KFlexRuntime.load`` runs the three-step pipeline: (1) the eBPF
+verifier checks kernel-interface compliance and produces the range /
+loop / resource analysis; (2) Kie instruments the bytecode (guards,
+cancellation points, translations, spills); (3) the JIT lowering
+assigns native costs.  The result is a :class:`LoadedExtension` that
+executes on the simulated machine with full cancellation support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoadError, KernelPanic
+from repro.ebpf import jit
+from repro.ebpf.helpers import (
+    HelperTable,
+    bind_standard_helpers,
+    DECLARATIONS,
+    BPF_COPY_FROM_USER,
+    KFLEX_MALLOC,
+    KFLEX_FREE,
+    KFLEX_SPIN_LOCK,
+    KFLEX_SPIN_UNLOCK,
+    BPF_SK_RELEASE,
+)
+from repro.ebpf.interpreter import ExecEnv, Interpreter
+from repro.ebpf.program import Program, HOOKS
+from repro.ebpf.verifier import Verifier, VerifierConfig
+from repro.core import kie
+from repro.core.allocator import KflexAllocator
+from repro.core.cancellation import CancellationEngine
+from repro.core.heap import ExtensionHeap
+from repro.core.locks import LockManager
+from repro.kernel.machine import Kernel
+
+#: Per-CPU hook context area (xdp_md / sk_skb / bench context).
+CTX_REGION_BASE = 0xFFFF_88A0_0000_0000
+CTX_SLOT_SIZE = 256
+
+
+@dataclass
+class ExtStats:
+    invocations: int = 0
+    cancellations: int = 0
+    cancellations_by_reason: dict = field(default_factory=dict)
+    total_cost_units: int = 0
+    last_cost_units: int = 0
+
+    def mean_cost(self) -> float:
+        return self.total_cost_units / self.invocations if self.invocations else 0.0
+
+
+class LoadedExtension:
+    """A verified, instrumented, JIT-lowered extension ready to run."""
+
+    def __init__(
+        self,
+        runtime: "KFlexRuntime",
+        program: Program,
+        iprog,
+        jprog,
+        heap: ExtensionHeap | None,
+        allocator: KflexAllocator | None,
+        locks: LockManager | None,
+        helpers: HelperTable,
+        *,
+        quantum_units: int | None,
+        unload_on_fault: bool = False,
+        cancel_scope: str = "global",
+    ):
+        self.runtime = runtime
+        self.kernel = runtime.kernel
+        self.program = program
+        self.iprog = iprog
+        self.jprog = jprog
+        self.heap = heap
+        self.allocator = allocator
+        self.locks = locks
+        self.helpers = helpers
+        self.quantum_units = quantum_units
+        self.unload_on_fault = unload_on_fault
+        #: "global": non-termination unloads the extension everywhere
+        #: (the paper's policy, §4.3 "Cancellation scope").  "cpu": the
+        #: future-work variant — only the faulting invocation dies.
+        if cancel_scope not in ("global", "cpu"):
+            raise LoadError(f"bad cancel_scope {cancel_scope!r}")
+        self.cancel_scope = cancel_scope
+        self.dead = False
+        self.stats = ExtStats()
+
+        self.cancellation = CancellationEngine(self.kernel.aspace)
+        self._bind_destructors()
+
+        allowed = ["stack:", "map:", "kernel:pkt"]
+        if heap is not None:
+            allowed.append(f"heap:{heap.name}")
+        self._allowed_prefixes = tuple(allowed)
+        self._envs: dict[int, ExecEnv] = {}
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _bind_destructors(self) -> None:
+        net = self.kernel.net
+
+        def release_sock(value: int, cpu: int) -> None:
+            sock = net.sock_by_addr(value)
+            if sock is None:
+                raise KernelPanic(
+                    f"cancellation unwind: object table pointed at non-socket "
+                    f"{value:#x}"
+                )
+            sock.put_ref()
+
+        self.cancellation.bind_destructor(BPF_SK_RELEASE, release_sock)
+        if self.locks is not None:
+            self.cancellation.bind_destructor(
+                KFLEX_SPIN_UNLOCK,
+                lambda value, cpu: self.locks.force_release(value, cpu),
+            )
+
+    def _env(self, cpu: int) -> ExecEnv:
+        env = self._envs.get(cpu)
+        if env is None:
+            env = ExecEnv(
+                aspace=self.kernel.aspace,
+                helpers=self.helpers,
+                cpu=cpu,
+                maps_by_addr={
+                    m.region.base: m for m in self.program.maps.values()
+                },
+                heap=self.heap,
+                allowed_store_regions=self._allowed_prefixes,
+            )
+            self._envs[cpu] = env
+        return env
+
+    # -- execution ----------------------------------------------------------
+
+    def invoke(self, ctx_addr: int = 0, cpu: int = 0) -> int:
+        """Run the extension once at the given hook context."""
+        if self.dead:
+            return self.program.default_ret
+        env = self._env(cpu)
+        if self.heap is not None and self.quantum_units is not None:
+            wd = self.kernel.watchdog
+            wd.quantum_units = self.quantum_units
+            env.watchdog = wd.make_callback(self.heap, self.kernel.aspace)
+        aspace = self.kernel.aspace
+        if self.heap is not None and self.heap.pkey is not None:
+            # Striped heap (§6): load this extension's protection key.
+            aspace.active_pkeys = {self.heap.pkey}
+        interp = Interpreter(
+            self.jprog.insns, env, costs=self.jprog.costs
+        )
+        result = interp.run(ctx_addr)
+        aspace.active_pkeys = None
+        cost = result.cost + self.jprog.prologue_cost
+        self.stats.invocations += 1
+        self.stats.total_cost_units += cost
+        self.stats.last_cost_units = cost
+        self.kernel.advance_units(cost)
+        if result.ok:
+            return result.ret
+        return self._cancel(result, cpu)
+
+    def _cancel(self, result, cpu: int) -> int:
+        """The cancellation path (§3.3): unwind and return the default."""
+        fault = result.fault
+        table = self.iprog.object_tables.get(fault.orig_idx, ())
+        armed = (
+            self.heap is not None
+            and self.kernel.aspace.read_int(self.heap.terminate_cell, 8) == 0
+        )
+        if fault.kind == "stall":
+            reason = "hard_stall"
+        elif fault.kind in ("lock_stall", "sleep_stall"):
+            reason = fault.kind
+        elif armed:
+            reason = "watchdog"
+        elif fault.kind == "page":
+            reason = "page_fault"
+        else:
+            reason = fault.kind
+        ret, record = self.cancellation.unwind(
+            result,
+            table,
+            cpu=cpu,
+            reason=reason,
+            default_ret=self.program.default_ret,
+            cancel_callback=self.program.cancel_callback,
+        )
+        self.stats.cancellations += 1
+        self.stats.cancellations_by_reason[reason] = (
+            self.stats.cancellations_by_reason.get(reason, 0) + 1
+        )
+        # Policy (§4.3): non-termination cancels the extension globally —
+        # unload it; the heap survives for the user-space application.
+        # With the future-work "cpu" scope, only this invocation dies.
+        stalled = reason in ("watchdog", "hard_stall", "lock_stall", "sleep_stall")
+        if (stalled and self.cancel_scope == "global") or self.unload_on_fault:
+            self.unload()
+        if self.heap is not None:
+            self.kernel.watchdog.disarm(self.heap, self.kernel.aspace)
+        return ret
+
+    def unload(self) -> None:
+        self.dead = True
+        self.kernel.hooks.detach(self)
+
+    # -- context staging ---------------------------------------------------
+
+    def xdp_ctx(self, payload: bytes, cpu: int = 0) -> int:
+        """Stage a packet and build an xdp_md context; returns ctx addr."""
+        data, data_end = self.kernel.net.stage_packet(cpu, payload)
+        return self.runtime.make_ctx(cpu, [data, data_end])
+
+    def sk_skb_ctx(self, payload: bytes, cpu: int = 0, sk_cookie: int = 0) -> int:
+        data, data_end = self.kernel.net.stage_packet(cpu, payload)
+        return self.runtime.make_ctx(cpu, [data, data_end, sk_cookie])
+
+
+def _copy_from_user(kernel, heap, dst: int, size: int, user_src: int) -> int:
+    """bpf_copy_from_user for sleepable extensions (§4.3).
+
+    Trusted kernel code: sanitises the destination, faults heap pages
+    in, and copies from the user mapping.  A user page that can never
+    arrive (unmapped source) blocks forever in the real kernel; the
+    background checker the KFlex runtime keeps for sleepable extensions
+    turns that into a cancellation, modelled here by raising SleepStall.
+    """
+    from repro.errors import PageFault, SleepStall
+
+    size = max(0, min(int(size), heap.size))
+    dst = heap.sanitize(dst)
+    size = min(size, heap.base + heap.size - dst)
+    if size == 0:
+        return 0
+    try:
+        data = kernel.aspace.read_bytes(user_src, size)
+    except PageFault as e:
+        raise SleepStall(f"copy_from_user blocked: {e}") from None
+    heap.populate(dst, size)
+    kernel.aspace.write_bytes(dst, data)
+    return 0
+
+
+class KFlexRuntime:
+    """One runtime per kernel; owns heaps and the load pipeline."""
+
+    def __init__(self, kernel: Kernel | None = None):
+        self.kernel = kernel or Kernel()
+        self.heaps: dict[int, ExtensionHeap] = {}  # fd -> heap
+        self.allocators: dict[int, KflexAllocator] = {}
+        self.lock_managers: dict[int, LockManager] = {}
+        self._ctx_slots: dict[int, int] = {}
+        self.extensions: list[LoadedExtension] = []
+
+    # -- heaps ---------------------------------------------------------------
+
+    def create_heap(
+        self,
+        size: int,
+        name: str = "heap",
+        cgroup: str | None = None,
+        *,
+        sfi=None,
+        striped_arena=None,
+    ) -> ExtensionHeap:
+        cg = self.kernel.cgroups.group(cgroup) if cgroup else None
+        heap = ExtensionHeap(
+            self.kernel, size, name, cg, sfi=sfi, striped_arena=striped_arena
+        )
+        self.heaps[heap.fd] = heap
+        self.allocators[heap.fd] = KflexAllocator(heap, self.kernel.n_cpus)
+        self.lock_managers[heap.fd] = LockManager(heap, self.kernel.aspace)
+        return heap
+
+    def allocator_for(self, heap: ExtensionHeap) -> KflexAllocator:
+        return self.allocators[heap.fd]
+
+    def locks_for(self, heap: ExtensionHeap) -> LockManager:
+        return self.lock_managers[heap.fd]
+
+    # -- the load pipeline (Fig. 1) -------------------------------------------
+
+    def load(
+        self,
+        program: Program,
+        *,
+        mode: str = "kflex",
+        perf_mode: bool = False,
+        heap: ExtensionHeap | None = None,
+        share_heap: bool = False,
+        quantum_units: int | None = None,
+        attach: bool = True,
+        cgroup: str | None = None,
+        elision: bool = True,
+        cancel_scope: str = "global",
+    ) -> LoadedExtension:
+        """Verify, instrument, lower and (optionally) attach a program."""
+        if program.heap_size is not None and heap is None:
+            heap = self.create_heap(
+                program.heap_size, name=program.name, cgroup=cgroup
+            )
+        if heap is not None and mode == "ebpf":
+            raise LoadError("eBPF mode cannot use extension heaps")
+        if share_heap:
+            if heap is None:
+                raise LoadError("share_heap requires an extension heap")
+            heap.map_user()
+
+        config = VerifierConfig(
+            mode=mode,
+            perf_mode=perf_mode,
+            translate_on_store=share_heap,
+            elision=elision,
+        )
+        analysis = Verifier(
+            program, config, heap_size=heap.size if heap else None
+        ).verify()
+        iprog = kie.instrument(program, analysis, heap=heap)
+        jprog = jit.lower(iprog.insns, uses_heap=heap is not None, from_kie=True)
+
+        helpers = HelperTable()
+        bind_standard_helpers(helpers, self.kernel)
+        allocator = locks = None
+        if heap is not None:
+            allocator = self.allocators[heap.fd]
+            locks = self.lock_managers[heap.fd]
+            helpers.bind(
+                KFLEX_MALLOC, lambda env, size, a=allocator: a.malloc(size, env.cpu)
+            )
+            helpers.bind(
+                KFLEX_FREE,
+                lambda env, ptr, a=allocator: (a.free(ptr, env.cpu), 0)[1],
+            )
+            helpers.bind(
+                KFLEX_SPIN_LOCK,
+                lambda env, addr, l=locks: (l.ext_lock(addr, env.cpu), 0)[1],
+            )
+            helpers.bind(
+                KFLEX_SPIN_UNLOCK,
+                lambda env, addr, l=locks: (l.ext_unlock(addr, env.cpu), 0)[1],
+            )
+            helpers.bind(
+                BPF_COPY_FROM_USER,
+                lambda env, dst, size, src, h=heap: _copy_from_user(
+                    self.kernel, h, dst, size, src
+                ),
+            )
+
+        ext = LoadedExtension(
+            self,
+            program,
+            iprog,
+            jprog,
+            heap,
+            allocator,
+            locks,
+            helpers,
+            quantum_units=quantum_units,
+            cancel_scope=cancel_scope,
+        )
+        self.extensions.append(ext)
+        if attach:
+            self.kernel.hooks.attach(ext)
+        return ext
+
+    def load_kmod(
+        self,
+        program: Program,
+        *,
+        heap: ExtensionHeap | None = None,
+        attach: bool = False,
+    ) -> LoadedExtension:
+        """Load the same bytecode as an *unsafe kernel module* (§5.2's
+        KMod baseline): no verification, no instrumentation, no
+        watchdog.  Represents the maximum achievable performance; the
+        difference to a KFlex load of the same program is exactly the
+        safety overhead Fig. 5 measures.
+        """
+        if program.heap_size is not None and heap is None:
+            heap = self.create_heap(program.heap_size, name=program.name)
+        insns = kie._relocate(program, heap)
+        jprog = jit.lower(insns, uses_heap=False, from_kie=True)
+        helpers = HelperTable()
+        bind_standard_helpers(helpers, self.kernel)
+        allocator = locks = None
+        if heap is not None:
+            allocator = self.allocators[heap.fd]
+            locks = self.lock_managers[heap.fd]
+            helpers.bind(
+                KFLEX_MALLOC, lambda env, size, a=allocator: a.malloc(size, env.cpu)
+            )
+            helpers.bind(
+                KFLEX_FREE,
+                lambda env, ptr, a=allocator: (a.free(ptr, env.cpu), 0)[1],
+            )
+            helpers.bind(
+                KFLEX_SPIN_LOCK,
+                lambda env, addr, l=locks: (l.ext_lock(addr, env.cpu), 0)[1],
+            )
+            helpers.bind(
+                KFLEX_SPIN_UNLOCK,
+                lambda env, addr, l=locks: (l.ext_unlock(addr, env.cpu), 0)[1],
+            )
+        iprog = kie.InstrumentedProgram(
+            program=program,
+            insns=insns,
+            analysis=None,
+            object_tables={},
+            stats=kie.KieStats(),
+            uses_heap=heap is not None,
+        )
+        ext = LoadedExtension(
+            self, program, iprog, jprog, heap, allocator, locks, helpers,
+            quantum_units=None,
+        )
+        # Unsafe module: no SFI containment check either.
+        ext._allowed_prefixes = None
+        self.extensions.append(ext)
+        if attach:
+            self.kernel.hooks.attach(ext)
+        return ext
+
+    # -- hook context staging ---------------------------------------------------
+
+    def make_ctx(self, cpu: int, fields: list[int]) -> int:
+        """Write a flat 8-byte-per-field context into the CPU's ctx slot."""
+        base = self._ctx_slots.get(cpu)
+        if base is None:
+            base = CTX_REGION_BASE + cpu * CTX_SLOT_SIZE
+            self.kernel.aspace.map_region(base, CTX_SLOT_SIZE, f"kernel:ctx{cpu}")
+            self._ctx_slots[cpu] = base
+        for i, value in enumerate(fields):
+            self.kernel.aspace.write_int(base + 8 * i, value, 8)
+        return base

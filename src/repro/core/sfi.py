@@ -1,0 +1,164 @@
+"""SFI schemes: address-sanitisation strategies for extension heaps.
+
+The paper's SFI (§3.2, §4.2) masks the pointer to a heap offset and
+adds the size-aligned base — one ``AND`` against a reserved register,
+with the base folded into indexed addressing.  §4.5 contrasts it with
+the eBPF *arena* merged upstream in parallel, whose 32-bit-offset
+scheme caps heaps at 4 GB; KFlex plans to upstream its own scheme to
+lift that limit.  Both are implemented here so the ablation benchmarks
+can compare them.
+
+§6's "Scaling heap regions" sketch — Intel MPK protection keys marking
+adjacent heap domains so guard pages (and their fragmentation) can be
+dropped — is modelled by :class:`StripedHeapArena`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelPanic, LoadError, OutOfMemory
+from repro.kernel.vmalloc import GUARD_SIZE, VMALLOC_BASE, VMALLOC_SIZE, VmallocRegion
+
+
+@dataclass(frozen=True)
+class SfiScheme:
+    """One address-sanitisation strategy."""
+
+    name: str
+    #: Largest heap the scheme can express (None = unlimited).
+    max_heap_size: int | None
+    #: Native instructions per guard after JIT lowering.
+    guard_cost: int
+    #: Whether the heap base must be aligned to the heap size.
+    needs_alignment: bool
+
+    def sanitize(self, base: int, size: int, addr: int) -> int:
+        raise NotImplementedError
+
+    def check_heap_size(self, size: int) -> None:
+        if self.max_heap_size is not None and size > self.max_heap_size:
+            raise LoadError(
+                f"{self.name}: heap of {size} bytes exceeds the scheme's "
+                f"{self.max_heap_size}-byte limit"
+            )
+
+
+class KflexSfi(SfiScheme):
+    """The paper's scheme: ``base + (addr & (size - 1))`` (§3.2).
+
+    Works for any power-of-two size because the heap is allocated
+    size-aligned; lowers to a single AND against reserved R9 with the
+    base (R12) folded into the addressing mode (§4.2).
+    """
+
+    def __init__(self):
+        super().__init__("kflex-mask", None, 1, True)
+
+    def sanitize(self, base: int, size: int, addr: int) -> int:
+        return base + (addr & (size - 1))
+
+
+class Arena32Sfi(SfiScheme):
+    """Upstream eBPF arena [19]: pointer arithmetic in 32 bits.
+
+    The arena keeps user and kernel mappings 4 GB-aligned and truncates
+    offsets to 32 bits, which bounds heaps at 4 GB (§4.5 — the
+    limitation KFlex's scheme removes).  Guard cost is also one
+    instruction (a 32-bit move zero-extends for free on x86-64).
+    """
+
+    MAX = 1 << 32
+
+    def __init__(self):
+        super().__init__("arena32", self.MAX, 1, True)
+
+    def sanitize(self, base: int, size: int, addr: int) -> int:
+        off = addr & 0xFFFF_FFFF
+        # The arena is at most 4 GB and 4 GB-aligned: the 32-bit offset
+        # can still escape a smaller arena, so the arena relies on its
+        # surrounding guard region sized to the full 4 GB window.
+        return base + (off & (size - 1))
+
+
+KFLEX_SFI = KflexSfi()
+ARENA32_SFI = Arena32Sfi()
+
+SCHEMES = {s.name: s for s in (KFLEX_SFI, ARENA32_SFI)}
+
+
+# ---------------------------------------------------------------------------
+# MPK heap-domain striping (§6)
+# ---------------------------------------------------------------------------
+
+#: x86 MPK exposes 16 protection keys; key 0 is the kernel default.
+N_PKEYS = 16
+
+
+class StripedHeapArena:
+    """Dense heap packing with MPK protection keys instead of guards.
+
+    Same-size heaps are packed back-to-back (no guard pages, no
+    alignment skip beyond the first), with adjacent heaps carrying
+    distinct protection keys: a sanitised pointer plus a 16-bit
+    instruction offset that lands in a neighbour trips the pkey check
+    instead of a guard page.  Eliminates the §4.1 fragmentation at the
+    cost of burning protection keys.
+    """
+
+    def __init__(self, base: int = VMALLOC_BASE + (VMALLOC_SIZE >> 1)):
+        self.base = base
+        #: size -> next free address within that size's stripe
+        self._stripes: dict[int, int] = {}
+        self._stripe_order: list[int] = []
+        self._next_pkey = 1  # pkey 0 is the kernel's
+        self.bytes_requested = 0
+        self.bytes_consumed = 0
+
+    def alloc(self, size: int, *, name: str = "heap") -> tuple[VmallocRegion, int]:
+        """Returns (region, pkey).  Regions are size-aligned and packed
+        contiguously within their size class."""
+        if size & (size - 1):
+            raise KernelPanic("striped arena wants power-of-two sizes")
+        if size not in self._stripes:
+            # Start a new stripe, aligned to the heap size.
+            stripe_base = self.base + len(self._stripe_order) * (1 << 42)
+            stripe_base = (stripe_base + size - 1) & ~(size - 1)
+            self._stripes[size] = stripe_base
+            self._stripe_order.append(size)
+        addr = self._stripes[size]
+        self._stripes[size] = addr + size  # dense: the next heap abuts
+        pkey = self._next_pkey
+        self._next_pkey += 1
+        if self._next_pkey >= N_PKEYS:
+            # Keys wrap: only *adjacent* heaps must differ, so reuse is
+            # safe once the neighbourhood moved on.
+            self._next_pkey = 1
+        self.bytes_requested += size
+        self.bytes_consumed += size
+        region = VmallocRegion(addr, size, addr, size, name)
+        return region, pkey
+
+    @property
+    def fragmentation_overhead(self) -> float:
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_consumed / self.bytes_requested - 1.0
+
+
+def guard_arena_overhead(n_heaps: int, heap_size: int) -> float:
+    """Address-space overhead of the guard-page arena for ``n_heaps``
+    size-aligned heaps (the §4.1 fragmentation the striping removes)."""
+    from repro.kernel.vmalloc import VmallocArena
+
+    arena = VmallocArena()
+    for i in range(n_heaps):
+        arena.alloc(heap_size, align=heap_size, name=f"h{i}")
+    return arena.fragmentation_overhead
+
+
+def striped_arena_overhead(n_heaps: int, heap_size: int) -> float:
+    arena = StripedHeapArena()
+    for i in range(n_heaps):
+        arena.alloc(heap_size, name=f"h{i}")
+    return arena.fragmentation_overhead

@@ -1,0 +1,88 @@
+"""User-space views of extension heaps (§3.4, §4.4).
+
+``SharedHeapView`` is what an application gets back from mmap'ing a
+heap fd: typed loads/stores through the *user* mapping, pointer
+translation both ways, and lock operations integrated with the rseq
+time-slice-extension protocol.
+
+With translate-on-store enabled (the default for shared heaps in this
+repo, as in the paper's evaluation), every pointer the extension stores
+into the heap is already a user-space address, so the application walks
+extension-built data structures with zero translation effort — and the
+extension's SFI guard maps user-space pointers back into the kernel
+view on its next dereference, because both mappings are size-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelPanic
+from repro.core.heap import ExtensionHeap
+from repro.core.locks import LockManager
+
+
+@dataclass
+class SharedHeapView:
+    """An application's handle on a shared extension heap."""
+
+    heap: ExtensionHeap
+    locks: LockManager
+    thread: object  # kernel.sched.UserThread
+
+    def __post_init__(self):
+        if not self.heap.user_base:
+            self.heap.map_user()
+
+    # -- address translation ------------------------------------------------
+
+    def to_user(self, ptr: int) -> int:
+        """Translate any heap pointer (kernel or user view) to user VA."""
+        return self.heap.kernel_to_user(ptr)
+
+    def to_kernel(self, ptr: int) -> int:
+        return self.heap.user_to_kernel(ptr)
+
+    # -- typed access through the user mapping ---------------------------------
+
+    def _user_addr(self, ptr: int) -> int:
+        # Accept pointers in either view; normalise to the user mapping.
+        addr = self.heap.user_base + (ptr & self.heap.mask)
+        return addr
+
+    def read(self, ptr: int, size: int) -> int:
+        return self.heap.kernel.aspace.read_int(self._user_addr(ptr), size)
+
+    def write(self, ptr: int, value: int, size: int) -> None:
+        self.heap.kernel.aspace.write_int(self._user_addr(ptr), value, size)
+
+    def read_bytes(self, ptr: int, size: int) -> bytes:
+        return self.heap.kernel.aspace.read_bytes(self._user_addr(ptr), size)
+
+    def write_bytes(self, ptr: int, data: bytes) -> None:
+        self.heap.kernel.aspace.write_bytes(self._user_addr(ptr), data)
+
+    # -- synchronisation (§3.4) ---------------------------------------------
+
+    def spin_lock(self, lock_ptr: int, *, spin_limit: int = 1) -> bool:
+        """Acquire a heap spin lock from user space.
+
+        Acquisition bumps the thread's rseq counter so the scheduler
+        grants a time-slice extension if the quantum expires inside the
+        critical section (§4.4).
+        """
+        for _ in range(max(1, spin_limit)):
+            if self.locks.user_lock(lock_ptr, self.thread):
+                return True
+        return False
+
+    def spin_unlock(self, lock_ptr: int) -> None:
+        self.locks.user_unlock(lock_ptr, self.thread)
+
+    # -- lifetime --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the fd: only now may the heap itself be destroyed (§3.4)."""
+        if self.thread.rseq.in_cs:
+            raise KernelPanic("closing heap view while holding a spin lock")
+        self.heap.close()

@@ -1,0 +1,14 @@
+"""eBPF substrate: instruction set, assembler, maps, interpreter, verifier, JIT.
+
+This package implements the parts of the eBPF framework that KFlex
+builds upon (paper §2.2, §3): the bytecode ISA, an in-"kernel" verifier
+with tnum/range analysis and reference tracking, kernel-provided maps,
+helper functions with acquire/release semantics, and a lowering pass
+standing in for the x86-64 JIT.
+"""
+
+from repro.ebpf.isa import Insn, Reg, disasm
+from repro.ebpf.asm import Assembler
+from repro.ebpf.program import Program
+
+__all__ = ["Insn", "Reg", "disasm", "Assembler", "Program"]

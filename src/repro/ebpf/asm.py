@@ -1,0 +1,224 @@
+"""Label-based eBPF assembler.
+
+Produces ``Insn`` lists with kernel-faithful slot-based jump offsets
+(``off`` counts 8-byte slots from the *next* instruction, and
+``ld_imm64`` occupies two slots).
+
+The assembler is deliberately low-level; extensions in this repository
+are written against :mod:`repro.ebpf.macroasm`, which layers structured
+control flow on top of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn, Reg
+
+
+@dataclass
+class _Fixup:
+    insn_pos: int  # index into self._insns
+    label: str
+
+
+class Assembler:
+    """Builds an instruction list; jumps may reference labels."""
+
+    def __init__(self):
+        self._insns: list[Insn] = []
+        self._labels: dict[str, int] = {}  # label -> insn index
+        self._fixups: list[_Fixup] = []
+        self._label_counter = 0
+
+    # -- labels -------------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insns)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        self._label_counter += 1
+        return f".{hint}{self._label_counter}"
+
+    def _emit(self, insn: Insn) -> int:
+        self._insns.append(insn)
+        return len(self._insns) - 1
+
+    def raw(self, insn: Insn) -> int:
+        """Append a pre-built instruction."""
+        return self._emit(insn)
+
+    # -- ALU ----------------------------------------------------------
+
+    def _alu(self, op: int, dst: int, src, *, width64: bool = True) -> int:
+        cls = isa.BPF_ALU64 if width64 else isa.BPF_ALU
+        if isinstance(src, Reg) or (isinstance(src, int) and isinstance(src, Reg)):
+            return self._emit(Insn(cls | op | isa.BPF_X, int(dst), int(src)))
+        return self._emit(Insn(cls | op | isa.BPF_K, int(dst), 0, 0, int(src)))
+
+    def mov(self, dst: Reg, src) -> int:
+        """mov64 dst, src (register or 32-bit signed immediate)."""
+        return self._alu(isa.BPF_MOV, dst, src)
+
+    def mov32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_MOV, dst, src, width64=False)
+
+    def add(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_ADD, dst, src)
+
+    def sub(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_SUB, dst, src)
+
+    def mul(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_MUL, dst, src)
+
+    def div(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_DIV, dst, src)
+
+    def mod(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_MOD, dst, src)
+
+    def and_(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_AND, dst, src)
+
+    def or_(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_OR, dst, src)
+
+    def xor(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_XOR, dst, src)
+
+    def lsh(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_LSH, dst, src)
+
+    def rsh(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_RSH, dst, src)
+
+    def arsh(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_ARSH, dst, src)
+
+    def neg(self, dst: Reg) -> int:
+        return self._emit(Insn(isa.BPF_ALU64 | isa.BPF_NEG, int(dst)))
+
+    def add32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_ADD, dst, src, width64=False)
+
+    def sub32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_SUB, dst, src, width64=False)
+
+    def mul32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_MUL, dst, src, width64=False)
+
+    def and32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_AND, dst, src, width64=False)
+
+    def rsh32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_RSH, dst, src, width64=False)
+
+    def lsh32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_LSH, dst, src, width64=False)
+
+    def xor32(self, dst: Reg, src) -> int:
+        return self._alu(isa.BPF_XOR, dst, src, width64=False)
+
+    # -- constants ----------------------------------------------------
+
+    def ld_imm64(self, dst: Reg, value: int, *, pseudo: int = 0) -> int:
+        """Load a full 64-bit immediate (two slots).
+
+        ``pseudo`` models the kernel's ``src_reg`` convention for
+        relocated immediates (e.g. ``BPF_PSEUDO_MAP_FD``).
+        """
+        op = isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW
+        return self._emit(
+            Insn(op, int(dst), pseudo, 0, value & isa.U32, imm64=value & isa.U64)
+        )
+
+    # -- memory -------------------------------------------------------
+
+    _SIZES = {1: isa.BPF_B, 2: isa.BPF_H, 4: isa.BPF_W, 8: isa.BPF_DW}
+
+    def ldx(self, dst: Reg, src: Reg, off: int = 0, size: int = 8) -> int:
+        op = isa.BPF_LDX | isa.BPF_MEM | self._SIZES[size]
+        return self._emit(Insn(op, int(dst), int(src), off))
+
+    def stx(self, dst: Reg, src: Reg, off: int = 0, size: int = 8) -> int:
+        op = isa.BPF_STX | isa.BPF_MEM | self._SIZES[size]
+        return self._emit(Insn(op, int(dst), int(src), off))
+
+    def st_imm(self, dst: Reg, off: int, imm: int, size: int = 8) -> int:
+        op = isa.BPF_ST | isa.BPF_MEM | self._SIZES[size]
+        return self._emit(Insn(op, int(dst), 0, off, imm))
+
+    def atomic(self, dst: Reg, src: Reg, off: int, aop: int, size: int = 8) -> int:
+        """Atomic RMW: ``aop`` is one of the ``isa.ATOMIC_*`` encodings
+        (optionally ORed with ``isa.BPF_FETCH``)."""
+        op = isa.BPF_STX | isa.BPF_ATOMIC | self._SIZES[size]
+        return self._emit(Insn(op, int(dst), int(src), off, aop))
+
+    # -- control flow -------------------------------------------------
+
+    _JOPS = {
+        "==": isa.BPF_JEQ,
+        "!=": isa.BPF_JNE,
+        ">": isa.BPF_JGT,
+        ">=": isa.BPF_JGE,
+        "<": isa.BPF_JLT,
+        "<=": isa.BPF_JLE,
+        "s>": isa.BPF_JSGT,
+        "s>=": isa.BPF_JSGE,
+        "s<": isa.BPF_JSLT,
+        "s<=": isa.BPF_JSLE,
+        "&": isa.BPF_JSET,
+    }
+
+    def jmp(self, label: str) -> int:
+        pos = self._emit(Insn(isa.BPF_JMP | isa.BPF_JA))
+        self._fixups.append(_Fixup(pos, label))
+        return pos
+
+    def jcc(self, op: str, dst: Reg, src, label: str, *, width32: bool = False) -> int:
+        """Conditional jump; ``op`` is a comparison string ('==', 's<', '&', …)."""
+        jop = self._JOPS.get(op)
+        if jop is None:
+            raise AssemblerError(f"unknown jump condition {op!r}")
+        cls = isa.BPF_JMP32 if width32 else isa.BPF_JMP
+        if isinstance(src, Reg):
+            insn = Insn(cls | jop | isa.BPF_X, int(dst), int(src))
+        else:
+            insn = Insn(cls | jop | isa.BPF_K, int(dst), 0, 0, int(src))
+        pos = self._emit(insn)
+        self._fixups.append(_Fixup(pos, label))
+        return pos
+
+    def call(self, helper_id: int) -> int:
+        return self._emit(Insn(isa.BPF_JMP | isa.BPF_CALL, 0, 0, 0, helper_id))
+
+    def exit(self) -> int:
+        return self._emit(Insn(isa.BPF_JMP | isa.BPF_EXIT))
+
+    # -- finalisation ---------------------------------------------------
+
+    def assemble(self) -> list[Insn]:
+        """Resolve labels to slot-based offsets and return the program."""
+        slot_of = isa.slot_offsets(self._insns)
+        total = isa.total_slots(self._insns)
+        insns = list(self._insns)
+        for fix in self._fixups:
+            if fix.label not in self._labels:
+                raise AssemblerError(f"undefined label {fix.label!r}")
+            target_idx = self._labels[fix.label]
+            target_slot = slot_of[target_idx] if target_idx < len(insns) else total
+            insn = insns[fix.insn_pos]
+            # Offset is relative to the slot after this instruction.
+            off = target_slot - (slot_of[fix.insn_pos] + insn.slots)
+            if not -(1 << 15) <= off < (1 << 15):
+                raise AssemblerError(f"jump offset {off} out of 16-bit range")
+            insns[fix.insn_pos] = insn.with_off(off)
+        return insns

@@ -1,0 +1,278 @@
+"""Kernel helper functions — the extension/kernel interface.
+
+eBPF extensions interact with kernel-owned resources only through
+hook-specific context objects and helper functions with well-defined
+semantics (paper §2.2).  This is what makes kernel-interface compliance
+statically verifiable: each helper declares argument/return types and
+acquire/release semantics, and the verifier checks calls against these
+declarations and tracks acquired references (§3.3).
+
+Helper *declarations* (id, signature, resource semantics, cost) live
+here.  Implementations receive an execution environment (``env``) giving
+access to the simulated kernel; KFlex-runtime helpers (``kflex_malloc``
+et al., Table 2) are declared here but bound to their implementations by
+:class:`repro.core.runtime.KFlexRuntime` at load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.errors import HelperFault
+
+
+class Arg(Enum):
+    """Verifier-visible argument types."""
+
+    SCALAR = auto()  # any scalar
+    CTX = auto()  # the hook context pointer
+    CONST_MAP = auto()  # pointer loaded from a map fd
+    MAP_KEY = auto()  # readable memory of the map's key_size
+    MAP_VALUE = auto()  # readable memory of the map's value_size
+    MEM = auto()  # readable memory, size given by the next SIZE arg
+    SIZE = auto()  # constant bounding the preceding MEM arg
+    SOCK = auto()  # an acquired socket reference
+    HEAP_PTR = auto()  # pointer into the extension heap
+    HEAP_OR_SCALAR = auto()  # heap pointer or untrusted scalar (kflex_free)
+
+
+class Ret(Enum):
+    """Verifier-visible return types."""
+
+    SCALAR = auto()
+    VOID = auto()
+    MAP_VALUE_OR_NULL = auto()
+    SOCK_OR_NULL = auto()
+    HEAP_OR_NULL = auto()
+
+
+@dataclass(frozen=True)
+class Helper:
+    """Declaration of one helper function."""
+
+    hid: int
+    name: str
+    args: tuple[Arg, ...]
+    ret: Ret
+    #: Resource kind acquired by a successful call ("sock", "lock"), or None.
+    acquires: str | None = None
+    #: Where the acquired resource's identifying value comes from:
+    #: "ret" (e.g. the socket pointer) or "arg1" (e.g. the lock address).
+    acquire_from: str = "ret"
+    #: Resource kind released by this call, or None.
+    releases: str | None = None
+    #: Helper id of the destructor the cancellation unwinder must call
+    #: to release this helper's acquired resource (§3.3).
+    destructor: int | None = None
+    #: Cost in native-instruction units for the performance model.
+    cost: int = 20
+    #: True if the helper may spin (lock acquisition) — execution time
+    #: is then workload-dependent rather than fixed.
+    may_spin: bool = False
+    #: True if the helper may sleep (fault in user pages); only
+    #: *sleepable* programs may call it, and stalls are detected by the
+    #: runtime's background checker instead of the lockup watchdogs
+    #: (§4.3 "Monitoring execution duration").
+    may_sleep: bool = False
+
+    @property
+    def n_args(self) -> int:
+        return len(self.args)
+
+
+# ---------------------------------------------------------------------------
+# Helper IDs (eBPF-compatible where they exist upstream)
+# ---------------------------------------------------------------------------
+
+BPF_MAP_LOOKUP_ELEM = 1
+BPF_MAP_UPDATE_ELEM = 2
+BPF_MAP_DELETE_ELEM = 3
+BPF_KTIME_GET_NS = 5
+BPF_GET_SMP_PROCESSOR_ID = 8
+BPF_SK_LOOKUP_UDP = 85
+BPF_SK_RELEASE = 86
+
+BPF_COPY_FROM_USER = 148  # sleepable (upstream id)
+
+# KFlex runtime helpers (Table 2).
+KFLEX_MALLOC = 200
+KFLEX_FREE = 201
+KFLEX_SPIN_LOCK = 202
+KFLEX_SPIN_UNLOCK = 203
+
+DECLARATIONS: dict[int, Helper] = {
+    h.hid: h
+    for h in [
+        Helper(
+            BPF_MAP_LOOKUP_ELEM,
+            "bpf_map_lookup_elem",
+            (Arg.CONST_MAP, Arg.MAP_KEY),
+            Ret.MAP_VALUE_OR_NULL,
+            cost=80,
+        ),
+        Helper(
+            BPF_MAP_UPDATE_ELEM,
+            "bpf_map_update_elem",
+            (Arg.CONST_MAP, Arg.MAP_KEY, Arg.MAP_VALUE, Arg.SCALAR),
+            Ret.SCALAR,
+            cost=110,
+        ),
+        Helper(
+            BPF_MAP_DELETE_ELEM,
+            "bpf_map_delete_elem",
+            (Arg.CONST_MAP, Arg.MAP_KEY),
+            Ret.SCALAR,
+            cost=90,
+        ),
+        Helper(BPF_KTIME_GET_NS, "bpf_ktime_get_ns", (), Ret.SCALAR, cost=25),
+        Helper(
+            BPF_GET_SMP_PROCESSOR_ID,
+            "bpf_get_smp_processor_id",
+            (),
+            Ret.SCALAR,
+            cost=5,
+        ),
+        Helper(
+            BPF_SK_LOOKUP_UDP,
+            "bpf_sk_lookup_udp",
+            (Arg.CTX, Arg.MEM, Arg.SIZE, Arg.SCALAR, Arg.SCALAR),
+            Ret.SOCK_OR_NULL,
+            acquires="sock",
+            destructor=BPF_SK_RELEASE,
+            cost=150,
+        ),
+        Helper(
+            BPF_SK_RELEASE,
+            "bpf_sk_release",
+            (Arg.SOCK,),
+            Ret.SCALAR,
+            releases="sock",
+            cost=30,
+        ),
+        Helper(
+            BPF_COPY_FROM_USER,
+            "bpf_copy_from_user",
+            (Arg.HEAP_PTR, Arg.SCALAR, Arg.SCALAR),
+            Ret.SCALAR,
+            cost=400,
+            may_sleep=True,
+        ),
+        Helper(KFLEX_MALLOC, "kflex_malloc", (Arg.SCALAR,), Ret.HEAP_OR_NULL, cost=45),
+        Helper(KFLEX_FREE, "kflex_free", (Arg.HEAP_OR_SCALAR,), Ret.VOID, cost=35),
+        Helper(
+            KFLEX_SPIN_LOCK,
+            "kflex_spin_lock",
+            (Arg.HEAP_PTR,),
+            Ret.VOID,
+            acquires="lock",
+            acquire_from="arg1",
+            destructor=KFLEX_SPIN_UNLOCK,
+            cost=20,
+            may_spin=True,
+        ),
+        Helper(
+            KFLEX_SPIN_UNLOCK,
+            "kflex_spin_unlock",
+            (Arg.HEAP_PTR,),
+            Ret.VOID,
+            releases="lock",
+            cost=15,
+        ),
+    ]
+}
+
+#: Helpers vanilla eBPF does not provide — loading a program that calls
+#: one of these in eBPF-compat mode is rejected (BMC cannot allocate!).
+KFLEX_ONLY = {KFLEX_MALLOC, KFLEX_FREE, KFLEX_SPIN_LOCK, KFLEX_SPIN_UNLOCK}
+
+
+class HelperTable:
+    """Bound helpers for one loaded extension: declaration + impl.
+
+    Implementations are callables ``impl(env, *args) -> int`` where
+    ``env`` is the interpreter's :class:`~repro.ebpf.interpreter.ExecEnv`.
+    """
+
+    def __init__(self):
+        self._impls: dict[int, object] = {}
+
+    def bind(self, hid: int, impl) -> None:
+        if hid not in DECLARATIONS:
+            raise HelperFault(f"binding unknown helper id {hid}")
+        self._impls[hid] = impl
+
+    def declaration(self, hid: int) -> Helper:
+        helper = DECLARATIONS.get(hid)
+        if helper is None:
+            raise HelperFault(f"call to unknown helper id {hid}")
+        return helper
+
+    def invoke(self, hid: int, env, args: tuple[int, ...]) -> int:
+        impl = self._impls.get(hid)
+        if impl is None:
+            raise HelperFault(f"helper {self.declaration(hid).name} not bound")
+        return impl(env, *args)
+
+    def is_bound(self, hid: int) -> bool:
+        return hid in self._impls
+
+
+# ---------------------------------------------------------------------------
+# Standard implementations over the simulated kernel
+# ---------------------------------------------------------------------------
+
+
+def bind_standard_helpers(table: HelperTable, kernel) -> None:
+    """Bind the map/time/socket helpers to a simulated kernel instance."""
+
+    def map_by_addr(env, addr: int):
+        m = env.maps_by_addr.get(addr)
+        if m is None:
+            raise HelperFault(f"bad map pointer {addr:#x}")
+        return m
+
+    def map_lookup(env, map_addr, key_ptr):
+        m = map_by_addr(env, map_addr)
+        key = env.aspace.read_bytes(key_ptr, m.key_size)
+        return m.lookup(key)
+
+    def map_update(env, map_addr, key_ptr, val_ptr, flags):
+        m = map_by_addr(env, map_addr)
+        key = env.aspace.read_bytes(key_ptr, m.key_size)
+        val = env.aspace.read_bytes(val_ptr, m.value_size)
+        return m.update(key, val, flags) & (1 << 64) - 1
+
+    def map_delete(env, map_addr, key_ptr):
+        m = map_by_addr(env, map_addr)
+        key = env.aspace.read_bytes(key_ptr, m.key_size)
+        return m.delete(key) & (1 << 64) - 1
+
+    def ktime(env):
+        return kernel.now_ns()
+
+    def smp_id(env):
+        return env.cpu
+
+    def sk_lookup_udp(env, ctx, tuple_ptr, size, netns, flags):
+        tup = env.aspace.read_bytes(tuple_ptr, min(size, 12))
+        sock = kernel.net.sk_lookup_udp(tup)
+        if sock is None:
+            return 0
+        sock.get_ref()
+        return sock.addr
+
+    def sk_release(env, sock_addr):
+        sock = kernel.net.sock_by_addr(sock_addr)
+        if sock is None:
+            raise HelperFault(f"sk_release of bad socket {sock_addr:#x}")
+        sock.put_ref()
+        return 0
+
+    table.bind(BPF_MAP_LOOKUP_ELEM, map_lookup)
+    table.bind(BPF_MAP_UPDATE_ELEM, map_update)
+    table.bind(BPF_MAP_DELETE_ELEM, map_delete)
+    table.bind(BPF_KTIME_GET_NS, ktime)
+    table.bind(BPF_GET_SMP_PROCESSOR_ID, smp_id)
+    table.bind(BPF_SK_LOOKUP_UDP, sk_lookup_udp)
+    table.bind(BPF_SK_RELEASE, sk_release)

@@ -1,0 +1,445 @@
+"""The eBPF virtual machine.
+
+Executes instruction lists (raw bytecode or Kie-instrumented programs)
+against the simulated kernel address space, which plays the role of the
+MMU: wild accesses raise :class:`~repro.errors.PageFault` exactly where
+real hardware would, and the KFlex runtime catches those faults to drive
+extension cancellation (§3.3).
+
+The interpreter also implements the performance model's innermost loop:
+every instruction is charged its *native* cost (the number of x86-64
+instructions the JIT would emit for it, supplied by
+:mod:`repro.ebpf.jit` as a per-instruction cost array), and helper calls
+are charged their declared cost.  The accumulated count is returned in
+:class:`ExecResult` and converted to nanoseconds by the simulator.
+
+KFlex pseudo-instructions:
+
+* ``GUARD dst`` — SFI sanitisation: ``dst = heap_base + (dst & mask)``.
+* ``CANCELPT`` — loads the terminate pointer from the heap's reserved
+  cell and dereferences it (§3.3).  When the runtime has zeroed the
+  cell, the dereference of address 0 faults, triggering cancellation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ExtensionFault,
+    HelperFault,
+    KernelPanic,
+    LockStall,
+    PageFault,
+    SleepStall,
+    StackFault,
+)
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn, U32, U64, sign_extend, to_s64
+from repro.ebpf.helpers import HelperTable
+
+#: eBPF stack frame size, as in the kernel.
+STACK_SIZE = 512
+
+#: Hard step limit: models the hardlockup watchdog's last line of
+#: defence.  Far above any legitimate extension execution.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+@dataclass
+class ExecEnv:
+    """Everything an executing extension can reach.
+
+    One ``ExecEnv`` per logical CPU; reused across invocations (the
+    stack region is mapped once and recycled).
+    """
+
+    aspace: object  # AddressSpace
+    helpers: HelperTable
+    cpu: int = 0
+    maps_by_addr: dict = field(default_factory=dict)
+    #: The extension heap (None for plain eBPF programs).
+    heap: object | None = None
+    #: Called every ``watchdog_period`` executed instructions with the
+    #: cost accumulated so far; lets the KFlex watchdog zero the
+    #: terminate cell mid-execution (§4.3).
+    watchdog: object | None = None
+    watchdog_period: int = 4096
+    max_steps: int = DEFAULT_MAX_STEPS
+    #: Region-name *prefixes* the verifier sanctioned for this program
+    #: (e.g. "stack:", "heap:kv", "map:"). A store landing in a mapped
+    #: region outside these models kernel-memory corruption and raises
+    #: KernelPanic — used to demonstrate what SFI prevents.  None
+    #: disables the check.
+    allowed_store_regions: tuple | None = None
+    #: SMAP (§4.2): extensions run with Supervisor Mode Access
+    #: Prevention enabled, so a performance-mode unguarded read of a
+    #: *user-space* address traps — which cancels the extension instead
+    #: of letting a malicious application steer its control flow.
+    smap: bool = True
+    stack_base: int = 0  # mapped lazily
+
+    def ensure_stack(self) -> int:
+        if not self.stack_base:
+            # Per-CPU kernel stacks live in the kernel half of the
+            # address space (SMAP forbids supervisor access below 2^47).
+            base = 0xFFFF_A000_0000_0000 + self.cpu * 0x10000
+            # Stacks are per-CPU kernel resources shared by every
+            # extension on this machine; map once, reuse thereafter.
+            if self.aspace.find_region(base) is None:
+                self.aspace.map_region(base, STACK_SIZE, f"stack:cpu{self.cpu}")
+            self.stack_base = base
+        return self.stack_base
+
+
+@dataclass
+class Fault:
+    """Description of a runtime fault, consumed by the cancellation path."""
+
+    kind: str  # "page", "stall", "helper"
+    insn_idx: int  # index in the executed program
+    orig_idx: int | None  # index in the pre-instrumentation program
+    addr: int = 0
+    message: str = ""
+
+
+@dataclass
+class ExecResult:
+    ret: int
+    cost: int  # native-instruction units
+    steps: int  # bytecode instructions executed
+    fault: Fault | None = None
+    regs: list[int] | None = None  # register file at exit/fault
+    stack_base: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.fault is None
+
+
+class Interpreter:
+    """Executes one program.  Stateless across runs except for the env."""
+
+    def __init__(
+        self,
+        insns: list[Insn],
+        env: ExecEnv,
+        *,
+        costs: list[int] | None = None,
+        helper_costs: dict[int, int] | None = None,
+    ):
+        self.insns = insns
+        self.env = env
+        self.costs = costs if costs is not None else [1] * len(insns)
+        self.helper_costs = helper_costs or {}
+        # Slot-index -> instruction-index map for jump resolution.
+        slot_of = isa.slot_offsets(insns)
+        self._slot_to_idx = {s: i for i, s in enumerate(slot_of)}
+        self._slot_of = slot_of
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self, ctx_addr: int = 0, max_steps: int | None = None) -> ExecResult:
+        env = self.env
+        aspace = env.aspace
+        regs = [0] * 11
+        stack = env.ensure_stack()
+        regs[isa.FP] = stack + STACK_SIZE
+        regs[1] = ctx_addr & U64
+
+        heap = env.heap
+        heap_base = heap.base if heap is not None else 0
+        heap_mask = heap.mask if heap is not None else 0
+
+        pc = 0
+        steps = 0
+        cost = 0
+        limit = max_steps if max_steps is not None else env.max_steps
+        insns = self.insns
+        n = len(insns)
+        watchdog = env.watchdog
+        wd_period = env.watchdog_period
+        next_wd = wd_period
+
+        def fault(kind: str, addr: int = 0, message: str = "") -> ExecResult:
+            insn = insns[pc] if pc < n else None
+            orig = insn.orig_idx if insn is not None else None
+            if orig is None and insn is not None:
+                orig = pc
+            return ExecResult(
+                0,
+                cost,
+                steps,
+                Fault(kind, pc, orig, addr, message),
+                regs=list(regs),
+                stack_base=stack,
+            )
+
+        while True:
+            if pc >= n:
+                raise KernelPanic(f"pc {pc} fell off program end")
+            if steps >= limit:
+                return fault("stall", message="hard step limit (hardlockup)")
+            if watchdog is not None and steps >= next_wd:
+                watchdog(cost)
+                next_wd = steps + wd_period
+
+            insn = insns[pc]
+            op = insn.opcode
+            steps += 1
+            cost += self.costs[pc]
+            cls = op & isa.CLASS_MASK
+
+            try:
+                # ---- ALU ----------------------------------------------
+                if cls == isa.BPF_ALU64 or cls == isa.BPF_ALU:
+                    self._alu(regs, insn, cls == isa.BPF_ALU64)
+                    pc += 1
+                # ---- loads --------------------------------------------
+                elif cls == isa.BPF_LDX:
+                    size = isa.size_bytes(op)
+                    addr = (regs[insn.src] + insn.off) & U64
+                    self._check_load(addr, size)
+                    regs[insn.dst] = aspace.read_int(addr, size)
+                    pc += 1
+                elif cls == isa.BPF_LD:
+                    if insn.is_ld_imm64:
+                        regs[insn.dst] = (insn.imm64 or 0) & U64
+                        pc += 1
+                    else:
+                        raise ExtensionFault(f"unsupported LD mode {op:#x}")
+                # ---- stores -------------------------------------------
+                elif cls == isa.BPF_ST:
+                    size = isa.size_bytes(op)
+                    addr = (regs[insn.dst] + insn.off) & U64
+                    self._check_store(addr, size)
+                    aspace.write_int(addr, insn.imm & U64, size)
+                    pc += 1
+                elif cls == isa.BPF_STX:
+                    size = isa.size_bytes(op)
+                    addr = (regs[insn.dst] + insn.off) & U64
+                    self._check_store(addr, size)
+                    if insn.is_atomic:
+                        self._atomic(regs, insn, addr, size)
+                    else:
+                        aspace.write_int(addr, regs[insn.src], size)
+                    pc += 1
+                # ---- jumps / calls ------------------------------------
+                elif cls == isa.BPF_JMP or cls == isa.BPF_JMP32:
+                    if op == isa.KFLEX_GUARD:
+                        if heap is None:
+                            raise KernelPanic("GUARD without an extension heap")
+                        regs[insn.dst] = (heap_base + (regs[insn.dst] & heap_mask)) & U64
+                        pc += 1
+                    elif op == isa.KFLEX_TRANSLATE:
+                        if heap is None or not heap.user_base:
+                            raise KernelPanic("TRANSLATE without a shared heap")
+                        regs[insn.dst] = (
+                            heap.user_base + (regs[insn.dst] & heap_mask)
+                        ) & U64
+                        pc += 1
+                    elif op == isa.KFLEX_CANCELPT:
+                        if heap is None:
+                            raise KernelPanic("CANCELPT without an extension heap")
+                        term_ptr = aspace.read_int(heap.terminate_cell, 8)
+                        # Dereference the terminate pointer: faults (and
+                        # thus cancels) when the watchdog zeroed it.
+                        aspace.read_int(term_ptr, 1)
+                        pc += 1
+                    elif insn.is_call:
+                        cost += self._call(regs, insn)
+                        pc += 1
+                    elif insn.is_exit:
+                        return ExecResult(
+                            regs[0], cost, steps, regs=list(regs), stack_base=stack
+                        )
+                    else:
+                        taken = self._branch(regs, insn, cls == isa.BPF_JMP32)
+                        if taken:
+                            target_slot = self._slot_of[pc] + insn.slots + insn.off
+                            npc = self._slot_to_idx.get(target_slot)
+                            if npc is None:
+                                raise KernelPanic(
+                                    f"jump to mid-instruction slot {target_slot}"
+                                )
+                            pc = npc
+                        else:
+                            pc += 1
+                else:
+                    raise ExtensionFault(f"unknown opcode {op:#x}")
+            except PageFault as pf:
+                return fault("page", pf.addr, str(pf))
+            except LockStall as ls:
+                return fault("lock_stall", message=str(ls))
+            except SleepStall as ss:
+                return fault("sleep_stall", message=str(ss))
+            except HelperFault as hf:
+                return fault("helper", message=str(hf))
+            except StackFault as sf:
+                return fault("page", message=str(sf))
+
+    # -- pieces -----------------------------------------------------------
+
+    def _alu(self, regs: list[int], insn: Insn, is64: bool) -> None:
+        op = insn.opcode & isa.OP_MASK
+        use_reg = bool(insn.opcode & isa.BPF_X)
+        dst = insn.dst
+        if op == isa.BPF_END:
+            # to-le is a no-op on little-endian; to-be swaps.  The
+            # assembler encodes width in imm (16/32/64).
+            width = insn.imm
+            val = regs[dst] & ((1 << width) - 1)
+            if use_reg:  # BPF_X encodes "to_be" in the kernel
+                val = int.from_bytes(
+                    val.to_bytes(width // 8, "little"), "big"
+                )
+            regs[dst] = val
+            return
+        if op == isa.BPF_NEG:
+            val = -regs[dst]
+        else:
+            if use_reg:
+                src = regs[insn.src]
+            else:
+                # Immediates are sign-extended to 64-bit for ALU64.
+                src = sign_extend(insn.imm, 32) & U64 if is64 else insn.imm & U32
+            a = regs[dst] if is64 else regs[dst] & U32
+            b = src if is64 else src & U32
+            if op == isa.BPF_ADD:
+                val = a + b
+            elif op == isa.BPF_SUB:
+                val = a - b
+            elif op == isa.BPF_MUL:
+                val = a * b
+            elif op == isa.BPF_DIV:
+                val = 0 if (b & U64) == 0 else (a & U64) // (b & U64 if is64 else b & U32)
+            elif op == isa.BPF_MOD:
+                val = a if (b & U64) == 0 else (a & U64) % (b & U64 if is64 else b & U32)
+            elif op == isa.BPF_OR:
+                val = a | b
+            elif op == isa.BPF_AND:
+                val = a & b
+            elif op == isa.BPF_XOR:
+                val = a ^ b
+            elif op == isa.BPF_LSH:
+                val = a << (b & (63 if is64 else 31))
+            elif op == isa.BPF_RSH:
+                mask = U64 if is64 else U32
+                val = (a & mask) >> (b & (63 if is64 else 31))
+            elif op == isa.BPF_ARSH:
+                width = 64 if is64 else 32
+                sval = sign_extend(a, width)
+                val = sval >> (b & (width - 1))
+            elif op == isa.BPF_MOV:
+                val = b
+            else:
+                raise ExtensionFault(f"unknown ALU op {op:#x}")
+        regs[dst] = val & U64 if is64 else val & U32
+
+    def _branch(self, regs: list[int], insn: Insn, is32: bool) -> bool:
+        op = insn.opcode & isa.OP_MASK
+        if op == isa.BPF_JA:
+            return True
+        a = regs[insn.dst]
+        b = regs[insn.src] if insn.opcode & isa.BPF_X else insn.imm & U64
+        if not (insn.opcode & isa.BPF_X):
+            b = sign_extend(insn.imm, 32) & U64
+        if is32:
+            a &= U32
+            b &= U32
+            sa, sb = sign_extend(a, 32), sign_extend(b, 32)
+        else:
+            sa, sb = to_s64(a), to_s64(b)
+        if op == isa.BPF_JEQ:
+            return a == b
+        if op == isa.BPF_JNE:
+            return a != b
+        if op == isa.BPF_JGT:
+            return a > b
+        if op == isa.BPF_JGE:
+            return a >= b
+        if op == isa.BPF_JLT:
+            return a < b
+        if op == isa.BPF_JLE:
+            return a <= b
+        if op == isa.BPF_JSGT:
+            return sa > sb
+        if op == isa.BPF_JSGE:
+            return sa >= sb
+        if op == isa.BPF_JSLT:
+            return sa < sb
+        if op == isa.BPF_JSLE:
+            return sa <= sb
+        if op == isa.BPF_JSET:
+            return (a & b) != 0
+        raise ExtensionFault(f"unknown jump op {op:#x}")
+
+    def _atomic(self, regs: list[int], insn: Insn, addr: int, size: int) -> None:
+        aspace = self.env.aspace
+        aop = insn.imm
+        fetch = bool(aop & isa.BPF_FETCH)
+        base_op = aop & ~isa.BPF_FETCH
+        old = aspace.read_int(addr, size)
+        src = regs[insn.src]
+        mask = (1 << (size * 8)) - 1
+        if aop == isa.ATOMIC_XCHG:
+            aspace.write_int(addr, src, size)
+            regs[insn.src] = old
+            return
+        if aop == isa.ATOMIC_CMPXCHG:
+            if old == (regs[0] & mask):
+                aspace.write_int(addr, src, size)
+            regs[0] = old
+            return
+        if base_op == isa.ATOMIC_ADD:
+            new = old + src
+        elif base_op == isa.ATOMIC_OR:
+            new = old | src
+        elif base_op == isa.ATOMIC_AND:
+            new = old & src
+        elif base_op == isa.ATOMIC_XOR:
+            new = old ^ src
+        else:
+            raise ExtensionFault(f"unknown atomic op {aop:#x}")
+        aspace.write_int(addr, new & mask, size)
+        if fetch:
+            regs[insn.src] = old
+
+    def _call(self, regs: list[int], insn: Insn) -> int:
+        env = self.env
+        hid = insn.imm
+        decl = env.helpers.declaration(hid)
+        args = tuple(regs[1 : 1 + decl.n_args])
+        ret = env.helpers.invoke(hid, env, args)
+        regs[0] = (ret or 0) & U64
+        # R1-R5 are caller-saved: clobber them, as the JIT would.
+        for r in range(1, 6):
+            regs[r] = 0
+        return self.helper_costs.get(hid, decl.cost)
+
+    # -- memory policy ----------------------------------------------------
+
+    #: Canonical split of the x86-64 address space: addresses below
+    #: 2**47 belong to user space.
+    USER_SPACE_TOP = 1 << 47
+
+    def _check_load(self, addr: int, size: int) -> None:
+        # Loads from unmapped memory fault via the address space itself.
+        # With SMAP, supervisor-mode code (the extension) cannot touch
+        # user mappings at all: performance-mode reads through
+        # application-controlled pointers trap here (§4.2).  NULL-page
+        # addresses are exempt so that ordinary unmapped-page faults
+        # keep their own (identical) cancellation semantics.
+        if self.env.smap and 4096 <= addr < self.USER_SPACE_TOP:
+            raise PageFault(addr, f"SMAP: supervisor access to user address {addr:#x}")
+
+    def _check_store(self, addr: int, size: int) -> None:
+        allowed = self.env.allowed_store_regions
+        if allowed is None:
+            return
+        region = self.env.aspace.find_region(addr)
+        if region is not None and not region.name.startswith(allowed):
+            raise KernelPanic(
+                f"extension store to kernel-owned region {region.name!r} "
+                f"at {addr:#x} — memory corruption"
+            )

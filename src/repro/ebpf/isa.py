@@ -1,0 +1,418 @@
+"""The eBPF instruction set (v1, per the kernel's standardization doc).
+
+KFlex "retains the instruction set of eBPF's bytecode" (paper §3), so
+this module is a faithful model of that ISA: 11 registers, 8-byte
+instructions encoded as ``opcode | dst:4 | src:4 | offset:16 | imm:32``,
+with ``LD_IMM64`` occupying two instruction slots.
+
+Two KFlex-specific pseudo-instructions are added by the instrumentation
+engine (Kie, §3.2–3.3) and exist only between instrumentation and JIT
+lowering — they are never accepted from user input:
+
+* ``GUARD`` — SFI sanitisation of a heap pointer held in ``dst``:
+  ``dst = heap_base + (dst & heap_mask)``. Lowered to a single ``AND``
+  against the reserved mask register (R9 on x86-64), with the base added
+  via indexed addressing (R12).
+* ``CANCELPT`` — a cancellation point: performs the ``*terminate`` heap
+  access described in §3.3. Faults when the runtime has zeroed the
+  terminate cell, triggering extension cancellation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+
+from repro.errors import EncodingError
+
+# ---------------------------------------------------------------------------
+# Registers
+# ---------------------------------------------------------------------------
+
+
+class Reg(IntEnum):
+    """eBPF registers.
+
+    R0: return value / scratch.  R1–R5: helper arguments (clobbered by
+    calls).  R6–R9: callee-saved.  R10: read-only frame pointer.
+    """
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+
+
+FP = Reg.R10
+MAX_REG = 10
+
+# ---------------------------------------------------------------------------
+# Opcode fields
+# ---------------------------------------------------------------------------
+
+# Instruction classes (low 3 bits of opcode).
+BPF_LD = 0x00
+BPF_LDX = 0x01
+BPF_ST = 0x02
+BPF_STX = 0x03
+BPF_ALU = 0x04
+BPF_JMP = 0x05
+BPF_JMP32 = 0x06
+BPF_ALU64 = 0x07
+
+CLASS_MASK = 0x07
+
+# Source modifier for ALU/JMP (bit 3).
+BPF_K = 0x00  # use 32-bit immediate
+BPF_X = 0x08  # use source register
+
+# ALU/ALU64 operations (high 4 bits).
+BPF_ADD = 0x00
+BPF_SUB = 0x10
+BPF_MUL = 0x20
+BPF_DIV = 0x30
+BPF_OR = 0x40
+BPF_AND = 0x50
+BPF_LSH = 0x60
+BPF_RSH = 0x70
+BPF_NEG = 0x80
+BPF_MOD = 0x90
+BPF_XOR = 0xA0
+BPF_MOV = 0xB0
+BPF_ARSH = 0xC0
+BPF_END = 0xD0
+
+# JMP operations (high 4 bits).
+BPF_JA = 0x00
+BPF_JEQ = 0x10
+BPF_JGT = 0x20
+BPF_JGE = 0x30
+BPF_JSET = 0x40
+BPF_JNE = 0x50
+BPF_JSGT = 0x60
+BPF_JSGE = 0x70
+BPF_CALL = 0x80
+BPF_EXIT = 0x90
+BPF_JLT = 0xA0
+BPF_JLE = 0xB0
+BPF_JSLT = 0xC0
+BPF_JSLE = 0xD0
+
+OP_MASK = 0xF0
+
+# Load/store size (bits 3–4).
+BPF_W = 0x00  # 4 bytes
+BPF_H = 0x08  # 2 bytes
+BPF_B = 0x10  # 1 byte
+BPF_DW = 0x18  # 8 bytes
+
+SIZE_MASK = 0x18
+
+# Load/store mode (bits 5–7).
+BPF_IMM = 0x00  # ld_imm64
+BPF_MEM = 0x60
+BPF_ATOMIC = 0xC0
+
+MODE_MASK = 0xE0
+
+# Atomic operation encodings (carried in the imm field of STX|ATOMIC).
+BPF_FETCH = 0x01
+ATOMIC_ADD = BPF_ADD
+ATOMIC_OR = BPF_OR
+ATOMIC_AND = BPF_AND
+ATOMIC_XOR = BPF_XOR
+ATOMIC_XCHG = 0xE0 | BPF_FETCH
+ATOMIC_CMPXCHG = 0xF0 | BPF_FETCH
+
+# KFlex pseudo-opcodes (reserved op values within the JMP/JMP32 classes
+# that no legal eBPF encoding uses).  They exist only between Kie
+# instrumentation and JIT lowering.
+KFLEX_GUARD = BPF_JMP | 0xE0  # 0xe5: SFI guard on register `dst`
+KFLEX_CANCELPT = BPF_JMP | 0xF0  # 0xf5: cancellation point
+KFLEX_TRANSLATE = BPF_JMP32 | 0xE0  # 0xe6: translate-on-store (§3.4)
+
+SIZE_BYTES = {BPF_B: 1, BPF_H: 2, BPF_W: 4, BPF_DW: 8}
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+
+def size_bytes(opcode: int) -> int:
+    """Access width in bytes of a load/store opcode."""
+    return SIZE_BYTES[opcode & SIZE_MASK]
+
+
+# ---------------------------------------------------------------------------
+# Instruction representation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insn:
+    """One eBPF instruction slot.
+
+    ``LD_IMM64`` is represented as a single ``Insn`` carrying the full
+    64-bit immediate in ``imm64``; it still counts as *two* slots for
+    encoding and jump-offset purposes (``slots`` property), exactly as
+    in the kernel.
+    """
+
+    opcode: int
+    dst: int = 0
+    src: int = 0
+    off: int = 0
+    imm: int = 0
+    imm64: int | None = None  # only for LD_IMM64
+    # Set by Kie: index of the source-program instruction this one was
+    # derived from (None for instrumentation that has no source insn).
+    orig_idx: int | None = field(default=None, compare=False)
+
+    @property
+    def cls(self) -> int:
+        return self.opcode & CLASS_MASK
+
+    @property
+    def is_ld_imm64(self) -> bool:
+        return self.opcode == (BPF_LD | BPF_IMM | BPF_DW)
+
+    @property
+    def slots(self) -> int:
+        """Number of 8-byte encoding slots this instruction occupies."""
+        return 2 if self.is_ld_imm64 else 1
+
+    @property
+    def is_jump(self) -> bool:
+        if self.cls not in (BPF_JMP, BPF_JMP32):
+            return False
+        op = self.opcode & OP_MASK
+        return op not in (BPF_CALL, BPF_EXIT) and self.opcode not in (
+            KFLEX_GUARD,
+            KFLEX_CANCELPT,
+            KFLEX_TRANSLATE,
+        )
+
+    @property
+    def is_cond_jump(self) -> bool:
+        return self.is_jump and (self.opcode & OP_MASK) != BPF_JA
+
+    @property
+    def is_call(self) -> bool:
+        return self.cls == BPF_JMP and (self.opcode & OP_MASK) == BPF_CALL
+
+    @property
+    def is_exit(self) -> bool:
+        return self.cls == BPF_JMP and (self.opcode & OP_MASK) == BPF_EXIT
+
+    @property
+    def is_mem_access(self) -> bool:
+        return self.cls in (BPF_LDX, BPF_ST, BPF_STX) and (
+            self.opcode & MODE_MASK
+        ) in (BPF_MEM, BPF_ATOMIC)
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.cls == BPF_STX and (self.opcode & MODE_MASK) == BPF_ATOMIC
+
+    def with_off(self, off: int) -> "Insn":
+        return replace(self, off=off)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return disasm_insn(self)
+
+
+# ---------------------------------------------------------------------------
+# Encoding / decoding
+# ---------------------------------------------------------------------------
+
+_SLOT = struct.Struct("<BBhi")  # opcode, regs, off, imm
+
+
+def _pack_regs(dst: int, src: int) -> int:
+    # Little-endian register byte layout: src in high nibble.
+    return (src << 4) | dst
+
+
+def encode(insns: list[Insn]) -> bytes:
+    """Encode a list of instructions into the 8-byte kernel wire format."""
+    out = bytearray()
+    for insn in insns:
+        if insn.is_ld_imm64:
+            imm64 = insn.imm64 if insn.imm64 is not None else insn.imm
+            imm64 &= U64
+            lo = imm64 & U32
+            hi = (imm64 >> 32) & U32
+            out += _SLOT.pack(
+                insn.opcode, _pack_regs(insn.dst, insn.src), insn.off, _to_s32(lo)
+            )
+            out += _SLOT.pack(0, 0, 0, _to_s32(hi))
+        else:
+            out += _SLOT.pack(
+                insn.opcode, _pack_regs(insn.dst, insn.src), insn.off, _to_s32(insn.imm)
+            )
+    return bytes(out)
+
+
+def decode(blob: bytes) -> list[Insn]:
+    """Decode kernel wire format back into ``Insn`` objects."""
+    if len(blob) % 8 != 0:
+        raise EncodingError(f"bytecode length {len(blob)} not a multiple of 8")
+    insns: list[Insn] = []
+    slots = [blob[i : i + 8] for i in range(0, len(blob), 8)]
+    i = 0
+    while i < len(slots):
+        opcode, regs, off, imm = _SLOT.unpack(slots[i])
+        dst, src = regs & 0x0F, regs >> 4
+        if opcode == (BPF_LD | BPF_IMM | BPF_DW):
+            if i + 1 >= len(slots):
+                raise EncodingError("truncated ld_imm64")
+            _, _, _, imm_hi = _SLOT.unpack(slots[i + 1])
+            imm64 = (imm & U32) | ((imm_hi & U32) << 32)
+            insns.append(Insn(opcode, dst, src, off, imm, imm64=imm64))
+            i += 2
+        else:
+            insns.append(Insn(opcode, dst, src, off, imm))
+            i += 1
+    return insns
+
+
+def _to_s32(v: int) -> int:
+    v &= U32
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+def to_s64(v: int) -> int:
+    """Interpret a 64-bit pattern as signed."""
+    v &= U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def to_u64(v: int) -> int:
+    """Truncate a Python int to an unsigned 64-bit pattern."""
+    return v & U64
+
+
+def sign_extend(v: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``v``."""
+    v &= (1 << bits) - 1
+    return v - (1 << bits) if v >= (1 << (bits - 1)) else v
+
+
+# ---------------------------------------------------------------------------
+# Slot-index mapping
+# ---------------------------------------------------------------------------
+
+
+def slot_offsets(insns: list[Insn]) -> list[int]:
+    """Slot index of each instruction (ld_imm64 occupies two slots)."""
+    out = []
+    pos = 0
+    for insn in insns:
+        out.append(pos)
+        pos += insn.slots
+    return out
+
+
+def total_slots(insns: list[Insn]) -> int:
+    return sum(i.slots for i in insns)
+
+
+# ---------------------------------------------------------------------------
+# Disassembler
+# ---------------------------------------------------------------------------
+
+_ALU_NAMES = {
+    BPF_ADD: "add",
+    BPF_SUB: "sub",
+    BPF_MUL: "mul",
+    BPF_DIV: "div",
+    BPF_OR: "or",
+    BPF_AND: "and",
+    BPF_LSH: "lsh",
+    BPF_RSH: "rsh",
+    BPF_NEG: "neg",
+    BPF_MOD: "mod",
+    BPF_XOR: "xor",
+    BPF_MOV: "mov",
+    BPF_ARSH: "arsh",
+    BPF_END: "end",
+}
+
+_JMP_NAMES = {
+    BPF_JA: "ja",
+    BPF_JEQ: "jeq",
+    BPF_JGT: "jgt",
+    BPF_JGE: "jge",
+    BPF_JSET: "jset",
+    BPF_JNE: "jne",
+    BPF_JSGT: "jsgt",
+    BPF_JSGE: "jsge",
+    BPF_JLT: "jlt",
+    BPF_JLE: "jle",
+    BPF_JSLT: "jslt",
+    BPF_JSLE: "jsle",
+}
+
+_SIZE_NAMES = {BPF_B: "b", BPF_H: "h", BPF_W: "w", BPF_DW: "dw"}
+
+
+def disasm_insn(insn: Insn) -> str:
+    """Human-readable rendering of one instruction."""
+    cls = insn.cls
+    if insn.opcode == KFLEX_GUARD:
+        return f"guard r{insn.dst}, heap{insn.imm}"
+    if insn.opcode == KFLEX_CANCELPT:
+        return f"cancelpt #{insn.imm}"
+    if insn.opcode == KFLEX_TRANSLATE:
+        return f"translate r{insn.dst}"
+    if insn.is_ld_imm64:
+        return f"lddw r{insn.dst}, {insn.imm64:#x}" + (
+            f" (pseudo src={insn.src})" if insn.src else ""
+        )
+    if cls in (BPF_ALU, BPF_ALU64):
+        op = insn.opcode & OP_MASK
+        name = _ALU_NAMES.get(op, f"alu{op:#x}")
+        w = "64" if cls == BPF_ALU64 else "32"
+        if op == BPF_NEG:
+            return f"neg{w} r{insn.dst}"
+        if op == BPF_END:
+            return f"end{insn.imm} r{insn.dst}"
+        src = f"r{insn.src}" if insn.opcode & BPF_X else str(insn.imm)
+        return f"{name}{w} r{insn.dst}, {src}"
+    if cls in (BPF_JMP, BPF_JMP32):
+        op = insn.opcode & OP_MASK
+        if op == BPF_CALL:
+            return f"call {insn.imm}"
+        if op == BPF_EXIT:
+            return "exit"
+        name = _JMP_NAMES.get(op, f"jmp{op:#x}")
+        if op == BPF_JA:
+            return f"ja +{insn.off}"
+        src = f"r{insn.src}" if insn.opcode & BPF_X else str(insn.imm)
+        w = "32" if cls == BPF_JMP32 else ""
+        return f"{name}{w} r{insn.dst}, {src}, +{insn.off}"
+    if cls == BPF_LDX:
+        sz = _SIZE_NAMES[insn.opcode & SIZE_MASK]
+        return f"ldx{sz} r{insn.dst}, [r{insn.src}{insn.off:+d}]"
+    if cls == BPF_ST:
+        sz = _SIZE_NAMES[insn.opcode & SIZE_MASK]
+        return f"st{sz} [r{insn.dst}{insn.off:+d}], {insn.imm}"
+    if cls == BPF_STX:
+        sz = _SIZE_NAMES[insn.opcode & SIZE_MASK]
+        if insn.is_atomic:
+            return f"atomic{sz} [r{insn.dst}{insn.off:+d}], r{insn.src}, op={insn.imm:#x}"
+        return f"stx{sz} [r{insn.dst}{insn.off:+d}], r{insn.src}"
+    return f"<op {insn.opcode:#x}>"
+
+
+def disasm(insns: list[Insn]) -> str:
+    """Disassemble a whole program with slot indices."""
+    offs = slot_offsets(insns)
+    return "\n".join(f"{offs[i]:4d}: {disasm_insn(insn)}" for i, insn in enumerate(insns))

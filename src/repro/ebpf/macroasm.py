@@ -1,0 +1,222 @@
+"""Structured assembler for writing extensions.
+
+The paper's extensions are written in C and compiled to eBPF bytecode;
+this repository has no C compiler, so extensions are written against
+this thin structured layer instead: labelled control flow becomes
+``with``-blocks, struct fields get named accessors, and helper calls
+marshal their arguments.  Everything lowers to plain bytecode — the
+verifier, Kie and the JIT see exactly what a compiler would emit.
+
+Registers are chosen explicitly by the extension author (as a compiler's
+register allocator would); R1–R5 are clobbered by helper calls, R6–R9
+survive them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.ebpf.asm import Assembler
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.program import PSEUDO_HEAP_OFF, PSEUDO_MAP_FD
+
+
+@dataclass(frozen=True)
+class Field:
+    """One struct member: byte offset and access size."""
+
+    off: int
+    size: int
+
+
+class Struct:
+    """A C-style struct layout for heap objects.
+
+    >>> elem = Struct(key=4, value=4, next=8, prev=8)
+    >>> elem.key.off, elem.next.off, elem.size
+    (0, 8, 24)
+
+    Fields are laid out in declaration order with natural alignment.
+    """
+
+    def __init__(self, **fields: int):
+        off = 0
+        self._fields: dict[str, Field] = {}
+        for name, size in fields.items():
+            if size not in (1, 2, 4, 8):
+                raise AssemblerError(f"field {name}: unsupported size {size}")
+            off = (off + size - 1) & ~(size - 1)
+            self._fields[name] = Field(off, size)
+            off += size
+        self.size = (off + 7) & ~7  # 8-byte aligned object size
+
+    def __getattr__(self, name: str) -> Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class LoopCtl:
+    """Handles for ``break``/``continue`` inside a loop block."""
+
+    def __init__(self, head: str, end: str):
+        self.continue_ = head
+        self.break_ = end
+
+
+class MacroAsm(Assembler):
+    """Assembler with structured control flow and field access."""
+
+    # -- field access ---------------------------------------------------
+
+    def ldf(self, dst: Reg, base: Reg, field: Field) -> int:
+        """dst = base->field"""
+        return self.ldx(dst, base, field.off, field.size)
+
+    def stf(self, base: Reg, field: Field, src: Reg) -> int:
+        """base->field = src"""
+        return self.stx(base, src, field.off, field.size)
+
+    def stf_imm(self, base: Reg, field: Field, imm: int) -> int:
+        """base->field = imm"""
+        return self.st_imm(base, field.off, imm, field.size)
+
+    # -- constants ------------------------------------------------------
+
+    def heap_addr(self, dst: Reg, off: int) -> int:
+        """dst = &heap[off] (relocated to the heap base at load time)."""
+        return self.ld_imm64(dst, off, pseudo=PSEUDO_HEAP_OFF)
+
+    def map_ptr(self, dst: Reg, map_obj) -> int:
+        """dst = pointer to a kernel map (by fd relocation)."""
+        return self.ld_imm64(dst, map_obj.fd, pseudo=PSEUDO_MAP_FD)
+
+    # -- helper calls ------------------------------------------------------
+
+    def call_helper(self, hid: int, *args) -> int:
+        """Marshal ``args`` into R1..R5 and call the helper.
+
+        Each arg is a ``Reg`` (moved) or an int immediate.  Args are
+        marshalled left-to-right: passing an argument register (R1–R5)
+        as a *later* argument's source would read an already-overwritten
+        register, so keep sources in R0/R6–R9 or pass them in order.
+        """
+        if len(args) > 5:
+            raise AssemblerError("helpers take at most five arguments")
+        for i, arg in enumerate(args):
+            target = Reg(i + 1)
+            if isinstance(arg, Reg):
+                if arg != target:
+                    self.mov(target, arg)
+            else:
+                self.mov(target, int(arg))
+        return self.call(hid)
+
+    # -- structured control flow ---------------------------------------
+
+    @contextmanager
+    def loop(self):
+        """An infinite loop; exit with ``jcc(..., ctl.break_)``."""
+        head = self.fresh_label("loop")
+        end = self.fresh_label("endloop")
+        self.label(head)
+        ctl = LoopCtl(head, end)
+        yield ctl
+        self.jmp(head)
+        self.label(end)
+
+    @contextmanager
+    def while_(self, op: str, dst: Reg, src):
+        """Loop while the condition holds."""
+        head = self.fresh_label("while")
+        end = self.fresh_label("endwhile")
+        self.label(head)
+        self.jcc(_negate(op), dst, src, end)
+        yield LoopCtl(head, end)
+        self.jmp(head)
+        self.label(end)
+
+    @contextmanager
+    def if_(self, op: str, dst: Reg, src):
+        """Execute the block when the condition holds."""
+        end = self.fresh_label("endif")
+        self.jcc(_negate(op), dst, src, end)
+        yield
+        self.label(end)
+
+    @contextmanager
+    def if_else(self, op: str, dst: Reg, src):
+        """``with m.if_else(...) as orelse: ...; orelse(); ...``"""
+        else_lbl = self.fresh_label("else")
+        end = self.fresh_label("endif")
+        self.jcc(_negate(op), dst, src, else_lbl)
+        state = {"in_else": False}
+
+        def orelse():
+            if state["in_else"]:
+                raise AssemblerError("else() called twice")
+            state["in_else"] = True
+            self.jmp(end)
+            self.label(else_lbl)
+
+        yield orelse
+        if not state["in_else"]:
+            self.label(else_lbl)
+        self.label(end)
+
+    # -- common sequences -------------------------------------------------
+
+    def memcpy(self, dst: Reg, src: Reg, n: int, *, scratch: Reg) -> None:
+        """Copy n bytes (unrolled, 8-byte chunks then tail), as a
+        compiler would inline small constant-size memcpy."""
+        off = 0
+        while n - off >= 8:
+            self.ldx(scratch, src, off, 8)
+            self.stx(dst, scratch, off, 8)
+            off += 8
+        for size in (4, 2, 1):
+            if n - off >= size:
+                self.ldx(scratch, src, off, size)
+                self.stx(dst, scratch, off, size)
+                off += size
+
+    def memcmp_jne(self, a: Reg, b: Reg, n: int, target: str, *, s1: Reg, s2: Reg):
+        """Jump to ``target`` if the n bytes at a and b differ."""
+        off = 0
+        while off < n:
+            size = 8 if n - off >= 8 else (4 if n - off >= 4 else (2 if n - off >= 2 else 1))
+            self.ldx(s1, a, off, size)
+            self.ldx(s2, b, off, size)
+            self.jcc("!=", s1, s2, target)
+            off += size
+
+    def stack_zero(self, off: int, n: int) -> None:
+        """Zero n bytes at fp+off (8-byte granularity)."""
+        if off % 8 or n % 8:
+            raise AssemblerError("stack_zero wants 8-byte alignment")
+        for o in range(off, off + n, 8):
+            self.st_imm(Reg.R10, o, 0, 8)
+
+
+_NEGATIONS = {
+    "==": "!=",
+    "!=": "==",
+    ">": "<=",
+    "<=": ">",
+    "<": ">=",
+    ">=": "<",
+    "s>": "s<=",
+    "s<=": "s>",
+    "s<": "s>=",
+    "s>=": "s<",
+}
+
+
+def _negate(op: str) -> str:
+    try:
+        return _NEGATIONS[op]
+    except KeyError:
+        raise AssemblerError(f"condition {op!r} cannot be negated") from None

@@ -1,0 +1,165 @@
+"""Kernel-provided eBPF maps.
+
+Vanilla eBPF prevents extensions from defining data structures and
+forces them onto kernel-provided maps (paper §2.2).  The BMC baseline
+(§5.1) is built on exactly these: a preallocated hash map acting as a
+look-aside cache.  KFlex extensions largely bypass maps in favour of
+the extension heap, but heaps themselves are *implemented as* eBPF maps
+so user space can mmap them by fd (§4.1) — see
+:class:`repro.core.heap.ExtensionHeap`.
+
+Map value storage lives in the simulated kernel address space so that
+helper-returned value pointers are real, dereferenceable addresses the
+verifier can bound (PTR_TO_MAP_VALUE with ``mem_size = value_size``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import MapFull, KernelPanic
+from repro.kernel.addrspace import AddressSpace
+from repro.kernel.vmalloc import VmallocArena
+
+_fd_counter = itertools.count(3)
+
+
+def alloc_fd() -> int:
+    """Process-global fd allocator (fds 0-2 reserved, as usual)."""
+    return next(_fd_counter)
+
+
+class Map:
+    """Base class: fixed key/value sizes, bounded entry count."""
+
+    map_type = "generic"
+
+    def __init__(
+        self,
+        aspace: AddressSpace,
+        arena: VmallocArena,
+        *,
+        key_size: int,
+        value_size: int,
+        max_entries: int,
+        name: str = "map",
+    ):
+        if key_size <= 0 or value_size <= 0 or max_entries <= 0:
+            raise KernelPanic("invalid map geometry")
+        self.aspace = aspace
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+        self.name = name
+        self.fd = alloc_fd()
+        # Preallocate value storage (kernel maps preallocate by default;
+        # BMC relies on this, §5.1).
+        self._vm = arena.alloc(
+            max(value_size * max_entries, 1), align=8, guard=0, name=f"map:{name}"
+        )
+        self.region = aspace.map_region(
+            self._vm.base, self._vm.size, f"map:{name}", populated=True
+        )
+
+    def slot_addr(self, slot: int) -> int:
+        if not 0 <= slot < self.max_entries:
+            raise KernelPanic(f"map slot {slot} out of range")
+        return self._vm.base + slot * self.value_size
+
+    # Interface used by helpers; returns a value address or 0 (NULL).
+    def lookup(self, key: bytes) -> int:
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes, flags: int = 0) -> int:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> int:
+        raise NotImplementedError
+
+
+class ArrayMap(Map):
+    """BPF_MAP_TYPE_ARRAY: u32 index keys, all slots always present."""
+
+    map_type = "array"
+
+    def __init__(self, aspace, arena, *, value_size, max_entries, name="array"):
+        super().__init__(
+            aspace,
+            arena,
+            key_size=4,
+            value_size=value_size,
+            max_entries=max_entries,
+            name=name,
+        )
+
+    def _index(self, key: bytes) -> int | None:
+        idx = int.from_bytes(key[:4], "little")
+        return idx if idx < self.max_entries else None
+
+    def lookup(self, key: bytes) -> int:
+        idx = self._index(key)
+        return 0 if idx is None else self.slot_addr(idx)
+
+    def update(self, key: bytes, value: bytes, flags: int = 0) -> int:
+        idx = self._index(key)
+        if idx is None:
+            return -22  # -EINVAL
+        self.aspace.write_bytes(self.slot_addr(idx), value[: self.value_size])
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        return -22  # array elements cannot be deleted
+
+
+class HashMap(Map):
+    """BPF_MAP_TYPE_HASH with preallocated slots (the kernel default).
+
+    Slot reuse follows a free list, as in the kernel's pcpu_freelist;
+    when full, updates of new keys fail with -E2BIG, which is exactly
+    the limitation that forces BMC to evict rather than allocate.
+    """
+
+    map_type = "hash"
+
+    def __init__(self, aspace, arena, *, key_size, value_size, max_entries, name="hash"):
+        super().__init__(
+            aspace,
+            arena,
+            key_size=key_size,
+            value_size=value_size,
+            max_entries=max_entries,
+            name=name,
+        )
+        self._slots: dict[bytes, int] = {}
+        self._free = list(range(max_entries - 1, -1, -1))
+
+    def lookup(self, key: bytes) -> int:
+        key = bytes(key[: self.key_size])
+        slot = self._slots.get(key)
+        return 0 if slot is None else self.slot_addr(slot)
+
+    def update(self, key: bytes, value: bytes, flags: int = 0) -> int:
+        key = bytes(key[: self.key_size])
+        slot = self._slots.get(key)
+        if slot is None:
+            if not self._free:
+                return -7  # -E2BIG
+            slot = self._free.pop()
+            self._slots[key] = slot
+        self.aspace.write_bytes(self.slot_addr(slot), value[: self.value_size])
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        key = bytes(key[: self.key_size])
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return -2  # -ENOENT
+        self._free.append(slot)
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def update_or_full(self, key: bytes, value: bytes) -> bool:
+        """Convenience for BMC: returns False when the map was full."""
+        return self.update(key, value) == 0

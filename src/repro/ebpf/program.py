@@ -1,0 +1,69 @@
+"""Extension program objects.
+
+A :class:`Program` is what user space hands to the kernel via ``bpf(2)``:
+bytecode, the hook it attaches to, referenced maps, and — for KFlex
+extensions — the declared extension-heap size (the ``kflex_heap(size)``
+macro of §3.1 becomes the ``heap_size`` field here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ebpf.isa import Insn
+
+# LD_IMM64 pseudo source-register conventions (kernel-style relocations).
+PSEUDO_MAP_FD = 1  # imm64 is a map fd; resolved to the map object
+PSEUDO_HEAP_OFF = 2  # imm64 is a byte offset into the extension heap
+
+#: Hooks an extension may attach to, with their default return code on
+#: cancellation (§4.3: security denies, networking passes).
+HOOKS = {
+    "xdp": {"default_ret": 2, "name_of_default": "XDP_PASS"},
+    "sk_skb": {"default_ret": 1, "name_of_default": "SK_PASS"},
+    "lsm": {"default_ret": -1, "name_of_default": "EPERM"},
+    "tracepoint": {"default_ret": 0, "name_of_default": "0"},
+    "bench": {"default_ret": 0, "name_of_default": "0"},
+}
+
+# XDP return codes (subset).
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+
+SK_DROP = 0
+SK_PASS = 1
+
+
+@dataclass
+class Program:
+    """An extension as submitted for loading."""
+
+    name: str
+    insns: list[Insn]
+    hook: str = "bench"
+    #: fd -> map object, for LD_IMM64 PSEUDO_MAP_FD relocations.
+    maps: dict[int, object] = field(default_factory=dict)
+    #: Extension heap size in bytes (None: plain eBPF program, no heap).
+    heap_size: int | None = None
+    #: Optional user-supplied callback adjusting the return code after a
+    #: cancellation (§4.3).  Must be loop- and Cp-free; the runtime
+    #: enforces this by accepting only a plain int-to-int callable here
+    #: (modelling the restricted callback, not arbitrary bytecode).
+    cancel_callback: object | None = None
+    #: Sleepable programs may call may_sleep helpers (user-page faults
+    #: are allowed); their stalls are caught by the runtime's background
+    #: checker instead of the lockup watchdogs (§4.3).
+    sleepable: bool = False
+
+    def __post_init__(self):
+        if self.hook not in HOOKS:
+            raise ValueError(f"unknown hook {self.hook!r}")
+
+    @property
+    def default_ret(self) -> int:
+        return HOOKS[self.hook]["default_ret"]
+
+    def __len__(self) -> int:
+        return len(self.insns)

@@ -1,0 +1,151 @@
+"""Bytecode rewriting with jump fixup.
+
+Kie (the KFlex instrumentation engine, §3.2–3.3) inserts guard and
+cancellation-point instructions into verified bytecode.  Insertion
+changes instruction positions, so every slot-based jump offset must be
+recomputed.  This module converts a program into a symbolic form whose
+jumps reference instruction *indices*, supports insertion, and resolves
+back to slot-based offsets.
+
+Insertion semantics: sequences inserted before instruction ``i`` are
+executed by every path that previously reached ``i``, including jumps
+that targeted ``i`` directly.  This is required for correctness of both
+guards (every path to a heap access must be sanitised) and cancellation
+points (every traversal of a loop back edge must pass the Cp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import EncodingError
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn
+
+
+def jump_target_index(insns: list[Insn], i: int) -> int:
+    """Index of the instruction a jump at index ``i`` targets."""
+    slot_of = isa.slot_offsets(insns)
+    target_slot = slot_of[i] + insns[i].slots + insns[i].off
+    # Build reverse map lazily; programs are small enough.
+    for j, s in enumerate(slot_of):
+        if s == target_slot:
+            return j
+    if target_slot == isa.total_slots(insns):
+        return len(insns)
+    raise EncodingError(f"jump at insn {i} targets mid-instruction slot {target_slot}")
+
+
+@dataclass
+class SymInsn:
+    """An instruction whose jump target (if any) is an index, not an offset."""
+
+    insn: Insn
+    target: int | None = None
+
+
+class Rewriter:
+    """Insert instrumentation into a program while preserving jumps.
+
+    Typical Kie usage::
+
+        rw = Rewriter(insns)
+        for idx in reversed(guard_sites):
+            rw.insert_before(idx, [guard_insn])
+        out = rw.resolve()
+
+    ``insert_before`` takes indices in the *original* program; the
+    rewriter tracks the mapping, so insertion order does not matter.
+    """
+
+    def __init__(self, insns: list[Insn]):
+        self._sym: list[SymInsn] = []
+        slot_of = isa.slot_offsets(insns)
+        slot_to_idx = {s: j for j, s in enumerate(slot_of)}
+        slot_to_idx[isa.total_slots(insns)] = len(insns)
+        for i, insn in enumerate(insns):
+            target = None
+            if insn.is_jump:
+                tslot = slot_of[i] + insn.slots + insn.off
+                if tslot not in slot_to_idx:
+                    raise EncodingError(
+                        f"jump at insn {i} targets mid-instruction slot {tslot}"
+                    )
+                target = slot_to_idx[tslot]
+            self._sym.append(SymInsn(insn, target))
+        # orig index -> current index of the original instruction
+        self._pos = list(range(len(insns)))
+        self._n_orig = len(insns)
+
+    def current_index(self, orig_idx: int) -> int:
+        """Current position of original instruction ``orig_idx``."""
+        return self._pos[orig_idx]
+
+    def insert_before(self, orig_idx: int, new_insns: list[Insn]) -> None:
+        """Insert ``new_insns`` immediately before original insn ``orig_idx``.
+
+        Jumps that targeted ``orig_idx`` now target the first inserted
+        instruction, so the instrumentation dominates the original insn.
+        """
+        at = self._pos[orig_idx]
+        n = len(new_insns)
+        tagged = [
+            SymInsn(replace(ins, orig_idx=orig_idx) if ins.orig_idx is None else ins)
+            for ins in new_insns
+        ]
+        self._sym[at:at] = tagged
+        # Shift targets strictly beyond the insertion point.  Targets
+        # equal to `at` stay put: they now enter the inserted sequence
+        # first, so the instrumentation dominates the original insn.
+        for si in self._sym:
+            if si.target is not None and si.target > at:
+                si.target += n
+        for i in range(self._n_orig):
+            if self._pos[i] >= at and i != orig_idx:
+                self._pos[i] += n
+        self._pos[orig_idx] += n  # the original insn itself moved past inserts
+
+    def insert_after(self, orig_idx: int, new_insns: list[Insn]) -> None:
+        """Insert ``new_insns`` immediately after original insn ``orig_idx``.
+
+        Only fall-through from ``orig_idx`` executes the inserted code:
+        jumps that targeted the *next* instruction still skip it.  Used
+        for post-call resource spills and release clears (§4.3), which
+        must run only when the call itself just executed.
+        """
+        at = self._pos[orig_idx] + 1
+        n = len(new_insns)
+        tagged = [
+            SymInsn(replace(ins, orig_idx=orig_idx) if ins.orig_idx is None else ins)
+            for ins in new_insns
+        ]
+        self._sym[at:at] = tagged
+        for si in self._sym:
+            if si.target is not None and si.target >= at:
+                si.target += n
+        for i in range(self._n_orig):
+            if self._pos[i] >= at:
+                self._pos[i] += n
+
+    def replace_insn(self, orig_idx: int, new_insn: Insn) -> None:
+        """Swap the original instruction at ``orig_idx`` for ``new_insn``."""
+        at = self._pos[orig_idx]
+        target = self._sym[at].target
+        self._sym[at] = SymInsn(replace(new_insn, orig_idx=orig_idx), target)
+
+    def resolve(self) -> list[Insn]:
+        """Produce the rewritten program with slot-based offsets."""
+        insns = [si.insn for si in self._sym]
+        slot_of = isa.slot_offsets(insns)
+        total = isa.total_slots(insns)
+        out: list[Insn] = []
+        for i, si in enumerate(self._sym):
+            insn = si.insn
+            if si.target is not None:
+                tslot = slot_of[si.target] if si.target < len(insns) else total
+                off = tslot - (slot_of[i] + insn.slots)
+                if not -(1 << 15) <= off < (1 << 15):
+                    raise EncodingError(f"rewritten jump offset {off} overflows")
+                insn = insn.with_off(off)
+            out.append(insn)
+        return out

@@ -1,0 +1,279 @@
+"""Text-format assembler for extension programs.
+
+The paper's practicality pitch (§2.1) is that users keep their usual
+languages and toolchains; this repo's stand-in for "compile your C" is
+either the Python builder API (:mod:`repro.ebpf.macroasm`) or this
+textual assembly, which looks like verifier-log / bpftool output:
+
+.. code-block:: text
+
+    ; a bounded loop summing 1..10
+        mov64 r0, 0
+        mov64 r1, 10
+    loop:
+        jeq r1, 0, done
+        add64 r0, r1
+        sub64 r1, 1
+        ja loop
+    done:
+        exit
+
+Supported forms::
+
+    <alu>{64,32} rD, rS | imm      add sub mul div mod and or xor lsh rsh arsh mov
+    neg64 rD | end{16,32,64} rD
+    lddw rD, imm64                 64-bit immediate (two slots)
+    lddw rD, heap[off]             heap-offset relocation (PSEUDO_HEAP_OFF)
+    lddw rD, map[name]             map relocation (names bound at assemble())
+    ldx{b,h,w,dw} rD, [rS+off]
+    stx{b,h,w,dw} [rD+off], rS
+    st{b,h,w,dw} [rD+off], imm
+    atomic{b,h,w,dw} <add|or|and|xor|xchg|cmpxchg>[_fetch] [rD+off], rS
+    j<cc>{,32} rD, rS|imm, label   cc: eq ne gt ge lt le sgt sge slt sle set
+    ja label | call <id|helper-name> | exit
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.ebpf import isa
+from repro.ebpf.asm import Assembler
+from repro.ebpf.helpers import DECLARATIONS
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.program import PSEUDO_HEAP_OFF
+
+_HELPER_IDS = {h.name: h.hid for h in DECLARATIONS.values()}
+
+_JCC = {
+    "jeq": "==", "jne": "!=", "jgt": ">", "jge": ">=", "jlt": "<",
+    "jle": "<=", "jsgt": "s>", "jsge": "s>=", "jslt": "s<", "jsle": "s<=",
+    "jset": "&",
+}
+
+_ALU = {"add", "sub", "mul", "div", "mod", "and", "or", "xor",
+        "lsh", "rsh", "arsh", "mov"}
+
+_SIZES = {"b": 1, "h": 2, "w": 4, "dw": 8}
+
+_ATOMIC_OPS = {
+    "add": isa.ATOMIC_ADD,
+    "or": isa.ATOMIC_OR,
+    "and": isa.ATOMIC_AND,
+    "xor": isa.ATOMIC_XOR,
+    "xchg": isa.ATOMIC_XCHG,
+    "cmpxchg": isa.ATOMIC_CMPXCHG,
+}
+
+_MEM_RE = re.compile(r"^\[\s*(r\d+)\s*([+-]\s*\w+)?\s*\]$")
+
+
+def _reg(tok: str, lineno: int) -> Reg:
+    tok = tok.strip().lower()
+    if not re.fullmatch(r"r(10|[0-9])", tok):
+        raise AssemblerError(f"line {lineno}: bad register {tok!r}")
+    return Reg(int(tok[1:]))
+
+
+def _int(tok: str, lineno: int) -> int:
+    try:
+        return int(tok.strip(), 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad integer {tok!r}") from None
+
+
+def _mem(tok: str, lineno: int) -> tuple[Reg, int]:
+    m = _MEM_RE.match(tok.strip())
+    if not m:
+        raise AssemblerError(f"line {lineno}: bad memory operand {tok!r}")
+    reg = _reg(m.group(1), lineno)
+    off = 0
+    if m.group(2):
+        off = _int(m.group(2).replace(" ", ""), lineno)
+    return reg, off
+
+
+def assemble_text(source: str, *, maps: dict | None = None) -> list[Insn]:
+    """Assemble textual source into an instruction list.
+
+    ``maps`` binds ``map[name]`` relocations to map objects (their fds
+    are substituted, exactly like libbpf's relocation step).
+    """
+    maps = maps or {}
+    a = Assembler()
+    for lineno, raw in enumerate(source.splitlines(), 1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        # Labels, possibly followed by an instruction on the same line.
+        while True:
+            m = re.match(r"^([A-Za-z_.][\w.]*)\s*:\s*(.*)$", line)
+            if not m:
+                break
+            a.label(m.group(1))
+            line = m.group(2).strip()
+        if not line:
+            continue
+        _emit(a, line, lineno, maps)
+    return a.assemble()
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    out, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        out.append("".join(cur).strip())
+    return [o for o in out if o]
+
+
+def _emit(a: Assembler, line: str, lineno: int, maps: dict) -> None:
+    parts = line.split(None, 1)
+    op = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    ops = _split_operands(rest)
+
+    def need(n):
+        if len(ops) != n:
+            raise AssemblerError(
+                f"line {lineno}: {op} expects {n} operand(s), got {len(ops)}"
+            )
+
+    # -- control ------------------------------------------------------------
+    if op == "exit":
+        need(0)
+        a.exit()
+        return
+    if op == "ja":
+        need(1)
+        a.jmp(ops[0])
+        return
+    if op == "call":
+        need(1)
+        tok = ops[0].strip().lower()
+        hid = _HELPER_IDS.get(tok)
+        if hid is None:
+            hid = _int(ops[0], lineno)
+        a.call(hid)
+        return
+
+    # -- conditional jumps ------------------------------------------------------
+    m = re.fullmatch(r"(j[a-z]+?)(32)?", op)
+    if m and m.group(1) in _JCC:
+        need(3)
+        cond = _JCC[m.group(1)]
+        dst = _reg(ops[0], lineno)
+        src = ops[1].strip().lower()
+        src_val = _reg(src, lineno) if src.startswith("r") and src[1:].isdigit() \
+            else _int(src, lineno)
+        a.jcc(cond, dst, src_val, ops[2], width32=bool(m.group(2)))
+        return
+
+    # -- lddw ---------------------------------------------------------------------
+    if op == "lddw":
+        need(2)
+        dst = _reg(ops[0], lineno)
+        val = ops[1].strip()
+        hm = re.fullmatch(r"heap\[(.+)\]", val)
+        mm = re.fullmatch(r"map\[(\w+)\]", val)
+        if hm:
+            a.ld_imm64(dst, _int(hm.group(1), lineno), pseudo=PSEUDO_HEAP_OFF)
+        elif mm:
+            name = mm.group(1)
+            if name not in maps:
+                raise AssemblerError(f"line {lineno}: unbound map {name!r}")
+            from repro.ebpf.program import PSEUDO_MAP_FD
+
+            a.ld_imm64(dst, maps[name].fd, pseudo=PSEUDO_MAP_FD)
+        else:
+            a.ld_imm64(dst, _int(val, lineno))
+        return
+
+    # -- loads/stores -----------------------------------------------------------------
+    m = re.fullmatch(r"ldx(b|h|w|dw)", op)
+    if m:
+        need(2)
+        dst = _reg(ops[0], lineno)
+        src, off = _mem(ops[1], lineno)
+        a.ldx(dst, src, off, _SIZES[m.group(1)])
+        return
+    m = re.fullmatch(r"stx(b|h|w|dw)", op)
+    if m:
+        need(2)
+        dst, off = _mem(ops[0], lineno)
+        src = _reg(ops[1], lineno)
+        a.stx(dst, src, off, _SIZES[m.group(1)])
+        return
+    m = re.fullmatch(r"st(b|h|w|dw)", op)
+    if m:
+        need(2)
+        dst, off = _mem(ops[0], lineno)
+        a.st_imm(dst, off, _int(ops[1], lineno), _SIZES[m.group(1)])
+        return
+    m = re.fullmatch(r"atomic(b|h|w|dw)", op)
+    if m:
+        # "atomicdw add [rD+off], rS" — op-kind and memory operand are
+        # space-separated within the first comma-operand.
+        need(2)
+        first = ops[0].split(None, 1)
+        if len(first) != 2:
+            raise AssemblerError(f"line {lineno}: atomic wants '<op> [mem]'")
+        aop_tok, mem_tok = first[0].strip().lower(), first[1]
+        fetch = aop_tok.endswith("_fetch")
+        aop_name = aop_tok[:-6] if fetch else aop_tok
+        if aop_name not in _ATOMIC_OPS:
+            raise AssemblerError(f"line {lineno}: bad atomic op {aop_tok!r}")
+        aop = _ATOMIC_OPS[aop_name] | (isa.BPF_FETCH if fetch else 0)
+        dst, off = _mem(mem_tok, lineno)
+        src = _reg(ops[1], lineno)
+        a.atomic(dst, src, off, aop, _SIZES[m.group(1)])
+        return
+
+    # -- ALU ----------------------------------------------------------------------------
+    m = re.fullmatch(r"(\w+?)(64|32)?", op)
+    if m and m.group(1) in _ALU | {"neg", "end"}:
+        name, width = m.group(1), m.group(2) or "64"
+        if name == "neg":
+            need(1)
+            a.neg(_reg(ops[0], lineno))
+            return
+        if name == "end":
+            raise AssemblerError(
+                f"line {lineno}: use be16/be32/be64 for byteswaps"
+            )
+        need(2)
+        dst = _reg(ops[0], lineno)
+        src = ops[1].strip().lower()
+        src_val = _reg(src, lineno) if re.fullmatch(r"r\d+", src) \
+            else _int(src, lineno)
+        method = {"and": "and_", "or": "or_"}.get(name, name)
+        if width == "32":
+            method32 = method + "32"
+            fn = getattr(a, method32, None)
+            if fn is None:
+                raise AssemblerError(
+                    f"line {lineno}: 32-bit form of {name} not supported"
+                )
+            fn(dst, src_val)
+        else:
+            getattr(a, method)(dst, src_val)
+        return
+
+    m = re.fullmatch(r"be(16|32|64)", op)
+    if m:
+        need(1)
+        a.raw(Insn(isa.BPF_ALU | isa.BPF_END | isa.BPF_X,
+                   int(_reg(ops[0], lineno)), 0, 0, int(m.group(1))))
+        return
+
+    raise AssemblerError(f"line {lineno}: unknown instruction {op!r}")

@@ -1,0 +1,19 @@
+"""The eBPF verifier.
+
+KFlex reuses eBPF's automated verification for kernel-interface
+compliance and co-designs its runtime mechanisms with the verifier's
+analyses (paper §3): range analysis (tnums + signed/unsigned intervals)
+drives SFI guard elision (§3.2, §5.4), and symbolic execution with
+reference tracking computes the per-cancellation-point object tables
+(§3.3, §4.3).
+
+The implementation follows the upstream verifier's published design:
+path-sensitive symbolic execution over an abstract register file, state
+pruning at join points, bounded-loop unrolling, and — in KFlex mode —
+widening for loops whose bounds cannot be established statically.
+"""
+
+from repro.ebpf.verifier.tnum import Tnum
+from repro.ebpf.verifier.verifier import Verifier, VerifierConfig, Analysis
+
+__all__ = ["Tnum", "Verifier", "VerifierConfig", "Analysis"]

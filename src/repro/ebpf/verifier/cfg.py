@@ -1,0 +1,159 @@
+"""Control-flow graph over bytecode.
+
+Used by the verifier for back-edge detection (the candidate
+cancellation-point sites of §3.3, class C1) and for a register liveness
+analysis that makes state pruning effective — without liveness, dead
+registers would keep otherwise-equal states from matching, and path
+exploration of real extensions would explode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn
+from repro.ebpf.rewrite import jump_target_index
+
+
+@dataclass
+class Cfg:
+    insns: list[Insn]
+    succ: list[list[int]]
+    pred: list[list[int]]
+    #: (src, dst) pairs classified as back edges by DFS.
+    back_edges: set[tuple[int, int]]
+    #: live_in[i]: bitmask of registers possibly read at/after insn i.
+    live_in: list[int]
+
+    def is_back_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self.back_edges
+
+
+def build_cfg(insns: list[Insn]) -> Cfg:
+    n = len(insns)
+    succ: list[list[int]] = [[] for _ in range(n)]
+    pred: list[list[int]] = [[] for _ in range(n)]
+
+    for i, insn in enumerate(insns):
+        targets: list[int] = []
+        if insn.is_exit:
+            pass
+        elif insn.is_jump:
+            t = jump_target_index(insns, i)
+            if t >= n:
+                raise VerificationError("jump past program end", i)
+            targets.append(t)
+            if insn.is_cond_jump:
+                targets.append(i + 1)
+        else:
+            targets.append(i + 1)
+        for t in targets:
+            if t >= n:
+                raise VerificationError("fall-through past program end", i)
+            succ[i].append(t)
+            pred[t].append(i)
+
+    back = _find_back_edges(succ)
+    live = _liveness(insns, succ)
+    return Cfg(insns, succ, pred, back, live)
+
+
+def _find_back_edges(succ: list[list[int]]) -> set[tuple[int, int]]:
+    """Iterative DFS edge classification from the entry node."""
+    n = len(succ)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = [WHITE] * n
+    back: set[tuple[int, int]] = set()
+    if n == 0:
+        return back
+    stack: list[tuple[int, int]] = [(0, 0)]  # (node, next-successor index)
+    color[0] = GREY
+    while stack:
+        node, si = stack[-1]
+        if si < len(succ[node]):
+            stack[-1] = (node, si + 1)
+            nxt = succ[node][si]
+            if color[nxt] == GREY:
+                back.add((node, nxt))
+            elif color[nxt] == WHITE:
+                color[nxt] = GREY
+                stack.append((nxt, 0))
+        else:
+            color[node] = BLACK
+            stack.pop()
+    return back
+
+
+def _uses_defs(insn: Insn) -> tuple[int, int]:
+    """(use bitmask, def bitmask) of registers for one instruction."""
+    use = 0
+    defs = 0
+    op = insn.opcode
+    cls = insn.cls
+    if op in (isa.KFLEX_GUARD, isa.KFLEX_TRANSLATE):
+        return (1 << insn.dst), (1 << insn.dst)
+    if op == isa.KFLEX_CANCELPT:
+        return 0, 0
+    if insn.is_ld_imm64:
+        return 0, (1 << insn.dst)
+    if cls in (isa.BPF_ALU, isa.BPF_ALU64):
+        aop = op & isa.OP_MASK
+        if aop == isa.BPF_MOV:
+            if op & isa.BPF_X:
+                use |= 1 << insn.src
+        else:
+            use |= 1 << insn.dst
+            if op & isa.BPF_X:
+                use |= 1 << insn.src
+        defs |= 1 << insn.dst
+    elif cls == isa.BPF_LDX:
+        use |= 1 << insn.src
+        defs |= 1 << insn.dst
+    elif cls == isa.BPF_ST:
+        use |= 1 << insn.dst
+    elif cls == isa.BPF_STX:
+        use |= (1 << insn.dst) | (1 << insn.src)
+        if insn.is_atomic:
+            if insn.imm & isa.BPF_FETCH or insn.imm == isa.ATOMIC_XCHG:
+                defs |= 1 << insn.src
+            if insn.imm == isa.ATOMIC_CMPXCHG:
+                use |= 1 << 0
+                defs |= 1 << 0
+    elif cls in (isa.BPF_JMP, isa.BPF_JMP32):
+        jop = op & isa.OP_MASK
+        if insn.is_call:
+            # Conservative: helper may read all argument registers.
+            use |= 0b111110  # R1-R5
+            defs |= 0b111111  # R0-R5 clobbered
+        elif insn.is_exit:
+            use |= 1 << 0
+        elif jop != isa.BPF_JA:
+            use |= 1 << insn.dst
+            if op & isa.BPF_X:
+                use |= 1 << insn.src
+    return use, defs
+
+
+def _liveness(insns: list[Insn], succ: list[list[int]]) -> list[int]:
+    n = len(insns)
+    gen = [0] * n
+    kill = [0] * n
+    for i, insn in enumerate(insns):
+        gen[i], kill[i] = _uses_defs(insn)
+    live_in = [0] * n
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = 0
+            for s in succ[i]:
+                out |= live_in[s]
+            new_in = gen[i] | (out & ~kill[i])
+            if new_in != live_in[i]:
+                live_in[i] = new_in
+                changed = True
+    # R10 (frame pointer) is always live: stack contents may be read
+    # through it at any point and stack slots are compared separately.
+    return [v | (1 << 10) for v in live_in]

@@ -1,0 +1,218 @@
+"""Whole-machine verifier state: registers, stack frame, references.
+
+The reference set is what KFlex's extension cancellations are built on:
+the verifier tracks every kernel resource acquired along each path
+(sockets via ``bpf_sk_lookup_*``, locks via ``kflex_spin_lock``), and
+the object table of each cancellation point is derived from the state's
+reference set at that instruction (§3.3, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ebpf.verifier.value import RegState
+
+STACK_SIZE = 512
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One 8-byte stack slot."""
+
+    kind: str  # "spill" | "misc"
+    reg: RegState | None = None
+    init_mask: int = 0xFF  # which bytes hold initialised data
+
+
+@dataclass(frozen=True)
+class Ref:
+    """An acquired kernel resource held by the extension."""
+
+    ref_id: int
+    kind: str  # "sock" | "lock"
+    destructor: int  # helper id the unwinder must call
+    site: int  # insn index of the acquiring call
+    val_id: int = 0  # value identity (lock address id)
+
+
+class VerifierState:
+    """Mutable per-path state; cloned at branches."""
+
+    __slots__ = ("regs", "stack", "refs", "processed")
+
+    def __init__(
+        self,
+        regs: list[RegState] | None = None,
+        stack: dict[int, Slot] | None = None,
+        refs: dict[int, Ref] | None = None,
+    ):
+        self.regs: list[RegState] = regs or [RegState.not_init() for _ in range(11)]
+        #: slot start offset (negative, multiple of 8) -> Slot
+        self.stack: dict[int, Slot] = stack or {}
+        self.refs: dict[int, Ref] = refs or {}
+        self.processed = 0
+
+    def clone(self) -> "VerifierState":
+        st = VerifierState(list(self.regs), dict(self.stack), dict(self.refs))
+        return st
+
+    # -- stack ------------------------------------------------------------
+
+    @staticmethod
+    def _check_range(off: int, size: int) -> str | None:
+        if off + size > 0 or off < -STACK_SIZE:
+            return f"stack access [{off}, {off + size}) outside [-{STACK_SIZE}, 0)"
+        return None
+
+    def stack_write(self, off: int, size: int, reg: RegState) -> str | None:
+        """Model a store of ``reg`` to fp+off.  Returns error or None."""
+        err = self._check_range(off, size)
+        if err:
+            return err
+        aligned = off % 8 == 0 and size == 8
+        if aligned and (reg.is_pointer or reg.is_scalar):
+            self.stack[off] = Slot("spill", reg)
+            return None
+        # Partial/unaligned writes turn the touched slots into misc data;
+        # spilled pointers overwritten partially are destroyed.
+        for slot_off in range(_slot_start(off), off + size, 8):
+            slot = self.stack.get(slot_off)
+            mask = slot.init_mask if slot and slot.kind == "misc" else (
+                0xFF if slot else 0
+            )
+            for b in range(8):
+                if off <= slot_off + b < off + size:
+                    mask |= 1 << b
+            self.stack[slot_off] = Slot("misc", None, mask)
+        return None
+
+    def stack_read(self, off: int, size: int) -> tuple[RegState | None, str | None]:
+        """Model a load from fp+off.  Returns (value, error)."""
+        err = self._check_range(off, size)
+        if err:
+            return None, err
+        if off % 8 == 0 and size == 8:
+            slot = self.stack.get(off)
+            if slot is None:
+                return None, f"read of uninitialised stack at {off}"
+            if slot.kind == "spill":
+                return slot.reg, None
+            if slot.init_mask != 0xFF:
+                return None, f"read of partially initialised stack at {off}"
+            return RegState.unknown(), None
+        for slot_off in range(_slot_start(off), off + size, 8):
+            slot = self.stack.get(slot_off)
+            for b in range(8):
+                byte_off = slot_off + b
+                if off <= byte_off < off + size:
+                    if slot is None:
+                        return None, f"read of uninitialised stack at {byte_off}"
+                    if slot.kind == "misc" and not slot.init_mask & (1 << b):
+                        return None, f"read of uninitialised stack at {byte_off}"
+        return RegState.unknown(), None
+
+    def stack_initialised(self, off: int, size: int) -> bool:
+        """Is [fp+off, fp+off+size) fully initialised (helper MEM args)?"""
+        if self._check_range(off, size):
+            return False
+        for slot_off in range(_slot_start(off), off + size, 8):
+            slot = self.stack.get(slot_off)
+            if slot is None:
+                return False
+            if slot.kind == "misc":
+                for b in range(8):
+                    if off <= slot_off + b < off + size and not slot.init_mask & (1 << b):
+                        return False
+        return True
+
+    # -- reference bookkeeping ---------------------------------------------
+
+    def add_ref(self, ref: Ref) -> None:
+        self.refs[ref.ref_id] = ref
+
+    def release_ref(self, ref_id: int) -> Ref | None:
+        return self.refs.pop(ref_id, None)
+
+    def refs_signature(self) -> tuple:
+        """Order-insensitive fingerprint used for the loop-convergence
+        check (§3.1): kernel resources acquired in an iteration must be
+        released by its end, so the signature must match across a back
+        edge."""
+        return tuple(sorted((r.kind, r.site) for r in self.refs.values()))
+
+    # -- pruning / widening --------------------------------------------------
+
+    def subsumed_by(self, cached: "VerifierState", live_mask: int) -> bool:
+        """True if this state is covered by ``cached`` (prune the path)."""
+        idmap: dict[int, int] = {}
+        for i in range(11):
+            if not live_mask & (1 << i):
+                continue
+            if not cached.regs[i].subsumes(self.regs[i], idmap):
+                return False
+        # Stack: every slot the cached state knew about must subsume ours;
+        # slots we have but cached lacks are fine only if cached treated
+        # them as unknown — cached lacking a slot means "uninitialised",
+        # which does NOT cover an initialised slot being read later, so
+        # require our slots to be a superset with subsumption.
+        for off, cslot in cached.stack.items():
+            oslot = self.stack.get(off)
+            if oslot is None:
+                return False
+            if cslot.kind == "spill":
+                if oslot.kind != "spill" or not cslot.reg.subsumes(oslot.reg, idmap):
+                    return False
+            else:
+                if oslot.kind == "misc" and (oslot.init_mask & cslot.init_mask) != cslot.init_mask:
+                    return False
+        if self.refs_signature() != cached.refs_signature():
+            return False
+        return True
+
+    def widen_against(self, cached: "VerifierState", live_mask: int) -> "VerifierState":
+        """Widen at a loop header that keeps producing new states.
+
+        True widening (not a join): any register whose cached abstract
+        value does not already cover the current one jumps straight to
+        "unknown within its type", guaranteeing termination of the
+        fixpoint.  Heap pointers widen to an unknown offset, which makes
+        later accesses through them guarded rather than elided — the
+        sound direction for KFlex.
+        """
+        st = self.clone()
+        idmap: dict[int, int] = {}
+        for i in range(11):
+            if not live_mask & (1 << i):
+                st.regs[i] = RegState.not_init()
+                continue
+            a, b = st.regs[i], cached.regs[i]
+            if b.subsumes(a, idmap):
+                st.regs[i] = b
+            elif a.type == b.type:
+                st.regs[i] = a.widen_to_unknown()
+            else:
+                st.regs[i] = RegState.unknown()
+        new_stack: dict[int, Slot] = {}
+        for off, slot in st.stack.items():
+            cslot = cached.stack.get(off)
+            if cslot is None:
+                continue  # not present before the loop: drop knowledge
+            if slot.kind == "spill" and cslot.kind == "spill":
+                if cslot.reg.subsumes(slot.reg, idmap):
+                    new_stack[off] = cslot
+                elif cslot.reg.type == slot.reg.type:
+                    new_stack[off] = Slot("spill", slot.reg.widen_to_unknown())
+                else:
+                    new_stack[off] = Slot("misc", None, 0xFF)
+            else:
+                mask = (slot.init_mask if slot.kind == "misc" else 0xFF) & (
+                    cslot.init_mask if cslot.kind == "misc" else 0xFF
+                )
+                new_stack[off] = Slot("misc", None, mask)
+        st.stack = new_stack
+        return st
+
+
+def _slot_start(off: int) -> int:
+    return (off // 8) * 8

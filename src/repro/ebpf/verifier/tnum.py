@@ -1,0 +1,177 @@
+"""Tracked numbers ("tnums"): the verifier's bit-level abstract domain.
+
+A tnum ``(value, mask)`` represents the set of 64-bit integers ``x``
+with ``x & ~mask == value`` — each mask bit is unknown, each clear mask
+bit is known to equal the corresponding value bit.  This is the same
+domain the kernel verifier uses (``kernel/bpf/tnum.c``); the arithmetic
+below follows those algorithms.
+
+Tnums matter to KFlex because the SFI guard-elision analysis (§3.2,
+§5.4) is built on the verifier's range analysis, of which tnums are the
+bit-precision half: e.g. after ``r1 &= 0xff`` the tnum proves the value
+fits a heap of size ≥ 256 regardless of interval information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+U64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Tnum:
+    value: int
+    mask: int
+
+    def __post_init__(self):
+        if self.value & self.mask:
+            raise ValueError("tnum value and mask overlap")
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def const(v: int) -> "Tnum":
+        return Tnum(v & U64, 0)
+
+    @staticmethod
+    def unknown() -> "Tnum":
+        return Tnum(0, U64)
+
+    @staticmethod
+    def range(umin: int, umax: int) -> "Tnum":
+        """Smallest tnum containing every value in [umin, umax]."""
+        if umin > umax:
+            return Tnum.unknown()
+        chi = umin ^ umax
+        bits = chi.bit_length()
+        if bits > 63:
+            return Tnum.unknown()
+        delta = (1 << bits) - 1
+        return Tnum(umin & ~delta, delta)
+
+    # -- predicates -----------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.mask == 0
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.mask == U64
+
+    def contains(self, v: int) -> bool:
+        return (v & U64 & ~self.mask) == self.value
+
+    def is_subset_of(self, other: "Tnum") -> bool:
+        """Every value in self is also in other."""
+        if self.mask & ~other.mask:
+            return False
+        return (self.value & ~other.mask) == other.value
+
+    @property
+    def umin(self) -> int:
+        return self.value
+
+    @property
+    def umax(self) -> int:
+        return (self.value | self.mask) & U64
+
+    # -- arithmetic (kernel tnum.c algorithms) ----------------------------
+
+    def add(self, other: "Tnum") -> "Tnum":
+        sm = (self.mask + other.mask) & U64
+        sv = (self.value + other.value) & U64
+        sigma = (sm + sv) & U64
+        chi = sigma ^ sv
+        mu = (chi | self.mask | other.mask) & U64
+        return Tnum(sv & ~mu, mu)
+
+    def sub(self, other: "Tnum") -> "Tnum":
+        dv = (self.value - other.value) & U64
+        alpha = (dv + self.mask) & U64
+        beta = (dv - other.mask) & U64
+        chi = alpha ^ beta
+        mu = (chi | self.mask | other.mask) & U64
+        return Tnum(dv & ~mu, mu)
+
+    def and_(self, other: "Tnum") -> "Tnum":
+        alpha = self.value | self.mask
+        beta = other.value | other.mask
+        v = self.value & other.value
+        return Tnum(v, (alpha & beta & ~v) & U64)
+
+    def or_(self, other: "Tnum") -> "Tnum":
+        v = self.value | other.value
+        mu = self.mask | other.mask
+        return Tnum(v, (mu & ~v) & U64)
+
+    def xor(self, other: "Tnum") -> "Tnum":
+        v = self.value ^ other.value
+        mu = (self.mask | other.mask) & U64
+        return Tnum((v & ~mu) & U64, mu)
+
+    def mul(self, other: "Tnum") -> "Tnum":
+        """Kernel's shift-and-add tnum multiplication."""
+        a, b = self, other
+        acc_v = (a.value * b.value) & U64
+        acc_m = Tnum.const(0)
+        while a.value or a.mask:
+            if a.value & 1:
+                acc_m = acc_m.add(Tnum(0, b.mask))
+            elif a.mask & 1:
+                acc_m = acc_m.add(Tnum(0, (b.value | b.mask) & U64))
+            a = a.rshift(1)
+            b = b.lshift(1)
+        return Tnum.const(acc_v).add(acc_m)
+
+    def lshift(self, shift: int) -> "Tnum":
+        return Tnum((self.value << shift) & U64, (self.mask << shift) & U64)
+
+    def rshift(self, shift: int) -> "Tnum":
+        return Tnum(self.value >> shift, self.mask >> shift)
+
+    def arshift(self, shift: int, width: int = 64) -> "Tnum":
+        """Arithmetic right shift within ``width`` bits.
+
+        A known sign bit shifts known copies of itself in; an unknown
+        sign bit makes all shifted-in positions unknown.
+        """
+        wmask = (1 << width) - 1
+        v = self.value & wmask
+        m = self.mask & wmask
+        sign = 1 << (width - 1)
+        shift = min(shift, width - 1)
+        vs = v >> shift
+        ms = m >> shift
+        high = wmask & ~(wmask >> shift)  # positions vacated by the shift
+        if m & sign:  # sign unknown: vacated bits unknown
+            return Tnum(vs, ms | high)
+        if v & sign:  # known negative: vacated bits known one
+            return Tnum(vs | high, ms)
+        return Tnum(vs, ms)
+
+    def intersect(self, other: "Tnum") -> "Tnum":
+        """Values in both; caller must ensure compatibility."""
+        v = self.value | other.value
+        mu = self.mask & other.mask
+        return Tnum(v & ~mu, mu)
+
+    def union(self, other: "Tnum") -> "Tnum":
+        """Smallest tnum containing both (join for widening/merging)."""
+        chi = (self.value ^ other.value) | self.mask | other.mask
+        return Tnum(self.value & ~chi & U64, chi & U64)
+
+    def cast(self, size: int) -> "Tnum":
+        """Truncate to ``size`` bytes (e.g. after a 32-bit ALU op)."""
+        if size >= 8:
+            return self
+        m = (1 << (size * 8)) - 1
+        return Tnum(self.value & m, self.mask & m)
+
+    def __repr__(self) -> str:
+        if self.is_const:
+            return f"Tnum({self.value:#x})"
+        if self.is_unknown:
+            return "Tnum(?)"
+        return f"Tnum(v={self.value:#x}, m={self.mask:#x})"

@@ -1,0 +1,445 @@
+"""Abstract values: the verifier's register state.
+
+Each register holds either a scalar — tracked by a tnum plus
+signed/unsigned 64-bit intervals, as in the kernel verifier — or a typed
+pointer into one of the memory kinds an extension can reach:
+
+* kernel-owned: context, stack, map values, packet data, sockets.
+  Accesses are *verified* (kernel-interface compliance, §3): the bounds
+  must be provable or the program is rejected.
+* extension-owned: the KFlex heap.  Accesses are *guarded* (SFI, §3.2)
+  unless provably safe, in which case Kie elides the guard (§5.4).
+
+``PTR_TO_HEAP`` carries an ``anchor``: ``"base"`` means the tracked
+offset is relative to the heap start (valid span ``[0, heap_size)``),
+``"object"`` means it is relative to a ``kflex_malloc`` allocation of
+``mem_size`` bytes located somewhere inside the heap.  Guard pages of
+2**15 bytes on each side (§4.1) mean an access is memory-safe whenever
+its offset stays within ``[-GUARD, span+GUARD)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum, auto
+
+from repro.ebpf.isa import U64, to_s64
+from repro.ebpf.verifier.tnum import Tnum
+
+S64_MIN = -(1 << 63)
+S64_MAX = (1 << 63) - 1
+U64_MAX = U64
+U32_MAX = (1 << 32) - 1
+
+
+class RType(Enum):
+    NOT_INIT = auto()
+    SCALAR = auto()
+    PTR_TO_CTX = auto()
+    PTR_TO_STACK = auto()
+    CONST_PTR_TO_MAP = auto()
+    PTR_TO_MAP_VALUE = auto()
+    PTR_TO_PACKET = auto()
+    PTR_TO_PACKET_END = auto()
+    PTR_TO_SOCK = auto()
+    PTR_TO_HEAP = auto()
+
+
+#: Pointer types that must never leak into user-visible memory.
+KERNEL_POINTERS = {
+    RType.PTR_TO_CTX,
+    RType.PTR_TO_STACK,
+    RType.CONST_PTR_TO_MAP,
+    RType.PTR_TO_MAP_VALUE,
+    RType.PTR_TO_PACKET,
+    RType.PTR_TO_PACKET_END,
+    RType.PTR_TO_SOCK,
+}
+
+
+@dataclass(frozen=True)
+class RegState:
+    """Abstract state of one register (immutable; ops return new states)."""
+
+    type: RType = RType.NOT_INIT
+    # Scalar value domain; for pointer types these fields describe the
+    # *variable* part of the offset (kernel convention).
+    var_off: Tnum = Tnum.const(0)
+    smin: int = 0
+    smax: int = 0
+    umin: int = 0
+    umax: int = 0
+    #: Constant part of a pointer offset.
+    off: int = 0
+    #: Referenced map (CONST_PTR_TO_MAP / PTR_TO_MAP_VALUE).
+    map: object | None = None
+    #: Size of the pointed-to object (map value size, malloc size).
+    mem_size: int = 0
+    #: For PTR_TO_HEAP: "base" or "object" (see module docstring).
+    anchor: str = "base"
+    #: Reference id for acquired objects (sockets); 0 = not a reference.
+    ref_id: int = 0
+    #: Value identity, for null-check propagation, packet-range
+    #: propagation and lock identification.
+    id: int = 0
+    #: The pointer may be NULL (must be null-checked before use).
+    maybe_null: bool = False
+    #: For PTR_TO_PACKET: bytes proven readable past the packet start
+    #: (established by comparisons against data_end).
+    pkt_range: int = 0
+    #: Scalar provenance: True when this value was a heap pointer whose
+    #: arithmetic escaped provable bounds.  Used only for Table 3
+    #: accounting (such guards are "pointer manipulation", not
+    #: "pointer formation").
+    derived: bool = False
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def not_init() -> "RegState":
+        return RegState()
+
+    @staticmethod
+    def unknown(rid: int = 0) -> "RegState":
+        return RegState(
+            RType.SCALAR,
+            Tnum.unknown(),
+            S64_MIN,
+            S64_MAX,
+            0,
+            U64_MAX,
+            id=rid,
+        )
+
+    @staticmethod
+    def const(v: int) -> "RegState":
+        v &= U64
+        s = to_s64(v)
+        return RegState(RType.SCALAR, Tnum.const(v), s, s, v, v)
+
+    @staticmethod
+    def scalar_range(umin: int, umax: int) -> "RegState":
+        reg = RegState(
+            RType.SCALAR, Tnum.range(umin, umax), S64_MIN, S64_MAX, umin, umax
+        )
+        return reg.deduce_bounds()
+
+    # -- predicates -----------------------------------------------------
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.type == RType.SCALAR
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.type not in (RType.NOT_INIT, RType.SCALAR)
+
+    @property
+    def is_const(self) -> bool:
+        return self.is_scalar and self.var_off.is_const
+
+    @property
+    def const_value(self) -> int:
+        return self.var_off.value
+
+    @property
+    def is_null_const(self) -> bool:
+        return self.is_const and self.const_value == 0
+
+    # -- bounds plumbing --------------------------------------------------
+
+    def deduce_bounds(self) -> "RegState":
+        """Tighten interval bounds from the tnum and vice versa
+        (mirrors the kernel's __update_reg_bounds/__reg_deduce_bounds)."""
+        t = self.var_off
+        umin = max(self.umin, t.umin)
+        umax = min(self.umax, t.umax)
+        smin, smax = self.smin, self.smax
+        # If the sign bit is known, unsigned and signed ranges relate.
+        if umax <= S64_MAX:  # sign bit known zero
+            smin = max(smin, umin)
+            smax = min(smax, umax)
+            if smin < 0:
+                smin = umin
+        elif umin > S64_MAX:  # sign bit known one
+            smin = max(smin, to_s64(umin))
+            smax = min(smax, to_s64(umax))
+        if smin >= 0:
+            umin = max(umin, smin)
+            umax = min(umax, smax if smax >= 0 else umax)
+        if umin > umax or smin > smax:
+            # Contradictory knowledge; fall back to the tnum's view to
+            # stay sound (the path is infeasible anyway).
+            umin, umax = t.umin, t.umax
+            smin, smax = S64_MIN, S64_MAX
+        return replace(self, umin=umin, umax=umax, smin=smin, smax=smax)
+
+    def widen_to_unknown(self) -> "RegState":
+        """Forget scalar knowledge (loop widening)."""
+        if self.type == RType.SCALAR:
+            return RegState.unknown(self.id)
+        return replace(
+            self,
+            var_off=Tnum.unknown(),
+            smin=S64_MIN,
+            smax=S64_MAX,
+            umin=0,
+            umax=U64_MAX,
+        )
+
+    # -- subsumption (state pruning) --------------------------------------
+
+    def subsumes(self, other: "RegState", idmap: dict[int, int]) -> bool:
+        """True if every concrete state of ``other`` is covered by self.
+
+        ``idmap`` canonicalises value ids across the two states (the
+        kernel's check_ids): ids must correspond one-to-one.
+        """
+        if self.type == RType.NOT_INIT:
+            return True  # we knew nothing before; anything refines it
+        if self.type != other.type:
+            return False
+        # Scalar ids are only used transiently (null-check propagation
+        # happens on pointers); requiring id equality on scalars would
+        # block pruning of loops that launder values through arithmetic.
+        if self.type != RType.SCALAR and not _ids_match(self.id, other.id, idmap):
+            return False
+        if self.type == RType.SCALAR:
+            return (
+                other.var_off.is_subset_of(self.var_off)
+                and self.umin <= other.umin
+                and self.umax >= other.umax
+                and self.smin <= other.smin
+                and self.smax >= other.smax
+            )
+        if (
+            self.map is not other.map
+            or self.mem_size != other.mem_size
+            or self.anchor != other.anchor
+            or self.ref_id != other.ref_id
+            or self.maybe_null != other.maybe_null
+        ):
+            return False
+        if self.type == RType.PTR_TO_PACKET and self.pkt_range > other.pkt_range:
+            return False
+        if self.off != other.off:
+            # Variable-offset pointers could fold the difference into
+            # bounds; keep it simple and require equal fixed offsets.
+            return False
+        return (
+            other.var_off.is_subset_of(self.var_off)
+            and self.umin <= other.umin
+            and self.umax >= other.umax
+        )
+
+    def join(self, other: "RegState") -> "RegState":
+        """Least upper bound for widening at loop headers."""
+        if self.type != other.type:
+            return RegState.unknown()
+        if self.type == RType.SCALAR:
+            return RegState(
+                RType.SCALAR,
+                self.var_off.union(other.var_off),
+                min(self.smin, other.smin),
+                max(self.smax, other.smax),
+                min(self.umin, other.umin),
+                max(self.umax, other.umax),
+                id=self.id if self.id == other.id else 0,
+            )
+        if (
+            self.map is not other.map
+            or self.anchor != other.anchor
+            or self.ref_id != other.ref_id
+        ):
+            return RegState.unknown()
+        return replace(
+            self,
+            var_off=self.var_off.union(other.var_off),
+            smin=min(self.smin, other.smin),
+            smax=max(self.smax, other.smax),
+            umin=min(self.umin, other.umin),
+            umax=max(self.umax, other.umax),
+            off=self.off if self.off == other.off else 0,
+            mem_size=min(self.mem_size, other.mem_size),
+            pkt_range=min(self.pkt_range, other.pkt_range),
+            maybe_null=self.maybe_null or other.maybe_null,
+            id=self.id if self.id == other.id else 0,
+        )
+
+
+def _ids_match(a: int, b: int, idmap: dict[int, int]) -> bool:
+    if a == 0 and b == 0:
+        return True
+    if (a == 0) != (b == 0):
+        return False
+    if a in idmap:
+        return idmap[a] == b
+    if b in idmap.values():
+        return False
+    idmap[a] = b
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Scalar ALU transfer functions
+# ---------------------------------------------------------------------------
+
+
+def _wrap_u(v: int) -> int:
+    return v & U64
+
+
+def scalar_add(a: RegState, b: RegState) -> RegState:
+    t = a.var_off.add(b.var_off)
+    if a.smin + b.smin < S64_MIN or a.smax + b.smax > S64_MAX:
+        smin, smax = S64_MIN, S64_MAX
+    else:
+        smin, smax = a.smin + b.smin, a.smax + b.smax
+    if a.umax + b.umax > U64_MAX:
+        umin, umax = 0, U64_MAX
+    else:
+        umin, umax = a.umin + b.umin, a.umax + b.umax
+    return RegState(RType.SCALAR, t, smin, smax, umin, umax).deduce_bounds()
+
+
+def scalar_sub(a: RegState, b: RegState) -> RegState:
+    t = a.var_off.sub(b.var_off)
+    if a.smin - b.smax < S64_MIN or a.smax - b.smin > S64_MAX:
+        smin, smax = S64_MIN, S64_MAX
+    else:
+        smin, smax = a.smin - b.smax, a.smax - b.smin
+    if a.umin < b.umax:
+        umin, umax = 0, U64_MAX
+    else:
+        umin, umax = a.umin - b.umax, a.umax - b.umin
+    return RegState(RType.SCALAR, t, smin, smax, umin, umax).deduce_bounds()
+
+
+def scalar_mul(a: RegState, b: RegState) -> RegState:
+    t = a.var_off.mul(b.var_off)
+    if a.umax * b.umax <= U64_MAX and a.umin >= 0 and b.umin >= 0:
+        umin, umax = a.umin * b.umin, a.umax * b.umax
+        smin = umin if umax <= S64_MAX else S64_MIN
+        smax = umax if umax <= S64_MAX else S64_MAX
+    else:
+        umin, umax, smin, smax = 0, U64_MAX, S64_MIN, S64_MAX
+    return RegState(RType.SCALAR, t, smin, smax, umin, umax).deduce_bounds()
+
+
+def scalar_div(a: RegState, b: RegState) -> RegState:
+    # eBPF div-by-zero yields 0, so 0 is always a possible result.
+    if b.is_const and b.const_value != 0:
+        umax = a.umax // b.const_value
+    else:
+        umax = a.umax
+    return RegState(
+        RType.SCALAR, Tnum.range(0, umax), 0, min(umax, S64_MAX), 0, umax
+    ).deduce_bounds()
+
+
+def scalar_mod(a: RegState, b: RegState) -> RegState:
+    # mod-by-zero leaves dst unchanged, so the result is bounded by
+    # max(a.umax, b.umax - 1).
+    if b.is_const and b.const_value != 0 and b.umin > 0:
+        umax = b.const_value - 1
+    else:
+        umax = max(a.umax, b.umax - 1 if b.umax else 0)
+    return RegState(
+        RType.SCALAR, Tnum.range(0, umax), 0, min(umax, S64_MAX), 0, umax
+    ).deduce_bounds()
+
+
+def _from_tnum(t: Tnum) -> RegState:
+    umin, umax = t.umin, t.umax
+    smin = umin if umax <= S64_MAX else S64_MIN
+    smax = umax if umax <= S64_MAX else S64_MAX
+    return RegState(RType.SCALAR, t, smin, smax, umin, umax).deduce_bounds()
+
+
+def scalar_and(a: RegState, b: RegState) -> RegState:
+    reg = _from_tnum(a.var_off.and_(b.var_off))
+    # AND cannot increase an unsigned value.
+    return replace(reg, umax=min(reg.umax, a.umax, b.umax)).deduce_bounds()
+
+
+def scalar_or(a: RegState, b: RegState) -> RegState:
+    reg = _from_tnum(a.var_off.or_(b.var_off))
+    return replace(reg, umin=max(reg.umin, a.umin, b.umin)).deduce_bounds()
+
+
+def scalar_xor(a: RegState, b: RegState) -> RegState:
+    return _from_tnum(a.var_off.xor(b.var_off))
+
+
+def scalar_lsh(a: RegState, b: RegState) -> RegState:
+    if b.is_const:
+        sh = b.const_value & 63
+        t = a.var_off.lshift(sh)
+        if a.umax <= (U64_MAX >> sh):
+            return RegState(
+                RType.SCALAR,
+                t,
+                0 if a.smin < 0 else a.smin << sh,
+                S64_MAX if (a.smax << sh) > S64_MAX else a.smax << sh,
+                a.umin << sh,
+                a.umax << sh,
+            ).deduce_bounds()
+        return _from_tnum(t)
+    return RegState.unknown()
+
+
+def scalar_rsh(a: RegState, b: RegState) -> RegState:
+    if b.is_const:
+        sh = b.const_value & 63
+        return RegState(
+            RType.SCALAR,
+            a.var_off.rshift(sh),
+            0,
+            min(a.umax >> sh, S64_MAX),
+            a.umin >> sh,
+            a.umax >> sh,
+        ).deduce_bounds()
+    return RegState.unknown()
+
+
+def scalar_arsh(a: RegState, b: RegState) -> RegState:
+    if b.is_const:
+        sh = b.const_value & 63
+        return RegState(
+            RType.SCALAR,
+            a.var_off.arshift(sh),
+            a.smin >> sh,
+            a.smax >> sh,
+            0,
+            U64_MAX,
+        ).deduce_bounds()
+    return RegState.unknown()
+
+
+def scalar_neg(a: RegState) -> RegState:
+    return scalar_sub(RegState.const(0), a)
+
+
+SCALAR_OPS = {
+    "add": scalar_add,
+    "sub": scalar_sub,
+    "mul": scalar_mul,
+    "div": scalar_div,
+    "mod": scalar_mod,
+    "and": scalar_and,
+    "or": scalar_or,
+    "xor": scalar_xor,
+    "lsh": scalar_lsh,
+    "rsh": scalar_rsh,
+    "arsh": scalar_arsh,
+}
+
+
+def truncate32(reg: RegState) -> RegState:
+    """Zero-extend a 32-bit ALU result (upper bits known zero)."""
+    t = reg.var_off.cast(4)
+    umin, umax = t.umin, t.umax
+    if reg.umax <= U32_MAX and reg.umin <= reg.umax:
+        umin = max(umin, reg.umin)
+        umax = min(umax, reg.umax)
+    return RegState(RType.SCALAR, t, umin, umax, umin, umax, id=0).deduce_bounds()

@@ -1,0 +1,1483 @@
+"""The verifier driver: symbolic execution, compliance checks, analysis.
+
+This implements the split at the heart of KFlex (§3):
+
+* **Kernel-owned memory** (context, stack, map values, packet data,
+  sockets) is *verified*: any access that cannot be proven in-bounds and
+  well-typed rejects the program, exactly as in eBPF.
+* **Extension-owned memory** (the KFlex heap) is *checked at runtime*:
+  accesses are never rejected; instead the verifier's range analysis
+  decides, per access, whether the SFI guard can be elided (§3.2, §5.4).
+
+On top of the per-path state the verifier computes everything Kie and
+the runtime need (§3.3, §4.3):
+
+* the set of loop back edges whose termination could not be established
+  statically (C1 cancellation-point sites);
+* per-cancellation-point *object tables* — where each acquired kernel
+  resource lives (register or stack slot) and which destructor releases
+  it — including the branch-merge corner case of §4.3, resolved by
+  spilling conflicting resources to designated stack slots;
+* the loop-convergence check of §3.1: kernel resources acquired within
+  a loop iteration must be released by its end;
+* translate-on-store sites for user-shared heaps (§3.4).
+
+In ``mode="ebpf"`` the verifier behaves like upstream: unbounded loops,
+multiple locks, scalar-based memory accesses and KFlex-only helpers are
+all rejected.  This mode runs the BMC baseline and the compatibility
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import VerificationError
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn, U64, sign_extend, to_s64
+from repro.ebpf.program import Program, PSEUDO_MAP_FD, PSEUDO_HEAP_OFF
+from repro.ebpf.helpers import DECLARATIONS, KFLEX_ONLY, Arg, Ret
+from repro.ebpf.rewrite import jump_target_index
+from repro.ebpf.verifier.tnum import Tnum
+from repro.ebpf.verifier.cfg import build_cfg
+from repro.ebpf.verifier.state import Ref, Slot, VerifierState, STACK_SIZE
+from repro.ebpf.verifier.value import (
+    KERNEL_POINTERS,
+    RegState,
+    RType,
+    S64_MAX,
+    S64_MIN,
+    SCALAR_OPS,
+    U64_MAX,
+    truncate32,
+)
+
+#: Guard-page span (must match repro.kernel.vmalloc.GUARD_SIZE).
+GUARD_SLACK = 1 << 15
+
+#: Socket object size extensions may read (bpf_sock fields).
+SOCK_READ_SIZE = 64
+
+
+@dataclass
+class CtxField:
+    off: int
+    size: int
+    kind: str  # "scalar" | "packet_data" | "packet_end"
+    name: str = ""
+
+
+@dataclass
+class CtxLayout:
+    name: str
+    size: int
+    fields: dict[int, CtxField] = field(default_factory=dict)
+
+    @staticmethod
+    def xdp() -> "CtxLayout":
+        return CtxLayout(
+            "xdp_md",
+            16,
+            {
+                0: CtxField(0, 8, "packet_data", "data"),
+                8: CtxField(8, 8, "packet_end", "data_end"),
+            },
+        )
+
+    @staticmethod
+    def sk_skb() -> "CtxLayout":
+        return CtxLayout(
+            "sk_skb",
+            24,
+            {
+                0: CtxField(0, 8, "packet_data", "data"),
+                8: CtxField(8, 8, "packet_end", "data_end"),
+                16: CtxField(16, 8, "scalar", "sk_cookie"),
+            },
+        )
+
+    @staticmethod
+    def bench(size: int = 64) -> "CtxLayout":
+        """A flat scalar context for microbenchmark extensions: reads of
+        any aligned field are plain scalars."""
+        layout = CtxLayout("bench", size)
+        for off in range(0, size, 8):
+            layout.fields[off] = CtxField(off, 8, "scalar", f"arg{off // 8}")
+        return layout
+
+
+CTX_LAYOUTS = {
+    "xdp": CtxLayout.xdp,
+    "sk_skb": CtxLayout.sk_skb,
+    "bench": CtxLayout.bench,
+    "tracepoint": CtxLayout.bench,
+    "lsm": CtxLayout.bench,
+}
+
+
+@dataclass
+class VerifierConfig:
+    mode: str = "kflex"  # "kflex" | "ebpf"
+    #: Performance mode (§3.2/§4.2): loads are not sanitised.
+    perf_mode: bool = False
+    #: Allow storing kernel pointers into the extension heap.
+    allow_ptr_leaks: bool = False
+    #: Back-edge visits before scalar widening kicks in.  Below this,
+    #: loops unroll (so constant-bound loops verify precisely and get
+    #: no cancellation point).
+    widen_threshold: int = 24
+    #: Total instruction-visits budget (the kernel's 1M insn cap).
+    insn_budget: int = 2_000_000
+    #: Cached states kept per pruning point.
+    max_states_per_insn: int = 64
+    #: Instrument stores of heap pointers for user-space sharing (§3.4).
+    translate_on_store: bool = False
+    #: Guard elision via range analysis (§3.2/§5.4).  Disabled only by
+    #: the ablation benchmark, to measure what the co-design buys.
+    elision: bool = True
+
+
+@dataclass
+class HeapAccess:
+    """Verdict for one heap-touching memory instruction."""
+
+    insn_idx: int
+    kind: str  # "load" | "store" | "atomic"
+    base_reg: int
+    #: "formation" — untrusted scalar used as a pointer (guard mandatory,
+    #: excluded from Table 3 totals); "manipulation" — derived heap
+    #: pointer whose bounds were not provable (guard emitted);
+    #: "elided" — proven safe by range analysis (no guard).
+    category: str
+    guard: bool
+
+
+@dataclass
+class ObjTableEntry:
+    loc_kind: str  # "reg" | "stack"
+    loc: int  # register number or stack offset
+    res_kind: str  # "sock" | "lock"
+    destructor: int  # helper id
+    site: int  # acquiring call insn
+
+    def key(self) -> tuple:
+        return (self.loc_kind, self.loc, self.res_kind)
+
+
+@dataclass
+class Analysis:
+    """Everything Kie and the runtime consume."""
+
+    accesses: dict[int, HeapAccess] = field(default_factory=dict)
+    #: Back-edge jump insns of loops not proven terminating (C1 sites).
+    cp_back_edges: set[int] = field(default_factory=set)
+    #: insn idx (heap access or back edge) -> object table.
+    object_tables: dict[int, tuple[ObjTableEntry, ...]] = field(default_factory=dict)
+    #: Store insns needing translate-on-store instrumentation.
+    translate_stores: set[int] = field(default_factory=set)
+    #: Deepest stack byte used (negative offset magnitude).
+    max_stack: int = 0
+    #: Acquiring call insn -> designated spill slot offset.
+    spill_slots: dict[int, int] = field(default_factory=dict)
+    #: Releasing call insn -> spill slot offsets to clear.
+    release_clears: dict[int, list[int]] = field(default_factory=dict)
+    #: Verification effort, mirroring the kernel's verifier stats.
+    insns_processed: int = 0
+    #: Whether any loop required widening (i.e. is not statically bounded).
+    has_unbounded_loops: bool = False
+
+    # -- Table 3 accounting (§5.4) ------------------------------------
+
+    @property
+    def guards_total_candidates(self) -> int:
+        """Guard sites on pointer manipulation (formation excluded)."""
+        return sum(
+            1 for a in self.accesses.values() if a.category in ("elided", "manipulation")
+        )
+
+    @property
+    def guards_elided(self) -> int:
+        return sum(1 for a in self.accesses.values() if a.category == "elided")
+
+    @property
+    def guards_emitted(self) -> int:
+        return sum(1 for a in self.accesses.values() if a.guard)
+
+
+@dataclass
+class _CpRecord:
+    """Incremental object-table merge state for one Cp (see §4.3)."""
+
+    entries: dict[tuple, ObjTableEntry] = field(default_factory=dict)
+    n_paths: int = 0
+    present: dict[tuple, int] = field(default_factory=dict)
+    zero: dict[tuple, int] = field(default_factory=dict)
+    conflict_sites: set[int] = field(default_factory=set)
+
+
+class Verifier:
+    def __init__(
+        self,
+        program: Program,
+        config: VerifierConfig | None = None,
+        *,
+        heap_size: int | None = None,
+    ):
+        self.prog = program
+        self.cfg_opts = config or VerifierConfig()
+        self.heap_size = heap_size if heap_size is not None else program.heap_size
+        if self.cfg_opts.mode == "ebpf" and self.heap_size:
+            raise VerificationError("eBPF mode does not support extension heaps")
+        self.ctx_layout = CTX_LAYOUTS[program.hook]()
+        self._id_counter = 0
+        self._pkt_id = 0
+
+    # ------------------------------------------------------------------
+    # public entry
+    # ------------------------------------------------------------------
+
+    def verify(self) -> Analysis:
+        analysis, spill_sites = self._explore(spill_sites={})
+        if spill_sites:
+            # §4.3: conflicting object-table locations — re-verify with
+            # the conflicting acquisition sites spilled to designated
+            # stack slots.
+            slots = self._assign_spill_slots(analysis.max_stack, spill_sites)
+            analysis, leftover = self._explore(spill_sites=slots)
+            if leftover:
+                raise VerificationError(
+                    "object tables still conflict after spilling; "
+                    "ambiguous resource flow"
+                )
+            analysis.spill_slots = slots
+        return analysis
+
+    def _assign_spill_slots(
+        self, max_stack: int, sites: set[int]
+    ) -> dict[int, int]:
+        slots: dict[int, int] = {}
+        off = -((max_stack + 7) // 8 * 8)
+        for site in sorted(sites):
+            off -= 8
+            if off < -STACK_SIZE:
+                raise VerificationError(
+                    "no stack room for cancellation spill slots"
+                )
+            slots[site] = off
+        return slots
+
+    # ------------------------------------------------------------------
+    # exploration
+    # ------------------------------------------------------------------
+
+    def _fresh_id(self) -> int:
+        self._id_counter += 1
+        return self._id_counter
+
+    def _explore(self, spill_sites: dict[int, int]):
+        insns = self.prog.insns
+        if not insns:
+            raise VerificationError("empty program")
+        if not insns[-1].is_exit and not insns[-1].is_jump:
+            raise VerificationError("program does not end with exit/jump", len(insns) - 1)
+        cfg = build_cfg(insns)
+        opts = self.cfg_opts
+
+        analysis = Analysis()
+        cp_records: dict[int, _CpRecord] = {}
+        spill_conflicts: set[int] = set()
+        release_clears: dict[int, set[int]] = {}
+        # Pruning points: join points and jump targets.
+        prune_points = {
+            i for i in range(len(insns)) if len(cfg.pred[i]) > 1
+        } | {dst for (_, dst) in cfg.back_edges}
+        seen: dict[int, list[VerifierState]] = {}
+        visits: dict[int, int] = {}
+        header_ref_sig: dict[int, tuple] = {}
+
+        init = VerifierState()
+        init.regs[1] = RegState(RType.PTR_TO_CTX, Tnum.const(0), 0, 0, 0, 0)
+        init.regs[10] = RegState(RType.PTR_TO_STACK, Tnum.const(0), 0, 0, 0, 0)
+        for site, off in spill_sites.items():
+            init.stack[off] = Slot("spill", RegState.const(0))
+
+        # Worklist of (insn idx, state, came_via_back_edge_from).
+        stack: list[tuple[int, VerifierState, int | None]] = [(0, init, None)]
+        processed = 0
+
+        while stack:
+            idx, st, via = stack.pop()
+            if processed > opts.insn_budget:
+                raise VerificationError(
+                    f"verification budget exceeded ({opts.insn_budget} insns)"
+                )
+
+            # -- pruning / widening at join points ----------------------
+            if idx in prune_points:
+                sig = st.refs_signature()
+                if idx not in header_ref_sig:
+                    header_ref_sig[idx] = sig
+                is_back = via is not None and cfg.is_back_edge(via, idx)
+                if is_back and sig != header_ref_sig[idx]:
+                    raise VerificationError(
+                        "kernel resources acquired in loop do not converge "
+                        f"(held at loop head: {header_ref_sig[idx]}, "
+                        f"after iteration: {sig})",
+                        idx,
+                    )
+                cached_list = seen.setdefault(idx, [])
+                live = cfg.live_in[idx]
+                pruned = False
+                for cached in cached_list:
+                    if st.subsumed_by(cached, live):
+                        pruned = True
+                        break
+                if pruned:
+                    if is_back:
+                        if opts.mode == "ebpf":
+                            # The loop state repeats with no progress:
+                            # termination cannot be established, and
+                            # eBPF rejects such loops (§2.2).
+                            raise VerificationError(
+                                "back-edge with repeating state (eBPF "
+                                "rejects loops without computable bounds)",
+                                via,
+                            )
+                        # KFlex: the loop is not statically terminating —
+                        # its back edge becomes a cancellation point (C1).
+                        self._mark_unbounded(analysis, via)
+                    continue
+                visits[idx] = visits.get(idx, 0) + 1
+                if (
+                    is_back
+                    and opts.mode == "kflex"
+                    and visits[idx] >= opts.widen_threshold
+                ):
+                    # Counting loops advance the state forever; widen to
+                    # reach the fixpoint instead of unrolling.  (eBPF
+                    # mode keeps unrolling until the insn budget trips,
+                    # mirroring the kernel's "too complex" rejection.)
+                    st = st.widen_against(cached_list[-1], live)
+                    self._mark_unbounded(analysis, via)
+                if len(cached_list) >= opts.max_states_per_insn:
+                    # Evict the oldest cached state: never starve the
+                    # cache, or unmatched loop states would re-explore
+                    # indefinitely.
+                    cached_list.pop(0)
+                cached_list.append(st.clone())
+
+            # -- linear execution until branch/exit ---------------------
+            while True:
+                processed += 1
+                insn = insns[idx]
+                st.processed += 1
+
+                # Cancellation-point bookkeeping (§3.3): object tables
+                # are recorded at heap accesses (C2) and at loop back
+                # edges (C1) with the pre-instruction state.
+                if insn.is_mem_access:
+                    if self._is_heap_access_candidate(insn, st):
+                        self._record_cp(cp_records, idx, st, spill_sites, spill_conflicts)
+                elif insn.is_jump and any(
+                    (idx, t) in cfg.back_edges for t in cfg.succ[idx]
+                ):
+                    self._record_cp(cp_records, idx, st, spill_sites, spill_conflicts)
+                elif insn.is_call:
+                    decl = DECLARATIONS.get(insn.imm)
+                    if decl is not None and (decl.may_spin or decl.may_sleep):
+                        # A spinning helper (lock acquire) is a
+                        # cancellation-prone site: the runtime may cancel
+                        # the extension while it waits (§4.4), so it
+                        # needs an object table of the resources held
+                        # *before* the call.
+                        self._record_cp(
+                            cp_records, idx, st, spill_sites, spill_conflicts
+                        )
+                elif insn.opcode in (
+                    isa.KFLEX_GUARD,
+                    isa.KFLEX_CANCELPT,
+                    isa.KFLEX_TRANSLATE,
+                ):
+                    raise VerificationError(
+                        "KFlex pseudo-instruction in input program", idx
+                    )
+
+                nxt = self._step(
+                    insns, idx, st, analysis, spill_sites, release_clears
+                )
+                if nxt is None:
+                    break  # exit reached or both branch arms pushed
+                new_idx, branch_states = nxt
+                if branch_states is not None:
+                    # Conditional: push both arms through the prune logic.
+                    for arm_idx, arm_state in branch_states:
+                        stack.append((arm_idx, arm_state, idx))
+                    break
+                if new_idx in prune_points or cfg.is_back_edge(idx, new_idx):
+                    stack.append((new_idx, st, idx))
+                    break
+                idx = new_idx
+
+        analysis.insns_processed = processed
+        analysis.max_stack = max(
+            analysis.max_stack,
+            max((-off for off in init.stack), default=0),
+        )
+        # Assemble object tables; collect conflicts.
+        for cp_idx, rec in cp_records.items():
+            for key, entry in rec.entries.items():
+                covered = rec.present.get(key, 0) + rec.zero.get(key, 0)
+                if covered < rec.n_paths:
+                    rec.conflict_sites.add(entry.site)
+            spill_conflicts |= rec.conflict_sites
+            analysis.object_tables[cp_idx] = tuple(rec.entries.values())
+        analysis.release_clears = {
+            site: sorted(offs) for site, offs in release_clears.items()
+        }
+        analysis.spill_slots = dict(spill_sites)
+        new_spills = spill_conflicts - set(spill_sites)
+        return analysis, new_spills
+
+    def _mark_unbounded(self, analysis: Analysis, back_edge_insn: int) -> None:
+        analysis.cp_back_edges.add(back_edge_insn)
+        analysis.has_unbounded_loops = True
+
+    # ------------------------------------------------------------------
+    # single-instruction transfer
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        insns,
+        idx,
+        st: VerifierState,
+        analysis: Analysis,
+        spill_sites,
+        release_clears,
+    ):
+        """Returns None (path done), or (next_idx, None) for fall-through,
+        or (_, [(idx, state), ...]) when both branch arms were produced."""
+        insn = insns[idx]
+        cls = insn.cls
+        op = insn.opcode
+
+        if cls in (isa.BPF_ALU, isa.BPF_ALU64):
+            self._do_alu(insn, st, idx)
+            return idx + 1, None
+
+        if insn.is_ld_imm64:
+            self._do_ld_imm64(insn, st, idx)
+            return idx + 1, None
+
+        if cls == isa.BPF_LDX:
+            self._do_load(insn, st, idx, analysis)
+            return idx + 1, None
+
+        if cls in (isa.BPF_ST, isa.BPF_STX):
+            self._do_store(insn, st, idx, analysis)
+            return idx + 1, None
+
+        if cls in (isa.BPF_JMP, isa.BPF_JMP32):
+            if insn.is_exit:
+                self._check_exit(st, idx)
+                return None
+            if insn.is_call:
+                self._do_call(insn, st, idx, spill_sites, release_clears)
+                return idx + 1, None
+            jop = op & isa.OP_MASK
+            if jop == isa.BPF_JA:
+                return jump_target_index(insns, idx), None
+            # Conditional branch: refine both arms.
+            taken_idx = jump_target_index(insns, idx)
+            arms = self._branch(insn, st, idx, cls == isa.BPF_JMP32)
+            out = []
+            for taken, arm_state in arms:
+                out.append((taken_idx if taken else idx + 1, arm_state))
+            return idx, out
+
+        raise VerificationError(f"unknown instruction class {cls:#x}", idx)
+
+    # -- ALU ------------------------------------------------------------
+
+    _ALU_NAMES = {
+        isa.BPF_ADD: "add",
+        isa.BPF_SUB: "sub",
+        isa.BPF_MUL: "mul",
+        isa.BPF_DIV: "div",
+        isa.BPF_MOD: "mod",
+        isa.BPF_OR: "or",
+        isa.BPF_AND: "and",
+        isa.BPF_XOR: "xor",
+        isa.BPF_LSH: "lsh",
+        isa.BPF_RSH: "rsh",
+        isa.BPF_ARSH: "arsh",
+    }
+
+    def _do_alu(self, insn: Insn, st: VerifierState, idx: int) -> None:
+        is64 = insn.cls == isa.BPF_ALU64
+        op = insn.opcode & isa.OP_MASK
+        dst = st.regs[insn.dst]
+
+        if op == isa.BPF_MOV:
+            if insn.opcode & isa.BPF_X:
+                src = st.regs[insn.src]
+                if src.type == RType.NOT_INIT:
+                    raise VerificationError(f"read of uninitialised r{insn.src}", idx)
+                st.regs[insn.dst] = src if is64 else truncate32(_as_scalar(src, self, idx))
+            else:
+                v = sign_extend(insn.imm, 32) & U64 if is64 else insn.imm & 0xFFFFFFFF
+                st.regs[insn.dst] = RegState.const(v)
+            return
+
+        if op == isa.BPF_END:
+            if not dst.is_scalar:
+                raise VerificationError("byteswap of pointer", idx)
+            st.regs[insn.dst] = RegState.unknown() if not dst.is_const else RegState.const(
+                _bswap(dst.const_value, insn.imm, bool(insn.opcode & isa.BPF_X))
+            )
+            return
+
+        if op == isa.BPF_NEG:
+            st.regs[insn.dst] = self._scalar_op("sub", RegState.const(0),
+                                                _as_scalar(dst, self, idx), is64)
+            return
+
+        name = self._ALU_NAMES.get(op)
+        if name is None:
+            raise VerificationError(f"unknown ALU op {op:#x}", idx)
+
+        if insn.opcode & isa.BPF_X:
+            src = st.regs[insn.src]
+            if src.type == RType.NOT_INIT:
+                raise VerificationError(f"read of uninitialised r{insn.src}", idx)
+        else:
+            v = sign_extend(insn.imm, 32) & U64 if is64 else insn.imm & 0xFFFFFFFF
+            src = RegState.const(v)
+        if dst.type == RType.NOT_INIT:
+            raise VerificationError(f"read of uninitialised r{insn.dst}", idx)
+
+        # Pointer arithmetic.
+        if dst.is_pointer or src.is_pointer:
+            if not is64:
+                raise VerificationError("32-bit arithmetic on pointer", idx)
+            st.regs[insn.dst] = self._pointer_alu(name, dst, src, idx)
+            return
+
+        st.regs[insn.dst] = self._scalar_op(name, dst, src, is64)
+
+    def _scalar_op(self, name: str, a: RegState, b: RegState, is64: bool) -> RegState:
+        if not is64:
+            a, b = truncate32(a), truncate32(b)
+        res = SCALAR_OPS[name](a, b)
+        return res if is64 else truncate32(res)
+
+    def _pointer_alu(self, name: str, dst: RegState, src: RegState, idx: int) -> RegState:
+        kflex = self.cfg_opts.mode == "kflex"
+        # ptr - ptr of compatible heap pointers gives a scalar.
+        if dst.is_pointer and src.is_pointer:
+            if name == "sub" and dst.type == src.type == RType.PTR_TO_HEAP:
+                return RegState.unknown(self._fresh_id())
+            raise VerificationError(
+                f"arithmetic '{name}' between two pointers", idx
+            )
+        ptr, scalar = (dst, src) if dst.is_pointer else (src, dst)
+        if name not in ("add", "sub") or (name == "sub" and src.is_pointer):
+            # e.g. AND on a pointer, or scalar - ptr.
+            if ptr.type == RType.PTR_TO_HEAP and kflex:
+                # Extension-owned pointer degraded to an untrusted
+                # scalar; any later dereference will be guarded.
+                a = RegState.unknown(self._fresh_id())
+                b = _as_plain_scalar(scalar)
+                return self._scalar_op(name, a if dst.is_pointer else b,
+                                       b if dst.is_pointer else a, True)
+            raise VerificationError(
+                f"invalid arithmetic '{name}' on pointer type {ptr.type.name}", idx
+            )
+
+        if ptr.type in (RType.PTR_TO_CTX, RType.PTR_TO_STACK, RType.CONST_PTR_TO_MAP,
+                        RType.PTR_TO_SOCK, RType.PTR_TO_PACKET_END):
+            if not scalar.is_const:
+                raise VerificationError(
+                    f"variable offset on {ptr.type.name} not allowed", idx
+                )
+            delta = to_s64(scalar.const_value)
+            if name == "sub":
+                delta = -delta
+            if not dst.is_pointer and name == "sub":
+                raise VerificationError("scalar - pointer", idx)
+            return replace(ptr, off=ptr.off + delta)
+
+        if ptr.maybe_null and ptr.type in (RType.PTR_TO_MAP_VALUE,):
+            raise VerificationError(
+                "arithmetic on possibly-NULL map value pointer", idx
+            )
+
+        # Variable-offset pointers (map value, packet, heap).
+        if name == "sub" and not dst.is_pointer:
+            raise VerificationError("scalar - pointer", idx)
+        if scalar.is_const:
+            delta = to_s64(scalar.const_value)
+            if name == "sub":
+                delta = -delta
+            return replace(ptr, off=ptr.off + delta)
+        # Fold variable part into the pointer's var_off/bounds.
+        s = scalar
+        if name == "sub":
+            # Conservative: subtracting an unknown leaves bounds unknown.
+            if s.umax > S64_MAX:
+                return self._degrade_heap(ptr, idx)
+            s = replace(
+                s,
+                var_off=Tnum.unknown(),
+                umin=0,
+                umax=U64_MAX,
+                smin=-s.smax if s.smax < S64_MAX else S64_MIN,
+                smax=-s.smin if s.smin > S64_MIN else S64_MAX,
+            )
+            new_var = ptr.var_off.sub(scalar.var_off)
+        else:
+            new_var = ptr.var_off.add(s.var_off)
+        if name == "add":
+            umin = ptr.umin + s.umin
+            umax = ptr.umax + s.umax
+            if umax > U64_MAX:
+                return self._degrade_heap(ptr, idx)
+        else:
+            umin, umax = 0, U64_MAX
+            if ptr.umin >= scalar.umax:
+                umin, umax = ptr.umin - scalar.umax, ptr.umax - scalar.umin
+        return replace(
+            ptr, var_off=new_var, umin=umin, umax=umax, smin=S64_MIN, smax=S64_MAX
+        )
+
+    def _degrade_heap(self, ptr: RegState, idx: int) -> RegState:
+        if ptr.type == RType.PTR_TO_HEAP and self.cfg_opts.mode == "kflex":
+            return replace(RegState.unknown(self._fresh_id()), derived=True)
+        raise VerificationError(
+            f"pointer arithmetic on {ptr.type.name} escapes provable bounds", idx
+        )
+
+    # -- LD_IMM64 ---------------------------------------------------------
+
+    def _do_ld_imm64(self, insn: Insn, st: VerifierState, idx: int) -> None:
+        if insn.src == PSEUDO_MAP_FD:
+            m = self.prog.maps.get(insn.imm64)
+            if m is None:
+                raise VerificationError(f"unknown map fd {insn.imm64}", idx)
+            st.regs[insn.dst] = RegState(
+                RType.CONST_PTR_TO_MAP, Tnum.const(0), 0, 0, 0, 0, map=m
+            )
+        elif insn.src == PSEUDO_HEAP_OFF:
+            if self.heap_size is None:
+                raise VerificationError("heap constant without declared heap", idx)
+            off = insn.imm64 or 0
+            if off >= self.heap_size:
+                raise VerificationError(
+                    f"heap constant offset {off:#x} beyond heap size", idx
+                )
+            st.regs[insn.dst] = RegState(
+                RType.PTR_TO_HEAP,
+                Tnum.const(0),
+                0,
+                0,
+                0,
+                0,
+                off=off,
+                anchor="base",
+                id=self._fresh_id(),
+            )
+        else:
+            st.regs[insn.dst] = RegState.const(insn.imm64 or 0)
+
+    # -- memory ------------------------------------------------------------
+
+    def _is_heap_access_candidate(self, insn: Insn, st: VerifierState) -> bool:
+        base_reg = insn.src if insn.cls == isa.BPF_LDX else insn.dst
+        base = st.regs[base_reg]
+        return base.type == RType.PTR_TO_HEAP or (
+            base.is_scalar and self.heap_size is not None
+        )
+
+    def _do_load(self, insn: Insn, st, idx: int, analysis: Analysis) -> None:
+        size = isa.size_bytes(insn.opcode)
+        base = st.regs[insn.src]
+        off = insn.off
+        if base.type == RType.NOT_INIT:
+            raise VerificationError(f"load via uninitialised r{insn.src}", idx)
+
+        if base.type == RType.PTR_TO_STACK:
+            val, err = st.stack_read(base.off + off, size)
+            if err:
+                raise VerificationError(err, idx)
+            analysis.max_stack = max(analysis.max_stack, -(base.off + off))
+            st.regs[insn.dst] = val
+            return
+
+        if base.type == RType.PTR_TO_CTX:
+            st.regs[insn.dst] = self._ctx_load(base.off + off, size, idx)
+            return
+
+        if base.type == RType.PTR_TO_MAP_VALUE:
+            self._check_map_value_access(base, off, size, idx)
+            st.regs[insn.dst] = RegState.unknown(self._fresh_id())
+            return
+
+        if base.type == RType.PTR_TO_PACKET:
+            self._check_packet_access(base, off, size, idx)
+            st.regs[insn.dst] = RegState.unknown(self._fresh_id())
+            return
+
+        if base.type == RType.PTR_TO_SOCK:
+            if base.maybe_null:
+                raise VerificationError("access to possibly-NULL socket", idx)
+            if not 0 <= base.off + off <= SOCK_READ_SIZE - size:
+                raise VerificationError("socket field access out of range", idx)
+            st.regs[insn.dst] = RegState.unknown(self._fresh_id())
+            return
+
+        if base.type == RType.PTR_TO_HEAP or base.is_scalar:
+            self._heap_access(insn, st, idx, analysis, "load", insn.src)
+            st.regs[insn.dst] = RegState.unknown(self._fresh_id())
+            return
+
+        raise VerificationError(
+            f"load via non-dereferenceable type {base.type.name}", idx
+        )
+
+    def _do_store(self, insn: Insn, st, idx: int, analysis: Analysis) -> None:
+        size = isa.size_bytes(insn.opcode)
+        base = st.regs[insn.dst]
+        off = insn.off
+        is_atomic = insn.is_atomic
+        if base.type == RType.NOT_INIT:
+            raise VerificationError(f"store via uninitialised r{insn.dst}", idx)
+
+        if insn.cls == isa.BPF_STX:
+            src = st.regs[insn.src]
+            if src.type == RType.NOT_INIT:
+                raise VerificationError(f"store of uninitialised r{insn.src}", idx)
+        else:
+            src = RegState.const(insn.imm & U64)
+
+        if base.type == RType.PTR_TO_STACK:
+            if is_atomic:
+                # Read-modify-write: the slot must already be initialised.
+                _, err = st.stack_read(base.off + off, size)
+                if err:
+                    raise VerificationError(err, idx)
+            err = st.stack_write(base.off + off, size, RegState.unknown()
+                                 if is_atomic else src)
+            if err:
+                raise VerificationError(err, idx)
+            analysis.max_stack = max(analysis.max_stack, -(base.off + off))
+            if is_atomic:
+                self._atomic_result(insn, st)
+            return
+
+        if base.type == RType.PTR_TO_MAP_VALUE:
+            self._check_map_value_access(base, off, size, idx)
+            if src.type in KERNEL_POINTERS and not self.cfg_opts.allow_ptr_leaks:
+                raise VerificationError("leaking kernel pointer into map value", idx)
+            if is_atomic:
+                self._atomic_result(insn, st)
+            return
+
+        if base.type == RType.PTR_TO_PACKET:
+            if is_atomic:
+                raise VerificationError("atomic op on packet data", idx)
+            self._check_packet_access(base, off, size, idx)
+            return
+
+        if base.type == RType.PTR_TO_CTX:
+            raise VerificationError("store to context is not allowed", idx)
+
+        if base.type == RType.PTR_TO_HEAP or base.is_scalar:
+            if src.type in KERNEL_POINTERS and not self.cfg_opts.allow_ptr_leaks:
+                raise VerificationError(
+                    "leaking kernel pointer into extension heap", idx
+                )
+            self._heap_access(
+                insn, st, idx, analysis, "atomic" if is_atomic else "store", insn.dst
+            )
+            if (
+                insn.cls == isa.BPF_STX
+                and not is_atomic
+                and src.type == RType.PTR_TO_HEAP
+                and self.cfg_opts.translate_on_store
+            ):
+                # §3.4: the stored pointer is rewritten to the user-space
+                # mapping; the register is mutated by the translation and
+                # becomes an untrusted scalar afterwards.
+                analysis.translate_stores.add(idx)
+                st.regs[insn.src] = RegState.unknown(self._fresh_id())
+            if is_atomic:
+                self._atomic_result(insn, st)
+            return
+
+        raise VerificationError(
+            f"store via non-dereferenceable type {base.type.name}", idx
+        )
+
+    def _atomic_result(self, insn: Insn, st) -> None:
+        if insn.imm & isa.BPF_FETCH or insn.imm == isa.ATOMIC_XCHG:
+            st.regs[insn.src] = RegState.unknown(self._fresh_id())
+        if insn.imm == isa.ATOMIC_CMPXCHG:
+            st.regs[0] = RegState.unknown(self._fresh_id())
+
+    def _ctx_load(self, off: int, size: int, idx: int) -> RegState:
+        fld = self.ctx_layout.fields.get(off)
+        if fld is None or fld.size != size:
+            raise VerificationError(
+                f"invalid {self.ctx_layout.name} context read at offset {off}", idx
+            )
+        if fld.kind == "scalar":
+            return RegState.unknown(self._fresh_id())
+        if self._pkt_id == 0:
+            self._pkt_id = self._fresh_id()
+        if fld.kind == "packet_data":
+            return RegState(
+                RType.PTR_TO_PACKET, Tnum.const(0), 0, 0, 0, 0, id=self._pkt_id
+            )
+        return RegState(
+            RType.PTR_TO_PACKET_END, Tnum.const(0), 0, 0, 0, 0, id=self._pkt_id
+        )
+
+    def _check_map_value_access(self, base: RegState, off: int, size: int, idx: int):
+        if base.maybe_null:
+            raise VerificationError("access to possibly-NULL map value", idx)
+        lo = base.off + base.umin + off
+        hi = base.off + base.umax + off + size
+        if lo < 0 or hi > base.map.value_size:
+            raise VerificationError(
+                f"map value access [{lo}, {hi}) outside [0, {base.map.value_size})",
+                idx,
+            )
+
+    def _check_packet_access(self, base: RegState, off: int, size: int, idx: int):
+        lo = base.off + base.umin + off
+        hi = base.off + base.umax + off + size
+        if lo < 0 or hi > base.pkt_range:
+            raise VerificationError(
+                f"packet access [{lo}, {hi}) beyond verified range "
+                f"{base.pkt_range} (compare against data_end first)",
+                idx,
+            )
+
+    # -- the KFlex split: heap accesses are guarded, not rejected ---------
+
+    def _heap_access(
+        self, insn: Insn, st, idx: int, analysis: Analysis, kind: str, base_reg: int
+    ) -> None:
+        if self.heap_size is None or self.cfg_opts.mode == "ebpf":
+            raise VerificationError(
+                "memory access via scalar/heap pointer (eBPF rejects; "
+                "declare a KFlex heap)",
+                idx,
+            )
+        base = st.regs[base_reg]
+        size = isa.size_bytes(insn.opcode)
+        off = insn.off
+
+        if base.is_scalar:
+            # An untrusted value used as a pointer.  The guard is
+            # mandatory; for Table 3 accounting it is "manipulation" if
+            # the value descends from heap-pointer arithmetic whose
+            # bounds escaped the analysis, else "formation" (§5.4
+            # excludes formations from totals).
+            category = "manipulation" if base.derived else "formation"
+            guard = True
+        else:
+            span = self.heap_size if base.anchor == "base" else base.mem_size
+            lo = base.off + base.umin + off
+            hi = base.off + base.umax + off + size
+            safe = (
+                self.cfg_opts.elision
+                and not base.maybe_null
+                and base.umax <= U64_MAX  # bounds meaningful
+                and lo >= -GUARD_SLACK
+                and hi <= span + GUARD_SLACK
+            )
+            if safe:
+                category, guard = "elided", False
+            else:
+                category, guard = "manipulation", True
+
+        if guard and kind == "load" and self.cfg_opts.perf_mode:
+            # Performance mode: reads are not sanitised (§4.2).  The
+            # register is NOT sanitised either, so later writes through
+            # it still get their guard.
+            self._merge_access(analysis, idx, kind, base_reg, category, False)
+            return
+
+        self._merge_access(analysis, idx, kind, base_reg, category, guard)
+        if guard:
+            # Post-guard semantics: the register now provably points into
+            # the heap (offset in [0, heap_size)).  Sanitised pointers
+            # carry no value id: they are anonymous heap addresses, and
+            # fresh ids here would make loop states structurally unequal
+            # (distinct alias patterns across spill slots), defeating
+            # pruning in multi-level structures.
+            st.regs[base_reg] = RegState(
+                RType.PTR_TO_HEAP,
+                Tnum.range(0, self.heap_size - 1),
+                0,
+                min(self.heap_size - 1, S64_MAX),
+                0,
+                self.heap_size - 1,
+                off=0,
+                anchor="base",
+            )
+
+    _CATEGORY_RANK = {"elided": 0, "manipulation": 1, "formation": 2}
+
+    def _merge_access(
+        self, analysis: Analysis, idx: int, kind, base_reg, category, guard
+    ) -> None:
+        """Merge an access verdict across paths: a guard required on any
+        path must be emitted, and the recorded category is the worst."""
+        old = analysis.accesses.get(idx)
+        if old is not None:
+            guard = guard or old.guard
+            if self._CATEGORY_RANK[old.category] > self._CATEGORY_RANK[category]:
+                category = old.category
+        analysis.accesses[idx] = HeapAccess(idx, kind, base_reg, category, guard)
+
+    # -- calls --------------------------------------------------------------
+
+    def _do_call(self, insn, st, idx, spill_sites, release_clears) -> None:
+        hid = insn.imm
+        decl = DECLARATIONS.get(hid)
+        if decl is None:
+            raise VerificationError(f"call to unknown helper {hid}", idx)
+        if self.cfg_opts.mode == "ebpf" and hid in KFLEX_ONLY:
+            raise VerificationError(
+                f"helper {decl.name} is not available in eBPF mode", idx
+            )
+        if decl.may_sleep and not self.prog.sleepable:
+            raise VerificationError(
+                f"helper {decl.name} may sleep; only sleepable programs "
+                "may call it",
+                idx,
+            )
+
+        cur_map = None
+        mem_reg: RegState | None = None
+        args: list[RegState] = []
+        for i, atype in enumerate(decl.args):
+            reg = st.regs[1 + i]
+            args.append(reg)
+            if reg.type == RType.NOT_INIT:
+                raise VerificationError(
+                    f"uninitialised r{1 + i} as {decl.name} arg {i + 1}", idx
+                )
+            if atype == Arg.SCALAR:
+                if not reg.is_scalar:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1} must be scalar", idx
+                    )
+            elif atype == Arg.CTX:
+                if reg.type != RType.PTR_TO_CTX:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1} must be the context", idx
+                    )
+            elif atype == Arg.CONST_MAP:
+                if reg.type != RType.CONST_PTR_TO_MAP:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1} must be a map", idx
+                    )
+                cur_map = reg.map
+            elif atype in (Arg.MAP_KEY, Arg.MAP_VALUE):
+                if cur_map is None:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1}: no map argument seen", idx
+                    )
+                need = cur_map.key_size if atype == Arg.MAP_KEY else cur_map.value_size
+                self._check_mem_arg(st, reg, need, idx, decl.name, i)
+            elif atype == Arg.MEM:
+                mem_reg = reg
+            elif atype == Arg.SIZE:
+                if not reg.is_const or reg.const_value == 0:
+                    raise VerificationError(
+                        f"{decl.name} size arg {i + 1} must be a non-zero constant",
+                        idx,
+                    )
+                if mem_reg is None:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1}: SIZE without MEM", idx
+                    )
+                self._check_mem_arg(st, mem_reg, reg.const_value, idx, decl.name, i)
+            elif atype == Arg.SOCK:
+                if reg.type != RType.PTR_TO_SOCK or reg.maybe_null:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1} must be a non-NULL socket", idx
+                    )
+            elif atype == Arg.HEAP_PTR:
+                if reg.type != RType.PTR_TO_HEAP:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1} must be a heap pointer", idx
+                    )
+            elif atype == Arg.HEAP_OR_SCALAR:
+                if reg.type != RType.PTR_TO_HEAP and not reg.is_scalar:
+                    raise VerificationError(
+                        f"{decl.name} arg {i + 1} must be heap pointer or scalar",
+                        idx,
+                    )
+
+        # Resource release.
+        if decl.releases:
+            self._do_release(decl, args, st, idx, spill_sites, release_clears)
+
+        # Clobber caller-saved registers, set return value.
+        for r in range(1, 6):
+            st.regs[r] = RegState.not_init()
+        st.regs[0] = self._helper_ret(decl, args, idx)
+
+        # Resource acquisition.
+        if decl.acquires:
+            self._do_acquire(decl, args, st, idx, spill_sites)
+
+    def _check_mem_arg(
+        self, st: VerifierState, reg: RegState, size: int, idx: int, name: str, i: int
+    ):
+        if reg.type == RType.PTR_TO_STACK:
+            # Must be fully initialised (the kernel requires helper MEM
+            # arguments on the stack to have been written first).
+            if not st.stack_initialised(reg.off, size):
+                raise VerificationError(
+                    f"{name} arg {i + 1}: stack memory not initialised", idx
+                )
+        elif reg.type == RType.PTR_TO_MAP_VALUE:
+            self._check_map_value_access(reg, 0, size, idx)
+        elif reg.type == RType.PTR_TO_HEAP:
+            pass  # the trusted helper sanitises heap arguments itself
+        elif reg.type == RType.PTR_TO_PACKET:
+            self._check_packet_access(reg, 0, size, idx)
+        else:
+            raise VerificationError(
+                f"{name} arg {i + 1} must point to readable memory", idx
+            )
+
+    def _helper_ret(self, decl, args, idx: int) -> RegState:
+        if decl.ret in (Ret.SCALAR, Ret.VOID):
+            return RegState.unknown(self._fresh_id())
+        rid = self._fresh_id()
+        if decl.ret == Ret.MAP_VALUE_OR_NULL:
+            m = next(
+                (a.map for a in args if a.type == RType.CONST_PTR_TO_MAP), None
+            )
+            return RegState(
+                RType.PTR_TO_MAP_VALUE,
+                Tnum.const(0),
+                0,
+                0,
+                0,
+                0,
+                map=m,
+                mem_size=m.value_size if m else 0,
+                maybe_null=True,
+                id=rid,
+            )
+        if decl.ret == Ret.SOCK_OR_NULL:
+            return RegState(
+                RType.PTR_TO_SOCK, Tnum.const(0), 0, 0, 0, 0, maybe_null=True, id=rid
+            )
+        if decl.ret == Ret.HEAP_OR_NULL:
+            size_arg = args[0] if args else None
+            mem = size_arg.umin if size_arg is not None and size_arg.is_scalar else 0
+            return RegState(
+                RType.PTR_TO_HEAP,
+                Tnum.const(0),
+                0,
+                0,
+                0,
+                0,
+                mem_size=mem,
+                anchor="object",
+                maybe_null=True,
+                id=rid,
+            )
+        raise VerificationError(f"unhandled return type {decl.ret}", idx)
+
+    def _do_acquire(self, decl, args, st, idx, spill_sites) -> None:
+        rid = self._fresh_id()
+        if decl.acquire_from == "ret":
+            # Tag the return register with the reference id.
+            st.regs[0] = replace(st.regs[0], ref_id=rid)
+            val_id = st.regs[0].id
+        else:
+            val_id = args[0].id
+        st.add_ref(Ref(rid, decl.acquires, decl.destructor, idx, val_id))
+        if idx in spill_sites:
+            slot_off = spill_sites[idx]
+            src = st.regs[0] if decl.acquire_from == "ret" else args[0]
+            st.stack[slot_off] = Slot("spill", src)
+
+    def _do_release(self, decl, args, st, idx, spill_sites, release_clears) -> None:
+        # Find the reference being released from the first matching arg.
+        ref_id = 0
+        val_id = 0
+        for a in args:
+            if a.ref_id:
+                ref_id = a.ref_id
+                break
+            if a.type == RType.PTR_TO_HEAP and decl.releases == "lock":
+                val_id = a.id
+        ref = None
+        if ref_id:
+            ref = st.release_ref(ref_id)
+        elif val_id:
+            for r in list(st.refs.values()):
+                if r.kind == decl.releases and r.val_id == val_id:
+                    ref = st.release_ref(r.ref_id)
+                    break
+        if ref is None:
+            # Fall back: a single held resource of the right kind.
+            candidates = [r for r in st.refs.values() if r.kind == decl.releases]
+            if len(candidates) == 1:
+                ref = st.release_ref(candidates[0].ref_id)
+        if ref is None:
+            raise VerificationError(
+                f"{decl.name} releases a {decl.releases} that is not held "
+                "(or cannot be identified)",
+                idx,
+            )
+        if ref.site in spill_sites:
+            slot_off = spill_sites[ref.site]
+            st.stack[slot_off] = Slot("spill", RegState.const(0))
+            release_clears.setdefault(idx, set()).add(slot_off)
+        # Registers aliasing the released reference lose it.
+        for i, r in enumerate(st.regs):
+            if r.ref_id == ref.ref_id:
+                st.regs[i] = RegState.unknown(self._fresh_id())
+
+    # -- branches ------------------------------------------------------------
+
+    def _branch(self, insn: Insn, st: VerifierState, idx: int, is32: bool):
+        """Returns [(taken: bool, state), ...] — one or two arms."""
+        jop = insn.opcode & isa.OP_MASK
+        dst = st.regs[insn.dst]
+        if dst.type == RType.NOT_INIT:
+            raise VerificationError(f"branch on uninitialised r{insn.dst}", idx)
+        if insn.opcode & isa.BPF_X:
+            src = st.regs[insn.src]
+            if src.type == RType.NOT_INIT:
+                raise VerificationError(f"branch on uninitialised r{insn.src}", idx)
+        else:
+            src = RegState.const(sign_extend(insn.imm, 32) & U64)
+
+        # Packet-range refinement: ptr vs data_end (§ eBPF direct packet
+        # access; needed by every XDP extension in this repo).
+        pkt = self._pkt_branch(jop, dst, src, insn, st)
+        if pkt is not None:
+            return pkt
+
+        # NULL checks on maybe-null pointers.
+        if (
+            dst.is_pointer
+            and dst.maybe_null
+            and src.is_scalar
+            and src.is_const
+            and src.const_value == 0
+            and jop in (isa.BPF_JEQ, isa.BPF_JNE)
+        ):
+            return self._null_check(jop, insn.dst, st)
+
+        # Pointer comparisons otherwise: allowed, no refinement.
+        if dst.is_pointer or src.is_pointer:
+            return [(True, st.clone()), (False, st)]
+
+        # Scalar comparison with refinement on both arms.
+        a, b = (truncate32(dst), truncate32(src)) if is32 else (dst, src)
+        arms = []
+        taken_a, taken_b = _refine(jop, a, b, True)
+        if taken_a is not None:
+            ts = st.clone()
+            if not is32:
+                ts.regs[insn.dst] = taken_a
+                if insn.opcode & isa.BPF_X:
+                    ts.regs[insn.src] = taken_b
+            arms.append((True, ts))
+        fall_a, fall_b = _refine(jop, a, b, False)
+        if fall_a is not None:
+            fs = st
+            if not is32:
+                fs.regs[insn.dst] = fall_a
+                if insn.opcode & isa.BPF_X:
+                    fs.regs[insn.src] = fall_b
+            arms.append((False, fs))
+        if not arms:
+            raise VerificationError("branch condition is infeasible both ways", idx)
+        return arms
+
+    def _null_check(self, jop: int, regno: int, st: VerifierState):
+        """JEQ/JNE against 0 on a maybe-null pointer."""
+        reg = st.regs[regno]
+        null_state = st.clone()
+        nonnull_state = st
+
+        def apply(target: VerifierState, is_null: bool):
+            for i, r in enumerate(target.regs):
+                if r.id == reg.id and r.maybe_null and r.type == reg.type:
+                    if is_null:
+                        target.regs[i] = RegState.const(0)
+                    else:
+                        target.regs[i] = replace(r, maybe_null=False)
+            if is_null and reg.ref_id:
+                # NULL was returned: there is nothing to release.
+                target.release_ref(reg.ref_id)
+
+        apply(null_state, True)
+        apply(nonnull_state, False)
+        if jop == isa.BPF_JEQ:  # jump when == 0 (NULL)
+            return [(True, null_state), (False, nonnull_state)]
+        return [(True, nonnull_state), (False, null_state)]
+
+    def _pkt_branch(self, jop, dst: RegState, src: RegState, insn, st):
+        """'if pkt + N > data_end' style comparisons (§2.2 direct packet
+        access): on the arm where the access fits, every packet pointer
+        sharing the id gains the proven range."""
+        pairs = None
+        if dst.type == RType.PTR_TO_PACKET and src.type == RType.PTR_TO_PACKET_END:
+            pairs = (dst, jop)
+        elif dst.type == RType.PTR_TO_PACKET_END and src.type == RType.PTR_TO_PACKET:
+            flipped = {
+                isa.BPF_JGT: isa.BPF_JLT,
+                isa.BPF_JLT: isa.BPF_JGT,
+                isa.BPF_JGE: isa.BPF_JLE,
+                isa.BPF_JLE: isa.BPF_JGE,
+            }.get(jop)
+            if flipped is None:
+                return None
+            pairs = (src, flipped)
+        if pairs is None:
+            return None
+        pkt, eff = pairs
+        n = pkt.off
+        if eff == isa.BPF_JGT:  # pkt + n > end: taken -> OOB, fall -> fits
+            fits_taken = False
+        elif eff == isa.BPF_JLE:  # pkt + n <= end: taken -> fits
+            fits_taken = True
+        elif eff == isa.BPF_JGE:  # pkt + n >= end: fall-through n-1 fits
+            fits_taken = False
+            n -= 1
+        elif eff == isa.BPF_JLT:  # pkt + n < end: taken side has n...
+            fits_taken = True
+            n -= 1
+        else:
+            return None
+
+        fits_state = st.clone()
+        other_state = st
+        for i, r in enumerate(fits_state.regs):
+            if r.type == RType.PTR_TO_PACKET and r.id == pkt.id:
+                fits_state.regs[i] = replace(r, pkt_range=max(r.pkt_range, n))
+        if fits_taken:
+            return [(True, fits_state), (False, other_state)]
+        return [(True, other_state), (False, fits_state)]
+
+    # -- exit ------------------------------------------------------------
+
+    def _check_exit(self, st: VerifierState, idx: int) -> None:
+        r0 = st.regs[0]
+        if r0.type == RType.NOT_INIT:
+            raise VerificationError("R0 not initialised at exit", idx)
+        if not r0.is_scalar:
+            raise VerificationError("R0 must be a scalar at exit", idx)
+        if st.refs:
+            kinds = ", ".join(
+                f"{r.kind} acquired at insn {r.site}" for r in st.refs.values()
+            )
+            raise VerificationError(f"unreleased references at exit: {kinds}", idx)
+
+    # -- object tables -----------------------------------------------------
+
+    def _record_cp(
+        self, cp_records, idx, st: VerifierState, spill_sites, spill_conflicts
+    ) -> None:
+        rec = cp_records.setdefault(idx, _CpRecord())
+        rec.n_paths += 1
+        if not st.refs and not rec.entries:
+            # Fast path: nothing held, nothing previously recorded —
+            # the object table stays empty (by far the common case).
+            return
+        entries: list[ObjTableEntry] = []
+        for ref in st.refs.values():
+            entry = self._locate_ref(ref, st, spill_sites)
+            if entry is None:
+                spill_conflicts.add(ref.site)
+                continue
+            entries.append(entry)
+        zero_keys = self._zero_locations(st)
+        for e in entries:
+            key = e.key()
+            old = rec.entries.get(key)
+            if old is not None and (old.res_kind != e.res_kind or old.destructor != e.destructor):
+                rec.conflict_sites.add(old.site)
+                rec.conflict_sites.add(e.site)
+            rec.entries[key] = e
+            rec.present[key] = rec.present.get(key, 0) + 1
+        for key in zero_keys:
+            rec.zero[key] = rec.zero.get(key, 0) + 1
+
+    def _locate_ref(self, ref: Ref, st: VerifierState, spill_sites):
+        if ref.site in spill_sites:
+            return ObjTableEntry(
+                "stack", spill_sites[ref.site], ref.kind, ref.destructor, ref.site
+            )
+        for i, r in enumerate(st.regs):
+            if r.ref_id == ref.ref_id and ref.kind == "sock":
+                return ObjTableEntry("reg", i, ref.kind, ref.destructor, ref.site)
+            if (
+                ref.kind == "lock"
+                and r.type == RType.PTR_TO_HEAP
+                and r.id == ref.val_id
+                and ref.val_id
+            ):
+                return ObjTableEntry("reg", i, ref.kind, ref.destructor, ref.site)
+        for off, slot in st.stack.items():
+            if slot.kind != "spill" or slot.reg is None:
+                continue
+            r = slot.reg
+            if r.ref_id == ref.ref_id and ref.kind == "sock":
+                return ObjTableEntry("stack", off, ref.kind, ref.destructor, ref.site)
+            if (
+                ref.kind == "lock"
+                and r.type == RType.PTR_TO_HEAP
+                and r.id == ref.val_id
+                and ref.val_id
+            ):
+                return ObjTableEntry("stack", off, ref.kind, ref.destructor, ref.site)
+        return None
+
+    @staticmethod
+    def _zero_locations(st: VerifierState) -> set[tuple]:
+        zeros = set()
+        for i, r in enumerate(st.regs):
+            if r.is_scalar and r.is_const and r.const_value == 0:
+                for kind in ("sock", "lock"):
+                    zeros.add(("reg", i, kind))
+        for off, slot in st.stack.items():
+            if slot.kind == "spill" and slot.reg is not None and slot.reg.is_null_const:
+                for kind in ("sock", "lock"):
+                    zeros.add(("stack", off, kind))
+        return zeros
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _as_scalar(reg: RegState, verifier: Verifier, idx: int) -> RegState:
+    if reg.is_scalar:
+        return reg
+    if reg.type == RType.PTR_TO_HEAP and verifier.cfg_opts.mode == "kflex":
+        return RegState.unknown(verifier._fresh_id())
+    raise VerificationError(f"scalar operation on {reg.type.name}", idx)
+
+
+def _as_plain_scalar(reg: RegState) -> RegState:
+    return reg if reg.is_scalar else RegState.unknown()
+
+
+def _bswap(v: int, width: int, to_be: bool) -> int:
+    nbytes = width // 8
+    v &= (1 << width) - 1
+    if to_be:
+        return int.from_bytes(v.to_bytes(nbytes, "little"), "big")
+    return v
+
+
+def _refine(jop: int, a: RegState, b: RegState, taken: bool):
+    """Kernel-style reg_set_min_max: returns refined (a, b) for the given
+    branch arm, or (None, None) if the arm is infeasible."""
+    inverse = {
+        isa.BPF_JEQ: isa.BPF_JNE,
+        isa.BPF_JNE: isa.BPF_JEQ,
+        isa.BPF_JGT: isa.BPF_JLE,
+        isa.BPF_JLE: isa.BPF_JGT,
+        isa.BPF_JGE: isa.BPF_JLT,
+        isa.BPF_JLT: isa.BPF_JGE,
+        isa.BPF_JSGT: isa.BPF_JSLE,
+        isa.BPF_JSLE: isa.BPF_JSGT,
+        isa.BPF_JSGE: isa.BPF_JSLT,
+        isa.BPF_JSLT: isa.BPF_JSGE,
+    }
+    if not taken:
+        if jop == isa.BPF_JSET:
+            return a, b  # no useful refinement either way
+        jop = inverse.get(jop)
+        if jop is None:
+            return a, b
+    if jop == isa.BPF_JSET:
+        return a, b
+
+    if jop == isa.BPF_JEQ:
+        t = a.var_off.intersect(b.var_off)
+        umin = max(a.umin, b.umin)
+        umax = min(a.umax, b.umax)
+        smin = max(a.smin, b.smin)
+        smax = min(a.smax, b.smax)
+        if umin > umax or smin > smax:
+            return None, None
+        na = replace(a, var_off=t, umin=umin, umax=umax, smin=smin, smax=smax)
+        nb = replace(b, var_off=t, umin=umin, umax=umax, smin=smin, smax=smax)
+        try:
+            return na.deduce_bounds(), nb.deduce_bounds()
+        except ValueError:
+            return None, None
+
+    if jop == isa.BPF_JNE:
+        if a.is_const and b.is_const and a.const_value == b.const_value:
+            return None, None
+        # Exclude the single boundary value where possible.
+        na, nb = a, b
+        if b.is_const:
+            c = b.const_value
+            if a.umin == c == a.umax:
+                return None, None
+            if a.umin == c:
+                na = replace(a, umin=c + 1)
+            elif a.umax == c:
+                na = replace(a, umax=c - 1)
+        return (na.deduce_bounds() if na is not a else a), nb
+
+    def bound(a, b, a_lo_u=None, a_hi_u=None, a_lo_s=None, a_hi_s=None,
+              b_lo_u=None, b_hi_u=None, b_lo_s=None, b_hi_s=None):
+        na = replace(
+            a,
+            umin=max(a.umin, a_lo_u) if a_lo_u is not None else a.umin,
+            umax=min(a.umax, a_hi_u) if a_hi_u is not None else a.umax,
+            smin=max(a.smin, a_lo_s) if a_lo_s is not None else a.smin,
+            smax=min(a.smax, a_hi_s) if a_hi_s is not None else a.smax,
+        )
+        nb = replace(
+            b,
+            umin=max(b.umin, b_lo_u) if b_lo_u is not None else b.umin,
+            umax=min(b.umax, b_hi_u) if b_hi_u is not None else b.umax,
+            smin=max(b.smin, b_lo_s) if b_lo_s is not None else b.smin,
+            smax=min(b.smax, b_hi_s) if b_hi_s is not None else b.smax,
+        )
+        if na.umin > na.umax or na.smin > na.smax:
+            return None, None
+        if nb.umin > nb.umax or nb.smin > nb.smax:
+            return None, None
+        return na.deduce_bounds(), nb.deduce_bounds()
+
+    if jop == isa.BPF_JGT:  # a > b
+        return bound(a, b, a_lo_u=b.umin + 1, b_hi_u=a.umax - 1 if a.umax else None)
+    if jop == isa.BPF_JGE:
+        return bound(a, b, a_lo_u=b.umin, b_hi_u=a.umax)
+    if jop == isa.BPF_JLT:
+        return bound(a, b, a_hi_u=b.umax - 1 if b.umax else None, b_lo_u=a.umin + 1)
+    if jop == isa.BPF_JLE:
+        return bound(a, b, a_hi_u=b.umax, b_lo_u=a.umin)
+    if jop == isa.BPF_JSGT:
+        return bound(a, b, a_lo_s=b.smin + 1, b_hi_s=a.smax - 1)
+    if jop == isa.BPF_JSGE:
+        return bound(a, b, a_lo_s=b.smin, b_hi_s=a.smax)
+    if jop == isa.BPF_JSLT:
+        return bound(a, b, a_hi_s=b.smax - 1, b_lo_s=a.smin + 1)
+    if jop == isa.BPF_JSLE:
+        return bound(a, b, a_hi_s=b.smax, b_lo_s=a.smin)
+    return a, b

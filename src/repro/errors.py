@@ -1,0 +1,127 @@
+"""Exception hierarchy for the KFlex reproduction.
+
+Errors are split along the same boundary the paper draws (§3): static
+verification failures (kernel-interface compliance, raised at load time)
+versus runtime faults in extension execution (extension correctness,
+handled by the cancellation machinery rather than propagating).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Static (load-time) errors
+# ---------------------------------------------------------------------------
+
+
+class VerificationError(ReproError):
+    """The verifier rejected the extension.
+
+    Carries the instruction index at which verification failed, mirroring
+    the eBPF verifier's log output.
+    """
+
+    def __init__(self, message: str, insn_idx: int | None = None):
+        self.insn_idx = insn_idx
+        if insn_idx is not None:
+            message = f"insn {insn_idx}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Malformed bytecode: unknown opcode, bad register, truncated stream."""
+
+
+class AssemblerError(ReproError):
+    """Error while assembling a program (unknown label, bad operand)."""
+
+
+class LoadError(ReproError):
+    """The runtime could not load an extension (e.g. no heap declared)."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime faults (caught by the KFlex runtime, not user-visible normally)
+# ---------------------------------------------------------------------------
+
+
+class ExtensionFault(ReproError):
+    """Base class for faults raised during extension execution."""
+
+    def __init__(self, message: str, insn_idx: int | None = None):
+        self.insn_idx = insn_idx
+        super().__init__(message)
+
+
+class PageFault(ExtensionFault):
+    """Access to an unmapped or unpopulated page.
+
+    In KFlex this is a cancellation trigger: the runtime catches it,
+    unwinds via the object table of the faulting cancellation point and
+    returns the hook's default code (§3.3).
+    """
+
+    def __init__(self, addr: int, message: str = "", insn_idx: int | None = None):
+        self.addr = addr
+        super().__init__(message or f"page fault at {addr:#x}", insn_idx)
+
+
+class CancellationRequested(ExtensionFault):
+    """Internal signal: the watchdog zeroed the terminate cell and the
+    extension reached a cancellation point."""
+
+
+class DivisionFault(ExtensionFault):
+    """Division or modulo by zero.
+
+    Real eBPF defines div-by-zero as returning 0 (the JIT emits a check);
+    this fault is only raised by the raw interpreter when configured to
+    trap instead of following eBPF semantics.
+    """
+
+
+class HelperFault(ExtensionFault):
+    """A kernel helper was invoked with arguments that violate its
+    contract at runtime (should have been prevented by the verifier)."""
+
+
+class LockStall(ExtensionFault):
+    """A spin-lock acquisition cannot make progress (§4.4): the holder
+    is a preempted user thread or the extension itself (self-deadlock).
+    The runtime converts this into a cancellation."""
+
+
+class SleepStall(ExtensionFault):
+    """A sleepable helper blocked indefinitely (e.g. a user page that
+    will never arrive).  Detected by the background checker the runtime
+    keeps for sleepable extensions (§4.3) and converted into a
+    cancellation."""
+
+
+class StackFault(ExtensionFault):
+    """Out-of-bounds access to the extension stack frame."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated-kernel errors
+# ---------------------------------------------------------------------------
+
+
+class KernelPanic(ReproError):
+    """An invariant of the simulated kernel was violated.
+
+    This is the failure KFlex exists to prevent; tests assert that no
+    sequence of extension behaviours can raise it through the runtime.
+    """
+
+
+class OutOfMemory(ReproError):
+    """vmalloc arena or cgroup limit exhausted."""
+
+
+class MapFull(ReproError):
+    """An eBPF map reached max_entries (BMC's preallocated cache)."""

@@ -1,0 +1,23 @@
+"""Experiment harnesses: one module per paper figure/table (§5).
+
+Each harness builds the systems under comparison from scratch, measures
+real per-request costs by executing the implementations, runs the
+closed-loop simulator where the paper measures end-to-end, and returns
+printable rows shaped like the paper's plots.  The ``benchmarks/``
+tree wraps these in pytest-benchmark entry points.
+"""
+
+from repro.figures.memcached_figs import run_memcached_comparison
+from repro.figures.redis_figs import run_redis_comparison, run_zadd_comparison
+from repro.figures.datastructure_figs import run_datastructure_comparison
+from repro.figures.codesign_fig import run_codesign_comparison
+from repro.figures.table3 import run_guard_elision_table
+
+__all__ = [
+    "run_memcached_comparison",
+    "run_redis_comparison",
+    "run_zadd_comparison",
+    "run_datastructure_comparison",
+    "run_codesign_comparison",
+    "run_guard_elision_table",
+]

@@ -1,0 +1,145 @@
+"""Figure 7: co-designed Memcached with user-space GC (§5.3).
+
+The fast path is identical to Fig. 2's KFlex-Memcached with stripe
+locks; a user-space GC thread wakes every second and sweeps the shared
+hash table stripe by stripe, holding the stripe's spin lock.  Requests
+whose bucket stripe is currently locked wait for the GC to release it —
+bounded by the time-slice-extension mechanics of §4.4.
+
+The GC's per-stripe critical-section time is *measured* by running the
+actual GC sweep (:class:`GarbageCollectedMemcached`) against a warmed
+table; the simulator then applies that contention window every
+GC period, with Zipf-skewed stripe weights (hot keys concentrate on a
+few stripes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.memcached.gc_codesign import GarbageCollectedMemcached
+from repro.kernel.sched import TIME_SLICE_EXTENSION_NS
+from repro.sim.costs import PathCosts, UNITS_TO_NS
+from repro.sim.loadgen import ClosedLoopSim, SimResult
+from repro.workloads.kv import GET, KVWorkload, MIXES
+from repro.figures.memcached_figs import (
+    N_KEYS,
+    WARM_FRACTION,
+    N_COST_SAMPLES,
+    SIGMA_XDP,
+    ServiceModel,
+    build_userspace_model,
+)
+from repro.apps.memcached.kflex_ext import N_STRIPES
+
+GC_PERIOD_NS = 1_000_000_000  # Memcached's 1 s cadence
+
+#: Python-interpreter execution is ~1000x slower than native; the GC
+#: sweep cost is estimated from per-entry work instead: read + compare
+#: + occasional unlink per entry, ~70 ns each on the testbed model.
+GC_PER_ENTRY_NS = 70.0
+
+
+def build_codesign_model(mix_ratio: float, *, seed: int = 51):
+    """Measure the locked fast path and the real GC sweep."""
+    rt = KFlexRuntime()
+    gcm = GarbageCollectedMemcached(rt)
+    gcm.warm(int(N_KEYS * WARM_FRACTION))
+    wl = KVWorkload(n_keys=N_KEYS, get_ratio=mix_ratio, seed=seed)
+    costs = PathCosts()
+    get_ns, set_ns = [], []
+    for _ in range(N_COST_SAMPLES):
+        req = wl.next()
+        if req.op == GET:
+            gcm.get(req.key)
+            units = costs.xdp_extension_request(gcm.mc.last_cost_units)
+            get_ns.append(units * UNITS_TO_NS)
+        else:
+            gcm.set(req.key, req.value)
+            units = costs.xdp_extension_request(gcm.mc.last_cost_units, tcp=True)
+            set_ns.append(units * UNITS_TO_NS)
+    # One real GC sweep to size the critical sections.
+    evicted = gcm.run_gc(expire_below=0)  # scan-only sweep (nothing expires)
+    entries_scanned = max(gcm.stats.scanned, 1)
+    stripe_cs_ns = min(
+        (entries_scanned / N_STRIPES) * GC_PER_ENTRY_NS,
+        TIME_SLICE_EXTENSION_NS,  # §4.4 bounds a critical section
+    )
+    model = ServiceModel("KFlex+GC", get_ns or set_ns, set_ns or get_ns,
+                         SIGMA_XDP, SIGMA_XDP)
+    model.stripe_cs_ns = stripe_cs_ns
+    return model
+
+
+def _stripe_weights(seed: int = 9) -> list:
+    """Zipf-ish probability that a request lands on each stripe: a few
+    stripes carry the hot keys."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) for i in range(N_STRIPES)]
+    rng.shuffle(weights)
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def gc_service_wrapper(base_fn, stripe_cs_ns: float, seed: int = 10):
+    """Wrap a sampler with GC lock-contention windows."""
+    weights = _stripe_weights(seed)
+    gc_total_ns = stripe_cs_ns * N_STRIPES
+    cum = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cum.append(acc)
+
+    def fn(now: float, rng: random.Random) -> float:
+        service = base_fn(now, rng)
+        phase = now % GC_PERIOD_NS
+        if phase < gc_total_ns:
+            gc_stripe = int(phase // stripe_cs_ns)
+            # Which stripe does this request hash to?
+            u = rng.random()
+            lo, hi = 0, len(cum) - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cum[mid] < u:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo == gc_stripe:
+                # Wait for the stripe's critical section to end.
+                service += stripe_cs_ns - (phase % stripe_cs_ns)
+        return service
+
+    return fn
+
+
+def run_codesign_comparison(
+    *,
+    n_servers: int = 8,
+    n_clients: int = 64,
+    total_requests: int = 12_000,
+    mixes=None,
+    seed: int = 4,
+) -> dict:
+    """Regenerates Fig. 7: {mix: {system: SimResult}}."""
+    mixes = mixes or list(MIXES)
+    out: dict[str, dict[str, SimResult]] = {}
+    for mix in mixes:
+        ratio = MIXES[mix]
+        us = build_userspace_model(ratio)
+        kf = build_codesign_model(ratio)
+        out[mix] = {}
+        for name, fn in (
+            ("User space", us.sampler(ratio)),
+            ("KFlex+GC", gc_service_wrapper(kf.sampler(ratio), kf.stripe_cs_ns)),
+        ):
+            sim = ClosedLoopSim(
+                n_clients=n_clients,
+                n_servers=n_servers,
+                service_fn=fn,
+                total_requests=total_requests,
+                seed=seed,
+            )
+            out[mix][name] = sim.run()
+    return out

@@ -1,0 +1,115 @@
+"""Figure 5: data-structure offload cost — KMod vs KFlex-PM vs KFlex (§5.2).
+
+Single-threaded update/lookup/delete on five structures.  KMod is the
+same bytecode loaded uninstrumented (the unsafe kernel module ceiling);
+KFlex-PM is performance mode (§4.2: read guards elided).  Throughput is
+1/mean-latency since operations are single-threaded and back-to-back.
+
+Scale note: the paper's linked list holds 64 K elements; executing a
+64 K-element traversal per sample in a Python interpreter is
+prohibitive, so structures are warmed with ``n_elems`` (default 2048)
+and costs scale linearly with traversal length — the KMod:KFlex ratio,
+which is what Fig. 5 shows, is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.datastructures import ALL_STRUCTURES
+from repro.sim.costs import UNITS_TO_NS
+
+
+@dataclass
+class OpResult:
+    mean_ns: float
+
+    @property
+    def throughput_mops(self) -> float:
+        return 1e3 / self.mean_ns if self.mean_ns else 0.0
+
+
+VARIANTS = ("KMod", "KFlex-PM", "KFlex")
+
+
+def _make(name: str, variant: str):
+    rt = KFlexRuntime()
+    cls = ALL_STRUCTURES[name]
+    if variant == "KMod":
+        return cls(rt, kmod=True)
+    if variant == "KFlex-PM":
+        return cls(rt, perf_mode=True)
+    return cls(rt)
+
+
+def measure_structure(
+    name: str,
+    *,
+    n_elems: int = 2048,
+    n_samples: int = 40,
+    seed: int = 5,
+    variants=VARIANTS,
+) -> dict:
+    """{variant: {op: OpResult}} for one structure."""
+    out: dict[str, dict[str, OpResult]] = {}
+    for variant in variants:
+        ds = _make(name, variant)
+        rng = random.Random(seed)
+        is_sketch = name in ("countmin", "countsketch")
+        for k in range(n_elems):
+            ds.update(k, k ^ 0xABCD)
+        per_op: dict[str, OpResult] = {}
+        for op in ds.OPS:
+            total_units = 0
+            deleted: list[int] = []
+            for _ in range(n_samples):
+                k = rng.randrange(n_elems)
+                if op == "update":
+                    ds.update(k, rng.randrange(1 << 30))
+                elif op == "lookup":
+                    ds.lookup(k)
+                else:
+                    ds.delete(k)
+                    deleted.append(k)
+                total_units += ds.op_cost(op)
+            # Keep occupancy stable for subsequent ops.
+            for k in deleted:
+                ds.update(k, k)
+            per_op[op] = OpResult(total_units / n_samples * UNITS_TO_NS)
+        out[variant] = per_op
+    return out
+
+
+def run_datastructure_comparison(
+    *, structures=None, n_elems: int = 2048, n_samples: int = 40
+) -> dict:
+    """Regenerates Fig. 5: {structure: {variant: {op: OpResult}}}."""
+    structures = structures or list(ALL_STRUCTURES)
+    return {
+        name: measure_structure(name, n_elems=n_elems, n_samples=n_samples)
+        for name in structures
+    }
+
+
+def format_rows(results: dict) -> str:
+    lines = ["Figure 5: single-threaded data-structure op latency (ns) / throughput (MOps/s)"]
+    for name, by_variant in results.items():
+        lines.append(f"-- {name}")
+        ops = list(next(iter(by_variant.values())).keys())
+        for op in ops:
+            cells = []
+            for variant in by_variant:
+                r = by_variant[variant][op]
+                cells.append(f"{variant}: {r.mean_ns:8.1f} ns ({r.throughput_mops:6.2f} M/s)")
+            lines.append(f"   {op:<8s} " + "   ".join(cells))
+        kmod = by_variant.get("KMod")
+        kflex = by_variant.get("KFlex")
+        if kmod and kflex:
+            ratios = [
+                kflex[op].mean_ns / kmod[op].mean_ns for op in ops if kmod[op].mean_ns
+            ]
+            avg = sum(ratios) / len(ratios)
+            lines.append(f"   KFlex latency overhead vs KMod: {100 * (avg - 1):.1f}%")
+    return "\n".join(lines)

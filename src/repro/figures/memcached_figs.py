@@ -1,0 +1,210 @@
+"""Figures 2 and 3: Memcached — user space vs BMC vs KFlex (§5.1).
+
+Methodology mirrors the paper:
+
+* three GET:SET mixes (90:10, 50:50, 10:90) over Zipfian(0.99) keys;
+* 32 B keys and values (BMC cannot store values larger than keys);
+* closed-loop clients against 8 (Fig 2) or 16 (Fig 3) server threads;
+* throughput and p99 measured at the client.
+
+Per-request costs are **measured**: each system's handler executes on
+the simulated machine with JIT cost accounting; kernel-path constants
+from :mod:`repro.sim.costs` complete the end-to-end service time:
+
+* user space: full UDP (GET) / TCP (SET) stack + syscalls + context
+  switch + the *same* table logic as uninstrumented bytecode (KMod);
+* BMC: GET hits answered at XDP; GET misses and all SETs fall through
+  to the user-space path (plus cache fill / invalidation);
+* KFlex: everything at XDP, SETs via the TCP fast path (§5.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.memcached import protocol as P
+from repro.apps.memcached.bmc import BmcCache
+from repro.apps.memcached.kflex_ext import KFlexMemcached
+from repro.apps.memcached.userspace import UserspaceMemcached
+from repro.ebpf.program import XDP_TX
+from repro.sim.costs import PathCosts, UNITS_TO_NS
+from repro.sim.loadgen import ClosedLoopSim, SimResult
+from repro.workloads.kv import GET, KVWorkload, MIXES
+
+#: Log-normal service-time jitter: user-space paths see scheduler and
+#: cache interference; XDP-resident paths are much steadier.
+SIGMA_USER = 0.25
+SIGMA_XDP = 0.08
+
+N_KEYS = 4000
+WARM_FRACTION = 0.6
+BMC_CAPACITY = 1200  # look-aside cache smaller than the store
+N_COST_SAMPLES = 400
+
+
+@dataclass
+class ServiceModel:
+    """Empirical per-op service-time distributions (ns) for one system."""
+
+    name: str
+    get_ns: list
+    set_ns: list
+    sigma_get: float
+    sigma_set: float
+
+    def sampler(self, get_ratio: float):
+        def fn(now: float, rng: random.Random) -> float:
+            if rng.random() < get_ratio:
+                base = rng.choice(self.get_ns)
+                return base * rng.lognormvariate(0, self.sigma_get)
+            base = rng.choice(self.set_ns)
+            return base * rng.lognormvariate(0, self.sigma_set)
+
+        return fn
+
+
+def _sample_requests(workload: KVWorkload, n: int):
+    return [workload.next() for _ in range(n)]
+
+
+def build_kflex_model(
+    mix_ratio: float, *, use_locks: bool = False, seed: int = 21
+) -> ServiceModel:
+    """Plain KFlex-Memcached (Fig. 2/3): per-RX-queue tables need no
+    locks; the co-designed variant (Fig. 7) adds stripe locks to share
+    the table with the GC thread."""
+    rt = KFlexRuntime()
+    mc = KFlexMemcached(rt, use_locks=use_locks)
+    mc.warm(int(N_KEYS * WARM_FRACTION))
+    wl = KVWorkload(n_keys=N_KEYS, get_ratio=mix_ratio, seed=seed)
+    costs = PathCosts()
+    get_ns, set_ns = [], []
+    for req in _sample_requests(wl, N_COST_SAMPLES):
+        if req.op == GET:
+            mc.get(req.key)
+            units = costs.xdp_extension_request(mc.last_cost_units)
+            get_ns.append(units * UNITS_TO_NS)
+        else:
+            mc.set(req.key, req.value)
+            units = costs.xdp_extension_request(mc.last_cost_units, tcp=True)
+            set_ns.append(units * UNITS_TO_NS)
+    return ServiceModel("KFlex", get_ns or set_ns, set_ns or get_ns,
+                        SIGMA_XDP, SIGMA_XDP)
+
+
+def build_userspace_model(mix_ratio: float, *, seed: int = 22) -> ServiceModel:
+    """User-space Memcached: KMod table cost + full kernel I/O path."""
+    rt = KFlexRuntime()
+    app = KFlexMemcached(rt, kmod=True)  # the same table logic, bare
+    app.warm(int(N_KEYS * WARM_FRACTION))
+    wl = KVWorkload(n_keys=N_KEYS, get_ratio=mix_ratio, seed=seed)
+    costs = PathCosts()
+    get_ns, set_ns = [], []
+    for req in _sample_requests(wl, N_COST_SAMPLES):
+        if req.op == GET:
+            app.get(req.key)
+            units = costs.userspace_udp_request(app.last_cost_units)
+            get_ns.append(units * UNITS_TO_NS)
+        else:
+            app.set(req.key, req.value)
+            units = costs.userspace_tcp_request(app.last_cost_units)
+            set_ns.append(units * UNITS_TO_NS)
+    return ServiceModel("User space", get_ns or set_ns, set_ns or get_ns,
+                        SIGMA_USER, SIGMA_USER)
+
+
+def build_bmc_model(mix_ratio: float, *, seed: int = 23) -> ServiceModel:
+    """BMC: hits at XDP; misses and SETs take the user-space path too."""
+    rt = KFlexRuntime()
+    bmc = BmcCache(rt, capacity=BMC_CAPACITY)
+    us_rt = KFlexRuntime()
+    us = KFlexMemcached(us_rt, kmod=True)  # user-space table behind BMC
+    us.warm(int(N_KEYS * WARM_FRACTION))
+    # Warm the look-aside cache with the hottest keys, as BMC's
+    # response path would have.
+    for k in range(BMC_CAPACITY):
+        bmc.fill_from_response(k, k ^ 0x5A5A)
+    wl = KVWorkload(n_keys=N_KEYS, get_ratio=mix_ratio, seed=seed)
+    costs = PathCosts()
+    get_ns, set_ns = [], []
+    map_update_units = 110  # cache fill on the response path
+    for req in _sample_requests(wl, N_COST_SAMPLES):
+        if req.op == GET:
+            verdict = bmc.probe(P.encode_get(req.key))
+            probe_units = bmc.ext.stats.last_cost_units
+            if verdict == XDP_TX:  # hit: answered from XDP
+                units = costs.xdp_extension_request(probe_units)
+            else:  # miss: full user-space path + cache fill
+                us.get(req.key)
+                units = (
+                    costs.userspace_udp_request(us.last_cost_units)
+                    + probe_units
+                    + map_update_units
+                )
+                bmc.fill_from_response(req.key, req.key ^ 0x5A5A)
+            get_ns.append(units * UNITS_TO_NS)
+        else:
+            bmc.probe(P.encode_set(req.key, req.value))  # invalidation
+            probe_units = bmc.ext.stats.last_cost_units
+            us.set(req.key, req.value)
+            units = probe_units + costs.userspace_tcp_request(us.last_cost_units)
+            set_ns.append(units * UNITS_TO_NS)
+    model = ServiceModel("BMC", get_ns or set_ns, set_ns or get_ns,
+                         SIGMA_XDP, SIGMA_USER)
+    model.hit_rate = bmc.hit_rate
+    return model
+
+
+def run_memcached_comparison(
+    *,
+    n_servers: int = 8,
+    n_clients: int = 64,
+    total_requests: int = 12_000,
+    mixes=None,
+    seed: int = 1,
+) -> dict:
+    """Regenerates Fig. 2 (``n_servers=8``) / Fig. 3 (``n_servers=16``).
+
+    Returns ``{mix: {system: SimResult}}``.
+    """
+    mixes = mixes or list(MIXES)
+    out: dict[str, dict[str, SimResult]] = {}
+    for mix in mixes:
+        ratio = MIXES[mix]
+        models = [
+            build_userspace_model(ratio),
+            build_bmc_model(ratio),
+            build_kflex_model(ratio),
+        ]
+        out[mix] = {}
+        for model in models:
+            sim = ClosedLoopSim(
+                n_clients=n_clients,
+                n_servers=n_servers,
+                service_fn=model.sampler(ratio),
+                total_requests=total_requests,
+                seed=seed,
+            )
+            out[mix][model.name] = sim.run()
+    return out
+
+
+def format_rows(results: dict, *, title: str) -> str:
+    lines = [title]
+    for mix, by_system in results.items():
+        lines.append(f"-- GETs:SETs = {mix}")
+        for name, res in by_system.items():
+            lines.append("   " + res.row(name))
+        kf = by_system.get("KFlex")
+        us = by_system.get("User space")
+        bm = by_system.get("BMC")
+        if kf and us and bm:
+            lines.append(
+                f"   speedup: KFlex/BMC = {kf.throughput_mops / bm.throughput_mops:.2f}x, "
+                f"KFlex/User = {kf.throughput_mops / us.throughput_mops:.2f}x; "
+                f"p99: BMC/KFlex = {bm.p99_us / kf.p99_us:.2f}x, "
+                f"User/KFlex = {us.p99_us / kf.p99_us:.2f}x"
+            )
+    return "\n".join(lines)

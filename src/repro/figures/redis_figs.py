@@ -1,0 +1,129 @@
+"""Figures 4 and 6: Redis offload (§5.1, §5.2).
+
+Fig. 4: GET/SET mixes — KFlex-Redis at sk_skb vs a parallel user-space
+Redis (KeyDB).  All Redis requests run over TCP, so both systems pay
+the TCP stack; KFlex saves the wakeup/syscall/copy tail, which is why
+its gains are smaller than Memcached's.
+
+Fig. 6: ZADD — single server thread (Redis's ZADD serialises on a
+global hash-table lock), exercising on-demand skip-list allocation in
+the fast path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.redis.kflex_ext import KFlexRedis
+from repro.sim.costs import PathCosts, UNITS_TO_NS
+from repro.sim.loadgen import ClosedLoopSim, SimResult
+from repro.workloads.kv import GET, KVWorkload, MIXES
+from repro.figures.memcached_figs import ServiceModel, SIGMA_USER, SIGMA_XDP
+
+N_KEYS = 4000
+WARM_FRACTION = 0.6
+N_COST_SAMPLES = 400
+
+
+def _build_model(
+    *, kmod: bool, mix_ratio: float, name: str, seed: int
+) -> ServiceModel:
+    rt = KFlexRuntime()
+    redis = KFlexRedis(rt, kmod=kmod)
+    for k in range(int(N_KEYS * WARM_FRACTION)):
+        redis.set(k, k ^ 0x5A5A)
+    wl = KVWorkload(n_keys=N_KEYS, get_ratio=mix_ratio, seed=seed)
+    costs = PathCosts()
+    get_ns, set_ns = [], []
+    for _ in range(N_COST_SAMPLES):
+        req = wl.next()
+        if req.op == GET:
+            redis.get(req.key)
+            units = redis.last_cost_units
+        else:
+            redis.set(req.key, req.value)
+            units = redis.last_cost_units
+        if kmod:  # user-space KeyDB: full TCP path both ways
+            total = costs.userspace_tcp_request(units)
+            sigma = SIGMA_USER
+        else:  # extension at sk_skb: TCP stack, no user-space tail
+            total = costs.skskb_extension_request(units)
+            sigma = SIGMA_XDP
+        (get_ns if req.op == GET else set_ns).append(total * UNITS_TO_NS)
+    return ServiceModel(name, get_ns or set_ns, set_ns or get_ns, sigma, sigma)
+
+
+def run_redis_comparison(
+    *,
+    n_servers: int = 8,
+    n_clients: int = 64,
+    total_requests: int = 12_000,
+    mixes=None,
+    seed: int = 2,
+) -> dict:
+    """Regenerates Fig. 4: {mix: {system: SimResult}}."""
+    mixes = mixes or list(MIXES)
+    out: dict[str, dict[str, SimResult]] = {}
+    for mix in mixes:
+        ratio = MIXES[mix]
+        models = [
+            _build_model(kmod=True, mix_ratio=ratio, name="User space", seed=31),
+            _build_model(kmod=False, mix_ratio=ratio, name="KFlex", seed=32),
+        ]
+        out[mix] = {}
+        for model in models:
+            sim = ClosedLoopSim(
+                n_clients=n_clients,
+                n_servers=n_servers,
+                service_fn=model.sampler(ratio),
+                total_requests=total_requests,
+                seed=seed,
+            )
+            out[mix][model.name] = sim.run()
+    return out
+
+
+def _build_zadd_model(*, kmod: bool, name: str, seed: int) -> ServiceModel:
+    rt = KFlexRuntime()
+    redis = KFlexRedis(rt, kmod=kmod)
+    rng = random.Random(seed)
+    # Warm: a few hundred sorted sets of mixed size.
+    for zkey in range(200):
+        for _ in range(rng.randint(1, 20)):
+            redis.zadd(zkey, rng.randint(0, 1 << 20), rng.randint(0, 1 << 20))
+    costs = PathCosts()
+    samples = []
+    for _ in range(N_COST_SAMPLES):
+        zkey = rng.randint(0, 249)  # some new sets appear in the fast path
+        redis.zadd(zkey, rng.randint(0, 1 << 20), rng.randint(0, 1 << 20))
+        units = redis.last_cost_units
+        if kmod:
+            total = costs.userspace_tcp_request(units)
+            sigma = SIGMA_USER
+        else:
+            total = costs.skskb_extension_request(units)
+            sigma = SIGMA_XDP
+        samples.append(total * UNITS_TO_NS)
+    return ServiceModel(name, samples, samples, sigma, sigma)
+
+
+def run_zadd_comparison(
+    *, n_clients: int = 32, total_requests: int = 10_000, seed: int = 3
+) -> dict:
+    """Regenerates Fig. 6: ZADD on a single server thread."""
+    out = {}
+    for model in (
+        _build_zadd_model(kmod=True, name="Redis", seed=41),
+        _build_zadd_model(kmod=False, name="KFlex", seed=42),
+    ):
+        sim = ClosedLoopSim(
+            n_clients=n_clients,
+            n_servers=1,
+            service_fn=model.sampler(0.0),
+            total_requests=total_requests,
+            seed=seed,
+        )
+        out[model.name] = sim.run()
+    return out

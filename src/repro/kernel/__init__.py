@@ -1,0 +1,14 @@
+"""Simulated Linux kernel substrate.
+
+KFlex is implemented inside Linux v6.9 (paper §4); this package stands
+in for the kernel facilities it relies on: a paged virtual address
+space, the vmalloc arena (with the alignment and guard-page behaviour
+of §4.1), extension hook points, a network stack cost model with
+refcounted sockets, a thread scheduler with rseq-style time-slice
+extension (§4.4), the softlockup watchdog (§4.3), and memcg accounting.
+"""
+
+from repro.kernel.addrspace import AddressSpace, PAGE_SIZE
+from repro.kernel.vmalloc import VmallocArena
+
+__all__ = ["AddressSpace", "PAGE_SIZE", "VmallocArena"]

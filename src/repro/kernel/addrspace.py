@@ -1,0 +1,220 @@
+"""Paged 64-bit virtual address space.
+
+Models the portion of kernel address-space behaviour KFlex depends on:
+
+* regions mapped at arbitrary bases (vmalloc area, per-invocation
+  extension stacks, map value arrays, packet buffers);
+* demand paging — extension heaps are mapped with no populated pages,
+  and the KFlex allocator populates them on demand (§3.2, §4.1).
+  Access to an unpopulated page raises :class:`~repro.errors.PageFault`,
+  which the KFlex runtime treats as a cancellation point (§3.3, C2);
+* shared backings — the same physical pages mapped at a second base
+  (the user-space mapping of an extension heap, §3.4), so stores via
+  one mapping are visible through the other.
+
+Addresses and values are plain ints; loads/stores are little-endian,
+as on x86-64.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.errors import PageFault, KernelPanic
+
+PAGE_SIZE = 4096
+
+
+class Backing:
+    """Physical backing for a region: bytes plus a populated-page set.
+
+    Shared between the kernel and user mappings of the same heap so
+    both views observe the same stores and the same page population.
+    """
+
+    def __init__(self, size: int, populated: bool):
+        self.size = size
+        self.data = bytearray(size)
+        self.n_pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        self.all_populated = populated
+        self.populated: set[int] = set()
+
+    def is_populated(self, page: int) -> bool:
+        return self.all_populated or page in self.populated
+
+    def populate(self, page: int) -> bool:
+        """Populate one page; returns True if it was newly populated."""
+        if self.all_populated or page in self.populated:
+            return False
+        if not 0 <= page < self.n_pages:
+            raise KernelPanic(f"populate of page {page} outside backing")
+        self.populated.add(page)
+        return True
+
+    @property
+    def populated_pages(self) -> int:
+        return self.n_pages if self.all_populated else len(self.populated)
+
+
+@dataclass
+class MemRegion:
+    base: int
+    size: int
+    name: str
+    backing: Backing
+    writable: bool = True
+    #: MPK protection key (§6 heap-domain striping); None = unkeyed,
+    #: always accessible.
+    pkey: int | None = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+@dataclass
+class AddressSpace:
+    """A set of non-overlapping mapped regions with paged access."""
+
+    name: str = "kernel"
+    _bases: list[int] = field(default_factory=list)
+    _regions: list[MemRegion] = field(default_factory=list)
+    #: When set (PKRU loaded for a striped-heap extension, §6), keyed
+    #: regions whose pkey is not in this set fault on access.
+    active_pkeys: set | None = None
+
+    # -- mapping ------------------------------------------------------
+
+    def map_region(
+        self,
+        base: int,
+        size: int,
+        name: str,
+        *,
+        populated: bool = True,
+        backing: Backing | None = None,
+        writable: bool = True,
+    ) -> MemRegion:
+        """Map ``size`` bytes at ``base``.
+
+        Passing an existing ``backing`` creates an alias mapping (used
+        for the user-space view of extension heaps).
+        """
+        if size <= 0:
+            raise KernelPanic(f"map of non-positive size {size}")
+        if self._overlaps(base, size):
+            raise KernelPanic(f"mapping {name} at {base:#x} overlaps existing region")
+        if backing is None:
+            backing = Backing(size, populated)
+        elif backing.size != size:
+            raise KernelPanic("alias mapping size differs from backing size")
+        region = MemRegion(base, size, name, backing, writable)
+        idx = bisect.bisect_left(self._bases, base)
+        self._bases.insert(idx, base)
+        self._regions.insert(idx, region)
+        return region
+
+    def unmap(self, base: int) -> None:
+        idx = bisect.bisect_left(self._bases, base)
+        if idx >= len(self._bases) or self._bases[idx] != base:
+            raise KernelPanic(f"unmap of unmapped base {base:#x}")
+        del self._bases[idx]
+        del self._regions[idx]
+
+    def _overlaps(self, base: int, size: int) -> bool:
+        idx = bisect.bisect_right(self._bases, base)
+        if idx > 0 and self._regions[idx - 1].end > base:
+            return True
+        if idx < len(self._regions) and self._regions[idx].base < base + size:
+            return True
+        return False
+
+    def find_region(self, addr: int) -> MemRegion | None:
+        """Region containing ``addr``, or None."""
+        idx = bisect.bisect_right(self._bases, addr)
+        if idx == 0:
+            return None
+        region = self._regions[idx - 1]
+        return region if addr < region.end else None
+
+    def region_by_name(self, name: str) -> MemRegion | None:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        return None
+
+    @property
+    def regions(self) -> list[MemRegion]:
+        return list(self._regions)
+
+    # -- access -------------------------------------------------------
+
+    def _translate(self, addr: int, size: int, *, write: bool) -> tuple[Backing, int]:
+        region = self.find_region(addr)
+        if region is None or not region.contains(addr, size):
+            raise PageFault(addr, f"unmapped access of {size}B at {addr:#x}")
+        if write and not region.writable:
+            raise PageFault(addr, f"write to read-only region {region.name}")
+        if (
+            region.pkey is not None
+            and self.active_pkeys is not None
+            and region.pkey not in self.active_pkeys
+        ):
+            raise PageFault(
+                addr, f"protection-key violation in {region.name} (pkey {region.pkey})"
+            )
+        off = addr - region.base
+        first_page = off // PAGE_SIZE
+        last_page = (off + size - 1) // PAGE_SIZE
+        backing = region.backing
+        for page in range(first_page, last_page + 1):
+            if not backing.is_populated(page):
+                raise PageFault(addr, f"access to unpopulated page in {region.name}")
+        return backing, off
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        backing, off = self._translate(addr, size, write=False)
+        return bytes(backing.data[off : off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        backing, off = self._translate(addr, len(data), write=True)
+        backing.data[off : off + len(data)] = data
+
+    def read_int(self, addr: int, size: int) -> int:
+        """Little-endian unsigned load."""
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        """Little-endian store of the low ``size`` bytes of ``value``."""
+        mask = (1 << (size * 8)) - 1
+        self.write_bytes(addr, (value & mask).to_bytes(size, "little"))
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        try:
+            self._translate(addr, size, write=False)
+            return True
+        except PageFault:
+            return False
+
+    # -- demand paging --------------------------------------------------
+
+    def populate(self, addr: int, size: int) -> int:
+        """Populate all pages covering ``[addr, addr+size)``.
+
+        Returns the number of newly populated pages (for memcg
+        accounting).  Used by the KFlex allocator when handing out heap
+        memory (§4.1).
+        """
+        region = self.find_region(addr)
+        if region is None or not region.contains(addr, size):
+            raise KernelPanic(f"populate of unmapped range at {addr:#x}")
+        off = addr - region.base
+        new = 0
+        for page in range(off // PAGE_SIZE, (off + size - 1) // PAGE_SIZE + 1):
+            if region.backing.populate(page):
+                new += 1
+        return new

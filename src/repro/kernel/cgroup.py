@@ -1,0 +1,48 @@
+"""Memory-cgroup accounting for extension heaps (§4.1).
+
+Physical memory populated for a heap is charged to the owning
+application's memcg, so resource limits on the app also bound what its
+kernel extensions can allocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemory
+from repro.kernel.addrspace import PAGE_SIZE
+
+
+@dataclass
+class MemCgroup:
+    name: str
+    limit_bytes: int | None = None
+    charged_bytes: int = 0
+    peak_bytes: int = 0
+
+    def charge_pages(self, n_pages: int) -> None:
+        add = n_pages * PAGE_SIZE
+        if self.limit_bytes is not None and self.charged_bytes + add > self.limit_bytes:
+            raise OutOfMemory(
+                f"memcg {self.name!r}: charge of {add}B exceeds limit "
+                f"({self.charged_bytes}/{self.limit_bytes})"
+            )
+        self.charged_bytes += add
+        self.peak_bytes = max(self.peak_bytes, self.charged_bytes)
+
+    def uncharge_pages(self, n_pages: int) -> None:
+        self.charged_bytes = max(0, self.charged_bytes - n_pages * PAGE_SIZE)
+
+
+@dataclass
+class CgroupController:
+    _groups: dict[str, MemCgroup] = field(default_factory=dict)
+
+    def group(self, name: str, limit_bytes: int | None = None) -> MemCgroup:
+        cg = self._groups.get(name)
+        if cg is None:
+            cg = MemCgroup(name, limit_bytes)
+            self._groups[name] = cg
+        elif limit_bytes is not None:
+            cg.limit_bytes = limit_bytes
+        return cg

@@ -1,0 +1,54 @@
+"""Extension hook points.
+
+Extensions are event handlers attached at kernel hooks (§2): XDP for
+raw ingress packets (Memcached, Listing 1), sk_skb for post-transport
+payloads (Redis), plus generic bench/tracepoint hooks.  Each hook knows
+its default return code, used when a cancelled extension's own return
+value is unavailable (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelPanic
+from repro.ebpf.program import HOOKS
+
+
+@dataclass
+class HookPoint:
+    name: str
+    attached: list = field(default_factory=list)  # LoadedExtension objects
+
+    @property
+    def default_ret(self) -> int:
+        return HOOKS[self.name]["default_ret"]
+
+
+class HookRegistry:
+    def __init__(self):
+        self._hooks = {name: HookPoint(name) for name in HOOKS}
+
+    def attach(self, ext) -> None:
+        hook = self._hooks.get(ext.program.hook)
+        if hook is None:
+            raise KernelPanic(f"no such hook {ext.program.hook!r}")
+        hook.attached.append(ext)
+
+    def detach(self, ext) -> None:
+        hook = self._hooks[ext.program.hook]
+        if ext in hook.attached:
+            hook.attached.remove(ext)
+
+    def dispatch(self, name: str, ctx_addr: int, cpu: int = 0) -> int:
+        """Run the extensions attached at ``name`` in order; the first
+        non-default verdict wins (XDP semantics are single-program per
+        device in practice; we run the chain for generality)."""
+        hook = self._hooks[name]
+        ret = hook.default_ret
+        for ext in list(hook.attached):
+            ret = ext.invoke(ctx_addr, cpu=cpu)
+        return ret
+
+    def hook(self, name: str) -> HookPoint:
+        return self._hooks[name]

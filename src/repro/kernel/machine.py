@@ -1,0 +1,46 @@
+"""The simulated machine: one kernel instance aggregating every substrate.
+
+A ``Kernel`` is what the paper's testbed server provides: address space,
+vmalloc arena, network stack, hook points, scheduler, watchdog, cgroup
+controller and a monotonic clock.  The KFlex runtime
+(:class:`repro.core.runtime.KFlexRuntime`) is constructed over one of
+these.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.addrspace import AddressSpace
+from repro.kernel.cgroup import CgroupController
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.net import NetStack
+from repro.kernel.sched import Scheduler
+from repro.kernel.vmalloc import VmallocArena
+from repro.kernel.watchdog import Watchdog
+
+#: Cycle time of the paper's testbed CPU (Intel Xeon 8468 @ 2.30 GHz);
+#: converts native-instruction cost units to nanoseconds.
+NS_PER_UNIT = 1.0 / 2.3
+
+
+class Kernel:
+    def __init__(self, *, n_cpus: int = 8, quantum_units: int | None = None):
+        self.n_cpus = n_cpus
+        self.aspace = AddressSpace()
+        self.vmalloc = VmallocArena()
+        self.net = NetStack(self.aspace)
+        self.hooks = HookRegistry()
+        self.sched = Scheduler()
+        self.watchdog = Watchdog() if quantum_units is None else Watchdog(quantum_units)
+        self.cgroups = CgroupController()
+        self._clock_ns = 0
+
+    # -- time --------------------------------------------------------------
+
+    def now_ns(self) -> int:
+        return self._clock_ns
+
+    def advance_ns(self, ns: float) -> None:
+        self._clock_ns += int(ns)
+
+    def advance_units(self, units: int) -> None:
+        self._clock_ns += int(units * NS_PER_UNIT)

@@ -1,0 +1,117 @@
+"""Network objects: packets and refcounted sockets.
+
+Provides what the paper's extensions touch: XDP-level packet buffers
+(read via verified direct packet access), and UDP sockets looked up by
+``bpf_sk_lookup_udp`` — an *acquiring* helper whose reference must be
+released via ``bpf_sk_release`` (Listing 1, §3.3).  Socket refcounts are
+the kernel invariant that extension cancellations must restore: tests
+assert that a cancelled extension leaves every refcount at its
+pre-invocation value.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import KernelPanic
+from repro.kernel.addrspace import AddressSpace
+
+#: Where socket objects live in the kernel address space.
+SOCK_REGION_BASE = 0xFFFF_8880_0000_0000
+SOCK_OBJ_SIZE = 128
+
+#: Per-CPU packet buffer area (one slot per CPU, 4 KB each).
+PKT_REGION_BASE = 0xFFFF_8890_0000_0000
+PKT_SLOT_SIZE = 4096
+
+
+class Socket:
+    """A kernel socket with a reference count."""
+
+    def __init__(self, addr: int, proto: str, tup: bytes):
+        self.addr = addr
+        self.proto = proto
+        self.tup = tup
+        self.refcount = 1  # the owning table's reference
+        self.released = False
+
+    def get_ref(self) -> None:
+        if self.released:
+            raise KernelPanic("get_ref on a destroyed socket")
+        self.refcount += 1
+
+    def put_ref(self) -> None:
+        self.refcount -= 1
+        if self.refcount < 0:
+            raise KernelPanic(
+                f"socket refcount underflow at {self.addr:#x} — double release"
+            )
+        if self.refcount == 0:
+            self.released = True
+
+
+@dataclass
+class NetStack:
+    """Socket table plus per-CPU packet staging buffers."""
+
+    aspace: AddressSpace
+    _socks: dict[int, Socket] = field(default_factory=dict)  # addr -> sock
+    _by_tuple: dict[bytes, Socket] = field(default_factory=dict)
+    _next_sock: int = SOCK_REGION_BASE
+    _pkt_slots: dict[int, int] = field(default_factory=dict)  # cpu -> base
+
+    def __post_init__(self):
+        # One region backs all socket objects; extensions may read
+        # socket fields through verified PTR_TO_SOCK accesses.
+        self.aspace.map_region(
+            SOCK_REGION_BASE, 1 << 20, "kernel:socktab", populated=True
+        )
+
+    # -- sockets ----------------------------------------------------------
+
+    def create_udp_socket(self, tup: bytes) -> Socket:
+        """Register a bound UDP socket reachable by tuple lookup."""
+        addr = self._next_sock
+        self._next_sock += SOCK_OBJ_SIZE
+        sock = Socket(addr, "udp", bytes(tup))
+        self._socks[addr] = sock
+        self._by_tuple[bytes(tup)] = sock
+        return sock
+
+    def sk_lookup_udp(self, tup: bytes) -> Socket | None:
+        sock = self._by_tuple.get(bytes(tup))
+        if sock is not None and sock.released:
+            return None
+        return sock
+
+    def sock_by_addr(self, addr: int) -> Socket | None:
+        return self._socks.get(addr)
+
+    def total_extension_refs(self) -> int:
+        """Sum of references beyond the owning table's one — must be 0
+        whenever no extension is mid-flight (quiescence check)."""
+        return sum(max(0, s.refcount - 1) for s in self._socks.values() if not s.released)
+
+    # -- packets ----------------------------------------------------------
+
+    def stage_packet(self, cpu: int, payload: bytes) -> tuple[int, int]:
+        """Copy a packet into the CPU's staging buffer.
+
+        Returns (data, data_end) addresses for the hook context.
+        """
+        if len(payload) > PKT_SLOT_SIZE:
+            raise KernelPanic("packet larger than staging slot")
+        base = self._pkt_slots.get(cpu)
+        if base is None:
+            base = PKT_REGION_BASE + cpu * PKT_SLOT_SIZE
+            self.aspace.map_region(base, PKT_SLOT_SIZE, f"kernel:pkt{cpu}")
+            self._pkt_slots[cpu] = base
+        self.aspace.write_bytes(base, payload)
+        return base, base + len(payload)
+
+
+def udp_tuple(saddr: int, daddr: int, sport: int, dport: int) -> bytes:
+    """Pack an IPv4 UDP 4-tuple the way ``bpf_sock_tuple.ipv4`` lays
+    it out (12 bytes)."""
+    return struct.pack("<IIHH", saddr, daddr, sport, dport)

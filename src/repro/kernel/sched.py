@@ -1,0 +1,94 @@
+"""Thread scheduling with time-slice extension (§3.4, §4.4).
+
+KFlex lets a user-space thread holding a spin lock that an extension
+might also take request one temporary time-slice extension (50 us,
+Symunix-style) via a counter in its rseq region: incremented on lock
+acquisition, decremented on release, so nested locks account correctly.
+When the quantum expires while the counter is positive, the scheduler
+grants one extension; a thread that still holds the lock after the
+extension is forcefully preempted (the non-cooperative case), leaving
+waiting extensions to stall and be cancelled.
+
+The discrete-event simulator consumes this policy when computing
+contention between the Memcached fast path (in the kernel) and the
+user-space GC thread (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default scheduler quantum and the §3.4 extension grant.
+QUANTUM_NS = 1_000_000  # 1 ms CFS-ish slice
+TIME_SLICE_EXTENSION_NS = 50_000  # 50 us
+
+
+@dataclass
+class RseqRegion:
+    """Per-thread restartable-sequences area holding the critical-
+    section counter (§4.4)."""
+
+    cs_count: int = 0
+
+    def enter_cs(self) -> None:
+        self.cs_count += 1
+
+    def leave_cs(self) -> None:
+        if self.cs_count == 0:
+            raise ValueError("rseq critical-section counter underflow")
+        self.cs_count -= 1
+
+    @property
+    def in_cs(self) -> bool:
+        return self.cs_count > 0
+
+
+@dataclass
+class UserThread:
+    tid: int
+    name: str = ""
+    rseq: RseqRegion = field(default_factory=RseqRegion)
+    #: Set when the scheduler already granted this thread its one
+    #: extension for the current slice.
+    extension_granted: bool = False
+    preempted_in_cs: bool = False
+
+
+class Scheduler:
+    """Quantum accounting for user threads.
+
+    This is *policy* modelling, not an execution engine: the functional
+    runtime is single-threaded, and the DES uses `on_quantum_expiry` to
+    decide whether a lock holder gets to finish its critical section.
+    """
+
+    def __init__(self):
+        self._threads: dict[int, UserThread] = {}
+        self._next_tid = 1
+        self.extensions_granted = 0
+        self.forced_preemptions = 0
+
+    def spawn(self, name: str = "") -> UserThread:
+        t = UserThread(self._next_tid, name)
+        self._next_tid += 1
+        self._threads[t.tid] = t
+        return t
+
+    def on_quantum_expiry(self, thread: UserThread) -> int:
+        """Called when a thread's slice ends.  Returns extra nanoseconds
+        granted (0 or TIME_SLICE_EXTENSION_NS)."""
+        if thread.rseq.in_cs and not thread.extension_granted:
+            thread.extension_granted = True
+            self.extensions_granted += 1
+            return TIME_SLICE_EXTENSION_NS
+        if thread.rseq.in_cs:
+            # Non-cooperative: still in the critical section after its
+            # extension — forcefully preempted (§4.4).
+            thread.preempted_in_cs = True
+            self.forced_preemptions += 1
+        thread.extension_granted = False
+        return 0
+
+    def on_reschedule(self, thread: UserThread) -> None:
+        thread.extension_granted = False
+        thread.preempted_in_cs = False

@@ -1,0 +1,178 @@
+"""A ``bpf(2)``-style system-call facade (§4.1).
+
+The paper's user-space workflow goes through the ``bpf(2)`` system
+call: create maps and heaps by command, load programs against them,
+mmap heap fds, attach to hooks.  This module provides that interface
+over the simulated kernel so applications can be written the way a real
+KFlex user would write them — fd-based, command-driven — instead of
+poking runtime internals.
+
+Commands (mirroring the kernel's ``bpf_cmd`` plus KFlex's additions):
+
+* ``BPF_MAP_CREATE`` / ``BPF_MAP_LOOKUP_ELEM`` / ``BPF_MAP_UPDATE_ELEM``
+  / ``BPF_MAP_DELETE_ELEM``
+* ``BPF_PROG_LOAD`` (with ``mode`` kflex/ebpf and KFlex options)
+* ``BPF_PROG_ATTACH`` / ``BPF_PROG_DETACH``
+* ``KFLEX_HEAP_CREATE`` — heaps are map-like objects with an fd (§4.1)
+* ``KFLEX_HEAP_MMAP`` — map a heap into "user space" (§3.4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import LoadError
+from repro.core.runtime import KFlexRuntime, LoadedExtension
+from repro.core.sharing import SharedHeapView
+from repro.ebpf.maps import ArrayMap, HashMap
+from repro.ebpf.program import Program
+
+
+class Cmd(Enum):
+    BPF_MAP_CREATE = auto()
+    BPF_MAP_LOOKUP_ELEM = auto()
+    BPF_MAP_UPDATE_ELEM = auto()
+    BPF_MAP_DELETE_ELEM = auto()
+    BPF_PROG_LOAD = auto()
+    BPF_PROG_ATTACH = auto()
+    BPF_PROG_DETACH = auto()
+    KFLEX_HEAP_CREATE = auto()
+    KFLEX_HEAP_MMAP = auto()
+
+
+#: errno-style results, negative as the kernel returns them.
+EINVAL = -22
+ENOENT = -2
+EBADF = -9
+
+
+@dataclass
+class BpfSyscall:
+    """One process's view of the bpf() interface."""
+
+    runtime: KFlexRuntime
+
+    def __post_init__(self):
+        self._progs: dict[int, LoadedExtension] = {}
+        self._prog_fd = 1000
+
+    # -- dispatch ----------------------------------------------------------
+
+    def __call__(self, cmd: Cmd, **attr):
+        handler = getattr(self, f"_do_{cmd.name.lower()}", None)
+        if handler is None:
+            return EINVAL
+        return handler(**attr)
+
+    # -- maps -----------------------------------------------------------------
+
+    def _do_bpf_map_create(self, *, map_type: str, key_size: int = 4,
+                           value_size: int = 8, max_entries: int = 1,
+                           name: str = "map"):
+        kernel = self.runtime.kernel
+        if map_type == "hash":
+            m = HashMap(kernel.aspace, kernel.vmalloc, key_size=key_size,
+                        value_size=value_size, max_entries=max_entries,
+                        name=name)
+        elif map_type == "array":
+            m = ArrayMap(kernel.aspace, kernel.vmalloc,
+                         value_size=value_size, max_entries=max_entries,
+                         name=name)
+        else:
+            return EINVAL
+        self._maps = getattr(self, "_maps", {})
+        self._maps[m.fd] = m
+        return m.fd
+
+    def map_by_fd(self, fd: int):
+        return getattr(self, "_maps", {}).get(fd)
+
+    def _do_bpf_map_lookup_elem(self, *, map_fd: int, key: bytes):
+        m = self.map_by_fd(map_fd)
+        if m is None:
+            return EBADF
+        addr = m.lookup(key)
+        if addr == 0:
+            return ENOENT
+        return self.runtime.kernel.aspace.read_bytes(addr, m.value_size)
+
+    def _do_bpf_map_update_elem(self, *, map_fd: int, key: bytes, value: bytes):
+        m = self.map_by_fd(map_fd)
+        if m is None:
+            return EBADF
+        return m.update(key, value)
+
+    def _do_bpf_map_delete_elem(self, *, map_fd: int, key: bytes):
+        m = self.map_by_fd(map_fd)
+        if m is None:
+            return EBADF
+        return m.delete(key)
+
+    # -- heaps (§4.1: heaps are eBPF-map-like objects with fds) -----------------
+
+    def _do_kflex_heap_create(self, *, size: int, name: str = "heap",
+                              cgroup: str | None = None):
+        try:
+            heap = self.runtime.create_heap(size, name=name, cgroup=cgroup)
+        except LoadError:
+            return EINVAL
+        return heap.fd
+
+    def heap_by_fd(self, fd: int):
+        return self.runtime.heaps.get(fd)
+
+    def _do_kflex_heap_mmap(self, *, heap_fd: int, thread=None):
+        """mmap() the heap: returns a SharedHeapView (the user mapping)."""
+        heap = self.heap_by_fd(heap_fd)
+        if heap is None:
+            return EBADF
+        thread = thread or self.runtime.kernel.sched.spawn("mmap-user")
+        return SharedHeapView(
+            heap, self.runtime.locks_for(heap), thread
+        )
+
+    # -- programs --------------------------------------------------------------
+
+    def _do_bpf_prog_load(self, *, insns, hook: str = "bench",
+                          mode: str = "kflex", heap_fd: int | None = None,
+                          map_fds: list | None = None, name: str = "prog",
+                          perf_mode: bool = False, share_heap: bool = False,
+                          quantum_units: int | None = None):
+        maps = {}
+        for fd in map_fds or []:
+            m = self.map_by_fd(fd)
+            if m is None:
+                return EBADF
+            maps[fd] = m
+        heap = self.heap_by_fd(heap_fd) if heap_fd is not None else None
+        if heap_fd is not None and heap is None:
+            return EBADF
+        prog = Program(
+            name, list(insns), hook=hook, maps=maps,
+            heap_size=heap.size if heap is not None else None,
+        )
+        ext = self.runtime.load(
+            prog, mode=mode, heap=heap, attach=False, perf_mode=perf_mode,
+            share_heap=share_heap, quantum_units=quantum_units,
+        )
+        self._prog_fd += 1
+        self._progs[self._prog_fd] = ext
+        return self._prog_fd
+
+    def prog_by_fd(self, fd: int) -> LoadedExtension | None:
+        return self._progs.get(fd)
+
+    def _do_bpf_prog_attach(self, *, prog_fd: int):
+        ext = self._progs.get(prog_fd)
+        if ext is None:
+            return EBADF
+        self.runtime.kernel.hooks.attach(ext)
+        return 0
+
+    def _do_bpf_prog_detach(self, *, prog_fd: int):
+        ext = self._progs.get(prog_fd)
+        if ext is None:
+            return EBADF
+        self.runtime.kernel.hooks.detach(ext)
+        return 0

@@ -1,0 +1,112 @@
+"""The vmalloc arena: aligned region allocation with guard pages.
+
+KFlex allocates extension heaps in the kernel's vmalloc region with an
+alignment request equal to the heap size, plus 32 KB guard pages on
+either side (§4.1).  Size-alignment is what makes the SFI masking
+scheme sound: ``base + (ptr & (size-1))`` always lands inside the heap,
+and the guard pages absorb the signed 16-bit offsets eBPF load/store
+instructions may add.
+
+The paper notes this causes fragmentation (a 4 GB heap's guard pages
+force the allocator to skip the next aligned 4 GB slot); this arena
+reproduces that behaviour and exposes fragmentation statistics so the
+effect can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemory, KernelPanic
+
+# Linux x86-64 vmalloc space starts at 0xffffc90000000000.
+VMALLOC_BASE = 0xFFFF_C900_0000_0000
+VMALLOC_SIZE = 1 << 45  # 32 TiB, as on x86-64
+
+#: Guard page span on each side of a heap.  eBPF load/store offsets are
+#: signed 16-bit, so 2**15 bytes of guard on either side make any
+#: ``[sanitised_ptr + off]`` access land in mapped (guard) space (§4.1).
+GUARD_SIZE = 1 << 15
+
+
+@dataclass
+class VmallocRegion:
+    base: int  # usable base (after leading guard)
+    size: int  # usable size
+    span_base: int  # including guards
+    span_size: int
+    name: str
+
+
+class VmallocArena:
+    """First-fit allocator over the vmalloc address range.
+
+    Only address-space bookkeeping lives here; the actual byte storage
+    is created by mapping the returned range into an
+    :class:`~repro.kernel.addrspace.AddressSpace`.
+    """
+
+    def __init__(self, base: int = VMALLOC_BASE, size: int = VMALLOC_SIZE):
+        self.base = base
+        self.size = size
+        self._allocs: dict[int, VmallocRegion] = {}  # span_base -> region
+        # Fragmentation accounting (paper §4.1 discussion).
+        self.bytes_requested = 0
+        self.bytes_consumed = 0  # including guards and alignment skip
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(
+        self, size: int, *, align: int = 1, guard: int = GUARD_SIZE, name: str = "heap"
+    ) -> VmallocRegion:
+        """Allocate ``size`` bytes aligned to ``align`` with guard pages.
+
+        Scans for the first gap that can hold ``guard + size + guard``
+        with the usable base aligned, mirroring the kernel's
+        ``__get_vm_area`` search.
+        """
+        if size <= 0:
+            raise KernelPanic("vmalloc of non-positive size")
+        if align & (align - 1):
+            raise KernelPanic(f"alignment {align} not a power of two")
+
+        spans = sorted(
+            (r.span_base, r.span_base + r.span_size) for r in self._allocs.values()
+        )
+        cursor = self.base
+        for span_start, span_end in spans + [(self.base + self.size, 0)]:
+            usable = _align_up(cursor + guard, align)
+            span_base = usable - guard
+            span_size = guard + size + guard
+            if span_base >= cursor and span_base + span_size <= span_start:
+                region = VmallocRegion(usable, size, span_base, span_size, name)
+                self._allocs[span_base] = region
+                self.bytes_requested += size
+                self.bytes_consumed += span_size + (span_base - cursor)
+                return region
+            cursor = max(cursor, span_end)
+        raise OutOfMemory(f"vmalloc arena exhausted for {size}B align={align}")
+
+    def free(self, region: VmallocRegion) -> None:
+        if region.span_base not in self._allocs:
+            raise KernelPanic(f"vfree of unallocated region at {region.base:#x}")
+        freed = self._allocs.pop(region.span_base)
+        self.bytes_requested -= freed.size
+        self.bytes_consumed -= freed.span_size
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def fragmentation_overhead(self) -> float:
+        """Consumed-to-requested ratio minus one (0.0 = no waste)."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_consumed / self.bytes_requested - 1.0
+
+    @property
+    def live_regions(self) -> int:
+        return len(self._allocs)
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

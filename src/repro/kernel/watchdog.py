@@ -1,0 +1,51 @@
+"""Stall detection for running extensions (§4.3).
+
+KFlex uses Linux's softlockup/hardlockup watchdogs to notice extensions
+that exceed their execution quantum, then zeroes the ``*terminate``
+cell so the next cancellation point faults.  Here the watchdog is
+driven by the interpreter's periodic callback: once an invocation's
+accumulated cost passes the quantum, the watchdog fires and arms the
+cancellation (zeroing the terminate cell of the extension's heap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default quantum in native-instruction cost units.  The paper's
+#: watchdogs run at seconds granularity; for tests and benchmarks we
+#: default to ~1 ms of simulated execution (2.3 GHz * 1 ms).
+DEFAULT_QUANTUM_UNITS = 2_300_000
+
+
+@dataclass
+class Watchdog:
+    quantum_units: int = DEFAULT_QUANTUM_UNITS
+    fires: int = 0
+    #: extensions currently being monitored: heap -> armed flag
+    _armed: dict = field(default_factory=dict)
+
+    def make_callback(self, heap, aspace):
+        """Produce the per-invocation callback the interpreter calls
+        every few thousand instructions with the cost so far."""
+
+        def cb(cost_units: int) -> None:
+            if cost_units >= self.quantum_units and not self._armed.get(heap):
+                self._armed[heap] = True
+                self.fires += 1
+                # Zero the terminate pointer: every back-edge Cp now
+                # dereferences NULL and faults (§3.3).
+                aspace.write_int(heap.terminate_cell, 0, 8)
+
+        return cb
+
+    def disarm(self, heap, aspace) -> None:
+        """Restore the terminate cell after a cancellation completed.
+
+        The paper's policy cancels the extension on *all* CPUs and
+        unloads it (§4.3 "Cancellation scope"); re-arming is for tests
+        and for the scoped-cancellation extension discussed as future
+        work.
+        """
+        self._armed.pop(heap, None)
+        aspace.write_int(heap.terminate_cell, heap.terminate_target, 8)

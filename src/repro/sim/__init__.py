@@ -1,0 +1,15 @@
+"""Measurement infrastructure: cost model, closed-loop simulator, metrics.
+
+The paper's testbed (§5, RFC 2544: two Xeon 8468 machines, 10 Gbps NIC,
+closed-loop load generator with 64 threads x 16 clients) is modelled as
+a discrete-event simulation whose per-request service times come from
+*executing the actual implementations* — extensions run through the
+interpreter with JIT cost accounting; kernel-path costs come from the
+calibrated constants in :mod:`repro.sim.costs`.
+"""
+
+from repro.sim.costs import PathCosts, UNITS_TO_NS
+from repro.sim.metrics import LatencyStats
+from repro.sim.loadgen import ClosedLoopSim, SimResult
+
+__all__ = ["PathCosts", "UNITS_TO_NS", "LatencyStats", "ClosedLoopSim", "SimResult"]

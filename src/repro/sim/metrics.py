@@ -1,0 +1,58 @@
+"""Latency/throughput statistics matching the paper's reporting.
+
+The paper reports throughput in MOps/sec and 99th-percentile latency;
+experiments run 30 s and discard the first 10% of samples as warm-up
+(§5 Testbed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Streaming-ish latency collector (nanoseconds)."""
+
+    samples_ns: list = field(default_factory=list)
+
+    def record(self, ns: float) -> None:
+        self.samples_ns.append(ns)
+
+    def discard_warmup(self, fraction: float = 0.1) -> None:
+        cut = int(len(self.samples_ns) * fraction)
+        self.samples_ns = self.samples_ns[cut:]
+
+    def percentile(self, p: float) -> float:
+        if not self.samples_ns:
+            return 0.0
+        data = sorted(self.samples_ns)
+        k = (len(data) - 1) * (p / 100.0)
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return data[lo]
+        return data[lo] + (data[hi] - data[lo]) * (k - lo)
+
+    @property
+    def p50_us(self) -> float:
+        return self.percentile(50) / 1000.0
+
+    @property
+    def p99_us(self) -> float:
+        return self.percentile(99) / 1000.0
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.samples_ns) / len(self.samples_ns) if self.samples_ns else 0.0
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+
+def mops(completed: int, duration_ns: float) -> float:
+    """Throughput in million operations per second."""
+    if duration_ns <= 0:
+        return 0.0
+    return completed / duration_ns * 1000.0

@@ -1,0 +1,1 @@
+"""Developer tools: the ``kflexctl`` command-line interface."""

@@ -1,0 +1,129 @@
+"""kflexctl — load, inspect and run extensions from the command line.
+
+The workflow a practitioner has with ``bpftool``, over this repo's text
+assembly (see :mod:`repro.ebpf.textasm` for the syntax):
+
+.. code-block:: console
+
+    $ python -m repro.tools.kflexctl verify prog.kasm --heap 65536
+    $ python -m repro.tools.kflexctl disasm prog.kasm --instrumented
+    $ python -m repro.tools.kflexctl run prog.kasm --ctx 5,10 --invoke 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf.isa import disasm
+from repro.ebpf.program import Program, HOOKS
+from repro.ebpf.textasm import assemble_text
+
+
+def _read_program(args) -> Program:
+    with open(args.file) as f:
+        source = f.read()
+    insns = assemble_text(source)
+    heap = args.heap if args.mode == "kflex" else None
+    return Program(args.name, insns, hook=args.hook, heap_size=heap)
+
+
+def cmd_verify(args) -> int:
+    prog = _read_program(args)
+    rt = KFlexRuntime()
+    ext = rt.load(prog, mode=args.mode, attach=False, perf_mode=args.perf_mode)
+    an = ext.iprog.analysis
+    st = ext.iprog.stats
+    print(f"{args.file}: OK ({args.mode} mode)")
+    print(f"  instructions:        {len(prog.insns)} -> {len(ext.iprog.insns)} "
+          "after instrumentation")
+    if an is not None:
+        print(f"  verifier effort:     {an.insns_processed} insns processed")
+        print(f"  unbounded loops:     {len(an.cp_back_edges)}")
+    print(f"  guards:              {st.guards_emitted} emitted "
+          f"({st.formation_guards} formation), {st.guards_elided} elided")
+    print(f"  cancellation points: {st.cancel_points}")
+    print(f"  spilled resources:   {st.spills}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    prog = _read_program(args)
+    if args.instrumented:
+        rt = KFlexRuntime()
+        ext = rt.load(prog, mode=args.mode, attach=False,
+                      perf_mode=args.perf_mode)
+        print(disasm(ext.iprog.insns))
+    else:
+        print(disasm(prog.insns))
+    return 0
+
+
+def cmd_run(args) -> int:
+    prog = _read_program(args)
+    rt = KFlexRuntime()
+    ext = rt.load(prog, mode=args.mode, attach=False,
+                  perf_mode=args.perf_mode, quantum_units=args.quantum)
+    if ext.heap is not None and args.static:
+        ext.heap.reserve_static(args.static)
+    ctx_vals = [int(v, 0) for v in args.ctx.split(",")] if args.ctx else []
+    ctx_vals += [0] * (8 - len(ctx_vals))
+    for i in range(args.invoke):
+        ctx = rt.make_ctx(0, ctx_vals)
+        ret = ext.invoke(ctx)
+        line = f"invocation {i + 1}: ret={ret} cost={ext.stats.last_cost_units}"
+        if ext.stats.cancellations_by_reason:
+            line += f" cancellations={dict(ext.stats.cancellations_by_reason)}"
+        print(line)
+        if ext.dead:
+            print("extension was unloaded by a cancellation")
+            break
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="kflexctl",
+                                description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="cmd", required=True)
+    for name, fn in (("verify", cmd_verify), ("disasm", cmd_disasm),
+                     ("run", cmd_run)):
+        s = sub.add_parser(name)
+        s.add_argument("file", help="text-assembly source (.kasm)")
+        s.add_argument("--mode", choices=("kflex", "ebpf"), default="kflex")
+        s.add_argument("--hook", choices=sorted(HOOKS), default="bench")
+        s.add_argument("--heap", type=lambda v: int(v, 0), default=1 << 16,
+                       help="extension heap size in bytes (kflex mode)")
+        s.add_argument("--name", default="prog")
+        s.add_argument("--perf-mode", action="store_true",
+                       help="enable performance mode (unsanitised reads)")
+        s.set_defaults(fn=fn)
+        if name == "disasm":
+            s.add_argument("--instrumented", action="store_true",
+                           help="show post-Kie bytecode")
+        if name == "run":
+            s.add_argument("--ctx", default="",
+                           help="comma-separated context values")
+            s.add_argument("--invoke", type=int, default=1)
+            s.add_argument("--quantum", type=int, default=1_000_000,
+                           help="watchdog quantum in cost units")
+            s.add_argument("--static", type=lambda v: int(v, 0), default=256,
+                           help="static heap bytes to populate at load")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Workload generation: Zipfian keys and GET:SET mixes (§5 Testbed)."""
+
+from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.kv import KVWorkload, MIXES
+
+__all__ = ["ZipfGenerator", "KVWorkload", "MIXES"]

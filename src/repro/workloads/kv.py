@@ -1,0 +1,61 @@
+"""Key-value request streams for the Memcached/Redis experiments (§5.1).
+
+The paper's workloads: GET:SET ratios of 90:10, 50:50 and 10:90 over
+Zipfian(0.99) keys; 32 B keys and values for Memcached (BMC cannot
+handle values larger than keys), 32 B/64 B elsewhere.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.zipf import ZipfGenerator
+
+#: The three GET:SET mixes of Figs. 2-4 and 7.
+MIXES = {"90:10": 0.9, "50:50": 0.5, "10:90": 0.1}
+
+GET = "get"
+SET = "set"
+ZADD = "zadd"
+
+
+@dataclass
+class Request:
+    op: str
+    key: int
+    value: int = 0
+
+
+class KVWorkload:
+    """Stream of GET/SET (or ZADD) requests over a Zipfian key space."""
+
+    def __init__(
+        self,
+        *,
+        n_keys: int = 10_000,
+        get_ratio: float = 0.9,
+        zipf_s: float = 0.99,
+        seed: int = 7,
+        op_set: str = SET,
+    ):
+        self.n_keys = n_keys
+        self.get_ratio = get_ratio
+        self.zipf = ZipfGenerator(n_keys, zipf_s, seed)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._op_set = op_set
+
+    def next(self) -> Request:
+        key = self.zipf.sample()
+        if self._rng.random() < self.get_ratio:
+            return Request(GET, key)
+        return Request(self._op_set, key, self._rng.randint(1, 1 << 30))
+
+    def stream(self, n: int):
+        for _ in range(n):
+            yield self.next()
+
+    def preload_keys(self, fraction: float = 0.6) -> list[int]:
+        """Keys to warm the store with before measurement."""
+        count = int(self.n_keys * fraction)
+        return list(range(count))

@@ -1,0 +1,40 @@
+"""Zipfian key sampling (s = 0.99, the paper's access pattern)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfGenerator:
+    """Draws ranks in [0, n) with probability proportional to 1/(r+1)^s.
+
+    Precomputes the CDF once; sampling is a binary search.  Matches the
+    paper's closed-loop generator (Zipfian, s = 0.99).
+    """
+
+    def __init__(self, n: int, s: float = 0.99, seed: int = 1):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (i + 1) ** s for i in range(n)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self) -> int:
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def sample_many(self, k: int) -> list[int]:
+        return [self.sample() for _ in range(k)]
+
+    def hot_fraction(self, top: int) -> float:
+        """Probability mass of the ``top`` hottest keys."""
+        return self._cdf[min(top, self.n) - 1]

@@ -1,0 +1,190 @@
+"""Assembler label resolution and the Kie rewriter's jump fixups."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.ebpf import isa
+from repro.ebpf.asm import Assembler
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.macroasm import MacroAsm, Struct
+from repro.ebpf.rewrite import Rewriter, jump_target_index
+
+
+def test_forward_and_backward_labels():
+    a = Assembler()
+    a.jmp("fwd")
+    a.label("back")
+    a.mov(Reg.R0, 1)
+    a.label("fwd")
+    a.jcc("==", Reg.R0, 0, "back")
+    a.exit()
+    insns = a.assemble()
+    assert jump_target_index(insns, 0) == 2
+    assert jump_target_index(insns, 2) == 1
+
+
+def test_label_across_ld_imm64_counts_slots():
+    a = Assembler()
+    a.jmp("end")
+    a.ld_imm64(Reg.R1, 0x1234)  # two slots
+    a.label("end")
+    a.exit()
+    insns = a.assemble()
+    assert insns[0].off == 2  # skips both slots of ld_imm64
+    assert jump_target_index(insns, 0) == 2
+
+
+def test_undefined_label_raises():
+    a = Assembler()
+    a.jmp("nowhere")
+    with pytest.raises(AssemblerError):
+        a.assemble()
+
+
+def test_duplicate_label_raises():
+    a = Assembler()
+    a.label("x")
+    with pytest.raises(AssemblerError):
+        a.label("x")
+
+
+def test_rewriter_insert_before_preserves_jumps():
+    a = Assembler()
+    a.mov(Reg.R0, 0)
+    a.label("head")
+    a.add(Reg.R0, 1)
+    a.jcc("<", Reg.R0, 3, "head")
+    a.exit()
+    insns = a.assemble()
+    rw = Rewriter(insns)
+    guard = Insn(isa.KFLEX_GUARD, 0)
+    rw.insert_before(1, [guard])
+    out = rw.resolve()
+    # Back edge must now target the inserted guard (it dominates).
+    assert out[1].opcode == isa.KFLEX_GUARD
+    assert jump_target_index(out, 3) == 1
+
+
+def test_rewriter_insert_after_is_fallthrough_only():
+    a = Assembler()
+    a.mov(Reg.R0, 0)       # 0
+    a.jcc("==", Reg.R0, 0, "skip")  # 1 -> targets insn 3
+    a.mov(Reg.R0, 1)       # 2
+    a.label("skip")
+    a.mov(Reg.R1, 2)       # 3
+    a.exit()               # 4
+    insns = a.assemble()
+    rw = Rewriter(insns)
+    spill = Insn(isa.BPF_ST | isa.BPF_MEM | isa.BPF_DW, 10, 0, -8, 0)
+    rw.insert_after(2, [spill])
+    out = rw.resolve()
+    # The jump at 1 must bypass the inserted spill and land on old insn 3.
+    assert jump_target_index(out, 1) == 4
+    assert out[3].cls == isa.BPF_ST
+
+
+def test_rewriter_multiple_insertions_independent_of_order():
+    a = Assembler()
+    a.mov(Reg.R0, 0)
+    a.mov(Reg.R1, 1)
+    a.mov(Reg.R2, 2)
+    a.exit()
+    insns = a.assemble()
+    rw = Rewriter(insns)
+    rw.insert_before(2, [Insn(isa.KFLEX_GUARD, 2)])
+    rw.insert_before(1, [Insn(isa.KFLEX_GUARD, 1)])
+    out = rw.resolve()
+    ops = [i.opcode for i in out]
+    assert ops.count(isa.KFLEX_GUARD) == 2
+    assert out[1].opcode == isa.KFLEX_GUARD and out[1].dst == 1
+    assert out[3].opcode == isa.KFLEX_GUARD and out[3].dst == 2
+
+
+def test_rewriter_tags_inserted_with_orig_idx():
+    a = Assembler()
+    a.mov(Reg.R0, 0)
+    a.exit()
+    rw = Rewriter(a.assemble())
+    rw.insert_before(1, [Insn(isa.KFLEX_CANCELPT)])
+    out = rw.resolve()
+    assert out[1].orig_idx == 1
+
+
+# -- macro assembler --------------------------------------------------------
+
+
+def test_struct_layout_natural_alignment():
+    s = Struct(key=4, value=4, next=8, prev=8)
+    assert (s.key.off, s.value.off, s.next.off, s.prev.off) == (0, 4, 8, 16)
+    assert s.size == 24
+    s2 = Struct(a=1, b=8)
+    assert s2.b.off == 8 and s2.size == 16
+
+
+def test_struct_rejects_bad_size():
+    with pytest.raises(AssemblerError):
+        Struct(x=3)
+
+
+def _run(insns, ctx_vals=()):
+    from repro.ebpf.interpreter import Interpreter, ExecEnv
+    from repro.ebpf.helpers import HelperTable
+    from repro.kernel.addrspace import AddressSpace
+
+    env = ExecEnv(aspace=AddressSpace(), helpers=HelperTable())
+    return Interpreter(insns, env).run()
+
+
+def test_if_else_both_arms():
+    for val, expect in ((0, 100), (1, 200)):
+        m = MacroAsm()
+        m.mov(Reg.R1, val)
+        with m.if_else("==", Reg.R1, 0) as orelse:
+            m.mov(Reg.R0, 100)
+            orelse()
+            m.mov(Reg.R0, 200)
+        m.exit()
+        assert _run(m.assemble()).ret == expect
+
+
+def test_while_loop_counts():
+    m = MacroAsm()
+    m.mov(Reg.R0, 0)
+    m.mov(Reg.R1, 5)
+    with m.while_("!=", Reg.R1, 0):
+        m.add(Reg.R0, 2)
+        m.sub(Reg.R1, 1)
+    m.exit()
+    assert _run(m.assemble()).ret == 10
+
+
+def test_loop_with_break():
+    m = MacroAsm()
+    m.mov(Reg.R0, 0)
+    with m.loop() as ctl:
+        m.add(Reg.R0, 1)
+        m.jcc(">=", Reg.R0, 7, ctl.break_)
+    m.exit()
+    assert _run(m.assemble()).ret == 7
+
+
+def test_memcpy_and_memcmp():
+    from repro.ebpf.interpreter import Interpreter, ExecEnv
+    from repro.ebpf.helpers import HelperTable
+    from repro.kernel.addrspace import AddressSpace
+
+    m = MacroAsm()
+    # Copy 12 bytes fp[-32..-20] -> fp[-16..-4], then compare: equal -> r0=1
+    for i, b in enumerate(b"hello world!"):
+        m.st_imm(Reg.R10, -32 + i, b, 1)
+    m.mov(Reg.R6, Reg.R10); m.add(Reg.R6, -32)
+    m.mov(Reg.R7, Reg.R10); m.add(Reg.R7, -16)
+    m.memcpy(Reg.R7, Reg.R6, 12, scratch=Reg.R3)
+    m.mov(Reg.R0, 1)
+    m.memcmp_jne(Reg.R6, Reg.R7, 12, "diff", s1=Reg.R3, s2=Reg.R4)
+    m.exit()
+    m.label("diff")
+    m.mov(Reg.R0, 0)
+    m.exit()
+    env = ExecEnv(aspace=AddressSpace(), helpers=HelperTable())
+    assert Interpreter(m.assemble(), env).run().ret == 1

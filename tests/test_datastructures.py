@@ -1,0 +1,298 @@
+"""Extension data structures (§5.2): differential and invariant tests.
+
+Each structure is driven with random operation streams and compared
+against a Python reference with identical observable semantics; the
+red-black tree additionally has its invariants checked by walking the
+heap from the outside.
+"""
+
+import random
+
+import pytest
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.datastructures import (
+    CountMinSketchDS,
+    CountSketchDS,
+    HashMapDS,
+    LinkedListDS,
+    RBTreeDS,
+    SkipListDS,
+)
+from repro.apps.datastructures.common import MISS, OK
+from repro.apps.datastructures.native import RefCountMin, RefCountSketch, RefMap
+from repro.apps.datastructures.rbtree import NODE as RBNODE
+
+
+@pytest.fixture
+def rt():
+    return KFlexRuntime()
+
+
+class ListRef:
+    """Push-front list semantics: lookup sees the newest binding."""
+
+    def __init__(self):
+        self.items = []
+
+    def update(self, k, v):
+        self.items.insert(0, (k, v))
+        return OK
+
+    def lookup(self, k):
+        for kk, vv in self.items:
+            if kk == k:
+                return vv
+        return MISS
+
+    def delete(self, k):
+        for i, (kk, _) in enumerate(self.items):
+            if kk == k:
+                del self.items[i]
+                return OK
+        return MISS
+
+
+def drive(ds, ref, n_ops, seed, key_range=80):
+    rnd = random.Random(seed)
+    for i in range(n_ops):
+        op = rnd.random()
+        k = rnd.randint(0, key_range)
+        if op < 0.5:
+            v = rnd.randint(1, 10**9)
+            assert ds.update(k, v) == ref.update(k, v), (i, k)
+        elif op < 0.75:
+            assert ds.lookup(k) == ref.lookup(k), (i, k)
+        else:
+            assert ds.delete(k) == ref.delete(k), (i, k)
+
+
+# -- functional, one per structure ---------------------------------------------
+
+
+def test_linkedlist_differential(rt):
+    drive(LinkedListDS(rt), ListRef(), 250, seed=11)
+
+
+def test_hashmap_differential(rt):
+    drive(HashMapDS(rt), RefMap(), 250, seed=12)
+
+
+def test_rbtree_differential(rt):
+    drive(RBTreeDS(rt), RefMap(), 300, seed=13)
+
+
+def test_skiplist_differential(rt):
+    drive(SkipListDS(rt), RefMap(), 300, seed=14)
+
+
+def test_hashmap_collisions(rt):
+    """Keys colliding in the same bucket chain still resolve correctly."""
+    hm = HashMapDS(rt)
+    from repro.apps.datastructures.hashmap import BUCKET_BITS
+    from repro.apps.datastructures.common import HASH_CONST
+
+    def bucket(k):
+        return ((k * HASH_CONST) & ((1 << 64) - 1)) >> (64 - BUCKET_BITS)
+
+    base = 1
+    collisions = [base]
+    k = base + 1
+    while len(collisions) < 4:
+        if bucket(k) == bucket(base):
+            collisions.append(k)
+        k += 1
+    for i, key in enumerate(collisions):
+        assert hm.update(key, 1000 + i) == OK
+    for i, key in enumerate(collisions):
+        assert hm.lookup(key) == 1000 + i
+    assert hm.delete(collisions[1]) == OK
+    assert hm.lookup(collisions[1]) == MISS
+    assert hm.lookup(collisions[0]) == 1000
+    assert hm.lookup(collisions[2]) == 1002
+
+
+def test_rbtree_invariants_random_ops(rt):
+    """Walk the heap from outside and check every red-black invariant."""
+    rb = RBTreeDS(rt)
+    asp = rt.kernel.aspace
+    root_cell = rb.heap.base + rb.static_base
+
+    def node(p):
+        return {
+            f: asp.read_int(p + getattr(RBNODE, f).off, 8)
+            for f in ("key", "value", "left", "right", "parent", "color")
+        }
+
+    def check(ref):
+        root = asp.read_int(root_cell, 8)
+        seen = {}
+
+        def walk(p, parent, lo, hi):
+            n = node(p)
+            assert n["parent"] == parent
+            assert lo < n["key"] < hi
+            seen[n["key"]] = n["value"]
+            if n["color"] == 1:
+                for c in (n["left"], n["right"]):
+                    if c:
+                        assert node(c)["color"] == 0, "red-red violation"
+            bl = walk(n["left"], p, lo, n["key"]) if n["left"] else 1
+            br = walk(n["right"], p, n["key"], hi) if n["right"] else 1
+            assert bl == br, "black-height violation"
+            return bl + (1 - n["color"])
+
+        if root:
+            assert node(root)["color"] == 0, "root must be black"
+            walk(root, 0, -1, 1 << 63)
+        assert seen == ref
+
+    ref = {}
+    rnd = random.Random(99)
+    for i in range(200):
+        op = rnd.random()
+        k = rnd.randint(0, 40)
+        if op < 0.55:
+            v = rnd.randint(1, 10**6)
+            rb.update(k, v)
+            ref[k] = v
+        else:
+            rb.delete(k)
+            ref.pop(k, None)
+        if i % 10 == 0:
+            check(ref)
+    check(ref)
+
+
+def test_rbtree_sequential_keys(rt):
+    """Ascending inserts are the classic rotation stress."""
+    rb = RBTreeDS(rt)
+    for k in range(64):
+        assert rb.update(k, k * 2) == OK
+    for k in range(64):
+        assert rb.lookup(k) == k * 2
+    for k in range(0, 64, 2):
+        assert rb.delete(k) == OK
+    for k in range(64):
+        assert rb.lookup(k) == (MISS if k % 2 == 0 else k * 2)
+
+
+def test_skiplist_ordered_iteration_structure(rt):
+    """Level-0 chain must be sorted by key."""
+    from repro.apps.datastructures.skiplist import NODE, SkipListDS
+
+    sl = SkipListDS(rt)
+    keys = [9, 3, 77, 1, 50, 22, 68, 14]
+    for k in keys:
+        sl.update(k, k)
+    asp = rt.kernel.aspace
+    head = sl.heap.base + sl.static_base
+    cur = asp.read_int(head + NODE.next0.off, 8)
+    seen = []
+    while cur:
+        seen.append(asp.read_int(cur + NODE.key.off, 8))
+        cur = asp.read_int(cur + NODE.next0.off, 8)
+    assert seen == sorted(keys)
+
+
+def test_sketches_differential(rt):
+    cm, rcm = CountMinSketchDS(rt), RefCountMin()
+    cs, rcs = CountSketchDS(rt), RefCountSketch()
+    rnd = random.Random(3)
+    keys = [rnd.randint(0, 500) for _ in range(120)]
+    for k in keys:
+        d = rnd.randint(1, 9)
+        assert cm.update(k, d) == rcm.update(k, d)
+        assert cs.update(k, d) == rcs.update(k, d)
+    for k in set(keys):
+        assert cm.lookup(k) == rcm.lookup(k), k
+        assert cs.lookup(k) == rcs.lookup(k), k
+
+
+def test_countmin_never_underestimates(rt):
+    cm = CountMinSketchDS(rt)
+    truth = {}
+    rnd = random.Random(4)
+    for _ in range(150):
+        k = rnd.randint(0, 100)
+        cm.update(k, 1)
+        truth[k] = truth.get(k, 0) + 1
+    for k, n in truth.items():
+        assert cm.lookup(k) >= n
+
+
+def test_delete_then_reuse_memory(rt):
+    """Freed nodes are recycled by the allocator."""
+    ll = LinkedListDS(rt)
+    ll.update(1, 10)
+    live_before = ll.runtime.allocators[ll.heap.fd].live_objects()
+    ll.delete(1)
+    ll.update(2, 20)
+    assert ll.runtime.allocators[ll.heap.fd].live_objects() == live_before
+    assert ll.lookup(2) == 20
+
+
+# -- instrumentation accounting (pre-Table 3 sanity) ------------------------------
+
+
+def test_sketch_guards_all_elided(rt):
+    """Table 3 note: sketch accesses verify statically — zero guards."""
+    for cls in (CountMinSketchDS, CountSketchDS):
+        ds = cls(rt)
+        for op in ("update", "lookup"):
+            st = ds.op_stats(op)
+            assert st.guards_emitted == 0
+            assert st.guards_elided == st.guards_total
+            assert st.cancel_points == 0
+
+
+def test_linkedlist_guard_profile(rt):
+    ll = LinkedListDS(rt)
+    # Lookup walks via exactly one guarded load per element.
+    st = ll.op_stats("lookup")
+    assert st.formation_guards == 1
+    assert st.cancel_points == 1  # the unbounded walk
+    # Update is guard-light (only the old head's prev write).
+    st = ll.op_stats("update")
+    assert st.cancel_points == 0  # O(1): no loop at all
+
+
+def test_traversals_have_cancel_points(rt):
+    for cls in (HashMapDS, RBTreeDS, SkipListDS):
+        ds = cls(rt)
+        for op in ds.OPS:
+            assert ds.op_stats(op).cancel_points >= 1, (cls.NAME, op)
+
+
+def test_kmod_baseline_zero_instrumentation(rt):
+    ll = LinkedListDS(rt, kmod=True)
+    ll.update(5, 50)
+    assert ll.lookup(5) == 50
+    st = ll.op_stats("lookup")
+    assert st.guards_emitted == 0 and st.cancel_points == 0
+
+
+def test_kmod_vs_kflex_cost_overhead(rt):
+    """KFlex cost exceeds KMod by the instrumentation, and only that."""
+    k = LinkedListDS(KFlexRuntime(), kmod=True)
+    f = LinkedListDS(KFlexRuntime())
+    for ds in (k, f):
+        for i in range(32):
+            ds.update(i, i)
+    k.lookup(0)
+    f.lookup(0)
+    assert f.op_cost("lookup") > k.op_cost("lookup")
+    # Overhead stays modest (Fig. 5's ~single-digit-% throughput story
+    # is per-op; here we just bound it to rule out gross regressions).
+    assert f.op_cost("lookup") < k.op_cost("lookup") * 1.6
+
+
+def test_perf_mode_reduces_lookup_cost(rt):
+    """§4.2: performance mode skips read guards on pointer chases."""
+    normal = LinkedListDS(KFlexRuntime())
+    pm = LinkedListDS(KFlexRuntime(), perf_mode=True)
+    for ds in (normal, pm):
+        for i in range(64):
+            ds.update(i, i)
+        ds.lookup(0)  # deepest traversal
+    assert pm.op_cost("lookup") < normal.op_cost("lookup")

@@ -1,0 +1,243 @@
+"""Backward compatibility: existing eBPF extensions run unmodified (§3, §4).
+
+The paper stresses that KFlex "passes all the tests in the eBPF test
+suite, ensuring backward compatibility and no regressions for existing
+extensions".  This suite is our equivalent: a corpus of vanilla eBPF
+programs that must (a) verify in **both** modes, (b) receive zero KFlex
+instrumentation (they touch no heap and have bounded loops), and
+(c) produce identical results under both loads.  A second corpus of
+invalid programs must be rejected in both modes for the same reason.
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf.program import Program
+from repro.ebpf.textasm import assemble_text
+
+#: (name, source, expected return value) — all hook "bench", heap-free.
+VALID_CORPUS = [
+    ("const", "mov64 r0, 7\nexit", 7),
+    (
+        "bounded_loop",
+        """
+        mov64 r0, 0
+        mov64 r1, 16
+        l: jeq r1, 0, d
+        add64 r0, r1
+        sub64 r1, 1
+        ja l
+        d: exit
+        """,
+        136,
+    ),
+    (
+        "stack_spill_fill",
+        """
+        lddw r1, 0xfeedface
+        stxdw [r10-16], r1
+        ldxdw r0, [r10-16]
+        exit
+        """,
+        0xFEEDFACE,
+    ),
+    (
+        "ctx_read",
+        """
+        ldxdw r0, [r1+0]
+        exit
+        """,
+        0,  # bench ctx arg0 staged as 0
+    ),
+    (
+        "diamond_branches",
+        """
+        ldxdw r2, [r1+8]
+        jeq r2, 0, z
+        mov64 r0, 1
+        ja out
+        z: mov64 r0, 2
+        out: exit
+        """,
+        2,
+    ),
+    (
+        "alu_mix",
+        """
+        mov64 r0, 1000
+        mul r0, 3
+        div r0, 7
+        mod r0, 100
+        xor r0, 0xf
+        exit
+        """,
+        (1000 * 3 // 7) % 100 ^ 0xF,
+    ),
+    (
+        "alu32_wrap",
+        """
+        lddw r0, 0xffffffff
+        add32 r0, 1
+        exit
+        """,
+        0,
+    ),
+    (
+        "signed_compare",
+        """
+        mov64 r1, -5
+        mov64 r0, 0
+        jsgt r1, -10, yes
+        exit
+        yes: mov64 r0, 1
+        exit
+        """,
+        1,
+    ),
+    (
+        "atomic_counter",
+        """
+        stdw [r10-8], 0
+        mov64 r1, 1
+        mov64 r2, 4
+        l: jeq r2, 0, d
+        atomicdw add [r10-8], r1
+        sub64 r2, 1
+        ja l
+        d: ldxdw r0, [r10-8]
+        exit
+        """,
+        4,
+    ),
+    (
+        "nested_bounded",
+        """
+        mov64 r0, 0
+        mov64 r6, 3
+        outer: jeq r6, 0, done
+        mov64 r7, 2
+        inner: jeq r7, 0, oend
+        add64 r0, 1
+        sub64 r7, 1
+        ja inner
+        oend: sub64 r6, 1
+        ja outer
+        done: exit
+        """,
+        6,
+    ),
+    (
+        "byteswap",
+        """
+        mov64 r0, 0x1234
+        be16 r0
+        exit
+        """,
+        0x3412,
+    ),
+    (
+        "helper_smp_id",
+        """
+        call bpf_get_smp_processor_id
+        exit
+        """,
+        0,
+    ),
+]
+
+INVALID_CORPUS = [
+    ("uninit_reg", "mov64 r0, r5\nexit", "uninitialised"),
+    ("no_r0", "exit", "R0"),
+    ("stack_oob", "stdw [r10-520], 0\nmov64 r0, 0\nexit", "stack"),
+    ("uninit_stack_read", "ldxdw r0, [r10-8]\nexit", "uninitialised stack"),
+    (
+        "pointer_return",
+        "mov64 r0, r10\nexit",
+        "scalar",
+    ),
+    (
+        "ctx_bad_offset",
+        "ldxdw r0, [r1+100]\nexit",
+        "context",
+    ),
+]
+
+
+@pytest.mark.parametrize("name,src,expected", VALID_CORPUS,
+                         ids=[c[0] for c in VALID_CORPUS])
+def test_valid_program_identical_in_both_modes(name, src, expected):
+    results = {}
+    for mode in ("ebpf", "kflex"):
+        rt = KFlexRuntime()
+        heap_size = (1 << 16) if mode == "kflex" else None
+        prog = Program(name, assemble_text(src), hook="bench",
+                       heap_size=heap_size)
+        ext = rt.load(prog, mode=mode, attach=False)
+        # Backward compatibility: a heap-free, bounded program gets no
+        # guards and no cancellation points even under KFlex.
+        st = ext.iprog.stats
+        assert st.guards_emitted == 0, (name, mode)
+        assert st.cancel_points == 0, (name, mode)
+        results[mode] = ext.invoke(rt.make_ctx(0, [0] * 8))
+    assert results["ebpf"] == results["kflex"] == expected
+
+
+@pytest.mark.parametrize("name,src,msg", INVALID_CORPUS,
+                         ids=[c[0] for c in INVALID_CORPUS])
+def test_invalid_program_rejected_in_both_modes(name, src, msg):
+    for mode in ("ebpf", "kflex"):
+        rt = KFlexRuntime()
+        heap_size = (1 << 16) if mode == "kflex" else None
+        prog = Program(name, assemble_text(src), hook="bench",
+                       heap_size=heap_size)
+        with pytest.raises(VerificationError) as e:
+            rt.load(prog, mode=mode, attach=False)
+        if mode == "ebpf":
+            assert msg.split()[0].lower() in str(e.value).lower(), (name, e.value)
+
+
+def test_unbounded_loop_rejected_by_ebpf_accepted_by_kflex():
+    """The dividing line itself (§2.2 vs §3.1): a loop whose bound the
+    verifier cannot establish is fatal for eBPF and a cancellation
+    point for KFlex."""
+    src = """
+        ldxdw r1, [r1+0]
+        l: jeq r1, 0, d
+        add64 r1, 1
+        ja l
+        d: mov64 r0, 0
+        exit
+    """
+    rt = KFlexRuntime()
+    with pytest.raises(VerificationError) as e:
+        rt.load(Program("ub", assemble_text(src), hook="bench"),
+                mode="ebpf", attach=False)
+    assert "loop" in str(e.value).lower()
+    ext = rt.load(
+        Program("ub", assemble_text(src), hook="bench", heap_size=1 << 16),
+        attach=False,
+    )
+    assert ext.iprog.stats.cancel_points == 1
+
+
+def test_kflex_only_features_still_gated_behind_heap():
+    """Programs using KFlex-only capability fail exactly where eBPF says
+    they should, and only the kflex mode (with a heap) accepts them."""
+    src = """
+        lddw r6, heap[0x40]
+        ldxdw r7, [r6+0]
+        l: jeq r7, 0, d
+        ldxdw r7, [r7+8]
+        ja l
+        d: mov64 r0, 0
+        exit
+    """
+    rt = KFlexRuntime()
+    prog = Program("walker", assemble_text(src), hook="bench",
+                   heap_size=1 << 16)
+    ext = rt.load(prog, attach=False)  # kflex accepts
+    assert ext.iprog.stats.cancel_points == 1
+    with pytest.raises(VerificationError):
+        rt.load(Program("walker", assemble_text(src), hook="bench"),
+                mode="ebpf", attach=False)

@@ -1,0 +1,88 @@
+"""Smoke tests for the figure harnesses (fast, reduced-size runs).
+
+The real numbers come from ``benchmarks/``; these verify the harnesses
+run end-to-end and preserve the paper's qualitative shapes at small
+scale.
+"""
+
+import pytest
+
+from repro.figures.datastructure_figs import run_datastructure_comparison
+from repro.figures.memcached_figs import (
+    build_bmc_model,
+    build_kflex_model,
+    build_userspace_model,
+    run_memcached_comparison,
+)
+from repro.figures.redis_figs import run_redis_comparison, run_zadd_comparison
+from repro.figures.codesign_fig import build_codesign_model, gc_service_wrapper
+from repro.figures.table3 import run_guard_elision_table
+from repro.sim.loadgen import ClosedLoopSim
+
+
+def test_service_models_have_sane_ordering():
+    """Mean service times: KFlex < BMC < user space at 90:10."""
+    kf = build_kflex_model(0.9)
+    us = build_userspace_model(0.9)
+    bm = build_bmc_model(0.9)
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    assert mean(kf.get_ns) < mean(bm.get_ns) < mean(us.get_ns)
+    # SETs: BMC gains nothing (falls through + invalidation).
+    assert mean(bm.set_ns) >= mean(us.set_ns)
+    assert mean(kf.set_ns) < mean(us.set_ns)
+
+
+def test_bmc_hit_rate_reasonable():
+    model = build_bmc_model(0.9)
+    assert 0.3 < model.hit_rate <= 1.0
+
+
+def test_memcached_comparison_shape_small():
+    res = run_memcached_comparison(total_requests=2500, mixes=["90:10"])
+    by = res["90:10"]
+    assert by["KFlex"].throughput_mops > by["BMC"].throughput_mops
+    assert by["KFlex"].throughput_mops > by["User space"].throughput_mops
+    assert by["KFlex"].p99_us < by["User space"].p99_us
+
+
+def test_redis_comparison_shape_small():
+    res = run_redis_comparison(total_requests=2500, mixes=["50:50"])
+    by = res["50:50"]
+    ratio = by["KFlex"].throughput_mops / by["User space"].throughput_mops
+    assert 1.1 < ratio < 3.5  # wins, but far less than Memcached (§5.1)
+
+
+def test_zadd_comparison_shape_small():
+    res = run_zadd_comparison(total_requests=2500)
+    assert res["KFlex"].throughput_mops > res["Redis"].throughput_mops
+    assert res["KFlex"].p99_us < res["Redis"].p99_us
+
+
+def test_datastructure_comparison_shape_small():
+    res = run_datastructure_comparison(
+        structures=["hashmap", "countmin"], n_elems=256, n_samples=10
+    )
+    for name in res:
+        for op, r in res[name]["KMod"].items():
+            assert res[name]["KFlex"][op].mean_ns >= r.mean_ns
+
+
+def test_codesign_model_measures_gc():
+    model = build_codesign_model(0.9)
+    assert model.stripe_cs_ns > 0
+    fn = gc_service_wrapper(model.sampler(0.9), model.stripe_cs_ns)
+    res = ClosedLoopSim(
+        n_clients=16, n_servers=4, service_fn=fn, total_requests=1500
+    ).run()
+    assert res.throughput_mops > 0
+
+
+def test_table3_rows_cover_all_ops():
+    rows = run_guard_elision_table(structures=["linkedlist", "countmin"])
+    names = {r.function for r in rows}
+    assert names == {
+        "linkedlist update", "linkedlist lookup", "linkedlist delete",
+        "countmin update", "countmin lookup",
+    }
+    for r in rows:
+        assert 0 <= r.elided <= r.total or r.total == 0

@@ -1,0 +1,94 @@
+"""Instruction set: encoding, decoding, disassembly, slot accounting."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.isa import Insn, Reg, decode, encode, disasm_insn
+from repro.errors import EncodingError
+
+
+def test_alu_roundtrip():
+    insn = Insn(isa.BPF_ALU64 | isa.BPF_ADD | isa.BPF_K, 1, 0, 0, 42)
+    (out,) = decode(encode([insn]))
+    assert out == insn
+
+
+def test_ld_imm64_occupies_two_slots():
+    insn = Insn(
+        isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, 2, 0, 0, 0, imm64=0xDEAD_BEEF_CAFE_F00D
+    )
+    blob = encode([insn])
+    assert len(blob) == 16
+    (out,) = decode(blob)
+    assert out.imm64 == 0xDEAD_BEEF_CAFE_F00D
+    assert out.slots == 2
+
+
+def test_negative_offset_and_imm_roundtrip():
+    insn = Insn(isa.BPF_STX | isa.BPF_MEM | isa.BPF_DW, 10, 3, -8, 0)
+    (out,) = decode(encode([insn]))
+    assert out.off == -8
+    insn2 = Insn(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, 0, 0, 0, -1)
+    (out2,) = decode(encode([insn2]))
+    assert out2.imm == -1
+
+
+def test_decode_rejects_truncated_stream():
+    with pytest.raises(EncodingError):
+        decode(b"\x00" * 7)
+
+
+def test_decode_rejects_truncated_ld_imm64():
+    insn = Insn(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, 1, 0, 0, 0, imm64=7)
+    blob = encode([insn])[:8]
+    with pytest.raises(EncodingError):
+        decode(blob)
+
+
+def test_slot_offsets_mixed_program():
+    insns = [
+        Insn(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, 0),
+        Insn(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, 1, 0, 0, 0, imm64=1),
+        Insn(isa.BPF_JMP | isa.BPF_EXIT),
+    ]
+    assert isa.slot_offsets(insns) == [0, 1, 3]
+    assert isa.total_slots(insns) == 4
+
+
+def test_is_jump_excludes_pseudo_and_call_exit():
+    assert not Insn(isa.KFLEX_GUARD, 1).is_jump
+    assert not Insn(isa.KFLEX_CANCELPT).is_jump
+    assert not Insn(isa.KFLEX_TRANSLATE, 1).is_jump
+    assert not Insn(isa.BPF_JMP | isa.BPF_CALL, 0, 0, 0, 1).is_jump
+    assert not Insn(isa.BPF_JMP | isa.BPF_EXIT).is_jump
+    assert Insn(isa.BPF_JMP | isa.BPF_JEQ | isa.BPF_K, 1, 0, 3, 0).is_jump
+
+
+def test_is_mem_access_classification():
+    assert Insn(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_W, 1, 2, 0).is_mem_access
+    assert Insn(isa.BPF_STX | isa.BPF_ATOMIC | isa.BPF_DW, 1, 2, 0,
+                isa.ATOMIC_ADD).is_atomic
+    assert not Insn(isa.BPF_ALU64 | isa.BPF_ADD | isa.BPF_K, 1).is_mem_access
+
+
+def test_size_bytes():
+    assert isa.size_bytes(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_B) == 1
+    assert isa.size_bytes(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_H) == 2
+    assert isa.size_bytes(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_W) == 4
+    assert isa.size_bytes(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_DW) == 8
+
+
+def test_disasm_smoke():
+    assert "add64 r1, 42" in disasm_insn(
+        Insn(isa.BPF_ALU64 | isa.BPF_ADD | isa.BPF_K, 1, 0, 0, 42)
+    )
+    assert "guard" in disasm_insn(Insn(isa.KFLEX_GUARD, 3))
+    assert "cancelpt" in disasm_insn(Insn(isa.KFLEX_CANCELPT))
+    assert "ldxdw" in disasm_insn(Insn(isa.BPF_LDX | isa.BPF_MEM | isa.BPF_DW, 1, 2, 8))
+
+
+def test_sign_helpers():
+    assert isa.to_s64(isa.U64) == -1
+    assert isa.to_u64(-1) == isa.U64
+    assert isa.sign_extend(0x80, 8) == -128
+    assert isa.sign_extend(0x7F, 8) == 127

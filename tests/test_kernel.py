@@ -1,0 +1,226 @@
+"""Kernel substrate: address space, vmalloc, cgroups, net, scheduler."""
+
+import pytest
+
+from repro.errors import KernelPanic, OutOfMemory, PageFault
+from repro.kernel.addrspace import AddressSpace, Backing, PAGE_SIZE
+from repro.kernel.cgroup import CgroupController
+from repro.kernel.net import NetStack, udp_tuple
+from repro.kernel.sched import Scheduler, TIME_SLICE_EXTENSION_NS
+from repro.kernel.vmalloc import VmallocArena, GUARD_SIZE
+
+
+# -- address space ----------------------------------------------------------
+
+
+def test_map_read_write_roundtrip():
+    asp = AddressSpace()
+    asp.map_region(0x1000, PAGE_SIZE, "r")
+    asp.write_int(0x1008, 0xABCD, 8)
+    assert asp.read_int(0x1008, 8) == 0xABCD
+    asp.write_bytes(0x1100, b"hello")
+    assert asp.read_bytes(0x1100, 5) == b"hello"
+
+
+def test_little_endian_layout():
+    asp = AddressSpace()
+    asp.map_region(0x1000, PAGE_SIZE, "r")
+    asp.write_int(0x1000, 0x0102030405060708, 8)
+    assert asp.read_int(0x1000, 1) == 0x08
+    assert asp.read_int(0x1007, 1) == 0x01
+
+
+def test_unmapped_access_faults():
+    asp = AddressSpace()
+    with pytest.raises(PageFault):
+        asp.read_int(0x9999, 4)
+
+
+def test_overlap_rejected():
+    asp = AddressSpace()
+    asp.map_region(0x1000, 2 * PAGE_SIZE, "a")
+    with pytest.raises(KernelPanic):
+        asp.map_region(0x1000 + PAGE_SIZE, PAGE_SIZE, "b")
+
+
+def test_cross_boundary_access_faults():
+    asp = AddressSpace()
+    asp.map_region(0x1000, PAGE_SIZE, "a")
+    with pytest.raises(PageFault):
+        asp.read_int(0x1000 + PAGE_SIZE - 4, 8)
+
+
+def test_demand_paging_and_populate():
+    asp = AddressSpace()
+    asp.map_region(0x10000, 4 * PAGE_SIZE, "heap", populated=False)
+    with pytest.raises(PageFault):
+        asp.read_int(0x10000, 8)
+    new = asp.populate(0x10000, 8)
+    assert new == 1
+    assert asp.read_int(0x10000, 8) == 0
+    # re-populate is idempotent
+    assert asp.populate(0x10000, 8) == 0
+
+
+def test_populate_spanning_pages():
+    asp = AddressSpace()
+    asp.map_region(0x10000, 4 * PAGE_SIZE, "heap", populated=False)
+    assert asp.populate(0x10000 + PAGE_SIZE - 4, 8) == 2
+
+
+def test_alias_mapping_shares_backing():
+    asp = AddressSpace()
+    r = asp.map_region(0x10000, PAGE_SIZE, "kview")
+    asp.map_region(0x40000, PAGE_SIZE, "uview", backing=r.backing)
+    asp.write_int(0x10010, 42, 8)
+    assert asp.read_int(0x40010, 8) == 42
+
+
+def test_readonly_region_rejects_writes():
+    asp = AddressSpace()
+    asp.map_region(0x1000, PAGE_SIZE, "ro", writable=False)
+    with pytest.raises(PageFault):
+        asp.write_int(0x1000, 1, 8)
+    assert asp.read_int(0x1000, 8) == 0
+
+
+def test_unmap_then_fault():
+    asp = AddressSpace()
+    asp.map_region(0x1000, PAGE_SIZE, "a")
+    asp.unmap(0x1000)
+    with pytest.raises(PageFault):
+        asp.read_int(0x1000, 1)
+
+
+def test_find_region_boundaries():
+    asp = AddressSpace()
+    asp.map_region(0x1000, PAGE_SIZE, "a")
+    assert asp.find_region(0x1000).name == "a"
+    assert asp.find_region(0x1000 + PAGE_SIZE - 1).name == "a"
+    assert asp.find_region(0x1000 + PAGE_SIZE) is None
+    assert asp.find_region(0xFFF) is None
+
+
+# -- vmalloc -----------------------------------------------------------------
+
+
+def test_vmalloc_alignment_and_guards():
+    arena = VmallocArena()
+    r = arena.alloc(1 << 20, align=1 << 20)
+    assert r.base % (1 << 20) == 0
+    assert r.span_base == r.base - GUARD_SIZE
+    assert r.span_size == (1 << 20) + 2 * GUARD_SIZE
+
+
+def test_vmalloc_guard_pages_cause_fragmentation():
+    """§4.1: two size-aligned heaps cannot be packed contiguously."""
+    arena = VmallocArena()
+    a = arena.alloc(1 << 20, align=1 << 20)
+    b = arena.alloc(1 << 20, align=1 << 20)
+    # The second heap had to skip at least one aligned slot.
+    assert b.base - a.base >= 2 * (1 << 20)
+    assert arena.fragmentation_overhead > 0
+
+
+def test_vmalloc_free_and_reuse():
+    arena = VmallocArena()
+    a = arena.alloc(1 << 16, align=1 << 16)
+    arena.free(a)
+    b = arena.alloc(1 << 16, align=1 << 16)
+    assert b.base == a.base
+
+
+def test_vmalloc_exhaustion():
+    arena = VmallocArena(base=0x1000_0000, size=1 << 20)
+    with pytest.raises(OutOfMemory):
+        arena.alloc(1 << 21)
+
+
+def test_vmalloc_double_free_panics():
+    arena = VmallocArena()
+    a = arena.alloc(1 << 16)
+    arena.free(a)
+    with pytest.raises(KernelPanic):
+        arena.free(a)
+
+
+# -- cgroups -----------------------------------------------------------------
+
+
+def test_cgroup_limit_enforced():
+    cg = CgroupController().group("app", limit_bytes=2 * PAGE_SIZE)
+    cg.charge_pages(2)
+    with pytest.raises(OutOfMemory):
+        cg.charge_pages(1)
+    cg.uncharge_pages(1)
+    cg.charge_pages(1)
+    assert cg.charged_bytes == 2 * PAGE_SIZE
+    assert cg.peak_bytes == 2 * PAGE_SIZE
+
+
+# -- net ---------------------------------------------------------------------
+
+
+def test_socket_lookup_and_refcounting():
+    asp = AddressSpace()
+    net = NetStack(asp)
+    tup = udp_tuple(0x0A000001, 0x0A000002, 1111, 2222)
+    sock = net.create_udp_socket(tup)
+    found = net.sk_lookup_udp(tup)
+    assert found is sock
+    sock.get_ref()
+    assert net.total_extension_refs() == 1
+    sock.put_ref()
+    assert net.total_extension_refs() == 0
+
+
+def test_socket_refcount_underflow_panics():
+    asp = AddressSpace()
+    net = NetStack(asp)
+    sock = net.create_udp_socket(udp_tuple(1, 2, 3, 4))
+    sock.put_ref()  # drops the table ref; socket destroyed
+    with pytest.raises(KernelPanic):
+        sock.put_ref()
+
+
+def test_packet_staging_per_cpu():
+    asp = AddressSpace()
+    net = NetStack(asp)
+    d0, e0 = net.stage_packet(0, b"abc")
+    d1, e1 = net.stage_packet(1, b"defg")
+    assert e0 - d0 == 3 and e1 - d1 == 4
+    assert asp.read_bytes(d0, 3) == b"abc"
+    assert asp.read_bytes(d1, 4) == b"defg"
+
+
+# -- scheduler (§4.4) ----------------------------------------------------------
+
+
+def test_time_slice_extension_granted_once():
+    sched = Scheduler()
+    t = sched.spawn("worker")
+    t.rseq.enter_cs()
+    assert sched.on_quantum_expiry(t) == TIME_SLICE_EXTENSION_NS
+    # Still in the CS after the extension: forced preemption.
+    assert sched.on_quantum_expiry(t) == 0
+    assert t.preempted_in_cs
+    assert sched.forced_preemptions == 1
+
+
+def test_no_extension_outside_critical_section():
+    sched = Scheduler()
+    t = sched.spawn()
+    assert sched.on_quantum_expiry(t) == 0
+
+
+def test_nested_locks_accounted():
+    sched = Scheduler()
+    t = sched.spawn()
+    t.rseq.enter_cs()
+    t.rseq.enter_cs()
+    t.rseq.leave_cs()
+    assert t.rseq.in_cs  # still in the outer CS
+    t.rseq.leave_cs()
+    assert not t.rseq.in_cs
+    with pytest.raises(ValueError):
+        t.rseq.leave_cs()

@@ -1,0 +1,81 @@
+"""The kflexctl CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.tools.kflexctl import main
+
+EXAMPLE = pathlib.Path(__file__).parent.parent / "examples" / "listwalk.kasm"
+
+
+@pytest.fixture
+def kasm(tmp_path):
+    def write(source: str) -> str:
+        p = tmp_path / "prog.kasm"
+        p.write_text(source)
+        return str(p)
+
+    return write
+
+
+def test_verify_ok(capsys, kasm):
+    path = kasm("mov64 r0, 7\nexit\n")
+    assert main(["verify", path]) == 0
+    out = capsys.readouterr().out
+    assert "OK (kflex mode)" in out
+    assert "cancellation points: 0" in out
+
+
+def test_verify_example_file(capsys):
+    assert main(["verify", str(EXAMPLE)]) == 0
+    out = capsys.readouterr().out
+    assert "unbounded loops:     1" in out
+
+
+def test_verify_rejects_in_ebpf_mode(capsys):
+    assert main(["verify", str(EXAMPLE), "--mode", "ebpf"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_disasm_plain_and_instrumented(capsys):
+    assert main(["disasm", str(EXAMPLE)]) == 0
+    plain = capsys.readouterr().out
+    assert "cancelpt" not in plain
+    assert main(["disasm", str(EXAMPLE), "--instrumented"]) == 0
+    inst = capsys.readouterr().out
+    assert "cancelpt" in inst and "guard" in inst
+
+
+def test_run_reports_ret_and_cost(capsys, kasm):
+    path = kasm("ldxdw r0, [r1+0]\nadd64 r0, 1\nexit\n")
+    assert main(["run", path, "--ctx", "41", "--invoke", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ret=42") == 2
+    assert "cost=" in out
+
+
+def test_run_cancellation_path(capsys, kasm):
+    path = kasm("""
+        mov64 r6, 1
+    l:  jeq r6, 0, d
+        add64 r6, 1
+        ja l
+    d:  mov64 r0, 0
+        exit
+    """)
+    assert main(["run", path, "--quantum", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "watchdog" in out
+    assert "unloaded" in out
+
+
+def test_bad_source_errors(capsys, kasm):
+    path = kasm("frobnicate r0\nexit\n")
+    assert main(["verify", path]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file_errors(capsys):
+    assert main(["verify", "/nonexistent.kasm"]) == 1
+    assert "error:" in capsys.readouterr().err

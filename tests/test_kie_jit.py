@@ -1,0 +1,185 @@
+"""Kie instrumentation placement and JIT lowering (Fig. 1, steps 2-3)."""
+
+import pytest
+
+from repro.errors import LoadError
+from repro.core import kie
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf import isa, jit
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+from repro.ebpf.rewrite import jump_target_index
+from repro.ebpf.verifier import Verifier, VerifierConfig
+
+R0, R1, R2, R3, R6, R7 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R6, Reg.R7
+
+HEAP = 1 << 16
+
+
+def load_parts(m, *, share=False, perf=False):
+    rt = KFlexRuntime()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    ext = rt.load(prog, attach=False, share_heap=share, perf_mode=perf)
+    return rt, ext
+
+
+def ops_of(ext):
+    return [i.opcode for i in ext.iprog.insns]
+
+
+# -- guard placement -----------------------------------------------------------
+
+
+def test_guard_inserted_immediately_before_access():
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.ldx(R7, R6, 0, 8)
+    m.ldx(R0, R7, 0, 8)  # needs a formation guard
+    m.exit()
+    _, ext = load_parts(m)
+    insns = ext.iprog.insns
+    guard_pos = [i for i, x in enumerate(insns) if x.opcode == isa.KFLEX_GUARD]
+    assert len(guard_pos) == 1
+    g = guard_pos[0]
+    access = insns[g + 1]
+    assert access.cls == isa.BPF_LDX and access.src == insns[g].dst
+
+
+def test_elided_access_has_no_guard():
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.ldx(R0, R6, 8, 8)
+    m.exit()
+    _, ext = load_parts(m)
+    assert isa.KFLEX_GUARD not in ops_of(ext)
+
+
+def test_cancelpt_dominates_back_edge():
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.ldx(R7, R6, 0, 8)
+    with m.while_("!=", R7, 0):
+        m.ldx(R7, R7, 8, 8)
+    m.mov(R0, 0)
+    m.exit()
+    _, ext = load_parts(m)
+    insns = ext.iprog.insns
+    cp = next(i for i, x in enumerate(insns) if x.opcode == isa.KFLEX_CANCELPT)
+    back_edge = insns[cp + 1]
+    assert back_edge.is_jump
+    # The back edge jumps backwards (a loop) and the Cp sits right
+    # before it, so every iteration passes the Cp.
+    assert jump_target_index(insns, cp + 1) < cp
+
+
+def test_translate_emitted_only_for_shared_heaps():
+    def build():
+        m = MacroAsm()
+        m.heap_addr(R6, 0x40)
+        m.heap_addr(R7, 0x80)
+        m.stx(R6, R7, 0, 8)  # store heap pointer into heap
+        m.mov(R0, 0)
+        m.exit()
+        return m
+
+    _, ext_plain = load_parts(build())
+    assert isa.KFLEX_TRANSLATE not in ops_of(ext_plain)
+    _, ext_shared = load_parts(build(), share=True)
+    assert isa.KFLEX_TRANSLATE in ops_of(ext_shared)
+
+
+def test_translate_makes_stored_pointer_a_user_address():
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.heap_addr(R7, 0x80)
+    m.stx(R6, R7, 0, 8)
+    m.mov(R0, 0)
+    m.exit()
+    rt, ext = load_parts(m, share=True)
+    ext.heap.reserve_static(0x100)
+    ext.invoke(rt.make_ctx(0, [0] * 8))
+    stored = rt.kernel.aspace.read_int(ext.heap.base + 0x40, 8)
+    assert stored == ext.heap.user_base + 0x80
+
+
+def test_orig_idx_preserved_through_rewriting():
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.ldx(R7, R6, 0, 8)
+    m.ldx(R0, R7, 0, 8)
+    m.exit()
+    _, ext = load_parts(m)
+    for insn in ext.iprog.insns:
+        assert insn.orig_idx is not None
+        assert 0 <= insn.orig_idx < len(ext.program.insns)
+
+
+def test_relocation_resolves_heap_offsets():
+    rt = KFlexRuntime()
+    heap = rt.create_heap(HEAP, name="r")
+    m = MacroAsm()
+    m.heap_addr(R6, 0x123)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    insns = kie._relocate(prog, heap)
+    lddw = insns[0]
+    assert lddw.imm64 == heap.base + 0x123
+    assert lddw.src == 0  # pseudo cleared
+
+
+def test_relocation_unknown_map_fails():
+    m = MacroAsm()
+    m.ld_imm64(R1, 9999, pseudo=1)  # bogus map fd
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench")
+    with pytest.raises(LoadError):
+        kie._relocate(prog, None)
+
+
+# -- JIT lowering ---------------------------------------------------------------
+
+
+def test_lower_rejects_pseudo_in_raw_input():
+    insns = [Insn(isa.KFLEX_GUARD, 1), Insn(isa.BPF_JMP | isa.BPF_EXIT)]
+    with pytest.raises(LoadError):
+        jit.lower(insns, uses_heap=True, from_kie=False)
+    jit.lower(insns, uses_heap=True, from_kie=True)  # kie output is fine
+
+
+def test_lower_cost_table_shape():
+    m = MacroAsm()
+    m.mov(R0, 0)          # ALU: 1
+    m.ldx(R1, R1, 0, 8)   # mem: 4
+    m.mul(R0, 3)          # mul: 3
+    m.div(R0, 2)          # div: 20
+    m.exit()              # branch: 1
+    jp = jit.lower(m.assemble(), uses_heap=False, from_kie=True)
+    assert jp.costs == [1, 4, 3, 20, 1]
+    assert jp.prologue_cost == 0
+
+
+def test_heap_programs_pay_reserved_register_prologue():
+    jp = jit.lower([Insn(isa.BPF_JMP | isa.BPF_EXIT)], uses_heap=True,
+                   from_kie=True)
+    assert jp.prologue_cost == jit.HEAP_PROLOGUE_COST
+
+
+def test_guard_is_single_instruction_cost():
+    """§4.2: the AND uses reserved R9 and the base folds into the
+    addressing mode — one native instruction."""
+    assert jit.COST_GUARD == 1
+
+
+def test_instrumented_cost_equals_base_plus_instrumentation():
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.ldx(R7, R6, 0, 8)
+    m.ldx(R0, R7, 0, 8)
+    m.exit()
+    rt, ext = load_parts(m)
+    base = jit.lower(kie._relocate(ext.program, ext.heap), uses_heap=True,
+                     from_kie=True)
+    assert sum(ext.jprog.costs) == sum(base.costs) + jit.COST_GUARD

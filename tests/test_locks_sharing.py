@@ -1,0 +1,133 @@
+"""Spin locks shared between extensions and user space (§3.1, §3.4, §4.4)."""
+
+import pytest
+
+from repro.errors import HelperFault, KernelPanic, LockStall
+from repro.core.heap import ExtensionHeap
+from repro.core.locks import LockManager, EXT_TOKEN_BASE, USER_TOKEN_BASE
+from repro.core.sharing import SharedHeapView
+from repro.kernel.machine import Kernel
+
+LOCK = 0x200
+
+
+@pytest.fixture
+def setup():
+    kernel = Kernel()
+    heap = ExtensionHeap(kernel, 1 << 16, "locks")
+    locks = LockManager(heap, kernel.aspace)
+    return kernel, heap, locks
+
+
+def test_ext_lock_unlock(setup):
+    _, heap, locks = setup
+    locks.ext_lock(LOCK, cpu=0)
+    assert locks.owner(LOCK) == EXT_TOKEN_BASE + 0
+    locks.ext_unlock(LOCK, cpu=0)
+    assert locks.owner(LOCK) == 0
+
+
+def test_contended_ext_lock_stalls(setup):
+    _, heap, locks = setup
+    locks.ext_lock(LOCK, cpu=0)
+    with pytest.raises(LockStall):
+        locks.ext_lock(LOCK, cpu=1)
+    assert locks.stats.contended == 1
+
+
+def test_self_deadlock_stalls(setup):
+    _, heap, locks = setup
+    locks.ext_lock(LOCK, cpu=0)
+    with pytest.raises(LockStall):
+        locks.ext_lock(LOCK, cpu=0)
+
+
+def test_unlock_not_owner_faults(setup):
+    _, heap, locks = setup
+    locks.ext_lock(LOCK, cpu=0)
+    with pytest.raises(HelperFault):
+        locks.ext_unlock(LOCK, cpu=1)
+
+
+def test_force_release_only_if_owned(setup):
+    _, heap, locks = setup
+    locks.ext_lock(LOCK, cpu=0)
+    locks.force_release(LOCK, cpu=1)  # not the owner: no-op
+    assert locks.owner(LOCK) == EXT_TOKEN_BASE
+    locks.force_release(LOCK, cpu=0)
+    assert locks.owner(LOCK) == 0
+    assert locks.stats.forced_releases == 1
+
+
+def test_lock_address_is_sanitized(setup):
+    """A wild lock address from a buggy extension lands inside the heap."""
+    _, heap, locks = setup
+    wild = 0xFFFF_0000_0000_0000 | LOCK
+    locks.ext_lock(wild, cpu=0)
+    assert locks.owner(LOCK) == EXT_TOKEN_BASE
+
+
+def test_user_ext_mutual_exclusion(setup):
+    kernel, heap, locks = setup
+    t = kernel.sched.spawn("app")
+    view = SharedHeapView(heap, locks, t)
+    assert view.spin_lock(LOCK)
+    # Extension attempting the same lock stalls (-> cancellation).
+    with pytest.raises(LockStall):
+        locks.ext_lock(LOCK, cpu=0)
+    view.spin_unlock(LOCK)
+    locks.ext_lock(LOCK, cpu=0)  # now succeeds
+    # And the user side now fails while the extension holds it.
+    assert not view.spin_lock(LOCK)
+
+
+def test_user_lock_updates_rseq(setup):
+    kernel, heap, locks = setup
+    t = kernel.sched.spawn("app")
+    view = SharedHeapView(heap, locks, t)
+    view.spin_lock(LOCK)
+    assert t.rseq.in_cs
+    view.spin_unlock(LOCK)
+    assert not t.rseq.in_cs
+
+
+def test_user_unlock_not_held_raises(setup):
+    kernel, heap, locks = setup
+    t = kernel.sched.spawn("app")
+    view = SharedHeapView(heap, locks, t)
+    with pytest.raises(ValueError):
+        view.spin_unlock(LOCK)
+
+
+# -- shared heap views ----------------------------------------------------------
+
+
+def test_view_reads_extension_writes(setup):
+    kernel, heap, locks = setup
+    t = kernel.sched.spawn("app")
+    view = SharedHeapView(heap, locks, t)
+    heap.populate(heap.base + 0x1000, 8)
+    kernel.aspace.write_int(heap.base + 0x1000, 1234, 8)  # "extension" write
+    assert view.read(heap.base + 0x1000, 8) == 1234  # kernel-view pointer ok
+    assert view.read(heap.user_base + 0x1000, 8) == 1234  # user-view too
+
+
+def test_view_pointer_translation(setup):
+    kernel, heap, locks = setup
+    t = kernel.sched.spawn("app")
+    view = SharedHeapView(heap, locks, t)
+    k = heap.base + 0x500
+    u = view.to_user(k)
+    assert u == heap.user_base + 0x500
+    assert view.to_kernel(u) == k
+
+
+def test_close_while_holding_lock_panics(setup):
+    kernel, heap, locks = setup
+    t = kernel.sched.spawn("app")
+    view = SharedHeapView(heap, locks, t)
+    view.spin_lock(LOCK)
+    with pytest.raises(KernelPanic):
+        view.close()
+    view.spin_unlock(LOCK)
+    view.close()

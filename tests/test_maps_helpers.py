@@ -1,0 +1,147 @@
+"""Kernel eBPF maps and the helper table."""
+
+import pytest
+
+from repro.errors import HelperFault, KernelPanic
+from repro.ebpf.helpers import (
+    DECLARATIONS,
+    HelperTable,
+    BPF_KTIME_GET_NS,
+    BPF_MAP_LOOKUP_ELEM,
+    KFLEX_ONLY,
+    KFLEX_MALLOC,
+)
+from repro.ebpf.maps import ArrayMap, HashMap
+from repro.kernel.machine import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def hmap(kernel, **kw):
+    args = dict(key_size=4, value_size=8, max_entries=4, name="t")
+    args.update(kw)
+    return HashMap(kernel.aspace, kernel.vmalloc, **args)
+
+
+# -- hash map ---------------------------------------------------------------
+
+
+def test_hash_update_lookup_delete(kernel):
+    m = hmap(kernel)
+    k = b"\x01\x00\x00\x00"
+    assert m.lookup(k) == 0
+    assert m.update(k, b"\x2a" + bytes(7)) == 0
+    addr = m.lookup(k)
+    assert addr != 0
+    assert kernel.aspace.read_int(addr, 8) == 0x2A
+    assert m.delete(k) == 0
+    assert m.lookup(k) == 0
+    assert m.delete(k) == -2  # ENOENT
+
+
+def test_hash_preallocated_capacity(kernel):
+    m = hmap(kernel, max_entries=2)
+    assert m.update(b"A" * 4, bytes(8)) == 0
+    assert m.update(b"B" * 4, bytes(8)) == 0
+    assert m.update(b"C" * 4, bytes(8)) == -7  # E2BIG: prealloc'd, full
+    # Updating an existing key still works when full.
+    assert m.update(b"A" * 4, b"\x01" + bytes(7)) == 0
+    # Deleting frees a slot for a new key.
+    assert m.delete(b"B" * 4) == 0
+    assert m.update(b"C" * 4, bytes(8)) == 0
+
+
+def test_hash_slot_reuse_keeps_addresses_stable(kernel):
+    m = hmap(kernel, max_entries=2)
+    m.update(b"A" * 4, bytes(8))
+    addr_a = m.lookup(b"A" * 4)
+    m.delete(b"A" * 4)
+    m.update(b"B" * 4, bytes(8))
+    assert m.lookup(b"B" * 4) == addr_a  # freelist handed the slot back
+
+
+def test_hash_key_truncated_to_key_size(kernel):
+    m = hmap(kernel)
+    m.update(b"\x01\x00\x00\x00\xff\xff", bytes(8))  # extra bytes ignored
+    assert m.lookup(b"\x01\x00\x00\x00") != 0
+
+
+def test_value_written_at_value_size(kernel):
+    m = hmap(kernel, value_size=4)
+    m.update(b"A" * 4, b"\x01\x02\x03\x04\x05\x06")
+    addr = m.lookup(b"A" * 4)
+    assert kernel.aspace.read_int(addr, 4) == 0x04030201
+
+
+# -- array map ------------------------------------------------------------------
+
+
+def test_array_all_slots_always_present(kernel):
+    m = ArrayMap(kernel.aspace, kernel.vmalloc, value_size=8, max_entries=3)
+    for i in range(3):
+        assert m.lookup(i.to_bytes(4, "little")) != 0
+    assert m.lookup((3).to_bytes(4, "little")) == 0  # OOB index
+
+
+def test_array_update_and_no_delete(kernel):
+    m = ArrayMap(kernel.aspace, kernel.vmalloc, value_size=8, max_entries=2)
+    k = (1).to_bytes(4, "little")
+    assert m.update(k, (77).to_bytes(8, "little")) == 0
+    assert kernel.aspace.read_int(m.lookup(k), 8) == 77
+    assert m.delete(k) == -22  # EINVAL: array elements are permanent
+    assert m.update((9).to_bytes(4, "little"), bytes(8)) == -22
+
+
+def test_bad_geometry_rejected(kernel):
+    with pytest.raises(KernelPanic):
+        hmap(kernel, key_size=0)
+    with pytest.raises(KernelPanic):
+        hmap(kernel, max_entries=0)
+
+
+def test_map_fds_are_unique(kernel):
+    a, b = hmap(kernel), hmap(kernel)
+    assert a.fd != b.fd
+
+
+# -- helper table ----------------------------------------------------------------
+
+
+def test_declarations_have_destructors_for_acquirers():
+    for h in DECLARATIONS.values():
+        if h.acquires:
+            assert h.destructor is not None, h.name
+            assert DECLARATIONS[h.destructor].releases == h.acquires
+
+
+def test_kflex_only_set_matches_declarations():
+    for hid in KFLEX_ONLY:
+        assert hid in DECLARATIONS
+
+
+def test_invoke_unbound_helper_faults():
+    t = HelperTable()
+    with pytest.raises(HelperFault):
+        t.invoke(BPF_KTIME_GET_NS, None, ())
+    with pytest.raises(HelperFault):
+        t.declaration(9999)
+
+
+def test_bind_unknown_id_rejected():
+    t = HelperTable()
+    with pytest.raises(HelperFault):
+        t.bind(31337, lambda env: 0)
+
+
+def test_bound_helper_roundtrip():
+    t = HelperTable()
+    t.bind(KFLEX_MALLOC, lambda env, size: 0x1000 + size)
+    assert t.is_bound(KFLEX_MALLOC)
+    assert t.invoke(KFLEX_MALLOC, None, (24,)) == 0x1018
+
+
+def test_helper_costs_positive():
+    assert all(h.cost > 0 for h in DECLARATIONS.values())

@@ -1,0 +1,149 @@
+"""§4.3's corner case: conflicting object tables across branch paths.
+
+When different non-loop paths reach the same cancellation point with a
+kernel resource in *different* registers, no single object-table entry
+can describe the disjunction.  KFlex resolves this by spilling the
+conflicting resources to designated stack slots at acquisition.  These
+tests build such a program deliberately and verify both the static
+machinery (spill slots allocated, tables keyed on them) and the runtime
+behaviour (cancellation releases exactly the right resource).
+"""
+
+import pytest
+
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+from repro.ebpf.helpers import BPF_SK_LOOKUP_UDP, BPF_SK_RELEASE
+from repro.kernel.net import udp_tuple
+
+R0, R1, R2, R3, R6, R7, R8, R9, R10 = (
+    Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R6, Reg.R7, Reg.R8, Reg.R9, Reg.R10,
+)
+
+HEAP = 1 << 16
+
+
+def _conflicting_program() -> Program:
+    """Acquires a socket on both arms of a branch, parking it in R7 on
+    one arm and in R8 on the other, then crosses a heap-access Cp while
+    the other register holds a non-zero scalar."""
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.ldx(R9, R1, 0, 8)  # ctx arg selects the arm
+    none = m.fresh_label("none")
+    with m.if_else("==", R9, 0) as orelse:
+        m.mov(R2, R10)
+        m.add(R2, -16)
+        m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+        m.jcc("==", R0, 0, none)
+        m.mov(R7, R0)   # socket lives in R7 on this arm
+        m.mov(R8, 777)  # garbage non-zero in the other register
+        m.mov(R0, 0)    # drop the alias: R7 is the only location
+        orelse()
+        m.mov(R2, R10)
+        m.add(R2, -16)
+        m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+        m.jcc("==", R0, 0, none)
+        m.mov(R8, R0)   # socket lives in R8 on this arm
+        m.mov(R7, 777)
+        m.mov(R0, 0)
+    # Shared cancellation point: an access to a demand-paged heap page.
+    # If the page is unpopulated this faults and the unwinder must
+    # release the socket, wherever it lives.
+    m.heap_addr(R2, 0x8000)
+    m.ldx(R3, R2, 0, 8)
+    # Normal path: release the socket from the arm-specific register.
+    with m.if_else("==", R9, 0) as orelse:
+        m.mov(R1, R7)
+        orelse()
+        m.mov(R1, R8)
+    m.call(BPF_SK_RELEASE)
+    m.mov(R0, 1)
+    m.exit()
+    m.label(none)
+    m.mov(R0, 0)
+    m.exit()
+    return Program("conflict", m.assemble(), hook="bench", heap_size=HEAP)
+
+
+@pytest.fixture
+def setup():
+    rt = KFlexRuntime()
+    sock = rt.kernel.net.create_udp_socket(udp_tuple(0, 0, 0, 0))
+    ext = rt.load(_conflicting_program(), attach=False)
+    return rt, sock, ext
+
+
+def test_conflict_forces_spills(setup):
+    rt, sock, ext = setup
+    an = ext.iprog.analysis
+    assert len(an.spill_slots) == 2  # both acquisition sites spilled
+    # Every non-empty object table is keyed on stack slots, never regs.
+    tables = [t for t in ext.iprog.object_tables.values() if t]
+    assert tables
+    for table in tables:
+        assert all(e.loc_kind == "stack" for e in table)
+    assert ext.iprog.stats.spills == 2
+
+
+def test_normal_paths_release_cleanly(setup):
+    rt, sock, ext = setup
+    # Populate the Cp page so the access succeeds.
+    ext.heap.populate(ext.heap.base + 0x8000, 8)
+    for arm in (0, 1):
+        ret = ext.invoke(rt.make_ctx(0, [arm] + [0] * 7))
+        assert ret == 1
+        assert sock.refcount == 1, f"arm {arm} leaked a reference"
+    assert ext.stats.cancellations == 0
+
+
+def test_cancellation_releases_via_spill_slot_both_arms(setup):
+    rt, sock, ext = setup
+    # Page at 0x8000 left unpopulated: the Cp faults on both arms.
+    for arm in (0, 1):
+        ret = ext.invoke(rt.make_ctx(0, [arm] + [0] * 7))
+        assert ret == 0  # bench default after cancellation
+        assert sock.refcount == 1, f"arm {arm}: unwind failed"
+    assert ext.stats.cancellations == 2
+    for rec in ext.cancellation.history:
+        assert [k for k, _ in rec.released] == ["sock"]
+
+
+def test_no_spills_for_straightline_acquire():
+    """The common case (the paper saw no conflicts in any extension it
+    wrote): a single-path acquire stays in registers, zero spills."""
+    rt = KFlexRuntime()
+    rt.kernel.net.create_udp_socket(udp_tuple(0, 0, 0, 0))
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.mov(R2, R10)
+    m.add(R2, -16)
+    m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+    with m.if_("!=", R0, 0):
+        m.mov(R7, R0)
+        m.heap_addr(R2, 0x40)
+        m.ldx(R3, R2, 0, 8)  # Cp while holding the ref
+        m.mov(R1, R7)
+        m.call(BPF_SK_RELEASE)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("clean", m.assemble(), hook="bench", heap_size=HEAP)
+    ext = rt.load(prog, attach=False)
+    assert not ext.iprog.analysis.spill_slots
+    assert ext.iprog.stats.spills == 0
+
+
+def test_memcached_and_redis_need_no_spills():
+    """Matches the paper's observation for its evaluation extensions."""
+    from repro.apps.memcached.kflex_ext import KFlexMemcached
+    from repro.apps.redis.kflex_ext import KFlexRedis
+
+    rt = KFlexRuntime()
+    mc = KFlexMemcached(rt, use_locks=True)
+    rd = KFlexRedis(rt)
+    assert mc.ext.iprog.stats.spills == 0
+    assert rd.ext.iprog.stats.spills == 0

@@ -1,0 +1,98 @@
+"""Redis offload (§5.1, §5.2, Fig. 6): GET/SET/ZADD semantics."""
+
+import random
+
+import pytest
+
+from repro.core.runtime import KFlexRuntime
+from repro.apps.redis import protocol as P
+from repro.apps.redis.kflex_ext import KFlexRedis
+from repro.apps.redis.userspace import UserspaceRedis
+
+
+@pytest.fixture
+def rt():
+    return KFlexRuntime()
+
+
+def test_get_set_roundtrip(rt):
+    r = KFlexRedis(rt)
+    assert r.get(1) == (False, None)
+    assert r.set(1, 10)
+    assert r.get(1) == (True, 10)
+
+
+def test_zadd_keeps_score_order(rt):
+    r = KFlexRedis(rt)
+    for score, member in ((30, 1), (10, 2), (20, 3), (25, 4)):
+        assert r.zadd(7, score, member)
+    assert r.zset_members(7) == [(10, 2), (20, 3), (25, 4), (30, 1)]
+
+
+def test_zadd_ties_order_by_member(rt):
+    r = KFlexRedis(rt)
+    for member in (9, 3, 7, 1):
+        r.zadd(7, 50, member)
+    assert r.zset_members(7) == [(50, 1), (50, 3), (50, 7), (50, 9)]
+
+
+def test_zadd_duplicate_pair_is_idempotent(rt):
+    r = KFlexRedis(rt)
+    allocs_probe = r.ext.allocator
+    r.zadd(7, 5, 5)
+    before = allocs_probe.stats.allocs
+    r.zadd(7, 5, 5)
+    assert allocs_probe.stats.allocs == before  # no new node
+    assert r.zset_members(7) == [(5, 5)]
+
+
+def test_zadd_allocates_skiplist_on_demand(rt):
+    """Fig. 6's point: new sorted sets appear in the fast path."""
+    r = KFlexRedis(rt)
+    before = r.ext.allocator.stats.allocs
+    r.zadd(1234, 1, 1)  # entry + node
+    assert r.ext.allocator.stats.allocs == before + 2
+    r.zadd(1234, 2, 2)  # node only
+    assert r.ext.allocator.stats.allocs == before + 3
+
+
+def test_string_and_zset_keys_coexist(rt):
+    r = KFlexRedis(rt)
+    r.set(5, 55)
+    r.zadd(6, 1, 2)
+    assert r.get(5) == (True, 55)
+    assert r.get(6) == (False, None)  # wrong type reads as miss
+    assert r.zset_members(6) == [(1, 2)]
+
+
+def test_differential_vs_reference(rt):
+    r = KFlexRedis(rt)
+    ref = UserspaceRedis()
+    rnd = random.Random(77)
+    for i in range(400):
+        p = rnd.random()
+        k = rnd.randint(0, 30)
+        if p < 0.3:
+            v = rnd.randint(0, 1 << 40)
+            assert r.set(k, v) == ref.set(k, v)
+        elif p < 0.6:
+            assert r.get(k) == ref.get(k), (i, k)
+        else:
+            s, mem = rnd.randint(0, 50), rnd.randint(0, 20)
+            assert r.zadd(k + 500, s, mem) == ref.zadd(k + 500, s, mem)
+    for zk in range(500, 531):
+        assert r.zset_members(zk) == ref.zset_members(zk)
+
+
+def test_redis_uses_sk_skb_hook(rt):
+    r = KFlexRedis(rt)
+    assert r.ext.program.hook == "sk_skb"
+
+
+def test_kmod_variant_functionally_identical(rt):
+    r = KFlexRedis(rt, kmod=True)
+    assert r.set(1, 10) and r.get(1) == (True, 10)
+    r.zadd(2, 5, 6)
+    r.zadd(2, 1, 9)
+    assert r.zset_members(2) == [(1, 9), (5, 6)]
+    assert r.ext.iprog.stats.guards_emitted == 0

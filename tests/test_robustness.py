@@ -1,0 +1,168 @@
+"""Robustness under resource pressure and multi-CPU use.
+
+The safety story only matters if it holds when things run out: heap
+exhaustion mid-request, memcg limits, allocator churn across CPUs,
+many extensions sharing one kernel.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import OutOfMemory
+from repro.core.runtime import KFlexRuntime
+from repro.apps.memcached import protocol as P
+from repro.apps.memcached.kflex_ext import KFlexMemcached
+from repro.apps.redis.kflex_ext import KFlexRedis
+from repro.apps.datastructures.hashmap import HashMapDS
+
+
+# -- heap exhaustion through real extensions ------------------------------------
+
+
+def test_memcached_set_fails_gracefully_when_heap_full():
+    """kflex_malloc returns NULL under exhaustion; the extension reports
+    a miss instead of faulting, and the kernel is untouched."""
+    rt = KFlexRuntime()
+    # Smallest allowed heap after the ~33 KB static area: fills fast.
+    mc = KFlexMemcached(rt, heap_size=1 << 16)
+    stored = 0
+    failed = 0
+    for k in range(600):
+        if mc.set(k, k):
+            stored += 1
+        else:
+            failed += 1
+    assert stored > 0 and failed > 0
+    # Every stored key still readable; no cancellations, no panic.
+    assert mc.get(0) == (True, 0)
+    assert mc.ext.stats.cancellations == 0
+    # Updates of existing keys still work when full (no allocation).
+    assert mc.set(0, 999)
+    assert mc.get(0) == (True, 999)
+    # Deleting is not supported by this extension, but frees via the
+    # allocator reopen capacity: free one entry and a new SET fits.
+    alloc = mc.ext.allocator
+    victim = next(iter(alloc._sizes))
+    alloc.free(victim)
+    assert mc.set(10_000, 1)
+
+
+def test_redis_zadd_reports_error_on_exhaustion():
+    rt = KFlexRuntime()
+    r = KFlexRedis(rt, heap_size=1 << 16)
+    ok = fail = 0
+    for i in range(600):
+        if r.zadd(1, i, i):
+            ok += 1
+        else:
+            fail += 1
+    assert ok > 0 and fail > 0
+    assert r.ext.stats.cancellations == 0
+
+
+def test_memcg_limit_bounds_extension_memory():
+    """§4.1: heap pages are charged to the app's cgroup, so its limits
+    bound what the extension can allocate."""
+    rt = KFlexRuntime()
+    cg = rt.kernel.cgroups.group("tenant", limit_bytes=64 * 4096)
+    heap = rt.create_heap(1 << 22, name="capped", cgroup="tenant")
+    alloc = rt.allocator_for(heap)
+    heap.reserve_static(64)
+    with pytest.raises(OutOfMemory):
+        for _ in range(10_000):
+            if alloc.malloc(4096) == 0:
+                pytest.fail("heap exhausted before the cgroup limit")
+    assert cg.charged_bytes <= cg.limit_bytes
+
+
+# -- per-CPU behaviour --------------------------------------------------------------
+
+
+def test_extension_runs_on_all_cpus():
+    rt = KFlexRuntime()
+    mc = KFlexMemcached(rt)
+    for cpu in range(rt.kernel.n_cpus):
+        assert mc.set(cpu, cpu * 10, cpu=cpu)
+    for cpu in range(rt.kernel.n_cpus):
+        # Reads from a different CPU than the writer.
+        other = (cpu + 3) % rt.kernel.n_cpus
+        assert mc.get(cpu, cpu=other) == (True, cpu * 10)
+
+
+def test_allocator_cross_cpu_free_and_reuse():
+    rt = KFlexRuntime()
+    heap = rt.create_heap(1 << 20, name="x")
+    alloc = rt.allocator_for(heap)
+    a = alloc.malloc(64, cpu=0)
+    alloc.free(a, cpu=5)  # freed into CPU 5's cache
+    b = alloc.malloc(64, cpu=5)
+    assert b == a
+    c = alloc.malloc(64, cpu=0)  # CPU 0 gets fresh memory
+    assert c != a
+    assert alloc.live_objects() == 2
+
+
+def test_many_extensions_share_one_kernel():
+    rt = KFlexRuntime()
+    exts = []
+    for i in range(6):
+        ds = HashMapDS(rt)
+        ds.update(1, 100 + i)
+        exts.append(ds)
+    # Each heap is isolated: same key, different values.
+    for i, ds in enumerate(exts):
+        assert ds.lookup(1) == 100 + i
+
+
+def test_interleaved_extensions_keep_watchdog_state_separate():
+    """A cancellation in one extension must not poison another's
+    terminate cell."""
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+    from repro.ebpf.isa import Reg
+
+    rt = KFlexRuntime()
+
+    def spinner():
+        m = MacroAsm()
+        m.mov(Reg.R6, 1)
+        with m.while_("!=", Reg.R6, 0):
+            m.add(Reg.R6, 1)
+        m.mov(Reg.R0, 0)
+        m.exit()
+        return Program("spin", m.assemble(), hook="bench", heap_size=1 << 16)
+
+    bad = rt.load(spinner(), attach=False, quantum_units=10_000)
+    good = HashMapDS(rt)
+    good.update(7, 70)
+    bad.invoke(rt.make_ctx(0, [0] * 8))
+    assert bad.dead
+    # The well-behaved extension is unaffected.
+    assert good.lookup(7) == 70
+    term = rt.kernel.aspace.read_int(good.heap.terminate_cell, 8)
+    assert term != 0  # its terminate cell was never zeroed
+
+
+# -- long random churn ---------------------------------------------------------------
+
+
+def test_long_mixed_churn_stays_quiescent():
+    rt = KFlexRuntime()
+    mc = KFlexMemcached(rt, use_locks=True)
+    rnd = random.Random(31337)
+    shadow = {}
+    for i in range(800):
+        k = rnd.randint(0, 200)
+        if rnd.random() < 0.5:
+            v = rnd.randint(0, 1 << 40)
+            assert mc.set(k, v, cpu=rnd.randrange(8))
+            shadow[k] = v
+        else:
+            assert mc.get(k, cpu=rnd.randrange(8)) == (
+                (True, shadow[k]) if k in shadow else (False, None)
+            )
+    st = mc.ext.locks.stats
+    assert st.acquisitions == st.unlocks
+    assert rt.kernel.net.total_extension_refs() == 0
+    assert mc.ext.stats.cancellations == 0

@@ -1,0 +1,294 @@
+"""End-to-end runtime behaviour: the Fig. 1 pipeline plus cancellations
+(§3.3, §4.3) and the safety property the whole design exists for —
+the kernel returns to a quiescent state no matter what the extension
+does.
+"""
+
+import pytest
+
+from repro.errors import LoadError, VerificationError
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+from repro.ebpf.helpers import (
+    BPF_SK_LOOKUP_UDP,
+    BPF_SK_RELEASE,
+    KFLEX_MALLOC,
+    KFLEX_FREE,
+    KFLEX_SPIN_LOCK,
+    KFLEX_SPIN_UNLOCK,
+)
+from repro.kernel.net import udp_tuple
+
+R0, R1, R2, R3, R6, R7, R10 = (
+    Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R6, Reg.R7, Reg.R10,
+)
+
+HEAP = 1 << 16
+
+
+@pytest.fixture
+def rt():
+    return KFlexRuntime()
+
+
+def load(rt, m, hook="bench", heap=HEAP, **kw):
+    prog = Program("t", m.assemble(), hook=hook, heap_size=heap)
+    return rt.load(prog, attach=False, **kw)
+
+
+def bench_ctx(rt, *vals):
+    return rt.make_ctx(0, list(vals) + [0] * (8 - len(vals)))
+
+
+# -- pipeline -------------------------------------------------------------------
+
+
+def test_load_and_invoke_minimal(rt):
+    m = MacroAsm()
+    m.mov(R0, 7)
+    m.exit()
+    ext = load(rt, m)
+    assert ext.invoke(bench_ctx(rt)) == 7
+    assert ext.stats.invocations == 1
+    assert ext.stats.last_cost_units > 0
+
+
+def test_invalid_program_rejected_at_load(rt):
+    m = MacroAsm()
+    m.mov(R0, R3)
+    m.exit()
+    with pytest.raises(VerificationError):
+        load(rt, m)
+
+
+def test_heap_created_from_program_declaration(rt):
+    m = MacroAsm()
+    m.mov(R0, 0)
+    m.exit()
+    ext = load(rt, m)
+    assert ext.heap is not None and ext.heap.size == HEAP
+
+
+def test_share_heap_requires_heap(rt):
+    m = MacroAsm()
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench")  # no heap
+    with pytest.raises(LoadError):
+        rt.load(prog, share_heap=True, attach=False)
+
+
+def test_malloc_store_load_roundtrip(rt):
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, 128)
+    with m.if_("!=", R0, 0):
+        m.mov(R6, R0)
+        m.st_imm(R6, 64, 99, 8)
+        m.ldx(R7, R6, 64, 8)
+        m.call_helper(KFLEX_FREE, R6)
+        m.mov(R0, R7)
+        m.exit()
+    m.mov(R0, 0)
+    m.exit()
+    ext = load(rt, m)
+    assert ext.invoke(bench_ctx(rt)) == 99
+    assert ext.allocator.stats.allocs == 1
+    assert ext.allocator.stats.frees == 1
+
+
+def test_heap_state_persists_across_invocations(rt):
+    m = MacroAsm()
+    m.heap_addr(R6, 0x20)  # header scratch area: populated
+    m.ldx(R7, R6, 0, 8)
+    m.add(R7, 1)
+    m.stx(R6, R7, 0, 8)
+    m.mov(R0, R7)
+    m.exit()
+    ext = load(rt, m)
+    assert ext.invoke(bench_ctx(rt)) == 1
+    assert ext.invoke(bench_ctx(rt)) == 2
+    assert ext.invoke(bench_ctx(rt)) == 3
+
+
+# -- SFI in action -----------------------------------------------------------------
+
+
+def test_wild_pointer_write_confined_to_heap(rt):
+    """A buggy extension dereferencing garbage writes inside its own
+    heap (possibly faulting on an unpopulated page) — never into kernel
+    memory.  This is the §3.2 guarantee."""
+    m = MacroAsm()
+    m.heap_addr(R6, 0x20)
+    m.ld_imm64(R7, 0xFFFF_FFFF_DEAD_BEEF)  # garbage "pointer"
+    m.ldx(R7, R6, 0, 8)                    # actually load scratch (0)
+    m.add(R7, 0xDEAD)                      # unknowable value
+    m.stx(R7, R6, 0, 8)                    # guarded wild store
+    m.mov(R0, 0)
+    m.exit()
+    ext = load(rt, m)
+    ret = ext.invoke(bench_ctx(rt))
+    # Either the store hit a populated heap page (ret 0) or it faulted on
+    # an unpopulated heap page and was cancelled (default 0).  Both are
+    # safe; the KernelPanic path (corruption) must be impossible.
+    assert ret == 0
+    assert ext.iprog.stats.guards_emitted >= 1
+
+
+def test_sfi_guard_confines_store_to_heap_not_kernel(rt):
+    """Without the guard this store would land in kernel memory; run the
+    same program with instrumentation and observe containment."""
+    m = MacroAsm()
+    m.heap_addr(R6, 0x20)
+    m.ldx(R7, R6, 0, 8)       # 0
+    m.ld_imm64(R3, 0xFFFF_8880_0000_0100)  # kernel socket table address!
+    m.add(R7, R3)             # r7 = kernel address, as a scalar
+    m.stx(R7, R3, 0, 8)       # guarded: masked into the heap
+    m.mov(R0, 0)
+    m.exit()
+    ext = load(rt, m)
+    before = rt.kernel.aspace.read_int(0xFFFF_8880_0000_0100, 8)
+    ext.invoke(bench_ctx(rt))
+    assert rt.kernel.aspace.read_int(0xFFFF_8880_0000_0100, 8) == before
+
+
+# -- cancellation (§3.3) --------------------------------------------------------------
+
+
+def _looper_with_resources(rt):
+    """XDP extension that acquires a socket + lock then loops forever."""
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.st_imm(R10, -16, 1, 4)
+    m.st_imm(R10, -12, 2, 4)
+    m.st_imm(R10, -8, 3, 2)
+    m.st_imm(R10, -6, 4, 2)
+    m.mov(R2, R10)
+    m.add(R2, -16)
+    m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+    with m.if_("!=", R0, 0):
+        m.mov(R7, R0)
+        m.heap_addr(R6, 0x100)
+        m.call_helper(KFLEX_SPIN_LOCK, R6)
+        m.mov(R3, 1)
+        with m.while_("!=", R3, 0):
+            m.add(R3, 1)
+        m.call_helper(KFLEX_SPIN_UNLOCK, R6)
+        m.call_helper(BPF_SK_RELEASE, R7)
+    m.mov(R0, 1)
+    m.exit()
+    prog = Program("looper", m.assemble(), hook="xdp", heap_size=HEAP)
+    return rt.load(prog, attach=False, quantum_units=20_000)
+
+
+def test_watchdog_cancellation_restores_quiescence(rt):
+    sock = rt.kernel.net.create_udp_socket(udp_tuple(1, 2, 3, 4))
+    ext = _looper_with_resources(rt)
+    ret = ext.invoke(ext.xdp_ctx(b"\x00" * 64))
+    assert ret == 2  # XDP_PASS, the hook default (§4.3)
+    assert sock.refcount == 1  # reference released by the unwinder
+    assert ext.locks.owner(0x100) == 0  # lock released
+    assert ext.stats.cancellations_by_reason == {"watchdog": 1}
+    rec = ext.cancellation.history[-1]
+    assert {k for k, _ in rec.released} == {"sock", "lock"}
+
+
+def test_nontermination_unloads_extension_globally(rt):
+    rt.kernel.net.create_udp_socket(udp_tuple(1, 2, 3, 4))
+    ext = _looper_with_resources(rt)
+    ext.invoke(ext.xdp_ctx(b"\x00" * 64))
+    assert ext.dead
+    # Subsequent invocations return the default without running.
+    assert ext.invoke(ext.xdp_ctx(b"\x00" * 64)) == 2
+    assert ext.stats.invocations == 1
+
+
+def test_heap_survives_cancellation(rt):
+    """§3.4: the heap may back user-space allocations; it is destroyed
+    only when the fd is closed."""
+    rt.kernel.net.create_udp_socket(udp_tuple(1, 2, 3, 4))
+    ext = _looper_with_resources(rt)
+    ext.invoke(ext.xdp_ctx(b"\x00" * 64))
+    assert ext.dead
+    rt.kernel.aspace.read_int(ext.heap.base, 8)  # still mapped
+
+
+def test_cancel_callback_rewrites_return_code(rt):
+    m = MacroAsm()
+    m.mov(R3, 1)
+    with m.while_("!=", R3, 0):
+        m.add(R3, 1)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program(
+        "cb", m.assemble(), hook="xdp", heap_size=HEAP,
+        cancel_callback=lambda default: default + 100,
+    )
+    ext = rt.load(prog, attach=False, quantum_units=10_000)
+    assert ext.invoke(ext.xdp_ctx(b"")) == 102
+
+
+def test_unpopulated_heap_access_cancels_without_unload(rt):
+    """C2 cancellation points: touching an unpopulated page cancels the
+    invocation but does not unload the extension."""
+    m = MacroAsm()
+    m.heap_addr(R6, 0x8000)  # page never populated
+    m.ldx(R0, R6, 0, 8)
+    m.exit()
+    ext = load(rt, m)
+    assert ext.invoke(bench_ctx(rt)) == 0  # bench default
+    assert ext.stats.cancellations_by_reason == {"page_fault": 1}
+    assert not ext.dead
+    # The extension keeps running on later invocations.
+    ext.invoke(bench_ctx(rt))
+    assert ext.stats.invocations == 2
+
+
+def test_lock_stall_cancellation_releases_other_resources(rt):
+    """An extension holding lock A and stalling on lock B is cancelled
+    and A is released (§4.4)."""
+    m = MacroAsm()
+    m.heap_addr(R6, 0x100)
+    m.heap_addr(R7, 0x180)
+    m.call_helper(KFLEX_SPIN_LOCK, R6)
+    m.call_helper(KFLEX_SPIN_LOCK, R7)  # will stall (pre-held by user)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R7)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R6)
+    m.mov(R0, 0)
+    m.exit()
+    ext = load(rt, m)
+    # Simulate a user thread holding lock B.
+    t = rt.kernel.sched.spawn("app")
+    ext.locks.user_lock(0x180, t)
+    ext.invoke(bench_ctx(rt))
+    assert ext.stats.cancellations_by_reason == {"lock_stall": 1}
+    assert ext.locks.owner(0x100) == 0  # lock A force-released
+    assert ext.dead  # stall-based cancellation unloads (§4.3)
+
+
+def test_quiescence_fuzz_random_heap_programs(rt):
+    """Safety fuzz: random-ish buggy heap walkers never corrupt kernel
+    state or leak socket references."""
+    import random
+
+    rnd = random.Random(7)
+    sock = rt.kernel.net.create_udp_socket(udp_tuple(9, 9, 9, 9))
+    for trial in range(8):
+        m = MacroAsm()
+        m.heap_addr(R6, 0x20)
+        m.ldx(R7, R6, 0, 8)
+        for _ in range(rnd.randint(1, 4)):
+            m.add(R7, rnd.randint(0, 1 << 40))
+            if rnd.random() < 0.5:
+                m.ldx(R7, R7, rnd.randint(-32, 32), 8)
+            else:
+                m.stx(R7, R6, rnd.randint(-32, 32), 8)
+        m.mov(R0, 0)
+        m.exit()
+        prog = Program(f"fuzz{trial}", m.assemble(), hook="bench", heap_size=HEAP)
+        ext = rt.load(prog, attach=False)
+        ext.invoke(bench_ctx(rt))
+        assert sock.refcount == 1
+        assert rt.kernel.net.total_extension_refs() == 0

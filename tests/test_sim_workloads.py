@@ -1,0 +1,170 @@
+"""Simulator, cost model, metrics and workload generators."""
+
+import random
+
+import pytest
+
+from repro.sim.costs import PathCosts, units_to_ns, units_to_us
+from repro.sim.loadgen import ClosedLoopSim
+from repro.sim.metrics import LatencyStats, mops
+from repro.workloads.kv import GET, SET, KVWorkload, MIXES
+from repro.workloads.zipf import ZipfGenerator
+
+
+# -- cost model -----------------------------------------------------------------
+
+
+def test_userspace_path_dominates_extension_path():
+    c = PathCosts()
+    app = 200
+    assert c.userspace_udp_request(app) > c.xdp_extension_request(app) * 2
+    assert c.userspace_tcp_request(app) > c.userspace_udp_request(app)
+
+
+def test_skskb_cheaper_than_userspace_but_pays_tcp():
+    c = PathCosts()
+    ext = 300
+    skskb = c.skskb_extension_request(ext)
+    assert skskb < c.userspace_tcp_request(ext)
+    assert skskb > c.xdp_extension_request(ext)  # TCP stack still paid
+
+
+def test_tcp_fastpath_cheaper_than_full_stack():
+    c = PathCosts()
+    assert c.xdp_extension_request(100, tcp=True) < c.userspace_tcp_request(100)
+
+
+def test_unit_conversions():
+    assert abs(units_to_ns(23) - 10.0) < 1e-9  # 2.3 GHz
+    assert abs(units_to_us(23_000) - 10.0) < 1e-9
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_latency_percentiles():
+    st = LatencyStats()
+    for v in range(1, 101):
+        st.record(float(v * 1000))
+    assert st.percentile(50) == pytest.approx(50500.0)
+    assert st.percentile(99) == pytest.approx(99010.0)
+    assert st.p99_us == pytest.approx(99.01)
+
+
+def test_warmup_discard():
+    st = LatencyStats()
+    for v in [10_000] * 10 + [1_000] * 90:
+        st.record(float(v))
+    st.discard_warmup(0.1)
+    assert max(st.samples_ns) == 1_000
+
+
+def test_mops():
+    assert mops(1000, 1_000_000) == pytest.approx(1.0)  # 1000 ops / 1ms
+    assert mops(0, 0) == 0.0
+
+
+# -- zipf --------------------------------------------------------------------------
+
+
+def test_zipf_skew():
+    z = ZipfGenerator(1000, 0.99, seed=3)
+    counts = {}
+    for _ in range(20_000):
+        k = z.sample()
+        counts[k] = counts.get(k, 0) + 1
+    # Rank 0 must dominate and the top-10 mass must be heavy.
+    top = max(counts, key=counts.get)
+    assert top == 0
+    top10 = sum(counts.get(i, 0) for i in range(10)) / 20_000
+    assert 0.25 < top10 < 0.75
+    assert z.hot_fraction(10) == pytest.approx(top10, abs=0.08)
+
+
+def test_zipf_bounds():
+    z = ZipfGenerator(5, seed=1)
+    assert all(0 <= z.sample() < 5 for _ in range(500))
+    with pytest.raises(ValueError):
+        ZipfGenerator(0)
+
+
+# -- kv workload --------------------------------------------------------------------
+
+
+def test_mix_ratios_respected():
+    wl = KVWorkload(n_keys=100, get_ratio=0.9, seed=4)
+    ops = [wl.next().op for _ in range(4000)]
+    get_frac = ops.count(GET) / len(ops)
+    assert 0.86 < get_frac < 0.94
+
+
+def test_all_three_paper_mixes_present():
+    assert set(MIXES) == {"90:10", "50:50", "10:90"}
+    assert MIXES["10:90"] == pytest.approx(0.1)
+
+
+# -- closed-loop DES -----------------------------------------------------------------
+
+
+def test_throughput_matches_littles_law_single_server():
+    # Deterministic 1 us service, one server, enough clients to saturate:
+    # throughput must be ~1 Mops.
+    sim = ClosedLoopSim(
+        n_clients=16,
+        n_servers=1,
+        service_fn=lambda now, rng: 1000.0,
+        total_requests=5_000,
+    )
+    res = sim.run()
+    assert res.throughput_mops == pytest.approx(1.0, rel=0.05)
+
+
+def test_throughput_scales_with_servers():
+    def service(now, rng):
+        return 1000.0
+
+    r1 = ClosedLoopSim(
+        n_clients=64, n_servers=1, service_fn=service, total_requests=4000
+    ).run()
+    r4 = ClosedLoopSim(
+        n_clients=64, n_servers=4, service_fn=service, total_requests=4000
+    ).run()
+    assert r4.throughput_mops == pytest.approx(4 * r1.throughput_mops, rel=0.1)
+
+
+def test_latency_includes_queueing():
+    # 2x more clients than a single server can handle back-to-back:
+    # sojourn grows well past the bare service time.
+    res = ClosedLoopSim(
+        n_clients=32,
+        n_servers=1,
+        service_fn=lambda now, rng: 1000.0,
+        total_requests=4000,
+        rtt_ns=0.0,
+    ).run()
+    assert res.p50_us > 10.0  # ~32 x 1 us of queueing
+
+
+def test_slower_service_means_fewer_ops_and_higher_p99():
+    fast = ClosedLoopSim(
+        n_clients=32, n_servers=2,
+        service_fn=lambda now, rng: 1000.0, total_requests=4000,
+    ).run()
+    slow = ClosedLoopSim(
+        n_clients=32, n_servers=2,
+        service_fn=lambda now, rng: 3000.0, total_requests=4000,
+    ).run()
+    assert fast.throughput_mops > 2 * slow.throughput_mops
+    assert slow.p99_us > fast.p99_us
+
+
+def test_sim_deterministic_for_seed():
+    def service(now, rng):
+        return rng.uniform(500, 1500)
+
+    a = ClosedLoopSim(n_clients=8, n_servers=2, service_fn=service,
+                      total_requests=2000, seed=5).run()
+    b = ClosedLoopSim(n_clients=8, n_servers=2, service_fn=service,
+                      total_requests=2000, seed=5).run()
+    assert a.throughput_mops == b.throughput_mops
+    assert a.p99_us == b.p99_us

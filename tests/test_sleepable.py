@@ -1,0 +1,121 @@
+"""Sleepable extensions (§4.3): bpf_copy_from_user and sleep-stall
+cancellation via the background checker."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+from repro.ebpf.helpers import BPF_COPY_FROM_USER, BPF_SK_LOOKUP_UDP, BPF_SK_RELEASE
+from repro.kernel.net import udp_tuple
+
+R0, R1, R2, R3, R6, R7, R10 = (
+    Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R6, Reg.R7, Reg.R10,
+)
+
+HEAP = 1 << 16
+
+
+def _copier(src_reg_from_ctx: bool = True):
+    """Copy 8 bytes from a ctx-supplied user address into the heap and
+    return them."""
+    m = MacroAsm()
+    m.ldx(R7, R1, 0, 8)  # user source address from ctx
+    m.heap_addr(R6, 0x40)
+    m.call_helper(BPF_COPY_FROM_USER, R6, 8, R7)
+    m.heap_addr(R6, 0x40)
+    m.ldx(R0, R6, 0, 8)
+    m.exit()
+    return m.assemble()
+
+
+def test_non_sleepable_program_rejected():
+    rt = KFlexRuntime()
+    prog = Program("t", _copier(), hook="bench", heap_size=HEAP)
+    with pytest.raises(VerificationError) as e:
+        rt.load(prog, attach=False)
+    assert "sleep" in str(e.value)
+
+
+def test_sleepable_copy_from_user_roundtrip():
+    rt = KFlexRuntime()
+    prog = Program("t", _copier(), hook="bench", heap_size=HEAP,
+                   sleepable=True)
+    ext = rt.load(prog, attach=False)
+    ext.heap.reserve_static(64)
+    # "User memory": the heap's user mapping, written by the app.
+    ubase = ext.heap.map_user()
+    rt.kernel.aspace.write_int(ext.heap.base + 0x100, 0xFACE, 8)
+    ret = ext.invoke(rt.make_ctx(0, [ubase + 0x100] + [0] * 7))
+    assert ret == 0xFACE
+
+
+def test_unmapped_user_page_sleep_stalls_and_cancels():
+    rt = KFlexRuntime()
+    prog = Program("t", _copier(), hook="bench", heap_size=HEAP,
+                   sleepable=True)
+    ext = rt.load(prog, attach=False)
+    ext.heap.reserve_static(64)
+    ret = ext.invoke(rt.make_ctx(0, [0x5555_0000_0000] + [0] * 7))
+    assert ret == 0  # default
+    assert ext.stats.cancellations_by_reason == {"sleep_stall": 1}
+    assert ext.dead  # stall policy
+
+
+def test_sleep_stall_releases_held_resources():
+    """A sleepable extension holding a socket reference when the copy
+    blocks must still leave the kernel quiescent."""
+    rt = KFlexRuntime()
+    sock = rt.kernel.net.create_udp_socket(udp_tuple(1, 2, 3, 4))
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.st_imm(R10, -16, 1, 4)
+    m.st_imm(R10, -12, 2, 4)
+    m.st_imm(R10, -8, 3, 2)
+    m.st_imm(R10, -6, 4, 2)
+    m.mov(R2, R10)
+    m.add(R2, -16)
+    m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+    with m.if_("!=", R0, 0):
+        m.mov(R7, R0)
+        m.heap_addr(R6, 0x40)
+        m.ld_imm64(R3, 0x5555_0000_0000)  # unmapped user page
+        m.call_helper(BPF_COPY_FROM_USER, R6, 8, R3)
+        m.call_helper(BPF_SK_RELEASE, R7)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="xdp", heap_size=HEAP,
+                   sleepable=True)
+    ext = rt.load(prog, attach=False)
+    ext.heap.reserve_static(64)
+    ext.invoke(ext.xdp_ctx(b"\x00" * 32))
+    assert sock.refcount == 1  # unwound at the sleepable-call Cp
+    assert ext.stats.cancellations_by_reason == {"sleep_stall": 1}
+
+
+def test_copy_clamped_to_heap_bounds():
+    """Trusted-helper hardening: a huge size request cannot write past
+    the heap."""
+    rt = KFlexRuntime()
+    m = MacroAsm()
+    m.ldx(R7, R1, 0, 8)
+    m.heap_addr(R6, HEAP - 16)  # near the end of the heap
+    m.call_helper(BPF_COPY_FROM_USER, R6, 1 << 20, R7)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP,
+                   sleepable=True)
+    ext = rt.load(prog, attach=False)
+    ext.heap.reserve_static(64)
+    ubase = ext.heap.map_user()
+    # Source holds 16 valid bytes at the very end of the user mapping.
+    ext.heap.populate(ext.heap.base + HEAP - 16, 16)
+    ret = ext.invoke(rt.make_ctx(0, [ubase] + [0] * 7))
+    # No write landed past the heap (the guard region stayed unmapped).
+    from repro.errors import PageFault
+
+    with pytest.raises(PageFault):
+        rt.kernel.aspace.read_int(ext.heap.base + HEAP, 1)

@@ -1,0 +1,221 @@
+"""The bpf(2) facade and the text assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError, VerificationError
+from repro.core.runtime import KFlexRuntime
+from repro.kernel.syscall import BpfSyscall, Cmd, EBADF, EINVAL, ENOENT
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.textasm import assemble_text
+from repro.ebpf.interpreter import ExecEnv, Interpreter
+from repro.ebpf.helpers import HelperTable
+from repro.kernel.addrspace import AddressSpace
+
+
+@pytest.fixture
+def bpf():
+    return BpfSyscall(KFlexRuntime())
+
+
+# -- text assembler ------------------------------------------------------------
+
+
+def run_text(src, maps=None):
+    insns = assemble_text(src, maps=maps)
+    env = ExecEnv(aspace=AddressSpace(), helpers=HelperTable())
+    res = Interpreter(insns, env).run()
+    assert res.ok, res.fault
+    return res.ret
+
+
+def test_text_loop_program():
+    src = """
+        ; sum 1..10
+        mov64 r0, 0
+        mov64 r1, 10
+    loop:
+        jeq r1, 0, done
+        add64 r0, r1
+        sub64 r1, 1
+        ja loop
+    done:
+        exit
+    """
+    assert run_text(src) == 55
+
+
+def test_text_memory_and_lddw():
+    src = """
+        lddw r1, 0x1122334455667788
+        stxdw [r10-8], r1
+        ldxw r0, [r10-8]
+        exit
+    """
+    assert run_text(src) == 0x55667788
+
+
+def test_text_store_imm_and_atomic():
+    src = """
+        stdw [r10-8], 10
+        mov64 r1, 5
+        atomicdw add [r10-8], r1
+        ldxdw r0, [r10-8]
+        exit
+    """
+    assert run_text(src) == 15
+
+
+def test_text_signed_jump_and_32bit():
+    src = """
+        mov64 r1, -1
+        mov64 r0, 0
+        jslt r1, 0, neg
+        exit
+    neg:
+        mov32 r0, 1
+        exit
+    """
+    assert run_text(src) == 1
+
+
+def test_text_byteswap():
+    src = """
+        mov64 r0, 0x1234
+        be16 r0
+        exit
+    """
+    assert run_text(src) == 0x3412
+
+
+def test_text_call_by_name():
+    from repro.ebpf.helpers import BPF_KTIME_GET_NS
+
+    insns = assemble_text("call bpf_ktime_get_ns\n exit")
+    assert insns[0].imm == BPF_KTIME_GET_NS
+
+
+def test_text_heap_relocation_and_load():
+    rt = KFlexRuntime()
+    src = """
+        lddw r6, heap[0x40]
+        stdw [r6+0], 99
+        ldxdw r0, [r6+0]
+        exit
+    """
+    from repro.ebpf.program import Program
+
+    prog = Program("t", assemble_text(src), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, attach=False)
+    ext.heap.reserve_static(64)
+    assert ext.invoke(rt.make_ctx(0, [0] * 8)) == 99
+
+
+def test_text_map_relocation(bpf):
+    fd = bpf(Cmd.BPF_MAP_CREATE, map_type="array", value_size=8, max_entries=4)
+    m = bpf.map_by_fd(fd)
+    src = """
+        stw [r10-4], 1
+        lddw r1, map[counts]
+        mov64 r2, r10
+        add64 r2, -4
+        call bpf_map_lookup_elem
+        jeq r0, 0, miss
+        ldxdw r0, [r0+0]
+        exit
+    miss:
+        mov64 r0, 0
+        exit
+    """
+    insns = assemble_text(src, maps={"counts": m})
+    pfd = bpf(Cmd.BPF_PROG_LOAD, insns=insns, mode="ebpf", map_fds=[fd])
+    assert pfd > 0
+    bpf(Cmd.BPF_MAP_UPDATE_ELEM, map_fd=fd, key=(1).to_bytes(4, "little"),
+        value=(4242).to_bytes(8, "little"))
+    ext = bpf.prog_by_fd(pfd)
+    assert ext.invoke(bpf.runtime.make_ctx(0, [0] * 8)) == 4242
+
+
+def test_text_errors():
+    with pytest.raises(AssemblerError):
+        assemble_text("bogus r0, r1\nexit")
+    with pytest.raises(AssemblerError):
+        assemble_text("mov64 r11, 1\nexit")
+    with pytest.raises(AssemblerError):
+        assemble_text("ldxdw r0, r1\nexit")  # not a memory operand
+    with pytest.raises(AssemblerError):
+        assemble_text("lddw r1, map[nope]\nexit")
+    with pytest.raises(AssemblerError):
+        assemble_text("mov64 r0\nexit")  # missing operand
+
+
+def test_text_label_same_line_and_comments():
+    src = "start: mov64 r0, 7 ; inline comment\n ja end\n end: exit"
+    assert run_text(src) == 7
+
+
+# -- bpf(2) facade ------------------------------------------------------------------
+
+
+def test_map_lifecycle_via_syscall(bpf):
+    fd = bpf(Cmd.BPF_MAP_CREATE, map_type="hash", key_size=4, value_size=8,
+             max_entries=8)
+    assert fd > 0
+    key = (7).to_bytes(4, "little")
+    assert bpf(Cmd.BPF_MAP_LOOKUP_ELEM, map_fd=fd, key=key) == ENOENT
+    assert bpf(Cmd.BPF_MAP_UPDATE_ELEM, map_fd=fd, key=key,
+               value=(99).to_bytes(8, "little")) == 0
+    assert bpf(Cmd.BPF_MAP_LOOKUP_ELEM, map_fd=fd, key=key) == \
+        (99).to_bytes(8, "little")
+    assert bpf(Cmd.BPF_MAP_DELETE_ELEM, map_fd=fd, key=key) == 0
+    assert bpf(Cmd.BPF_MAP_LOOKUP_ELEM, map_fd=fd, key=key) == ENOENT
+
+
+def test_bad_fds_return_ebadf(bpf):
+    assert bpf(Cmd.BPF_MAP_LOOKUP_ELEM, map_fd=12345, key=b"\0" * 4) == EBADF
+    assert bpf(Cmd.BPF_PROG_ATTACH, prog_fd=9) == EBADF
+    assert bpf(Cmd.KFLEX_HEAP_MMAP, heap_fd=77) == EBADF
+
+
+def test_bad_map_type_einval(bpf):
+    assert bpf(Cmd.BPF_MAP_CREATE, map_type="lru_tree") == EINVAL
+
+
+def test_heap_create_and_mmap(bpf):
+    hfd = bpf(Cmd.KFLEX_HEAP_CREATE, size=1 << 16, name="app")
+    assert hfd > 0
+    view = bpf(Cmd.KFLEX_HEAP_MMAP, heap_fd=hfd)
+    heap = bpf.heap_by_fd(hfd)
+    assert heap.user_base != 0
+    heap.populate(heap.base + 0x100, 8)
+    view.write(heap.base + 0x100, 4242, 8)
+    assert view.read(heap.user_base + 0x100, 8) == 4242
+
+
+def test_heap_bad_size_einval(bpf):
+    assert bpf(Cmd.KFLEX_HEAP_CREATE, size=12345) == EINVAL
+
+
+def test_prog_load_attach_invoke(bpf):
+    m = MacroAsm()
+    m.mov(Reg.R0, 3)  # XDP_TX
+    m.exit()
+    from repro.ebpf.program import Program
+
+    hfd = bpf(Cmd.KFLEX_HEAP_CREATE, size=1 << 16)
+    pfd = bpf(Cmd.BPF_PROG_LOAD, insns=m.assemble(), hook="xdp", heap_fd=hfd)
+    assert pfd > 0
+    assert bpf(Cmd.BPF_PROG_ATTACH, prog_fd=pfd) == 0
+    ext = bpf.prog_by_fd(pfd)
+    ctx = ext.xdp_ctx(b"\x00" * 32)
+    assert bpf.runtime.kernel.hooks.dispatch("xdp", ctx) == 3
+    assert bpf(Cmd.BPF_PROG_DETACH, prog_fd=pfd) == 0
+    assert bpf.runtime.kernel.hooks.dispatch("xdp", ctx) == 2  # default
+
+
+def test_prog_load_verification_error_propagates(bpf):
+    m = MacroAsm()
+    m.mov(Reg.R0, Reg.R3)  # uninitialised read
+    m.exit()
+    with pytest.raises(VerificationError):
+        bpf(Cmd.BPF_PROG_LOAD, insns=m.assemble(), mode="ebpf")

@@ -1,0 +1,146 @@
+"""Tnum abstract domain: soundness of every operation, via hypothesis.
+
+The central property: if ``x in A`` and ``y in B`` then
+``op(x, y) in A.op(B)``.  Guard elision rests on this (§3.2/§5.4), so
+these are the most safety-critical property tests in the repo.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ebpf.verifier.tnum import Tnum, U64
+
+values = st.integers(min_value=0, max_value=U64)
+small_shifts = st.integers(min_value=0, max_value=63)
+
+
+def tnum_containing(x: int, mask: int) -> Tnum:
+    """A tnum with the given unknown mask that contains x."""
+    return Tnum(x & ~mask & U64, mask)
+
+
+tnum_pairs = st.tuples(values, values).map(lambda t: (t[0], t[1]))
+
+
+@st.composite
+def tnum_and_member(draw):
+    x = draw(values)
+    mask = draw(values)
+    return tnum_containing(x, mask), x
+
+
+def test_const_and_unknown():
+    assert Tnum.const(5).is_const
+    assert Tnum.const(5).contains(5)
+    assert not Tnum.const(5).contains(6)
+    assert Tnum.unknown().contains(12345)
+
+
+def test_range_covers_endpoints():
+    t = Tnum.range(10, 100)
+    for v in (10, 55, 100):
+        assert t.contains(v)
+
+
+@given(values, values)
+def test_range_soundness(a, b):
+    lo, hi = min(a, b), max(a, b)
+    t = Tnum.range(lo, hi)
+    assert t.contains(lo) and t.contains(hi)
+    mid = (lo + hi) // 2
+    assert t.contains(mid)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_add_sound(am, bm):
+    (A, a), (B, b) = am, bm
+    assert A.add(B).contains((a + b) & U64)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_sub_sound(am, bm):
+    (A, a), (B, b) = am, bm
+    assert A.sub(B).contains((a - b) & U64)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_and_sound(am, bm):
+    (A, a), (B, b) = am, bm
+    assert A.and_(B).contains(a & b)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_or_sound(am, bm):
+    (A, a), (B, b) = am, bm
+    assert A.or_(B).contains(a | b)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_xor_sound(am, bm):
+    (A, a), (B, b) = am, bm
+    assert A.xor(B).contains(a ^ b)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_mul_sound(am, bm):
+    (A, a), (B, b) = am, bm
+    assert A.mul(B).contains((a * b) & U64)
+
+
+@given(tnum_and_member(), small_shifts)
+def test_lshift_sound(am, sh):
+    (A, a) = am
+    assert A.lshift(sh).contains((a << sh) & U64)
+
+
+@given(tnum_and_member(), small_shifts)
+def test_rshift_sound(am, sh):
+    (A, a) = am
+    assert A.rshift(sh).contains(a >> sh)
+
+
+@given(tnum_and_member(), small_shifts)
+def test_arshift_sound(am, sh):
+    (A, a) = am
+    signed = a - (1 << 64) if a >> 63 else a
+    expect = (signed >> sh) & U64
+    assert A.arshift(sh).contains(expect)
+
+
+@given(tnum_and_member())
+def test_cast32_sound(am):
+    (A, a) = am
+    assert A.cast(4).contains(a & 0xFFFFFFFF)
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_union_contains_both(am, bm):
+    (A, a), (B, b) = am, bm
+    u = A.union(B)
+    assert u.contains(a) and u.contains(b)
+
+
+@given(tnum_and_member())
+def test_subset_reflexive(am):
+    (A, _) = am
+    assert A.is_subset_of(A)
+    assert A.is_subset_of(Tnum.unknown())
+
+
+@given(tnum_and_member(), tnum_and_member())
+def test_intersect_keeps_common(am, bm):
+    (A, a), _ = am, bm
+    (B, _) = bm
+    if A.contains(a) and B.contains(a):
+        assert A.intersect(B).contains(a)
+
+
+def test_umin_umax():
+    t = Tnum(0b1000, 0b0110)
+    assert t.umin == 0b1000
+    assert t.umax == 0b1110
+
+
+def test_value_mask_overlap_rejected():
+    with pytest.raises(ValueError):
+        Tnum(1, 1)

@@ -1,0 +1,547 @@
+"""The verifier: compliance checks, range analysis, loops, references.
+
+Organised by the paper's split: kernel-owned accesses must verify or
+reject; extension-owned (heap) accesses are classified for guarding.
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ebpf.asm import Assembler
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program, PSEUDO_HEAP_OFF
+from repro.ebpf.helpers import (
+    BPF_MAP_LOOKUP_ELEM,
+    BPF_SK_LOOKUP_UDP,
+    BPF_SK_RELEASE,
+    KFLEX_MALLOC,
+    KFLEX_FREE,
+    KFLEX_SPIN_LOCK,
+    KFLEX_SPIN_UNLOCK,
+)
+from repro.ebpf.verifier import Verifier, VerifierConfig
+
+R0, R1, R2, R3, R6, R7, R10 = (
+    Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R6, Reg.R7, Reg.R10,
+)
+
+HEAP = 1 << 16
+
+
+def verify(m, *, mode="kflex", heap=HEAP, hook="bench", perf_mode=False, maps=None):
+    prog = Program(
+        "t", m.assemble(), hook=hook, heap_size=heap if mode == "kflex" else None,
+        maps=maps or {},
+    )
+    cfg = VerifierConfig(mode=mode, perf_mode=perf_mode)
+    return Verifier(prog, cfg).verify()
+
+
+def reject(m, message_part, **kw):
+    with pytest.raises(VerificationError) as e:
+        verify(m, **kw)
+    assert message_part in str(e.value), str(e.value)
+
+
+# -- basics ------------------------------------------------------------------
+
+
+def test_uninitialised_register_read_rejected():
+    m = MacroAsm()
+    m.mov(R0, R3)
+    m.exit()
+    reject(m, "uninitialised")
+
+
+def test_r0_required_at_exit():
+    m = MacroAsm()
+    m.exit()
+    reject(m, "R0 not initialised")
+
+
+def test_pointer_return_rejected():
+    m = MacroAsm()
+    m.mov(R0, R10)
+    m.exit()
+    reject(m, "scalar at exit")
+
+
+def test_fallthrough_past_end_rejected():
+    m = MacroAsm()
+    m.mov(R0, 0)
+    reject(m, "exit")
+
+
+def test_pseudo_instruction_in_input_rejected():
+    from repro.ebpf import isa
+    from repro.ebpf.isa import Insn
+
+    m = MacroAsm()
+    m.mov(R0, 0)
+    m.raw(Insn(isa.KFLEX_GUARD, 0))
+    m.exit()
+    reject(m, "pseudo")
+
+
+# -- stack -------------------------------------------------------------------
+
+
+def test_stack_oob_rejected():
+    m = MacroAsm()
+    m.st_imm(R10, -520, 0, 8)
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "stack access")
+
+
+def test_stack_positive_offset_rejected():
+    m = MacroAsm()
+    m.st_imm(R10, 8, 0, 8)
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "stack access")
+
+
+def test_read_uninitialised_stack_rejected():
+    m = MacroAsm()
+    m.ldx(R0, R10, -8, 8)
+    m.exit()
+    reject(m, "uninitialised stack")
+
+
+def test_spill_fill_preserves_pointer_type():
+    m = MacroAsm()
+    m.stx(R10, R1, -8, 8)   # spill ctx pointer
+    m.ldx(R2, R10, -8, 8)   # fill
+    m.ldx(R0, R2, 0, 8)     # use as ctx: must still be PTR_TO_CTX
+    m.exit()
+    verify(m)
+
+
+def test_partial_overwrite_destroys_spill():
+    m = MacroAsm()
+    m.stx(R10, R1, -8, 8)
+    m.st_imm(R10, -6, 0, 1)  # scribble over the spill
+    m.ldx(R2, R10, -8, 8)    # now misc data -> scalar
+    m.ldx(R0, R2, 0, 8)      # scalar deref: heap formation (kflex) ...
+    m.exit()
+    an = verify(m)  # kflex mode guards it
+    assert any(a.category == "formation" for a in an.accesses.values())
+    reject(m, "scalar", mode="ebpf")  # ebpf rejects scalar-based access
+
+
+# -- context and packets --------------------------------------------------------
+
+
+def test_ctx_invalid_offset_rejected():
+    m = MacroAsm()
+    m.ldx(R0, R1, 100, 8)
+    m.exit()
+    reject(m, "context read", hook="xdp")
+
+
+def test_ctx_store_rejected():
+    m = MacroAsm()
+    m.stx(R1, R1, 0, 8)
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "store to context", hook="xdp")
+
+
+def _packet_prog(check_len, access_off, access_size=1):
+    m = MacroAsm()
+    m.ldx(R2, R1, 0, 8)   # data
+    m.ldx(R3, R1, 8, 8)   # data_end
+    m.mov(R6, R2)
+    m.add(R6, check_len)
+    m.mov(R0, 0)
+    m.jcc(">", R6, R3, "out")
+    m.ldx(R0, R2, access_off, access_size)
+    m.label("out")
+    m.exit()
+    return m
+
+
+def test_packet_access_within_verified_range():
+    verify(_packet_prog(14, 13), hook="xdp")
+
+
+def test_packet_access_beyond_range_rejected():
+    reject(_packet_prog(14, 14), "packet access", hook="xdp")
+
+
+def test_packet_access_without_check_rejected():
+    m = MacroAsm()
+    m.ldx(R2, R1, 0, 8)
+    m.ldx(R0, R2, 0, 1)
+    m.exit()
+    reject(m, "packet access", hook="xdp")
+
+
+def test_packet_range_propagates_to_aliases():
+    m = MacroAsm()
+    m.ldx(R2, R1, 0, 8)
+    m.ldx(R3, R1, 8, 8)
+    m.mov(R7, R2)          # alias of data
+    m.mov(R6, R2)
+    m.add(R6, 20)
+    m.mov(R0, 0)
+    m.jcc(">", R6, R3, "out")
+    m.ldx(R0, R7, 19, 1)   # alias benefits from the proven range
+    m.label("out")
+    m.exit()
+    verify(m, hook="xdp")
+
+
+# -- maps ------------------------------------------------------------------------
+
+
+def _map_fixture():
+    from repro.kernel.machine import Kernel
+    from repro.ebpf.maps import HashMap
+
+    kernel = Kernel()
+    m = HashMap(kernel.aspace, kernel.vmalloc, key_size=4, value_size=16,
+                max_entries=8, name="t")
+    return m
+
+
+def test_map_lookup_requires_null_check():
+    mp = _map_fixture()
+    m = MacroAsm()
+    m.st_imm(R10, -4, 1, 4)
+    m.map_ptr(R1, mp)
+    m.mov(R2, R10)
+    m.add(R2, -4)
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    m.ldx(R0, R0, 0, 8)  # no NULL check!
+    m.exit()
+    reject(m, "possibly-NULL", maps={mp.fd: mp}, heap=None, mode="kflex")
+
+
+def test_map_value_bounds_enforced():
+    mp = _map_fixture()
+    m = MacroAsm()
+    m.st_imm(R10, -4, 1, 4)
+    m.map_ptr(R1, mp)
+    m.mov(R2, R10)
+    m.add(R2, -4)
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    with m.if_("!=", R0, 0):
+        m.ldx(R0, R0, 12, 8)  # [12,20) > value_size 16
+        m.exit()
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "map value access", maps={mp.fd: mp})
+
+
+def test_map_value_access_ok_after_null_check():
+    mp = _map_fixture()
+    m = MacroAsm()
+    m.st_imm(R10, -4, 1, 4)
+    m.map_ptr(R1, mp)
+    m.mov(R2, R10)
+    m.add(R2, -4)
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    with m.if_("!=", R0, 0):
+        m.ldx(R0, R0, 8, 8)
+        m.exit()
+    m.mov(R0, 0)
+    m.exit()
+    verify(m, maps={mp.fd: mp})
+
+
+def test_uninitialised_map_key_rejected():
+    mp = _map_fixture()
+    m = MacroAsm()
+    m.map_ptr(R1, mp)
+    m.mov(R2, R10)
+    m.add(R2, -4)   # never written
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "not initialised", maps={mp.fd: mp})
+
+
+# -- heap: guard classification (§3.2, §5.4) -------------------------------------
+
+
+def test_known_heap_offset_elided():
+    m = MacroAsm()
+    m.heap_addr(R1, 0x100)
+    m.ldx(R0, R1, 8, 8)
+    m.exit()
+    an = verify(m)
+    assert [a.category for a in an.accesses.values()] == ["elided"]
+
+
+def test_untrusted_pointer_gets_formation_guard():
+    m = MacroAsm()
+    m.heap_addr(R1, 0x100)
+    m.ldx(R2, R1, 0, 8)   # load pointer from heap -> untrusted
+    m.ldx(R0, R2, 0, 8)   # deref: formation guard
+    m.exit()
+    an = verify(m)
+    cats = sorted(a.category for a in an.accesses.values())
+    assert cats == ["elided", "formation"]
+
+
+def test_post_guard_accesses_elided():
+    m = MacroAsm()
+    m.heap_addr(R1, 0x100)
+    m.ldx(R2, R1, 0, 8)
+    m.ldx(R0, R2, 0, 8)    # formation guard; r2 sanitised after
+    m.ldx(R3, R2, 8, 8)    # elided: r2 now provably in-heap
+    m.stx(R2, R3, 16, 8)   # elided store
+    m.exit()
+    an = verify(m)
+    cats = sorted(a.category for a in an.accesses.values())
+    assert cats == ["elided", "elided", "elided", "formation"]
+
+
+def test_bounded_scalar_add_elided_unbounded_guarded():
+    # Bounded index: mask to 8 bits, scale by 8 -> fits in heap: elide.
+    m = MacroAsm()
+    m.heap_addr(R1, 0)
+    m.ldx(R2, R1, 0, 8)
+    m.and_(R2, 0xFF)
+    m.lsh(R2, 3)
+    m.add(R1, R2)
+    m.ldx(R0, R1, 0, 8)
+    m.exit()
+    an = verify(m)
+    assert all(a.category == "elided" for a in an.accesses.values())
+
+    # Unbounded scalar added to a heap pointer: guard on next access.
+    m = MacroAsm()
+    m.heap_addr(R1, 0)
+    m.ldx(R2, R1, 0, 8)
+    m.add(R1, R2)
+    m.ldx(R0, R1, 0, 8)
+    m.exit()
+    an = verify(m)
+    cats = sorted(a.category for a in an.accesses.values())
+    assert "formation" in cats or "manipulation" in cats
+
+
+def test_malloc_result_elided_within_object():
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, 64)
+    with m.if_("!=", R0, 0):
+        m.st_imm(R0, 56, 1, 8)  # last qword of the object
+        m.mov(R0, 0)
+    m.exit()
+    an = verify(m)
+    assert all(a.category == "elided" for a in an.accesses.values())
+
+
+def test_unchecked_malloc_pointer_guarded():
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, 64)
+    m.st_imm(R0, 0, 1, 8)  # no NULL check -> guard forces safety
+    m.mov(R0, 0)
+    m.exit()
+    an = verify(m)
+    assert all(a.guard for a in an.accesses.values())
+
+
+def test_ebpf_mode_rejects_kflex_helpers():
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, 64)
+    m.exit()
+    reject(m, "not available in eBPF mode", mode="ebpf")
+
+
+def test_kernel_pointer_leak_into_heap_rejected():
+    m = MacroAsm()
+    m.heap_addr(R2, 0x100)
+    m.stx(R2, R1, 0, 8)  # store ctx pointer into heap
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "leaking kernel pointer")
+
+
+# -- loops (§3.1) -------------------------------------------------------------------
+
+
+def test_bounded_loop_no_cancellation_point():
+    m = MacroAsm()
+    m.mov(R0, 0)
+    m.mov(R1, 8)
+    with m.while_("!=", R1, 0):
+        m.add(R0, R1)
+        m.sub(R1, 1)
+    m.exit()
+    an = verify(m)
+    assert not an.has_unbounded_loops
+    assert not an.cp_back_edges
+
+
+def test_unbounded_loop_gets_cancellation_point():
+    m = MacroAsm()
+    m.heap_addr(R1, 0)
+    m.ldx(R1, R1, 0, 8)
+    with m.while_("!=", R1, 0):
+        m.ldx(R1, R1, 8, 8)
+    m.mov(R0, 0)
+    m.exit()
+    an = verify(m)
+    assert an.has_unbounded_loops
+    assert len(an.cp_back_edges) == 1
+
+
+def test_ebpf_mode_rejects_unbounded_loop():
+    m = MacroAsm()
+    m.ldx(R1, R1, 0, 8)  # ctx field (bench layout: scalar)
+    with m.while_("!=", R1, 0):
+        m.add(R1, 1)
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "eBPF rejects", mode="ebpf")
+
+
+def test_loop_resource_convergence_violation_rejected():
+    """§3.1: acquiring a kernel resource each iteration without
+    releasing it must be rejected."""
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.mov(R7, 1)
+    with m.while_("!=", R7, 0):
+        m.mov(R2, R10)
+        m.add(R2, -16)
+        m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+        with m.if_("==", R0, 0):
+            m.mov(R0, 0)
+            m.exit()
+        m.add(R7, 1)
+        # never releases the socket
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "converge", hook="xdp")
+
+
+def test_loop_with_balanced_acquire_release_ok():
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.mov(R7, 1)
+    with m.while_("!=", R7, 0) as ctl:
+        m.mov(R2, R10)
+        m.add(R2, -16)
+        m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+        with m.if_("!=", R0, 0):
+            m.mov(R1, R0)
+            m.call(BPF_SK_RELEASE)
+        m.add(R7, 1)
+    m.mov(R0, 0)
+    m.exit()
+    an = verify(m, hook="xdp")
+    assert an.has_unbounded_loops
+
+
+# -- references ------------------------------------------------------------------
+
+
+def test_leaked_reference_rejected():
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.mov(R2, R10)
+    m.add(R2, -16)
+    m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+    m.mov(R0, 0)
+    m.exit()  # socket never released
+    reject(m, "unreleased", hook="xdp")
+
+
+def test_null_branch_clears_reference_obligation():
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.mov(R2, R10)
+    m.add(R2, -16)
+    m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+    with m.if_("!=", R0, 0):
+        m.mov(R1, R0)
+        m.call(BPF_SK_RELEASE)
+    m.mov(R0, 0)
+    m.exit()
+    verify(m, hook="xdp")
+
+
+def test_release_without_acquire_rejected():
+    m = MacroAsm()
+    m.heap_addr(R1, 0x40)
+    m.call(KFLEX_SPIN_UNLOCK)
+    m.mov(R0, 0)
+    m.exit()
+    reject(m, "not held")
+
+
+def test_multiple_locks_allowed_in_kflex():
+    """§3.1: unlike eBPF, KFlex extensions may hold several locks."""
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.heap_addr(R7, 0x80)
+    m.call_helper(KFLEX_SPIN_LOCK, R6)
+    m.call_helper(KFLEX_SPIN_LOCK, R7)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R7)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R6)
+    m.mov(R0, 0)
+    m.exit()
+    an = verify(m)
+    # Both lock-acquire sites have object tables including held locks.
+    lock_tables = [t for t in an.object_tables.values() if t]
+    assert lock_tables
+
+
+def test_object_table_records_socket_location():
+    m = MacroAsm()
+    m.mov(R6, R1)
+    m.stack_zero(-16, 16)
+    m.mov(R2, R10)
+    m.add(R2, -16)
+    m.call_helper(BPF_SK_LOOKUP_UDP, R6, R2, 12, 0, 0)
+    with m.if_("!=", R0, 0):
+        m.mov(R7, R0)
+        m.heap_addr(R3, 0x100)
+        m.ldx(R3, R3, 0, 8)   # heap access Cp while holding the ref
+        m.mov(R1, R7)
+        m.call(BPF_SK_RELEASE)
+    m.mov(R0, 0)
+    m.exit()
+    an = verify(m, hook="xdp")
+    tables = [t for t in an.object_tables.values() if t]
+    assert tables
+    entry = tables[0][0]
+    assert entry.res_kind == "sock"
+    assert entry.destructor == BPF_SK_RELEASE
+
+
+def test_infeasible_branch_pruned():
+    m = MacroAsm()
+    m.mov(R1, 5)
+    m.mov(R0, 0)
+    m.jcc("==", R1, 7, "bad")
+    m.exit()
+    m.label("bad")
+    # unreachable: would be a verification error if explored
+    m.ldx(R0, R3, 0, 8)
+    m.exit()
+    verify(m)
+
+
+def test_verification_budget_enforced():
+    m = MacroAsm()
+    m.mov(R0, 0)
+    m.mov(R1, 1000000)
+    with m.while_("!=", R1, 0):
+        m.sub(R1, 1)
+    m.exit()
+    prog = Program("big", m.assemble(), hook="bench")
+    cfg = VerifierConfig(mode="ebpf", insn_budget=1000)
+    with pytest.raises(VerificationError) as e:
+        Verifier(prog, cfg).verify()
+    assert "budget" in str(e.value)

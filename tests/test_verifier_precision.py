@@ -1,0 +1,229 @@
+"""Range-analysis precision: the table behind guard elision (§3.2, §5.4).
+
+Each case builds a tiny program that manufactures a scalar with known
+bounds, adds it to a heap pointer and dereferences; the test asserts
+whether the verifier proves the access (guard elided) or not (guard
+emitted).  These pin down exactly which reasoning the elision relies
+on: tnum bit-tracking, interval arithmetic, branch refinement, and the
+guard-page slack.
+"""
+
+import pytest
+
+from repro.core.runtime import KFlexRuntime
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+from repro.ebpf.verifier import Verifier, VerifierConfig
+
+R0, R1, R2, R3, R6, R7 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R6, Reg.R7
+
+HEAP_BITS = 16
+HEAP = 1 << HEAP_BITS
+
+
+def classify(build):
+    """Build: f(m) manufactures an offset in R7 (from an untrusted
+    source), which is then added to a trusted heap pointer and
+    dereferenced.  Returns the access category."""
+    m = MacroAsm()
+    m.heap_addr(R6, 0)
+    m.ldx(R7, R6, 0, 8)  # untrusted scalar source (elided access)
+    build(m)
+    m.add(R6, R7)
+    m.ldx(R0, R6, 0, 8)  # the access under test
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    an = Verifier(prog, VerifierConfig()).verify()
+    # The final load is the last recorded access.
+    target = max(an.accesses)
+    return an.accesses[target].category
+
+
+def test_and_mask_within_heap_elides():
+    # tnum: offset <= 0xFFF < heap size
+    assert classify(lambda m: m.and_(R7, 0xFFF)) == "elided"
+
+
+def test_and_mask_beyond_heap_guards():
+    # tnum bound (2^20-1) exceeds the 64 KB heap + 32 KB slack
+    assert classify(lambda m: m.and_(R7, (1 << 20) - 1)) != "elided"
+
+
+def test_mask_just_within_guard_slack_elides():
+    # heap (2^16) + guard slack (2^15): offsets < 2^16 always safe;
+    # offsets < 2^16 + 2^15 land at worst in the guard page (cancel-safe)
+    def build(m):
+        m.and_(R7, (1 << 16) - 1)
+
+    assert classify(build) == "elided"
+
+
+def test_rsh_bounds_elide():
+    # value >> 52 <= 4095
+    assert classify(lambda m: m.rsh(R7, 52)) == "elided"
+
+
+def test_mod_by_constant_elides():
+    assert classify(lambda m: m.mod(R7, 4096)) == "elided"
+
+
+def test_div_shrinks_but_not_enough_guards():
+    # x / 2 can still be huge
+    assert classify(lambda m: m.div(R7, 2)) != "elided"
+
+
+def test_mul_after_mask_tracks_scaling():
+    # (x & 0xFF) * 8 <= 2040: elided
+    def build(m):
+        m.and_(R7, 0xFF)
+        m.lsh(R7, 3)
+
+    assert classify(build) == "elided"
+
+
+def test_mul_overflow_guards():
+    def build(m):
+        m.and_(R7, 0xFFFF)
+        m.mul(R7, 1 << 10)  # up to 2^26 > heap
+
+    assert classify(build) != "elided"
+
+
+def test_branch_refinement_upper_bound_elides():
+    def build(m):
+        done = m.fresh_label("small")
+        m.jcc("<", R7, 1024, done)
+        m.mov(R7, 0)
+        m.label(done)
+
+    assert classify(build) == "elided"
+
+
+def test_branch_refinement_wrong_direction_guards():
+    def build(m):
+        done = m.fresh_label("big")
+        m.jcc(">", R7, 1024, done)  # refines the *taken* arm upward
+        m.mov(R7, 0)
+        m.label(done)
+
+    # On the taken arm R7 > 1024 but unbounded above.
+    assert classify(build) != "elided"
+
+
+def test_chained_additions_accumulate():
+    def build(m):
+        m.and_(R7, 0x7FF)
+        m.add(R7, 0x7FF)  # still < 4096
+
+    assert classify(build) == "elided"
+
+
+def test_sub_unknown_guards():
+    def build(m):
+        m.mov(R2, R7)
+        m.sub(R7, R2)  # would be 0, but the analysis has no relations
+
+    # Relational reasoning is out of scope (as in the kernel): x - x is
+    # unknown, hence guarded.
+    assert classify(build) != "elided"
+
+
+def test_xor_unknown_guards():
+    assert classify(lambda m: m.xor(R7, 1)) != "elided"
+
+
+def test_constant_offset_in_bounds_elides():
+    assert classify(lambda m: m.mov(R7, 128)) == "elided"
+
+
+def test_constant_offset_out_of_bounds_guards():
+    assert classify(lambda m: m.ld_imm64(R7, HEAP + (1 << 15) + 8)) != "elided"
+
+
+def test_negative_offset_within_guard_elides():
+    # -8 lands in the leading guard page: memory-safe (faults, cancels).
+    assert classify(lambda m: m.mov(R7, -8)) == "elided"
+
+
+def test_negative_offset_beyond_guard_guards():
+    assert classify(lambda m: m.mov(R7, -(1 << 15) - 8)) != "elided"
+
+
+# -- malloc object-size reasoning -----------------------------------------------
+
+
+def _malloc_case(size_imm, access_off, access_size=8):
+    from repro.ebpf.helpers import KFLEX_MALLOC
+
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, size_imm)
+    with m.if_("!=", R0, 0):
+        m.ldx(R1, R0, access_off, access_size)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    an = Verifier(prog, VerifierConfig()).verify()
+    return list(an.accesses.values())[0].category
+
+
+def test_malloc_access_within_object_elides():
+    assert _malloc_case(64, 56) == "elided"
+
+
+def test_malloc_access_within_object_plus_guard_elides():
+    # Object-relative offsets within size+guard are memory-safe.
+    assert _malloc_case(64, 1 << 12) == "elided"
+
+
+def test_instruction_offsets_can_never_escape_guard():
+    """The reason guard pages are 2**15 (§4.1): a signed 16-bit
+    instruction offset from an in-bounds pointer is always memory-safe,
+    so *every* fixed-offset field access elides."""
+    assert _malloc_case(64, (1 << 15) - 4, 8) == "elided"
+
+
+def test_malloc_pointer_arithmetic_beyond_guard_guards():
+    """Escaping the object+guard window requires pointer arithmetic,
+    and a large enough bound re-introduces the guard."""
+    from repro.ebpf.helpers import KFLEX_MALLOC
+
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, 64)
+    with m.if_("!=", R0, 0):
+        m.heap_addr(R2, 0)
+        m.ldx(R3, R2, 0, 8)
+        m.and_(R3, 0xFFFF)  # bounded, but 65535 > 64 + 32768
+        m.add(R0, R3)
+        m.ldx(R1, R0, 0, 8)
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    an = Verifier(prog, VerifierConfig()).verify()
+    cats = [a.category for a in an.accesses.values()]
+    assert "manipulation" in cats
+
+
+# -- verification effort statistics ------------------------------------------------
+
+
+def test_insns_processed_reported():
+    m = MacroAsm()
+    m.mov(R0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    an = Verifier(prog, VerifierConfig()).verify()
+    assert an.insns_processed == 2
+
+
+def test_path_sensitive_exploration_counts_both_arms():
+    m = MacroAsm()
+    m.ldx(R1, R1, 0, 8)
+    with m.if_else("==", R1, 0) as orelse:
+        m.mov(R0, 1)
+        orelse()
+        m.mov(R0, 2)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=HEAP)
+    an = Verifier(prog, VerifierConfig()).verify()
+    assert an.insns_processed > len(prog.insns)  # both arms walked

@@ -1,0 +1,182 @@
+"""Unit tests for the verifier's state machinery: stack slots,
+subsumption with id canonicalisation, widening, reference signatures."""
+
+from repro.ebpf.verifier.state import Ref, Slot, VerifierState
+from repro.ebpf.verifier.tnum import Tnum
+from repro.ebpf.verifier.value import RegState, RType
+
+
+def scalar(lo, hi):
+    return RegState.scalar_range(lo, hi)
+
+
+def sock(ref_id, rid):
+    return RegState(RType.PTR_TO_SOCK, Tnum.const(0), 0, 0, 0, 0,
+                    ref_id=ref_id, id=rid)
+
+
+ALL_LIVE = (1 << 11) - 1
+
+
+# -- stack model ----------------------------------------------------------------
+
+
+def test_aligned_spill_preserves_regstate():
+    st = VerifierState()
+    st.stack_write(-8, 8, scalar(3, 9))
+    val, err = st.stack_read(-8, 8)
+    assert err is None
+    assert (val.umin, val.umax) == (3, 9)
+
+
+def test_partial_write_demotes_to_misc():
+    st = VerifierState()
+    st.stack_write(-8, 8, sock(1, 1))
+    st.stack_write(-5, 1, RegState.const(0))
+    val, err = st.stack_read(-8, 8)
+    assert err is None
+    assert val.type == RType.SCALAR  # pointer identity destroyed
+
+
+def test_read_partially_initialised_fails():
+    st = VerifierState()
+    st.stack_write(-6, 2, RegState.const(1))
+    _, err = st.stack_read(-8, 8)
+    assert err is not None
+
+
+def test_byte_initialisation_tracking():
+    st = VerifierState()
+    for off in range(-8, -4):
+        st.stack_write(off, 1, RegState.const(0))
+    assert st.stack_initialised(-8, 4)
+    assert not st.stack_initialised(-8, 5)
+
+
+def test_unaligned_read_of_initialised_misc_ok():
+    st = VerifierState()
+    st.stack_write(-16, 8, RegState.const(5))
+    st.stack_write(-8, 8, RegState.const(6))
+    val, err = st.stack_read(-12, 8)  # spans both slots
+    assert err is None and val.type == RType.SCALAR
+
+
+def test_out_of_frame_rejected():
+    st = VerifierState()
+    assert st.stack_write(-520, 8, RegState.const(0))
+    assert st.stack_write(0, 8, RegState.const(0))
+    _, err = st.stack_read(-516, 8)
+    assert err
+
+
+# -- subsumption -------------------------------------------------------------------
+
+
+def test_wider_scalar_subsumes_narrower():
+    a = VerifierState()
+    b = VerifierState()
+    a.regs[1] = scalar(0, 100)
+    b.regs[1] = scalar(10, 20)
+    assert b.subsumed_by(a, ALL_LIVE)
+    assert not a.subsumed_by(b, ALL_LIVE)
+
+
+def test_dead_registers_ignored():
+    a = VerifierState()
+    b = VerifierState()
+    a.regs[5] = scalar(0, 0)
+    b.regs[5] = scalar(99, 99)
+    live_without_r5 = ALL_LIVE & ~(1 << 5)
+    assert b.subsumed_by(a, live_without_r5)
+    assert not b.subsumed_by(a, ALL_LIVE)
+
+
+def test_pointer_ids_canonicalised_bijectively():
+    a = VerifierState()
+    b = VerifierState()
+    a.regs[1] = sock(0, rid=7)
+    a.regs[2] = sock(0, rid=7)
+    b.regs[1] = sock(0, rid=3)
+    b.regs[2] = sock(0, rid=3)
+    assert b.subsumed_by(a, ALL_LIVE)  # 7<->3 consistently
+    b2 = VerifierState()
+    b2.regs[1] = sock(0, rid=3)
+    b2.regs[2] = sock(0, rid=4)  # aliasing pattern differs
+    assert not b2.subsumed_by(a, ALL_LIVE)
+
+
+def test_missing_stack_slot_blocks_subsumption():
+    a = VerifierState()
+    b = VerifierState()
+    a.stack[-8] = Slot("spill", scalar(0, 10))
+    # b lacks the slot the cached state relied on.
+    assert not b.subsumed_by(a, ALL_LIVE)
+
+
+def test_refs_signature_mismatch_blocks_subsumption():
+    a = VerifierState()
+    b = VerifierState()
+    a.add_ref(Ref(1, "sock", 86, site=5))
+    assert not b.subsumed_by(a, ALL_LIVE)
+    b.add_ref(Ref(9, "sock", 86, site=5))  # same kind+site, other id
+    assert b.subsumed_by(a, ALL_LIVE)
+
+
+# -- widening --------------------------------------------------------------------
+
+
+def test_widening_reaches_fixpoint():
+    cached = VerifierState()
+    cur = VerifierState()
+    cached.regs[1] = scalar(0, 0)
+    cur.regs[1] = scalar(1, 1)
+    w = cur.widen_against(cached, ALL_LIVE)
+    assert w.regs[1].umax == (1 << 64) - 1  # jumped to top
+    # A further iteration is subsumed: termination.
+    nxt = VerifierState()
+    nxt.regs[1] = scalar(2, 2)
+    assert nxt.subsumed_by(w, ALL_LIVE)
+
+
+def test_widening_keeps_covered_values():
+    cached = VerifierState()
+    cur = VerifierState()
+    cached.regs[2] = scalar(0, 100)
+    cur.regs[2] = scalar(5, 7)
+    w = cur.widen_against(cached, ALL_LIVE)
+    assert (w.regs[2].umin, w.regs[2].umax) == (0, 100)  # cached covers
+
+
+def test_widening_drops_new_stack_slots():
+    cached = VerifierState()
+    cur = VerifierState()
+    cur.stack[-8] = Slot("spill", scalar(1, 1))  # appeared inside the loop
+    w = cur.widen_against(cached, ALL_LIVE)
+    assert -8 not in w.stack
+
+
+# -- refs ------------------------------------------------------------------------
+
+
+def test_ref_lifecycle():
+    st = VerifierState()
+    st.add_ref(Ref(1, "lock", 203, site=3, val_id=9))
+    st.add_ref(Ref(2, "sock", 86, site=7))
+    assert st.refs_signature() == (("lock", 3), ("sock", 7))
+    assert st.release_ref(1).kind == "lock"
+    assert st.release_ref(1) is None
+    assert st.refs_signature() == (("sock", 7),)
+
+
+def test_clone_is_independent():
+    st = VerifierState()
+    st.regs[1] = scalar(1, 2)
+    st.stack[-8] = Slot("spill", scalar(0, 0))
+    st.add_ref(Ref(1, "sock", 86, site=0))
+    c = st.clone()
+    c.regs[1] = scalar(9, 9)
+    c.stack.pop(-8)
+    c.release_ref(1)
+    assert st.regs[1].umin == 1
+    assert -8 in st.stack
+    assert st.refs
