@@ -1,0 +1,22 @@
+# Developer entry points.  PYTHONPATH is set so no install is needed.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test bench bench-quick bench-baseline
+
+# Tier-1: the fast correctness suite (every test under tests/).
+test:
+	$(PY) -m pytest -x -q
+
+# Regenerate every paper figure/table.
+bench:
+	$(PY) -m pytest benchmarks/ -q
+
+# Perf gate: engine micro-benchmark vs the committed baseline;
+# fails on a >20% speedup regression.
+bench-quick:
+	sh scripts/bench_quick.sh
+
+# Re-record the engine baseline (run on a quiet machine).
+bench-baseline:
+	$(PY) benchmarks/bench_engine_speed.py --update

@@ -9,7 +9,33 @@ every figure's rows.
 
 import pathlib
 
+from repro.ebpf.engine import ENGINES, set_default_engine
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        action="store",
+        default=None,
+        choices=sorted(ENGINES),
+        help="execution engine for all benchmarks (default: threaded, "
+        "or the REPRO_ENGINE env var)",
+    )
+
+
+def pytest_configure(config):
+    engine = config.getoption("--engine", default=None)
+    if engine:
+        set_default_engine(engine)
+
+
+def pytest_collection_modifyitems(items):
+    import pytest
+
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 _EMITTED: list = []
 

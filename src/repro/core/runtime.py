@@ -10,6 +10,7 @@ executes on the simulated machine with full cancellation support.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from repro.errors import LoadError, KernelPanic
@@ -25,7 +26,8 @@ from repro.ebpf.helpers import (
     KFLEX_SPIN_UNLOCK,
     BPF_SK_RELEASE,
 )
-from repro.ebpf.interpreter import ExecEnv, Interpreter
+from repro.ebpf.engine import default_engine, make_engine
+from repro.ebpf.interpreter import ExecEnv
 from repro.ebpf.program import Program, HOOKS
 from repro.ebpf.verifier import Verifier, VerifierConfig
 from repro.core import kie
@@ -38,6 +40,9 @@ from repro.kernel.machine import Kernel
 #: Per-CPU hook context area (xdp_md / sk_skb / bench context).
 CTX_REGION_BASE = 0xFFFF_88A0_0000_0000
 CTX_SLOT_SIZE = 256
+
+#: Cached little-endian u64 packers for make_ctx, by field count.
+_CTX_PACKERS: dict[int, struct.Struct] = {}
 
 
 @dataclass
@@ -69,6 +74,7 @@ class LoadedExtension:
         quantum_units: int | None,
         unload_on_fault: bool = False,
         cancel_scope: str = "global",
+        engine: str | None = None,
     ):
         self.runtime = runtime
         self.kernel = runtime.kernel
@@ -98,6 +104,14 @@ class LoadedExtension:
             allowed.append(f"heap:{heap.name}")
         self._allowed_prefixes = tuple(allowed)
         self._envs: dict[int, ExecEnv] = {}
+        #: Execution engine name ("interp" | "threaded"); resolved at
+        #: load time so a later default change doesn't flip a loaded
+        #: extension mid-flight.
+        self.engine = engine or runtime.engine
+        #: Per-CPU pooled engines — translated once, reused across
+        #: invocations (the ISSUE's "program execution cache").
+        self._engines: dict[int, object] = {}
+        self._wd_callback = None
 
     # -- plumbing ---------------------------------------------------------
 
@@ -136,6 +150,26 @@ class LoadedExtension:
             self._envs[cpu] = env
         return env
 
+    def _engine(self, cpu: int):
+        """Pooled per-CPU engine: translate once, reuse per invocation."""
+        eng = self._engines.get(cpu)
+        if eng is None or eng.insns is not self.jprog.insns:
+            # First use, or the program was re-instrumented/lowered
+            # since translation (jprog swapped out underneath us).
+            eng = make_engine(
+                self.engine,
+                self.jprog.insns,
+                self._env(cpu),
+                costs=self.jprog.costs,
+                helper_costs=self.jprog.helper_costs,
+            )
+            self._engines[cpu] = eng
+        return eng
+
+    def invalidate_engines(self) -> None:
+        """Drop pooled engines (call after re-instrumentation)."""
+        self._engines.clear()
+
     # -- execution ----------------------------------------------------------
 
     def invoke(self, ctx_addr: int = 0, cpu: int = 0) -> int:
@@ -146,15 +180,16 @@ class LoadedExtension:
         if self.heap is not None and self.quantum_units is not None:
             wd = self.kernel.watchdog
             wd.quantum_units = self.quantum_units
-            env.watchdog = wd.make_callback(self.heap, self.kernel.aspace)
+            if self._wd_callback is None:
+                # The callback reads quantum/armed state at fire time,
+                # so one closure serves every invocation.
+                self._wd_callback = wd.make_callback(self.heap, self.kernel.aspace)
+            env.watchdog = self._wd_callback
         aspace = self.kernel.aspace
         if self.heap is not None and self.heap.pkey is not None:
             # Striped heap (§6): load this extension's protection key.
             aspace.active_pkeys = {self.heap.pkey}
-        interp = Interpreter(
-            self.jprog.insns, env, costs=self.jprog.costs
-        )
-        result = interp.run(ctx_addr)
+        result = self._engine(cpu).run(ctx_addr)
         aspace.active_pkeys = None
         cost = result.cost + self.jprog.prologue_cost
         self.stats.invocations += 1
@@ -249,12 +284,16 @@ def _copy_from_user(kernel, heap, dst: int, size: int, user_src: int) -> int:
 class KFlexRuntime:
     """One runtime per kernel; owns heaps and the load pipeline."""
 
-    def __init__(self, kernel: Kernel | None = None):
+    def __init__(self, kernel: Kernel | None = None, *, engine: str | None = None):
         self.kernel = kernel or Kernel()
+        #: Default execution engine for extensions loaded by this
+        #: runtime; individual loads may override.  See repro.ebpf.engine.
+        self.engine = engine or default_engine()
         self.heaps: dict[int, ExtensionHeap] = {}  # fd -> heap
         self.allocators: dict[int, KflexAllocator] = {}
         self.lock_managers: dict[int, LockManager] = {}
-        self._ctx_slots: dict[int, int] = {}
+        #: cpu -> (ctx base addr, ctx backing bytearray)
+        self._ctx_slots: dict[int, tuple[int, bytearray]] = {}
         self.extensions: list[LoadedExtension] = []
 
     # -- heaps ---------------------------------------------------------------
@@ -298,6 +337,7 @@ class KFlexRuntime:
         cgroup: str | None = None,
         elision: bool = True,
         cancel_scope: str = "global",
+        engine: str | None = None,
     ) -> LoadedExtension:
         """Verify, instrument, lower and (optionally) attach a program."""
         if program.heap_size is not None and heap is None:
@@ -362,6 +402,7 @@ class KFlexRuntime:
             helpers,
             quantum_units=quantum_units,
             cancel_scope=cancel_scope,
+            engine=engine,
         )
         self.extensions.append(ext)
         if attach:
@@ -374,6 +415,7 @@ class KFlexRuntime:
         *,
         heap: ExtensionHeap | None = None,
         attach: bool = False,
+        engine: str | None = None,
     ) -> LoadedExtension:
         """Load the same bytecode as an *unsafe kernel module* (§5.2's
         KMod baseline): no verification, no instrumentation, no
@@ -416,7 +458,7 @@ class KFlexRuntime:
         )
         ext = LoadedExtension(
             self, program, iprog, jprog, heap, allocator, locks, helpers,
-            quantum_units=None,
+            quantum_units=None, engine=engine,
         )
         # Unsafe module: no SFI containment check either.
         ext._allowed_prefixes = None
@@ -429,11 +471,25 @@ class KFlexRuntime:
 
     def make_ctx(self, cpu: int, fields: list[int]) -> int:
         """Write a flat 8-byte-per-field context into the CPU's ctx slot."""
-        base = self._ctx_slots.get(cpu)
-        if base is None:
+        slot = self._ctx_slots.get(cpu)
+        if slot is None:
             base = CTX_REGION_BASE + cpu * CTX_SLOT_SIZE
-            self.kernel.aspace.map_region(base, CTX_SLOT_SIZE, f"kernel:ctx{cpu}")
-            self._ctx_slots[cpu] = base
-        for i, value in enumerate(fields):
-            self.kernel.aspace.write_int(base + 8 * i, value, 8)
+            region = self.kernel.aspace.map_region(
+                base, CTX_SLOT_SIZE, f"kernel:ctx{cpu}"
+            )
+            # The slot is kernel-staged (fully populated, trusted
+            # writer): cache the backing and skip the paged path on the
+            # per-invocation hot path.
+            slot = (base, region.backing.data)
+            self._ctx_slots[cpu] = slot
+        base, data = slot
+        packer = _CTX_PACKERS.get(len(fields))
+        if packer is None:
+            packer = _CTX_PACKERS[len(fields)] = struct.Struct(f"<{len(fields)}Q")
+        try:
+            blob = packer.pack(*fields)
+        except struct.error:  # out-of-range value: mask like write_int did
+            mask = (1 << 64) - 1
+            blob = packer.pack(*((v & mask) for v in fields))
+        data[0 : len(blob)] = blob
         return base

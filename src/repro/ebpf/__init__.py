@@ -10,5 +10,23 @@ standing in for the x86-64 JIT.
 from repro.ebpf.isa import Insn, Reg, disasm
 from repro.ebpf.asm import Assembler
 from repro.ebpf.program import Program
+from repro.ebpf.engine import (
+    ENGINES,
+    default_engine,
+    engine_scope,
+    make_engine,
+    set_default_engine,
+)
 
-__all__ = ["Insn", "Reg", "disasm", "Assembler", "Program"]
+__all__ = [
+    "Insn",
+    "Reg",
+    "disasm",
+    "Assembler",
+    "Program",
+    "ENGINES",
+    "default_engine",
+    "engine_scope",
+    "make_engine",
+    "set_default_engine",
+]

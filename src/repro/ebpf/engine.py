@@ -1,0 +1,1006 @@
+"""Threaded-code execution engine: decode once, execute many.
+
+The reference interpreter (:mod:`repro.ebpf.interpreter`) re-decodes
+every instruction on every step: an ``if/elif`` chain over the opcode,
+attribute reads on the ``Insn``, dict lookups to resolve jump slots,
+and a ``bisect`` region walk for every memory access.  That decode work
+dwarfs the actual semantics — the same interpreter-vs-JIT gap the real
+eBPF runtime closes with its JIT.
+
+This module closes most of that gap while staying in pure Python, with
+a one-time **translation pass**: each instruction of a verified,
+instrumented, JIT-lowered program is compiled into one specialised
+closure with everything burned in at translation time —
+
+* opcode dispatch (the closure *is* the operation; no opcode test at
+  run time),
+* operand extraction, sign extension and width masks,
+* jump targets pre-resolved from slot offsets to instruction indices,
+* GUARD / TRANSLATE / CANCELPT constants (heap base, mask, terminate
+  cell) resolved to integers,
+* helper declarations, argument counts and costs for CALL.
+
+Execution is then a tight ``pc = handlers[pc](regs)`` loop.
+
+Layered on top is a **memory fast path**: the engine keeps a small
+cache of region handles ``(base, end, backing bytes, populated pages)``
+and loads/stores hit the backing ``bytearray`` directly via
+``int.from_bytes``/slice assignment when the access is in a cached
+region with its pages populated.  Everything else — unmapped addresses,
+unpopulated pages, SMAP traps, store-policy violations, protection-key
+faults — falls back to the paged :class:`~repro.kernel.addrspace.
+AddressSpace` path, so fault semantics are bit-identical to the
+interpreter.  Cache safety: entries are (re)validated against the
+address space's ``generation`` counter, the active protection-key set
+and the store policy at every ``run()``; population sets are shared
+live objects, so demand paging is visible without invalidation.
+
+Cycle accounting is unchanged: per-instruction costs are the same
+JIT-lowered array the interpreter charges (cost is per-insn *data*,
+independent of host dispatch speed), so every figure's numbers are
+identical under either engine — only wall-clock changes.
+
+The interpreter remains the reference semantics and the ``"interp"``
+escape hatch; ``tests/test_engine_equivalence.py`` asserts
+``ExecResult`` parity (ret, cost, steps, fault kind/index, registers)
+between the two over randomized programs and every fault path.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.errors import (
+    ExtensionFault,
+    HelperFault,
+    KernelPanic,
+    LoadError,
+    LockStall,
+    PageFault,
+    SleepStall,
+    StackFault,
+)
+from repro.ebpf import isa
+from repro.ebpf.isa import U32, U64, sign_extend
+from repro.ebpf.interpreter import (
+    ALU_BINOPS,
+    JMP_TESTS,
+    ExecResult,
+    Fault,
+    Interpreter,
+    STACK_SIZE,
+    exec_atomic,
+)
+
+#: Canonical user/kernel split (see Interpreter.USER_SPACE_TOP).
+USER_SPACE_TOP = 1 << 47
+
+_S63 = 1 << 63
+_S64 = 1 << 64
+
+#: Cap on cached region handles per engine; beyond this the slow path
+#: simply stops promoting regions (correctness is unaffected).
+MAX_CACHED_REGIONS = 8
+
+_ZERO_REGS = [0] * 11
+
+
+class _ExitSignal(Exception):
+    """Control-flow signal raised by the EXIT handler."""
+
+
+_EXIT = _ExitSignal()
+
+
+class ThreadedEngine:
+    """Executes one translated program.  Drop-in for ``Interpreter``:
+    same constructor signature, same ``run()`` contract, same
+    ``ExecResult``.  Unlike the interpreter it is built once per loaded
+    program and reused across invocations — translation state, the
+    region-handle cache and the register file are all pooled.
+    """
+
+    def __init__(
+        self,
+        insns,
+        env,
+        *,
+        costs: list[int] | None = None,
+        helper_costs: dict[int, int] | None = None,
+    ):
+        self.insns = insns
+        self.env = env
+        self.costs = costs if costs is not None else [1] * len(insns)
+        self.helper_costs = helper_costs or {}
+        slot_of = isa.slot_offsets(insns)
+        self._slot_of = slot_of
+        self._slot_to_idx = {s: i for i, s in enumerate(slot_of)}
+
+        # Mutable run state shared with handlers.  The cache lists are
+        # closed over by memory handlers, so they are mutated in place
+        # (never rebound) on refresh.
+        self._xcost = [0]  # helper cost accumulated this run
+        self._ld_cache: list[tuple] = []  # (base, end, data, pages|None)
+        self._st_cache: list[tuple] = []
+        self._cached_bases: set[int] = set()
+        self._cache_key = None
+        self._regs = [0] * 11
+        self._running = False
+
+        self._smap = bool(env.smap)
+        self.handlers = self._translate()
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self, ctx_addr: int = 0, max_steps: int | None = None) -> ExecResult:
+        env = self.env
+        if bool(env.smap) != self._smap:
+            # The SMAP policy is burned into load handlers; re-translate
+            # if a test flipped it on a cached engine.
+            self._smap = bool(env.smap)
+            self.handlers = self._translate()
+        stack = env.stack_base or env.ensure_stack()
+        self._refresh_caches()
+
+        if self._running:
+            # Re-entrant invocation: do not clobber the pooled file.
+            regs = [0] * 11
+        else:
+            regs = self._regs
+            regs[:] = _ZERO_REGS
+        regs[isa.FP] = stack + STACK_SIZE
+        regs[1] = ctx_addr & U64
+
+        xc = self._xcost
+        xc[0] = 0
+        pc = 0
+        steps = 0
+        cost = 0
+        limit = max_steps if max_steps is not None else env.max_steps
+        handlers = self.handlers
+        costs = self.costs
+        n = len(handlers)
+        watchdog = env.watchdog
+        wd_period = env.watchdog_period
+        # Single fused check per iteration: the next step count at which
+        # either the stall limit or the watchdog needs servicing.
+        next_wd = wd_period if watchdog is not None else limit + 1
+        checkpoint = next_wd if next_wd < limit else limit
+
+        self._running = True
+        try:
+            while True:
+                if pc >= n:
+                    raise KernelPanic(f"pc {pc} fell off program end")
+                if steps >= checkpoint:
+                    # Order matters for parity: stall limit first, then
+                    # the watchdog — same as the interpreter's loop.
+                    if steps >= limit:
+                        return self._fault(
+                            regs, pc, cost + xc[0], steps, stack, "stall",
+                            message="hard step limit (hardlockup)",
+                        )
+                    watchdog(cost + xc[0])
+                    next_wd = steps + wd_period
+                    checkpoint = next_wd if next_wd < limit else limit
+                steps += 1
+                cost += costs[pc]
+                pc = handlers[pc](regs)
+        except _ExitSignal:
+            return ExecResult(
+                regs[0], cost + xc[0], steps, regs=list(regs), stack_base=stack
+            )
+        except PageFault as pf:
+            return self._fault(regs, pc, cost + xc[0], steps, stack, "page",
+                               pf.addr, str(pf))
+        except LockStall as ls:
+            return self._fault(regs, pc, cost + xc[0], steps, stack,
+                               "lock_stall", message=str(ls))
+        except SleepStall as ss:
+            return self._fault(regs, pc, cost + xc[0], steps, stack,
+                               "sleep_stall", message=str(ss))
+        except HelperFault as hf:
+            return self._fault(regs, pc, cost + xc[0], steps, stack,
+                               "helper", message=str(hf))
+        except StackFault as sf:
+            return self._fault(regs, pc, cost + xc[0], steps, stack,
+                               "page", message=str(sf))
+        finally:
+            self._running = False
+
+    def _fault(self, regs, pc, cost, steps, stack, kind, addr=0, message=""):
+        insns = self.insns
+        insn = insns[pc] if pc < len(insns) else None
+        orig = insn.orig_idx if insn is not None else None
+        if orig is None and insn is not None:
+            orig = pc
+        return ExecResult(
+            0, cost, steps, Fault(kind, pc, orig, addr, message),
+            regs=list(regs), stack_base=stack,
+        )
+
+    # -- memory fast path ------------------------------------------------
+
+    def _refresh_caches(self) -> None:
+        """Revalidate the region-handle cache against mapping state.
+
+        The cache key covers everything an entry's eligibility was
+        decided on: the address space's map/unmap generation, the
+        active protection-key set, and the store policy.  Anything else
+        that changes mid-run (page population, backing contents) is
+        shared by reference and needs no invalidation.
+        """
+        asp = self.env.aspace
+        pkeys = asp.active_pkeys
+        key = (
+            asp.generation,
+            None if pkeys is None else frozenset(pkeys),
+            self.env.allowed_store_regions,
+        )
+        if key == self._cache_key:
+            return
+        self._cache_key = key
+        self._ld_cache.clear()
+        self._st_cache.clear()
+        self._cached_bases.clear()
+        heap = self.env.heap
+        if heap is not None and not heap.closed:
+            self._admit(heap.region)
+        if self.env.stack_base:
+            region = asp.find_region(self.env.stack_base)
+            if region is not None:
+                self._admit(region)
+
+    def _admit(self, region) -> None:
+        """Add a region's handle to the fast-path caches if eligible."""
+        if region.base in self._cached_bases:
+            return
+        if len(self._cached_bases) >= MAX_CACHED_REGIONS:
+            return
+        asp = self.env.aspace
+        if (
+            region.pkey is not None
+            and asp.active_pkeys is not None
+            and region.pkey not in asp.active_pkeys
+        ):
+            return  # slow path raises the protection-key fault
+        backing = region.backing
+        pages = None if backing.all_populated else backing.populated
+        entry = (region.base, region.base + region.size, backing.data, pages)
+        self._cached_bases.add(region.base)
+        self._ld_cache.append(entry)
+        allowed = self.env.allowed_store_regions
+        if region.writable and (
+            allowed is None or region.name.startswith(allowed)
+        ):
+            self._st_cache.append(entry)
+
+    def _slow_load(self, addr: int, size: int) -> int:
+        value = self.env.aspace.read_int(addr, size)
+        self._promote(addr)
+        return value
+
+    def _slow_store(self, addr: int, value: int, size: int) -> None:
+        self._check_store(addr)
+        self.env.aspace.write_int(addr, value, size)
+        self._promote(addr)
+
+    def _promote(self, addr: int) -> None:
+        """After a successful slow access, cache the region for next time."""
+        if len(self._cached_bases) >= MAX_CACHED_REGIONS:
+            return
+        region = self.env.aspace.find_region(addr)
+        if region is not None:
+            self._admit(region)
+
+    def _check_store(self, addr: int) -> None:
+        # Mirrors Interpreter._check_store exactly.
+        allowed = self.env.allowed_store_regions
+        if allowed is None:
+            return
+        region = self.env.aspace.find_region(addr)
+        if region is not None and not region.name.startswith(allowed):
+            raise KernelPanic(
+                f"extension store to kernel-owned region {region.name!r} "
+                f"at {addr:#x} — memory corruption"
+            )
+
+    # -- translation -----------------------------------------------------
+
+    def _translate(self) -> list:
+        return [self._compile(i, insn) for i, insn in enumerate(self.insns)]
+
+    def _raiser(self, exc_cls, message: str):
+        def h(regs, exc_cls=exc_cls, message=message):
+            raise exc_cls(message)
+
+        return h
+
+    def _compile(self, i: int, insn):
+        op = insn.opcode
+        cls = op & isa.CLASS_MASK
+        npc = i + 1
+        if cls == isa.BPF_ALU64 or cls == isa.BPF_ALU:
+            return self._compile_alu(insn, cls == isa.BPF_ALU64, npc)
+        if cls == isa.BPF_LDX:
+            return self._compile_ldx(insn, npc)
+        if cls == isa.BPF_LD:
+            if insn.is_ld_imm64:
+                value = (insn.imm64 or 0) & U64
+                d = insn.dst
+
+                def h(regs, d=d, value=value, npc=npc):
+                    regs[d] = value
+                    return npc
+
+                return h
+            return self._raiser(ExtensionFault, f"unsupported LD mode {op:#x}")
+        if cls == isa.BPF_ST:
+            return self._compile_st(insn, npc)
+        if cls == isa.BPF_STX:
+            if insn.is_atomic:
+                return self._compile_atomic(insn, npc)
+            return self._compile_stx(insn, npc)
+        if cls == isa.BPF_JMP or cls == isa.BPF_JMP32:
+            return self._compile_jmp(i, insn, cls == isa.BPF_JMP32, npc)
+        return self._raiser(ExtensionFault, f"unknown opcode {op:#x}")
+
+    # -- ALU -------------------------------------------------------------
+
+    def _compile_alu(self, insn, is64: bool, npc: int):
+        op = insn.opcode & isa.OP_MASK
+        use_reg = bool(insn.opcode & isa.BPF_X)
+        d = insn.dst
+        s = insn.src
+
+        if op == isa.BPF_END:
+            width = insn.imm
+            if width in (16, 32, 64):
+                mask = (1 << width) - 1
+                nbytes = width // 8
+                if use_reg:  # BPF_X encodes "to_be"
+
+                    def h(regs, d=d, mask=mask, nbytes=nbytes, npc=npc):
+                        regs[d] = int.from_bytes(
+                            (regs[d] & mask).to_bytes(nbytes, "little"), "big"
+                        )
+                        return npc
+
+                else:
+
+                    def h(regs, d=d, mask=mask, npc=npc):
+                        regs[d] = regs[d] & mask
+                        return npc
+
+                return h
+
+            # Odd width: defer to run time so malformed programs fail
+            # at execution exactly like the interpreter.
+            def h(regs, d=d, width=width, use_reg=use_reg, npc=npc):
+                val = regs[d] & ((1 << width) - 1)
+                if use_reg:
+                    val = int.from_bytes(val.to_bytes(width // 8, "little"), "big")
+                regs[d] = val
+                return npc
+
+            return h
+
+        if op == isa.BPF_NEG:
+            if is64:
+
+                def h(regs, d=d, npc=npc):
+                    regs[d] = -regs[d] & U64
+                    return npc
+
+            else:
+
+                def h(regs, d=d, npc=npc):
+                    regs[d] = -regs[d] & U32
+                    return npc
+
+            return h
+
+        fn = ALU_BINOPS.get(op)
+        if fn is None:
+            return self._raiser(ExtensionFault, f"unknown ALU op {op:#x}")
+
+        if is64 and use_reg:
+            if op == isa.BPF_MOV:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = regs[s]
+                    return npc
+
+            elif op == isa.BPF_ADD:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = (regs[d] + regs[s]) & U64
+                    return npc
+
+            elif op == isa.BPF_SUB:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = (regs[d] - regs[s]) & U64
+                    return npc
+
+            elif op == isa.BPF_AND:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = regs[d] & regs[s]
+                    return npc
+
+            elif op == isa.BPF_OR:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = regs[d] | regs[s]
+                    return npc
+
+            elif op == isa.BPF_XOR:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = regs[d] ^ regs[s]
+                    return npc
+
+            elif op == isa.BPF_MUL:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = (regs[d] * regs[s]) & U64
+                    return npc
+
+            elif op == isa.BPF_LSH:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = (regs[d] << (regs[s] & 63)) & U64
+                    return npc
+
+            elif op == isa.BPF_RSH:
+
+                def h(regs, d=d, s=s, npc=npc):
+                    regs[d] = regs[d] >> (regs[s] & 63)
+                    return npc
+
+            else:
+
+                def h(regs, d=d, s=s, fn=fn, npc=npc):
+                    regs[d] = fn(regs[d], regs[s], True) & U64
+                    return npc
+
+            return h
+
+        if is64 and not use_reg:
+            b = sign_extend(insn.imm, 32) & U64
+            if op == isa.BPF_MOV:
+
+                def h(regs, d=d, b=b, npc=npc):
+                    regs[d] = b
+                    return npc
+
+            elif op == isa.BPF_ADD:
+
+                def h(regs, d=d, b=b, npc=npc):
+                    regs[d] = (regs[d] + b) & U64
+                    return npc
+
+            elif op == isa.BPF_SUB:
+
+                def h(regs, d=d, b=b, npc=npc):
+                    regs[d] = (regs[d] - b) & U64
+                    return npc
+
+            elif op == isa.BPF_AND:
+
+                def h(regs, d=d, b=b, npc=npc):
+                    regs[d] = regs[d] & b
+                    return npc
+
+            elif op == isa.BPF_OR:
+
+                def h(regs, d=d, b=b, npc=npc):
+                    regs[d] = regs[d] | b
+                    return npc
+
+            elif op == isa.BPF_XOR:
+
+                def h(regs, d=d, b=b, npc=npc):
+                    regs[d] = regs[d] ^ b
+                    return npc
+
+            elif op == isa.BPF_LSH:
+                sh = insn.imm & 63
+
+                def h(regs, d=d, sh=sh, npc=npc):
+                    regs[d] = (regs[d] << sh) & U64
+                    return npc
+
+            elif op == isa.BPF_RSH:
+                sh = insn.imm & 63
+
+                def h(regs, d=d, sh=sh, npc=npc):
+                    regs[d] = regs[d] >> sh
+                    return npc
+
+            else:
+
+                def h(regs, d=d, b=b, fn=fn, npc=npc):
+                    regs[d] = fn(regs[d], b, True) & U64
+                    return npc
+
+            return h
+
+        # ALU32 — rarer; go through the shared table with burned masks.
+        if use_reg:
+
+            def h(regs, d=d, s=s, fn=fn, npc=npc):
+                regs[d] = fn(regs[d] & U32, regs[s] & U32, False) & U32
+                return npc
+
+        else:
+            b = insn.imm & U32
+
+            def h(regs, d=d, b=b, fn=fn, npc=npc):
+                regs[d] = fn(regs[d] & U32, b, False) & U32
+                return npc
+
+        return h
+
+    # -- memory ----------------------------------------------------------
+
+    def _compile_ldx(self, insn, npc: int):
+        d = insn.dst
+        s = insn.src
+        off = insn.off
+        size = isa.size_bytes(insn.opcode)
+        ld = self._ld_cache
+        slow = self._slow_load
+        if self._smap:
+
+            def h(regs, d=d, s=s, off=off, size=size, npc=npc, ld=ld, slow=slow):
+                addr = (regs[s] + off) & U64
+                if 4096 <= addr < 0x8000_0000_0000:
+                    raise PageFault(
+                        addr, f"SMAP: supervisor access to user address {addr:#x}"
+                    )
+                for base, end, data, pages in ld:
+                    if base <= addr and addr + size <= end:
+                        o = addr - base
+                        if pages is None:
+                            regs[d] = int.from_bytes(data[o : o + size], "little")
+                            return npc
+                        p0 = o >> 12
+                        p1 = (o + size - 1) >> 12
+                        if p0 in pages and (p1 == p0 or p1 in pages):
+                            regs[d] = int.from_bytes(data[o : o + size], "little")
+                            return npc
+                        break
+                regs[d] = slow(addr, size)
+                return npc
+
+        else:
+
+            def h(regs, d=d, s=s, off=off, size=size, npc=npc, ld=ld, slow=slow):
+                addr = (regs[s] + off) & U64
+                for base, end, data, pages in ld:
+                    if base <= addr and addr + size <= end:
+                        o = addr - base
+                        if pages is None:
+                            regs[d] = int.from_bytes(data[o : o + size], "little")
+                            return npc
+                        p0 = o >> 12
+                        p1 = (o + size - 1) >> 12
+                        if p0 in pages and (p1 == p0 or p1 in pages):
+                            regs[d] = int.from_bytes(data[o : o + size], "little")
+                            return npc
+                        break
+                regs[d] = slow(addr, size)
+                return npc
+
+        return h
+
+    def _compile_st(self, insn, npc: int):
+        d = insn.dst
+        off = insn.off
+        size = isa.size_bytes(insn.opcode)
+        value = insn.imm & U64
+        mask = (1 << (size * 8)) - 1
+        blob = (value & mask).to_bytes(size, "little")
+        st = self._st_cache
+        slow = self._slow_store
+
+        def h(regs, d=d, off=off, size=size, blob=blob, value=value, npc=npc,
+              st=st, slow=slow):
+            addr = (regs[d] + off) & U64
+            for base, end, data, pages in st:
+                if base <= addr and addr + size <= end:
+                    o = addr - base
+                    if pages is None:
+                        data[o : o + size] = blob
+                        return npc
+                    p0 = o >> 12
+                    p1 = (o + size - 1) >> 12
+                    if p0 in pages and (p1 == p0 or p1 in pages):
+                        data[o : o + size] = blob
+                        return npc
+                    break
+            slow(addr, value, size)
+            return npc
+
+        return h
+
+    def _compile_stx(self, insn, npc: int):
+        d = insn.dst
+        s = insn.src
+        off = insn.off
+        size = isa.size_bytes(insn.opcode)
+        mask = (1 << (size * 8)) - 1
+        st = self._st_cache
+        slow = self._slow_store
+
+        def h(regs, d=d, s=s, off=off, size=size, mask=mask, npc=npc,
+              st=st, slow=slow):
+            addr = (regs[d] + off) & U64
+            for base, end, data, pages in st:
+                if base <= addr and addr + size <= end:
+                    o = addr - base
+                    if pages is None:
+                        data[o : o + size] = (regs[s] & mask).to_bytes(size, "little")
+                        return npc
+                    p0 = o >> 12
+                    p1 = (o + size - 1) >> 12
+                    if p0 in pages and (p1 == p0 or p1 in pages):
+                        data[o : o + size] = (regs[s] & mask).to_bytes(size, "little")
+                        return npc
+                    break
+            slow(addr, regs[s], size)
+            return npc
+
+        return h
+
+    def _compile_atomic(self, insn, npc: int):
+        d = insn.dst
+        s = insn.src
+        off = insn.off
+        size = isa.size_bytes(insn.opcode)
+        aop = insn.imm
+        check = self._check_store
+        aspace = self.env.aspace
+
+        def h(regs, d=d, s=s, off=off, size=size, aop=aop, npc=npc,
+              check=check, aspace=aspace):
+            addr = (regs[d] + off) & U64
+            check(addr)
+            exec_atomic(aspace, regs, aop, s, addr, size)
+            return npc
+
+        return h
+
+    # -- jumps / calls / pseudo-instructions ------------------------------
+
+    def _compile_jmp(self, i: int, insn, is32: bool, npc: int):
+        op = insn.opcode
+        env = self.env
+
+        if op == isa.KFLEX_GUARD:
+            heap = env.heap
+            if heap is None:
+                return self._raiser(KernelPanic, "GUARD without an extension heap")
+            hb = heap.base
+            hm = heap.mask
+            d = insn.dst
+
+            def h(regs, d=d, hb=hb, hm=hm, npc=npc):
+                regs[d] = (hb + (regs[d] & hm)) & U64
+                return npc
+
+            return h
+
+        if op == isa.KFLEX_TRANSLATE:
+            heap = env.heap
+            if heap is None:
+                return self._raiser(KernelPanic, "TRANSLATE without a shared heap")
+            hm = heap.mask
+            d = insn.dst
+
+            def h(regs, d=d, heap=heap, hm=hm, npc=npc):
+                # user_base is read at run time: map_user() may happen
+                # after load, exactly as the interpreter observes it.
+                ub = heap.user_base
+                if not ub:
+                    raise KernelPanic("TRANSLATE without a shared heap")
+                regs[d] = (ub + (regs[d] & hm)) & U64
+                return npc
+
+            return h
+
+        if op == isa.KFLEX_CANCELPT:
+            heap = env.heap
+            if heap is None:
+                return self._raiser(KernelPanic, "CANCELPT without an extension heap")
+            # The terminate cell lives in the heap's always-populated
+            # header page: read the backing directly.  The dereference
+            # of the loaded pointer succeeds iff it still points at the
+            # terminate target; anything else (0 when armed) takes the
+            # paged path and faults exactly like the interpreter.
+            hdata = heap.region.backing.data
+            toff = heap.terminate_cell - heap.base
+            tt = heap.terminate_target
+            read = env.aspace.read_int
+
+            def h(regs, hdata=hdata, toff=toff, tt=tt, read=read, npc=npc):
+                term = int.from_bytes(hdata[toff : toff + 8], "little")
+                if term != tt:
+                    read(term, 1)
+                return npc
+
+            return h
+
+        if insn.is_call:
+            helpers = env.helpers
+            hid = insn.imm
+            try:
+                decl = helpers.declaration(hid)
+            except HelperFault:
+                # Unknown helper: fault at execution, like the interpreter.
+                def h(regs, helpers=helpers, hid=hid):
+                    helpers.declaration(hid)
+                    raise HelperFault(f"call to unknown helper id {hid}")
+
+                return h
+            n_args = decl.n_args
+            hcost = self.helper_costs.get(hid, decl.cost)
+            invoke = helpers.invoke
+            xc = self._xcost
+            end = 1 + n_args
+
+            def h(regs, invoke=invoke, hid=hid, env=env, end=end, hcost=hcost,
+                  xc=xc, npc=npc):
+                ret = invoke(hid, env, tuple(regs[1:end]))
+                regs[0] = (ret or 0) & U64
+                # R1-R5 are caller-saved: clobber them, as the JIT would.
+                regs[1] = 0
+                regs[2] = 0
+                regs[3] = 0
+                regs[4] = 0
+                regs[5] = 0
+                xc[0] += hcost
+                return npc
+
+            return h
+
+        if insn.is_exit:
+
+            def h(regs):
+                raise _EXIT
+
+            return h
+
+        # Branches: pre-resolve the taken target from slot offsets.
+        op_hi = op & isa.OP_MASK
+        tslot = self._slot_of[i] + insn.slots + insn.off
+        t = self._slot_to_idx.get(tslot)
+        panic_msg = f"jump to mid-instruction slot {tslot}"
+
+        if op_hi == isa.BPF_JA:
+            if t is None:
+                return self._raiser(KernelPanic, panic_msg)
+
+            def h(regs, t=t):
+                return t
+
+            return h
+
+        test = JMP_TESTS.get(op_hi)
+        if test is None:
+            return self._raiser(ExtensionFault, f"unknown jump op {op_hi:#x}")
+
+        use_reg = bool(op & isa.BPF_X)
+        d = insn.dst
+        s = insn.src
+
+        if t is None:
+            # Malformed taken-target: panic only if the branch is taken.
+            cond = self._make_cond(insn, is32, test)
+
+            def h(regs, cond=cond, npc=npc, msg=panic_msg):
+                if cond(regs):
+                    raise KernelPanic(msg)
+                return npc
+
+            return h
+
+        if not is32:
+            if use_reg:
+                if op_hi == isa.BPF_JEQ:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] == regs[s] else npc
+
+                elif op_hi == isa.BPF_JNE:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] != regs[s] else npc
+
+                elif op_hi == isa.BPF_JGT:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] > regs[s] else npc
+
+                elif op_hi == isa.BPF_JGE:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] >= regs[s] else npc
+
+                elif op_hi == isa.BPF_JLT:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] < regs[s] else npc
+
+                elif op_hi == isa.BPF_JLE:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] <= regs[s] else npc
+
+                elif op_hi == isa.BPF_JSET:
+
+                    def h(regs, d=d, s=s, t=t, npc=npc):
+                        return t if regs[d] & regs[s] else npc
+
+                else:  # signed comparisons
+
+                    def h(regs, d=d, s=s, test=test, t=t, npc=npc):
+                        a = regs[d]
+                        b = regs[s]
+                        sa = a - _S64 if a >= _S63 else a
+                        sb = b - _S64 if b >= _S63 else b
+                        return t if test(a, b, sa, sb) else npc
+
+                return h
+            # Immediate: burn the sign-extended constant.
+            b = sign_extend(insn.imm, 32) & U64
+            sb = sign_extend(insn.imm, 32)
+            if op_hi == isa.BPF_JEQ:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] == b else npc
+
+            elif op_hi == isa.BPF_JNE:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] != b else npc
+
+            elif op_hi == isa.BPF_JGT:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] > b else npc
+
+            elif op_hi == isa.BPF_JGE:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] >= b else npc
+
+            elif op_hi == isa.BPF_JLT:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] < b else npc
+
+            elif op_hi == isa.BPF_JLE:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] <= b else npc
+
+            elif op_hi == isa.BPF_JSET:
+
+                def h(regs, d=d, b=b, t=t, npc=npc):
+                    return t if regs[d] & b else npc
+
+            else:
+
+                def h(regs, d=d, b=b, sb=sb, test=test, t=t, npc=npc):
+                    a = regs[d]
+                    sa = a - _S64 if a >= _S63 else a
+                    return t if test(a, b, sa, sb) else npc
+
+            return h
+
+        # JMP32: width-masked comparison via the shared table.
+        cond = self._make_cond(insn, True, test)
+
+        def h(regs, cond=cond, t=t, npc=npc):
+            return t if cond(regs) else npc
+
+        return h
+
+    def _make_cond(self, insn, is32: bool, test):
+        """Generic ``regs -> bool`` closure with Interpreter._branch
+        semantics; used for JMP32 and malformed-target branches."""
+        d = insn.dst
+        s = insn.src
+        use_reg = bool(insn.opcode & isa.BPF_X)
+        if is32:
+            if use_reg:
+
+                def cond(regs, d=d, s=s, test=test):
+                    a = regs[d] & U32
+                    b = regs[s] & U32
+                    return test(a, b, sign_extend(a, 32), sign_extend(b, 32))
+
+            else:
+                b = insn.imm & U32
+                sb = sign_extend(b, 32)
+
+                def cond(regs, d=d, b=b, sb=sb, test=test):
+                    a = regs[d] & U32
+                    return test(a, b, sign_extend(a, 32), sb)
+
+            return cond
+        if use_reg:
+
+            def cond(regs, d=d, s=s, test=test):
+                a = regs[d]
+                b = regs[s]
+                sa = a - _S64 if a >= _S63 else a
+                sb = b - _S64 if b >= _S63 else b
+                return test(a, b, sa, sb)
+
+        else:
+            b = sign_extend(insn.imm, 32) & U64
+            sb = sign_extend(insn.imm, 32)
+
+            def cond(regs, d=d, b=b, sb=sb, test=test):
+                a = regs[d]
+                sa = a - _S64 if a >= _S63 else a
+                return test(a, b, sa, sb)
+
+        return cond
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+#: Available execution engines.  ``"interp"`` is the reference
+#: interpreter (the semantics oracle and escape hatch); ``"threaded"``
+#: is the default fast path.
+ENGINES: dict[str, type] = {
+    "interp": Interpreter,
+    "threaded": ThreadedEngine,
+}
+
+_default_engine = os.environ.get("REPRO_ENGINE", "threaded")
+
+
+def default_engine() -> str:
+    """The engine name new :class:`~repro.core.runtime.KFlexRuntime`
+    instances pick up (``REPRO_ENGINE`` env var, default ``threaded``)."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> None:
+    global _default_engine
+    if name not in ENGINES:
+        raise LoadError(
+            f"unknown execution engine {name!r} (have: {sorted(ENGINES)})"
+        )
+    _default_engine = name
+
+
+@contextmanager
+def engine_scope(name: str):
+    """Temporarily override the default engine (benchmarks, A/B tests)."""
+    global _default_engine
+    prev = _default_engine
+    set_default_engine(name)
+    try:
+        yield
+    finally:
+        _default_engine = prev
+
+
+def make_engine(name: str, insns, env, *, costs=None, helper_costs=None):
+    """Construct the named engine over a lowered instruction list."""
+    cls = ENGINES.get(name)
+    if cls is None:
+        raise LoadError(
+            f"unknown execution engine {name!r} (have: {sorted(ENGINES)})"
+        )
+    return cls(insns, env, costs=costs, helper_costs=helper_costs)

@@ -46,6 +46,94 @@ STACK_SIZE = 512
 DEFAULT_MAX_STEPS = 50_000_000
 
 
+# ---------------------------------------------------------------------------
+# Shared instruction semantics
+#
+# One source of truth for ALU / branch / atomic behaviour, used both by
+# the reference interpreter below and by the threaded-code engine
+# (:mod:`repro.ebpf.engine`).  The differential test harness asserts the
+# two execution paths agree bit-for-bit; sharing the arithmetic keeps
+# that invariant structural rather than coincidental.
+# ---------------------------------------------------------------------------
+
+#: ``op -> fn(a, b, is64)``.  Operands arrive already width-masked
+#: (64-bit values, or low 32 bits for ALU32); the caller masks the
+#: result back to the operation width.
+ALU_BINOPS = {
+    isa.BPF_ADD: lambda a, b, is64: a + b,
+    isa.BPF_SUB: lambda a, b, is64: a - b,
+    isa.BPF_MUL: lambda a, b, is64: a * b,
+    isa.BPF_DIV: lambda a, b, is64: (
+        0 if (b & U64) == 0 else (a & U64) // (b & U64 if is64 else b & U32)
+    ),
+    isa.BPF_MOD: lambda a, b, is64: (
+        a if (b & U64) == 0 else (a & U64) % (b & U64 if is64 else b & U32)
+    ),
+    isa.BPF_OR: lambda a, b, is64: a | b,
+    isa.BPF_AND: lambda a, b, is64: a & b,
+    isa.BPF_XOR: lambda a, b, is64: a ^ b,
+    isa.BPF_LSH: lambda a, b, is64: a << (b & (63 if is64 else 31)),
+    isa.BPF_RSH: lambda a, b, is64: (a & (U64 if is64 else U32))
+    >> (b & (63 if is64 else 31)),
+    isa.BPF_ARSH: lambda a, b, is64: sign_extend(a, 64 if is64 else 32)
+    >> (b & (63 if is64 else 31)),
+    isa.BPF_MOV: lambda a, b, is64: b,
+}
+
+#: ``op -> fn(a, b, sa, sb)`` over width-masked unsigned operands and
+#: their signed reinterpretations.
+JMP_TESTS = {
+    isa.BPF_JEQ: lambda a, b, sa, sb: a == b,
+    isa.BPF_JNE: lambda a, b, sa, sb: a != b,
+    isa.BPF_JGT: lambda a, b, sa, sb: a > b,
+    isa.BPF_JGE: lambda a, b, sa, sb: a >= b,
+    isa.BPF_JLT: lambda a, b, sa, sb: a < b,
+    isa.BPF_JLE: lambda a, b, sa, sb: a <= b,
+    isa.BPF_JSGT: lambda a, b, sa, sb: sa > sb,
+    isa.BPF_JSGE: lambda a, b, sa, sb: sa >= sb,
+    isa.BPF_JSLT: lambda a, b, sa, sb: sa < sb,
+    isa.BPF_JSLE: lambda a, b, sa, sb: sa <= sb,
+    isa.BPF_JSET: lambda a, b, sa, sb: (a & b) != 0,
+}
+
+
+def exec_atomic(aspace, regs: list[int], aop: int, src_reg: int, addr: int,
+                size: int) -> None:
+    """Execute one STX|ATOMIC operation against ``aspace``.
+
+    The address has already passed the store-policy check; reads and
+    writes go through the paged address space so population faults keep
+    their exact semantics.
+    """
+    fetch = bool(aop & isa.BPF_FETCH)
+    base_op = aop & ~isa.BPF_FETCH
+    old = aspace.read_int(addr, size)
+    src = regs[src_reg]
+    mask = (1 << (size * 8)) - 1
+    if aop == isa.ATOMIC_XCHG:
+        aspace.write_int(addr, src, size)
+        regs[src_reg] = old
+        return
+    if aop == isa.ATOMIC_CMPXCHG:
+        if old == (regs[0] & mask):
+            aspace.write_int(addr, src, size)
+        regs[0] = old
+        return
+    if base_op == isa.ATOMIC_ADD:
+        new = old + src
+    elif base_op == isa.ATOMIC_OR:
+        new = old | src
+    elif base_op == isa.ATOMIC_AND:
+        new = old & src
+    elif base_op == isa.ATOMIC_XOR:
+        new = old ^ src
+    else:
+        raise ExtensionFault(f"unknown atomic op {aop:#x}")
+    aspace.write_int(addr, new & mask, size)
+    if fetch:
+        regs[src_reg] = old
+
+
 @dataclass
 class ExecEnv:
     """Everything an executing extension can reach.
@@ -305,35 +393,10 @@ class Interpreter:
                 src = sign_extend(insn.imm, 32) & U64 if is64 else insn.imm & U32
             a = regs[dst] if is64 else regs[dst] & U32
             b = src if is64 else src & U32
-            if op == isa.BPF_ADD:
-                val = a + b
-            elif op == isa.BPF_SUB:
-                val = a - b
-            elif op == isa.BPF_MUL:
-                val = a * b
-            elif op == isa.BPF_DIV:
-                val = 0 if (b & U64) == 0 else (a & U64) // (b & U64 if is64 else b & U32)
-            elif op == isa.BPF_MOD:
-                val = a if (b & U64) == 0 else (a & U64) % (b & U64 if is64 else b & U32)
-            elif op == isa.BPF_OR:
-                val = a | b
-            elif op == isa.BPF_AND:
-                val = a & b
-            elif op == isa.BPF_XOR:
-                val = a ^ b
-            elif op == isa.BPF_LSH:
-                val = a << (b & (63 if is64 else 31))
-            elif op == isa.BPF_RSH:
-                mask = U64 if is64 else U32
-                val = (a & mask) >> (b & (63 if is64 else 31))
-            elif op == isa.BPF_ARSH:
-                width = 64 if is64 else 32
-                sval = sign_extend(a, width)
-                val = sval >> (b & (width - 1))
-            elif op == isa.BPF_MOV:
-                val = b
-            else:
+            fn = ALU_BINOPS.get(op)
+            if fn is None:
                 raise ExtensionFault(f"unknown ALU op {op:#x}")
+            val = fn(a, b, is64)
         regs[dst] = val & U64 if is64 else val & U32
 
     def _branch(self, regs: list[int], insn: Insn, is32: bool) -> bool:
@@ -341,8 +404,10 @@ class Interpreter:
         if op == isa.BPF_JA:
             return True
         a = regs[insn.dst]
-        b = regs[insn.src] if insn.opcode & isa.BPF_X else insn.imm & U64
-        if not (insn.opcode & isa.BPF_X):
+        if insn.opcode & isa.BPF_X:
+            b = regs[insn.src]
+        else:
+            # Branch immediates are sign-extended to 64 bits.
             b = sign_extend(insn.imm, 32) & U64
         if is32:
             a &= U32
@@ -350,60 +415,13 @@ class Interpreter:
             sa, sb = sign_extend(a, 32), sign_extend(b, 32)
         else:
             sa, sb = to_s64(a), to_s64(b)
-        if op == isa.BPF_JEQ:
-            return a == b
-        if op == isa.BPF_JNE:
-            return a != b
-        if op == isa.BPF_JGT:
-            return a > b
-        if op == isa.BPF_JGE:
-            return a >= b
-        if op == isa.BPF_JLT:
-            return a < b
-        if op == isa.BPF_JLE:
-            return a <= b
-        if op == isa.BPF_JSGT:
-            return sa > sb
-        if op == isa.BPF_JSGE:
-            return sa >= sb
-        if op == isa.BPF_JSLT:
-            return sa < sb
-        if op == isa.BPF_JSLE:
-            return sa <= sb
-        if op == isa.BPF_JSET:
-            return (a & b) != 0
-        raise ExtensionFault(f"unknown jump op {op:#x}")
+        test = JMP_TESTS.get(op)
+        if test is None:
+            raise ExtensionFault(f"unknown jump op {op:#x}")
+        return test(a, b, sa, sb)
 
     def _atomic(self, regs: list[int], insn: Insn, addr: int, size: int) -> None:
-        aspace = self.env.aspace
-        aop = insn.imm
-        fetch = bool(aop & isa.BPF_FETCH)
-        base_op = aop & ~isa.BPF_FETCH
-        old = aspace.read_int(addr, size)
-        src = regs[insn.src]
-        mask = (1 << (size * 8)) - 1
-        if aop == isa.ATOMIC_XCHG:
-            aspace.write_int(addr, src, size)
-            regs[insn.src] = old
-            return
-        if aop == isa.ATOMIC_CMPXCHG:
-            if old == (regs[0] & mask):
-                aspace.write_int(addr, src, size)
-            regs[0] = old
-            return
-        if base_op == isa.ATOMIC_ADD:
-            new = old + src
-        elif base_op == isa.ATOMIC_OR:
-            new = old | src
-        elif base_op == isa.ATOMIC_AND:
-            new = old & src
-        elif base_op == isa.ATOMIC_XOR:
-            new = old ^ src
-        else:
-            raise ExtensionFault(f"unknown atomic op {aop:#x}")
-        aspace.write_int(addr, new & mask, size)
-        if fetch:
-            regs[insn.src] = old
+        exec_atomic(self.env.aspace, regs, insn.imm, insn.src, addr, size)
 
     def _call(self, regs: list[int], insn: Insn) -> int:
         env = self.env

@@ -86,6 +86,10 @@ class AddressSpace:
     #: When set (PKRU loaded for a striped-heap extension, §6), keyed
     #: regions whose pkey is not in this set fault on access.
     active_pkeys: set | None = None
+    #: Bumped on every map/unmap; lets the execution engine's region
+    #: handle cache (repro.ebpf.engine) detect that a cached
+    #: base/backing pair may have gone stale.
+    generation: int = 0
 
     # -- mapping ------------------------------------------------------
 
@@ -116,6 +120,7 @@ class AddressSpace:
         idx = bisect.bisect_left(self._bases, base)
         self._bases.insert(idx, base)
         self._regions.insert(idx, region)
+        self.generation += 1
         return region
 
     def unmap(self, base: int) -> None:
@@ -124,6 +129,7 @@ class AddressSpace:
             raise KernelPanic(f"unmap of unmapped base {base:#x}")
         del self._bases[idx]
         del self._regions[idx]
+        self.generation += 1
 
     def _overlaps(self, base: int, size: int) -> bool:
         idx = bisect.bisect_right(self._bases, base)

@@ -19,6 +19,7 @@ import heapq
 import random
 from dataclasses import dataclass
 
+from repro.ebpf.engine import engine_scope
 from repro.sim.metrics import LatencyStats
 
 _ARRIVE = 0
@@ -59,6 +60,7 @@ class ClosedLoopSim:
         rtt_ns: float = 14_000.0,
         warmup_frac: float = 0.1,
         seed: int = 1,
+        engine: str | None = None,
     ):
         self.n_clients = n_clients
         self.n_servers = n_servers
@@ -67,8 +69,17 @@ class ClosedLoopSim:
         self.rtt_ns = rtt_ns
         self.warmup_frac = warmup_frac
         self.rng = random.Random(seed)
+        #: Execution engine for extensions invoked by ``service_fn``
+        #: runtimes constructed during the run; None = session default.
+        self.engine = engine
 
     def run(self) -> SimResult:
+        if self.engine is not None:
+            with engine_scope(self.engine):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> SimResult:
         rng = self.rng
         events: list[tuple[float, int, int, float]] = []
         seq = 0

@@ -17,6 +17,7 @@ import sys
 
 from repro.errors import ReproError
 from repro.core.runtime import KFlexRuntime
+from repro.ebpf.engine import ENGINES
 from repro.ebpf.isa import disasm
 from repro.ebpf.program import Program, HOOKS
 from repro.ebpf.textasm import assemble_text
@@ -63,7 +64,7 @@ def cmd_disasm(args) -> int:
 
 def cmd_run(args) -> int:
     prog = _read_program(args)
-    rt = KFlexRuntime()
+    rt = KFlexRuntime(engine=args.engine)
     ext = rt.load(prog, mode=args.mode, attach=False,
                   perf_mode=args.perf_mode, quantum_units=args.quantum)
     if ext.heap is not None and args.static:
@@ -110,6 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="watchdog quantum in cost units")
             s.add_argument("--static", type=lambda v: int(v, 0), default=256,
                            help="static heap bytes to populate at load")
+            s.add_argument("--engine", choices=sorted(ENGINES), default=None,
+                           help="execution engine (default: threaded)")
     return p
 
 

@@ -1,0 +1,13 @@
+"""Test-suite plumbing: every test under tests/ is tier-1.
+
+Tier-1 is the fast correctness suite run on every change
+(``make test`` / ``pytest -m tier1``); benchmark runs under
+``benchmarks/`` carry the ``bench`` marker instead.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.tier1)

@@ -1,0 +1,513 @@
+"""Differential execution: threaded engine vs reference interpreter.
+
+The interpreter (:mod:`repro.ebpf.interpreter`) is the semantics
+oracle; the threaded-code engine (:mod:`repro.ebpf.engine`) must agree
+with it bit-for-bit on every observable of an execution: return value,
+cost, step count, fault (kind / insn index / original index / address /
+message) and the final register file.  This module enforces that over
+
+* >=1000 randomized programs (pure ALU, branchy control flow, stack
+  memory + atomics, demand-paged region access), and
+* every fault path: page fault, SMAP trap, store-policy panic,
+  watchdog cancellation, lock stall, step limit, helper fault,
+
+plus runtime-level parity on the real Fig. 5 data-structure
+extensions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import KernelPanic, LoadError
+from repro.ebpf import isa
+from repro.ebpf.asm import Assembler
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.engine import (
+    ENGINES,
+    ThreadedEngine,
+    default_engine,
+    engine_scope,
+    set_default_engine,
+)
+from repro.ebpf.helpers import HelperTable
+from repro.ebpf.interpreter import ExecEnv, Interpreter
+from repro.kernel.addrspace import AddressSpace
+
+R = Reg
+
+#: Kernel-half base for scratch regions (above 2**47, so SMAP-clean).
+KREGION = 0xFFFF_B000_0000_0000
+
+_ALU_OPS = (
+    isa.BPF_ADD, isa.BPF_SUB, isa.BPF_MUL, isa.BPF_DIV, isa.BPF_MOD,
+    isa.BPF_OR, isa.BPF_AND, isa.BPF_XOR, isa.BPF_LSH, isa.BPF_RSH,
+    isa.BPF_ARSH, isa.BPF_MOV,
+)
+_JMP_OPS = ("==", "!=", ">", ">=", "<", "<=", "s>", "s>=", "s<", "s<=", "&")
+_ATOMIC_OPS = (
+    isa.ATOMIC_ADD, isa.ATOMIC_ADD | isa.BPF_FETCH,
+    isa.ATOMIC_OR, isa.ATOMIC_OR | isa.BPF_FETCH,
+    isa.ATOMIC_AND, isa.ATOMIC_AND | isa.BPF_FETCH,
+    isa.ATOMIC_XOR, isa.ATOMIC_XOR | isa.BPF_FETCH,
+    isa.ATOMIC_XCHG, isa.ATOMIC_CMPXCHG,
+)
+_SIZES = (1, 2, 4, 8)
+
+
+# -- differential harness -----------------------------------------------------
+
+
+def _fresh_env(setup=None, **env_kw):
+    aspace = AddressSpace()
+    env = ExecEnv(aspace=aspace, helpers=HelperTable(), **env_kw)
+    if setup is not None:
+        setup(aspace, env)
+    return env
+
+
+def assert_same(ri, rt, label=""):
+    __tracebackhide__ = True
+    def describe(r):
+        return (
+            r.ret, r.cost, r.steps, r.regs, r.stack_base,
+            None if r.fault is None else (
+                r.fault.kind, r.fault.insn_idx, r.fault.orig_idx,
+                r.fault.addr, r.fault.message,
+            ),
+        )
+    assert describe(ri) == describe(rt), f"engine divergence {label}"
+
+
+def run_both(insns, *, setup=None, ctx_addr=0, max_steps=None, **env_kw):
+    """Run both engines over identical fresh environments; assert parity
+    and return the interpreter's result."""
+    env_i = _fresh_env(setup, **env_kw)
+    env_t = _fresh_env(setup, **env_kw)
+    ri = Interpreter(insns, env_i).run(ctx_addr, max_steps=max_steps)
+    rt = ThreadedEngine(insns, env_t).run(ctx_addr, max_steps=max_steps)
+    assert_same(ri, rt)
+    return ri
+
+
+# -- random program generators ------------------------------------------------
+
+
+def _seed_regs(a, rng, regs=(R.R0, R.R1, R.R2, R.R3, R.R4, R.R5)):
+    for r in regs:
+        a.ld_imm64(r, rng.getrandbits(64))
+
+
+def _random_alu_op(a, rng, regs):
+    dst = rng.choice(regs)
+    kind = rng.randrange(10)
+    if kind == 0:
+        a.neg(dst)
+    elif kind == 1:  # ALU32 NEG via raw encoding
+        a.raw(Insn(isa.BPF_ALU | isa.BPF_NEG, int(dst)))
+    elif kind == 2:  # byte-swap / truncate
+        width = rng.choice((16, 32, 64))
+        to_be = rng.random() < 0.5
+        op = isa.BPF_ALU | isa.BPF_END | (isa.BPF_X if to_be else isa.BPF_K)
+        a.raw(Insn(op, int(dst), 0, 0, width))
+    else:
+        op = rng.choice(_ALU_OPS)
+        width64 = rng.random() < 0.7
+        if rng.random() < 0.5:
+            a._alu(op, dst, rng.choice(regs), width64=width64)
+        else:
+            imm = rng.randrange(-(1 << 31), 1 << 31)
+            a._alu(op, dst, imm, width64=width64)
+
+
+def gen_alu(rng) -> list[Insn]:
+    a = Assembler()
+    regs = (R.R0, R.R1, R.R2, R.R3, R.R4, R.R5)
+    _seed_regs(a, rng, regs)
+    for _ in range(rng.randrange(5, 25)):
+        _random_alu_op(a, rng, regs)
+    if rng.random() < 0.5:
+        a.mov(R.R0, rng.choice(regs))
+    a.exit()
+    return a.assemble()
+
+
+def gen_branchy(rng) -> list[Insn]:
+    """Random forward-branching blocks (forward-only => terminates)."""
+    a = Assembler()
+    regs = (R.R0, R.R1, R.R2, R.R3, R.R4)
+    _seed_regs(a, rng, regs)
+    n_blocks = rng.randrange(3, 8)
+    labels = [a.fresh_label(f"b{i}") for i in range(n_blocks)]
+    done = a.fresh_label("done")
+    for i in range(n_blocks):
+        a.label(labels[i])
+        for _ in range(rng.randrange(1, 4)):
+            _random_alu_op(a, rng, regs)
+        # Jump forward to a strictly later block (or the exit).
+        target = rng.choice(labels[i + 1:] + [done])
+        op = rng.choice(_JMP_OPS)
+        width32 = rng.random() < 0.3
+        if rng.random() < 0.5:
+            a.jcc(op, rng.choice(regs), rng.choice(regs), target,
+                  width32=width32)
+        else:
+            imm = rng.randrange(-(1 << 31), 1 << 31)
+            a.jcc(op, rng.choice(regs), imm, target, width32=width32)
+        if rng.random() < 0.3:
+            a.jmp(target)
+    a.label(done)
+    a.exit()
+    return a.assemble()
+
+
+def gen_memory(rng) -> list[Insn]:
+    """Stack traffic: ST/STX/LDX/atomics at random offsets/widths."""
+    a = Assembler()
+    regs = (R.R0, R.R1, R.R2, R.R3)
+    _seed_regs(a, rng, regs)
+    # Pre-fill a few slots so loads see defined bytes.
+    for off in range(-64, 0, 8):
+        a.st_imm(R.R10, off, rng.randrange(-(1 << 31), 1 << 31), 8)
+    for _ in range(rng.randrange(8, 30)):
+        size = rng.choice(_SIZES)
+        off = -rng.randrange(1, 64 // size + 1) * size
+        kind = rng.randrange(4)
+        if kind == 0:
+            a.st_imm(R.R10, off, rng.randrange(-(1 << 31), 1 << 31), size)
+        elif kind == 1:
+            a.stx(R.R10, rng.choice(regs), off, size)
+        elif kind == 2:
+            a.ldx(rng.choice(regs), R.R10, off, size)
+        else:
+            aop = rng.choice(_ATOMIC_OPS)
+            a.atomic(R.R10, rng.choice(regs), off, aop,
+                     size=rng.choice((4, 8)))
+    a.ldx(R.R0, R.R10, -8, 8)
+    a.exit()
+    return a.assemble()
+
+
+def _paged_setup(aspace, env):
+    region = aspace.map_region(KREGION, 4 * 4096, "scratch", populated=False)
+    aspace.populate(KREGION, 4096)              # page 0
+    aspace.populate(KREGION + 2 * 4096, 4096)   # page 2; pages 1, 3 fault
+
+
+def gen_paged(rng) -> list[Insn]:
+    """Loads/stores over a partially populated region: some succeed via
+    the fast path, some page-fault on unpopulated pages."""
+    a = Assembler()
+    a.ld_imm64(R.R6, KREGION)
+    a.ld_imm64(R.R2, rng.getrandbits(64))
+    a.mov(R.R0, 0)
+    for _ in range(rng.randrange(4, 12)):
+        size = rng.choice(_SIZES)
+        # Mostly in-region; occasionally straddling a page boundary.
+        off = rng.randrange(0, 4 * 4096 - 8)
+        if rng.random() < 0.2:
+            off = rng.choice((4096 - size // 2, 3 * 4096 - size // 2))
+        if rng.random() < 0.5:
+            a.ldx(R.R1, R.R6, 0, size)  # off folded into R6 below
+        if rng.random() < 0.6:
+            a.mov(R.R7, R.R6)
+            a.add(R.R7, off)
+            a.ldx(R.R1, R.R7, 0, size)
+            a.add(R.R0, R.R1)
+        else:
+            a.mov(R.R7, R.R6)
+            a.add(R.R7, off)
+            a.stx(R.R7, R.R2, 0, size)
+    a.exit()
+    return a.assemble()
+
+
+# -- randomized differential sweeps ------------------------------------------
+
+
+def test_random_alu_programs_agree():
+    rng = random.Random(0xA1)
+    for trial in range(400):
+        insns = gen_alu(random.Random(rng.getrandbits(64)))
+        run_both(insns)
+
+
+def test_random_branchy_programs_agree():
+    rng = random.Random(0xB2)
+    for trial in range(300):
+        insns = gen_branchy(random.Random(rng.getrandbits(64)))
+        run_both(insns)
+
+
+def test_random_memory_programs_agree():
+    rng = random.Random(0xC3)
+    for trial in range(250):
+        insns = gen_memory(random.Random(rng.getrandbits(64)))
+        run_both(insns)
+
+
+def test_random_paged_programs_agree():
+    rng = random.Random(0xD4)
+    for trial in range(100):
+        insns = gen_paged(random.Random(rng.getrandbits(64)))
+        run_both(insns, setup=_paged_setup)
+
+
+def test_threaded_engine_is_reusable_across_runs():
+    """Pooled engine state (regs, caches) must not leak between runs."""
+    insns = gen_memory(random.Random(7))
+    env = _fresh_env()
+    eng = ThreadedEngine(insns, env)
+    first = eng.run()
+    for _ in range(3):
+        again = eng.run()
+        assert_same(first, again, "(pooled rerun)")
+
+
+# -- fault-path parity --------------------------------------------------------
+
+
+def test_unmapped_load_page_fault_parity():
+    a = Assembler()
+    a.ld_imm64(R.R6, KREGION + 0x123)  # nothing mapped there
+    a.ldx(R.R0, R.R6, 0, 8)
+    a.exit()
+    r = run_both(a.assemble())
+    assert r.fault is not None and r.fault.kind == "page"
+
+
+def test_unpopulated_page_fault_parity():
+    a = Assembler()
+    a.ld_imm64(R.R6, KREGION + 4096)  # page 1: mapped, never populated
+    a.ldx(R.R0, R.R6, 0, 8)
+    a.exit()
+    r = run_both(a.assemble(), setup=_paged_setup)
+    assert r.fault is not None and r.fault.kind == "page"
+    assert "unpopulated" in r.fault.message
+
+
+def test_page_straddling_access_parity():
+    """An 8-byte load whose first page is populated but second is not
+    must fall off the fast path and fault identically."""
+    a = Assembler()
+    a.ld_imm64(R.R6, KREGION + 4096 - 4)  # straddles pages 0|1
+    a.ldx(R.R0, R.R6, 0, 8)
+    a.exit()
+    r = run_both(a.assemble(), setup=_paged_setup)
+    assert r.fault is not None and r.fault.kind == "page"
+
+
+def test_smap_trap_parity():
+    a = Assembler()
+    a.ld_imm64(R.R6, 0x10_0000)  # user-space address
+    a.ldx(R.R0, R.R6, 0, 8)
+    a.exit()
+    r = run_both(a.assemble())
+    assert r.fault is not None and r.fault.kind == "page"
+    assert "SMAP" in r.fault.message
+
+
+def test_smap_disabled_parity():
+    a = Assembler()
+    a.ld_imm64(R.R6, 0x10_0000)
+    a.ldx(R.R0, R.R6, 0, 8)
+    a.exit()
+    r = run_both(a.assemble(), smap=False)
+    assert r.fault is not None and "unmapped" in r.fault.message
+
+
+def test_store_policy_panic_parity():
+    """Stores outside the allowed prefixes are kernel panics in both."""
+    a = Assembler()
+    a.ld_imm64(R.R6, KREGION)
+    a.st_imm(R.R6, 0, 1, 8)
+    a.exit()
+    insns = a.assemble()
+    msgs = []
+    for cls in (Interpreter, ThreadedEngine):
+        env = _fresh_env(_paged_setup, allowed_store_regions=("stack:",))
+        with pytest.raises(KernelPanic) as exc:
+            cls(insns, env).run()
+        msgs.append(str(exc.value))
+    assert msgs[0] == msgs[1]
+    assert "kernel-owned" in msgs[0]
+
+
+def test_step_limit_stall_parity():
+    a = Assembler()
+    loop = a.fresh_label()
+    a.mov(R.R1, 1)
+    a.label(loop)
+    a.add(R.R1, 1)
+    a.jmp(loop)
+    insns = a.assemble()
+    r = run_both(insns, max_steps=997)
+    assert r.fault is not None and r.fault.kind == "stall"
+    assert r.steps == 997
+
+
+def test_unknown_helper_fault_parity():
+    a = Assembler()
+    a.call(9999)
+    a.exit()
+    r = run_both(a.assemble())
+    assert r.fault is not None and r.fault.kind == "helper"
+    assert "unknown helper id 9999" in r.fault.message
+
+
+def test_watchdog_callback_sequence_parity():
+    """The watchdog must observe identical (step, cost) schedules."""
+    a = Assembler()
+    loop = a.fresh_label()
+    a.mov(R.R1, 0)
+    a.label(loop)
+    a.add(R.R1, 1)
+    a.jcc("<", R.R1, 40_000, loop)
+    a.mov(R.R0, R.R1)
+    a.exit()
+    insns = a.assemble()
+    seen = {}
+    for name, cls in (("interp", Interpreter), ("threaded", ThreadedEngine)):
+        calls = []
+        env = _fresh_env(watchdog=calls.append)
+        res = cls(insns, env).run()
+        assert res.ok
+        seen[name] = (calls, res.ret, res.cost, res.steps)
+    assert seen["interp"] == seen["threaded"]
+    assert len(seen["interp"][0]) > 5  # the watchdog actually fired
+
+
+# -- runtime-level parity -----------------------------------------------------
+
+
+def _run_ds_ops(engine: str, struct: str):
+    from repro.core.runtime import KFlexRuntime
+    from repro.apps.datastructures import ALL_STRUCTURES
+
+    rt = KFlexRuntime(engine=engine)
+    ds = ALL_STRUCTURES[struct](rt)
+    rng = random.Random(42)
+    trace = []
+    for k in range(64):
+        trace.append(("u", ds.update(k, k * 3 + 1)))
+    for _ in range(64):
+        k = rng.randrange(96)  # mix of hits and misses
+        op = rng.choice(("update", "lookup", "delete"))
+        if op == "update":
+            ret = ds.update(k, rng.randrange(1 << 30))
+        elif op == "lookup":
+            ret = ds.lookup(k)
+        else:
+            ret = ds.delete(k)
+        cost = ds.exts[op].stats.last_cost_units
+        trace.append((op, k, ret, cost))
+    return trace
+
+
+@pytest.mark.parametrize("struct", ["hashmap", "linkedlist"])
+def test_runtime_datastructure_parity(struct):
+    assert _run_ds_ops("interp", struct) == _run_ds_ops("threaded", struct)
+
+
+def _watchdog_cancel_stats(engine: str):
+    from repro.core.runtime import KFlexRuntime
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+
+    rt = KFlexRuntime(engine=engine)
+    m = MacroAsm()
+    m.mov(R.R3, 1)
+    with m.while_("!=", R.R3, 0):
+        m.add(R.R3, 1)
+    m.mov(R.R0, 0)
+    m.exit()
+    prog = Program("spin", m.assemble(), hook="xdp", heap_size=1 << 16)
+    ext = rt.load(prog, attach=False, quantum_units=10_000)
+    ret = ext.invoke(rt.make_ctx(0, [0] * 8))
+    return ret, ext.dead, dict(ext.stats.cancellations_by_reason), \
+        ext.stats.last_cost_units
+
+
+def test_runtime_watchdog_cancellation_parity():
+    assert _watchdog_cancel_stats("interp") == \
+        _watchdog_cancel_stats("threaded")
+
+
+def _lock_stall_stats(engine: str):
+    from repro.core.runtime import KFlexRuntime
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+    from repro.ebpf.helpers import KFLEX_SPIN_LOCK, KFLEX_SPIN_UNLOCK
+
+    rt = KFlexRuntime(engine=engine)
+    m = MacroAsm()
+    m.heap_addr(R.R6, 0x100)
+    m.heap_addr(R.R7, 0x180)
+    m.call_helper(KFLEX_SPIN_LOCK, R.R6)
+    m.call_helper(KFLEX_SPIN_LOCK, R.R7)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R.R7)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R.R6)
+    m.mov(R.R0, 0)
+    m.exit()
+    prog = Program("locker", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, attach=False)
+    t = rt.kernel.sched.spawn("app")
+    ext.locks.user_lock(0x180, t)
+    ret = ext.invoke(rt.make_ctx(0, [0] * 8))
+    return ret, ext.dead, dict(ext.stats.cancellations_by_reason), \
+        ext.locks.owner(0x100)
+
+
+def test_runtime_lock_stall_parity():
+    assert _lock_stall_stats("interp") == _lock_stall_stats("threaded")
+
+
+def test_runtime_pools_engine_across_invocations():
+    """Satellite: invoke() must reuse one engine per CPU, rebuilt only
+    if the lowered program changes."""
+    from repro.core.runtime import KFlexRuntime
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+
+    rt = KFlexRuntime()
+    m = MacroAsm()
+    m.mov(R.R0, 5)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, attach=False)
+    ctx = rt.make_ctx(0, [0] * 8)
+    ext.invoke(ctx)
+    eng0 = ext._engines[0]
+    for _ in range(5):
+        ext.invoke(ctx)
+    assert ext._engines[0] is eng0
+    # Re-lowering the program invalidates the pooled engine.
+    ext.jprog.insns = list(ext.jprog.insns)
+    ext.invoke(ctx)
+    assert ext._engines[0] is not eng0
+    ext.invalidate_engines()
+    assert ext._engines == {}
+
+
+# -- engine selection ---------------------------------------------------------
+
+
+def test_engine_registry_and_scope():
+    assert set(ENGINES) == {"interp", "threaded"}
+    prev = default_engine()
+    with engine_scope("interp"):
+        assert default_engine() == "interp"
+    assert default_engine() == prev
+    with pytest.raises(LoadError):
+        set_default_engine("nonesuch")
+
+
+def test_runtime_engine_selector():
+    from repro.core.runtime import KFlexRuntime
+
+    assert KFlexRuntime().engine == default_engine()
+    assert KFlexRuntime(engine="interp").engine == "interp"
+    with engine_scope("interp"):
+        assert KFlexRuntime().engine == "interp"
