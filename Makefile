@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-quick bench-baseline
+.PHONY: test bench bench-quick bench-baseline chaos-quick
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -20,3 +20,8 @@ bench-quick:
 # Re-record the engine baseline (run on a quiet machine).
 bench-baseline:
 	$(PY) benchmarks/bench_engine_speed.py --update
+
+# Robustness gate: seeded chaos campaigns over every supervised app,
+# both engines; fails on oracle errors, leaks, or engine divergence.
+chaos-quick:
+	sh scripts/chaos_quick.sh

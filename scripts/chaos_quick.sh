@@ -1,0 +1,12 @@
+#!/bin/sh
+# Quick robustness gate: seeded chaos campaigns over the supervised
+# applications, run under BOTH execution engines.  The campaign driver
+# exits non-zero on any oracle error, quiescence violation (leak after
+# an injected cancellation), or engine digest divergence.
+#
+# Usage: scripts/chaos_quick.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.sim.chaos --seed 3 --ops 250

@@ -173,6 +173,7 @@ class KFlexMemcached:
         kmod: bool = False,
         heap_size: int = 1 << 26,
         name: str = "kvmemc",
+        quantum_units: int | None = None,
     ):
         self.runtime = runtime
         self.heap = runtime.create_heap(heap_size, name=name)
@@ -189,6 +190,7 @@ class KFlexMemcached:
                 attach=False,
                 perf_mode=perf_mode,
                 share_heap=share_heap,
+                quantum_units=quantum_units,
             )
         self.use_locks = use_locks
 

@@ -1,0 +1,176 @@
+"""Supervised Memcached: kernel fast path with userspace fallback (§3.4).
+
+The paper's degradation story is that cancelling an extension does not
+lose data or stop the service: the extension heap is a map-like fd the
+application mmaps, so when the XDP fast path dies the request simply
+falls through to the normal stack and user space answers — consulting
+the *surviving heap* through its own mapping for values only the
+extension ever stored.
+
+``SupervisedMemcached`` implements that co-design around the
+supervisor's quarantine/backoff lifecycle:
+
+* extension healthy → requests served at the (simulated) XDP hook;
+* extension quarantined → GET falls back to a userspace overlay store,
+  then to a heap walk through the user mapping; SET lands in the
+  overlay;
+* extension re-admitted → overlay writes are *replayed* into the
+  kernel table, so the fast path catches up with everything that
+  happened during quarantine.
+
+Consistency rule: a key present in the overlay always holds the newest
+value (a successful kernel SET removes the overlay copy), so reads
+check the overlay before the kernel path.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PageFault
+from repro.ebpf.program import XDP_TX
+from repro.apps.memcached import protocol as P
+from repro.apps.memcached.kflex_ext import (
+    BUCKET_BITS,
+    BUCKETS_OFF,
+    ENTRY,
+    KFlexMemcached,
+)
+from repro.apps.datastructures.common import HASH_CONST
+
+#: Safety bound for Python-side chain walks (a cancelled SET can leave
+#: at most one partially-linked entry, never a cycle, but the walker is
+#: defensive anyway).
+_MAX_CHAIN = 1 << 16
+
+
+def _bucket_of(key: bytes) -> int:
+    h = 0
+    for i in range(4):
+        h ^= int.from_bytes(key[8 * i : 8 * i + 8], "little")
+    h = (h * HASH_CONST) & ((1 << 64) - 1)
+    return h >> (64 - BUCKET_BITS)
+
+
+@dataclass
+class FallbackStats:
+    kernel_gets: int = 0
+    kernel_sets: int = 0
+    fallback_gets: int = 0
+    fallback_sets: int = 0
+    heap_hits: int = 0  # fallback GETs answered from the surviving heap
+    replays: int = 0  # overlay entries replayed into the kernel table
+
+
+class SupervisedMemcached:
+    """Memcached front-end that survives extension quarantine."""
+
+    def __init__(self, runtime, **kflex_kwargs):
+        self.runtime = runtime
+        self.kflex = KFlexMemcached(runtime, **kflex_kwargs)
+        self.ext = self.kflex.ext
+        #: Userspace overlay: key bytes -> 32-byte value (newest value
+        #: for every key the kernel path could not store).
+        self.overlay: dict[bytes, bytes] = {}
+        self.stats = FallbackStats()
+        # §3.4: user space mmaps the heap so it can read extension-
+        # written values after a cancellation.
+        self.kflex.heap.map_user()
+        self._user_delta = self.kflex.heap.user_base - self.kflex.heap.base
+
+    # -- supervisor plumbing ------------------------------------------------
+
+    def _kernel_alive(self, cpu: int) -> bool:
+        """True when the fast path can serve (reviving it if due)."""
+        if not self.ext.dead:
+            return True
+        return self.runtime.supervisor.try_readmit(self.ext)
+
+    def _replay(self, cpu: int) -> None:
+        """Push overlay writes back into the kernel table (re-admission)."""
+        for key in list(self.overlay):
+            if self.ext.dead:
+                break
+            pkt = bytes([P.OP_SET]) + bytes(7) + key + self.overlay[key]
+            reply = self.kflex._roundtrip(pkt, cpu)
+            if self.kflex.last_verdict == XDP_TX and reply[1] == P.STATUS_HIT:
+                del self.overlay[key]
+                self.stats.replays += 1
+
+    # -- request API --------------------------------------------------------
+
+    def get(self, key_id: int, cpu: int = 0):
+        key = P.key_bytes(key_id)
+        if self._kernel_alive(cpu):
+            if self.overlay:
+                self._replay(cpu)
+            if key not in self.overlay:
+                reply = self.kflex._roundtrip(P.encode_get(key_id), cpu)
+                if self.kflex.last_verdict == XDP_TX:
+                    self.stats.kernel_gets += 1
+                    return P.decode_reply(reply)
+        # Fallback: the extension is quarantined or this request's
+        # invocation was cancelled mid-flight.
+        self.stats.fallback_gets += 1
+        val = self.overlay.get(key)
+        if val is None:
+            val = self._heap_lookup(key)
+            if val is not None:
+                self.stats.heap_hits += 1
+        if val is None:
+            return (False, None)
+        return (True, struct.unpack_from("<Q", val, 0)[0])
+
+    def set(self, key_id: int, value_id: int, cpu: int = 0) -> bool:
+        key = P.key_bytes(key_id)
+        if self._kernel_alive(cpu):
+            if self.overlay:
+                self._replay(cpu)
+            reply = self.kflex._roundtrip(P.encode_set(key_id, value_id), cpu)
+            if self.kflex.last_verdict == XDP_TX and reply[1] == P.STATUS_HIT:
+                # Kernel holds the newest value now; drop any overlay copy.
+                self.overlay.pop(key, None)
+                self.stats.kernel_sets += 1
+                return True
+        # Quarantined, cancelled mid-flight, or heap exhausted: the
+        # overlay is authoritative until a later replay succeeds.
+        self.stats.fallback_sets += 1
+        self.overlay[key] = (
+            struct.pack("<Q", value_id & (1 << 64) - 1) + bytes(P.VAL_SIZE - 8)
+        )
+        return True
+
+    def warm(self, n_keys: int, cpu: int = 0) -> None:
+        for k in range(n_keys):
+            self.set(k, k ^ 0x5A5A, cpu)
+
+    @property
+    def pending(self) -> int:
+        """Overlay entries not yet replayed into the kernel table."""
+        return len(self.overlay)
+
+    # -- heap reads through the user mapping (§3.4) -------------------------
+
+    def _heap_lookup(self, key: bytes) -> bytes | None:
+        """Walk the bucket chain exactly like the extension, but from
+        user space through the mmap'd heap (pointers stored in entries
+        are kernel heap addresses; the size-aligned user alias maps
+        them with a constant delta)."""
+        heap = self.kflex.heap
+        asp = self.runtime.kernel.aspace
+        delta = self._user_delta
+        cell = heap.base + self.kflex.static + BUCKETS_OFF + _bucket_of(key) * 8
+        try:
+            cur = asp.read_int(cell + delta, 8)
+            for _ in range(_MAX_CHAIN):
+                if not cur:
+                    return None
+                if asp.read_bytes(cur + delta + ENTRY.k0.off, 32) == key:
+                    return asp.read_bytes(cur + delta + ENTRY.v0.off, 32)
+                cur = asp.read_int(cur + delta + ENTRY.next.off, 8)
+        except PageFault:
+            # A wild next pointer from a corrupted entry: treat as miss,
+            # like a defensive userspace reader would.
+            return None
+        return None

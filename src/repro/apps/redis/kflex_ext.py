@@ -245,6 +245,7 @@ class KFlexRedis:
         perf_mode: bool = False,
         heap_size: int = 1 << 26,
         name: str = "kvredis",
+        quantum_units: int | None = None,
     ):
         self.runtime = runtime
         self.heap = runtime.create_heap(heap_size, name=name)
@@ -254,7 +255,8 @@ class KFlexRedis:
             self.ext = runtime.load_kmod(prog, heap=self.heap)
         else:
             self.ext = runtime.load(
-                prog, heap=self.heap, attach=False, perf_mode=perf_mode
+                prog, heap=self.heap, attach=False, perf_mode=perf_mode,
+                quantum_units=quantum_units,
             )
 
     def _roundtrip(self, pkt: bytes, cpu: int = 0) -> bytes:

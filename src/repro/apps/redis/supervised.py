@@ -1,0 +1,187 @@
+"""Supervised Redis: sk_skb fast path with userspace fallback (§3.4).
+
+Same degradation co-design as ``repro.apps.memcached.supervised``,
+adapted to the Redis wire format and the sorted-set workload:
+
+* healthy extension → GET/SET/ZADD served in the kernel;
+* quarantined (or cancelled mid-request) → the op lands in a userspace
+  overlay (:class:`~repro.apps.redis.userspace.UserspaceRedis`); string
+  GETs additionally consult the surviving heap through the user
+  mapping;
+* re-admission → overlay strings and zset members are replayed into
+  the kernel structures.
+
+The sk_skb extension always returns ``SK_PASS`` (replies are written
+into the packet), so "the kernel served this" is detected by the
+``REPLY_FLAG`` bit the extension sets in the staged packet — a
+cancelled invocation never reaches ``emit_reply``, leaving the flag
+clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PageFault
+from repro.apps.redis import protocol as P
+from repro.apps.redis.kflex_ext import (
+    BUCKET_BITS,
+    ENTRY,
+    KFlexRedis,
+    TYPE_STRING,
+)
+from repro.apps.redis.userspace import UserspaceRedis
+from repro.apps.datastructures.common import HASH_CONST
+
+_MAX_CHAIN = 1 << 16
+
+
+def _bucket_of(key: bytes) -> int:
+    h = 0
+    for i in range(4):
+        h ^= int.from_bytes(key[8 * i : 8 * i + 8], "little")
+    h = (h * HASH_CONST) & ((1 << 64) - 1)
+    return h >> (64 - BUCKET_BITS)
+
+
+@dataclass
+class FallbackStats:
+    kernel_ops: int = 0
+    fallback_ops: int = 0
+    heap_hits: int = 0
+    replays: int = 0
+
+
+class SupervisedRedis:
+    """Redis front-end that survives extension quarantine."""
+
+    def __init__(self, runtime, **kflex_kwargs):
+        self.runtime = runtime
+        self.kflex = KFlexRedis(runtime, **kflex_kwargs)
+        self.ext = self.kflex.ext
+        #: Userspace overlay, authoritative for every key it holds.
+        self.overlay = UserspaceRedis()
+        self.stats = FallbackStats()
+        self.kflex.heap.map_user()
+        self._user_delta = self.kflex.heap.user_base - self.kflex.heap.base
+
+    # -- supervisor plumbing ------------------------------------------------
+
+    def _kernel_alive(self, cpu: int) -> bool:
+        if not self.ext.dead:
+            return True
+        return self.runtime.supervisor.try_readmit(self.ext)
+
+    def _served(self, reply: bytes) -> bool:
+        return bool(reply[0] & P.REPLY_FLAG)
+
+    def _replay(self, cpu: int) -> None:
+        """Re-admission: push overlay state into the kernel structures."""
+        for key_id in list(self.overlay.strings):
+            if self.ext.dead:
+                break
+            value_id = self.overlay.strings[key_id]
+            reply = self.kflex._roundtrip(P.encode_set(key_id, value_id), cpu)
+            if self._served(reply) and reply[1] == P.STATUS_OK:
+                del self.overlay.strings[key_id]
+                self.stats.replays += 1
+        for key_id in list(self.overlay.zsets):
+            members = self.overlay.zsets[key_id]
+            while members:
+                if self.ext.dead:
+                    return
+                score, member = members[0]
+                reply = self.kflex._roundtrip(
+                    P.encode_zadd(key_id, score, member), cpu
+                )
+                if not (self._served(reply) and reply[1] == P.STATUS_OK):
+                    break
+                members.pop(0)
+                self.stats.replays += 1
+            if not members:
+                del self.overlay.zsets[key_id]
+
+    # -- request API --------------------------------------------------------
+
+    def get(self, key_id: int, cpu: int = 0):
+        if self._kernel_alive(cpu):
+            self._replay(cpu)
+            if key_id not in self.overlay.strings:
+                reply = self.kflex._roundtrip(P.encode_get(key_id), cpu)
+                if self._served(reply):
+                    self.stats.kernel_ops += 1
+                    return P.decode_reply(reply)
+        self.stats.fallback_ops += 1
+        ok, val = self.overlay.get(key_id)
+        if not ok:
+            val = self._heap_get(key_id)
+            if val is not None:
+                self.stats.heap_hits += 1
+                return (True, val)
+            return (False, None)
+        return (True, val)
+
+    def set(self, key_id: int, value_id: int, cpu: int = 0) -> bool:
+        if self._kernel_alive(cpu):
+            self._replay(cpu)
+            reply = self.kflex._roundtrip(P.encode_set(key_id, value_id), cpu)
+            if self._served(reply) and reply[1] == P.STATUS_OK:
+                self.overlay.strings.pop(key_id, None)
+                self.stats.kernel_ops += 1
+                return True
+        self.stats.fallback_ops += 1
+        return self.overlay.set(key_id, value_id)
+
+    def zadd(self, key_id: int, score: int, member: int, cpu: int = 0) -> bool:
+        if self._kernel_alive(cpu):
+            self._replay(cpu)
+            reply = self.kflex._roundtrip(
+                P.encode_zadd(key_id, score, member), cpu
+            )
+            if self._served(reply) and reply[1] == P.STATUS_OK:
+                self.stats.kernel_ops += 1
+                return True
+        self.stats.fallback_ops += 1
+        return self.overlay.zadd(key_id, score, member)
+
+    # -- combined views ------------------------------------------------------
+
+    def zset_members(self, key_id: int) -> list[tuple[int, int]]:
+        """Union of kernel-resident and overlay members, score-sorted.
+
+        The kernel side walks the surviving heap (works during
+        quarantine too — §3.4); the overlay holds members added while
+        the fast path was down that have not been replayed yet.
+        """
+        merged = set(self.kflex.zset_members(key_id))
+        merged.update(self.overlay.zset_members(key_id))
+        return sorted(merged)
+
+    @property
+    def pending(self) -> int:
+        return len(self.overlay.strings) + sum(
+            len(m) for m in self.overlay.zsets.values()
+        )
+
+    # -- heap reads through the user mapping (§3.4) --------------------------
+
+    def _heap_get(self, key_id: int) -> int | None:
+        """String lookup by chain walk through the user mapping."""
+        heap = self.kflex.heap
+        asp = self.runtime.kernel.aspace
+        delta = self._user_delta
+        key = P.key_bytes(key_id)
+        cell = heap.base + self.kflex.static + _bucket_of(key) * 8
+        try:
+            cur = asp.read_int(cell + delta, 8)
+            for _ in range(_MAX_CHAIN):
+                if not cur:
+                    return None
+                if asp.read_bytes(cur + delta + ENTRY.k0.off, 32) == key:
+                    if asp.read_int(cur + delta + ENTRY.type.off, 8) != TYPE_STRING:
+                        return None
+                    return asp.read_int(cur + delta + ENTRY.value.off, 8)
+                cur = asp.read_int(cur + delta + ENTRY.chain.off, 8)
+        except PageFault:
+            return None
+        return None

@@ -62,6 +62,13 @@ class KflexAllocator:
         self._bump = heap.base + HEAP_HEADER_SIZE
         self._sizes: dict[int, int] = {}  # live object addr -> class/size
         self.stats = AllocatorStats()
+        #: Optional :class:`repro.sim.faults.FaultInjector` — injected
+        #: allocation exhaustion makes malloc return NULL.
+        self.injector = None
+        #: cpu -> addresses handed out during the current invocation;
+        #: activated per-CPU by :meth:`begin_invocation` (the quiescence
+        #: auditor uses it to attribute allocations to a cancelled run).
+        self._inv_allocs: dict[int, list[int]] = {}
 
     # -- allocation ----------------------------------------------------------
 
@@ -70,20 +77,28 @@ class KflexAllocator:
         (NULL) when the heap is exhausted."""
         if size <= 0:
             return 0
+        if self.injector is not None and self.injector.take_alloc_fail():
+            # Injected exhaustion: same observable as a full heap.
+            return 0
         cls = _size_class(size)
         self.stats.allocs += 1
         if cls is None:
-            return self._malloc_large(size)
-        cache = self._cache[cpu % self.n_cpus][cls]
-        if cache:
-            self.stats.fast_path_allocs += 1
-            addr = cache.pop()
+            addr = self._malloc_large(size)
         else:
-            addr = self._refill_and_pop(cpu % self.n_cpus, cls)
-            if addr == 0:
-                return 0
-        self._sizes[addr] = cls
-        self.stats.live_bytes += cls
+            cache = self._cache[cpu % self.n_cpus][cls]
+            if cache:
+                self.stats.fast_path_allocs += 1
+                addr = cache.pop()
+            else:
+                addr = self._refill_and_pop(cpu % self.n_cpus, cls)
+                if addr == 0:
+                    return 0
+            self._sizes[addr] = cls
+            self.stats.live_bytes += cls
+        if addr:
+            track = self._inv_allocs.get(cpu % self.n_cpus)
+            if track is not None:
+                track.append(addr)
         return addr
 
     def _refill_and_pop(self, cpu: int, cls: int) -> int:
@@ -184,3 +199,20 @@ class KflexAllocator:
 
     def live_objects(self) -> int:
         return len(self._sizes)
+
+    def live_size(self, addr: int) -> int | None:
+        """Size class of a live object, or None."""
+        return self._sizes.get(addr)
+
+    def live_addrs(self):
+        return self._sizes.keys()
+
+    # -- invocation attribution (quiescence auditing) ----------------------
+
+    def begin_invocation(self, cpu: int = 0) -> None:
+        """Start attributing allocations on ``cpu`` to a fresh invocation."""
+        self._inv_allocs[cpu % self.n_cpus] = []
+
+    def invocation_allocs(self, cpu: int = 0) -> list[int]:
+        """Addresses malloc'd during the current invocation on ``cpu``."""
+        return self._inv_allocs.get(cpu % self.n_cpus, [])

@@ -1,0 +1,232 @@
+"""Quiescence auditing (§3.3): prove the kernel is clean after unwind.
+
+The cancellation engine's contract is that after an unwind the kernel
+is *quiescent*: every resource the dead invocation acquired has been
+released.  The auditor turns that prose invariant into executable
+checks, run after every cancellation when the debug flag is on
+(mandatory in the test suite, opt-in elsewhere — the walk is O(heap
+pages) and has no place on a production fast path):
+
+1. **Locks** — no lock word in the extension's heap still carries an
+   extension owner token.
+2. **Sockets** — the net stack holds zero extension-owned references.
+3. **Allocations** — every object malloc'd *by the cancelled
+   invocation* that is still live must be reachable from the heap
+   (linked into some structure before the fault).  A live allocation
+   nothing references can never be freed by the program again, so the
+   unwinder reclaims such orphans (:func:`reclaim_orphans` — the
+   allocator acts as its own destructor) and the audit verifies none
+   remain.
+4. **Allocator metadata** — live-object bookkeeping is internally
+   consistent with the heap bounds (the allocator's metadata lives
+   outside the heap precisely so extensions cannot corrupt it).
+
+Violations raise :class:`~repro.errors.QuiescenceViolation`, a
+:class:`~repro.errors.KernelPanic` subclass, so any "no panic ever"
+assertion also covers resource leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QuiescenceViolation
+
+#: Module-level debug flag (see :func:`enable_quiescence_audit`): the
+#: runtime consults it on every cancellation; tests force it on via an
+#: autouse fixture.
+_AUDIT_ENABLED = False
+
+
+def enable_quiescence_audit(on: bool = True) -> None:
+    global _AUDIT_ENABLED
+    _AUDIT_ENABLED = bool(on)
+
+
+def audit_enabled() -> bool:
+    return _AUDIT_ENABLED
+
+
+def find_orphans(allocator, heap, cpu: int) -> list[int]:
+    """Live invocation-scoped allocations unreachable from the heap.
+
+    An object the dead invocation malloc'd is fine if some heap
+    structure points at it (the invocation published it — e.g. a
+    memcached entry linked into its bucket before a later fault); live
+    but referenced by nothing, it is a leak.  Reachability is a
+    byte-scan of the populated heap pages for the object's
+    little-endian address (pointers in extension structures are
+    8-byte-aligned stores of full addresses).
+    """
+    candidates = [
+        a for a in allocator.invocation_allocs(cpu) if allocator.is_live(a)
+    ]
+    if not candidates:
+        return []
+    data = heap.region.backing.data
+    populated = heap.region.backing
+    orphans = []
+    for addr in candidates:
+        needle = addr.to_bytes(8, "little")
+        size = allocator.live_size(addr) or 0
+        if _referenced(populated, data, heap.base, needle,
+                       exclude=(addr, addr + size)):
+            continue
+        orphans.append(addr)
+    return orphans
+
+
+def reclaim_orphans(allocator, heap, cpu: int) -> list[int]:
+    """Free orphaned invocation allocations; returns the freed addrs.
+
+    Called from the unwind path (behind the audit flag): an allocation
+    the cancelled invocation never published is unreachable to the
+    program forever, so the runtime frees it — the allocator acting as
+    the implicit destructor for ``kflex_malloc``.
+    """
+    orphans = find_orphans(allocator, heap, cpu)
+    for addr in orphans:
+        allocator.free(addr, cpu)
+    return orphans
+
+
+def _referenced(backing, data, base: int, needle: bytes,
+                exclude: tuple[int, int]) -> bool:
+    """Scan populated pages for ``needle`` outside ``exclude``."""
+    from repro.kernel.addrspace import PAGE_SIZE
+
+    if backing.all_populated:
+        runs = [(0, len(data))]
+    else:
+        pages = sorted(backing.populated)
+        runs = []
+        for p in pages:
+            start = p * PAGE_SIZE
+            if runs and runs[-1][1] == start:
+                runs[-1] = (runs[-1][0], start + PAGE_SIZE)
+            else:
+                runs.append((start, start + PAGE_SIZE))
+    ex_lo, ex_hi = exclude[0] - base, exclude[1] - base
+    for start, end in runs:
+        # Overlap runs by 7 bytes so page-straddling pointers count.
+        lo = max(0, start - 7)
+        pos = data.find(needle, lo, end)
+        while pos != -1:
+            if not (ex_lo <= pos < ex_hi):
+                return True
+            pos = data.find(needle, pos + 1, end)
+    return False
+
+
+@dataclass
+class QuiescenceReport:
+    """Outcome of one post-cancellation audit."""
+
+    reason: str
+    cpu: int
+    held_locks: list = field(default_factory=list)
+    ext_sock_refs: int = 0
+    orphaned_allocs: list = field(default_factory=list)
+    metadata_errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.held_locks
+            and self.ext_sock_refs == 0
+            and not self.orphaned_allocs
+            and not self.metadata_errors
+        )
+
+    def describe(self) -> str:
+        problems = []
+        if self.held_locks:
+            problems.append(
+                "held locks: "
+                + ", ".join(f"{a:#x}(owner {o:#x})" for a, o in self.held_locks)
+            )
+        if self.ext_sock_refs:
+            problems.append(f"{self.ext_sock_refs} live extension sock refs")
+        if self.orphaned_allocs:
+            problems.append(
+                "orphaned allocations: "
+                + ", ".join(f"{a:#x}" for a in self.orphaned_allocs)
+            )
+        if self.metadata_errors:
+            problems.append("allocator metadata: " + "; ".join(self.metadata_errors))
+        return "; ".join(problems) or "quiescent"
+
+
+class QuiescenceAuditor:
+    """Walks locks, sockets and the allocator after each cancellation."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.audits = 0
+        self.violations = 0
+        self.last_report: QuiescenceReport | None = None
+
+    # -- entry points -----------------------------------------------------
+
+    def audit(self, ext, record, cpu: int) -> QuiescenceReport:
+        """Audit one extension right after its cancellation unwound.
+
+        Raises :class:`QuiescenceViolation` when anything leaked.
+        """
+        report = QuiescenceReport(reason=record.reason, cpu=cpu)
+        if ext.locks is not None:
+            report.held_locks = ext.locks.held_ext_locks(cpu=cpu)
+        report.ext_sock_refs = self.kernel.net.total_extension_refs()
+        if ext.allocator is not None and ext.heap is not None:
+            report.orphaned_allocs = self._orphans(ext.allocator, ext.heap, cpu)
+            report.metadata_errors = self._metadata_errors(ext.allocator, ext.heap)
+        self.audits += 1
+        self.last_report = report
+        if not report.ok:
+            self.violations += 1
+            raise QuiescenceViolation(
+                f"non-quiescent after {record.reason} cancellation on "
+                f"cpu {cpu}: {report.describe()}"
+            )
+        return report
+
+    def sweep(self, runtime) -> QuiescenceReport:
+        """End-of-campaign audit over a whole runtime: no extension
+        lock tokens anywhere, no extension sock refs, metadata sane."""
+        report = QuiescenceReport(reason="sweep", cpu=-1)
+        for locks in runtime.lock_managers.values():
+            report.held_locks.extend(locks.held_ext_locks())
+        report.ext_sock_refs = self.kernel.net.total_extension_refs()
+        for fd, allocator in runtime.allocators.items():
+            heap = runtime.heaps[fd]
+            report.metadata_errors.extend(self._metadata_errors(allocator, heap))
+        self.audits += 1
+        self.last_report = report
+        if not report.ok:
+            self.violations += 1
+            raise QuiescenceViolation(f"sweep found leaks: {report.describe()}")
+        return report
+
+    # -- checks -----------------------------------------------------------
+
+    def _orphans(self, allocator, heap, cpu: int) -> list[int]:
+        return find_orphans(allocator, heap, cpu)
+
+    @staticmethod
+    def _metadata_errors(allocator, heap) -> list[str]:
+        errors = []
+        total = 0
+        for addr in allocator.live_addrs():
+            size = allocator.live_size(addr)
+            total += size
+            if not heap.contains(addr, size):
+                errors.append(
+                    f"live object {addr:#x}+{size} outside heap "
+                    f"[{heap.base:#x}, {heap.base + heap.size:#x})"
+                )
+        if total != allocator.stats.live_bytes:
+            errors.append(
+                f"live_bytes {allocator.stats.live_bytes} != "
+                f"sum of live objects {total}"
+            )
+        return errors

@@ -21,11 +21,17 @@ user space closes the fd (§3.4, §4.3).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import KernelPanic
 from repro.ebpf.interpreter import ExecResult, STACK_SIZE
 from repro.ebpf.verifier.verifier import ObjTableEntry
+
+#: Cancellation records kept per engine.  Long chaos campaigns cancel
+#: thousands of times; the history is a diagnostic ring, not a ledger,
+#: so it is bounded and overflow is counted instead of stored.
+HISTORY_LIMIT = 256
 
 
 @dataclass
@@ -43,7 +49,14 @@ class CancellationEngine:
     aspace: object
     #: destructor helper id -> callable(value:int, cpu:int)
     destructors: dict[int, object] = field(default_factory=dict)
-    history: list[CancellationRecord] = field(default_factory=list)
+    #: Ring of the most recent records (maxlen HISTORY_LIMIT).
+    history: deque = field(default_factory=lambda: deque(maxlen=HISTORY_LIMIT))
+    #: Records evicted from the ring (total cancellations is
+    #: ``len(history) + dropped``).
+    dropped: int = 0
+    #: Optional hook called as ``on_unwound(record, cpu)`` after every
+    #: completed unwind — the quiescence auditor attaches here.
+    on_unwound: object = None
 
     def bind_destructor(self, helper_id: int, fn) -> None:
         self.destructors[helper_id] = fn
@@ -80,7 +93,11 @@ class CancellationEngine:
         if cancel_callback is not None:
             ret = int(cancel_callback(default_ret))
         record.default_ret = ret
+        if len(self.history) == self.history.maxlen:
+            self.dropped += 1
         self.history.append(record)
+        if self.on_unwound is not None:
+            self.on_unwound(record, cpu)
         return ret, record
 
     def _read_location(self, result: ExecResult, entry: ObjTableEntry) -> int:

@@ -49,6 +49,13 @@ class LockManager:
         self.heap = heap
         self.aspace = aspace
         self.stats = LockStats()
+        #: Optional :class:`repro.sim.faults.FaultInjector` — injected
+        #: stalls model a holder that never releases (§4.4).
+        self.injector = None
+        #: Every lock word ever touched through this manager; the
+        #: quiescence auditor walks it to assert no extension token is
+        #: left behind after a cancellation.
+        self._known: set[int] = set()
 
     # -- common --------------------------------------------------------------
 
@@ -58,6 +65,7 @@ class LockManager:
         # rather than trapping (extensions' own accesses, by contrast,
         # cancel on unpopulated pages, §3.3 C2).
         self.heap.populate(addr, 8)
+        self._known.add(addr)
         return addr
 
     def owner(self, lock_addr: int) -> int:
@@ -70,6 +78,8 @@ class LockManager:
 
     def ext_lock(self, lock_addr: int, cpu: int) -> None:
         addr = self._word(lock_addr)
+        if self.injector is not None:
+            self.injector.at_lock(lock_addr)
         word = self.aspace.read_int(addr, 8)
         owner = word & OWNER_MASK
         token = EXT_TOKEN_BASE + cpu
@@ -104,6 +114,25 @@ class LockManager:
         if word & OWNER_MASK == EXT_TOKEN_BASE + cpu:
             self.aspace.write_int(addr, word & ~OWNER_MASK, 8)
             self.stats.forced_releases += 1
+
+    # -- auditing ------------------------------------------------------------
+
+    def held_ext_locks(self, cpu: int | None = None) -> list[tuple[int, int]]:
+        """``(lock word addr, owner token)`` for every known lock held
+        by an extension (optionally: by the given CPU's token only).
+
+        After a cancellation unwound, this must be empty for the dead
+        invocation — the quiescence invariant (§3.3).
+        """
+        held = []
+        for addr in sorted(self._known):
+            owner = self.aspace.read_int(addr, 8) & OWNER_MASK
+            if owner == 0 or owner >= USER_TOKEN_BASE:
+                continue
+            if cpu is not None and owner != EXT_TOKEN_BASE + cpu:
+                continue
+            held.append((addr, owner))
+        return held
 
     # -- user side (§3.4) ---------------------------------------------------------
 

@@ -32,9 +32,11 @@ from repro.ebpf.program import Program, HOOKS
 from repro.ebpf.verifier import Verifier, VerifierConfig
 from repro.core import kie
 from repro.core.allocator import KflexAllocator
+from repro.core.audit import QuiescenceAuditor, audit_enabled, reclaim_orphans
 from repro.core.cancellation import CancellationEngine
 from repro.core.heap import ExtensionHeap
 from repro.core.locks import LockManager
+from repro.core.supervisor import ExtensionSupervisor, HARD_REASONS
 from repro.kernel.machine import Kernel
 
 #: Per-CPU hook context area (xdp_md / sk_skb / bench context).
@@ -112,6 +114,11 @@ class LoadedExtension:
         #: invocations (the ISSUE's "program execution cache").
         self._engines: dict[int, object] = {}
         self._wd_callback = None
+        #: ExecResult of the most recent run (parity/diagnostic surface).
+        self.last_result = None
+        #: Whether revive() should re-attach to the hook (set by load()).
+        self._reattach_on_revive = False
+        self.cancellation.on_unwound = self._post_unwind
 
     # -- plumbing ---------------------------------------------------------
 
@@ -146,7 +153,10 @@ class LoadedExtension:
                 },
                 heap=self.heap,
                 allowed_store_regions=self._allowed_prefixes,
+                injector=self.runtime.injector,
             )
+            if self.runtime.watchdog_period is not None:
+                env.watchdog_period = self.runtime.watchdog_period
             self._envs[cpu] = env
         return env
 
@@ -175,8 +185,14 @@ class LoadedExtension:
     def invoke(self, ctx_addr: int = 0, cpu: int = 0) -> int:
         """Run the extension once at the given hook context."""
         if self.dead:
-            return self.program.default_ret
+            # Quarantined extensions heal via exponential backoff: once
+            # the penalty elapses the supervisor revives them (§4.3 +
+            # the supervision layer).  Other dead states stay dead.
+            if not self.runtime.supervisor.try_readmit(self):
+                return self.program.default_ret
         env = self._env(cpu)
+        if self.allocator is not None and audit_enabled():
+            self.allocator.begin_invocation(cpu)
         if self.heap is not None and self.quantum_units is not None:
             wd = self.kernel.watchdog
             wd.quantum_units = self.quantum_units
@@ -191,6 +207,7 @@ class LoadedExtension:
             aspace.active_pkeys = {self.heap.pkey}
         result = self._engine(cpu).run(ctx_addr)
         aspace.active_pkeys = None
+        self.last_result = result
         cost = result.cost + self.jprog.prologue_cost
         self.stats.invocations += 1
         self.stats.total_cost_units += cost
@@ -233,16 +250,48 @@ class LoadedExtension:
         # Policy (§4.3): non-termination cancels the extension globally —
         # unload it; the heap survives for the user-space application.
         # With the future-work "cpu" scope, only this invocation dies.
-        stalled = reason in ("watchdog", "hard_stall", "lock_stall", "sleep_stall")
-        if (stalled and self.cancel_scope == "global") or self.unload_on_fault:
-            self.unload()
+        # The supervisor owns the decision: hard reasons quarantine
+        # immediately (unload + backoff), soft faults count against the
+        # fault-rate window and quarantine when persistent.
+        hard = (
+            reason in HARD_REASONS and self.cancel_scope == "global"
+        ) or self.unload_on_fault
+        self.runtime.supervisor.note_cancellation(self, reason, hard=hard)
         if self.heap is not None:
             self.kernel.watchdog.disarm(self.heap, self.kernel.aspace)
         return ret
 
+    def _post_unwind(self, record, cpu: int) -> None:
+        """Quiescence after every unwind (mandatory in tests): reclaim
+        allocations the dead invocation never published — unreachable
+        to the program forever — then audit that nothing leaked."""
+        if not audit_enabled():
+            return
+        if self.allocator is not None and self.heap is not None:
+            for addr in reclaim_orphans(self.allocator, self.heap, cpu):
+                record.released.append(("heap_mem", addr))
+        self.runtime.auditor.audit(self, record, cpu)
+
     def unload(self) -> None:
         self.dead = True
         self.kernel.hooks.detach(self)
+        if self.heap is not None:
+            # Stop monitoring: without this the watchdog's _armed dict
+            # leaks an entry per armed-then-unloaded extension.
+            self.kernel.watchdog.forget(self.heap)
+
+    def revive(self) -> None:
+        """Re-admit a quarantined extension (supervisor only): clear the
+        dead flag, restore the terminate cell, re-attach if it was
+        hook-attached at load.  The heap survived quarantine (§3.4), so
+        the extension resumes over its existing data."""
+        if not self.dead:
+            return
+        self.dead = False
+        if self.heap is not None:
+            self.kernel.watchdog.disarm(self.heap, self.kernel.aspace)
+        if self._reattach_on_revive:
+            self.kernel.hooks.attach(self)
 
     # -- context staging ---------------------------------------------------
 
@@ -284,7 +333,13 @@ def _copy_from_user(kernel, heap, dst: int, size: int, user_src: int) -> int:
 class KFlexRuntime:
     """One runtime per kernel; owns heaps and the load pipeline."""
 
-    def __init__(self, kernel: Kernel | None = None, *, engine: str | None = None):
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        *,
+        engine: str | None = None,
+        supervisor_policy=None,
+    ):
         self.kernel = kernel or Kernel()
         #: Default execution engine for extensions loaded by this
         #: runtime; individual loads may override.  See repro.ebpf.engine.
@@ -295,6 +350,38 @@ class KFlexRuntime:
         #: cpu -> (ctx base addr, ctx backing bytearray)
         self._ctx_slots: dict[int, tuple[int, bytearray]] = {}
         self.extensions: list[LoadedExtension] = []
+        #: Fault injector threaded through engines/helpers/allocator/
+        #: locks/watchdog; installed by :meth:`install_injector`.
+        self.injector = None
+        #: Override for ExecEnv.watchdog_period (None = keep default);
+        #: chaos campaigns shorten it so short invocations still give
+        #: the watchdog — and wd_fire injection — opportunities to run.
+        self.watchdog_period: int | None = None
+        self.supervisor = ExtensionSupervisor(self.kernel, supervisor_policy)
+        self.auditor = QuiescenceAuditor(self.kernel)
+
+    # -- fault injection ------------------------------------------------------
+
+    def install_injector(self, plan_or_injector) -> "object":
+        """Thread a fault plan through every injection point.
+
+        Accepts a :class:`repro.sim.faults.FaultPlan` or a built
+        :class:`~repro.sim.faults.FaultInjector`; returns the injector.
+        Pass ``None`` to remove injection everywhere.
+        """
+        inj = plan_or_injector
+        if inj is not None and hasattr(inj, "build"):
+            inj = inj.build()
+        self.injector = inj
+        self.kernel.watchdog.injector = inj
+        for allocator in self.allocators.values():
+            allocator.injector = inj
+        for locks in self.lock_managers.values():
+            locks.injector = inj
+        for ext in self.extensions:
+            for env in ext._envs.values():
+                env.injector = inj
+        return inj
 
     # -- heaps ---------------------------------------------------------------
 
@@ -312,8 +399,12 @@ class KFlexRuntime:
             self.kernel, size, name, cg, sfi=sfi, striped_arena=striped_arena
         )
         self.heaps[heap.fd] = heap
-        self.allocators[heap.fd] = KflexAllocator(heap, self.kernel.n_cpus)
-        self.lock_managers[heap.fd] = LockManager(heap, self.kernel.aspace)
+        allocator = KflexAllocator(heap, self.kernel.n_cpus)
+        allocator.injector = self.injector
+        self.allocators[heap.fd] = allocator
+        locks = LockManager(heap, self.kernel.aspace)
+        locks.injector = self.injector
+        self.lock_managers[heap.fd] = locks
         return heap
 
     def allocator_for(self, heap: ExtensionHeap) -> KflexAllocator:
@@ -407,6 +498,7 @@ class KFlexRuntime:
         self.extensions.append(ext)
         if attach:
             self.kernel.hooks.attach(ext)
+            ext._reattach_on_revive = True
         return ext
 
     def load_kmod(

@@ -1,0 +1,159 @@
+"""Extension supervision: health tracking, quarantine, re-admission.
+
+The paper's cancellation policy (§4.3) is binary: a non-terminating
+extension is unloaded everywhere, for good.  A production runtime needs
+the layer above that decision — which this module provides:
+
+* **Health tracking** — per-extension cancellation counts by reason and
+  a fault-rate window over recent invocations.
+* **Quarantine** — an extension that stalls (watchdog / hard stall /
+  lock or sleep stall) or faults too often inside the window is marked
+  dead and unloaded; its heap survives (§3.4), so user space keeps
+  serving from the shared data.
+* **Exponential backoff re-admission** — each quarantine doubles the
+  (simulated-clock) penalty; once it elapses, the next invocation
+  attempt revives the extension.  Repeatedly-misbehaving extensions
+  therefore spend asymptotically all their time quarantined without
+  ever needing a permanent operator decision, and a transient fault
+  storm (exactly what the chaos campaigns inject) heals on its own.
+
+Graceful degradation is the application half of the story: the
+``Supervised*`` wrappers in ``repro.apps`` route requests to the
+userspace path while the extension is quarantined — the §3.4 semantics
+(heap survives, service continues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Reasons that quarantine immediately (the paper's global-cancellation
+#: triggers): the extension provably cannot be trusted to terminate.
+HARD_REASONS = ("watchdog", "hard_stall", "lock_stall", "sleep_stall")
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Knobs for the supervisor; defaults suit the test workloads."""
+
+    #: Fault-rate window, in invocations.
+    window: int = 64
+    #: Faults within one window that trigger quarantine.
+    max_faults: int = 8
+    #: First-quarantine backoff, simulated nanoseconds.
+    base_backoff_ns: int = 200_000
+    #: Backoff multiplier per successive quarantine.
+    backoff_factor: int = 4
+    #: Backoff ceiling.
+    max_backoff_ns: int = 1_000_000_000
+
+
+@dataclass
+class ExtHealth:
+    """Supervisor-side state for one extension."""
+
+    window_start: int = 0  # invocation count at window open
+    window_faults: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    #: Simulated time at which re-admission is allowed; -1 = healthy.
+    quarantined_until_ns: int = -1
+
+    @property
+    def quarantined(self) -> bool:
+        return self.quarantined_until_ns >= 0
+
+
+@dataclass
+class SupervisorStats:
+    quarantines: int = 0
+    readmissions: int = 0
+    soft_faults: int = 0  # window-counted, below threshold
+    reasons: dict = field(default_factory=dict)
+
+
+class ExtensionSupervisor:
+    """Per-runtime supervisor; the runtime reports every cancellation."""
+
+    def __init__(self, kernel, policy: QuarantinePolicy | None = None):
+        self.kernel = kernel
+        self.policy = policy or QuarantinePolicy()
+        self._health: dict[int, ExtHealth] = {}  # id(ext) -> health
+        self._exts: dict[int, object] = {}  # keep exts alive for id keys
+        self.stats = SupervisorStats()
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def health(self, ext) -> ExtHealth:
+        h = self._health.get(id(ext))
+        if h is None:
+            h = self._health[id(ext)] = ExtHealth()
+            self._exts[id(ext)] = ext
+        return h
+
+    # -- cancellation intake ----------------------------------------------
+
+    def note_cancellation(self, ext, reason: str, *, hard: bool = False) -> bool:
+        """Record one cancellation; returns True if it quarantined.
+
+        ``hard`` marks the paper's global-cancellation cases (the
+        runtime passes it for :data:`HARD_REASONS` under the default
+        global cancellation scope) — quarantine immediately.  Soft
+        faults (contained page faults, helper errors) count against the
+        fault-rate window and quarantine only when the extension
+        misbehaves persistently.
+        """
+        self.stats.reasons[reason] = self.stats.reasons.get(reason, 0) + 1
+        if hard:
+            self.quarantine(ext, reason)
+            return True
+        h = self.health(ext)
+        inv = ext.stats.invocations
+        if inv - h.window_start >= self.policy.window:
+            h.window_start = inv
+            h.window_faults = 0
+        h.window_faults += 1
+        if h.window_faults >= self.policy.max_faults:
+            self.quarantine(ext, reason)
+            return True
+        self.stats.soft_faults += 1
+        return False
+
+    # -- quarantine lifecycle ---------------------------------------------
+
+    def quarantine(self, ext, reason: str = "") -> None:
+        """Mark the extension dead with exponential-backoff re-admission."""
+        h = self.health(ext)
+        backoff = min(
+            self.policy.base_backoff_ns
+            * self.policy.backoff_factor ** h.quarantines,
+            self.policy.max_backoff_ns,
+        )
+        h.quarantines += 1
+        h.quarantined_until_ns = self.kernel.now_ns() + backoff
+        h.window_faults = 0
+        h.window_start = ext.stats.invocations
+        self.stats.quarantines += 1
+        if not ext.dead:
+            ext.unload()
+
+    def try_readmit(self, ext) -> bool:
+        """Revive the extension if its backoff elapsed; False otherwise."""
+        h = self._health.get(id(ext))
+        if h is None or not h.quarantined:
+            return False
+        if self.kernel.now_ns() < h.quarantined_until_ns:
+            return False
+        h.quarantined_until_ns = -1
+        h.readmissions += 1
+        self.stats.readmissions += 1
+        ext.revive()
+        return True
+
+    def status(self, ext) -> str:
+        h = self._health.get(id(ext))
+        if h is None:
+            return "healthy"
+        if h.quarantined:
+            return f"quarantined until {h.quarantined_until_ns} ns"
+        return "healthy" if not ext.dead else "dead"

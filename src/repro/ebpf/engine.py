@@ -726,7 +726,14 @@ class ThreadedEngine:
             tt = heap.terminate_target
             read = env.aspace.read_int
 
-            def h(regs, hdata=hdata, toff=toff, tt=tt, read=read, npc=npc):
+            def h(regs, env=env, heap=heap, hdata=hdata, toff=toff, tt=tt,
+                  read=read, npc=npc):
+                # Fault injection first, matching the interpreter's
+                # CANCELPT order exactly (injected fault, then the
+                # terminate-pointer dereference).
+                inj = env.injector
+                if inj is not None:
+                    inj.at_cancelpt(env.aspace, heap)
                 term = int.from_bytes(hdata[toff : toff + 8], "little")
                 if term != tt:
                     read(term, 1)

@@ -212,6 +212,12 @@ class HelperTable:
         impl = self._impls.get(hid)
         if impl is None:
             raise HelperFault(f"helper {self.declaration(hid).name} not bound")
+        # Shared choke point of both execution engines: injected helper
+        # failures surface here so the fire schedule is engine-identical.
+        # (getattr: bare tests invoke with env=None or stub objects.)
+        inj = getattr(env, "injector", None)
+        if inj is not None:
+            inj.at_helper(hid, DECLARATIONS[hid].name)
         return impl(env, *args)
 
     def is_bound(self, hid: int) -> bool:

@@ -165,6 +165,10 @@ class ExecEnv:
     #: *user-space* address traps — which cancels the extension instead
     #: of letting a malicious application steer its control flow.
     smap: bool = True
+    #: Optional :class:`repro.sim.faults.FaultInjector`.  Consulted at
+    #: every CANCELPT (by both engines, in identical order) so injected
+    #: heap / SFI faults surface exactly where organic ones would.
+    injector: object | None = None
     stack_base: int = 0  # mapped lazily
 
     def ensure_stack(self) -> int:
@@ -329,6 +333,8 @@ class Interpreter:
                     elif op == isa.KFLEX_CANCELPT:
                         if heap is None:
                             raise KernelPanic("CANCELPT without an extension heap")
+                        if env.injector is not None:
+                            env.injector.at_cancelpt(aspace, heap)
                         term_ptr = aspace.read_int(heap.terminate_cell, 8)
                         # Dereference the terminate pointer: faults (and
                         # thus cancels) when the watchdog zeroed it.

@@ -384,12 +384,13 @@ class Verifier:
                     self._record_cp(cp_records, idx, st, spill_sites, spill_conflicts)
                 elif insn.is_call:
                     decl = DECLARATIONS.get(insn.imm)
-                    if decl is not None and (decl.may_spin or decl.may_sleep):
-                        # A spinning helper (lock acquire) is a
-                        # cancellation-prone site: the runtime may cancel
-                        # the extension while it waits (§4.4), so it
-                        # needs an object table of the resources held
-                        # *before* the call.
+                    if decl is not None:
+                        # Every helper call is a cancellation-prone
+                        # site: a spinning helper may be cancelled while
+                        # it waits (§4.4), and any helper may report a
+                        # fault that cancels the extension — so each
+                        # call needs an object table of the resources
+                        # held *before* it runs.
                         self._record_cp(
                             cp_records, idx, st, spill_sites, spill_conflicts
                         )

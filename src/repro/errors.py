@@ -119,6 +119,16 @@ class KernelPanic(ReproError):
     """
 
 
+class QuiescenceViolation(KernelPanic):
+    """The quiescence invariant failed after a cancellation unwind:
+    a held lock, a live socket reference, or an orphaned allocation
+    survived the dead invocation (§3.3).  A subclass of
+    :class:`KernelPanic` because a non-quiescent kernel is exactly the
+    failure KFlex's cancellation machinery exists to prevent — chaos
+    campaigns assert none is ever raised.
+    """
+
+
 class OutOfMemory(ReproError):
     """vmalloc arena or cgroup limit exhausted."""
 

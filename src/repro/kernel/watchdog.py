@@ -22,6 +22,10 @@ DEFAULT_QUANTUM_UNITS = 2_300_000
 class Watchdog:
     quantum_units: int = DEFAULT_QUANTUM_UNITS
     fires: int = 0
+    premature_fires: int = 0  # injected (chaos) fires
+    #: Optional :class:`repro.sim.faults.FaultInjector` — lets chaos
+    #: campaigns model a watchdog firing before the quantum expired.
+    injector: object = None
     #: extensions currently being monitored: heap -> armed flag
     _armed: dict = field(default_factory=dict)
 
@@ -30,7 +34,14 @@ class Watchdog:
         every few thousand instructions with the cost so far."""
 
         def cb(cost_units: int) -> None:
-            if cost_units >= self.quantum_units and not self._armed.get(heap):
+            if self._armed.get(heap):
+                return
+            fire = cost_units >= self.quantum_units
+            if not fire and self.injector is not None \
+                    and self.injector.take_wd_fire():
+                fire = True
+                self.premature_fires += 1
+            if fire:
                 self._armed[heap] = True
                 self.fires += 1
                 # Zero the terminate pointer: every back-edge Cp now
@@ -49,3 +60,20 @@ class Watchdog:
         """
         self._armed.pop(heap, None)
         aspace.write_int(heap.terminate_cell, heap.terminate_target, 8)
+
+    def forget(self, heap) -> None:
+        """Stop monitoring a heap without touching its memory.
+
+        Called on extension unload so ``_armed`` does not leak an entry
+        (and so a new extension over the same heap starts clean); the
+        terminate cell is left as-is because the unloading path restores
+        it via :meth:`disarm` when appropriate.
+        """
+        self._armed.pop(heap, None)
+
+    def is_armed(self, heap) -> bool:
+        return bool(self._armed.get(heap))
+
+    def monitored(self) -> int:
+        """Number of heaps with live ``_armed`` entries (leak check)."""
+        return len(self._armed)

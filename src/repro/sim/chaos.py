@@ -1,0 +1,447 @@
+"""Seeded chaos campaigns over the supervised applications.
+
+A *campaign* drives hundreds of application requests through a KFlex
+runtime with a :class:`~repro.sim.faults.FaultPlan` installed, and
+checks the paper's end-to-end robustness claims (§3.3, §3.4, §4.3):
+
+* **No panics.**  Every injected fault ends in a clean cancellation;
+  a ``KernelPanic`` (including a ``QuiescenceViolation`` from the
+  per-cancellation audit) escapes the campaign and fails it.
+* **Quiescence.**  Quiescence auditing is forced on for the campaign's
+  duration, so every cancellation is followed by a lock/sock/alloc
+  audit, and a final :meth:`QuiescenceAuditor.sweep` checks the whole
+  runtime after the last request.
+* **Graceful degradation.**  The memcached/redis campaigns run through
+  the supervised wrappers and oracle-check every result against a
+  shadow store — correct answers are required *through* quarantine,
+  via the userspace fallback and the surviving heap (§3.4).
+* **Deterministic replay.**  The campaign folds every op, result and
+  injector fire into a SHA-256 digest.  Same seed + same engine (or
+  the other engine — injection points are engine-order identical)
+  must reproduce the digest bit for bit.
+
+Run from the command line (see ``make chaos-quick``)::
+
+    python -m repro.sim.chaos --apps memcached redis --ops 200 --seed 7
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.audit import audit_enabled, enable_quiescence_audit
+from repro.core.runtime import KFlexRuntime
+from repro.core.supervisor import QuarantinePolicy
+from repro.kernel.watchdog import DEFAULT_QUANTUM_UNITS
+from repro.sim.faults import FaultPlan
+
+#: Per-opportunity trigger rates tuned so a few-hundred-op campaign
+#: sees every kind fire multiple times without drowning the service.
+DEFAULT_RATES = {
+    "heap_page": 0.004,
+    "sfi_guard": 0.004,
+    "helper_fail": 0.01,
+    "alloc_fail": 0.02,
+    "wd_fire": 0.02,
+    "lock_stall": 0.01,
+}
+
+#: Campaign apps, in CLI order.
+APPS = ("memcached", "redis", "datastructures")
+
+
+def chaos_policy() -> QuarantinePolicy:
+    """Quarantine knobs for chaos runs: trip fast, heal fast.
+
+    Backoffs are short on the simulated clock (one request advances it
+    by a few microseconds), so campaigns exercise the full
+    quarantine → backoff → re-admission → replay cycle many times.
+    """
+    return QuarantinePolicy(
+        window=32,
+        max_faults=4,
+        base_backoff_ns=50_000,
+        backoff_factor=4,
+        max_backoff_ns=5_000_000,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Observable outcome of one campaign (the determinism surface)."""
+
+    app: str
+    engine: str
+    seed: int
+    n_ops: int
+    #: SHA-256 over every (op, result) pair and the injector fire log.
+    digest: str = ""
+    kinds_fired: tuple = ()
+    total_fires: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    cancellations: int = 0
+    kernel_ops: int = 0
+    fallback_ops: int = 0
+    #: Overlay entries never replayed (extension still quarantined at
+    #: the end of the run) — informational, not an error.
+    pending: int = 0
+    #: Oracle mismatches: (op index, description).  Must be empty.
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.errors)} ERRORS"
+        kinds = ",".join(self.kinds_fired) or "-"
+        return (
+            f"chaos[{self.app}/{self.engine}] seed={self.seed} "
+            f"ops={self.n_ops} fires={self.total_fires} ({kinds}) "
+            f"quar={self.quarantines} readmit={self.readmissions} "
+            f"cancel={self.cancellations} kernel={self.kernel_ops} "
+            f"fallback={self.fallback_ops} pending={self.pending} "
+            f"digest={self.digest[:16]} {status}"
+        )
+
+
+def _mix(hasher, *parts) -> None:
+    hasher.update("|".join(str(p) for p in parts).encode())
+    hasher.update(b"\n")
+
+
+def _finish(report: ChaosReport, rt, hasher, inj, stats=None) -> ChaosReport:
+    """Common tail: runtime-wide sweep, stats, digest."""
+    # Final quiescence sweep across every allocator/lock manager and
+    # the global socket table — raises QuiescenceViolation on leaks.
+    rt.auditor.sweep(rt)
+    for kind, n in sorted(inj.fires.items()):
+        _mix(hasher, "fire", kind, n)
+    for kind, ordinal in inj.log:
+        _mix(hasher, "log", kind, ordinal)
+    report.digest = hasher.hexdigest()
+    report.kinds_fired = tuple(sorted(inj.kinds_fired()))
+    report.total_fires = inj.total_fires()
+    report.quarantines = rt.supervisor.stats.quarantines
+    report.readmissions = rt.supervisor.stats.readmissions
+    if stats is not None:
+        report.kernel_ops = stats[0]
+        report.fallback_ops = stats[1]
+    return report
+
+
+def _record_error(report: ChaosReport, i: int, msg: str, cap: int = 20) -> None:
+    if len(report.errors) < cap:
+        report.errors.append((i, msg))
+
+
+def _colliding_ids(bucket_of, encode, n_keys: int, per_bucket: int) -> list[int]:
+    """Deterministic key ids that share hash buckets.
+
+    Uniform keys over the 4096-bucket tables almost never collide, so
+    bucket chains stay one entry long and the loop back-edge CANCELPTs
+    never execute — which would starve the heap-fault kinds of
+    opportunities.  Scanning ids in order and keeping the first
+    ``per_bucket`` hits of the first ``n_keys / per_bucket`` buckets to
+    fill up yields chains long enough to walk every request.
+    """
+    buckets: dict[int, list[int]] = {}
+    full: list[int] = []
+    cand = 0
+    while len(full) * per_bucket < n_keys:
+        b = bucket_of(encode(cand))
+        ids = buckets.setdefault(b, [])
+        if len(ids) < per_bucket:
+            ids.append(cand)
+            if len(ids) == per_bucket:
+                full.append(b)
+        cand += 1
+    return [i for b in full for i in buckets[b]][:n_keys]
+
+
+#: Simulated per-request interarrival time.  Fallback-served requests
+#: never run the extension (which is what advances the cost-model
+#: clock), so without this the clock freezes during quarantine and the
+#: re-admission backoff would never elapse.
+REQUEST_GAP_NS = 2_000
+
+
+class _audit_forced:
+    """Force quiescence auditing on for the campaign, then restore."""
+
+    def __enter__(self):
+        self._prev = audit_enabled()
+        enable_quiescence_audit(True)
+
+    def __exit__(self, *exc):
+        enable_quiescence_audit(self._prev)
+
+
+def _make_runtime(engine: str, policy: QuarantinePolicy | None):
+    rt = KFlexRuntime(engine=engine, supervisor_policy=policy or chaos_policy())
+    # Short watchdog period so injected premature fires actually get a
+    # chance to trigger on ~100-step requests (the production period of
+    # 4096 steps would make wd_fire unreachable for small extensions).
+    rt.watchdog_period = 64
+    return rt
+
+
+# ---------------------------------------------------------------------------
+# Memcached
+# ---------------------------------------------------------------------------
+
+
+def run_memcached_campaign(
+    seed: int = 0,
+    n_ops: int = 600,
+    engine: str = "threaded",
+    *,
+    rates: dict | None = None,
+    policy: QuarantinePolicy | None = None,
+    key_space: int = 64,
+) -> ChaosReport:
+    """GET/SET storm through :class:`SupervisedMemcached` + oracle."""
+    import random
+
+    from repro.apps.memcached import protocol as P
+    from repro.apps.memcached.supervised import SupervisedMemcached, _bucket_of
+
+    report = ChaosReport("memcached", engine, seed, n_ops)
+    hasher = hashlib.sha256()
+    rng = random.Random(f"chaos:{seed}:memcached")
+    keys = _colliding_ids(_bucket_of, P.key_bytes, key_space, per_bucket=8)
+    with _audit_forced():
+        rt = _make_runtime(engine, policy)
+        inj = rt.install_injector(FaultPlan(seed, rates or DEFAULT_RATES))
+        sm = SupervisedMemcached(
+            rt,
+            use_locks=True,
+            heap_size=1 << 22,
+            quantum_units=DEFAULT_QUANTUM_UNITS,
+        )
+        shadow: dict[int, int] = {}
+        for i in range(n_ops):
+            rt.kernel.advance_ns(REQUEST_GAP_NS)
+            key = keys[rng.randrange(len(keys))]
+            if rng.random() < 0.5:
+                value = rng.getrandbits(63)
+                ok = sm.set(key, value)
+                if not ok:
+                    _record_error(report, i, f"SET {key} refused")
+                else:
+                    shadow[key] = value
+                _mix(hasher, i, "set", key, value, ok)
+            else:
+                got = sm.get(key)
+                want = (
+                    (True, shadow[key]) if key in shadow else (False, None)
+                )
+                if got != want:
+                    _record_error(
+                        report, i, f"GET {key}: got {got}, want {want}"
+                    )
+                _mix(hasher, i, "get", key, got)
+        # End-to-end check: every key answers correctly, kernel path or
+        # fallback alike.
+        for key, want in sorted(shadow.items()):
+            got = sm.get(key)
+            if got != (True, want):
+                _record_error(report, n_ops, f"final GET {key}: {got}")
+            _mix(hasher, "final", key, got)
+        report.cancellations = sm.ext.stats.cancellations
+        report.pending = sm.pending
+        stats = (
+            sm.stats.kernel_gets + sm.stats.kernel_sets,
+            sm.stats.fallback_gets + sm.stats.fallback_sets,
+        )
+        return _finish(report, rt, hasher, inj, stats)
+
+
+# ---------------------------------------------------------------------------
+# Redis
+# ---------------------------------------------------------------------------
+
+
+def run_redis_campaign(
+    seed: int = 0,
+    n_ops: int = 600,
+    engine: str = "threaded",
+    *,
+    rates: dict | None = None,
+    policy: QuarantinePolicy | None = None,
+    key_space: int = 32,
+    zset_keys: int = 4,
+    member_space: int = 16,
+) -> ChaosReport:
+    """GET/SET/ZADD storm through :class:`SupervisedRedis` + oracle.
+
+    String keys and zset keys live in disjoint id ranges.  Each
+    (zset, member) pair always gets the same score, so repeated ZADDs
+    are idempotent and the end-state check is a plain set comparison.
+    """
+    import random
+
+    from repro.apps.redis import protocol as P
+    from repro.apps.redis.supervised import SupervisedRedis, _bucket_of
+
+    report = ChaosReport("redis", engine, seed, n_ops)
+    hasher = hashlib.sha256()
+    rng = random.Random(f"chaos:{seed}:redis")
+    keys = _colliding_ids(_bucket_of, P.key_bytes, key_space, per_bucket=8)
+    zbase = 1 << 20  # zset key ids, disjoint from string keys
+    with _audit_forced():
+        rt = _make_runtime(engine, policy)
+        inj = rt.install_injector(FaultPlan(seed, rates or DEFAULT_RATES))
+        sr = SupervisedRedis(
+            rt, heap_size=1 << 22, quantum_units=DEFAULT_QUANTUM_UNITS
+        )
+        strings: dict[int, int] = {}
+        zsets: dict[int, set] = {}
+        for i in range(n_ops):
+            rt.kernel.advance_ns(REQUEST_GAP_NS)
+            roll = rng.random()
+            if roll < 0.35:
+                key = keys[rng.randrange(len(keys))]
+                value = rng.getrandbits(63)
+                ok = sr.set(key, value)
+                if not ok:
+                    _record_error(report, i, f"SET {key} refused")
+                else:
+                    strings[key] = value
+                _mix(hasher, i, "set", key, value, ok)
+            elif roll < 0.70:
+                key = keys[rng.randrange(len(keys))]
+                got = sr.get(key)
+                want = (
+                    (True, strings[key]) if key in strings else (False, None)
+                )
+                if got != want:
+                    _record_error(
+                        report, i, f"GET {key}: got {got}, want {want}"
+                    )
+                _mix(hasher, i, "get", key, got)
+            else:
+                key = zbase + rng.randrange(zset_keys)
+                member = rng.randrange(member_space)
+                score = member * 10  # fixed per member: idempotent
+                ok = sr.zadd(key, score, member)
+                if not ok:
+                    _record_error(report, i, f"ZADD {key} refused")
+                else:
+                    zsets.setdefault(key, set()).add((score, member))
+                _mix(hasher, i, "zadd", key, score, member, ok)
+        for key, want in sorted(strings.items()):
+            got = sr.get(key)
+            if got != (True, want):
+                _record_error(report, n_ops, f"final GET {key}: {got}")
+            _mix(hasher, "final", key, got)
+        for key, want in sorted(zsets.items()):
+            got = sr.zset_members(key)
+            if got != sorted(want):
+                _record_error(
+                    report, n_ops, f"final ZSET {key}: {got} != {sorted(want)}"
+                )
+            _mix(hasher, "final-zset", key, tuple(got))
+        report.cancellations = sr.ext.stats.cancellations
+        report.pending = sr.pending
+        stats = (sr.stats.kernel_ops, sr.stats.fallback_ops)
+        return _finish(report, rt, hasher, inj, stats)
+
+
+# ---------------------------------------------------------------------------
+# Data structures
+# ---------------------------------------------------------------------------
+
+
+def run_datastructures_campaign(
+    seed: int = 0,
+    n_ops: int = 400,
+    engine: str = "threaded",
+    *,
+    rates: dict | None = None,
+    policy: QuarantinePolicy | None = None,
+    key_space: int = 48,
+) -> ChaosReport:
+    """Update/lookup/delete storm over hashmap + linkedlist.
+
+    No userspace fallback wrapper exists for the raw data structures, so
+    this campaign checks the robustness half only: no panics, quiescence
+    after every cancellation, and a deterministic digest — a quarantined
+    structure answering with its default return is acceptable.
+    """
+    import random
+
+    from repro.apps.datastructures.hashmap import HashMapDS
+    from repro.apps.datastructures.linkedlist import LinkedListDS
+
+    report = ChaosReport("datastructures", engine, seed, n_ops)
+    hasher = hashlib.sha256()
+    rng = random.Random(f"chaos:{seed}:datastructures")
+    with _audit_forced():
+        rt = _make_runtime(engine, policy)
+        inj = rt.install_injector(FaultPlan(seed, rates or DEFAULT_RATES))
+        structures = [HashMapDS(rt), LinkedListDS(rt)]
+        for i in range(n_ops):
+            rt.kernel.advance_ns(REQUEST_GAP_NS)
+            ds = structures[rng.randrange(len(structures))]
+            key = rng.randrange(key_space)
+            roll = rng.random()
+            if roll < 0.5:
+                ret = ds.update(key, rng.getrandbits(32))
+                op = "update"
+            elif roll < 0.85:
+                ret = ds.lookup(key)
+                op = "lookup"
+            else:
+                ret = ds.delete(key)
+                op = "delete"
+            _mix(hasher, i, ds.NAME, op, key, ret)
+        report.cancellations = sum(
+            ext.stats.cancellations
+            for ds in structures
+            for ext in ds.exts.values()
+        )
+        return _finish(report, rt, hasher, inj)
+
+
+_CAMPAIGNS = {
+    "memcached": run_memcached_campaign,
+    "redis": run_redis_campaign,
+    "datastructures": run_datastructures_campaign,
+}
+
+
+def run_campaign(app: str, *args, **kwargs) -> ChaosReport:
+    return _CAMPAIGNS[app](*args, **kwargs)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description="seeded chaos campaigns")
+    ap.add_argument("--apps", nargs="+", default=list(APPS), choices=APPS)
+    ap.add_argument("--engines", nargs="+", default=["interp", "threaded"])
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--ops", type=int, default=300)
+    args = ap.parse_args(argv)
+
+    failed = False
+    for app in args.apps:
+        digests = {}
+        for engine in args.engines:
+            report = run_campaign(app, args.seed, args.ops, engine)
+            print(report.describe())
+            for idx, msg in report.errors:
+                print(f"  op {idx}: {msg}")
+            digests[engine] = report.digest
+            failed |= not report.ok
+        if len(set(digests.values())) > 1:
+            print(f"  ENGINE DIVERGENCE in {app}: {digests}")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

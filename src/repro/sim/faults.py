@@ -1,0 +1,207 @@
+"""Deterministic fault injection for the KFlex runtime.
+
+The paper's robustness story (§3.3, §4.3) is that *any* fault in an
+executing extension — a wild access contained by SFI, an unpopulated
+heap page, a failing helper, an exhausted allocator, a watchdog fire, a
+lock that never comes — ends in the same place: a cancellation that
+unwinds to a quiescent kernel.  This module provokes all of those on
+purpose, at seeded random trigger points, so the cancellation machinery
+is exercised at scale instead of only by hand-written fault cases.
+
+Design constraints:
+
+* **Deterministic.**  A :class:`FaultPlan` is (seed, per-kind rates);
+  building it twice and running the same workload yields the same fire
+  schedule, byte for byte.  Each fault kind draws from its own seeded
+  RNG stream, so enabling one kind never perturbs another's schedule.
+* **Engine-order identical.**  Injection decisions are made per
+  *opportunity* (a CANCELPT execution, a helper invocation, a malloc, a
+  lock acquire, a watchdog callback).  Both execution engines hit these
+  opportunities in exactly the same order — the equivalence suite
+  proves it — so an injected plan produces bit-identical ``ExecResult``
+  under ``interp`` and ``threaded``.
+* **Cheap when idle.**  Triggering uses a per-kind geometric countdown
+  (inverse-CDF sampling of the gap between fires), so the per-
+  opportunity cost is a dict lookup and a decrement, not an RNG draw.
+
+Fault taxonomy (see DESIGN.md "Fault injection & supervision"):
+
+========== ==========================================================
+kind       injected at / models
+========== ==========================================================
+heap_page  CANCELPT: access to an unmapped heap guard page (§3.3 C2)
+sfi_guard  CANCELPT: wild pointer contained by mask-and-add landing
+           on an unpopulated page (§3.2 + §3.3 C2)
+helper_fail helper invocation: contract violation / map-op error
+alloc_fail kflex_malloc: allocation exhaustion (returns NULL)
+wd_fire    watchdog callback: premature quantum expiry (§4.3)
+lock_stall kflex_spin_lock: holder never releases (§4.4)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import HelperFault, LockStall, PageFault
+
+#: Every fault kind the injector can provoke, in stream order.
+FAULT_KINDS = (
+    "heap_page",
+    "sfi_guard",
+    "helper_fail",
+    "alloc_fail",
+    "wd_fire",
+    "lock_stall",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible chaos schedule: seed + per-kind trigger rates.
+
+    ``rates`` maps fault kind -> probability of firing at each
+    opportunity of that kind; kinds absent from the dict never fire.
+    ``max_fires`` optionally caps the number of fires per kind (the
+    kind's stream goes quiet once the cap is reached).
+    """
+
+    seed: int = 0
+    rates: dict = field(default_factory=dict)
+    max_fires: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        unknown = set(self.rates) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds in plan: {sorted(unknown)}")
+
+    def build(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`: one seeded stream per fault kind.
+
+    Hook points (all consulted by the runtime/helper layer, never by
+    application code):
+
+    * :meth:`at_cancelpt` — both engines, at every CANCELPT.
+    * :meth:`at_helper` — :class:`~repro.ebpf.helpers.HelperTable`
+      ``invoke``, the shared choke point of both engines.
+    * :meth:`take_alloc_fail` — ``KflexAllocator.malloc``.
+    * :meth:`at_lock` — ``LockManager.ext_lock``.
+    * :meth:`take_wd_fire` — the watchdog's periodic callback.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng: dict[str, random.Random] = {}
+        self._countdown: dict[str, int | None] = {}
+        self.opportunities: dict[str, int] = {}
+        self.fires: dict[str, int] = {}
+        #: Chronological fire log: (kind, opportunity ordinal) — part of
+        #: the deterministic-replay observable surface.
+        self.log: list[tuple[str, int]] = []
+        for kind in FAULT_KINDS:
+            # Seed each stream from (plan seed, kind name).  String
+            # seeds hash via SHA-512 inside random.Random, so this is
+            # stable across processes and Python runs.
+            self._rng[kind] = random.Random(f"faultplan:{plan.seed}:{kind}")
+            self.opportunities[kind] = 0
+            self.fires[kind] = 0
+            self._countdown[kind] = self._draw_gap(kind)
+
+    # -- trigger mechanics ------------------------------------------------
+
+    def _draw_gap(self, kind: str) -> int | None:
+        """Opportunities until the next fire (geometric), or None."""
+        p = self.plan.rates.get(kind, 0.0)
+        if p <= 0.0:
+            return None
+        if p >= 1.0:
+            return 1
+        u = self._rng[kind].random()
+        return 1 + int(math.log(1.0 - u) / math.log(1.0 - p))
+
+    def take(self, kind: str) -> bool:
+        """Count one opportunity for ``kind``; True when it fires."""
+        self.opportunities[kind] += 1
+        cd = self._countdown[kind]
+        if cd is None:
+            return False
+        if cd > 1:
+            self._countdown[kind] = cd - 1
+            return False
+        self.fires[kind] += 1
+        self.log.append((kind, self.opportunities[kind]))
+        cap = self.plan.max_fires.get(kind)
+        if cap is not None and self.fires[kind] >= cap:
+            self._countdown[kind] = None
+        else:
+            self._countdown[kind] = self._draw_gap(kind)
+        return True
+
+    # -- hook points ------------------------------------------------------
+
+    def at_cancelpt(self, aspace, heap) -> None:
+        """Consulted by both engines at every CANCELPT execution.
+
+        ``heap_page`` models an extension access to a heap page that
+        was never populated: the fault address is in the *guard* space
+        below the heap base, which is never mapped, so the resulting
+        :class:`PageFault` is exactly what the MMU would raise (§3.3
+        C2).  ``sfi_guard`` models a wild pointer that mask-and-add
+        contained back into the heap but onto an unpopulated page
+        (§3.2): the advisory address is drawn inside the heap.
+        """
+        if self.take("heap_page"):
+            addr = heap.base - 8
+            raise PageFault(
+                addr, f"injected heap fault: unmapped page at {addr:#x}"
+            )
+        if self.take("sfi_guard"):
+            wild = self._rng["sfi_guard"].getrandbits(64)
+            addr = heap.base + (wild & heap.mask)
+            raise PageFault(
+                addr,
+                f"injected SFI guard violation: wild pointer contained "
+                f"to {addr:#x}, page unpopulated",
+            )
+
+    def at_helper(self, hid: int, name: str) -> None:
+        """Consulted by ``HelperTable.invoke`` before the implementation."""
+        if self.take("helper_fail"):
+            raise HelperFault(f"injected failure in helper {name} (id {hid})")
+
+    def at_lock(self, lock_addr: int) -> None:
+        """Consulted by ``LockManager.ext_lock`` before the acquire."""
+        if self.take("lock_stall"):
+            raise LockStall(
+                f"injected stall: spin lock at {lock_addr:#x} never released"
+            )
+
+    def take_alloc_fail(self) -> bool:
+        """Consulted by ``KflexAllocator.malloc``; True -> return NULL."""
+        return self.take("alloc_fail")
+
+    def take_wd_fire(self) -> bool:
+        """Consulted by the watchdog callback; True -> arm early."""
+        return self.take("wd_fire")
+
+    # -- reporting --------------------------------------------------------
+
+    def total_fires(self) -> int:
+        return sum(self.fires.values())
+
+    def kinds_fired(self) -> set[str]:
+        return {k for k, n in self.fires.items() if n}
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "opportunities": dict(self.opportunities),
+            "fires": dict(self.fires),
+            "log": list(self.log),
+        }

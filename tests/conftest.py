@@ -3,11 +3,26 @@
 Tier-1 is the fast correctness suite run on every change
 (``make test`` / ``pytest -m tier1``); benchmark runs under
 ``benchmarks/`` carry the ``bench`` marker instead.
+
+Quiescence auditing is forced on for every test: each cancellation any
+test provokes is followed by a lock/sock/allocation audit
+(:mod:`repro.core.audit`), so a destructor regression fails the suite
+even where no test asserts on resources explicitly.
 """
 
 import pytest
+
+from repro.core.audit import audit_enabled, enable_quiescence_audit
 
 
 def pytest_collection_modifyitems(items):
     for item in items:
         item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(autouse=True)
+def _mandatory_quiescence_audit():
+    prev = audit_enabled()
+    enable_quiescence_audit(True)
+    yield
+    enable_quiescence_audit(prev)

@@ -68,17 +68,21 @@ def _fresh_env(setup=None, **env_kw):
     return env
 
 
+def describe_result(r):
+    """Every observable of an ExecResult, as a comparable tuple."""
+    return (
+        r.ret, r.cost, r.steps, r.regs, r.stack_base,
+        None if r.fault is None else (
+            r.fault.kind, r.fault.insn_idx, r.fault.orig_idx,
+            r.fault.addr, r.fault.message,
+        ),
+    )
+
+
 def assert_same(ri, rt, label=""):
     __tracebackhide__ = True
-    def describe(r):
-        return (
-            r.ret, r.cost, r.steps, r.regs, r.stack_base,
-            None if r.fault is None else (
-                r.fault.kind, r.fault.insn_idx, r.fault.orig_idx,
-                r.fault.addr, r.fault.message,
-            ),
-        )
-    assert describe(ri) == describe(rt), f"engine divergence {label}"
+    assert describe_result(ri) == describe_result(rt), \
+        f"engine divergence {label}"
 
 
 def run_both(insns, *, setup=None, ctx_addr=0, max_steps=None, **env_kw):
@@ -489,6 +493,86 @@ def test_runtime_pools_engine_across_invocations():
     assert ext._engines[0] is not eng0
     ext.invalidate_engines()
     assert ext._engines == {}
+
+
+# -- injected-fault parity ----------------------------------------------------
+
+
+def _run_injected_ds(engine: str):
+    """Drive a hashmap under a fault plan; capture every observable."""
+    from repro.core.runtime import KFlexRuntime
+    from repro.apps.datastructures import ALL_STRUCTURES
+    from repro.sim.faults import FaultPlan
+
+    rt = KFlexRuntime(engine=engine)
+    rt.watchdog_period = 64
+    ds = ALL_STRUCTURES["hashmap"](rt)
+    inj = rt.install_injector(FaultPlan(11, {
+        "heap_page": 0.01,
+        "sfi_guard": 0.01,
+        "helper_fail": 0.03,
+        "alloc_fail": 0.05,
+    }))
+    rng = random.Random(4)
+    trace = []
+    for _ in range(250):
+        k = rng.randrange(48)
+        op = rng.choice(("update", "lookup", "delete"))
+        if op == "update":
+            ret = ds.update(k, rng.randrange(1 << 30))
+        else:
+            ret = getattr(ds, op)(k)
+        # The bit-identical surface: the op's full ExecResult, not just
+        # its return value — fault sites and register files included.
+        trace.append((op, k, ret, describe_result(ds.exts[op].last_result)))
+    return trace, list(inj.log), dict(inj.fires)
+
+
+def test_injected_fault_parity_on_datastructure_runtime():
+    """Same fault plan + same workload => bit-identical ExecResults,
+    identical injector fire schedules, under both engines."""
+    ti = _run_injected_ds("interp")
+    tt = _run_injected_ds("threaded")
+    assert ti == tt
+    assert sum(ti[2].values()) > 0  # the plan actually fired
+
+
+def _run_injected_helpers(engine: str):
+    """Helper-layer injection parity on a lock-holding extension: the
+    unwinder must release the lock from the same fault state."""
+    from repro.core.runtime import KFlexRuntime
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+    from repro.ebpf.helpers import KFLEX_SPIN_LOCK, KFLEX_SPIN_UNLOCK
+    from repro.sim.faults import FaultPlan
+
+    rt = KFlexRuntime(engine=engine)
+    heap = rt.create_heap(1 << 16, name="eq")
+    m = MacroAsm()
+    m.heap_addr(R.R6, 0x40)
+    m.call_helper(KFLEX_SPIN_LOCK, R.R6)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R.R6)
+    m.mov(R.R0, 3)
+    m.exit()
+    prog = Program("eq", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False)
+    inj = rt.install_injector(FaultPlan(2, {"helper_fail": 0.25}))
+    ctx = rt.make_ctx(0, [0] * 8)
+    trace = []
+    for _ in range(60):
+        ret = ext.invoke(ctx)
+        trace.append((ret, describe_result(ext.last_result),
+                      ext.locks.owner(0x40)))
+        ext.dead = False  # keep probing past quarantines
+    return trace, list(inj.log)
+
+
+def test_injected_helper_fault_parity_releases_locks():
+    ti = _run_injected_helpers("interp")
+    tt = _run_injected_helpers("threaded")
+    assert ti == tt
+    assert any(r[1][5] is not None for r in ti[0])  # some run faulted
+    assert all(r[2] == 0 for r in ti[0])  # lock never left held
 
 
 # -- engine selection ---------------------------------------------------------

@@ -1,0 +1,210 @@
+"""Fault-injection harness: plans, trigger mechanics, runtime hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HelperFault, LockStall, PageFault
+from repro.sim.faults import FAULT_KINDS, FaultInjector, FaultPlan
+
+
+class _FakeHeap:
+    base = 0xFFFF_C900_0010_0000
+    mask = (1 << 20) - 1
+
+
+# -- plan validation ----------------------------------------------------------
+
+
+def test_plan_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="unknown fault kinds"):
+        FaultPlan(0, {"cosmic_ray": 0.5})
+
+
+def test_plan_builds_injector():
+    inj = FaultPlan(7, {"helper_fail": 0.5}).build()
+    assert isinstance(inj, FaultInjector)
+    assert inj.total_fires() == 0
+    assert inj.kinds_fired() == set()
+
+
+# -- trigger mechanics --------------------------------------------------------
+
+
+def test_same_plan_fires_identically():
+    """Determinism: two builds of one plan fire at the same ordinals."""
+    plan = FaultPlan(42, {k: 0.1 for k in FAULT_KINDS})
+    a, b = plan.build(), plan.build()
+    for _ in range(500):
+        for kind in FAULT_KINDS:
+            assert a.take(kind) == b.take(kind)
+    assert a.log == b.log
+    assert a.fires == b.fires
+    assert a.total_fires() > 0
+
+
+def test_streams_are_independent_per_kind():
+    """Enabling another kind must not perturb an existing schedule."""
+    solo = FaultPlan(9, {"helper_fail": 0.07}).build()
+    both = FaultPlan(9, {"helper_fail": 0.07, "alloc_fail": 0.3}).build()
+    for _ in range(400):
+        solo.take("helper_fail")
+        both.take("helper_fail")
+        both.take("alloc_fail")
+    assert [o for k, o in solo.log] == \
+        [o for k, o in both.log if k == "helper_fail"]
+
+
+def test_rate_one_fires_every_opportunity():
+    inj = FaultPlan(0, {"alloc_fail": 1.0}).build()
+    assert all(inj.take("alloc_fail") for _ in range(10))
+    assert inj.fires["alloc_fail"] == 10
+
+
+def test_rate_zero_never_fires():
+    inj = FaultPlan(0, {}).build()
+    assert not any(inj.take(k) for _ in range(200) for k in FAULT_KINDS)
+
+
+def test_max_fires_caps_a_stream():
+    inj = FaultPlan(0, {"wd_fire": 1.0}, max_fires={"wd_fire": 3}).build()
+    fired = sum(inj.take_wd_fire() for _ in range(50))
+    assert fired == 3
+    assert inj.opportunities["wd_fire"] == 50
+
+
+def test_fire_rate_tracks_plan_rate():
+    inj = FaultPlan(1, {"heap_page": 0.05}).build()
+    n = 20_000
+    fired = sum(inj.take("heap_page") for _ in range(n))
+    assert 0.035 * n < fired < 0.065 * n
+
+
+# -- hook behaviours ----------------------------------------------------------
+
+
+def test_at_cancelpt_raises_heap_page_fault():
+    inj = FaultPlan(0, {"heap_page": 1.0}).build()
+    with pytest.raises(PageFault) as exc:
+        inj.at_cancelpt(None, _FakeHeap())
+    assert exc.value.addr == _FakeHeap.base - 8
+    assert "injected heap fault" in str(exc.value)
+
+
+def test_at_cancelpt_raises_sfi_guard_fault_inside_heap():
+    inj = FaultPlan(0, {"sfi_guard": 1.0}).build()
+    heap = _FakeHeap()
+    with pytest.raises(PageFault) as exc:
+        inj.at_cancelpt(None, heap)
+    assert heap.base <= exc.value.addr <= heap.base + heap.mask
+    assert "wild pointer" in str(exc.value)
+
+
+def test_at_helper_raises_named_helper_fault():
+    inj = FaultPlan(0, {"helper_fail": 1.0}).build()
+    with pytest.raises(HelperFault, match="kflex_malloc.*id 200"):
+        inj.at_helper(200, "kflex_malloc")
+
+
+def test_at_lock_raises_lock_stall():
+    inj = FaultPlan(0, {"lock_stall": 1.0}).build()
+    with pytest.raises(LockStall, match="never released"):
+        inj.at_lock(0x1234)
+
+
+def test_summary_shape():
+    inj = FaultPlan(5, {"alloc_fail": 1.0}).build()
+    inj.take_alloc_fail()
+    s = inj.summary()
+    assert s["seed"] == 5
+    assert s["fires"]["alloc_fail"] == 1
+    assert s["log"] == [("alloc_fail", 1)]
+
+
+# -- runtime plumbing ---------------------------------------------------------
+
+
+def _tiny_runtime(engine="interp"):
+    from repro.core.runtime import KFlexRuntime
+
+    return KFlexRuntime(engine=engine)
+
+
+def test_install_injector_reaches_every_layer():
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+
+    rt = _tiny_runtime()
+    heap = rt.create_heap(1 << 16, name="t")
+    m = MacroAsm()
+    m.mov(0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False)
+    ext.invoke(rt.make_ctx(0, [0] * 8))  # materialise the per-CPU env
+    inj = rt.install_injector(FaultPlan(0, {"alloc_fail": 1.0}))
+    assert rt.injector is inj
+    assert rt.kernel.watchdog.injector is inj
+    assert ext.allocator.injector is inj
+    assert ext.locks.injector is inj
+    assert all(env.injector is inj for env in ext._envs.values())
+    # Heaps created after installation inherit the injector too.
+    heap2 = rt.create_heap(1 << 16, name="t2")
+    assert rt.allocators[heap2.fd].injector is inj
+
+
+def test_injected_alloc_fail_returns_null():
+    rt = _tiny_runtime()
+    rt.create_heap(1 << 16, name="t")
+    alloc = next(iter(rt.allocators.values()))
+    rt.install_injector(FaultPlan(0, {"alloc_fail": 1.0}))
+    assert alloc.malloc(64) == 0
+    rt.injector.plan.rates["alloc_fail"] = 0.0  # frozen plan, but dict is live
+    # A fresh no-fail injector lets allocation proceed again.
+    rt.install_injector(FaultPlan(0, {}))
+    assert alloc.malloc(64) != 0
+
+
+def test_injected_helper_fault_cancels_extension():
+    """An injected helper failure runs the full cancellation path."""
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+    from repro.ebpf.helpers import KFLEX_MALLOC
+
+    rt = _tiny_runtime()
+    heap = rt.create_heap(1 << 16, name="t")
+    m = MacroAsm()
+    m.call_helper(KFLEX_MALLOC, 64)
+    m.mov(0, 0)
+    m.exit()
+    prog = Program("t", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False)
+    rt.install_injector(FaultPlan(0, {"helper_fail": 1.0}))
+    ret = ext.invoke(rt.make_ctx(0, [0] * 8))
+    assert ret == prog.default_ret
+    assert ext.stats.cancellations == 1
+    assert ext.stats.cancellations_by_reason == {"helper": 1}
+    assert ext.cancellation.history[-1].reason == "helper"
+
+
+def test_injected_wd_fire_cancels_spinning_extension():
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+    from repro.ebpf.isa import Reg
+
+    rt = _tiny_runtime()
+    rt.watchdog_period = 64
+    heap = rt.create_heap(1 << 16, name="t")
+    m = MacroAsm()
+    m.mov(Reg.R3, 1)
+    with m.while_("!=", Reg.R3, 0):
+        m.add(Reg.R3, 1)
+    m.mov(Reg.R0, 0)
+    m.exit()
+    prog = Program("spin", m.assemble(), hook="bench", heap_size=1 << 16)
+    # Quantum far above what the loop reaches before the injection.
+    ext = rt.load(prog, heap=heap, attach=False, quantum_units=1 << 40)
+    rt.install_injector(FaultPlan(0, {"wd_fire": 1.0}))
+    ext.invoke(rt.make_ctx(0, [0] * 8))
+    assert ext.stats.cancellations_by_reason == {"watchdog": 1}
+    assert rt.kernel.watchdog.premature_fires == 1

@@ -292,3 +292,48 @@ def test_quiescence_fuzz_random_heap_programs(rt):
         ext.invoke(bench_ctx(rt))
         assert sock.refcount == 1
         assert rt.kernel.net.total_extension_refs() == 0
+
+
+# -- unwinder error paths (the unwind itself must fail loudly) ---------------
+
+
+def test_unwind_of_successful_execution_panics(rt):
+    """Unwinding a run that did not fault is a runtime bug: panic."""
+    from repro.errors import KernelPanic
+
+    m = MacroAsm()
+    m.mov(R0, 1)
+    m.exit()
+    ext = load(rt, m)
+    assert ext.invoke(bench_ctx(rt)) == 1
+    assert ext.last_result.ok
+    with pytest.raises(KernelPanic, match="unwind of a successful execution"):
+        ext.cancellation.unwind(
+            ext.last_result, (), cpu=0, reason="bogus", default_ret=0
+        )
+
+
+def test_missing_destructor_panics_with_helper_id(rt):
+    """A held resource whose destructor is unbound must panic with a
+    message naming the destructor helper, not silently leak."""
+    from repro.errors import KernelPanic
+    from repro.sim.faults import FaultPlan
+
+    m = MacroAsm()
+    m.heap_addr(R6, 0x40)
+    m.call_helper(KFLEX_SPIN_LOCK, R6)
+    m.call_helper(KFLEX_SPIN_UNLOCK, R6)
+    m.mov(R0, 0)
+    m.exit()
+    ext = load(rt, m)
+    # Fail the second helper call (the unlock): the lock is then held
+    # at the fault site and the unwinder needs its destructor.
+    inj = rt.install_injector(
+        FaultPlan(0, {"helper_fail": 1.0}, max_fires={"helper_fail": 1})
+    )
+    del ext.cancellation.destructors[KFLEX_SPIN_UNLOCK]
+    inj._countdown["helper_fail"] = 2  # skip the acquire, fail the unlock
+    with pytest.raises(
+        KernelPanic, match=f"no destructor bound for helper {KFLEX_SPIN_UNLOCK}"
+    ):
+        ext.invoke(bench_ctx(rt))

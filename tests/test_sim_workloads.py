@@ -51,6 +51,17 @@ def test_latency_percentiles():
     assert st.p99_us == pytest.approx(99.01)
 
 
+def test_latency_percentiles_empty_samples():
+    """No samples must report 0.0, not raise (satellite fix)."""
+    st = LatencyStats()
+    assert st.percentile(50) == 0.0
+    assert st.percentile(99) == 0.0
+    assert st.p50_us == 0.0
+    assert st.p99_us == 0.0
+    st.discard_warmup(0.1)  # no-op on empty, must not raise
+    assert st.percentile(0) == 0.0
+
+
 def test_warmup_discard():
     st = LatencyStats()
     for v in [10_000] * 10 + [1_000] * 90:

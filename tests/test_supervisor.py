@@ -1,0 +1,229 @@
+"""Extension supervisor: quarantine, backoff, re-admission, leak fixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import KFlexRuntime
+from repro.core.supervisor import HARD_REASONS, QuarantinePolicy
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program
+from repro.sim.faults import FaultPlan
+
+POLICY = QuarantinePolicy(
+    window=16, max_faults=3, base_backoff_ns=1_000,
+    backoff_factor=4, max_backoff_ns=50_000,
+)
+
+
+def _load_trivial(rt, *, attach=False, heap_bits=16, quantum=None):
+    heap = rt.create_heap(1 << heap_bits, name="sup")
+    m = MacroAsm()
+    m.mov(Reg.R0, 7)
+    m.exit()
+    prog = Program("sup", m.assemble(), hook="bench", heap_size=1 << heap_bits)
+    return rt.load(prog, heap=heap, attach=attach, quantum_units=quantum)
+
+
+# -- quarantine policy --------------------------------------------------------
+
+
+def test_soft_faults_below_threshold_do_not_quarantine():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    sup = rt.supervisor
+    assert not sup.note_cancellation(ext, "page_fault")
+    assert not sup.note_cancellation(ext, "helper")
+    assert not ext.dead
+    assert sup.stats.soft_faults == 2
+    assert sup.stats.reasons == {"page_fault": 1, "helper": 1}
+    assert sup.status(ext) == "healthy"
+
+
+def test_soft_fault_burst_quarantines():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    sup = rt.supervisor
+    assert not sup.note_cancellation(ext, "page_fault")
+    assert not sup.note_cancellation(ext, "page_fault")
+    assert sup.note_cancellation(ext, "page_fault")  # 3rd in window: trip
+    assert ext.dead
+    assert sup.stats.quarantines == 1
+    assert "quarantined until" in sup.status(ext)
+
+
+def test_fault_window_resets_with_invocations():
+    """Spread-out soft faults never accumulate to the threshold."""
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    ctx = rt.make_ctx(0, [0] * 8)
+    sup = rt.supervisor
+    for _ in range(3):
+        assert not sup.note_cancellation(ext, "page_fault")
+        for _ in range(POLICY.window):  # a clean window passes
+            ext.invoke(ctx)
+    assert not ext.dead
+
+
+def test_hard_cancellation_quarantines_immediately():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    assert rt.supervisor.note_cancellation(ext, "watchdog", hard=True)
+    assert ext.dead
+
+
+def test_exponential_backoff_and_readmission():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    sup = rt.supervisor
+    expected = [1_000, 4_000, 16_000, 50_000, 50_000]  # capped
+    for backoff in expected:
+        t0 = rt.kernel.now_ns()
+        sup.quarantine(ext, "watchdog")
+        h = sup.health(ext)
+        assert h.quarantined_until_ns == t0 + backoff
+        assert not sup.try_readmit(ext)  # backoff not elapsed
+        assert ext.dead
+        rt.kernel.advance_ns(backoff)
+        assert sup.try_readmit(ext)
+        assert not ext.dead
+    assert sup.stats.quarantines == len(expected)
+    assert sup.stats.readmissions == len(expected)
+
+
+def test_readmission_is_idempotent():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    assert not rt.supervisor.try_readmit(ext)  # healthy: nothing to do
+    rt.supervisor.quarantine(ext, "watchdog")
+    rt.kernel.advance_ns(10_000)
+    assert rt.supervisor.try_readmit(ext)
+    assert not rt.supervisor.try_readmit(ext)  # already back
+
+
+def test_invoke_readmits_after_backoff():
+    """A quarantined extension heals transparently through invoke()."""
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    ext = _load_trivial(rt)
+    ctx = rt.make_ctx(0, [0] * 8)
+    assert ext.invoke(ctx) == 7
+    rt.supervisor.quarantine(ext, "watchdog")
+    assert ext.invoke(ctx) == ext.program.default_ret  # degraded
+    rt.kernel.advance_ns(POLICY.base_backoff_ns + 1)
+    assert ext.invoke(ctx) == 7  # healed
+    assert not ext.dead
+
+
+def test_revive_reattaches_hooked_extensions():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    heap = rt.create_heap(1 << 16, name="hooked")
+    m = MacroAsm()
+    m.mov(Reg.R0, 2)
+    m.exit()
+    prog = Program("hooked", m.assemble(), hook="xdp", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=True)
+    xdp = rt.kernel.hooks.hook("xdp")
+    assert ext in xdp.attached
+    rt.supervisor.quarantine(ext, "watchdog")
+    assert ext not in xdp.attached
+    rt.kernel.advance_ns(10_000)
+    assert rt.supervisor.try_readmit(ext)
+    assert ext in xdp.attached
+
+
+def test_hard_reasons_cover_global_cancellation_cases():
+    assert set(HARD_REASONS) == {
+        "watchdog", "hard_stall", "lock_stall", "sleep_stall",
+    }
+
+
+def test_injected_hard_fault_routes_through_supervisor():
+    """End to end: wd_fire -> watchdog cancellation -> hard quarantine."""
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    rt.watchdog_period = 64
+    heap = rt.create_heap(1 << 16, name="spin")
+    m = MacroAsm()
+    # Bounded busy loop: finishes fine when nothing is injected, but
+    # crosses plenty of watchdog callbacks and back-edge CANCELPTs.
+    m.mov(Reg.R3, 0)
+    with m.while_("<", Reg.R3, 10_000):
+        m.add(Reg.R3, 1)
+    m.mov(Reg.R0, 0)
+    m.exit()
+    prog = Program("spin", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False, quantum_units=1 << 40)
+    rt.install_injector(FaultPlan(0, {"wd_fire": 1.0}, max_fires={"wd_fire": 1}))
+    ext.invoke(rt.make_ctx(0, [0] * 8))
+    assert ext.dead
+    assert rt.supervisor.stats.quarantines == 1
+    assert rt.supervisor.stats.reasons == {"watchdog": 1}
+    # Backoff elapses on the simulated clock; the next invoke heals it.
+    rt.kernel.advance_ns(POLICY.base_backoff_ns + 1)
+    assert ext.invoke(rt.make_ctx(0, [0] * 8)) == 0
+    assert not ext.dead
+
+
+# -- watchdog hygiene (satellite fix) ----------------------------------------
+
+
+def test_unload_forgets_watchdog_entry():
+    """Unloading an armed extension must not leak a Watchdog._armed
+    entry keyed by its heap (the pre-fix behaviour)."""
+    rt = KFlexRuntime()
+    ext = _load_trivial(rt, quantum=10_000)
+    wd = rt.kernel.watchdog
+    wd.quantum_units = 10_000
+    cb = wd.make_callback(ext.heap, rt.kernel.aspace)
+    cb(20_000)  # quantum exceeded: arms
+    assert wd.is_armed(ext.heap)
+    assert wd.monitored() == 1
+    ext.unload()
+    assert wd.monitored() == 0
+    assert not wd.is_armed(ext.heap)
+
+
+def test_quarantine_cycle_leaves_watchdog_clean():
+    rt = KFlexRuntime(supervisor_policy=POLICY)
+    rt.watchdog_period = 64
+    heap = rt.create_heap(1 << 16, name="spin")
+    m = MacroAsm()
+    m.mov(Reg.R3, 0)
+    with m.while_("<", Reg.R3, 100_000):
+        m.add(Reg.R3, 1)
+    m.mov(Reg.R0, 0)
+    m.exit()
+    prog = Program("spin", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False, quantum_units=5_000)
+    ext.invoke(rt.make_ctx(0, [0] * 8))  # watchdog cancellation
+    assert ext.dead
+    assert rt.kernel.watchdog.monitored() == 0
+
+
+# -- bounded cancellation history (satellite fix) ----------------------------
+
+
+def test_cancellation_history_is_bounded():
+    from repro.core.cancellation import HISTORY_LIMIT
+
+    rt = KFlexRuntime(supervisor_policy=QuarantinePolicy(
+        window=1 << 30, max_faults=1 << 30))
+    heap = rt.create_heap(1 << 16, name="hist")
+    m = MacroAsm()
+    from repro.ebpf.helpers import KFLEX_MALLOC
+    m.call_helper(KFLEX_MALLOC, 64)
+    m.mov(Reg.R0, 0)
+    m.exit()
+    prog = Program("hist", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False)
+    rt.install_injector(FaultPlan(0, {"helper_fail": 1.0}))
+    ctx = rt.make_ctx(0, [0] * 8)
+    n = HISTORY_LIMIT + 40
+    for _ in range(n):
+        ext.invoke(ctx)
+    eng = ext.cancellation
+    assert ext.stats.cancellations == n
+    assert len(eng.history) == HISTORY_LIMIT
+    assert eng.history.maxlen == HISTORY_LIMIT
+    assert eng.dropped == 40
+    assert all(r.reason == "helper" for r in eng.history)
