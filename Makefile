@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-quick bench-baseline chaos-quick
+.PHONY: test bench bench-quick bench-load bench-baseline chaos-quick
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -16,6 +16,11 @@ bench:
 # fails on a >20% speedup regression.
 bench-quick:
 	sh scripts/bench_quick.sh
+
+# Load-path gate: cold vs warm (program-cache hit) load latency;
+# fails below the 5x floor or on a >50% regression vs the baseline.
+bench-load:
+	$(PY) benchmarks/bench_load_path.py --check
 
 # Re-record the engine baseline (run on a quiet machine).
 bench-baseline:

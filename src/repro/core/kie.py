@@ -163,6 +163,27 @@ def instrument(program: Program, analysis: Analysis, *, heap=None) -> Instrument
     )
 
 
+def uninstrumented(program: Program, *, heap=None) -> InstrumentedProgram:
+    """The identity instrumentation: relocate pseudo-immediates, add
+    nothing.
+
+    This is the proper stage output for load flavours that skip
+    verification (the §5.2 KMod baseline): no analysis, no guards, no
+    cancellation points — and therefore empty object tables, because
+    nothing will ever unwind.  Callers must use this instead of
+    hand-rolling an :class:`InstrumentedProgram` with fabricated
+    fields.
+    """
+    return InstrumentedProgram(
+        program=program,
+        insns=_relocate(program, heap),
+        analysis=None,
+        object_tables={},
+        stats=KieStats(),
+        uses_heap=heap is not None,
+    )
+
+
 def _relocate(program: Program, heap) -> list[Insn]:
     """Concretise LD_IMM64 pseudo immediates (map fds, heap offsets)."""
     out: list[Insn] = []

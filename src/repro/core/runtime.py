@@ -1,11 +1,17 @@
 """The KFlex runtime: load, attach, invoke (Fig. 1).
 
-``KFlexRuntime.load`` runs the three-step pipeline: (1) the eBPF
-verifier checks kernel-interface compliance and produces the range /
-loop / resource analysis; (2) Kie instruments the bytecode (guards,
-cancellation points, translations, spills); (3) the JIT lowering
-assigns native costs.  The result is a :class:`LoadedExtension` that
-executes on the simulated machine with full cancellation support.
+``KFlexRuntime.load`` drives the staged compilation pipeline
+(:mod:`repro.ebpf.pipeline`): (1) the eBPF verifier checks
+kernel-interface compliance and produces the range / loop / resource
+analysis; (2) Kie instruments the bytecode (guards, cancellation
+points, translations, spills); (3) the JIT lowering assigns native
+costs; (4) the execution engine translates per CPU.  Every stage is a
+registered pass over typed artifacts, and the expensive ones are
+memoized in the runtime's content-addressed program cache — repeated
+loads of the same bytecode (per-CPU deployments, supervisor
+re-admission after quarantine) skip straight to cached artifacts.  The
+result is a :class:`LoadedExtension` that executes on the simulated
+machine with full cancellation support.
 """
 
 from __future__ import annotations
@@ -14,7 +20,6 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.errors import LoadError, KernelPanic
-from repro.ebpf import jit
 from repro.ebpf.helpers import (
     HelperTable,
     bind_standard_helpers,
@@ -26,11 +31,11 @@ from repro.ebpf.helpers import (
     KFLEX_SPIN_UNLOCK,
     BPF_SK_RELEASE,
 )
-from repro.ebpf.engine import default_engine, make_engine
+from repro.ebpf.engine import default_engine
 from repro.ebpf.interpreter import ExecEnv
+from repro.ebpf.pipeline import CompilationPipeline, LoweredProgram
 from repro.ebpf.program import Program, HOOKS
-from repro.ebpf.verifier import Verifier, VerifierConfig
-from repro.core import kie
+from repro.ebpf.verifier import VerifierConfig
 from repro.core.allocator import KflexAllocator
 from repro.core.audit import QuiescenceAuditor, audit_enabled, reclaim_orphans
 from repro.core.cancellation import CancellationEngine
@@ -66,8 +71,7 @@ class LoadedExtension:
         self,
         runtime: "KFlexRuntime",
         program: Program,
-        iprog,
-        jprog,
+        lowered: LoweredProgram,
         heap: ExtensionHeap | None,
         allocator: KflexAllocator | None,
         locks: LockManager | None,
@@ -81,8 +85,7 @@ class LoadedExtension:
         self.runtime = runtime
         self.kernel = runtime.kernel
         self.program = program
-        self.iprog = iprog
-        self.jprog = jprog
+        self._install(lowered)
         self.heap = heap
         self.allocator = allocator
         self.locks = locks
@@ -110,8 +113,8 @@ class LoadedExtension:
         #: load time so a later default change doesn't flip a loaded
         #: extension mid-flight.
         self.engine = engine or runtime.engine
-        #: Per-CPU pooled engines — translated once, reused across
-        #: invocations (the ISSUE's "program execution cache").
+        #: Per-CPU pooled :class:`~repro.ebpf.pipeline.TranslatedProgram`
+        #: artifacts — translated once, reused across invocations.
         self._engines: dict[int, object] = {}
         self._wd_callback = None
         #: ExecResult of the most recent run (parity/diagnostic surface).
@@ -121,6 +124,20 @@ class LoadedExtension:
         self.cancellation.on_unwound = self._post_unwind
 
     # -- plumbing ---------------------------------------------------------
+
+    def _install(self, lowered: LoweredProgram) -> None:
+        """Adopt pipeline output.  Initial load and supervisor
+        re-admission both land here; ``iprog``/``jprog`` stay as the
+        public inspection surface (tools, tests, figures)."""
+        self.lowered = lowered
+        self.iprog = lowered.kprog
+        self.jprog = lowered.jprog
+
+    @property
+    def load_config(self) -> VerifierConfig | None:
+        """The VerifierConfig this extension was compiled under
+        (``None`` for unverified KMod loads)."""
+        return self.lowered.raw.config
 
     def _bind_destructors(self) -> None:
         net = self.kernel.net
@@ -162,19 +179,17 @@ class LoadedExtension:
 
     def _engine(self, cpu: int):
         """Pooled per-CPU engine: translate once, reuse per invocation."""
-        eng = self._engines.get(cpu)
-        if eng is None or eng.insns is not self.jprog.insns:
+        tp = self._engines.get(cpu)
+        if tp is None or tp.engine.insns is not self.jprog.insns:
             # First use, or the program was re-instrumented/lowered
             # since translation (jprog swapped out underneath us).
-            eng = make_engine(
-                self.engine,
-                self.jprog.insns,
-                self._env(cpu),
-                costs=self.jprog.costs,
-                helper_costs=self.jprog.helper_costs,
+            tp = self.runtime.pipeline.translate(
+                self.lowered, self.engine, self._env(cpu), cpu
             )
-            self._engines[cpu] = eng
-        return eng
+            self._engines[cpu] = tp
+        else:
+            self.runtime.pipeline.stats.pool_hits += 1
+        return tp.engine
 
     def invalidate_engines(self) -> None:
         """Drop pooled engines (call after re-instrumentation)."""
@@ -287,6 +302,17 @@ class LoadedExtension:
         the extension resumes over its existing data."""
         if not self.dead:
             return
+        # Re-admission goes back through the compilation pipeline: the
+        # program re-derives from the content-addressed cache (a warm
+        # load — the verifier does not run again), and the pooled
+        # engines stay valid iff the lowered artifact is unchanged
+        # (the `is` check in _engine re-translates otherwise, e.g.
+        # after a cache eviction produced a fresh lowering).
+        self._install(
+            self.runtime.pipeline.compile(
+                self.program, config=self.load_config, heap=self.heap
+            )
+        )
         self.dead = False
         if self.heap is not None:
             self.kernel.watchdog.disarm(self.heap, self.kernel.aspace)
@@ -359,6 +385,12 @@ class KFlexRuntime:
         self.watchdog_period: int | None = None
         self.supervisor = ExtensionSupervisor(self.kernel, supervisor_policy)
         self.auditor = QuiescenceAuditor(self.kernel)
+        #: The staged load path (verify → instrument → lower →
+        #: translate) with its content-addressed program cache and
+        #: per-stage statistics.  One per runtime: cache keys embed
+        #: concrete heap/map addresses, which are only unique within
+        #: one kernel address space.
+        self.pipeline = CompilationPipeline()
 
     # -- fault injection ------------------------------------------------------
 
@@ -448,45 +480,18 @@ class KFlexRuntime:
             translate_on_store=share_heap,
             elision=elision,
         )
-        analysis = Verifier(
-            program, config, heap_size=heap.size if heap else None
-        ).verify()
-        iprog = kie.instrument(program, analysis, heap=heap)
-        jprog = jit.lower(iprog.insns, uses_heap=heap is not None, from_kie=True)
+        lowered = self.pipeline.compile(program, config=config, heap=heap)
 
         helpers = HelperTable()
         bind_standard_helpers(helpers, self.kernel)
         allocator = locks = None
         if heap is not None:
-            allocator = self.allocators[heap.fd]
-            locks = self.lock_managers[heap.fd]
-            helpers.bind(
-                KFLEX_MALLOC, lambda env, size, a=allocator: a.malloc(size, env.cpu)
-            )
-            helpers.bind(
-                KFLEX_FREE,
-                lambda env, ptr, a=allocator: (a.free(ptr, env.cpu), 0)[1],
-            )
-            helpers.bind(
-                KFLEX_SPIN_LOCK,
-                lambda env, addr, l=locks: (l.ext_lock(addr, env.cpu), 0)[1],
-            )
-            helpers.bind(
-                KFLEX_SPIN_UNLOCK,
-                lambda env, addr, l=locks: (l.ext_unlock(addr, env.cpu), 0)[1],
-            )
-            helpers.bind(
-                BPF_COPY_FROM_USER,
-                lambda env, dst, size, src, h=heap: _copy_from_user(
-                    self.kernel, h, dst, size, src
-                ),
-            )
+            allocator, locks = self._bind_heap_helpers(helpers, heap)
 
         ext = LoadedExtension(
             self,
             program,
-            iprog,
-            jprog,
+            lowered,
             heap,
             allocator,
             locks,
@@ -500,6 +505,48 @@ class KFlexRuntime:
             self.kernel.hooks.attach(ext)
             ext._reattach_on_revive = True
         return ext
+
+    def _bind_heap_helpers(
+        self, helpers: HelperTable, heap: ExtensionHeap, *,
+        copy_from_user: bool = True,
+    ) -> tuple[KflexAllocator, LockManager]:
+        """Bind the KFlex heap helper family (malloc/free/locks) for one
+        heap; returns the heap's ``(allocator, lock manager)``.
+
+        ``copy_from_user=False`` is the KMod baseline: that helper
+        models KFlex's *checked* sleepable copy — destination
+        sanitisation, demand population, and the background checker
+        that turns an unmappable user page into a cancellation (§4.3).
+        An unsafe kernel module has none of that machinery; it
+        dereferences user memory directly (modelled by plain
+        loads/stores).  Its absence from the kmod path is intentional,
+        not an oversight.
+        """
+        allocator = self.allocators[heap.fd]
+        locks = self.lock_managers[heap.fd]
+        helpers.bind(
+            KFLEX_MALLOC, lambda env, size, a=allocator: a.malloc(size, env.cpu)
+        )
+        helpers.bind(
+            KFLEX_FREE,
+            lambda env, ptr, a=allocator: (a.free(ptr, env.cpu), 0)[1],
+        )
+        helpers.bind(
+            KFLEX_SPIN_LOCK,
+            lambda env, addr, l=locks: (l.ext_lock(addr, env.cpu), 0)[1],
+        )
+        helpers.bind(
+            KFLEX_SPIN_UNLOCK,
+            lambda env, addr, l=locks: (l.ext_unlock(addr, env.cpu), 0)[1],
+        )
+        if copy_from_user:
+            helpers.bind(
+                BPF_COPY_FROM_USER,
+                lambda env, dst, size, src, h=heap: _copy_from_user(
+                    self.kernel, h, dst, size, src
+                ),
+            )
+        return allocator, locks
 
     def load_kmod(
         self,
@@ -517,39 +564,20 @@ class KFlexRuntime:
         """
         if program.heap_size is not None and heap is None:
             heap = self.create_heap(program.heap_size, name=program.name)
-        insns = kie._relocate(program, heap)
-        jprog = jit.lower(insns, uses_heap=False, from_kie=True)
+        # config=None selects the pipeline's unverified flavour: the
+        # verify pass admits everything, Kie degrades to the identity
+        # (relocation-only) instrumentation, and lowering charges no
+        # heap prologue — see repro.ebpf.pipeline.
+        lowered = self.pipeline.compile(program, config=None, heap=heap)
         helpers = HelperTable()
         bind_standard_helpers(helpers, self.kernel)
         allocator = locks = None
         if heap is not None:
-            allocator = self.allocators[heap.fd]
-            locks = self.lock_managers[heap.fd]
-            helpers.bind(
-                KFLEX_MALLOC, lambda env, size, a=allocator: a.malloc(size, env.cpu)
+            allocator, locks = self._bind_heap_helpers(
+                helpers, heap, copy_from_user=False
             )
-            helpers.bind(
-                KFLEX_FREE,
-                lambda env, ptr, a=allocator: (a.free(ptr, env.cpu), 0)[1],
-            )
-            helpers.bind(
-                KFLEX_SPIN_LOCK,
-                lambda env, addr, l=locks: (l.ext_lock(addr, env.cpu), 0)[1],
-            )
-            helpers.bind(
-                KFLEX_SPIN_UNLOCK,
-                lambda env, addr, l=locks: (l.ext_unlock(addr, env.cpu), 0)[1],
-            )
-        iprog = kie.InstrumentedProgram(
-            program=program,
-            insns=insns,
-            analysis=None,
-            object_tables={},
-            stats=kie.KieStats(),
-            uses_heap=heap is not None,
-        )
         ext = LoadedExtension(
-            self, program, iprog, jprog, heap, allocator, locks, helpers,
+            self, program, lowered, heap, allocator, locks, helpers,
             quantum_units=None, engine=engine,
         )
         # Unsafe module: no SFI containment check either.

@@ -56,6 +56,9 @@ class ExtHealth:
     window_faults: int = 0
     quarantines: int = 0
     readmissions: int = 0
+    #: Re-admissions whose pipeline recompile was fully cache-served
+    #: (the expected case: quarantine does not evict load artifacts).
+    warm_readmissions: int = 0
     #: Simulated time at which re-admission is allowed; -1 = healthy.
     quarantined_until_ns: int = -1
 
@@ -68,6 +71,7 @@ class ExtHealth:
 class SupervisorStats:
     quarantines: int = 0
     readmissions: int = 0
+    warm_readmissions: int = 0  # recompile came entirely from the cache
     soft_faults: int = 0  # window-counted, below threshold
     reasons: dict = field(default_factory=dict)
 
@@ -138,7 +142,13 @@ class ExtensionSupervisor:
             ext.unload()
 
     def try_readmit(self, ext) -> bool:
-        """Revive the extension if its backoff elapsed; False otherwise."""
+        """Revive the extension if its backoff elapsed; False otherwise.
+
+        Revival re-derives the extension's program through the staged
+        compilation pipeline; since quarantine does not invalidate load
+        artifacts, the recompile is normally served entirely from the
+        content-addressed cache (counted as a *warm* re-admission).
+        """
         h = self._health.get(id(ext))
         if h is None or not h.quarantined:
             return False
@@ -147,7 +157,12 @@ class ExtensionSupervisor:
         h.quarantined_until_ns = -1
         h.readmissions += 1
         self.stats.readmissions += 1
+        pipeline = getattr(ext.runtime, "pipeline", None)
+        warm_before = pipeline.stats.warm_loads if pipeline is not None else 0
         ext.revive()
+        if pipeline is not None and pipeline.stats.warm_loads > warm_before:
+            h.warm_readmissions += 1
+            self.stats.warm_readmissions += 1
         return True
 
     def status(self, ext) -> str:

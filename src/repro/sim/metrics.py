@@ -56,3 +56,39 @@ def mops(completed: int, duration_ns: float) -> float:
     if duration_ns <= 0:
         return 0.0
     return completed / duration_ns * 1000.0
+
+
+@dataclass
+class StageStats:
+    """Wall-clock accounting for one pipeline stage (load path, Fig. 1).
+
+    ``runs`` counts every time the stage executed for a load; ``cached``
+    counts how many of those were satisfied from the program cache
+    (a cached run still costs the key lookup, so it is timed too).
+    """
+
+    runs: int = 0
+    cached: int = 0
+    total_ns: float = 0.0
+    max_ns: float = 0.0
+
+    def record(self, ns: float, *, cached: bool = False) -> None:
+        self.runs += 1
+        if cached:
+            self.cached += 1
+        self.total_ns += ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.runs if self.runs else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "cached": self.cached,
+            "total_ns": self.total_ns,
+            "mean_ns": self.mean_ns,
+            "max_ns": self.max_ns,
+        }

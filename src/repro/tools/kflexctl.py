@@ -8,6 +8,7 @@ assembly (see :mod:`repro.ebpf.textasm` for the syntax):
     $ python -m repro.tools.kflexctl verify prog.kasm --heap 65536
     $ python -m repro.tools.kflexctl disasm prog.kasm --instrumented
     $ python -m repro.tools.kflexctl run prog.kasm --ctx 5,10 --invoke 3
+    $ python -m repro.tools.kflexctl stats prog.kasm --loads 3 --invoke 2
 """
 
 from __future__ import annotations
@@ -84,12 +85,38 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Dump the compilation-pipeline statistics of a runtime.
+
+    Loads the program ``--loads`` times (reusing one heap, so repeat
+    loads are content-addressed cache hits) and invokes each loaded
+    extension ``--invoke`` times, then prints the runtime's per-stage
+    timings and cache hit/miss/eviction counters — the observability
+    surface a practitioner would scrape from a running KFlex kernel.
+    """
+    prog = _read_program(args)
+    rt = KFlexRuntime()
+    heap = None
+    if prog.heap_size is not None:
+        heap = rt.create_heap(prog.heap_size, name=args.name)
+    ctx = rt.make_ctx(0, [0] * 8)
+    for _ in range(max(1, args.loads)):
+        ext = rt.load(prog, mode=args.mode, attach=False,
+                      perf_mode=args.perf_mode, heap=heap)
+        for _ in range(args.invoke):
+            ext.invoke(ctx)
+            if ext.dead:
+                break
+    print(rt.pipeline.format_stats())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="kflexctl",
                                 description=__doc__.splitlines()[0])
     sub = p.add_subparsers(dest="cmd", required=True)
     for name, fn in (("verify", cmd_verify), ("disasm", cmd_disasm),
-                     ("run", cmd_run)):
+                     ("run", cmd_run), ("stats", cmd_stats)):
         s = sub.add_parser(name)
         s.add_argument("file", help="text-assembly source (.kasm)")
         s.add_argument("--mode", choices=("kflex", "ebpf"), default="kflex")
@@ -113,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="static heap bytes to populate at load")
             s.add_argument("--engine", choices=sorted(ENGINES), default=None,
                            help="execution engine (default: threaded)")
+        if name == "stats":
+            s.add_argument("--loads", type=int, default=2,
+                           help="times to load the program (repeats hit "
+                                "the program cache; default 2 shows one "
+                                "cold and one warm load)")
+            s.add_argument("--invoke", type=int, default=2,
+                           help="invocations per load (exercises engine "
+                                "translation and pool reuse)")
     return p
 
 

@@ -495,6 +495,61 @@ def test_runtime_pools_engine_across_invocations():
     assert ext._engines == {}
 
 
+def _quarantine_readmit_trace(engine: str):
+    """Stall -> quarantine -> backoff -> re-admission, capturing every
+    ExecResult.  The revived extension recompiles through the program
+    cache; the cached lowering must execute bit-identically."""
+    from repro.core.runtime import KFlexRuntime
+    from repro.core.supervisor import QuarantinePolicy
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+
+    rt = KFlexRuntime(
+        engine=engine,
+        supervisor_policy=QuarantinePolicy(base_backoff_ns=1_000),
+    )
+    heap = rt.create_heap(1 << 16, name="readmit")
+    m = MacroAsm()
+    m.heap_addr(R.R6, 0x40)
+    m.ldx(R.R3, R.R6)
+    with m.while_("!=", R.R3, 0):  # spins until the watchdog cancels
+        m.add(R.R3, 1)
+    m.mov(R.R0, 9)
+    m.exit()
+    prog = Program("readmit", m.assemble(), hook="bench", heap_size=1 << 16)
+    ext = rt.load(prog, heap=heap, attach=False, quantum_units=10_000)
+    assert heap.reserve_static(64) == 0x40  # the cell the loop reads
+    ctx = rt.make_ctx(0, [0] * 8)
+
+    trace = []
+    rt.kernel.aspace.write_int(heap.base + 0x40, 1, 8)  # non-zero: stall
+    trace.append((ext.invoke(ctx), describe_result(ext.last_result)))
+    assert ext.dead  # watchdog stall quarantined it
+    rt.kernel.advance_ns(2_000)  # backoff elapses
+    rt.kernel.aspace.write_int(heap.base + 0x40, 0, 8)  # heal: loop exits
+    trace.append((ext.invoke(ctx), describe_result(ext.last_result)))
+    assert not ext.dead
+    return (
+        trace,
+        rt.pipeline.stats.warm_loads,
+        rt.supervisor.stats.warm_readmissions,
+        dict(ext.stats.cancellations_by_reason),
+    )
+
+
+def test_quarantine_readmission_parity_across_engines():
+    """Satellite: a cache-hit recompile after quarantine + re-admission
+    produces bit-identical ExecResults under both engines."""
+    ti = _quarantine_readmit_trace("interp")
+    tt = _quarantine_readmit_trace("threaded")
+    assert ti == tt
+    trace, warm_loads, warm_readmissions, reasons = ti
+    assert trace[1][0] == 9  # the revived run completed
+    assert warm_loads >= 1  # revive() was served from the cache
+    assert warm_readmissions == 1
+    assert reasons == {"watchdog": 1}
+
+
 # -- injected-fault parity ----------------------------------------------------
 
 

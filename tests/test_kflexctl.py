@@ -70,6 +70,25 @@ def test_run_cancellation_path(capsys, kasm):
     assert "unloaded" in out
 
 
+def test_stats_reports_pipeline(capsys):
+    assert main(["stats", str(EXAMPLE), "--loads", "3", "--invoke", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "3 loads (2 warm)" in out  # repeats hit the program cache
+    assert "verify" in out and "instrument" in out and "lower" in out
+    assert "cache:" in out and "evictions" in out
+    assert "pool reuses" in out
+
+
+def test_stats_heapless_program(capsys, kasm):
+    """A program with no heap references still loads through the
+    pipeline (mode kflex allocates it a heap; the path must not trip
+    on --loads 1 either)."""
+    path = kasm("mov64 r0, 7\nexit\n")
+    assert main(["stats", path, "--loads", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "1 loads (0 warm)" in out
+
+
 def test_bad_source_errors(capsys, kasm):
     path = kasm("frobnicate r0\nexit\n")
     assert main(["verify", path]) == 1
