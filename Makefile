@@ -2,11 +2,22 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-quick bench-load bench-baseline chaos-quick
+.PHONY: test test-net bench bench-quick bench-load bench-net bench-baseline chaos-quick
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
 	$(PY) -m pytest -x -q
+
+# Network datapath suite: real sockets over loopback (excluded from
+# tier-1; includes the 10k-request end-to-end acceptance test).
+test-net:
+	$(PY) -m pytest tests/ -q -m net
+
+# Network datapath gate: kernel fast path must beat the userspace-
+# fallback leg by >= 1.5x over loopback; also checks regression vs the
+# committed baseline in benchmarks/results/BENCH_net.json.
+bench-net:
+	$(PY) benchmarks/bench_net_datapath.py --check
 
 # Regenerate every paper figure/table.
 bench:

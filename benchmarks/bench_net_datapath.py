@@ -1,0 +1,241 @@
+"""Network-datapath benchmark: kernel fast path vs userspace fallback.
+
+The paper's headline Memcached result (Fig. 2) is that serving GETs
+from the XDP ingress hook beats forwarding them to the userspace server
+because the fast path skips the rest of the network stack and the
+kernel/user boundary.  The reproduction's datapath (:mod:`repro.net`)
+makes that skip physically real over loopback:
+
+* **kernel leg** — a :class:`~repro.net.service.ExtensionService`
+  running the Memcached KFlex extension; every request is answered at
+  the ingress hook (``XDP_TX``), one socket hop total;
+* **userspace leg** — the same datapath with no extension; every
+  request pays the modelled stack traversal
+  (:meth:`~repro.kernel.net.NetStack.stack_deliver`) and a *second*
+  real UDP hop (:class:`~repro.net.datapath.UserspaceBridge` ->
+  :class:`~repro.net.datapath.UserspaceEndpoint`) to a stock server
+  running the identical table bytecode as a bare KMod load — the
+  ``XDP_PASS`` delivery path, costed by the same convention as the
+  Fig. 2 models (``apps/memcached/userspace.py``).
+
+Both legs serve the identical closed-loop GET-heavy workload from the
+same wire-level load generator.  The gate: the kernel leg must sustain
+at least ``SPEEDUP_FLOOR``x the userspace leg's throughput, and must
+not regress more than ``REGRESSION_TOLERANCE`` against the committed
+baseline ``benchmarks/results/BENCH_net.json``.
+
+.. code-block:: console
+
+    $ python benchmarks/bench_net_datapath.py            # print results
+    $ python benchmarks/bench_net_datapath.py --update   # refresh baseline
+    $ python benchmarks/bench_net_datapath.py --check    # gate (make bench-net)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+BASELINE_JSON = HERE / "results" / "BENCH_net.json"
+
+#: Acceptance floor: kernel fast path >= 1.5x userspace fallback.
+SPEEDUP_FLOOR = 1.5
+#: Wall-clock socket benchmarks are noisy; gate loosely vs baseline.
+REGRESSION_TOLERANCE = 0.50
+
+N_CLIENTS = 4
+REQUESTS_PER_CLIENT = 400
+N_KEYS = 128
+SET_EVERY = 16  # GET-heavy: the Fig. 2 read-mostly mix
+REPS = 3  # keep the best of N runs per leg (min wall-clock noise)
+
+
+def _workload_and_matcher():
+    from repro.apps.memcached import protocol as P
+
+    def workload(cid, seq):
+        key = (cid * 31 + seq) % N_KEYS
+        if seq % SET_EVERY == 0:
+            return key, P.encode_set(key, cid * 100_000 + seq)
+        return key, P.encode_get(key)
+
+    def matcher(req, rep):
+        return len(rep) == P.PKT_SIZE and rep[8:40] == req[8:40]
+
+    return workload, matcher
+
+
+async def _run_leg(service, make_cleanup) -> dict:
+    from repro.net import UdpDatapath, UdpLoadGenerator
+    from repro.apps.memcached import protocol as P
+
+    workload, matcher = _workload_and_matcher()
+    dp = await UdpDatapath(service, cpu=0).start()
+
+    # Warm the store over the wire so the timed runs are steady-state.
+    warm = UdpLoadGenerator(
+        [dp.port],
+        lambda cid, seq: (seq, P.encode_set(seq, seq)),
+        n_clients=1,
+        requests_per_client=N_KEYS,
+        matcher=matcher,
+    )
+    await warm.run()
+
+    best = None
+    for _ in range(REPS):
+        gen = UdpLoadGenerator(
+            [dp.port],
+            workload,
+            n_clients=N_CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            matcher=matcher,
+        )
+        res = await gen.run()
+        assert res.failures == 0, f"leg had {res.failures} failed requests"
+        if best is None or res.throughput_rps > best.throughput_rps:
+            best = res
+    await dp.stop()
+    await make_cleanup()
+    return {
+        "throughput_rps": round(best.throughput_rps, 1),
+        "p50_us": round(best.latency.percentile(50) / 1e3, 1),
+        "p99_us": round(best.latency.percentile(99) / 1e3, 1),
+        "replies": best.replies,
+        "service": {
+            "kernel_tx": service.stats.kernel_tx,
+            "userspace_pass": service.stats.userspace_pass,
+        },
+    }
+
+
+async def _bench() -> dict:
+    from repro.net import UserspaceBridge, UserspaceEndpoint, build_service
+    from repro.apps.memcached.kflex_ext import KFlexMemcached
+    from repro.core.runtime import KFlexRuntime
+
+    # Kernel leg: extension answers everything at the ingress hook.
+    # perf_mode matches the paper's Memcached configuration (§5.2's
+    # performance mode: sparse cancellation checkpoints).
+    kernel_svc = build_service("memcached", fallback="none", perf_mode=True)
+
+    async def no_cleanup():
+        pass
+
+    kernel = await _run_leg(kernel_svc, no_cleanup)
+    assert kernel_svc.stats.userspace_pass == 0, "kernel leg fell through"
+
+    # Userspace leg: every request pays the real second hop, and the
+    # stock server executes the *same table bytecode* as a bare KMod
+    # load — the repo-wide comparison convention (see
+    # apps/memcached/userspace.py): all legs' data-structure costs come
+    # from one implementation and differ only in path.
+    stock = KFlexMemcached(KFlexRuntime(), kmod=True)
+    endpoint = await UserspaceEndpoint(stock.handle).start()
+    bridge = await UserspaceBridge(endpoint.port).start()
+    user_svc = build_service(
+        "memcached", fallback="userspace", userspace=bridge.request
+    )
+
+    async def cleanup():
+        bridge.close()
+        endpoint.close()
+
+    userspace = await _run_leg(user_svc, cleanup)
+    assert user_svc.stats.kernel_tx == 0, "userspace leg used the fast path"
+
+    return {
+        "workload": (
+            f"memcached UDP closed loop, {N_CLIENTS} clients x "
+            f"{REQUESTS_PER_CLIENT} reqs, 1/{SET_EVERY} sets"
+        ),
+        "kernel": kernel,
+        "userspace": userspace,
+        "speedup": round(
+            kernel["throughput_rps"] / userspace["throughput_rps"], 2
+        ),
+    }
+
+
+def run_benchmark() -> dict:
+    return asyncio.run(_bench())
+
+
+def format_result(result: dict) -> str:
+    k, u = result["kernel"], result["userspace"]
+    return "\n".join([
+        "network datapath: kernel fast path vs userspace fallback",
+        f"  ({result['workload']})",
+        f"  kernel (XDP_TX)    {k['throughput_rps']:10,.0f} req/s   "
+        f"p50 {k['p50_us']:7.1f} us   p99 {k['p99_us']:7.1f} us",
+        f"  userspace (PASS)   {u['throughput_rps']:10,.0f} req/s   "
+        f"p50 {u['p50_us']:7.1f} us   p99 {u['p99_us']:7.1f} us",
+        f"  speedup            {result['speedup']:10.2f} x      "
+        f"(floor {SPEEDUP_FLOOR}x)",
+    ])
+
+
+def check_result(result: dict) -> tuple[bool, str]:
+    if result["speedup"] < SPEEDUP_FLOOR:
+        return False, (
+            f"kernel/userspace speedup {result['speedup']:.2f}x below "
+            f"the {SPEEDUP_FLOOR}x acceptance floor"
+        )
+    if not BASELINE_JSON.exists():
+        return True, f"no baseline at {BASELINE_JSON}; floor-only gate passed"
+    baseline = json.loads(BASELINE_JSON.read_text())
+    floor = baseline["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+    ok = result["speedup"] >= floor
+    msg = (
+        f"speedup {result['speedup']:.2f}x vs baseline "
+        f"{baseline['speedup']:.2f}x (floor {floor:.2f}x): "
+        + ("OK" if ok else "REGRESSION")
+    )
+    return ok, msg
+
+
+# -- pytest entry -------------------------------------------------------------
+
+
+def test_net_datapath_speedup():
+    from conftest import emit
+
+    result = run_benchmark()
+    emit("BENCH_net", format_result(result))
+    assert result["speedup"] >= SPEEDUP_FLOOR, format_result(result)
+    ok, msg = check_result(result)
+    assert ok, msg
+
+
+# -- standalone entry ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(HERE.parent / "src"))
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--update", action="store_true",
+                   help="rewrite the committed baseline BENCH_net.json")
+    p.add_argument("--check", action="store_true",
+                   help="fail below the 1.5x floor or on >50%% baseline "
+                        "regression")
+    args = p.parse_args(argv)
+
+    result = run_benchmark()
+    print(format_result(result))
+    if args.update:
+        BASELINE_JSON.parent.mkdir(exist_ok=True)
+        BASELINE_JSON.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_JSON}")
+    if args.check:
+        ok, msg = check_result(result)
+        print(msg)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

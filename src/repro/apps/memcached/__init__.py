@@ -16,7 +16,9 @@ from repro.apps.memcached.protocol import (
     REPLY_FLAG,
     encode_get,
     encode_set,
+    encode_reply,
     decode_reply,
+    decode_request,
 )
 from repro.apps.memcached.kflex_ext import KFlexMemcached
 from repro.apps.memcached.bmc import BmcCache
@@ -28,7 +30,9 @@ __all__ = [
     "REPLY_FLAG",
     "encode_get",
     "encode_set",
+    "encode_reply",
     "decode_reply",
+    "decode_request",
     "KFlexMemcached",
     "BmcCache",
     "UserspaceMemcached",

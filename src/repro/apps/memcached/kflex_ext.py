@@ -199,12 +199,20 @@ class KFlexMemcached:
     def _roundtrip(self, pkt: bytes, cpu: int = 0) -> bytes:
         ctx = self.ext.xdp_ctx(pkt, cpu)
         verdict = self.ext.invoke(ctx, cpu=cpu)
-        data, _ = self.runtime.kernel.net._pkt_slots[cpu], None
-        reply = self.runtime.kernel.aspace.read_bytes(
-            self.runtime.kernel.net._pkt_slots[cpu], P.PKT_SIZE
-        )
+        reply = self.runtime.kernel.net.read_packet(cpu, P.PKT_SIZE)
         self.last_verdict = verdict
         return reply
+
+    def handle(self, pkt: bytes, cpu: int = 0) -> bytes:
+        """Serve one wire packet, returning the reply bytes.
+
+        Same signature as ``UserspaceMemcached.handle`` so a bare KMod
+        load can stand in as the stock server behind a real socket —
+        the userspace baseline then executes the identical table
+        bytecode and differs from the fast path only in the path taken
+        (the comparison convention of :mod:`repro.apps.memcached.userspace`).
+        """
+        return self._roundtrip(pkt, cpu)
 
     def get(self, key_id: int, cpu: int = 0):
         reply = self._roundtrip(P.encode_get(key_id), cpu)

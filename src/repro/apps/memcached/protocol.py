@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import struct
 
+from repro.errors import FrameError
+
 OP_GET = 0
 OP_SET = 1
 REPLY_FLAG = 0x80
@@ -52,11 +54,64 @@ def encode_set(key_id: int, value_id: int) -> bytes:
     return bytes([OP_SET]) + bytes(7) + key_bytes(key_id) + value_bytes(value_id)
 
 
+def _check_frame(pkt: bytes, what: str) -> None:
+    """Exact-size framing: stream transports can deliver short reads
+    and oversized garbage; both are :class:`FrameError`, never a crash
+    deeper in the stack."""
+    if len(pkt) < PKT_SIZE:
+        raise FrameError(f"short {what} frame: {len(pkt)} < {PKT_SIZE} bytes")
+    if len(pkt) > PKT_SIZE:
+        raise FrameError(f"oversized {what} frame: {len(pkt)} > {PKT_SIZE} bytes")
+
+
 def decode_reply(pkt: bytes) -> tuple[bool, int | None]:
     """Returns (hit, value_id or None) from a reply packet."""
-    if len(pkt) < PKT_SIZE or not pkt[0] & REPLY_FLAG:
-        raise ValueError("not a reply packet")
+    _check_frame(pkt, "reply")
+    if not pkt[0] & REPLY_FLAG:
+        raise FrameError("not a reply packet (REPLY_FLAG clear)")
     hit = pkt[1] == STATUS_HIT
     if not hit:
         return False, None
     return True, struct.unpack_from("<Q", pkt, VAL_OFF)[0]
+
+
+def decode_request(pkt: bytes) -> tuple[int, int, int | None]:
+    """Parse a request back into ``(op, key_id, value_id)`` — the
+    round-trip inverse of :func:`encode_get` / :func:`encode_set`
+    (``value_id`` is ``None`` for GET).
+
+    Raises :class:`FrameError` for anything a wire client could not
+    have produced: wrong size, reply bit set, unknown op, or a key
+    whose salt pattern is corrupted (proving the id portion garbage).
+    """
+    _check_frame(pkt, "request")
+    op = pkt[0]
+    if op & REPLY_FLAG:
+        raise FrameError("request frame has REPLY_FLAG set")
+    if op not in (OP_GET, OP_SET):
+        raise FrameError(f"unknown op {op}")
+    if pkt[KEY_OFF + 8 : KEY_OFF + KEY_SIZE] != _SALT:
+        raise FrameError("garbled key (salt pattern mismatch)")
+    key_id = struct.unpack_from("<Q", pkt, KEY_OFF)[0]
+    if op == OP_GET:
+        return OP_GET, key_id, None
+    return OP_SET, key_id, struct.unpack_from("<Q", pkt, VAL_OFF)[0]
+
+
+def encode_reply(op: int, key_id: int, hit: bool, value_id: int | None = None) -> bytes:
+    """Build the reply packet a conforming server sends for ``op``.
+
+    Byte-identical to what :class:`~repro.apps.memcached.userspace.
+    UserspaceMemcached` (and the XDP fast path) produce for
+    protocol-conforming traffic — the key echoes the request, a hit
+    carries the value — so fallback paths can synthesise replies
+    without holding the original request bytes.
+    """
+    status = STATUS_HIT if hit else STATUS_MISS
+    val = value_bytes(value_id) if hit and value_id is not None else bytes(VAL_SIZE)
+    return (
+        bytes([REPLY_FLAG | op, status])
+        + bytes(6)
+        + key_bytes(key_id)
+        + val
+    )

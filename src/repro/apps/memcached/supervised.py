@@ -74,6 +74,10 @@ class SupervisedMemcached:
         #: for every key the kernel path could not store).
         self.overlay: dict[bytes, bytes] = {}
         self.stats = FallbackStats()
+        #: Which path answered the most recent request: "kernel" (XDP
+        #: fast path) or "userspace" (overlay / surviving heap).  The
+        #: network datapath maps this onto its XDP-verdict accounting.
+        self.last_path = "kernel"
         # §3.4: user space mmaps the heap so it can read extension-
         # written values after a cancellation.
         self.kflex.heap.map_user()
@@ -109,9 +113,11 @@ class SupervisedMemcached:
                 reply = self.kflex._roundtrip(P.encode_get(key_id), cpu)
                 if self.kflex.last_verdict == XDP_TX:
                     self.stats.kernel_gets += 1
+                    self.last_path = "kernel"
                     return P.decode_reply(reply)
         # Fallback: the extension is quarantined or this request's
         # invocation was cancelled mid-flight.
+        self.last_path = "userspace"
         self.stats.fallback_gets += 1
         val = self.overlay.get(key)
         if val is None:
@@ -132,14 +138,32 @@ class SupervisedMemcached:
                 # Kernel holds the newest value now; drop any overlay copy.
                 self.overlay.pop(key, None)
                 self.stats.kernel_sets += 1
+                self.last_path = "kernel"
                 return True
         # Quarantined, cancelled mid-flight, or heap exhausted: the
         # overlay is authoritative until a later replay succeeds.
+        self.last_path = "userspace"
         self.stats.fallback_sets += 1
         self.overlay[key] = (
             struct.pack("<Q", value_id & (1 << 64) - 1) + bytes(P.VAL_SIZE - 8)
         )
         return True
+
+    def serve(self, pkt: bytes, cpu: int = 0) -> bytes:
+        """Packet-level request entry for the network datapath.
+
+        Decodes a wire request, routes it through the supervised
+        GET/SET paths (kernel fast path with overlay/heap fallback),
+        and re-encodes the reply.  ``last_path`` reports which side
+        answered.  Raises :class:`~repro.errors.FrameError` for frames
+        no conforming client produces — the datapath drops those.
+        """
+        op, key_id, value_id = P.decode_request(pkt)
+        if op == P.OP_GET:
+            hit, vid = self.get(key_id, cpu)
+            return P.encode_reply(P.OP_GET, key_id, hit, vid)
+        self.set(key_id, value_id, cpu)
+        return P.encode_reply(P.OP_SET, key_id, True, value_id)
 
     def warm(self, n_keys: int, cpu: int = 0) -> None:
         for k in range(n_keys):

@@ -15,7 +15,9 @@ from repro.apps.redis.protocol import (
     encode_get,
     encode_set,
     encode_zadd,
+    encode_reply,
     decode_reply,
+    decode_request,
 )
 from repro.apps.redis.kflex_ext import KFlexRedis
 from repro.apps.redis.userspace import UserspaceRedis
@@ -27,7 +29,9 @@ __all__ = [
     "encode_get",
     "encode_set",
     "encode_zadd",
+    "encode_reply",
     "decode_reply",
+    "decode_request",
     "KFlexRedis",
     "UserspaceRedis",
 ]

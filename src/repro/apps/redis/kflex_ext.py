@@ -262,9 +262,7 @@ class KFlexRedis:
     def _roundtrip(self, pkt: bytes, cpu: int = 0) -> bytes:
         ctx = self.ext.sk_skb_ctx(pkt, cpu)
         self.ext.invoke(ctx, cpu=cpu)
-        return self.runtime.kernel.aspace.read_bytes(
-            self.runtime.kernel.net._pkt_slots[cpu], P.PKT_SIZE
-        )
+        return self.runtime.kernel.net.read_packet(cpu, P.PKT_SIZE)
 
     def get(self, key_id: int, cpu: int = 0):
         return P.decode_reply(self._roundtrip(P.encode_get(key_id), cpu))

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import struct
 
+from repro.errors import FrameError
+
 OP_GET = 0
 OP_SET = 1
 OP_ZADD = 2
@@ -61,9 +63,58 @@ def encode_zadd(key_id: int, score: int, member: int) -> bytes:
     )
 
 
+def _check_frame(pkt: bytes, what: str) -> None:
+    """Exact-size framing for the stream transport: short reads and
+    oversized garbage both raise :class:`FrameError`."""
+    if len(pkt) < PKT_SIZE:
+        raise FrameError(f"short {what} frame: {len(pkt)} < {PKT_SIZE} bytes")
+    if len(pkt) > PKT_SIZE:
+        raise FrameError(f"oversized {what} frame: {len(pkt)} > {PKT_SIZE} bytes")
+
+
 def decode_reply(pkt: bytes) -> tuple[bool, int | None]:
-    if len(pkt) < 48 or not pkt[0] & REPLY_FLAG:
-        raise ValueError("not a reply packet")
+    _check_frame(pkt, "reply")
+    if not pkt[0] & REPLY_FLAG:
+        raise FrameError("not a reply packet (REPLY_FLAG clear)")
     ok = pkt[1] == STATUS_OK
     value = struct.unpack_from("<Q", pkt, VAL_OFF)[0] if ok else None
     return ok, value
+
+
+def decode_request(pkt: bytes) -> tuple[int, int, int | None, int | None]:
+    """Parse a request into ``(op, key_id, value_or_score, member)`` —
+    the round-trip inverse of the ``encode_*`` helpers (fields not
+    carried by the op are ``None``).
+
+    Raises :class:`FrameError` for wrong size, reply bit set, unknown
+    op, or corrupted key salt.
+    """
+    _check_frame(pkt, "request")
+    op = pkt[0]
+    if op & REPLY_FLAG:
+        raise FrameError("request frame has REPLY_FLAG set")
+    if op not in (OP_GET, OP_SET, OP_ZADD):
+        raise FrameError(f"unknown op {op}")
+    if pkt[KEY_OFF + 8 : KEY_OFF + KEY_SIZE] != _SALT:
+        raise FrameError("garbled key (salt pattern mismatch)")
+    key_id = struct.unpack_from("<Q", pkt, KEY_OFF)[0]
+    if op == OP_GET:
+        return OP_GET, key_id, None, None
+    if op == OP_SET:
+        return OP_SET, key_id, struct.unpack_from("<Q", pkt, VAL_OFF)[0], None
+    score, member = struct.unpack_from("<QQ", pkt, VAL_OFF)
+    return OP_ZADD, key_id, score, member
+
+
+def encode_reply(op: int, key_id: int, ok: bool, value_id: int | None = None) -> bytes:
+    """Synthesise the reply a conforming server sends for ``op`` (used
+    by fallback paths that no longer hold the request bytes)."""
+    status = STATUS_OK if ok else STATUS_MISS
+    value = value_id if (ok and value_id is not None) else 0
+    return (
+        bytes([REPLY_FLAG | op, status])
+        + bytes(6)
+        + key_bytes(key_id)
+        + struct.pack("<Q", value & (1 << 64) - 1)
+        + bytes(PKT_SIZE - 48)
+    )

@@ -62,6 +62,9 @@ class SupervisedRedis:
         #: Userspace overlay, authoritative for every key it holds.
         self.overlay = UserspaceRedis()
         self.stats = FallbackStats()
+        #: Which path answered the most recent request ("kernel" or
+        #: "userspace") — the network datapath's verdict accounting.
+        self.last_path = "kernel"
         self.kflex.heap.map_user()
         self._user_delta = self.kflex.heap.user_base - self.kflex.heap.base
 
@@ -110,7 +113,9 @@ class SupervisedRedis:
                 reply = self.kflex._roundtrip(P.encode_get(key_id), cpu)
                 if self._served(reply):
                     self.stats.kernel_ops += 1
+                    self.last_path = "kernel"
                     return P.decode_reply(reply)
+        self.last_path = "userspace"
         self.stats.fallback_ops += 1
         ok, val = self.overlay.get(key_id)
         if not ok:
@@ -128,7 +133,9 @@ class SupervisedRedis:
             if self._served(reply) and reply[1] == P.STATUS_OK:
                 self.overlay.strings.pop(key_id, None)
                 self.stats.kernel_ops += 1
+                self.last_path = "kernel"
                 return True
+        self.last_path = "userspace"
         self.stats.fallback_ops += 1
         return self.overlay.set(key_id, value_id)
 
@@ -140,9 +147,24 @@ class SupervisedRedis:
             )
             if self._served(reply) and reply[1] == P.STATUS_OK:
                 self.stats.kernel_ops += 1
+                self.last_path = "kernel"
                 return True
+        self.last_path = "userspace"
         self.stats.fallback_ops += 1
         return self.overlay.zadd(key_id, score, member)
+
+    def serve(self, pkt: bytes, cpu: int = 0) -> bytes:
+        """Packet-level request entry for the network datapath (the
+        stream-transport twin of ``SupervisedMemcached.serve``)."""
+        op, key_id, value_or_score, member = P.decode_request(pkt)
+        if op == P.OP_GET:
+            ok, vid = self.get(key_id, cpu)
+            return P.encode_reply(P.OP_GET, key_id, ok, vid)
+        if op == P.OP_SET:
+            ok = self.set(key_id, value_or_score, cpu)
+            return P.encode_reply(P.OP_SET, key_id, ok, value_or_score)
+        ok = self.zadd(key_id, value_or_score, member, cpu)
+        return P.encode_reply(P.OP_ZADD, key_id, ok, value_or_score)
 
     # -- combined views ------------------------------------------------------
 

@@ -587,6 +587,25 @@ class KFlexRuntime:
             self.kernel.hooks.attach(ext)
         return ext
 
+    # -- quiescence ------------------------------------------------------------
+
+    def quiescence_report(self) -> dict:
+        """Snapshot of extension-held kernel resources — all zero when
+        no extension is mid-flight.
+
+        The network datapath's graceful drain calls this after the last
+        in-flight invocation completes: every cancellation already ran
+        the unwinder, so a non-zero entry here means a request was
+        dropped mid-extension instead of being quiesced (§3.3).
+        """
+        return {
+            "sock_refs": self.kernel.net.total_extension_refs(),
+            "held_locks": sum(
+                len(lm.held_ext_locks()) for lm in self.lock_managers.values()
+            ),
+            "live_extensions": sum(1 for e in self.extensions if not e.dead),
+        }
+
     # -- hook context staging ---------------------------------------------------
 
     def make_ctx(self, cpu: int, fields: list[int]) -> int:

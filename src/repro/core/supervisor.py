@@ -85,6 +85,15 @@ class ExtensionSupervisor:
         self._health: dict[int, ExtHealth] = {}  # id(ext) -> health
         self._exts: dict[int, object] = {}  # keep exts alive for id keys
         self.stats = SupervisorStats()
+        #: Observers called as ``fn(event, ext, detail)`` with event
+        #: ``"quarantine"`` (detail = reason) or ``"readmit"`` (detail =
+        #: readmission count).  The network datapath subscribes to flip
+        #: between fast-path and degraded serving without polling.
+        self.listeners: list = []
+
+    def _notify(self, event: str, ext, detail) -> None:
+        for fn in list(self.listeners):
+            fn(event, ext, detail)
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -140,6 +149,7 @@ class ExtensionSupervisor:
         self.stats.quarantines += 1
         if not ext.dead:
             ext.unload()
+        self._notify("quarantine", ext, reason)
 
     def try_readmit(self, ext) -> bool:
         """Revive the extension if its backoff elapsed; False otherwise.
@@ -163,6 +173,7 @@ class ExtensionSupervisor:
         if pipeline is not None and pipeline.stats.warm_loads > warm_before:
             h.warm_readmissions += 1
             self.stats.warm_readmissions += 1
+        self._notify("readmit", ext, h.readmissions)
         return True
 
     def status(self, ext) -> str:

@@ -133,5 +133,16 @@ class OutOfMemory(ReproError):
     """vmalloc arena or cgroup limit exhausted."""
 
 
+class FrameError(ReproError, ValueError):
+    """A wire frame or datagram could not be decoded: short, oversized,
+    or garbled (bad op byte, corrupted key salt).
+
+    Subclasses :class:`ValueError` so callers that guarded the old
+    ``decode_reply`` behaviour with ``except ValueError`` keep working;
+    network servers catch it to drop the offending frame instead of
+    crashing the datapath.
+    """
+
+
 class MapFull(ReproError):
     """An eBPF map reached max_entries (BMC's preallocated cache)."""

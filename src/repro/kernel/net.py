@@ -110,6 +110,61 @@ class NetStack:
         self.aspace.write_bytes(base, payload)
         return base, base + len(payload)
 
+    def read_packet(self, cpu: int, size: int) -> bytes:
+        """Read back the CPU's staged packet (e.g. the reply an XDP_TX
+        extension wrote in place).  The slot must have been staged."""
+        base = self._pkt_slots.get(cpu)
+        if base is None:
+            raise KernelPanic(f"no packet staged on cpu {cpu}")
+        return self.aspace.read_bytes(base, min(size, PKT_SLOT_SIZE))
+
+    # -- receive path (XDP_PASS) ------------------------------------------
+
+    def stack_deliver(self, cpu: int, payload: bytes, dport: int = 0) -> bytes:
+        """The receive-path work an ``XDP_PASS`` packet incurs that an
+        ``XDP_TX`` reply skips (the BMC/KFlex performance argument):
+
+        1. skb allocation — the payload is copied out of the driver
+           slot into kernel packet memory;
+        2. L4 checksum validation over the full payload;
+        3. socket-table lookup for the destination;
+        4. copy-out to the socket receive queue (the buffer userspace
+           will ``recvfrom``).
+
+        Every step does its real work against the simulated kernel
+        (address-space copies, a ones'-complement sum, the socket hash
+        table); nothing is a sleep or a tuning constant.  Returns the
+        delivered bytes.  Callers on the userspace-fallback path run
+        this before handing the packet to the server, so measured
+        fast-path speedups include the stack traversal they model.
+        """
+        # skb alloc + copy into kernel memory (reuse the CPU's slot
+        # region at a fixed skb offset so delivery never grows state).
+        if len(payload) > PKT_SLOT_SIZE // 2:
+            raise KernelPanic("packet larger than skb slot")
+        base = self._pkt_slots.get(cpu)
+        if base is None:
+            base = PKT_REGION_BASE + cpu * PKT_SLOT_SIZE
+            self.aspace.map_region(base, PKT_SLOT_SIZE, f"kernel:pkt{cpu}")
+            self._pkt_slots[cpu] = base
+        skb = base + PKT_SLOT_SIZE // 2
+        self.aspace.write_bytes(skb, payload)
+
+        # L4 checksum: 16-bit ones'-complement sum, as udp_rcv would.
+        data = payload if len(payload) % 2 == 0 else payload + b"\x00"
+        csum = 0
+        for i in range(0, len(data), 2):
+            csum += (data[i] << 8) | data[i + 1]
+            csum = (csum & 0xFFFF) + (csum >> 16)
+
+        # Socket lookup; a miss is fine (the datapath's server socket
+        # is not registered in the simulated table) — the lookup cost
+        # is what is being modelled.
+        self.sk_lookup_udp(udp_tuple(0, 0, 0, dport))
+
+        # Copy-out to the receive queue / userspace buffer.
+        return self.aspace.read_bytes(skb, len(payload))
+
 
 def udp_tuple(saddr: int, daddr: int, sport: int, dport: int) -> bytes:
     """Pack an IPv4 UDP 4-tuple the way ``bpf_sock_tuple.ipv4`` lays

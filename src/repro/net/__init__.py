@@ -1,0 +1,70 @@
+"""``repro.net`` — a real network datapath over loopback.
+
+The missing layer between the discrete-event simulation
+(:mod:`repro.sim.loadgen`) and the paper's testbed: asyncio UDP and
+length-prefix-framed TCP servers whose receive path is an XDP-style
+ingress dispatcher.  Every datagram/frame is staged into a per-CPU
+packet slot (:mod:`repro.kernel.net`), the attached KFlex extension
+runs through the pooled threaded engine, and its XDP verdict decides
+the reply:
+
+* ``XDP_TX`` — reply straight from the kernel fast path (the BMC/KFlex
+  split: the extension already wrote the answer into the packet);
+* ``XDP_PASS`` — the packet continues up the stack to the userspace
+  server (over a *real second socket hop* in bridged mode, or the
+  in-process §3.4 fallback in supervised mode);
+* ``XDP_DROP`` — no reply.
+
+Modules: :mod:`~repro.net.datapath` (servers + userspace bridge),
+:mod:`~repro.net.service` (verdict dispatch + supervisor integration),
+:mod:`~repro.net.shard` (SO_REUSEPORT-style workers + consistent-hash
+ring), :mod:`~repro.net.backpressure` (admission control and graceful
+drain), :mod:`~repro.net.client` (wire-level closed-loop load
+generator).
+"""
+
+from repro.net.backpressure import AdmissionControl, AdmissionPolicy, ShedStats
+from repro.net.client import LoadResult, TcpLoadGenerator, UdpLoadGenerator
+from repro.net.datapath import (
+    DatapathStats,
+    TcpDatapath,
+    UdpDatapath,
+    UserspaceEndpoint,
+    UserspaceBridge,
+)
+from repro.net.service import (
+    ExtensionService,
+    SupervisedMemcachedService,
+    SupervisedRedisService,
+    ServiceStats,
+    build_service,
+)
+from repro.net.shard import (
+    ConsistentHashRing,
+    ShardedUdpDatapath,
+    ShardRouterService,
+    ShardWorker,
+)
+
+__all__ = [
+    "AdmissionControl",
+    "AdmissionPolicy",
+    "ConsistentHashRing",
+    "DatapathStats",
+    "ExtensionService",
+    "LoadResult",
+    "ServiceStats",
+    "ShardRouterService",
+    "ShardWorker",
+    "ShardedUdpDatapath",
+    "ShedStats",
+    "SupervisedMemcachedService",
+    "SupervisedRedisService",
+    "TcpDatapath",
+    "TcpLoadGenerator",
+    "UdpDatapath",
+    "UdpLoadGenerator",
+    "UserspaceBridge",
+    "UserspaceEndpoint",
+    "build_service",
+]

@@ -1,0 +1,130 @@
+"""Admission control and graceful drain for the network datapath.
+
+A servable system needs an answer for the moment offered load exceeds
+capacity.  This module provides the three bounds the datapath enforces
+and the counters that make shedding observable:
+
+* **max in-flight** — requests admitted into the service stage at once;
+  beyond it, datagrams are shed at ingress (UDP's native semantics:
+  silence, the client retries).
+* **bounded ingress queue** — staged-but-unserved packets; the queue
+  bound caps memory and tail latency rather than letting the backlog
+  grow without limit.
+* **per-connection budget / connection cap** — the TCP side stops
+  *reading* a connection that has the budget's worth of frames in its
+  pipeline (real TCP backpressure: the kernel socket buffer fills and
+  the sender blocks), and refuses connections beyond the cap.
+
+**Graceful drain** (`drain()`): stop admitting, then wait for every
+in-flight request to finish.  In-flight extension invocations are never
+abandoned — they run to completion or cancellation through the
+supervisor/unwinder, so after the drain the kernel is quiescent (the
+datapath asserts this via ``KFlexRuntime.quiescence_report``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds for one datapath instance; defaults suit loopback tests."""
+
+    #: Requests admitted into the service stage at once.
+    max_inflight: int = 64
+    #: Ingress queue bound (staged, not yet admitted to service).
+    max_queue: int = 256
+    #: TCP: frames one connection may have in its pipeline before the
+    #: server stops reading it (backpressure, not shedding).
+    per_conn_budget: int = 8
+    #: TCP: concurrent connections accepted; more are closed on sight.
+    max_connections: int = 128
+
+
+@dataclass
+class ShedStats:
+    """Load-shed and drain accounting."""
+
+    admitted: int = 0
+    completed: int = 0
+    #: Shed because max_inflight was reached.
+    shed_inflight: int = 0
+    #: Shed because the ingress queue was full.
+    shed_queue: int = 0
+    #: Shed because the datapath was draining/stopped.
+    shed_draining: int = 0
+    #: TCP connections refused at the connection cap.
+    refused_connections: int = 0
+    #: Times a TCP reader paused at its per-connection budget.
+    budget_stalls: int = 0
+    #: Requests that were in flight when drain began and completed.
+    drained_inflight: int = 0
+
+    def merge(self, other: "ShedStats") -> "ShedStats":
+        for f in (
+            "admitted", "completed", "shed_inflight", "shed_queue",
+            "shed_draining", "refused_connections", "budget_stalls",
+            "drained_inflight",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+
+class AdmissionControl:
+    """Loop-affine admission state shared by one datapath's workers."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None):
+        self.policy = policy or AdmissionPolicy()
+        self.stats = ShedStats()
+        self.inflight = 0
+        self.connections = 0
+        self.draining = False
+        self._idle: asyncio.Event | None = None  # created lazily, loop-affine
+
+    # -- request admission -------------------------------------------------
+
+    def try_admit(self) -> bool:
+        """Admit one request into the service stage, or shed it."""
+        if self.draining:
+            self.stats.shed_draining += 1
+            return False
+        if self.inflight >= self.policy.max_inflight:
+            self.stats.shed_inflight += 1
+            return False
+        self.inflight += 1
+        self.stats.admitted += 1
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+        self.stats.completed += 1
+        if self.draining:
+            self.stats.drained_inflight += 1
+            if self.inflight == 0 and self._idle is not None:
+                self._idle.set()
+
+    # -- connection admission ----------------------------------------------
+
+    def try_admit_connection(self) -> bool:
+        if self.draining or self.connections >= self.policy.max_connections:
+            self.stats.refused_connections += 1
+            return False
+        self.connections += 1
+        return True
+
+    def release_connection(self) -> None:
+        self.connections -= 1
+
+    # -- drain --------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admitting and wait for in-flight requests to finish."""
+        self.draining = True
+        if self.inflight == 0:
+            return
+        self._idle = asyncio.Event()
+        if self.inflight == 0:  # completed between the check and the Event
+            return
+        await self._idle.wait()

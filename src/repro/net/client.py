@@ -1,0 +1,293 @@
+"""Wire-level closed-loop load generators.
+
+The real-socket counterpart of :class:`repro.sim.loadgen.ClosedLoopSim`:
+N concurrent clients, each with exactly one request outstanding, over
+real UDP datagrams or framed TCP — so every recorded latency includes
+the kernel's actual socket path, not a modelled cost.
+
+Workloads are callables ``workload(client_id, seq) -> (routing_key,
+payload)``; the generator consults a :class:`ConsistentHashRing` to
+send each payload to the owning shard (the client-side half of RSS).
+Give each client a disjoint key range when reply/state ordering matters
+— per-key operation order is then the client's program order, which is
+what lets the e2e test replay the same trace against an in-process
+oracle.
+
+Latency is recorded per client in a
+:class:`~repro.sim.metrics.LatencyStats` and merged across clients with
+``LatencyStats.merged`` — the same merge the sharded server uses for
+its per-shard stats.
+
+Failure semantics: UDP losses (shed datagrams, XDP_DROP) surface as
+timeouts and are retried up to ``retries`` times; TCP sheds surface as
+explicit empty frames and are retried on the same connection.  A
+request that exhausts its retries counts as a *failure* in the result —
+the number the e2e acceptance test requires to be zero across a
+quarantine cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.net.datapath import FRAME_HDR, MAX_FRAME
+from repro.sim.metrics import LatencyStats
+
+
+@dataclass
+class LoadResult:
+    """Merged outcome of one load-generation run."""
+
+    requests: int = 0
+    replies: int = 0
+    #: Requests with no reply after all retries.
+    failures: int = 0
+    retries: int = 0
+    duration_s: float = 0.0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    #: ``(client_id, seq, payload, reply | None)`` per request, in each
+    #: client's program order; kept only when ``keep_log=True``.
+    log: list = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.replies / self.duration_s if self.duration_s > 0 else 0.0
+
+
+class _ClientProto(asyncio.DatagramProtocol):
+    """One closed-loop client's socket: a single pending future.
+
+    Timeouts are not per-await (``asyncio.wait_for`` costs a timer
+    context per request, which would dominate loopback latencies);
+    instead each pending future carries a ``deadline`` and a coarse
+    per-generator sweeper resolves overdue ones with ``None``.
+    """
+
+    def __init__(self, matcher=None):
+        self.matcher = matcher
+        self.fut: asyncio.Future | None = None
+        self.sent: bytes | None = None
+        self.deadline: float = 0.0
+        self.transport = None
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        fut = self.fut
+        if fut is None or fut.done():
+            return  # late reply to a timed-out attempt
+        if self.matcher is not None and not self.matcher(self.sent, data):
+            return  # stale reply that crossed a retry boundary
+        fut.set_result(data)
+
+
+class UdpLoadGenerator:
+    """Closed-loop UDP load over ``n_clients`` concurrent sockets."""
+
+    def __init__(
+        self,
+        ports,
+        workload,
+        *,
+        host: str = "127.0.0.1",
+        ring=None,
+        n_clients: int = 4,
+        requests_per_client: int = 256,
+        timeout: float = 1.0,
+        retries: int = 8,
+        matcher=None,
+        keep_log: bool = False,
+    ):
+        self.ports = list(ports)
+        self.workload = workload
+        self.host = host
+        self.ring = ring
+        if ring is None and len(self.ports) > 1:
+            raise ValueError("multiple ports need a ring to route by key")
+        self.n_clients = n_clients
+        self.requests_per_client = requests_per_client
+        self.timeout = timeout
+        self.retries = retries
+        self.matcher = matcher
+        self.keep_log = keep_log
+
+    def _addr_for(self, key) -> tuple[str, int]:
+        if self.ring is None:
+            return (self.host, self.ports[0])
+        return (self.host, self.ports[self.ring.shard_of(key)])
+
+    async def _client(self, cid: int, proto: _ClientProto,
+                      result: LoadResult, lat: LatencyStats) -> None:
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: proto, local_addr=(self.host, 0)
+        )
+        try:
+            for seq in range(self.requests_per_client):
+                key, payload = self.workload(cid, seq)
+                addr = self._addr_for(key)
+                result.requests += 1
+                reply = None
+                t0 = time.monotonic_ns()
+                for attempt in range(self.retries + 1):
+                    fut = loop.create_future()
+                    proto.fut, proto.sent = fut, payload
+                    proto.deadline = loop.time() + self.timeout
+                    transport.sendto(payload, addr)
+                    reply = await fut  # reply, or None from the sweeper
+                    if reply is not None:
+                        break
+                    result.retries += 1
+                proto.fut = None
+                if reply is None:
+                    result.failures += 1
+                else:
+                    result.replies += 1
+                    lat.record(time.monotonic_ns() - t0)
+                if self.keep_log:
+                    result.log.append((cid, seq, payload, reply))
+        finally:
+            transport.close()
+
+    async def _sweep(self, protos) -> None:
+        """Resolve overdue pending futures with None (lost datagram)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.timeout / 4)
+            now = loop.time()
+            for p in protos:
+                fut = p.fut
+                if fut is not None and not fut.done() and now >= p.deadline:
+                    fut.set_result(None)
+
+    async def run(self) -> LoadResult:
+        result = LoadResult()
+        lats = [LatencyStats() for _ in range(self.n_clients)]
+        protos = [_ClientProto(self.matcher) for _ in range(self.n_clients)]
+        sweeper = asyncio.get_running_loop().create_task(self._sweep(protos))
+        t0 = time.monotonic()
+        try:
+            await asyncio.gather(
+                *(self._client(c, protos[c], result, lats[c])
+                  for c in range(self.n_clients))
+            )
+        finally:
+            sweeper.cancel()
+            await asyncio.gather(sweeper, return_exceptions=True)
+        result.duration_s = time.monotonic() - t0
+        result.latency = LatencyStats.merged(lats)
+        return result
+
+
+class TcpLoadGenerator:
+    """Closed-loop framed-TCP load; one connection per (client, shard).
+
+    A shed/dropped request comes back as an explicit empty frame (the
+    framed transport cannot stay silent) and is retried in place.  A
+    *timeout* desynchronises the stream, so the connection is torn down
+    and reopened before the retry.
+    """
+
+    def __init__(
+        self,
+        ports,
+        workload,
+        *,
+        host: str = "127.0.0.1",
+        ring=None,
+        n_clients: int = 4,
+        requests_per_client: int = 256,
+        timeout: float = 2.0,
+        retries: int = 8,
+        keep_log: bool = False,
+    ):
+        self.ports = list(ports)
+        self.workload = workload
+        self.host = host
+        self.ring = ring
+        if ring is None and len(self.ports) > 1:
+            raise ValueError("multiple ports need a ring to route by key")
+        self.n_clients = n_clients
+        self.requests_per_client = requests_per_client
+        self.timeout = timeout
+        self.retries = retries
+        self.keep_log = keep_log
+
+    def _port_for(self, key) -> int:
+        if self.ring is None:
+            return self.ports[0]
+        return self.ports[self.ring.shard_of(key)]
+
+    async def _rpc(self, conns: dict, port: int, payload: bytes):
+        if port not in conns:
+            conns[port] = await asyncio.open_connection(self.host, port)
+        reader, writer = conns[port]
+        writer.write(FRAME_HDR.pack(len(payload)) + payload)
+        await writer.drain()
+        hdr = await reader.readexactly(FRAME_HDR.size)
+        (length,) = FRAME_HDR.unpack(hdr)
+        if length == 0:
+            return None  # server shed/dropped this request
+        if length > MAX_FRAME:
+            raise ConnectionResetError("oversized reply frame")
+        return await reader.readexactly(length)
+
+    async def _drop_conn(self, conns: dict, port: int) -> None:
+        pair = conns.pop(port, None)
+        if pair is not None:
+            pair[1].close()
+            try:
+                await pair[1].wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _client(self, cid: int, result: LoadResult,
+                      lat: LatencyStats) -> None:
+        conns: dict[int, tuple] = {}
+        try:
+            for seq in range(self.requests_per_client):
+                key, payload = self.workload(cid, seq)
+                port = self._port_for(key)
+                result.requests += 1
+                reply = None
+                t0 = time.monotonic_ns()
+                for attempt in range(self.retries + 1):
+                    try:
+                        reply = await asyncio.wait_for(
+                            self._rpc(conns, port, payload), self.timeout
+                        )
+                    except (
+                        asyncio.TimeoutError,
+                        asyncio.IncompleteReadError,
+                        ConnectionError,
+                        OSError,
+                    ):
+                        await self._drop_conn(conns, port)
+                        reply = None
+                    if reply is not None:
+                        break
+                    result.retries += 1
+                if reply is None:
+                    result.failures += 1
+                else:
+                    result.replies += 1
+                    lat.record(time.monotonic_ns() - t0)
+                if self.keep_log:
+                    result.log.append((cid, seq, payload, reply))
+        finally:
+            for port in list(conns):
+                await self._drop_conn(conns, port)
+
+    async def run(self) -> LoadResult:
+        result = LoadResult()
+        lats = [LatencyStats() for _ in range(self.n_clients)]
+        t0 = time.monotonic()
+        await asyncio.gather(
+            *(self._client(c, result, lats[c]) for c in range(self.n_clients))
+        )
+        result.duration_s = time.monotonic() - t0
+        result.latency = LatencyStats.merged(lats)
+        return result

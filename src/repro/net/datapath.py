@@ -1,0 +1,425 @@
+"""Asyncio UDP/TCP servers with XDP-style ingress dispatch.
+
+The receive path mirrors a NIC driver feeding an XDP program:
+
+1. a datagram (or length-prefixed TCP frame) arrives on the wire;
+2. admission control decides to admit or shed it
+   (:mod:`repro.net.backpressure`);
+3. an ingress worker stages it into the serving CPU's packet slot and
+   runs the attached service (:mod:`repro.net.service`), which invokes
+   the KFlex extension and maps its XDP verdict;
+4. ``TX`` replies go straight back out; ``PASS`` payloads are delivered
+   to the userspace server; ``DROP`` sends nothing.
+
+**UDP** (:class:`UdpDatapath`) is the Memcached transport (the paper's
+Fig. 2/3 workload).  **TCP** (:class:`TcpDatapath`) carries Redis with
+4-byte big-endian length-prefix framing and per-connection
+backpressure: the server stops *reading* a connection whose pipeline is
+at budget, so the kernel socket buffer — not an unbounded queue —
+absorbs the burst.
+
+**Userspace delivery** (:class:`UserspaceEndpoint` +
+:class:`UserspaceBridge`) models what ``XDP_PASS`` means on real
+hardware: the packet traverses the rest of the stack and is delivered
+to the application's socket.  Here that is a literal second loopback
+hop — the ingress forwards the payload over UDP to the app server's
+endpoint and awaits its answer — so the fast path's advantage
+(skipping that hop) is physically real in every measurement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+
+from repro.net.backpressure import AdmissionControl, AdmissionPolicy
+
+#: TCP framing: 4-byte big-endian payload length.
+FRAME_HDR = struct.Struct(">I")
+#: Upper bound on a framed payload; larger prefixes are garbage and
+#: poison the connection (FrameError semantics at the transport layer).
+MAX_FRAME = 1 << 12
+
+#: Correlation shim on the ingress->userspace hop (8-byte LE request id
+#: prepended to the payload), so concurrent PASS deliveries resolve to
+#: the right waiter.
+_BRIDGE_HDR = struct.Struct("<Q")
+
+
+@dataclass
+class DatapathStats:
+    received: int = 0
+    replied: int = 0
+    #: Admitted but answered with nothing (XDP_DROP or bad frame).
+    no_reply: int = 0
+    #: TCP frames whose length prefix was invalid (connection closed).
+    bad_frames: int = 0
+
+    def merge(self, other: "DatapathStats") -> "DatapathStats":
+        for f in ("received", "replied", "no_reply", "bad_frames"):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+
+class _Ingress(asyncio.DatagramProtocol):
+    """NIC side of the UDP datapath.
+
+    Mirrors the XDP execution model: the extension runs *inside the
+    receive callback* (the analog of the driver's NAPI context — no
+    task creation, no queue, no lock), and only packets whose verdict
+    sends them up the stack (``"pass"``) are handed to the worker
+    queue for asynchronous delivery.  Never blocks.
+    """
+
+    def __init__(self, dp: "UdpDatapath"):
+        self.dp = dp
+
+    def connection_made(self, transport):
+        self.dp._transport = transport
+
+    def datagram_received(self, data, addr):
+        dp = self.dp
+        dp.stats.received += 1
+        if not dp.admission.try_admit():
+            return  # shed: UDP silence, accounted by AdmissionControl
+        if dp._sync_ingress:
+            reply, path = dp.service.ingress(data, dp.cpu)
+            if path != "pass":
+                if reply is not None:
+                    dp._transport.sendto(reply, addr)
+                    dp.stats.replied += 1
+                else:
+                    dp.stats.no_reply += 1
+                dp.admission.release()
+                return
+        try:
+            dp._queue.put_nowait((data, addr))
+        except asyncio.QueueFull:
+            # Un-admit: the request never reached the service stage.
+            dp.admission.inflight -= 1
+            dp.admission.stats.admitted -= 1
+            dp.admission.stats.shed_queue += 1
+
+
+class UdpDatapath:
+    """One UDP serving socket + ingress workers over one service.
+
+    ``cpu`` pins the shard to a packet-slot/engine CPU id (the
+    SO_REUSEPORT model: each sharded socket is served by one pinned
+    worker).  ``n_workers`` > 1 lets PASS deliveries (which await the
+    userspace hop) overlap; extension invocations themselves are
+    serialized per CPU slot by ``_slot_lock``.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cpu: int = 0,
+        policy: AdmissionPolicy | None = None,
+        n_workers: int = 4,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.cpu = cpu
+        self.admission = AdmissionControl(policy)
+        self.stats = DatapathStats()
+        self.n_workers = n_workers
+        self._queue: asyncio.Queue | None = None
+        self._transport = None
+        self._workers: list[asyncio.Task] = []
+        self._slot_lock: asyncio.Lock | None = None
+        self.port: int | None = None
+        #: PacketService subclasses expose the split sync-ingress /
+        #: async-deliver entry; plain ``handle``-only services (e.g. a
+        #: shard router) take the queued path for every packet.
+        self._sync_ingress = hasattr(service, "ingress")
+
+    async def start(self) -> "UdpDatapath":
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.admission.policy.max_queue)
+        self._slot_lock = asyncio.Lock()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Ingress(self),
+            local_addr=(self.host, self._requested_port),
+        )
+        self.port = self._transport.get_extra_info("sockname")[1]
+        self._workers = [
+            loop.create_task(self._worker()) for _ in range(self.n_workers)
+        ]
+        return self
+
+    async def _worker(self) -> None:
+        while True:
+            data, addr = await self._queue.get()
+            try:
+                if self._sync_ingress:
+                    # Ingress already ran in the receive callback with
+                    # a "pass" verdict; finish with stack delivery.
+                    reply = await self.service.deliver(data, self.cpu)
+                else:
+                    async with self._slot_lock:
+                        reply = await self.service.handle(data, self.cpu)
+                if reply is not None:
+                    self._transport.sendto(reply, addr)
+                    self.stats.replied += 1
+                else:
+                    self.stats.no_reply += 1
+            finally:
+                self.admission.release()
+                self._queue.task_done()
+
+    async def stop(self) -> dict:
+        """Graceful drain: close intake, serve what was admitted, then
+        verify extension quiescence.  Returns the quiescence report."""
+        if self._transport is not None:
+            self._transport.close()  # no new datagrams
+        await self.admission.drain()  # in-flight requests finish
+        for w in self._workers:
+            w.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        report = self.service.quiescence_report()
+        self.service.close()
+        return report
+
+
+class TcpDatapath:
+    """Length-prefix-framed TCP server over one service.
+
+    Per-connection pipeline: frames are read into a bounded queue
+    (``policy.per_conn_budget``); while it is full the reader does not
+    read — TCP flow control pushes back on the sender.  Replies are
+    written in request order.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cpu: int = 0,
+        policy: AdmissionPolicy | None = None,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.cpu = cpu
+        self.admission = AdmissionControl(policy)
+        self.stats = DatapathStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._slot_lock: asyncio.Lock | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.port: int | None = None
+
+    async def start(self) -> "TcpDatapath":
+        self._slot_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _on_connection(self, reader, writer):
+        if not self.admission.try_admit_connection():
+            writer.close()
+            return
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        budget = self.admission.policy.per_conn_budget
+        pipeline: asyncio.Queue = asyncio.Queue(maxsize=budget)
+        loop = asyncio.get_running_loop()
+        writer_task = loop.create_task(self._conn_writer(pipeline, writer))
+        try:
+            await self._conn_reader(reader, pipeline)
+        except asyncio.CancelledError:
+            pass  # server stopping; fall through to cleanup
+        finally:
+            writer_task.cancel()
+            await asyncio.gather(writer_task, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self.admission.release_connection()
+            self._conn_tasks.discard(task)
+
+    async def _conn_reader(self, reader, pipeline: asyncio.Queue) -> None:
+        try:
+            while True:
+                hdr = await reader.readexactly(FRAME_HDR.size)
+                (length,) = FRAME_HDR.unpack(hdr)
+                if length == 0 or length > MAX_FRAME:
+                    self.stats.bad_frames += 1
+                    break
+                payload = await reader.readexactly(length)
+                self.stats.received += 1
+                if not self.admission.try_admit():
+                    continue  # shed this frame; connection stays up
+                if pipeline.full():
+                    self.admission.stats.budget_stalls += 1
+                await pipeline.put(payload)  # blocks at budget: backpressure
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            # Serve everything already admitted into the pipeline before
+            # the writer is torn down, so no admitted frame leaks an
+            # in-flight slot.
+            await pipeline.join()
+
+    async def _conn_writer(self, pipeline: asyncio.Queue, writer) -> None:
+        while True:
+            payload = await pipeline.get()
+            try:
+                async with self._slot_lock:
+                    reply = await self.service.handle(payload, self.cpu)
+                if reply is not None:
+                    writer.write(FRAME_HDR.pack(len(reply)) + reply)
+                    await writer.drain()
+                    self.stats.replied += 1
+                else:
+                    # Framed transport cannot stay silent without
+                    # stalling the client: an explicit empty frame
+                    # signals "dropped / shed".
+                    writer.write(FRAME_HDR.pack(0))
+                    await writer.drain()
+                    self.stats.no_reply += 1
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                self.admission.release()
+                pipeline.task_done()
+
+    async def stop(self) -> dict:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.admission.drain()
+        if self._conn_tasks:
+            # Connections usually wind down on their own once clients
+            # disconnect; only force-cancel stragglers.
+            await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+        for t in list(self._conn_tasks):
+            t.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        report = self.service.quiescence_report()
+        self.service.close()
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Userspace delivery: the XDP_PASS hop
+# ---------------------------------------------------------------------------
+
+
+class UserspaceEndpoint:
+    """The userspace application's socket: a UDP endpoint wrapping a
+    synchronous ``handler(payload) -> reply | None`` (e.g.
+    ``UserspaceMemcached.handle``).
+
+    Payloads arrive with the bridge's correlation header; replies are
+    sent back to the ingress with the same header.
+    """
+
+    def __init__(self, handler, *, host: str = "127.0.0.1", port: int = 0):
+        self.handler = handler
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._transport = None
+        self.served = 0
+        self.errors = 0
+
+    async def start(self) -> "UserspaceEndpoint":
+        loop = asyncio.get_running_loop()
+        outer = self
+
+        class _Proto(asyncio.DatagramProtocol):
+            def connection_made(self, tr):
+                self.tr = tr
+
+            def datagram_received(self, data, addr):
+                if len(data) < _BRIDGE_HDR.size:
+                    outer.errors += 1
+                    return
+                shim, payload = data[: _BRIDGE_HDR.size], data[_BRIDGE_HDR.size :]
+                try:
+                    reply = outer.handler(payload)
+                except ValueError:
+                    outer.errors += 1
+                    return
+                outer.served += 1
+                if reply is not None:
+                    self.tr.sendto(shim + reply, addr)
+
+        self._transport, _ = await loop.create_datagram_endpoint(
+            _Proto, local_addr=(self.host, self._requested_port)
+        )
+        self.port = self._transport.get_extra_info("sockname")[1]
+        return self
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+
+
+class UserspaceBridge:
+    """Ingress-side client of a :class:`UserspaceEndpoint`.
+
+    ``request(payload)`` is the awaitable the service uses as its
+    userspace path: it forwards the payload over the real loopback hop
+    and resolves with the app server's reply (or ``None`` on timeout,
+    which the datapath treats as a drop).
+    """
+
+    def __init__(self, endpoint_port: int, *, host: str = "127.0.0.1",
+                 timeout: float = 2.0):
+        self.host = host
+        self.endpoint_port = endpoint_port
+        self.timeout = timeout
+        self._transport = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self.forwarded = 0
+        self.timeouts = 0
+
+    async def start(self) -> "UserspaceBridge":
+        loop = asyncio.get_running_loop()
+        outer = self
+
+        class _Proto(asyncio.DatagramProtocol):
+            def datagram_received(self, data, addr):
+                if len(data) < _BRIDGE_HDR.size:
+                    return
+                (rid,) = _BRIDGE_HDR.unpack_from(data)
+                fut = outer._pending.pop(rid, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(data[_BRIDGE_HDR.size :])
+
+        self._transport, _ = await loop.create_datagram_endpoint(
+            _Proto, remote_addr=(self.host, self.endpoint_port)
+        )
+        return self
+
+    async def request(self, payload: bytes) -> bytes | None:
+        rid = self._next_id
+        self._next_id += 1
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        self._transport.sendto(_BRIDGE_HDR.pack(rid) + payload)
+        self.forwarded += 1
+        try:
+            return await asyncio.wait_for(fut, self.timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(rid, None)
+            self.timeouts += 1
+            return None
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()

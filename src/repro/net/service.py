@@ -1,0 +1,319 @@
+"""Packet services: XDP-verdict dispatch + supervisor integration.
+
+A *service* is what the datapath hands each admitted payload to.  It
+owns a :class:`~repro.core.runtime.KFlexRuntime` (one per shard worker)
+and maps the extension's XDP verdict onto the reply decision:
+
+========== =====================================================
+verdict    datapath action
+========== =====================================================
+XDP_TX     reply with the packet the extension rewrote in place
+           (kernel fast path — never leaves the ingress hook)
+XDP_PASS   deliver the packet up the stack to the userspace
+           server; its answer is the reply
+XDP_DROP   no reply (the client sees a timeout, as on a real NIC)
+========== =====================================================
+
+Supervisor integration: a faulting extension is cancelled, unwound and
+(for hard faults / persistent soft faults) *quarantined* by the
+existing :class:`~repro.core.supervisor.ExtensionSupervisor`; the
+service keeps serving by falling through to the userspace path until
+the backoff elapses and the extension is re-admitted — §3.4 exercised
+over real traffic.  The service also couples the simulated kernel
+clock to wall time so quarantine backoffs elapse while real packets
+flow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.ebpf.program import SK_PASS, XDP_PASS, XDP_TX
+from repro.errors import FrameError
+from repro.core.runtime import KFlexRuntime
+
+#: Largest single wall-clock step fed into the simulated kernel clock;
+#: keeps a stall (debugger, scheduler hiccup) from warping backoffs.
+_MAX_CLOCK_STEP_NS = 50_000_000
+
+
+@dataclass
+class ServiceStats:
+    """Per-service request accounting (merged across shards)."""
+
+    requests: int = 0
+    #: Served by the extension at the ingress hook (XDP_TX).
+    kernel_tx: int = 0
+    #: Fell through to the userspace path (XDP_PASS, quarantine,
+    #: cancellation mid-request).
+    userspace_pass: int = 0
+    #: XDP_DROP verdicts (no reply sent).
+    dropped: int = 0
+    #: Undecodable frames the service refused (FrameError).
+    bad_frames: int = 0
+    #: Times the supervisor quarantined this service's extension.
+    quarantines: int = 0
+    #: Times the supervisor re-admitted it.
+    readmissions: int = 0
+
+    def merge(self, other: "ServiceStats") -> "ServiceStats":
+        for f in (
+            "requests", "kernel_tx", "userspace_pass", "dropped",
+            "bad_frames", "quarantines", "readmissions",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+
+class PacketService:
+    """Base: clock coupling + supervisor subscription.
+
+    Subclasses implement :meth:`_serve` returning ``(reply | None,
+    path)`` with path one of ``"kernel"``, ``"userspace"``, ``"drop"``.
+    """
+
+    def __init__(self, runtime: KFlexRuntime):
+        self.runtime = runtime
+        self.stats = ServiceStats()
+        self._last_wall_ns: int | None = None
+        runtime.supervisor.listeners.append(self._supervisor_event)
+
+    # -- supervisor plumbing ----------------------------------------------
+
+    def _supervisor_event(self, event: str, ext, detail) -> None:
+        if event == "quarantine":
+            self.stats.quarantines += 1
+        elif event == "readmit":
+            self.stats.readmissions += 1
+
+    @property
+    def degraded(self) -> bool:
+        """True while the fast-path extension is quarantined."""
+        ext = getattr(self, "ext", None)
+        return bool(ext is not None and ext.dead)
+
+    # -- clock coupling ----------------------------------------------------
+
+    def _tick(self) -> None:
+        """Advance the simulated kernel clock by elapsed wall time.
+
+        The supervisor's quarantine backoff is expressed in simulated
+        nanoseconds, which normally only advance with executed
+        extension cost.  A quarantined extension executes nothing, so
+        without this coupling it could never heal on a real-traffic
+        path; with it, backoffs elapse in wall time like the paper's
+        runtime."""
+        now = time.monotonic_ns()
+        if self._last_wall_ns is not None:
+            step = min(now - self._last_wall_ns, _MAX_CLOCK_STEP_NS)
+            if step > 0:
+                self.runtime.kernel.advance_ns(step)
+        self._last_wall_ns = now
+
+    # -- request entry -----------------------------------------------------
+    #
+    # The entry is split the way XDP splits it on hardware: `ingress`
+    # runs synchronously in the receive callback (driver/NAPI context —
+    # no scheduler hop), and only packets the verdict sends *up the
+    # stack* (`path == "pass"`) are queued for the asynchronous
+    # `deliver` stage.  The fast path never touches the event loop's
+    # task machinery; that skip is most of its measured advantage, just
+    # as it is in the paper.
+
+    def ingress(self, payload: bytes, cpu: int = 0):
+        """Synchronous ingress hook.  Returns ``(reply, path)`` with
+        path one of ``"kernel"``, ``"userspace"`` (completed in-process
+        fallback), ``"drop"``, ``"bad"``, or ``"pass"`` — the last
+        means the caller must finish the request with :meth:`deliver`.
+        """
+        self.stats.requests += 1
+        self._tick()
+        try:
+            reply, path = self._serve_sync(payload, cpu)
+        except FrameError:
+            self.stats.bad_frames += 1
+            return None, "bad"
+        if path == "kernel":
+            self.stats.kernel_tx += 1
+        elif path == "userspace":
+            self.stats.userspace_pass += 1
+        elif path == "drop":
+            self.stats.dropped += 1
+        return reply, path
+
+    async def deliver(self, payload: bytes, cpu: int = 0) -> bytes | None:
+        """Asynchronous stack delivery for an ``ingress`` that returned
+        ``"pass"``.  Base services have nowhere to deliver to."""
+        self.stats.dropped += 1
+        return None
+
+    async def handle(self, payload: bytes, cpu: int = 0) -> bytes | None:
+        """Serve one payload; returns the reply or None (drop)."""
+        reply, path = self.ingress(payload, cpu)
+        if path == "pass":
+            return await self.deliver(payload, cpu)
+        return reply
+
+    def _serve_sync(self, payload: bytes, cpu: int):
+        raise NotImplementedError
+
+    def quiescence_report(self) -> dict:
+        return self.runtime.quiescence_report()
+
+    def close(self) -> None:
+        try:
+            self.runtime.supervisor.listeners.remove(self._supervisor_event)
+        except ValueError:
+            pass
+
+
+class ExtensionService(PacketService):
+    """Raw XDP-style dispatch: one extension, optional userspace server.
+
+    ``userspace`` is a callable ``payload -> reply | None`` (sync or
+    async — an async callable models a real delivery hop, e.g.
+    :class:`~repro.net.datapath.UserspaceBridge.request`).  With no
+    extension attached every packet takes the userspace path — the
+    stock-server baseline leg of the Fig. 2 comparison.
+    """
+
+    def __init__(self, runtime, ext=None, userspace=None):
+        super().__init__(runtime)
+        self.ext = ext
+        self.userspace = userspace
+        if ext is not None and ext.program.hook not in ("xdp", "sk_skb"):
+            raise ValueError(
+                f"datapath extensions attach at xdp/sk_skb, not "
+                f"{ext.program.hook!r}"
+            )
+
+    async def deliver(self, payload: bytes, cpu: int = 0) -> bytes | None:
+        if self.userspace is None:
+            self.stats.dropped += 1
+            return None
+        # PASS means the packet traverses the rest of the receive path
+        # (skb copy, checksum, socket lookup, queue copy-out) before
+        # the server sees it — the work XDP_TX replies skip.
+        payload = self.runtime.kernel.net.stack_deliver(cpu, payload)
+        reply = self.userspace(payload)
+        if hasattr(reply, "__await__"):
+            reply = await reply
+        self.stats.userspace_pass += 1
+        return reply
+
+    def _serve_sync(self, payload: bytes, cpu: int):
+        ext = self.ext
+        if ext is None:
+            return None, "pass"
+        if ext.dead and not self.runtime.supervisor.try_readmit(ext):
+            return None, "pass"
+        if ext.program.hook == "xdp":
+            verdict = ext.invoke(ext.xdp_ctx(payload, cpu), cpu=cpu)
+            if verdict == XDP_TX and not ext.dead:
+                return (
+                    self.runtime.kernel.net.read_packet(cpu, len(payload)),
+                    "kernel",
+                )
+            if verdict == XDP_PASS or ext.dead:
+                # PASS by choice, or the invocation was cancelled and
+                # unwound — either way the stack delivers the original
+                # packet to userspace.
+                return None, "pass"
+            return None, "drop"
+        # sk_skb: the verdict is SK_PASS/SK_DROP; "the kernel answered"
+        # is signalled by the REPLY_FLAG the extension set in the slot.
+        verdict = ext.invoke(ext.sk_skb_ctx(payload, cpu), cpu=cpu)
+        if verdict == SK_PASS and not ext.dead:
+            reply = self.runtime.kernel.net.read_packet(cpu, len(payload))
+            if reply and reply[0] & 0x80:
+                return reply, "kernel"
+            return None, "pass"
+        if ext.dead:
+            return None, "pass"
+        return None, "drop"
+
+
+class SupervisedMemcachedService(PacketService):
+    """The §3.4 co-design on the wire: ``SupervisedMemcached.serve``.
+
+    Kernel fast path while healthy; on quarantine the request falls
+    back to the userspace overlay and the surviving heap (through the
+    user mapping), and overlay writes are replayed into the kernel
+    table on re-admission — so results stay bit-identical to a stock
+    userspace server across the whole quarantine cycle.
+    """
+
+    def __init__(self, runtime=None, **kflex_kwargs):
+        from repro.apps.memcached.supervised import SupervisedMemcached
+
+        runtime = runtime or KFlexRuntime()
+        super().__init__(runtime)
+        self.app = SupervisedMemcached(runtime, **kflex_kwargs)
+        self.ext = self.app.ext
+
+    def _serve_sync(self, payload: bytes, cpu: int):
+        reply = self.app.serve(payload, cpu)
+        return reply, self.app.last_path
+
+
+class SupervisedRedisService(PacketService):
+    """Stream-transport twin: ``SupervisedRedis.serve`` behind TCP."""
+
+    def __init__(self, runtime=None, **kflex_kwargs):
+        from repro.apps.redis.supervised import SupervisedRedis
+
+        runtime = runtime or KFlexRuntime()
+        super().__init__(runtime)
+        self.app = SupervisedRedis(runtime, **kflex_kwargs)
+        self.ext = self.app.ext
+
+    def _serve_sync(self, payload: bytes, cpu: int):
+        reply = self.app.serve(payload, cpu)
+        return reply, self.app.last_path
+
+
+def build_service(
+    app: str,
+    *,
+    runtime: KFlexRuntime | None = None,
+    fallback: str = "supervised",
+    engine: str | None = None,
+    userspace=None,
+    **kflex_kwargs,
+) -> PacketService:
+    """Service factory shared by ``kflexctl serve`` and the benchmarks.
+
+    ``fallback`` selects the degradation story:
+
+    * ``"supervised"`` — kernel fast path + in-process §3.4 fallback
+      (overlay + surviving heap);
+    * ``"userspace"`` — no extension; every packet takes the userspace
+      path (the stock-server baseline).  ``userspace`` must be the
+      delivery callable (e.g. a :class:`UserspaceBridge` request);
+    * ``"none"`` — extension only; PASS verdicts are dropped.
+    """
+    runtime = runtime or KFlexRuntime(engine=engine)
+    if fallback == "supervised":
+        if app == "memcached":
+            return SupervisedMemcachedService(runtime, **kflex_kwargs)
+        if app == "redis":
+            return SupervisedRedisService(runtime, **kflex_kwargs)
+        raise ValueError(f"unknown app {app!r}")
+    if fallback == "userspace":
+        return ExtensionService(runtime, ext=None, userspace=userspace)
+    if fallback == "none":
+        if app == "memcached":
+            from repro.apps.memcached.kflex_ext import KFlexMemcached
+
+            return ExtensionService(
+                runtime, ext=KFlexMemcached(runtime, **kflex_kwargs).ext
+            )
+        if app == "redis":
+            from repro.apps.redis.kflex_ext import KFlexRedis
+
+            return ExtensionService(
+                runtime, ext=KFlexRedis(runtime, **kflex_kwargs).ext
+            )
+        raise ValueError(f"unknown app {app!r}")
+    raise ValueError(f"unknown fallback {fallback!r}")

@@ -1,0 +1,312 @@
+"""SO_REUSEPORT-style sharding: N pinned workers, one runtime each.
+
+The paper's testbed scales the datapath by binding N sockets to one
+port with ``SO_REUSEPORT`` and pinning one serving thread per RX queue;
+the NIC's RSS hash spreads flows across them.  Loopback has no RSS, so
+the reproduction makes the spread explicit instead:
+
+* each **shard** is a full vertical slice — its own
+  :class:`~repro.core.runtime.KFlexRuntime` (kernel, heap, supervisor,
+  pooled engines), its own serving socket, and a pinned CPU id for its
+  packet slot — exactly what per-RX-queue pinning buys on hardware
+  (no cross-shard locks, no shared allocator);
+* a :class:`ConsistentHashRing` plays the role of the RSS hash,
+  mapping key-space onto shards.  UDP clients consult the ring and send
+  straight to the owning shard's socket (client-side RSS); the TCP side
+  gets a front dispatcher (:class:`ShardRouterService`) that routes
+  each decoded frame to the owning shard — connections are long-lived,
+  so per-frame routing has to live server-side.
+
+Two deployment modes share one API: **inline** (every shard's datapath
+on the caller's event loop — deterministic, used by the e2e tests so
+fault injectors land in-thread) and **threaded** (one OS thread + event
+loop per shard via :class:`ShardWorker` — what ``kflexctl serve``
+runs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+
+from repro.net.backpressure import AdmissionPolicy
+from repro.net.datapath import DatapathStats, UdpDatapath
+from repro.net.service import ServiceStats
+
+
+class ConsistentHashRing:
+    """Consistent hashing of key-space onto shard ids.
+
+    ``vnodes`` virtual nodes per shard smooth the split; sha256 keeps
+    placement stable across processes and runs (no PYTHONHASHSEED
+    dependence), so a client and a server that build the same ring
+    agree on ownership without talking.
+    """
+
+    def __init__(self, n_shards: int, *, vnodes: int = 64):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for v in range(vnodes):
+                digest = hashlib.sha256(b"shard:%d:%d" % (shard, v)).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    @staticmethod
+    def _hash_key(key) -> int:
+        if isinstance(key, int):
+            key = key.to_bytes(8, "little", signed=False)
+        return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+    def shard_of(self, key) -> int:
+        """Owning shard for ``key`` (int key-id or bytes)."""
+        h = self._hash_key(key)
+        lo, hi = 0, len(self._points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._points[mid] < h:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._owners[lo % len(self._owners)]
+
+    def split(self, keys) -> dict[int, list]:
+        """Partition an iterable of keys by owning shard."""
+        out: dict[int, list] = {s: [] for s in range(self.n_shards)}
+        for k in keys:
+            out[self.shard_of(k)].append(k)
+        return out
+
+
+class ShardWorker(threading.Thread):
+    """One shard in its own OS thread: event loop + runtime + socket."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        service_factory,
+        *,
+        host: str = "127.0.0.1",
+        policy: AdmissionPolicy | None = None,
+        n_workers: int = 4,
+    ):
+        super().__init__(daemon=True, name=f"kflex-shard-{shard_id}")
+        self.shard_id = shard_id
+        self.service_factory = service_factory
+        self.host = host
+        self.policy = policy
+        self.n_workers = n_workers
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.service = None
+        self.datapath: UdpDatapath | None = None
+        self.port: int | None = None
+        self.cpu: int | None = None
+        self.error: BaseException | None = None
+        self._ready = threading.Event()
+
+    def run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+
+        async def boot():
+            self.service = self.service_factory(self.shard_id)
+            n_cpus = self.service.runtime.kernel.n_cpus
+            self.cpu = self.shard_id % n_cpus
+            self.datapath = UdpDatapath(
+                self.service,
+                host=self.host,
+                cpu=self.cpu,
+                policy=self.policy,
+                n_workers=self.n_workers,
+            )
+            await self.datapath.start()
+            self.port = self.datapath.port
+
+        try:
+            loop.run_until_complete(boot())
+        except BaseException as exc:  # surfaced to wait_ready()
+            self.error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        loop.run_forever()
+        loop.close()
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        if not self._ready.wait(timeout):
+            raise TimeoutError(f"shard {self.shard_id} did not come up")
+        if self.error is not None:
+            raise self.error
+
+    async def handle(self, payload: bytes) -> bytes | None:
+        """Cross-loop request entry (used by the TCP dispatcher)."""
+        cfut = asyncio.run_coroutine_threadsafe(
+            self.service.handle(payload, self.cpu), self.loop
+        )
+        return await asyncio.wrap_future(cfut)
+
+    def shutdown(self, timeout: float = 10.0) -> dict:
+        """Drain the shard's datapath, stop its loop, join the thread."""
+        report = asyncio.run_coroutine_threadsafe(
+            self.datapath.stop(), self.loop
+        ).result(timeout)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.join(timeout)
+        return report
+
+
+class _InlineShard:
+    """One shard on the caller's event loop (deterministic tests)."""
+
+    def __init__(self, shard_id, service, datapath):
+        self.shard_id = shard_id
+        self.service = service
+        self.datapath = datapath
+        self.cpu = datapath.cpu
+        self.port = datapath.port
+
+    async def handle(self, payload: bytes) -> bytes | None:
+        return await self.service.handle(payload, self.cpu)
+
+
+class ShardedUdpDatapath:
+    """N shards behind one consistent-hash ring.
+
+    ``service_factory(shard_id)`` must build a fresh
+    :class:`~repro.net.service.PacketService` (with its own runtime)
+    per shard.  ``threaded=False`` keeps every shard on the calling
+    loop; ``threaded=True`` gives each shard its own thread + loop.
+    """
+
+    def __init__(
+        self,
+        service_factory,
+        n_shards: int = 2,
+        *,
+        threaded: bool = False,
+        host: str = "127.0.0.1",
+        policy: AdmissionPolicy | None = None,
+        n_workers: int = 4,
+        vnodes: int = 64,
+    ):
+        self.service_factory = service_factory
+        self.n_shards = n_shards
+        self.threaded = threaded
+        self.host = host
+        self.policy = policy
+        self.n_workers = n_workers
+        self.ring = ConsistentHashRing(n_shards, vnodes=vnodes)
+        self.shards: list = []
+
+    async def start(self) -> "ShardedUdpDatapath":
+        if self.threaded:
+            workers = [
+                ShardWorker(
+                    i,
+                    self.service_factory,
+                    host=self.host,
+                    policy=self.policy,
+                    n_workers=self.n_workers,
+                )
+                for i in range(self.n_shards)
+            ]
+            loop = asyncio.get_running_loop()
+            for w in workers:
+                w.start()
+            for w in workers:
+                await loop.run_in_executor(None, w.wait_ready)
+            self.shards = workers
+        else:
+            for i in range(self.n_shards):
+                service = self.service_factory(i)
+                cpu = i % service.runtime.kernel.n_cpus
+                dp = UdpDatapath(
+                    service,
+                    host=self.host,
+                    cpu=cpu,
+                    policy=self.policy,
+                    n_workers=self.n_workers,
+                )
+                await dp.start()
+                self.shards.append(_InlineShard(i, service, dp))
+        return self
+
+    @property
+    def ports(self) -> list[int]:
+        return [s.port for s in self.shards]
+
+    def merged_service_stats(self) -> ServiceStats:
+        return _merge(ServiceStats(), (s.service.stats for s in self.shards))
+
+    def merged_datapath_stats(self) -> DatapathStats:
+        return _merge(
+            DatapathStats(), (s.datapath.stats for s in self.shards)
+        )
+
+    async def stop(self) -> dict:
+        """Drain every shard; returns per-shard + summed quiescence."""
+        reports = []
+        if self.threaded:
+            loop = asyncio.get_running_loop()
+            for w in self.shards:
+                reports.append(await loop.run_in_executor(None, w.shutdown))
+        else:
+            for s in self.shards:
+                reports.append(await s.datapath.stop())
+        merged = {"shards": reports}
+        for key in ("sock_refs", "held_locks", "live_extensions"):
+            merged[key] = sum(r.get(key, 0) for r in reports)
+        return merged
+
+
+class ShardRouterService:
+    """TCP front dispatcher: route each frame to its owning shard.
+
+    Long-lived TCP connections cannot pick a shard per request the way
+    UDP clients do, so the dispatcher terminates framing once and
+    forwards each decoded request to ``ring.shard_of(key_fn(payload))``
+    — the server-side half of consistent hashing.  Wrap it in a
+    :class:`~repro.net.datapath.TcpDatapath` to serve it.
+
+    ``key_fn(payload) -> int | bytes`` extracts the routing key (e.g.
+    ``lambda p: P.decode_request(p)[1]``); a ``FrameError`` from it is
+    counted and dropped here, before any shard is touched.
+    """
+
+    def __init__(self, shards, ring: ConsistentHashRing, key_fn):
+        self.shards = list(shards)
+        self.ring = ring
+        self.key_fn = key_fn
+        self.stats = ServiceStats()
+
+    async def handle(self, payload: bytes, cpu: int = 0) -> bytes | None:
+        self.stats.requests += 1
+        try:
+            key = self.key_fn(payload)
+        except ValueError:  # FrameError included
+            self.stats.bad_frames += 1
+            return None
+        shard = self.shards[self.ring.shard_of(key)]
+        return await shard.handle(payload)
+
+    def quiescence_report(self) -> dict:
+        # Shards are drained by their owner (ShardedUdpDatapath.stop);
+        # the dispatcher itself holds no kernel state.
+        return {"sock_refs": 0, "held_locks": 0, "live_extensions": 0}
+
+    def close(self) -> None:
+        pass
+
+
+def _merge(acc, parts):
+    for p in parts:
+        acc.merge(p)
+    return acc

@@ -34,6 +34,15 @@ class SimResult:
     mean_us: float
     completed: int
     duration_ms: float
+    #: Completions dropped as warm-up — shared by BOTH reported metrics:
+    #: latency percentiles exclude exactly these samples, and the
+    #: throughput window opens at this completion.  Audited semantics
+    #: (see the warm-up note in :meth:`ClosedLoopSim._run`): warm-up is
+    #: discarded exactly once per metric, never twice.
+    warmup_discarded: int = 0
+    #: Latency samples the percentiles were computed over
+    #: (``completed - warmup_discarded``).
+    samples: int = 0
 
     def row(self, label: str) -> str:
         return (
@@ -97,6 +106,13 @@ class ClosedLoopSim:
         lat = LatencyStats()
         now = 0.0
         last_completion = 0.0
+        # Warm-up semantics (audited): ``warmup_count`` completions are
+        # treated as warm-up, with ONE discard per metric.  Latency is
+        # recorded for every completion below and trimmed exactly once
+        # at the end (``discard_first(warmup_count)`` — not a second
+        # fractional discard over already-filtered samples); throughput
+        # opens its measurement window at completion ``warmup_count``.
+        # Both metrics therefore share this single count.
         warmup_count = int(self.total_requests * self.warmup_frac)
         window_start = None
         window_completed = 0
@@ -135,7 +151,11 @@ class ClosedLoopSim:
                     )
                     seq += 1
 
-        lat.discard_warmup(self.warmup_frac)
+        # The single latency warm-up discard: the same count the
+        # throughput window already skipped, applied to the full sample
+        # list collected above (one sample per completion).
+        discarded = min(warmup_count, len(lat))
+        lat.discard_first(warmup_count)
         if window_start is None or last_completion <= window_start:
             window_start, window_completed = 0.0, completed
         duration = last_completion - window_start
@@ -147,4 +167,6 @@ class ClosedLoopSim:
             mean_us=lat.mean_ns / 1000.0,
             completed=completed,
             duration_ms=last_completion / 1e6,
+            warmup_discarded=discarded,
+            samples=len(lat),
         )

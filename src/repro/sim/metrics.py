@@ -21,8 +21,36 @@ class LatencyStats:
         self.samples_ns.append(ns)
 
     def discard_warmup(self, fraction: float = 0.1) -> None:
-        cut = int(len(self.samples_ns) * fraction)
-        self.samples_ns = self.samples_ns[cut:]
+        self.discard_first(int(len(self.samples_ns) * fraction))
+
+    def discard_first(self, count: int) -> None:
+        """Drop exactly ``count`` leading samples (warm-up by count).
+
+        The explicit-count twin of :meth:`discard_warmup`, for callers
+        that already decided how many completions were warm-up and must
+        not discard a second time on re-derived fractions.
+        """
+        if count > 0:
+            self.samples_ns = self.samples_ns[count:]
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Fold another collector's samples into this one (in place).
+
+        Per-worker shard statistics are combined by concatenation, so
+        percentiles over the merged collector are exactly the
+        percentiles of the pooled sample set — no re-recording, no
+        approximation.  Returns ``self`` for chaining.
+        """
+        self.samples_ns.extend(other.samples_ns)
+        return self
+
+    @classmethod
+    def merged(cls, parts) -> "LatencyStats":
+        """Pool an iterable of collectors into a fresh one."""
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
 
     def percentile(self, p: float) -> float:
         if not self.samples_ns:
@@ -79,6 +107,20 @@ class StageStats:
         self.total_ns += ns
         if ns > self.max_ns:
             self.max_ns = ns
+
+    def merge(self, other: "StageStats") -> "StageStats":
+        """Combine another stage's counters into this one (in place).
+
+        Sums are additive and ``max_ns`` is the pooled maximum, so
+        merging per-worker stage stats equals having recorded every
+        sample into one collector.  Returns ``self`` for chaining.
+        """
+        self.runs += other.runs
+        self.cached += other.cached
+        self.total_ns += other.total_ns
+        if other.max_ns > self.max_ns:
+            self.max_ns = other.max_ns
+        return self
 
     @property
     def mean_ns(self) -> float:

@@ -9,11 +9,19 @@ assembly (see :mod:`repro.ebpf.textasm` for the syntax):
     $ python -m repro.tools.kflexctl disasm prog.kasm --instrumented
     $ python -m repro.tools.kflexctl run prog.kasm --ctx 5,10 --invoke 3
     $ python -m repro.tools.kflexctl stats prog.kasm --loads 3 --invoke 2
+
+plus the network datapath (:mod:`repro.net`):
+
+.. code-block:: console
+
+    $ python -m repro.tools.kflexctl serve --app memcached --shards 2
+    $ python -m repro.tools.kflexctl loadtest --app memcached --clients 8
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 from repro.errors import ReproError
@@ -111,6 +119,134 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _net_service_factory(args):
+    """Per-shard service builder for serve/loadtest (late import: the
+    file-based subcommands should not pay for the net package)."""
+    from repro.net import build_service
+
+    def factory(shard_id: int):
+        return build_service(
+            args.app, fallback=args.fallback, engine=args.engine
+        )
+
+    return factory
+
+
+def _net_workload(app: str, keys: int, set_every: int):
+    """Deterministic GET/SET(/ZADD) mix keyed per (client, seq)."""
+    if app == "memcached":
+        from repro.apps.memcached import protocol as P
+
+        def workload(cid, seq):
+            key = (cid * 7919 + seq) % keys
+            if seq % set_every == 0:
+                return key, P.encode_set(key, cid * 100_000 + seq)
+            return key, P.encode_get(key)
+
+        def matcher(req, rep):
+            return len(rep) == P.PKT_SIZE and rep[8:40] == req[8:40]
+
+        return workload, matcher
+    if app == "redis":
+        from repro.apps.redis import protocol as RP
+
+        def workload(cid, seq):
+            key = (cid * 7919 + seq) % keys
+            if seq % set_every == 0:
+                return key, RP.encode_set(key, cid * 100_000 + seq)
+            if seq % set_every == 1:
+                return key, RP.encode_zadd(key + keys, seq, cid)
+            return key, RP.encode_get(key)
+
+        return workload, None
+    raise ValueError(f"unknown app {app!r}")
+
+
+def _print_net_summary(stats, report) -> None:
+    print(f"  requests:       {stats.requests}")
+    print(f"  kernel fast path: {stats.kernel_tx}")
+    print(f"  userspace path: {stats.userspace_pass}")
+    print(f"  dropped:        {stats.dropped}  bad frames: {stats.bad_frames}")
+    print(f"  quarantines:    {stats.quarantines}  "
+          f"readmissions: {stats.readmissions}")
+    print(f"  quiescence:     sock_refs={report['sock_refs']} "
+          f"held_locks={report['held_locks']}")
+
+
+def cmd_serve(args) -> int:
+    from repro.net import ShardedUdpDatapath
+
+    async def run() -> int:
+        sharded = ShardedUdpDatapath(
+            _net_service_factory(args), args.shards, threaded=True
+        )
+        await sharded.start()
+        print(f"serving {args.app} on UDP ports "
+              f"{','.join(map(str, sharded.ports))} "
+              f"({args.shards} shard(s), fallback={args.fallback})")
+        sys.stdout.flush()
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        stats = sharded.merged_service_stats()
+        report = await sharded.stop()
+        print("server stopped")
+        _print_net_summary(stats, report)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_loadtest(args) -> int:
+    from repro.net import ConsistentHashRing, ShardedUdpDatapath, UdpLoadGenerator
+
+    workload, matcher = _net_workload(args.app, args.keys, args.set_every)
+
+    async def run() -> int:
+        sharded = None
+        if args.ports:
+            ports = [int(p) for p in args.ports.split(",")]
+            ring = ConsistentHashRing(len(ports))
+        else:
+            sharded = ShardedUdpDatapath(
+                _net_service_factory(args), args.shards, threaded=True
+            )
+            await sharded.start()
+            ports, ring = sharded.ports, sharded.ring
+        gen = UdpLoadGenerator(
+            ports,
+            workload,
+            ring=ring,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+            matcher=matcher,
+        )
+        res = await gen.run()
+        lat = res.latency
+        print(f"loadtest {args.app}: {res.replies}/{res.requests} replies, "
+              f"{res.failures} failures, {res.retries} retries")
+        print(f"  throughput:     {res.throughput_rps:,.0f} req/s "
+              f"({res.duration_s:.2f}s, {args.clients} clients)")
+        if len(lat):
+            print(f"  latency us:     p50={lat.percentile(50) / 1e3:.1f} "
+                  f"p95={lat.percentile(95) / 1e3:.1f} "
+                  f"p99={lat.percentile(99) / 1e3:.1f}")
+        if sharded is not None:
+            stats = sharded.merged_service_stats()
+            report = await sharded.stop()
+            _print_net_summary(stats, report)
+        return 1 if res.failures else 0
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="kflexctl",
                                 description=__doc__.splitlines()[0])
@@ -148,6 +284,38 @@ def build_parser() -> argparse.ArgumentParser:
             s.add_argument("--invoke", type=int, default=2,
                            help="invocations per load (exercises engine "
                                 "translation and pool reuse)")
+
+    for name, fn in (("serve", cmd_serve), ("loadtest", cmd_loadtest)):
+        s = sub.add_parser(name)
+        s.add_argument("--app", choices=("memcached", "redis"),
+                       default="memcached")
+        s.add_argument("--shards", type=int, default=1,
+                       help="SO_REUSEPORT-style shard workers, one "
+                            "runtime + pinned CPU each")
+        s.add_argument("--engine", choices=sorted(ENGINES), default=None,
+                       help="execution engine (default: threaded)")
+        s.add_argument("--fallback",
+                       choices=("supervised", "userspace", "none"),
+                       default="supervised",
+                       help="degradation story: supervised = kernel fast "
+                            "path + §3.4 userspace fallback; userspace = "
+                            "no extension; none = extension only")
+        s.set_defaults(fn=fn)
+        if name == "serve":
+            s.add_argument("--duration", type=float, default=0.0,
+                           help="seconds to serve (0 = until Ctrl-C)")
+        else:
+            s.add_argument("--ports", default="",
+                           help="comma-separated UDP ports of a running "
+                                "server (default: spin up a local one)")
+            s.add_argument("--clients", type=int, default=4)
+            s.add_argument("--requests", type=int, default=256,
+                           help="requests per client (closed loop)")
+            s.add_argument("--keys", type=int, default=512,
+                           help="key-space size")
+            s.add_argument("--set-every", type=int, default=4,
+                           help="every Nth request per client is a "
+                                "SET (plus a ZADD for redis)")
     return p
 
 

@@ -15,9 +15,20 @@ import pytest
 from repro.core.audit import audit_enabled, enable_quiescence_audit
 
 
-def pytest_collection_modifyitems(items):
+def pytest_collection_modifyitems(config, items):
+    # ``net`` tests open real sockets and run wall-clock load; they are
+    # excluded from tier-1 unless explicitly selected (`make test-net` /
+    # `pytest -m net`).  Everything else under tests/ is tier-1.
+    run_net = "net" in (config.option.markexpr or "")
+    skip_net = pytest.mark.skip(
+        reason="network datapath test: run with -m net (make test-net)"
+    )
     for item in items:
-        item.add_marker(pytest.mark.tier1)
+        if item.get_closest_marker("net") is not None:
+            if not run_net:
+                item.add_marker(skip_net)
+        else:
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture(autouse=True)

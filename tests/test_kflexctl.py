@@ -98,3 +98,44 @@ def test_bad_source_errors(capsys, kasm):
 def test_missing_file_errors(capsys):
     assert main(["verify", "/nonexistent.kasm"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+# -- network subcommands (net: real sockets) ---------------------------------
+
+
+@pytest.mark.net
+def test_loadtest_memcached_local_shards(capsys):
+    rc = main([
+        "loadtest", "--app", "memcached", "--shards", "2",
+        "--clients", "2", "--requests", "30", "--keys", "16",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "loadtest memcached: 60/60 replies, 0 failures" in out
+    assert "throughput:" in out and "p50=" in out
+    assert "kernel fast path: 60" in out
+    assert "sock_refs=0" in out
+
+
+@pytest.mark.net
+def test_loadtest_redis_userspace_needs_no_matcher(capsys):
+    rc = main([
+        "loadtest", "--app", "redis", "--shards", "1",
+        "--clients", "2", "--requests", "20", "--keys", "8",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "loadtest redis: 40/40 replies, 0 failures" in out
+
+
+@pytest.mark.net
+def test_serve_runs_for_duration_then_drains(capsys):
+    rc = main([
+        "serve", "--app", "memcached", "--shards", "2",
+        "--duration", "0.3",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "serving memcached on UDP ports" in out
+    assert "server stopped" in out
+    assert "quiescence:     sock_refs=0" in out

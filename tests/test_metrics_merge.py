@@ -1,0 +1,95 @@
+"""Percentile correctness for merged per-shard statistics.
+
+The sharded datapath reports one pooled :class:`LatencyStats` built by
+merging per-worker collectors; these tests pin the invariant the merge
+relies on — percentiles over a merged collector equal percentiles over
+the pooled sample set — plus the warm-up discard contract the load
+generator depends on (discard once, by count *or* by fraction, never
+both).
+"""
+
+import random
+
+from repro.sim.loadgen import ClosedLoopSim
+from repro.sim.metrics import LatencyStats, StageStats
+
+
+def _stats(samples):
+    s = LatencyStats()
+    for x in samples:
+        s.record(x)
+    return s
+
+
+def test_merge_equals_pooled_percentiles():
+    rng = random.Random(42)
+    parts = [
+        [rng.expovariate(1 / 1000.0) for _ in range(n)]
+        for n in (17, 400, 3, 81)
+    ]
+    pooled = _stats([x for p in parts for x in p])
+    merged = LatencyStats.merged(_stats(p) for p in parts)
+    assert len(merged) == sum(len(p) for p in parts)
+    for p in (0, 25, 50, 90, 95, 99, 99.9, 100):
+        assert merged.percentile(p) == pooled.percentile(p)
+    assert merged.mean_ns == pooled.mean_ns
+
+
+def test_merge_in_place_returns_self_and_handles_empty():
+    a = _stats([1, 2, 3])
+    b = LatencyStats()
+    assert a.merge(b) is a
+    assert len(a) == 3
+    assert b.merge(a) is b  # empty absorbs non-empty
+    assert b.percentile(50) == 2
+    assert LatencyStats.merged([]).percentile(99) == 0.0
+
+
+def test_percentile_interpolates_between_samples():
+    s = _stats([100, 200])
+    assert s.percentile(50) == 150
+    assert s.percentile(0) == 100
+    assert s.percentile(100) == 200
+
+
+def test_warmup_discard_once_by_count_or_fraction():
+    s = _stats(list(range(100)))
+    s.discard_warmup(0.1)
+    assert len(s) == 90 and s.samples_ns[0] == 10
+    # A second, explicit-count discard is its own decision, not a
+    # re-application of the fraction: exactly `count` more samples go.
+    s.discard_first(5)
+    assert len(s) == 85 and s.samples_ns[0] == 15
+    s.discard_first(0)
+    assert len(s) == 85
+
+
+def test_closed_loop_sim_discards_warmup_exactly_once():
+    """Regression for the warm-up audit: the sim records one latency
+    sample per completion and trims exactly ``warmup_count`` of them —
+    never a second fractional discard over already-filtered samples —
+    and the same count opens the throughput window."""
+    sim = ClosedLoopSim(
+        n_clients=4,
+        n_servers=2,
+        service_fn=lambda now, rng: 1000.0,
+        total_requests=500,
+        warmup_frac=0.2,
+        seed=3,
+    )
+    res = sim.run()
+    assert res.completed == 500
+    assert res.warmup_discarded == int(500 * 0.2)
+    assert res.samples == res.completed - res.warmup_discarded
+
+
+def test_stage_stats_merge_pools_counters():
+    a = StageStats()
+    b = StageStats()
+    for ns in (10.0, 30.0):
+        a.record(ns)
+    b.record(100.0, cached=True)
+    assert a.merge(b) is a
+    assert a.runs == 3 and a.cached == 1
+    assert a.total_ns == 140.0 and a.max_ns == 100.0
+    assert a.mean_ns == 140.0 / 3

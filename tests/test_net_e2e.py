@@ -1,0 +1,161 @@
+"""End-to-end acceptance: the datapath vs an in-process oracle.
+
+One sharded UDP datapath serving the Memcached KFlex extension takes
+at least 10k wire requests across three phases — healthy, faulted
+(persistent helper failures mid-run), healed — and must:
+
+(a) answer every request bit-identically to an in-process
+    ``UserspaceMemcached`` oracle replaying the same per-client traces
+    (hit/miss correctness across the whole quarantine cycle);
+(b) quarantine the faulting extension and degrade to the userspace
+    fallback with **zero** failed requests, then re-admit after the
+    backoff;
+(c) report pooled per-client/per-phase latency via
+    ``LatencyStats.merged`` and clean quiescence on drain.
+
+Clients own disjoint key ranges, so per-key operation order is each
+client's program order and the oracle replay is exact.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps.memcached import protocol as P
+from repro.apps.memcached.userspace import UserspaceMemcached
+from repro.net import ShardedUdpDatapath, SupervisedMemcachedService, UdpLoadGenerator
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import LatencyStats
+
+N_SHARDS = 2
+N_CLIENTS = 4
+PHASE_A = 1000  # healthy requests per client
+PHASE_B = 600   # faulted requests per client
+PHASE_C = 1000  # healed requests per client
+KEYS_PER_CLIENT = 200
+
+
+def matcher(req, rep):
+    return len(rep) == P.PKT_SIZE and rep[8:40] == req[8:40]
+
+
+def steady_workload(cid, seq):
+    """Mixed SET/GET confined to the client's own key range."""
+    key = cid * 1000 + seq % KEYS_PER_CLIENT
+    if seq % 5 == 0:
+        return key, P.encode_set(key, cid * 1_000_000 + seq)
+    return key, P.encode_get(key)
+
+
+def faulting_workload(cid, seq):
+    """Every other request SETs a *fresh* key: the allocation helper
+    runs, the injected helper fault cancels the invocation, and the
+    supervisor's soft-fault window fills until quarantine."""
+    if seq % 2 == 0:
+        key = 100_000 + cid * 10_000 + seq
+        return key, P.encode_set(key, seq)
+    key = cid * 1000 + seq % KEYS_PER_CLIENT
+    return key, P.encode_get(key)
+
+
+async def _phase(sharded, workload, n_requests):
+    gen = UdpLoadGenerator(
+        sharded.ports,
+        workload,
+        ring=sharded.ring,
+        n_clients=N_CLIENTS,
+        requests_per_client=n_requests,
+        matcher=matcher,
+        keep_log=True,
+    )
+    return await gen.run()
+
+
+def _replay_against_oracle(results):
+    """Replay every client's trace, phase order preserved, against a
+    fresh oracle; every wire reply must be bit-identical."""
+    oracle = UserspaceMemcached()
+    for cid in range(N_CLIENTS):
+        for res in results:
+            for entry_cid, _seq, payload, reply in res.log:
+                if entry_cid != cid:
+                    continue
+                expected = oracle.handle(payload)
+                assert reply == expected, (
+                    f"client {cid}: wire reply diverged from oracle\n"
+                    f"  request: {payload.hex()}\n"
+                    f"  wire:    {reply.hex() if reply else None}\n"
+                    f"  oracle:  {expected.hex()}"
+                )
+
+
+@pytest.mark.net
+def test_e2e_quarantine_cycle_is_oracle_exact():
+    async def run():
+        sharded = ShardedUdpDatapath(
+            lambda i: SupervisedMemcachedService(), N_SHARDS
+        )
+        await sharded.start()
+
+        # Phase A: healthy — everything served at the ingress hook.
+        res_a = await _phase(sharded, steady_workload, PHASE_A)
+        assert res_a.failures == 0
+        healthy = sharded.merged_service_stats()
+        assert healthy.kernel_tx == healthy.requests
+
+        # Phase B: persistent helper faults on every shard.
+        for shard in sharded.shards:
+            shard.service.runtime.install_injector(
+                FaultPlan(rates={"helper_fail": 1.0}, seed=11)
+            )
+        res_b = await _phase(sharded, faulting_workload, PHASE_B)
+        assert res_b.failures == 0  # degradation is invisible on the wire
+        faulted = sharded.merged_service_stats()
+        assert faulted.quarantines >= 1
+        assert faulted.userspace_pass > 0
+
+        # Phase C: heal — faults removed, backoff elapses under real
+        # traffic (the service couples wall time into the kernel clock),
+        # extensions are re-admitted.
+        for shard in sharded.shards:
+            shard.service.runtime.install_injector(None)
+        res_c = await _phase(sharded, steady_workload, PHASE_C)
+        assert res_c.failures == 0
+        results = [res_a, res_b, res_c]
+
+        # The final backoff is bounded (1 simulated second, and the
+        # service advances the clock at wall pace), but phase C can end
+        # just inside it; keep traffic flowing until every shard has
+        # re-admitted its extension.
+        for _ in range(30):
+            if not any(s.service.degraded for s in sharded.shards):
+                break
+            extra = await _phase(sharded, steady_workload, 100)
+            assert extra.failures == 0
+            results.append(extra)
+        healed = sharded.merged_service_stats()
+        assert healed.readmissions >= 1
+        assert not any(s.service.degraded for s in sharded.shards)
+        # Traffic flows through the fast path again after re-admission.
+        assert healed.kernel_tx > faulted.kernel_tx
+
+        # >= 10k wire requests total, none failed.
+        total = sum(r.requests for r in results)
+        assert total >= 10_000
+        assert total >= N_CLIENTS * (PHASE_A + PHASE_B + PHASE_C)
+        assert sum(r.replies for r in results) == total
+
+        # (a) bit-identical to the oracle across the whole cycle.
+        _replay_against_oracle(results)
+
+        # (c) pooled latency: one merged collector over every phase's
+        # per-client collectors, same machinery the shards use.
+        pooled = LatencyStats.merged(r.latency for r in results)
+        assert len(pooled) == total
+        assert 0 < pooled.percentile(50) <= pooled.percentile(99)
+
+        report = await sharded.stop()
+        assert report["sock_refs"] == 0
+        assert report["held_locks"] == 0
+
+    asyncio.run(run())

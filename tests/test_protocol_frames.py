@@ -1,0 +1,100 @@
+"""Wire-frame hardening for the app protocols.
+
+The network datapath feeds raw bytes from real sockets into
+``decode_request``; anything a client could put on the wire must come
+back as :class:`FrameError` (counted, connection-scoped), never as an
+exception from deeper in the stack.
+"""
+
+import pytest
+
+from repro.apps.memcached import protocol as MP
+from repro.apps.memcached.userspace import UserspaceMemcached
+from repro.apps.redis import protocol as RP
+from repro.errors import FrameError
+
+
+# -- memcached ---------------------------------------------------------------
+
+
+def test_memcached_request_roundtrip():
+    assert MP.decode_request(MP.encode_get(7)) == (MP.OP_GET, 7, None)
+    assert MP.decode_request(MP.encode_set(9, 1234)) == (MP.OP_SET, 9, 1234)
+
+
+@pytest.mark.parametrize(
+    "pkt",
+    [
+        b"",                                     # empty
+        MP.encode_get(1)[:-1],                   # short
+        MP.encode_get(1) + b"\x00",              # oversized
+        bytes([MP.REPLY_FLAG]) + MP.encode_get(1)[1:],  # reply bit set
+        bytes([0x7F]) + MP.encode_get(1)[1:],    # unknown op
+        MP.encode_get(1)[:16] + bytes(56),       # garbled key salt
+    ],
+)
+def test_memcached_bad_request_frames(pkt):
+    with pytest.raises(FrameError):
+        MP.decode_request(pkt)
+
+
+def test_memcached_bad_reply_frames():
+    with pytest.raises(FrameError):
+        MP.decode_reply(MP.encode_get(1))  # REPLY_FLAG clear
+    with pytest.raises(FrameError):
+        MP.decode_reply(b"\x80" + bytes(10))  # short
+
+
+def test_memcached_encode_reply_matches_userspace_server():
+    """encode_reply must be bit-identical to what the stock server
+    sends, so fallback paths can synthesise replies safely."""
+    us = UserspaceMemcached()
+    assert us.set(3, 333)
+    for req, op, key, hit, val in [
+        (MP.encode_get(3), MP.OP_GET, 3, True, 333),
+        (MP.encode_get(4), MP.OP_GET, 4, False, None),
+        (MP.encode_set(5, 55), MP.OP_SET, 5, True, None),
+    ]:
+        served = us.handle(req)
+        synth = MP.encode_reply(op, key, hit, val)
+        # SET replies echo the stored value bytes; synth carries none.
+        if op == MP.OP_SET:
+            served = served[: MP.VAL_OFF]
+            synth = synth[: MP.VAL_OFF]
+        assert served == synth
+
+
+# -- redis -------------------------------------------------------------------
+
+
+def test_redis_request_roundtrip():
+    assert RP.decode_request(RP.encode_get(2)) == (RP.OP_GET, 2, None, None)
+    assert RP.decode_request(RP.encode_set(3, 77)) == (RP.OP_SET, 3, 77, None)
+    assert RP.decode_request(RP.encode_zadd(4, 10, 20)) == (
+        RP.OP_ZADD, 4, 10, 20,
+    )
+
+
+@pytest.mark.parametrize(
+    "pkt",
+    [
+        b"",
+        RP.encode_get(1)[:-1],
+        RP.encode_get(1) + b"\x00",
+        bytes([RP.REPLY_FLAG | RP.OP_SET]) + RP.encode_set(1, 1)[1:],
+        bytes([9]) + RP.encode_get(1)[1:],
+        RP.encode_get(1)[:16] + bytes(RP.PKT_SIZE - 16),
+    ],
+)
+def test_redis_bad_request_frames(pkt):
+    with pytest.raises(FrameError):
+        RP.decode_request(pkt)
+
+
+def test_redis_reply_roundtrip():
+    ok, value = RP.decode_reply(RP.encode_reply(RP.OP_GET, 1, True, 42))
+    assert (ok, value) == (True, 42)
+    ok, value = RP.decode_reply(RP.encode_reply(RP.OP_GET, 1, False))
+    assert (ok, value) == (False, None)
+    with pytest.raises(FrameError):
+        RP.decode_reply(RP.encode_get(1))
