@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-net bench bench-quick bench-load bench-net bench-baseline chaos-quick
+.PHONY: test test-net test-recovery bench bench-quick bench-load bench-net bench-recovery bench-baseline chaos-quick chaos-recovery
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -12,6 +12,12 @@ test:
 # tier-1; includes the 10k-request end-to-end acceptance test).
 test-net:
 	$(PY) -m pytest tests/ -q -m net
+
+# Crash-recovery suite: file-backed WAL/snapshot recovery (real fsync +
+# rename through DirStorage) and the kill-a-serving-shard failover
+# end-to-end test (excluded from tier-1).
+test-recovery:
+	$(PY) -m pytest tests/ -q -m recovery
 
 # Network datapath gate: kernel fast path must beat the userspace-
 # fallback leg by >= 1.5x over loopback; also checks regression vs the
@@ -41,3 +47,14 @@ bench-baseline:
 # both engines; fails on oracle errors, leaks, or engine divergence.
 chaos-quick:
 	sh scripts/chaos_quick.sh
+
+# Durability gate: seeded crash-point fuzz over the WAL/snapshot store
+# (file-backed); fails on corruption, non-prefix recovery, durability-
+# barrier rollback, or < 200 injected crashes.
+chaos-recovery:
+	sh scripts/chaos_recovery.sh
+
+# Durability perf gate: WAL-on overhead on the Fig-2 memcached workload
+# must stay <= 15%; warm recovery of a 100k-entry map under budget.
+bench-recovery:
+	$(PY) benchmarks/bench_recovery.py --check

@@ -1,0 +1,101 @@
+"""Map-backed Memcached: the kernel table IS the durable store.
+
+BMC (:mod:`repro.apps.memcached.bmc`) uses its map as a look-aside
+cache — misses and SETs fall to userspace, so map loss is only a perf
+event.  This extension inverts that: the pinned hash map is the
+*authoritative* store.  GETs answer from XDP on hit **and** miss; SETs
+insert into the map and reply from XDP.  Every mutation flows through
+the map's journal hook into the WAL (:mod:`repro.state`), so the reply
+the client sees is only sent after the write is durable — which is the
+invariant the shard-failover test leans on: any acknowledged SET
+survives a ``kill -9`` of the serving shard bit-identically.
+
+The only XDP_PASS left is a full map (``-E2BIG``), the same capacity
+cliff BMC has; with a capacity-sized workload it never fires.
+"""
+
+from __future__ import annotations
+
+from repro.apps.memcached import protocol as P
+from repro.ebpf.helpers import BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.maps import HashMap
+from repro.ebpf.program import Program, XDP_PASS, XDP_TX
+
+R0, R1, R2, R3, R4, R5 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5
+R6, R7, R8, R9, R10 = Reg.R6, Reg.R7, Reg.R8, Reg.R9, Reg.R10
+
+
+def build_durable_memcached_program(
+    cache: HashMap, name: str = "durable-memcached"
+) -> Program:
+    m = MacroAsm()
+    # Parse + bounds check (identical prologue to BMC).
+    m.ldx(R6, R1, 0, 8)
+    m.ldx(R3, R1, 8, 8)
+    m.mov(R2, R6)
+    m.add(R2, P.PKT_SIZE)
+    ok = m.fresh_label("ok")
+    m.jcc("<=", R2, R3, ok)
+    m.mov(R0, XDP_PASS)
+    m.exit()
+    m.label(ok)
+
+    # Key to the stack at R10-32 (map key argument).
+    for i in range(4):
+        m.ldx(R4, R6, P.KEY_OFF + 8 * i, 8)
+        m.stx(R10, R4, -32 + 8 * i, 8)
+
+    m.ldx(R7, R6, 0, 1)  # op byte
+    set_path = m.fresh_label("set")
+    m.jcc("==", R7, P.OP_SET, set_path)
+
+    # ---- GET: authoritative probe, reply from XDP either way ------------
+    m.map_ptr(R1, cache)
+    m.mov(R2, R10)
+    m.add(R2, -32)
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    miss = m.fresh_label("miss")
+    m.jcc("==", R0, 0, miss)
+    for i in range(4):
+        m.ldx(R4, R0, 8 * i, 8)
+        m.stx(R6, R4, P.VAL_OFF + 8 * i, 8)
+    m.st_imm(R6, 0, P.REPLY_FLAG | P.OP_GET, 1)
+    m.st_imm(R6, 1, P.STATUS_HIT, 1)
+    m.mov(R0, XDP_TX)
+    m.exit()
+    m.label(miss)
+    # The map is the store: a miss is a definitive answer, not a
+    # fall-through.  Zero the value field and transmit STATUS_MISS.
+    for i in range(4):
+        m.st_imm(R6, P.VAL_OFF + 8 * i, 0, 8)
+    m.st_imm(R6, 0, P.REPLY_FLAG | P.OP_GET, 1)
+    m.st_imm(R6, 1, P.STATUS_MISS, 1)
+    m.mov(R0, XDP_TX)
+    m.exit()
+
+    # ---- SET: insert + ack from XDP -------------------------------------
+    m.label(set_path)
+    # Value to the stack at R10-64 (map value argument).
+    for i in range(4):
+        m.ldx(R4, R6, P.VAL_OFF + 8 * i, 8)
+        m.stx(R10, R4, -64 + 8 * i, 8)
+    m.map_ptr(R1, cache)
+    m.mov(R2, R10)
+    m.add(R2, -32)
+    m.mov(R3, R10)
+    m.add(R3, -64)
+    m.mov(R4, 0)  # flags: BPF_ANY
+    m.call(BPF_MAP_UPDATE_ELEM)
+    full = m.fresh_label("full")
+    m.jcc("!=", R0, 0, full)
+    m.st_imm(R6, 0, P.REPLY_FLAG | P.OP_SET, 1)
+    m.st_imm(R6, 1, P.STATUS_HIT, 1)
+    m.mov(R0, XDP_TX)
+    m.exit()
+    m.label(full)
+    m.mov(R0, XDP_PASS)  # -E2BIG: let userspace (if any) decide
+    m.exit()
+
+    return Program(name, m.assemble(), hook="xdp", maps={cache.fd: cache})

@@ -43,6 +43,7 @@ from repro.core.heap import ExtensionHeap
 from repro.core.locks import LockManager
 from repro.core.supervisor import ExtensionSupervisor, HARD_REASONS
 from repro.kernel.machine import Kernel
+from repro.state.pins import PinRegistry
 
 #: Per-CPU hook context area (xdp_md / sk_skb / bench context).
 CTX_REGION_BASE = 0xFFFF_88A0_0000_0000
@@ -385,6 +386,9 @@ class KFlexRuntime:
         self.watchdog_period: int | None = None
         self.supervisor = ExtensionSupervisor(self.kernel, supervisor_policy)
         self.auditor = QuiescenceAuditor(self.kernel)
+        #: bpffs analog: maps pinned by path, refcounted independently
+        #: of the extensions using them (repro.state).
+        self.pins = PinRegistry()
         #: The staged load path (verify → instrument → lower →
         #: translate) with its content-addressed program cache and
         #: per-stage statistics.  One per runtime: cache keys embed
@@ -586,6 +590,24 @@ class KFlexRuntime:
         if attach:
             self.kernel.hooks.attach(ext)
         return ext
+
+    # -- durable state ----------------------------------------------------------
+
+    def pin_map(self, path: str, m, store=None) -> None:
+        """Pin a map by path (bpffs analog) and, when a
+        :class:`repro.state.store.DurableStore` is given, start
+        journaling its mutations for crash recovery."""
+        self.pins.pin(path, m)
+        if store is not None:
+            store.attach(path, m)
+
+    def recover(self, store, *, programs=None):
+        """Rebuild pinned maps, reload programs, re-attach hooks and
+        audit quiescence after a crash — see
+        :func:`repro.state.recovery.recover_runtime`."""
+        from repro.state.recovery import recover_runtime
+
+        return recover_runtime(self, store, programs=programs)
 
     # -- quiescence ------------------------------------------------------------
 

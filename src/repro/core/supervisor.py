@@ -76,6 +76,58 @@ class SupervisorStats:
     reasons: dict = field(default_factory=dict)
 
 
+class RestartBackoff:
+    """Exponential backoff for *process-level* restarts (shard failover).
+
+    The quarantine machinery above penalises a misbehaving extension on
+    the simulated clock; a crashed shard worker is an OS-level event,
+    so its restart penalty runs on the wall clock instead — but follows
+    the same :class:`QuarantinePolicy` curve, so a restart storm (the
+    same shard dying again and again) escalates exactly like a
+    quarantine storm: base → ×factor → ... → ceiling.  A shard that
+    stays up longer than ``storm_window_s`` between crashes resets its
+    strike count, mirroring the fault-rate window.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        policy: QuarantinePolicy | None = None,
+        *,
+        storm_window_s: float = 30.0,
+        clock=None,
+    ):
+        import time
+
+        self.policy = policy or QuarantinePolicy()
+        self.storm_window_s = storm_window_s
+        self.clock = clock or time.monotonic
+        self._strikes: dict[int, int] = {}
+        self._last: dict[int, float] = {}
+        self.restarts = 0
+
+    def note_restart(self, shard_id: int) -> float:
+        """Record one restart of ``shard_id``; returns the backoff delay
+        (seconds) the restart must wait before coming back up."""
+        now = self.clock()
+        last = self._last.get(shard_id)
+        if last is not None and now - last > self.storm_window_s:
+            self._strikes[shard_id] = 0
+        self._last[shard_id] = now
+        strikes = self._strikes.get(shard_id, 0)
+        self._strikes[shard_id] = strikes + 1
+        self.restarts += 1
+        delay_ns = min(
+            self.policy.base_backoff_ns * self.policy.backoff_factor ** strikes,
+            self.policy.max_backoff_ns,
+        )
+        return delay_ns / 1e9
+
+    def strikes(self, shard_id: int) -> int:
+        return self._strikes.get(shard_id, 0)
+
+
 class ExtensionSupervisor:
     """Per-runtime supervisor; the runtime reports every cancellation."""
 

@@ -30,7 +30,15 @@ def alloc_fd() -> int:
 
 
 class Map:
-    """Base class: fixed key/value sizes, bounded entry count."""
+    """Base class: fixed key/value sizes, bounded entry count.
+
+    ``journal`` is the durable-state hook: when set (by
+    :meth:`repro.state.store.DurableStore.attach`), every *successful*
+    mutation is reported with the canonical post-write slot bytes —
+    canonical because ``update`` with a short value only overwrites a
+    prefix of the slot, so the journal must record what the slot now
+    holds, not what the caller passed.
+    """
 
     map_type = "generic"
 
@@ -60,6 +68,36 @@ class Map:
         self.region = aspace.map_region(
             self._vm.base, self._vm.size, f"map:{name}", populated=True
         )
+        self.journal = None
+
+    def meta(self) -> dict:
+        return {
+            "map_type": _MAP_TYPE_IDS[self.map_type],
+            "key_size": self.key_size,
+            "value_size": self.value_size,
+            "max_entries": self.max_entries,
+            "name": self.name,
+        }
+
+    def read_slot(self, slot: int) -> bytes:
+        return self.aspace.read_bytes(self.slot_addr(slot), self.value_size)
+
+    def _journal_update(self, key: bytes, slot: int) -> None:
+        if self.journal is not None:
+            self.journal.record_update(key, self.read_slot(slot))
+
+    def _journal_delete(self, key: bytes) -> None:
+        if self.journal is not None:
+            self.journal.record_delete(key)
+
+    def entries(self) -> list[tuple[bytes, bytes]]:
+        """Stable serialization of live entries (key-sorted for hash
+        maps, index order for arrays) — the snapshot/oracle view."""
+        raise NotImplementedError
+
+    def load_entries(self, entries) -> None:
+        """Recovery path: install entries without journaling them."""
+        raise NotImplementedError
 
     def slot_addr(self, slot: int) -> int:
         if not 0 <= slot < self.max_entries:
@@ -105,10 +143,24 @@ class ArrayMap(Map):
         if idx is None:
             return -22  # -EINVAL
         self.aspace.write_bytes(self.slot_addr(idx), value[: self.value_size])
+        self._journal_update(idx.to_bytes(4, "little"), idx)
         return 0
 
     def delete(self, key: bytes) -> int:
         return -22  # array elements cannot be deleted
+
+    def entries(self) -> list[tuple[bytes, bytes]]:
+        return [
+            (idx.to_bytes(4, "little"), self.read_slot(idx))
+            for idx in range(self.max_entries)
+        ]
+
+    def load_entries(self, entries) -> None:
+        for key, value in entries:
+            idx = self._index(key)
+            if idx is None:
+                raise KernelPanic(f"recovered array index out of range: {key!r}")
+            self.aspace.write_bytes(self.slot_addr(idx), value[: self.value_size])
 
 
 class HashMap(Map):
@@ -147,6 +199,7 @@ class HashMap(Map):
             slot = self._free.pop()
             self._slots[key] = slot
         self.aspace.write_bytes(self.slot_addr(slot), value[: self.value_size])
+        self._journal_update(key, slot)
         return 0
 
     def delete(self, key: bytes) -> int:
@@ -155,6 +208,7 @@ class HashMap(Map):
         if slot is None:
             return -2  # -ENOENT
         self._free.append(slot)
+        self._journal_delete(key)
         return 0
 
     def __len__(self) -> int:
@@ -163,3 +217,42 @@ class HashMap(Map):
     def update_or_full(self, key: bytes, value: bytes) -> bool:
         """Convenience for BMC: returns False when the map was full."""
         return self.update(key, value) == 0
+
+    def entries(self) -> list[tuple[bytes, bytes]]:
+        return [
+            (key, self.read_slot(slot)) for key, slot in sorted(self._slots.items())
+        ]
+
+    def load_entries(self, entries) -> None:
+        for key, value in entries:
+            key = bytes(key[: self.key_size])
+            slot = self._slots.get(key)
+            if slot is None:
+                if not self._free:
+                    raise KernelPanic("recovered more entries than max_entries")
+                slot = self._free.pop()
+                self._slots[key] = slot
+            self.aspace.write_bytes(self.slot_addr(slot), value[: self.value_size])
+
+
+_MAP_TYPE_IDS = {"generic": 0, "array": 1, "hash": 2}
+_MAP_CLASSES: dict[int, type] = {1: ArrayMap, 2: HashMap}
+
+
+def build_map(aspace, arena, meta: dict):
+    """Reconstruct a map from snapshot metadata (the recovery path).
+
+    The returned map gets a fresh fd — identity across a crash is the
+    *pin path*, not the fd, just as in bpffs.
+    """
+    cls = _MAP_CLASSES.get(meta["map_type"])
+    if cls is None:
+        raise KernelPanic(f"unknown map type id {meta['map_type']}")
+    kwargs = {
+        "value_size": meta["value_size"],
+        "max_entries": meta["max_entries"],
+        "name": meta.get("name", "map"),
+    }
+    if cls is HashMap:
+        kwargs["key_size"] = meta["key_size"]
+    return cls(aspace, arena, **kwargs)

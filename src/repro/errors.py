@@ -146,3 +146,43 @@ class FrameError(ReproError, ValueError):
 
 class MapFull(ReproError):
     """An eBPF map reached max_entries (BMC's preallocated cache)."""
+
+
+# ---------------------------------------------------------------------------
+# Durable state & crash simulation
+# ---------------------------------------------------------------------------
+
+
+class StateError(ReproError):
+    """Durable-state subsystem misuse (bad pin path, double attach,
+    unreadable manifest) — programming errors, not crash outcomes.
+    Crash outcomes (torn WAL tails, corrupt snapshots) never raise:
+    recovery degrades to the last consistent prefix instead (§3.4
+    extended to host failure)."""
+
+
+class SimulatedCrash(ReproError):
+    """An injected process death at a durable-state crash point.
+
+    Raised by :class:`repro.sim.faults.CrashInjector` inside the
+    WAL/snapshot/recovery code.  Campaign drivers catch it, discard all
+    volatile state (as a real ``kill -9`` would) and run recovery; it
+    must never be caught by the durable-state code itself — swallowing
+    it would mean pretending a dead process kept executing.
+    """
+
+    def __init__(self, site: str, message: str = ""):
+        self.site = site
+        super().__init__(message or f"simulated crash at {site}")
+
+
+class ShardCrashed(ReproError):
+    """A request was routed to a shard worker that has crashed.
+
+    The router treats this as the trigger for failover: recover the
+    shard's pinned state into a replacement worker and retry there.
+    """
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        super().__init__(f"shard {shard_id} crashed")

@@ -61,12 +61,17 @@ class ShedStats:
     budget_stalls: int = 0
     #: Requests that were in flight when drain began and completed.
     drained_inflight: int = 0
+    #: Drains that hit their deadline with requests still in flight.
+    drain_timeouts: int = 0
+    #: Requests still in flight when a timed-out drain gave up on them
+    #: (they are abandoned to worker cancellation, not completed).
+    forced_cancellations: int = 0
 
     def merge(self, other: "ShedStats") -> "ShedStats":
         for f in (
             "admitted", "completed", "shed_inflight", "shed_queue",
             "shed_draining", "refused_connections", "budget_stalls",
-            "drained_inflight",
+            "drained_inflight", "drain_timeouts", "forced_cancellations",
         ):
             setattr(self, f, getattr(self, f) + getattr(other, f))
         return self
@@ -119,12 +124,37 @@ class AdmissionControl:
 
     # -- drain --------------------------------------------------------------
 
-    async def drain(self) -> None:
-        """Stop admitting and wait for in-flight requests to finish."""
+    async def drain(self, timeout: float | None = None,
+                    escalate=None) -> bool:
+        """Stop admitting and wait for in-flight requests to finish.
+
+        Returns True on a clean drain.  An unbounded drain (the
+        default) can hang forever behind one stuck request — exactly
+        the failure a supervised runtime must not inherit — so a
+        ``timeout`` (seconds) bounds the wait: on expiry the remaining
+        in-flight requests are written off as forced cancellations,
+        the ``escalate`` callback (sync or async — e.g. quarantine the
+        stuck extension through the supervisor) is invoked, and False
+        is returned; the caller then cancels its workers instead of
+        waiting for completions that are never coming.
+        """
         self.draining = True
         if self.inflight == 0:
-            return
+            return True
         self._idle = asyncio.Event()
         if self.inflight == 0:  # completed between the check and the Event
-            return
-        await self._idle.wait()
+            return True
+        if timeout is None:
+            await self._idle.wait()
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            self.stats.drain_timeouts += 1
+            self.stats.forced_cancellations += self.inflight
+            if escalate is not None:
+                res = escalate()
+                if asyncio.iscoroutine(res):
+                    await res
+            return False

@@ -173,18 +173,44 @@ class UdpDatapath:
                 self.admission.release()
                 self._queue.task_done()
 
-    async def stop(self) -> dict:
+    async def stop(self, drain_timeout: float | None = None) -> dict:
         """Graceful drain: close intake, serve what was admitted, then
-        verify extension quiescence.  Returns the quiescence report."""
+        verify extension quiescence.  Returns the quiescence report.
+
+        ``drain_timeout`` bounds the wait for in-flight requests; on
+        expiry the stuck extension is quarantined through the
+        supervisor (reason ``drain_timeout``) and the stragglers are
+        cancelled with the workers instead of blocking shutdown.
+        """
         if self._transport is not None:
             self._transport.close()  # no new datagrams
-        await self.admission.drain()  # in-flight requests finish
+        await self.admission.drain(
+            drain_timeout, escalate=_drain_escalation(self.service)
+        )
         for w in self._workers:
             w.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         report = self.service.quiescence_report()
         self.service.close()
         return report
+
+
+def _drain_escalation(service):
+    """Supervisor escalation for a drain that blew its deadline: the
+    extension holding up the drain cannot be trusted to terminate, so
+    it is quarantined (reason ``drain_timeout``) — same treatment the
+    watchdog gives a non-terminating invocation.  Services without a
+    runtime/extension (e.g. a shard router) escalate to a no-op."""
+    rt = getattr(service, "runtime", None)
+    ext = getattr(service, "ext", None)
+    if rt is None or ext is None:
+        return None
+
+    def escalate():
+        if not ext.dead:
+            rt.supervisor.quarantine(ext, "drain_timeout")
+
+    return escalate
 
 
 class TcpDatapath:
@@ -295,11 +321,13 @@ class TcpDatapath:
                 self.admission.release()
                 pipeline.task_done()
 
-    async def stop(self) -> dict:
+    async def stop(self, drain_timeout: float | None = None) -> dict:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.admission.drain()
+        await self.admission.drain(
+            drain_timeout, escalate=_drain_escalation(self.service)
+        )
         if self._conn_tasks:
             # Connections usually wind down on their own once clients
             # disconnect; only force-cancel stragglers.

@@ -234,6 +234,81 @@ class ExtensionService(PacketService):
         return None, "drop"
 
 
+class DurableMemcachedService(ExtensionService):
+    """Memcached over a pinned, WAL-journaled kernel map (repro.state).
+
+    On a fresh store the service creates the hash map, pins it at
+    ``pin`` and starts journaling.  On a store that already holds
+    durable state — a restarted or failed-over shard — it instead runs
+    full crash recovery: the map is rebuilt from snapshot + WAL, the
+    program is recompiled over the recovered map (fresh fd, same pin
+    identity) and re-attached, and ``recovery`` carries the
+    :class:`~repro.state.recovery.RecoveryReport`.
+
+    With the store's default ``sync_every=1`` every SET is flushed
+    before the XDP reply leaves, so an acknowledged write is durable —
+    the invariant the failover test checks key by key.
+    """
+
+    def __init__(
+        self,
+        runtime: KFlexRuntime | None = None,
+        *,
+        store,
+        pin: str = "memcached/cache",
+        capacity: int = 4096,
+        userspace=None,
+        engine: str | None = None,
+    ):
+        from repro.apps.memcached.durable_ext import (
+            build_durable_memcached_program,
+        )
+        from repro.ebpf.maps import HashMap
+        from repro.apps.memcached import protocol as P
+
+        runtime = runtime or KFlexRuntime(engine=engine)
+        self.store = store
+        self.pin = pin
+        self.recovered = pin in store.pins()
+        self.recovery = None
+        if self.recovered:
+            loaded = {}
+
+            def factory(rt, m):
+                ext = rt.load(
+                    build_durable_memcached_program(m), mode="ebpf", attach=False
+                )
+                loaded["ext"] = ext
+                return ext
+
+            self.recovery = runtime.recover(store, programs={pin: factory})
+            self.cache = runtime.pins.get(pin)
+            ext = loaded["ext"]
+        else:
+            k = runtime.kernel
+            self.cache = HashMap(
+                k.aspace,
+                k.vmalloc,
+                key_size=P.KEY_SIZE,
+                value_size=P.VAL_SIZE,
+                max_entries=capacity,
+                name="durable-memcached",
+            )
+            runtime.pin_map(pin, self.cache, store)
+            ext = runtime.load(
+                build_durable_memcached_program(self.cache),
+                mode="ebpf",
+                attach=False,
+            )
+        super().__init__(runtime, ext=ext, userspace=userspace)
+
+    def close(self) -> None:
+        # Flush, don't snapshot: close must be cheap and crash-safe
+        # (the WAL already holds everything acknowledged).
+        self.store.close()
+        super().close()
+
+
 class SupervisedMemcachedService(PacketService):
     """The §3.4 co-design on the wire: ``SupervisedMemcached.serve``.
 

@@ -30,6 +30,7 @@ import asyncio
 import hashlib
 import threading
 
+from repro.errors import ShardCrashed
 from repro.net.backpressure import AdmissionPolicy
 from repro.net.datapath import DatapathStats, UdpDatapath
 from repro.net.service import ServiceStats
@@ -109,6 +110,13 @@ class ShardWorker(threading.Thread):
         self.cpu: int | None = None
         self.error: BaseException | None = None
         self._ready = threading.Event()
+        #: Set by :meth:`crash`; routed requests then raise
+        #: :class:`~repro.errors.ShardCrashed` instead of hanging.
+        self.crashed = False
+        #: Cross-loop futures currently awaited by the router; failed
+        #: explicitly on crash (the shard loop that would have resolved
+        #: them is dead).
+        self._inflight: set = set()
 
     def run(self) -> None:
         loop = asyncio.new_event_loop()
@@ -138,6 +146,25 @@ class ShardWorker(threading.Thread):
             return
         self._ready.set()
         loop.run_forever()
+        # The loop stopped — either a graceful shutdown() (datapath
+        # drained, nothing pending) or a crash() mid-whatever.  Dispose
+        # of abandoned tasks and the serving socket *without resuming
+        # them*: a killed process does not finish its in-flight work,
+        # but its debris also must not spray "exception ignored" noise
+        # when the interpreter later garbage-collects it.
+        for task in asyncio.all_tasks(loop):
+            task.cancel()
+            task._log_destroy_pending = False
+            coro = task.get_coro()
+            if coro is not None:
+                coro.close()
+        dp = self.datapath
+        if dp is not None and dp._transport is not None:
+            tr = dp._transport
+            tr.close()
+            if getattr(tr, "_sock", None) is not None:
+                tr._sock.close()
+                tr._sock = None
         loop.close()
 
     def wait_ready(self, timeout: float = 10.0) -> None:
@@ -148,9 +175,16 @@ class ShardWorker(threading.Thread):
 
     async def handle(self, payload: bytes) -> bytes | None:
         """Cross-loop request entry (used by the TCP dispatcher)."""
-        cfut = asyncio.run_coroutine_threadsafe(
-            self.service.handle(payload, self.cpu), self.loop
-        )
+        if self.crashed:
+            raise ShardCrashed(self.shard_id)
+        try:
+            cfut = asyncio.run_coroutine_threadsafe(
+                self.service.handle(payload, self.cpu), self.loop
+            )
+        except RuntimeError:  # loop already closed underneath us
+            raise ShardCrashed(self.shard_id) from None
+        self._inflight.add(cfut)
+        cfut.add_done_callback(self._inflight.discard)
         return await asyncio.wrap_future(cfut)
 
     def shutdown(self, timeout: float = 10.0) -> dict:
@@ -161,6 +195,38 @@ class ShardWorker(threading.Thread):
         self.loop.call_soon_threadsafe(self.loop.stop)
         self.join(timeout)
         return report
+
+    def crash(self, timeout: float = 5.0) -> None:
+        """``kill -9`` analog: no drain, no flush, no goodbye.
+
+        The event loop stops mid-whatever-it-was-doing, the thread is
+        joined, the serving socket's fd is closed abruptly, and the
+        service's durable store (if any) loses its volatile buffers —
+        only bytes that crossed the fsync-analog survive, exactly the
+        state a recovering replacement shard gets to work with.
+        In-flight cross-loop requests fail with
+        :class:`~repro.errors.ShardCrashed` so the router can fail
+        over instead of waiting forever on a dead loop.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        loop = self.loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:
+                pass
+        self.join(timeout)
+        store = getattr(self.service, "store", None)
+        if store is not None:
+            store.crash_volatile()
+        for cfut in list(self._inflight):
+            if not cfut.done():
+                try:
+                    cfut.set_exception(ShardCrashed(self.shard_id))
+                except Exception:
+                    pass  # lost the race against the dying loop; done now
 
 
 class _InlineShard:
@@ -267,6 +333,75 @@ class ShardedUdpDatapath:
         return merged
 
 
+class ShardFailover:
+    """Replace crashed shard workers, with restart-storm backoff.
+
+    Owns the mutable worker list the router serves from.  ``replace``
+    is idempotent and race-safe: concurrent requests that all saw the
+    same dead worker serialise on a per-shard lock, the first one
+    builds the replacement (waiting out the
+    :class:`~repro.core.supervisor.RestartBackoff` penalty — a shard
+    that keeps dying comes back slower and slower), and the rest
+    discover the swap already happened.
+
+    The replacement's service is built by the same ``service_factory``
+    as the original; a durable service (``DurableMemcachedService``)
+    finds the shard's pinned state in its store and runs crash
+    recovery, so the new worker answers with every acknowledged write
+    of the old one.
+    """
+
+    def __init__(
+        self,
+        workers: list,
+        service_factory,
+        *,
+        host: str = "127.0.0.1",
+        policy: AdmissionPolicy | None = None,
+        n_workers: int = 4,
+        backoff=None,
+    ):
+        from repro.core.supervisor import RestartBackoff
+
+        self.workers = workers
+        self.service_factory = service_factory
+        self.host = host
+        self.policy = policy
+        self.n_workers = n_workers
+        self.backoff = backoff or RestartBackoff()
+        self.replacements = 0
+        self._locks: dict[int, asyncio.Lock] = {}
+
+    async def replace(self, shard_id: int, crashed_worker) -> None:
+        lock = self._locks.setdefault(shard_id, asyncio.Lock())
+        async with lock:
+            if self.workers[shard_id] is not crashed_worker:
+                return  # somebody else already failed this shard over
+            delay = self.backoff.note_restart(shard_id)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            loop = asyncio.get_running_loop()
+            # Joining the dead thread blocks; keep it off the router loop.
+            if getattr(crashed_worker, "is_alive", None) and crashed_worker.is_alive():
+                await loop.run_in_executor(None, crashed_worker.crash)
+            w = ShardWorker(
+                shard_id,
+                self.service_factory,
+                host=self.host,
+                policy=self.policy,
+                n_workers=self.n_workers,
+            )
+            w.start()
+            await loop.run_in_executor(None, w.wait_ready)
+            self.workers[shard_id] = w
+            self.replacements += 1
+
+    def shutdown_all(self, timeout: float = 10.0) -> list:
+        return [
+            w.shutdown(timeout) for w in self.workers if not w.crashed
+        ]
+
+
 class ShardRouterService:
     """TCP front dispatcher: route each frame to its owning shard.
 
@@ -279,13 +414,26 @@ class ShardRouterService:
     ``key_fn(payload) -> int | bytes`` extracts the routing key (e.g.
     ``lambda p: P.decode_request(p)[1]``); a ``FrameError`` from it is
     counted and dropped here, before any shard is touched.
+
+    With a :class:`ShardFailover` attached, a request that lands on a
+    crashed worker triggers recovery instead of an error: the router
+    waits for the replacement (re-reading the failover's worker list)
+    and retries there, so clients see latency, not failures.  ``shards``
+    should then be the failover's own (mutable) worker list.
     """
 
-    def __init__(self, shards, ring: ConsistentHashRing, key_fn):
-        self.shards = list(shards)
+    def __init__(self, shards, ring: ConsistentHashRing, key_fn, *,
+                 failover: ShardFailover | None = None,
+                 max_failover_retries: int = 3):
+        self.shards = shards if failover is not None else list(shards)
         self.ring = ring
         self.key_fn = key_fn
+        self.failover = failover
+        self.max_failover_retries = max_failover_retries
         self.stats = ServiceStats()
+        #: Requests that hit a crashed shard and were retried on its
+        #: replacement.
+        self.failovers = 0
 
     async def handle(self, payload: bytes, cpu: int = 0) -> bytes | None:
         self.stats.requests += 1
@@ -294,8 +442,18 @@ class ShardRouterService:
         except ValueError:  # FrameError included
             self.stats.bad_frames += 1
             return None
-        shard = self.shards[self.ring.shard_of(key)]
-        return await shard.handle(payload)
+        sid = self.ring.shard_of(key)
+        attempts = self.max_failover_retries if self.failover is not None else 0
+        while True:
+            shard = self.shards[sid]
+            try:
+                return await shard.handle(payload)
+            except ShardCrashed:
+                if attempts <= 0:
+                    raise
+                attempts -= 1
+                self.failovers += 1
+                await self.failover.replace(sid, shard)
 
     def quiescence_report(self) -> dict:
         # Shards are drained by their owner (ShardedUdpDatapath.stop);

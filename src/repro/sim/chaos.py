@@ -406,6 +406,247 @@ def run_datastructures_campaign(
         return _finish(report, rt, hasher, inj)
 
 
+# ---------------------------------------------------------------------------
+# Crash recovery (repro.state)
+# ---------------------------------------------------------------------------
+
+#: Per-opportunity crash rates for the recovery fuzz.  WAL sites see an
+#: opportunity per mutation, snapshot sites one per compaction, so the
+#: snapshot rates are higher to get comparable coverage.
+DEFAULT_CRASH_RATES = {
+    "wal.append": 0.010,
+    "wal.flush": 0.010,
+    "snapshot.write": 0.120,
+    "snapshot.commit": 0.120,
+    "wal.compact": 0.120,
+    "recovery.replay": 0.003,
+}
+
+
+@dataclass
+class RecoveryChaosReport:
+    """Outcome of one crash-recovery fuzz run."""
+
+    seed: int
+    n_ops: int
+    digest: str = ""
+    crashes: int = 0
+    sites_crashed: tuple = ()
+    recoveries: int = 0
+    torn_recoveries: int = 0
+    snapshot_fallbacks: int = 0
+    replayed_total: int = 0
+    ops_applied: int = 0
+    ops_lost: int = 0
+    #: Oracle violations: (op index, description).  Must be empty.
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.errors)} ERRORS"
+        sites = ",".join(self.sites_crashed) or "-"
+        return (
+            f"chaos[recovery] seed={self.seed} ops={self.n_ops} "
+            f"crashes={self.crashes} ({sites}) recoveries={self.recoveries} "
+            f"torn={self.torn_recoveries} replayed={self.replayed_total} "
+            f"applied={self.ops_applied} lost={self.ops_lost} "
+            f"digest={self.digest[:16]} {status}"
+        )
+
+
+def run_recovery_campaign(
+    seed: int = 0,
+    n_ops: int = 1500,
+    *,
+    storage=None,
+    crash_rates: dict | None = None,
+    sync_every: int = 1,
+    snapshot_every: int | None = 64,
+    key_space: int = 48,
+    max_entries: int = 64,
+) -> RecoveryChaosReport:
+    """Seeded crash-recovery fuzz over a journaled hash map.
+
+    Random update/delete churn runs against a pinned, WAL-journaled
+    :class:`~repro.ebpf.maps.HashMap` with a :class:`CrashPlan` armed
+    inside the durable-state code.  Every injected death is followed by
+    full recovery into a *fresh* kernel, and the recovered contents are
+    checked against a shadow oracle with the **prefix-consistency**
+    rule: the recovered map must equal the shadow after *exactly*
+    ``recovered_seq`` journaled operations — never a corrupted or
+    reordered state — and ``recovered_seq`` must be at least the last
+    durability barrier (an acknowledged flush never rolls back).
+    """
+    import random
+
+    from repro.ebpf.maps import HashMap
+    from repro.errors import SimulatedCrash
+    from repro.kernel.machine import Kernel
+    from repro.sim.faults import CrashPlan
+    from repro.state import DurableStore, MemStorage
+
+    PIN = "chaos/map"
+    KEY_SIZE, VALUE_SIZE = 8, 16
+    report = RecoveryChaosReport(seed, n_ops)
+    hasher = hashlib.sha256()
+    rng = random.Random(f"chaos:{seed}:recovery")
+    crash = CrashPlan(seed, crash_rates or DEFAULT_CRASH_RATES).build()
+    if storage is None:
+        storage = MemStorage()
+
+    kernel = Kernel()
+    store = DurableStore(
+        storage=storage,
+        sync_every=sync_every,
+        snapshot_every=snapshot_every,
+        crash=crash,
+    )
+    m = HashMap(
+        kernel.aspace,
+        kernel.vmalloc,
+        key_size=KEY_SIZE,
+        value_size=VALUE_SIZE,
+        max_entries=max_entries,
+        name="chaos",
+    )
+    store.attach(PIN, m)
+
+    # Shadow oracle: the journaled ops in sequence order.  shadow[i]
+    # carries seq i+1; values are the canonical post-write slot bytes.
+    shadow: list[tuple[str, bytes, bytes]] = []
+    durable_floor = 0
+
+    def apply_prefix(k: int) -> list[tuple[bytes, bytes]]:
+        d: dict[bytes, bytes] = {}
+        for op, key, value in shadow[:k]:
+            if op == "u":
+                d[key] = value
+            else:
+                d.pop(key, None)
+        return sorted(d.items())
+
+    def recover_after_crash(i: int):
+        nonlocal kernel, store, m, durable_floor, shadow
+        store.crash_volatile()
+        kernel = Kernel()
+        store = DurableStore(
+            storage=storage,
+            sync_every=sync_every,
+            snapshot_every=snapshot_every,
+            crash=crash,
+        )
+        attempts = 0
+        while True:
+            try:
+                m, rep = store.recover_map(PIN, kernel.aspace, kernel.vmalloc)
+                break
+            except SimulatedCrash:
+                # Recovery died mid-replay; a restarted recovery must
+                # succeed from the same durable bytes.
+                report.recoveries += 1
+                attempts += 1
+                if attempts > 50:  # rates near 1.0 would livelock
+                    crash.disarm("recovery.replay")
+        report.recoveries += 1
+        report.replayed_total += rep.replayed
+        if rep.torn is not None:
+            report.torn_recoveries += 1
+        report.snapshot_fallbacks += rep.snapshots_discarded
+        seq_rec = rep.recovered_seq
+        if seq_rec < durable_floor:
+            _record_error(
+                report, i,
+                f"recovery rolled back past durability barrier: "
+                f"seq {seq_rec} < floor {durable_floor}",
+            )
+        if seq_rec > len(shadow):
+            _record_error(
+                report, i,
+                f"recovered seq {seq_rec} beyond {len(shadow)} shadow ops",
+            )
+            seq_rec = len(shadow)
+        want = apply_prefix(seq_rec)
+        got = m.entries()
+        if got != want:
+            _record_error(
+                report, i,
+                f"recovered state is not the seq-{seq_rec} prefix: "
+                f"{len(got)} entries vs {len(want)} expected",
+            )
+        report.ops_lost += len(shadow) - seq_rec
+        shadow = shadow[:seq_rec]
+        durable_floor = seq_rec
+        _mix(hasher, "recover", i, seq_rec, rep.torn or "-", rep.replayed)
+
+    for i in range(n_ops):
+        key = rng.randrange(key_space).to_bytes(KEY_SIZE, "little")
+        do_delete = rng.random() < 0.25
+        value = (
+            b"" if do_delete else rng.getrandbits(8 * VALUE_SIZE).to_bytes(
+                VALUE_SIZE, "little"
+            )
+        )
+        try:
+            rc = m.delete(key) if do_delete else m.update(key, value)
+        except SimulatedCrash as e:
+            # The in-memory mutation and its WAL append both happened
+            # before any crash site can fire, so the op joins the
+            # shadow before recovery rules on how much history survived.
+            if do_delete:
+                shadow.append(("d", key, b""))
+            else:
+                canonical = m.aspace.read_bytes(m.lookup(key), VALUE_SIZE)
+                shadow.append(("u", key, canonical))
+            report.crashes += 1
+            _mix(hasher, i, "crash", e.site)
+            recover_after_crash(i)
+            continue
+        if rc == 0:
+            if do_delete:
+                shadow.append(("d", key, b""))
+            else:
+                canonical = m.aspace.read_bytes(m.lookup(key), VALUE_SIZE)
+                shadow.append(("u", key, canonical))
+            report.ops_applied += 1
+            durable_floor = max(durable_floor, store.wal(PIN).durable_seq)
+        _mix(hasher, i, "d" if do_delete else "u", key.hex(), value.hex(), rc)
+
+    # Final pass: flush, restart with injection off, expect *exact*
+    # convergence — nothing pending, nothing torn, full history.
+    try:
+        store.flush()
+    except SimulatedCrash as e:
+        report.crashes += 1
+        _mix(hasher, n_ops, "crash", e.site)
+        recover_after_crash(n_ops)
+        store.flush()
+    store.crash_volatile()
+    kernel = Kernel()
+    clean_store = DurableStore(storage=storage, sync_every=sync_every)
+    m, rep = clean_store.recover_map(PIN, kernel.aspace, kernel.vmalloc)
+    if rep.recovered_seq != len(shadow):
+        _record_error(
+            report, n_ops,
+            f"clean recovery lost acknowledged ops: seq {rep.recovered_seq} "
+            f"!= {len(shadow)}",
+        )
+    if m.entries() != apply_prefix(len(shadow)):
+        _record_error(report, n_ops, "clean recovery state mismatch")
+    if rep.torn is not None:
+        _record_error(report, n_ops, f"clean recovery saw torn WAL: {rep.torn}")
+    report.recoveries += 1
+
+    report.crashes = crash.total_crashes()
+    report.sites_crashed = tuple(sorted(crash.sites_crashed()))
+    for site, ordinal in crash.log:
+        _mix(hasher, "crashlog", site, ordinal)
+    report.digest = hasher.hexdigest()
+    return report
+
+
 _CAMPAIGNS = {
     "memcached": run_memcached_campaign,
     "redis": run_redis_campaign,
@@ -421,14 +662,33 @@ def main(argv=None) -> int:
     import argparse
 
     ap = argparse.ArgumentParser(description="seeded chaos campaigns")
-    ap.add_argument("--apps", nargs="+", default=list(APPS), choices=APPS)
+    ap.add_argument(
+        "--apps", nargs="+", default=list(APPS), choices=(*APPS, "none"),
+        help='campaign apps; "none" skips app campaigns (recovery-only runs)',
+    )
     ap.add_argument("--engines", nargs="+", default=["interp", "threaded"])
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--ops", type=int, default=300)
+    ap.add_argument(
+        "--recovery", type=int, default=0, metavar="RUNS",
+        help="also run RUNS crash-recovery fuzz runs (seeds seed..seed+RUNS-1)",
+    )
+    ap.add_argument(
+        "--recovery-ops", type=int, default=1500,
+        help="mutations per recovery fuzz run",
+    )
+    ap.add_argument(
+        "--recovery-dir", default=None, metavar="DIR",
+        help="file-backed recovery fuzz under DIR (default: in-memory)",
+    )
+    ap.add_argument(
+        "--min-crashes", type=int, default=0,
+        help="fail unless the recovery runs injected at least this many crashes",
+    )
     args = ap.parse_args(argv)
 
     failed = False
-    for app in args.apps:
+    for app in [a for a in args.apps if a != "none"]:
         digests = {}
         for engine in args.engines:
             report = run_campaign(app, args.seed, args.ops, engine)
@@ -439,6 +699,30 @@ def main(argv=None) -> int:
             failed |= not report.ok
         if len(set(digests.values())) > 1:
             print(f"  ENGINE DIVERGENCE in {app}: {digests}")
+            failed = True
+
+    total_crashes = 0
+    for i in range(args.recovery):
+        storage = None
+        if args.recovery_dir is not None:
+            from repro.state import DirStorage
+
+            storage = DirStorage(f"{args.recovery_dir}/run{i}")
+        report = run_recovery_campaign(
+            args.seed + i, args.recovery_ops, storage=storage
+        )
+        print(report.describe())
+        for idx, msg in report.errors:
+            print(f"  op {idx}: {msg}")
+        total_crashes += report.crashes
+        failed |= not report.ok
+    if args.recovery:
+        print(f"recovery fuzz: {total_crashes} injected crashes total")
+        if total_crashes < args.min_crashes:
+            print(
+                f"  INSUFFICIENT CRASH COVERAGE: {total_crashes} < "
+                f"{args.min_crashes}"
+            )
             failed = True
     return 1 if failed else 0
 

@@ -45,7 +45,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import HelperFault, LockStall, PageFault
+from repro.errors import HelperFault, LockStall, PageFault, SimulatedCrash
 
 #: Every fault kind the injector can provoke, in stream order.
 FAULT_KINDS = (
@@ -203,5 +203,147 @@ class FaultInjector:
             "seed": self.plan.seed,
             "opportunities": dict(self.opportunities),
             "fires": dict(self.fires),
+            "log": list(self.log),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Crash-point injection (durable state, repro.state)
+# ---------------------------------------------------------------------------
+
+#: Named crash points inside the WAL/snapshot/recovery code, in stream
+#: order.  Each models process death at a specific durability boundary:
+#:
+#: ============== ========================================================
+#: site           dies...
+#: ============== ========================================================
+#: wal.append     after the record entered the volatile buffer, before
+#:                the fsync-analog — the record is lost entirely
+#: wal.flush      *mid*-fsync — a random prefix of the pending bytes
+#:                reaches durable storage (the torn tail)
+#: snapshot.write after encoding, before the atomic rename — no durable
+#:                change at all
+#: snapshot.commit after the rename, before old snapshots are deleted —
+#:                two valid snapshots coexist
+#: wal.compact    after old snapshots are deleted, before the WAL is
+#:                truncated — snapshot and WAL double-cover a range
+#: recovery.replay mid-recovery — recovery itself must be restartable
+#: ============== ========================================================
+CRASH_SITES = (
+    "wal.append",
+    "wal.flush",
+    "snapshot.write",
+    "snapshot.commit",
+    "wal.compact",
+    "recovery.replay",
+)
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A reproducible crash schedule: seed + per-site rates.
+
+    Sites absent from ``rates`` never fire.  ``max_crashes`` caps the
+    *total* number of injected deaths (all sites combined) so a
+    campaign can bound its crash count; streams go quiet at the cap.
+    Crash streams are seeded from a ``crashplan:`` namespace, disjoint
+    from :class:`FaultPlan`'s ``faultplan:`` streams — adding crash
+    injection to an existing chaos campaign does not perturb its fault
+    schedule.
+    """
+
+    seed: int = 0
+    rates: dict = field(default_factory=dict)
+    max_crashes: int | None = None
+
+    def __post_init__(self):
+        unknown = set(self.rates) - set(CRASH_SITES)
+        if unknown:
+            raise ValueError(f"unknown crash sites in plan: {sorted(unknown)}")
+
+    def build(self) -> "CrashInjector":
+        return CrashInjector(self)
+
+
+class CrashInjector:
+    """Executes a :class:`CrashPlan`: one seeded stream per crash site.
+
+    The durable-state code consults :meth:`at` at each site (raises
+    :class:`~repro.errors.SimulatedCrash` when the site fires) and
+    :meth:`torn` at the fsync-analog (returns the surviving prefix
+    length when a mid-flush death fires).  Campaign drivers catch the
+    exception, discard volatile state, and run recovery — the injector
+    itself stays armed across the "reboot", so recovery code is
+    crash-tested too.
+    """
+
+    def __init__(self, plan: CrashPlan):
+        self.plan = plan
+        self._rng: dict[str, random.Random] = {}
+        self._countdown: dict[str, int | None] = {}
+        self.opportunities: dict[str, int] = {}
+        self.crashes: dict[str, int] = {}
+        self.log: list[tuple[str, int]] = []
+        for site in CRASH_SITES:
+            self._rng[site] = random.Random(f"crashplan:{plan.seed}:{site}")
+            self.opportunities[site] = 0
+            self.crashes[site] = 0
+            self._countdown[site] = self._draw_gap(site)
+
+    def _draw_gap(self, site: str) -> int | None:
+        p = self.plan.rates.get(site, 0.0)
+        if p <= 0.0:
+            return None
+        if p >= 1.0:
+            return 1
+        u = self._rng[site].random()
+        return 1 + int(math.log(1.0 - u) / math.log(1.0 - p))
+
+    def take(self, site: str) -> bool:
+        self.opportunities[site] += 1
+        if (
+            self.plan.max_crashes is not None
+            and self.total_crashes() >= self.plan.max_crashes
+        ):
+            return False
+        cd = self._countdown[site]
+        if cd is None:
+            return False
+        if cd > 1:
+            self._countdown[site] = cd - 1
+            return False
+        self.crashes[site] += 1
+        self.log.append((site, self.opportunities[site]))
+        self._countdown[site] = self._draw_gap(site)
+        return True
+
+    def at(self, site: str) -> None:
+        """Die here if the site's stream fires."""
+        if self.take(site):
+            raise SimulatedCrash(site)
+
+    def torn(self, site: str, nbytes: int) -> int | None:
+        """Mid-flush death: returns how many of ``nbytes`` pending
+        bytes survive (drawn uniformly, torn tails included), or None
+        when the site does not fire."""
+        if not self.take(site):
+            return None
+        return self._rng[site].randint(0, max(0, nbytes))
+
+    def disarm(self, site: str) -> None:
+        """Stop a site from firing (used to bound recovery retries)."""
+        self._countdown[site] = None
+
+    def total_crashes(self) -> int:
+        return sum(self.crashes.values())
+
+    def sites_crashed(self) -> set[str]:
+        return {s for s, n in self.crashes.items() if n}
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "opportunities": dict(self.opportunities),
+            "crashes": dict(self.crashes),
             "log": list(self.log),
         }

@@ -1,0 +1,45 @@
+"""Durable extension state: pinning, persistence, crash recovery.
+
+KFlex's cancellation machinery (§3.4) restores the *kernel* to
+quiescence when an extension dies, but on its own a runtime death still
+loses every map and heap object.  This package is the bpffs analog that
+closes the gap:
+
+* :mod:`repro.state.pins` — maps pinned by path, refcounted
+  independently of the extensions using them (maps outlive programs,
+  the core eBPF lifecycle pattern);
+* :mod:`repro.state.wal` / :mod:`repro.state.snapshot` — per-map
+  append-only write-ahead log (CRC-framed, length-prefixed, torn-tail
+  tolerant) with periodic compacting snapshots;
+* :mod:`repro.state.store` — the on-disk layout tying both together,
+  with explicit volatile/durable semantics so crash chaos can model a
+  ``kill -9`` faithfully;
+* :mod:`repro.state.recovery` — ``KFlexRuntime.recover(store)``:
+  rebuild pinned maps crash-consistently, reload programs through the
+  compilation pipeline, re-attach hooks, audit quiescence.
+"""
+
+from repro.state.pins import PinRegistry
+from repro.state.recovery import PinRecovery, RecoveryReport, recover_runtime
+from repro.state.snapshot import SnapshotCorrupt, decode_snapshot, encode_snapshot
+from repro.state.storage import DirStorage, MemStorage
+from repro.state.store import DurableStore
+from repro.state.wal import OP_DELETE, OP_UPDATE, MapWal, encode_record, scan_wal
+
+__all__ = [
+    "DirStorage",
+    "DurableStore",
+    "MapWal",
+    "MemStorage",
+    "OP_DELETE",
+    "OP_UPDATE",
+    "PinRecovery",
+    "PinRegistry",
+    "RecoveryReport",
+    "SnapshotCorrupt",
+    "decode_snapshot",
+    "encode_record",
+    "encode_snapshot",
+    "recover_runtime",
+    "scan_wal",
+]

@@ -1,0 +1,69 @@
+"""Pin registry: maps that outlive the programs using them.
+
+The bpffs analog.  In real eBPF, pinning a map to ``/sys/fs/bpf/…``
+gives it a name and a lifetime independent of any program fd; a
+re-loaded program opens the pin and gets *the same* kernel object, so
+state survives program upgrades.  The registry reproduces that
+contract: :meth:`pin` names a live map, :meth:`acquire` hands back the
+identical object (``is``-identity, not a copy), and refcounts keep the
+pin alive until the last user releases it *and* someone unpins it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StateError
+
+
+class PinRegistry:
+    def __init__(self):
+        self._pins: dict[str, object] = {}
+        self._refs: dict[str, int] = {}
+
+    def pin(self, path: str, m) -> None:
+        if not path:
+            raise StateError("empty pin path")
+        existing = self._pins.get(path)
+        if existing is not None and existing is not m:
+            raise StateError(f"pin path {path!r} already taken")
+        self._pins[path] = m
+        self._refs.setdefault(path, 0)
+
+    def acquire(self, path: str):
+        """Open a pin: returns the pinned map itself and takes a ref."""
+        try:
+            m = self._pins[path]
+        except KeyError:
+            raise StateError(f"no map pinned at {path!r}") from None
+        self._refs[path] += 1
+        return m
+
+    def release(self, path: str) -> None:
+        refs = self._refs.get(path)
+        if not refs:
+            raise StateError(f"release of unheld pin {path!r}")
+        self._refs[path] = refs - 1
+
+    def unpin(self, path: str):
+        """Remove the name.  Live refs keep the map object alive (their
+        holders still reference it); the registry just forgets the path."""
+        try:
+            m = self._pins.pop(path)
+        except KeyError:
+            raise StateError(f"no map pinned at {path!r}") from None
+        self._refs.pop(path, None)
+        return m
+
+    def get(self, path: str):
+        return self._pins.get(path)
+
+    def refcount(self, path: str) -> int:
+        return self._refs.get(path, 0)
+
+    def paths(self) -> list[str]:
+        return sorted(self._pins)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._pins
+
+    def __len__(self) -> int:
+        return len(self._pins)

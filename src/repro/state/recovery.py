@@ -1,0 +1,93 @@
+"""Crash-consistent runtime recovery.
+
+``KFlexRuntime.recover(store)`` (which delegates here) is the restart
+half of the durability story: a fresh runtime — typically over a fresh
+simulated kernel, since the old one died with the process — rebuilds
+every pinned map from its snapshot + WAL, re-registers the pins,
+reloads programs through the compilation pipeline, re-attaches hooks,
+and finishes with a quiescence sweep.  Ordering matters and mirrors
+the load path (Fig. 1): maps must exist before programs that reference
+them are compiled, and the verifier/pipeline run *after* state
+recovery so a program is admitted against the map geometry it will
+actually see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PinRecovery:
+    """What recovering one pin found — surfaced by ``kflexctl recover``
+    and asserted on by the chaos oracle."""
+
+    path: str
+    snapshot_seq: int       # WAL seq the chosen snapshot covered (0 = none)
+    recovered_seq: int      # highest seq applied: snapshot + replay
+    replayed: int           # WAL records applied past the snapshot
+    stale_skipped: int      # records the snapshot already covered
+    discarded_bytes: int    # torn/corrupt WAL suffix truncated away
+    torn: str | None        # why the WAL scan stopped early, if it did
+    snapshots_discarded: int  # corrupt snapshots skipped (fell back)
+    entries: int            # live entries after recovery
+
+
+@dataclass
+class RecoveryReport:
+    pins: list[PinRecovery] = field(default_factory=list)
+    programs_reloaded: list[str] = field(default_factory=list)
+    quiescence: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no crash damage was found (nothing torn, no
+        snapshot fallback)."""
+        return all(
+            p.torn is None and p.snapshots_discarded == 0 for p in self.pins
+        )
+
+    def describe(self) -> str:
+        lines = []
+        for p in self.pins:
+            status = "clean" if p.torn is None else f"torn ({p.torn})"
+            lines.append(
+                f"{p.path}: seq {p.recovered_seq} "
+                f"(snapshot {p.snapshot_seq} + {p.replayed} replayed), "
+                f"{p.entries} entries, {status}"
+                + (f", {p.discarded_bytes}B discarded" if p.discarded_bytes else "")
+            )
+        for name in self.programs_reloaded:
+            lines.append(f"reloaded {name}")
+        return "\n".join(lines) or "nothing to recover"
+
+
+def recover_runtime(runtime, store, *, programs=None) -> RecoveryReport:
+    """Rebuild a runtime's pinned state from a :class:`DurableStore`.
+
+    ``programs`` maps pin path -> ``factory(runtime, map) ->
+    LoadedExtension``; each factory builds its program over the
+    recovered map and loads it through ``runtime.load`` (which verifies
+    against the recovered geometry and re-attaches the hook).
+    Factories run after *all* pins are recovered, so multi-map programs
+    can acquire every pin they need.
+    """
+    report = RecoveryReport()
+    for pin in store.pins():
+        m, pin_report = store.recover_map(
+            pin, runtime.kernel.aspace, runtime.kernel.vmalloc
+        )
+        runtime.pins.pin(pin, m)
+        report.pins.append(pin_report)
+    for pin, factory in sorted((programs or {}).items()):
+        m = runtime.pins.acquire(pin)
+        ext = factory(runtime, m)
+        report.programs_reloaded.append(
+            getattr(getattr(ext, "program", None), "name", pin)
+        )
+    # Post-recovery quiescence: a freshly recovered runtime must hold no
+    # extension-owned kernel resources (§3.3 applied to restart).
+    sweep = runtime.auditor.sweep(runtime)
+    report.quiescence = dict(runtime.quiescence_report())
+    report.quiescence["sweep_ok"] = sweep.ok
+    return report

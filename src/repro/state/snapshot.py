@@ -1,0 +1,124 @@
+"""Compacting snapshots of pinned maps.
+
+A snapshot is a full, self-describing image of one map at a known WAL
+sequence: the map metadata (so recovery can rebuild the map without the
+program that created it), every live entry, and a trailing CRC over the
+whole body.  Snapshots are written with ``write_atomic`` (temp file +
+rename), so a crash mid-write leaves the previous snapshot untouched;
+a crash *after* the rename but before the WAL is compacted is handled
+by sequence numbers — replay skips records the snapshot already covers.
+
+Recovery never trusts a snapshot blindly: a bad magic, short body, or
+CRC mismatch raises :class:`SnapshotCorrupt`, and the caller falls back
+to the next-older snapshot (or an empty map) rather than crashing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import ReproError
+
+SNAP_MAGIC = b"KFSN"
+SNAP_VERSION = 1
+
+_HEAD = struct.Struct("<4sHQ")  # magic, version, wal seq covered
+_META = struct.Struct("<BIII")  # map_type, key_size, value_size, max_entries
+_U32 = struct.Struct("<I")
+
+
+class SnapshotCorrupt(ReproError):
+    """The snapshot failed validation (magic/version/framing/CRC).
+
+    Not a :class:`repro.errors.StateError`: corruption is a crash
+    outcome, and recovery handles it by falling back, not by dying.
+    """
+
+
+def encode_snapshot(seq: int, meta: dict, entries: list[tuple[bytes, bytes]]) -> bytes:
+    name = meta.get("name", "").encode()
+    body = [
+        _HEAD.pack(SNAP_MAGIC, SNAP_VERSION, seq),
+        _META.pack(
+            meta["map_type"], meta["key_size"], meta["value_size"], meta["max_entries"]
+        ),
+        _U32.pack(len(name)),
+        name,
+        _U32.pack(len(entries)),
+    ]
+    for key, value in entries:
+        body.append(_U32.pack(len(key)))
+        body.append(key)
+        body.append(_U32.pack(len(value)))
+        body.append(value)
+    blob = b"".join(body)
+    return blob + _U32.pack(zlib.crc32(blob))
+
+
+def decode_snapshot(blob: bytes) -> tuple[int, dict, list[tuple[bytes, bytes]]]:
+    """Returns ``(seq, meta, entries)`` or raises :class:`SnapshotCorrupt`."""
+    if len(blob) < _HEAD.size + _U32.size:
+        raise SnapshotCorrupt("snapshot too short")
+    body, (crc,) = blob[: -_U32.size], _U32.unpack(blob[-_U32.size :])
+    if zlib.crc32(body) != crc:
+        raise SnapshotCorrupt("snapshot crc mismatch")
+    magic, version, seq = _HEAD.unpack_from(body, 0)
+    if magic != SNAP_MAGIC:
+        raise SnapshotCorrupt("bad snapshot magic")
+    if version != SNAP_VERSION:
+        raise SnapshotCorrupt(f"unsupported snapshot version {version}")
+    off = _HEAD.size
+    try:
+        map_type, key_size, value_size, max_entries = _META.unpack_from(body, off)
+        off += _META.size
+        (nlen,) = _U32.unpack_from(body, off)
+        off += _U32.size
+        name = body[off : off + nlen]
+        if len(name) != nlen:
+            raise SnapshotCorrupt("truncated snapshot name")
+        off += nlen
+        (count,) = _U32.unpack_from(body, off)
+        off += _U32.size
+        entries: list[tuple[bytes, bytes]] = []
+        for _ in range(count):
+            (klen,) = _U32.unpack_from(body, off)
+            off += _U32.size
+            key = body[off : off + klen]
+            if len(key) != klen:
+                raise SnapshotCorrupt("truncated snapshot key")
+            off += klen
+            (vlen,) = _U32.unpack_from(body, off)
+            off += _U32.size
+            value = body[off : off + vlen]
+            if len(value) != vlen:
+                raise SnapshotCorrupt("truncated snapshot value")
+            off += vlen
+            entries.append((bytes(key), bytes(value)))
+    except struct.error as exc:
+        raise SnapshotCorrupt(f"truncated snapshot: {exc}") from None
+    if off != len(body):
+        raise SnapshotCorrupt("trailing bytes after snapshot entries")
+    meta = {
+        "map_type": map_type,
+        "key_size": key_size,
+        "value_size": value_size,
+        "max_entries": max_entries,
+        "name": name.decode(errors="replace"),
+    }
+    return seq, meta, entries
+
+
+def snapshot_name(pin: str, seq: int) -> str:
+    # Zero-padded so lexicographic order == sequence order in list().
+    return f"{pin}/snap-{seq:016d}"
+
+
+def snapshot_seq(name: str) -> int | None:
+    base = name.rsplit("/", 1)[-1]
+    if not base.startswith("snap-"):
+        return None
+    try:
+        return int(base[len("snap-") :])
+    except ValueError:
+        return None

@@ -1,0 +1,179 @@
+"""Storage backends with explicit volatile/durable semantics.
+
+The WAL and snapshot code never touch the filesystem directly; they go
+through a storage object whose API makes the durability boundary
+explicit, because the whole point of the subsystem is reasoning about
+what survives a crash:
+
+* ``append()`` buffers bytes in *volatile* memory — the analog of a
+  write sitting in the page cache (or the process's own buffer) before
+  ``fsync``;
+* ``flush()`` moves the pending buffer across the durability line —
+  the ``fsync`` analog.  A crash injected *mid-flush* may persist only
+  a prefix of the pending bytes (``torn_prefix``), which is exactly how
+  a torn tail ends up on a real disk;
+* ``write_atomic()`` is the write-to-temp-then-rename idiom: on
+  return the named blob holds either the old content or the new one,
+  never a mixture;
+* ``crash()`` models process death: every pending (unflushed) byte is
+  gone, everything durable stays.
+
+Two implementations share the API: :class:`MemStorage` (dict-backed,
+used by tier-1 unit/property tests so they stay off the filesystem)
+and :class:`DirStorage` (real files + ``os.fsync`` + ``os.replace``,
+used by the recovery suite, the chaos gate, and ``kflexctl``).
+Names are slash-separated paths; ``DirStorage`` maps them onto
+subdirectories.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import StateError
+
+
+def _check_name(name: str) -> str:
+    if not name or name.startswith("/") or ".." in name.split("/"):
+        raise StateError(f"bad storage name {name!r}")
+    return name
+
+
+class MemStorage:
+    """In-memory backend: durable bytes vs pending bytes per name."""
+
+    def __init__(self):
+        self._durable: dict[str, bytearray] = {}
+        self._pending: dict[str, bytearray] = {}
+
+    def read(self, name: str) -> bytes | None:
+        """Durable contents only — what a restarted process would see."""
+        blob = self._durable.get(_check_name(name))
+        return None if blob is None else bytes(blob)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._pending.setdefault(_check_name(name), bytearray()).extend(data)
+
+    def pending_bytes(self, name: str) -> int:
+        return len(self._pending.get(name, b""))
+
+    def flush(self, name: str, *, torn_prefix: int | None = None) -> None:
+        pending = self._pending.pop(_check_name(name), None)
+        if pending is None:
+            return
+        if torn_prefix is not None:
+            pending = pending[:torn_prefix]
+        self._durable.setdefault(name, bytearray()).extend(pending)
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        self._pending.pop(_check_name(name), None)
+        self._durable[name] = bytearray(data)
+
+    def truncate(self, name: str, size: int) -> None:
+        blob = self._durable.get(_check_name(name))
+        if blob is not None:
+            del blob[size:]
+
+    def delete(self, name: str) -> None:
+        self._durable.pop(_check_name(name), None)
+        self._pending.pop(name, None)
+
+    def exists(self, name: str) -> bool:
+        return _check_name(name) in self._durable
+
+    def list(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._durable if n.startswith(prefix))
+
+    def crash(self) -> None:
+        """Process death: volatile buffers are gone, durable bytes stay."""
+        self._pending.clear()
+
+
+class DirStorage:
+    """Directory-backed storage: real files, real fsync, real rename.
+
+    Pending appends are buffered in process memory and only reach the
+    file (followed by ``os.fsync``) on :meth:`flush` — so an in-process
+    simulated crash (:meth:`crash`) faithfully loses them, while a real
+    process kill (``kill -9`` of ``kflexctl serve``) loses at most the
+    same buffered suffix.
+    """
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._pending: dict[str, bytearray] = {}
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, *_check_name(name).split("/"))
+
+    def read(self, name: str) -> bytes | None:
+        try:
+            with open(self._path(name), "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            return None
+
+    def append(self, name: str, data: bytes) -> None:
+        self._pending.setdefault(_check_name(name), bytearray()).extend(data)
+
+    def pending_bytes(self, name: str) -> int:
+        return len(self._pending.get(name, b""))
+
+    def flush(self, name: str, *, torn_prefix: int | None = None) -> None:
+        pending = self._pending.pop(_check_name(name), None)
+        if pending is None:
+            return
+        if torn_prefix is not None:
+            pending = pending[:torn_prefix]
+        if not pending:
+            return
+        path = self._path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "ab") as f:
+            f.write(pending)
+            f.flush()
+            os.fsync(f.fileno())
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        self._pending.pop(_check_name(name), None)
+        path = self._path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    def truncate(self, name: str, size: int) -> None:
+        try:
+            with open(self._path(name), "r+b") as f:
+                f.truncate(size)
+        except FileNotFoundError:
+            pass
+
+    def delete(self, name: str) -> None:
+        self._pending.pop(_check_name(name), None)
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def list(self, prefix: str = "") -> list[str]:
+        out = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            rel = os.path.relpath(dirpath, self.root)
+            for fn in filenames:
+                if fn.endswith(".tmp"):
+                    continue  # an interrupted write_atomic; never visible
+                name = fn if rel == "." else "/".join([*rel.split(os.sep), fn])
+                if name.startswith(prefix):
+                    out.append(name)
+        return sorted(out)
+
+    def crash(self) -> None:
+        self._pending.clear()

@@ -16,6 +16,17 @@ plus the network datapath (:mod:`repro.net`):
 
     $ python -m repro.tools.kflexctl serve --app memcached --shards 2
     $ python -m repro.tools.kflexctl loadtest --app memcached --clients 8
+
+and durable state (:mod:`repro.state` — the bpffs analog):
+
+.. code-block:: console
+
+    $ python -m repro.tools.kflexctl pin maps/cache --store /tmp/kflex \\
+          --max-entries 1024 --put 1=42 --put 2=43
+    $ python -m repro.tools.kflexctl pins --store /tmp/kflex
+    $ python -m repro.tools.kflexctl snapshot maps/cache --store /tmp/kflex
+    $ python -m repro.tools.kflexctl recover --store /tmp/kflex
+    $ python -m repro.tools.kflexctl serve --app memcached --store /tmp/kflex
 """
 
 from __future__ import annotations
@@ -119,9 +130,138 @@ def cmd_stats(args) -> int:
     return 0
 
 
+# -- durable state (pin / pins / snapshot / recover) ------------------------
+
+
+def _pack_int(text: str, size: int) -> bytes:
+    """CLI ints become fixed-width little-endian map keys/values."""
+    return int(text, 0).to_bytes(size, "little")
+
+
+def cmd_pin(args) -> int:
+    """Create a map, pin it into the store, optionally seed entries."""
+    from repro.ebpf.maps import ArrayMap, HashMap
+    from repro.kernel.machine import Kernel
+    from repro.state import DurableStore
+
+    store = DurableStore(args.store)
+    k = Kernel()
+    name = args.path.rsplit("/", 1)[-1]
+    if args.map_type == "array":
+        m = ArrayMap(k.aspace, k.vmalloc, value_size=args.value_size,
+                     max_entries=args.max_entries, name=name)
+    else:
+        m = HashMap(k.aspace, k.vmalloc, key_size=args.key_size,
+                    value_size=args.value_size,
+                    max_entries=args.max_entries, name=name)
+    store.attach(args.path, m)
+    written = 0
+    for spec in args.put:
+        key_text, sep, val_text = spec.partition("=")
+        if not sep:
+            print(f"error: --put wants KEY=VALUE, got {spec!r}",
+                  file=sys.stderr)
+            return 1
+        rc = m.update(_pack_int(key_text, m.key_size),
+                      _pack_int(val_text, m.value_size))
+        if rc != 0:
+            print(f"error: put {spec!r} failed (rc={rc})", file=sys.stderr)
+            return 1
+        written += 1
+    store.flush()
+    store.close()
+    print(f"pinned {args.path}: {args.map_type} map, "
+          f"{args.max_entries} slots, {written} entries written")
+    return 0
+
+
+def cmd_pins(args) -> int:
+    """List every pin in the store with its recovered state."""
+    from repro.kernel.machine import Kernel
+    from repro.state import DurableStore
+
+    store = DurableStore(args.store)
+    pins = store.pins()
+    if not pins:
+        print("no pins")
+        return 0
+    k = Kernel()
+    for pin in pins:
+        _m, rec = store.recover_map(pin, k.aspace, k.vmalloc)
+        line = (f"{pin}: seq {rec.recovered_seq} "
+                f"(snapshot {rec.snapshot_seq} + {rec.replayed} replayed), "
+                f"{rec.entries} entries")
+        if rec.torn:
+            line += f", torn WAL repaired ({rec.torn}, " \
+                    f"{rec.discarded_bytes}B discarded)"
+        print(line)
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    """Force a compacting snapshot of one pin (recover, then compact)."""
+    from repro.kernel.machine import Kernel
+    from repro.state import DurableStore
+
+    store = DurableStore(args.store)
+    k = Kernel()
+    _m, rec = store.recover_map(args.path, k.aspace, k.vmalloc)
+    seq = store.snapshot(args.path)
+    store.close()
+    print(f"snapshot {args.path}: seq {seq}, {rec.entries} entries, "
+          f"WAL compacted")
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Recover every pin (or one) and report what survived."""
+    from repro.kernel.machine import Kernel
+    from repro.state import DurableStore
+
+    store = DurableStore(args.store)
+    pins = [args.pin] if args.pin else store.pins()
+    if not pins:
+        print("nothing to recover")
+        return 0
+    k = Kernel()
+    clean = True
+    for pin in pins:
+        _m, rec = store.recover_map(pin, k.aspace, k.vmalloc)
+        status = "clean" if rec.torn is None else f"torn ({rec.torn})"
+        if rec.torn is not None or rec.snapshots_discarded:
+            clean = False
+        print(f"{pin}: seq {rec.recovered_seq} "
+              f"(snapshot {rec.snapshot_seq} + {rec.replayed} replayed), "
+              f"{rec.entries} entries, {status}"
+              + (f", {rec.snapshots_discarded} corrupt snapshot(s) skipped"
+                 if rec.snapshots_discarded else ""))
+    print("recovery " + ("clean" if clean else
+                         "completed with crash damage repaired"))
+    return 0
+
+
 def _net_service_factory(args):
     """Per-shard service builder for serve/loadtest (late import: the
     file-based subcommands should not pay for the net package)."""
+    store_dir = getattr(args, "store", "")
+    if store_dir:
+        if args.app != "memcached":
+            raise ReproError(
+                "--store currently serves the durable memcached app only"
+            )
+        from repro.net.service import DurableMemcachedService
+        from repro.state import DurableStore
+
+        def durable_factory(shard_id: int):
+            # Per-shard subdirectory: each shard owns its pin, so a
+            # crashed shard's replacement recovers exactly its state.
+            return DurableMemcachedService(
+                store=DurableStore(f"{store_dir}/shard{shard_id}"),
+                engine=args.engine,
+            )
+
+        return durable_factory
+
     from repro.net import build_service
 
     def factory(shard_id: int):
@@ -301,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "path + §3.4 userspace fallback; userspace = "
                             "no extension; none = extension only")
         s.set_defaults(fn=fn)
+        s.add_argument("--store", default="",
+                       help="durable-state directory: shards persist "
+                            "their maps (WAL + snapshots) under "
+                            "DIR/shard{i} and recover them on restart "
+                            "(memcached only)")
         if name == "serve":
             s.add_argument("--duration", type=float, default=0.0,
                            help="seconds to serve (0 = until Ctrl-C)")
@@ -316,6 +461,35 @@ def build_parser() -> argparse.ArgumentParser:
             s.add_argument("--set-every", type=int, default=4,
                            help="every Nth request per client is a "
                                 "SET (plus a ZADD for redis)")
+
+    # Durable state: the bpffs-analog workflow over a store directory.
+    sp = sub.add_parser("pin", help="create a map and pin it durably")
+    sp.add_argument("path", help="pin path, e.g. maps/cache")
+    sp.add_argument("--store", required=True, help="store directory")
+    sp.add_argument("--map-type", choices=("hash", "array"), default="hash")
+    sp.add_argument("--key-size", type=int, default=8)
+    sp.add_argument("--value-size", type=int, default=8)
+    sp.add_argument("--max-entries", type=int, default=1024)
+    sp.add_argument("--put", action="append", default=[], metavar="K=V",
+                    help="seed an entry (ints, packed little-endian; "
+                         "repeatable)")
+    sp.set_defaults(fn=cmd_pin)
+
+    sp = sub.add_parser("pins", help="list pins with recovered state")
+    sp.add_argument("--store", required=True, help="store directory")
+    sp.set_defaults(fn=cmd_pins)
+
+    sp = sub.add_parser("snapshot",
+                        help="force a compacting snapshot of one pin")
+    sp.add_argument("path", help="pin path")
+    sp.add_argument("--store", required=True, help="store directory")
+    sp.set_defaults(fn=cmd_snapshot)
+
+    sp = sub.add_parser("recover",
+                        help="recover pinned maps, repairing crash damage")
+    sp.add_argument("--store", required=True, help="store directory")
+    sp.add_argument("--pin", default="", help="recover one pin only")
+    sp.set_defaults(fn=cmd_recover)
     return p
 
 

@@ -19,14 +19,24 @@ def pytest_collection_modifyitems(config, items):
     # ``net`` tests open real sockets and run wall-clock load; they are
     # excluded from tier-1 unless explicitly selected (`make test-net` /
     # `pytest -m net`).  Everything else under tests/ is tier-1.
-    run_net = "net" in (config.option.markexpr or "")
+    markexpr = config.option.markexpr or ""
+    run_net = "net" in markexpr
+    run_recovery = "recovery" in markexpr
     skip_net = pytest.mark.skip(
         reason="network datapath test: run with -m net (make test-net)"
+    )
+    skip_recovery = pytest.mark.skip(
+        reason="crash-recovery test: run with -m recovery (make test-recovery)"
     )
     for item in items:
         if item.get_closest_marker("net") is not None:
             if not run_net:
                 item.add_marker(skip_net)
+        elif item.get_closest_marker("recovery") is not None:
+            # File-backed (real fsync/rename) and/or real-socket crash
+            # recovery; excluded from tier-1 like ``net``.
+            if not run_recovery:
+                item.add_marker(skip_recovery)
         else:
             item.add_marker(pytest.mark.tier1)
 

@@ -139,3 +139,86 @@ def test_serve_runs_for_duration_then_drains(capsys):
     assert "serving memcached on UDP ports" in out
     assert "server stopped" in out
     assert "quiescence:     sock_refs=0" in out
+
+
+# -- durable-state subcommands (tier-1: file-backed but socket-free) ---------
+
+
+def test_pin_pins_snapshot_recover_workflow(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    rc = main([
+        "pin", "maps/cache", "--store", store,
+        "--max-entries", "64", "--put", "1=42", "--put", "2=0x2b",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "pinned maps/cache" in out and "2 entries written" in out
+
+    assert main(["pins", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "maps/cache: seq 2" in out and "2 entries" in out
+
+    assert main(["snapshot", "maps/cache", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "seq 2" in out and "WAL compacted" in out
+
+    assert main(["recover", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "maps/cache: seq 2 (snapshot 2 + 0 replayed), 2 entries, clean" in out
+    assert "recovery clean" in out
+
+
+def test_pin_refuses_duplicate_and_bad_put(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    assert main(["pin", "maps/m", "--store", store]) == 0
+    capsys.readouterr()
+    # Durable state already exists at that path: recover it instead.
+    assert main(["pin", "maps/m", "--store", store]) == 1
+    assert "error:" in capsys.readouterr().err
+    assert main(["pin", "maps/n", "--store", store, "--put", "oops"]) == 1
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_recover_repairs_torn_wal(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    assert main([
+        "pin", "maps/m", "--store", store,
+        "--put", "1=1", "--put", "2=2", "--put", "3=3",
+    ]) == 0
+    capsys.readouterr()
+    wal = tmp_path / "store" / "maps/m" / "wal"
+    wal.write_bytes(wal.read_bytes()[:-5])  # tear the last record
+    assert main(["recover", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "seq 2" in out and "torn" in out
+    assert "crash damage repaired" in out
+    # The repair truncated the torn suffix: a second pass is clean.
+    assert main(["recover", "--store", store]) == 0
+    assert "recovery clean" in capsys.readouterr().out
+
+
+def test_recover_empty_store_says_so(capsys, tmp_path):
+    assert main(["recover", "--store", str(tmp_path / "empty")]) == 0
+    assert "nothing to recover" in capsys.readouterr().out
+
+
+@pytest.mark.net
+def test_serve_with_store_persists_across_restart(capsys, tmp_path):
+    """Two serve runs over one --store: the second recovers shard state."""
+    store = str(tmp_path / "store")
+    rc = main([
+        "serve", "--app", "memcached", "--shards", "1",
+        "--duration", "0.2", "--store", store,
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    # The shard pinned its map durably under DIR/shard0.
+    assert main(["pins", "--store", store + "/shard0"]) == 0
+    assert "memcached/cache" in capsys.readouterr().out
+    rc = main([
+        "serve", "--app", "memcached", "--shards", "1",
+        "--duration", "0.2", "--store", store,
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "server stopped" in out

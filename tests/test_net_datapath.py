@@ -6,6 +6,7 @@ tier-1; everything that opens a socket is marked ``net`` and runs via
 """
 
 import asyncio
+import socket
 
 import pytest
 
@@ -104,6 +105,107 @@ def test_admission_drain_sheds_and_waits():
 
     asyncio.run(run())
     assert ac.stats.drained_inflight == 1
+
+
+def test_admission_drain_timeout_escalates_and_returns_dirty():
+    """A drain stuck behind a request that never completes must not
+    hang shutdown: it times out, escalates, and reports dirty."""
+    ac = AdmissionControl()
+    assert ac.try_admit() and ac.try_admit()
+    escalated = []
+
+    async def run():
+        clean = await ac.drain(0.05, escalate=lambda: escalated.append(True))
+        assert clean is False
+
+    asyncio.run(run())
+    assert escalated == [True]
+    assert ac.stats.drain_timeouts == 1
+    assert ac.stats.forced_cancellations == 2  # both stragglers written off
+
+
+def test_admission_drain_timeout_clean_path_does_not_escalate():
+    ac = AdmissionControl()
+    assert ac.try_admit()
+
+    async def run():
+        loop = asyncio.get_running_loop()
+        loop.call_later(0.01, ac.release)
+        return await ac.drain(5.0, escalate=lambda: 1 / 0)
+
+    assert asyncio.run(run()) is True
+    assert ac.stats.drain_timeouts == 0
+    assert ac.stats.forced_cancellations == 0
+    # Async escalation works too (awaited, not just called).
+    ac2 = AdmissionControl()
+    assert ac2.try_admit()
+    hits = []
+
+    async def boom():
+        hits.append("quarantined")
+
+    assert asyncio.run(ac2.drain(0.02, escalate=boom)) is False
+    assert hits == ["quarantined"]
+
+
+@pytest.mark.net
+def test_udp_stop_drain_timeout_quarantines_stuck_extension():
+    """``stop(drain_timeout=...)`` on a datapath whose service hangs:
+    the supervisor quarantines the extension (reason ``drain_timeout``)
+    and shutdown completes instead of waiting forever."""
+
+    class _StuckService:
+        """Admits a request, then never finishes it."""
+
+        class _Ext:
+            dead = False
+
+        class _Supervisor:
+            def __init__(self):
+                self.calls = []
+
+            def quarantine(self, ext, reason):
+                self.calls.append((ext, reason))
+
+        class _Runtime:
+            def __init__(self):
+                self.supervisor = _StuckService._Supervisor()
+
+        def __init__(self):
+            self.runtime = self._Runtime()
+            self.ext = self._Ext()
+
+        async def handle(self, payload, cpu=0):
+            await asyncio.Event().wait()  # never
+
+        def quiescence_report(self):
+            return {"sock_refs": 0, "held_locks": 0, "live_extensions": 0}
+
+        def close(self):
+            pass
+
+    async def run():
+        svc = _StuckService()
+        dp = await UdpDatapath(svc, n_workers=1).start()
+        loop = asyncio.get_running_loop()
+        # One datagram into the hang; give the worker a beat to admit it.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.sendto(b"x" * 72, ("127.0.0.1", dp.port))
+        sock.close()
+        for _ in range(50):
+            await asyncio.sleep(0.01)
+            if dp.admission.inflight == 1:
+                break
+        assert dp.admission.inflight == 1
+        t0 = loop.time()
+        report = await dp.stop(drain_timeout=0.1)
+        assert loop.time() - t0 < 2.0  # bounded, not hung
+        assert report["sock_refs"] == 0
+        assert dp.admission.stats.drain_timeouts == 1
+        assert dp.admission.stats.forced_cancellations == 1
+        assert svc.runtime.supervisor.calls == [(svc.ext, "drain_timeout")]
+
+    asyncio.run(run())
 
 
 # -- UDP datapath (net) ------------------------------------------------------

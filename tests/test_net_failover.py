@@ -1,0 +1,146 @@
+"""Crash a serving shard mid-load; the router must fail over cleanly.
+
+The acceptance shape: N threaded shard workers each run the
+*map-authoritative* durable Memcached extension
+(:mod:`repro.apps.memcached.durable_ext`) over a per-shard
+:class:`~repro.state.store.DurableStore` (file-backed — real fsync and
+rename).  A framed-TCP front routes by key.  Mid-load one worker is
+killed with the ``kill -9`` analog (:meth:`ShardWorker.crash`: loop
+stopped mid-flight, socket fd closed, volatile store buffers dropped).
+Then:
+
+* zero failed client requests — in-flight requests on the dead shard
+  fail over to the recovered replacement and retry;
+* every key whose SET was acknowledged before the crash reads back
+  bit-identically afterwards (acked ⇒ durable: the WAL flush happens
+  inside the map update, before the XDP reply leaves);
+* the replacement really did run crash recovery (snapshot + WAL
+  replay), and the restart registered a backoff strike.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps.memcached import protocol as P
+from repro.net import TcpDatapath, TcpLoadGenerator
+from repro.net.service import DurableMemcachedService
+from repro.net.shard import ConsistentHashRing, ShardFailover, ShardRouterService, ShardWorker
+from repro.state import DurableStore
+
+N_SHARDS = 2
+N_CLIENTS = 4
+REQUESTS = 400          # per client, main phase
+KEYS_PER_CLIENT = 64
+
+
+def _workload(cid, seq):
+    """SET-heavy mix confined to the client's own key range, so per-key
+    order is the client's program order and the shadow replay is exact."""
+    key = cid * 1000 + seq % KEYS_PER_CLIENT
+    if seq % 3 != 2:
+        return key, P.encode_set(key, cid * 1_000_000 + seq)
+    return key, P.encode_get(key)
+
+
+def _route_key(payload):
+    return P.decode_request(payload)[1]
+
+
+@pytest.mark.recovery
+def test_shard_crash_fails_over_with_no_lost_acks(tmp_path):
+    async def run():
+        def factory(i):
+            return DurableMemcachedService(
+                store=DurableStore(tmp_path / f"shard{i}"), capacity=1024
+            )
+
+        loop = asyncio.get_running_loop()
+        workers = [
+            ShardWorker(i, factory, n_workers=2) for i in range(N_SHARDS)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            await loop.run_in_executor(None, w.wait_ready)
+        assert not any(w.service.recovered for w in workers)
+
+        ring = ConsistentHashRing(N_SHARDS)
+        failover = ShardFailover(workers, factory, n_workers=2)
+        router = ShardRouterService(
+            failover.workers, ring, _route_key, failover=failover
+        )
+        front = await TcpDatapath(router).start()
+
+        victim = workers[0]
+        gen = TcpLoadGenerator(
+            [front.port],
+            _workload,
+            n_clients=N_CLIENTS,
+            requests_per_client=REQUESTS,
+            keep_log=True,
+        )
+        load = asyncio.ensure_future(gen.run())
+        # Let traffic build up, then kill -9 the victim mid-load.
+        # crash() joins the dead thread — keep it off this loop, which
+        # is also serving the router.
+        await asyncio.sleep(0.25)
+        await loop.run_in_executor(None, victim.crash)
+        res = await load
+
+        # (1) The crash is invisible on the wire: every request answered.
+        assert res.requests == N_CLIENTS * REQUESTS
+        assert res.failures == 0
+        assert res.replies == res.requests
+        # The failover actually exercised: the victim was replaced and
+        # at least one request had to retry onto the replacement.
+        assert failover.replacements == 1
+        assert failover.workers[0] is not victim
+        assert router.failovers >= 1
+        assert failover.backoff.strikes(0) == 1
+        replacement = failover.workers[0]
+        assert replacement.service.recovered
+        rec = replacement.service.recovery
+        assert rec.pins and rec.pins[0].recovered_seq > 0
+
+        # (2) Shadow replay: the last *acknowledged* SET per key must
+        # read back bit-identically.  The map is authoritative, so an
+        # acked value can only be superseded by a later acked SET.
+        shadow: dict[int, int] = {}
+        for _cid, _seq, payload, reply in res.log:
+            op, key, value_id = P.decode_request(payload)
+            if op == P.OP_SET and reply is not None:
+                hit, _ = P.decode_reply(reply)
+                if hit:  # STATUS_HIT == acked insert
+                    shadow[key] = value_id
+
+        def _verify(cid, seq):
+            key = sorted(shadow)[seq]
+            return key, P.encode_get(key)
+
+        check = TcpLoadGenerator(
+            [front.port],
+            _verify,
+            n_clients=1,
+            requests_per_client=len(shadow),
+            keep_log=True,
+        )
+        ver = await check.run()
+        assert ver.failures == 0
+        for _cid, _seq, payload, reply in ver.log:
+            _op, key, _ = P.decode_request(payload)
+            hit, value_id = P.decode_reply(reply)
+            assert hit, f"acked key {key} lost in the crash"
+            assert value_id == shadow[key], (
+                f"key {key}: read {value_id}, last acked SET was {shadow[key]}"
+            )
+
+        await front.stop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(None, w.shutdown)
+                for w in failover.workers
+            )
+        )
+
+    asyncio.run(run())

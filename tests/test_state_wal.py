@@ -1,0 +1,160 @@
+"""Unit tests for the durable-state building blocks (tier-1, in-memory).
+
+WAL framing (CRC, length prefix, torn-tail tolerance), snapshot
+encode/decode + corruption detection, pin-registry identity semantics,
+and the volatile/durable split of the storage abstraction.  File-backed
+equivalents (real fsync + rename) run under ``-m recovery``.
+"""
+
+import pytest
+
+from repro.errors import StateError
+from repro.kernel.machine import Kernel
+from repro.state import (
+    MapWal,
+    MemStorage,
+    OP_DELETE,
+    OP_UPDATE,
+    PinRegistry,
+    SnapshotCorrupt,
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    scan_wal,
+)
+
+
+# -- WAL framing -------------------------------------------------------------
+
+
+def test_wal_roundtrip_updates_and_deletes():
+    blob = (
+        encode_record(1, OP_UPDATE, b"k1", b"v1")
+        + encode_record(2, OP_DELETE, b"k1")
+        + encode_record(3, OP_UPDATE, b"k2", b"longer value bytes")
+    )
+    records, good, torn = scan_wal(blob)
+    assert torn is None and good == len(blob)
+    assert [(r.seq, r.op, r.key, r.value) for r in records] == [
+        (1, OP_UPDATE, b"k1", b"v1"),
+        (2, OP_DELETE, b"k1", b""),
+        (3, OP_UPDATE, b"k2", b"longer value bytes"),
+    ]
+
+
+def test_wal_torn_tail_keeps_clean_prefix():
+    r1 = encode_record(1, OP_UPDATE, b"a", b"1")
+    r2 = encode_record(2, OP_UPDATE, b"b", b"2")
+    # Tear mid-record: every partial prefix of r2 must yield exactly r1.
+    for cut in range(1, len(r2)):
+        records, good, torn = scan_wal(r1 + r2[:cut])
+        assert good == len(r1)
+        assert torn is not None
+        assert [(r.seq, r.key) for r in records] == [(1, b"a")]
+
+
+def test_wal_crc_flip_truncates_at_corruption():
+    r1 = encode_record(1, OP_UPDATE, b"a", b"1")
+    r2 = encode_record(2, OP_UPDATE, b"b", b"2")
+    r3 = encode_record(3, OP_UPDATE, b"c", b"3")
+    corrupted = bytearray(r1 + r2 + r3)
+    corrupted[len(r1) + 12] ^= 0xFF  # payload byte of r2
+    records, good, torn = scan_wal(bytes(corrupted))
+    assert [r.seq for r in records] == [1]
+    assert good == len(r1)
+    assert torn == "crc mismatch"
+
+
+def test_wal_garbage_length_prefix_does_not_overread():
+    r1 = encode_record(1, OP_UPDATE, b"a", b"1")
+    records, good, torn = scan_wal(r1 + b"\xff" * 64)
+    assert [r.seq for r in records] == [1]
+    assert torn == "bad length prefix"
+
+
+def test_mapwal_durable_seq_tracks_flush_not_append():
+    st = MemStorage()
+    wal = MapWal(st, "m/wal", sync_every=None)  # manual flush
+    assert wal.append(OP_UPDATE, b"k", b"v") == 1
+    assert wal.append(OP_UPDATE, b"k", b"w") == 2
+    assert wal.seq == 2 and wal.durable_seq == 0
+    # kill -9 before any flush: nothing survives.
+    st.crash()
+    assert st.read("m/wal") is None
+    wal2 = MapWal(st, "m/wal", sync_every=1)  # auto-flush per record
+    wal2.append(OP_UPDATE, b"k", b"v")
+    assert wal2.durable_seq == 1
+    st.crash()
+    records, _, torn = scan_wal(st.read("m/wal"))
+    assert torn is None and len(records) == 1
+
+
+def test_mapwal_reset_compacts_but_keeps_counting():
+    st = MemStorage()
+    wal = MapWal(st, "m/wal", sync_every=1)
+    for i in range(5):
+        wal.append(OP_UPDATE, b"k%d" % i, b"v")
+    wal.reset(5)  # snapshot at seq 5 absorbed the log
+    assert st.read("m/wal") is None
+    assert wal.append(OP_UPDATE, b"k", b"v") == 6  # seq keeps counting
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def _meta():
+    return {
+        "map_type": 2,
+        "key_size": 2,
+        "value_size": 4,
+        "max_entries": 8,
+        "name": "m",
+    }
+
+
+def test_snapshot_roundtrip_bit_identical():
+    entries = [(b"k1", b"v1v1"), (b"k2", b"v2v2")]
+    blob = encode_snapshot(7, _meta(), entries)
+    seq, meta, out = decode_snapshot(blob)
+    assert seq == 7 and meta == _meta() and out == entries
+
+
+def test_snapshot_any_bit_flip_is_detected():
+    blob = bytearray(encode_snapshot(3, _meta(), [(b"kk", b"vvvv")]))
+    for pos in range(len(blob)):
+        blob[pos] ^= 0x01
+        with pytest.raises(SnapshotCorrupt):
+            decode_snapshot(bytes(blob))
+        blob[pos] ^= 0x01
+
+
+def test_snapshot_truncation_is_detected():
+    blob = encode_snapshot(3, _meta(), [(b"kk", b"vvvv")])
+    for cut in range(1, len(blob)):
+        with pytest.raises(SnapshotCorrupt):
+            decode_snapshot(blob[:-cut])
+
+
+# -- pin registry ------------------------------------------------------------
+
+
+def test_pin_registry_identity_and_refcounts():
+    k = Kernel()
+    from repro.ebpf.maps import ArrayMap
+
+    m = ArrayMap(k.aspace, k.vmalloc, value_size=8, max_entries=4)
+    pins = PinRegistry()
+    pins.pin("maps/m", m)
+    assert "maps/m" in pins and len(pins) == 1
+    assert pins.acquire("maps/m") is m  # identity, not a copy
+    assert pins.refcount("maps/m") == 1
+    pins.pin("maps/m", m)  # re-pinning the same object is a no-op
+    other = ArrayMap(k.aspace, k.vmalloc, value_size=8, max_entries=4)
+    with pytest.raises(StateError):
+        pins.pin("maps/m", other)  # different object at the same path
+    pins.release("maps/m")
+    assert pins.refcount("maps/m") == 0
+    assert pins.unpin("maps/m") is m
+    assert "maps/m" not in pins
+    with pytest.raises(StateError):
+        pins.pin("", m)
