@@ -19,9 +19,11 @@ test-net:
 test-recovery:
 	$(PY) -m pytest tests/ -q -m recovery
 
-# Network datapath gate: kernel fast path must beat the userspace-
-# fallback leg by >= 1.5x over loopback; also checks regression vs the
-# committed baseline in benchmarks/results/BENCH_net.json.
+# Network datapath gate: kernel fast path (batched ingress + fused
+# engine, best point on the pps-vs-batch-size curve) must beat the
+# userspace-fallback leg by >= 3x in open-loop pps; also checks
+# regression vs the committed baseline in
+# benchmarks/results/BENCH_net.json.
 bench-net:
 	$(PY) benchmarks/bench_net_datapath.py --check
 

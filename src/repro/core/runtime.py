@@ -117,6 +117,9 @@ class LoadedExtension:
         #: Per-CPU pooled :class:`~repro.ebpf.pipeline.TranslatedProgram`
         #: artifacts — translated once, reused across invocations.
         self._engines: dict[int, object] = {}
+        #: Per-CPU cached batch invoker closures keyed on the pooled
+        #: engine identity (dropped whenever the engine is retranslated).
+        self._batch_cache: dict[int, tuple] = {}
         self._wd_callback = None
         #: ExecResult of the most recent run (parity/diagnostic surface).
         self.last_result = None
@@ -195,6 +198,7 @@ class LoadedExtension:
     def invalidate_engines(self) -> None:
         """Drop pooled engines (call after re-instrumentation)."""
         self._engines.clear()
+        self._batch_cache.clear()
 
     # -- execution ----------------------------------------------------------
 
@@ -331,6 +335,96 @@ class LoadedExtension:
         data, data_end = self.kernel.net.stage_packet(cpu, payload)
         return self.runtime.make_ctx(cpu, [data, data_end, sk_cookie])
 
+    # -- batched invocation (batched zero-copy ingress) --------------------
+
+    def batch_invoker(self, cpu: int = 0):
+        """Amortized invocation closure for one ingress batch.
+
+        Hoists everything :meth:`invoke` repeats per call — pooled
+        engine lookup, watchdog arming, pkey selection, attribute
+        chasing for the stat counters — and returns
+        ``run(ctx_addr) -> ret`` doing only the per-packet core: engine
+        run, cost accounting, cancellation.  Per-packet semantics are
+        identical to :meth:`invoke` (the cancellation path, supervisor
+        escalation and allocation auditing all still run per
+        invocation).  The closure is valid for one batch: callers must
+        create it after checking ``dead`` and stop using it the moment
+        ``dead`` flips (a mid-batch quarantine).
+        """
+        if self.dead:
+            raise KernelPanic("batch_invoker on a dead extension")
+        env = self._env(cpu)
+        allocator = self.allocator if audit_enabled() else None
+        if self.heap is not None and self.quantum_units is not None:
+            wd = self.kernel.watchdog
+            wd.quantum_units = self.quantum_units
+            if self._wd_callback is None:
+                self._wd_callback = wd.make_callback(self.heap, self.kernel.aspace)
+            env.watchdog = self._wd_callback
+        aspace = self.kernel.aspace
+        pkeys = (
+            {self.heap.pkey}
+            if self.heap is not None and self.heap.pkey is not None
+            else None
+        )
+        engine_run = self._engine(cpu).run
+        stats = self.stats
+        kernel = self.kernel
+        prologue_cost = self.jprog.prologue_cost
+
+        def run(ctx_addr: int) -> int:
+            if allocator is not None:
+                allocator.begin_invocation(cpu)
+            if pkeys is not None:
+                aspace.active_pkeys = pkeys
+            result = engine_run(ctx_addr)
+            if pkeys is not None:
+                aspace.active_pkeys = None
+            self.last_result = result
+            cost = result.cost + prologue_cost
+            stats.invocations += 1
+            stats.total_cost_units += cost
+            stats.last_cost_units = cost
+            kernel.advance_units(cost)
+            if result.ok:
+                return result.ret
+            return self._cancel(result, cpu)
+
+        return run
+
+    def xdp_batch_invoker(self, cpu: int = 0):
+        """Batched XDP entry: ``run(payload) -> verdict``.
+
+        Composes the amortized packet stager (slot bound once, payload
+        bytes written straight into the staging backing), the amortized
+        ctx writer (slot reused, only data/data_end rewritten per
+        packet) and :meth:`batch_invoker`.  The staging slot is shared
+        across the batch, so a caller wanting an ``XDP_TX`` reply must
+        read it back before staging the next packet.
+        """
+        if self.dead:
+            raise KernelPanic("batch_invoker on a dead extension")
+        engine = self._engine(cpu)
+        audit = audit_enabled()
+        cached = self._batch_cache.get(cpu)
+        if cached is not None and cached[0] is engine and cached[1] == audit:
+            # Hot path: closures survive across batches; only the
+            # watchdog quantum needs re-arming (it is a shared kernel
+            # attribute another extension may have retargeted).
+            if self.heap is not None and self.quantum_units is not None:
+                self.kernel.watchdog.quantum_units = self.quantum_units
+            return cached[2]
+        stage = self.kernel.net.packet_stager(cpu)
+        write_ctx = self.runtime.ctx_writer(cpu, 2)
+        invoke_one = self.batch_invoker(cpu)
+
+        def run(payload: bytes) -> int:
+            data, data_end = stage(payload)
+            return invoke_one(write_ctx(data, data_end))
+
+        self._batch_cache[cpu] = (engine, audit, run)
+        return run
+
 
 def _copy_from_user(kernel, heap, dst: int, size: int, user_src: int) -> int:
     """bpf_copy_from_user for sleepable extensions (§4.3).
@@ -366,6 +460,7 @@ class KFlexRuntime:
         *,
         engine: str | None = None,
         supervisor_policy=None,
+        fuse=None,
     ):
         self.kernel = kernel or Kernel()
         #: Default execution engine for extensions loaded by this
@@ -389,12 +484,13 @@ class KFlexRuntime:
         #: bpffs analog: maps pinned by path, refcounted independently
         #: of the extensions using them (repro.state).
         self.pins = PinRegistry()
-        #: The staged load path (verify → instrument → lower →
+        #: The staged load path (verify → instrument → lower → fuse →
         #: translate) with its content-addressed program cache and
         #: per-stage statistics.  One per runtime: cache keys embed
         #: concrete heap/map addresses, which are only unique within
-        #: one kernel address space.
-        self.pipeline = CompilationPipeline()
+        #: one kernel address space.  ``fuse`` overrides the
+        #: superinstruction config (False disables, a FuseConfig tunes).
+        self.pipeline = CompilationPipeline(fuse=fuse)
 
     # -- fault injection ------------------------------------------------------
 
@@ -654,3 +750,29 @@ class KFlexRuntime:
             blob = packer.pack(*((v & mask) for v in fields))
         data[0 : len(blob)] = blob
         return base
+
+    def ctx_writer(self, cpu: int, n_fields: int):
+        """Amortized :meth:`make_ctx` for batched ingress.
+
+        Resolves the CPU's ctx slot and the field packer once and
+        returns ``write(*fields) -> ctx_addr``: per packet only the
+        field u64s themselves are rewritten in place (for an xdp_md
+        that is data/data_end — the slot address and layout never
+        change across a batch).  Callers pass in-range values; the
+        staged fields come from the kernel's own staging slots.
+        """
+        slot = self._ctx_slots.get(cpu)
+        if slot is None:
+            self.make_ctx(cpu, [0] * n_fields)  # map + cache the slot
+            slot = self._ctx_slots[cpu]
+        base, data = slot
+        packer = _CTX_PACKERS.get(n_fields)
+        if packer is None:
+            packer = _CTX_PACKERS[n_fields] = struct.Struct(f"<{n_fields}Q")
+        pack_into = packer.pack_into
+
+        def write(*fields) -> int:
+            pack_into(data, 0, *fields)
+            return base
+
+        return write

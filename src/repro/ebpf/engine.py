@@ -101,6 +101,10 @@ class ThreadedEngine:
     region-handle cache and the register file are all pooled.
     """
 
+    #: Advertises that the constructor takes a ``plan=`` of fused
+    #: superinstruction blocks (see repro.ebpf.pipeline.FusePass).
+    supports_fusion = True
+
     def __init__(
         self,
         insns,
@@ -108,6 +112,7 @@ class ThreadedEngine:
         *,
         costs: list[int] | None = None,
         helper_costs: dict[int, int] | None = None,
+        plan=None,
     ):
         self.insns = insns
         self.env = env
@@ -128,8 +133,15 @@ class ThreadedEngine:
         self._regs = [0] * 11
         self._running = False
 
+        #: Fusion plan: ((start, length, kind), ...); blocks that fail
+        #: engine-side validation are silently skipped (executed
+        #: unfused), never wrong.
+        self.plan = tuple(plan) if plan else ()
+        #: Number of plan blocks actually fused at translate time.
+        self.fused_blocks = 0
+
         self._smap = bool(env.smap)
-        self.handlers = self._translate()
+        self._retranslate()
 
     # -- entry ----------------------------------------------------------
 
@@ -139,7 +151,7 @@ class ThreadedEngine:
             # The SMAP policy is burned into load handlers; re-translate
             # if a test flipped it on a cached engine.
             self._smap = bool(env.smap)
-            self.handlers = self._translate()
+            self._retranslate()
         stack = env.stack_base or env.ensure_stack()
         self._refresh_caches()
 
@@ -170,12 +182,31 @@ class ThreadedEngine:
 
         self._running = True
         try:
+            if not self._has_fused:
+                while True:
+                    if pc >= n:
+                        raise KernelPanic(f"pc {pc} fell off program end")
+                    if steps >= checkpoint:
+                        # Order matters for parity: stall limit first,
+                        # then the watchdog — same as the interpreter.
+                        if steps >= limit:
+                            return self._fault(
+                                regs, pc, cost + xc[0], steps, stack, "stall",
+                                message="hard step limit (hardlockup)",
+                            )
+                        watchdog(cost + xc[0])
+                        next_wd = steps + wd_period
+                        checkpoint = next_wd if next_wd < limit else limit
+                    steps += 1
+                    cost += costs[pc]
+                    pc = handlers[pc](regs)
+            weights = self._weights
+            fused = self._fused
+            bcosts = self._bcosts
             while True:
                 if pc >= n:
                     raise KernelPanic(f"pc {pc} fell off program end")
                 if steps >= checkpoint:
-                    # Order matters for parity: stall limit first, then
-                    # the watchdog — same as the interpreter's loop.
                     if steps >= limit:
                         return self._fault(
                             regs, pc, cost + xc[0], steps, stack, "stall",
@@ -184,10 +215,43 @@ class ThreadedEngine:
                     watchdog(cost + xc[0])
                     next_wd = steps + wd_period
                     checkpoint = next_wd if next_wd < limit else limit
-                steps += 1
-                cost += costs[pc]
-                pc = handlers[pc](regs)
-        except _ExitSignal:
+                w = weights[pc]
+                # Single-step at unfused indices, and through any block
+                # the stall limit or watchdog would fire inside of —
+                # the checkpoint then lands on the exact step count.
+                if w == 1 or steps + w > checkpoint:
+                    steps += 1
+                    cost += costs[pc]
+                    pc = handlers[pc](regs)
+                    continue
+                # Fused block: charge every covered instruction up
+                # front (members are non-faulting by construction), and
+                # park the pc on the terminal so an exception out of it
+                # — helper fault, EXIT, cancellation — is attributed to
+                # the exact instruction, as in single-step execution.
+                head = pc
+                steps += w
+                cost += bcosts[head]
+                pc = head + w - 1
+                npc = fused[head](regs)
+                if npc >= 0:
+                    pc = npc
+                else:
+                    # Deopt (memory idiom missed the fast-path cache):
+                    # nothing was committed — roll the charge back and
+                    # single-step the block head instead.
+                    steps -= w
+                    cost -= bcosts[head]
+                    steps += 1
+                    cost += costs[head]
+                    pc = handlers[head](regs)
+        except _ExitSignal as e:
+            # _EXIT is a preallocated singleton: re-raising an instance
+            # that still carries a traceback *chains* the old frames
+            # onto the new one (tb_next), pinning every invocation's
+            # frame graph forever.  Drop it before the instance is
+            # raised again.
+            e.__traceback__ = None
             return ExecResult(
                 regs[0], cost + xc[0], steps, regs=list(regs), stack_base=stack
             )
@@ -311,11 +375,170 @@ class ThreadedEngine:
     def _translate(self) -> list:
         return [self._compile(i, insn) for i, insn in enumerate(self.insns)]
 
+    def _retranslate(self) -> None:
+        self.handlers = self._translate()
+        self._apply_plan()
+
     def _raiser(self, exc_cls, message: str):
         def h(regs, exc_cls=exc_cls, message=message):
             raise exc_cls(message)
 
+        h._raises = True
         return h
+
+    # -- superinstruction fusion -----------------------------------------
+
+    def _apply_plan(self) -> None:
+        """Overlay the fusion plan on the translated handler array.
+
+        ``handlers`` keeps one unfused closure per index (mid-block
+        jump targets and deopt both single-step through it); block
+        heads additionally get a fused closure in ``_fused`` with its
+        instruction count in ``_weights`` and the block's summed cost
+        in ``_bcosts``.  Blocks that fail validation here — a raiser
+        among the members, a missing heap — execute unfused.
+        """
+        n = len(self.handlers)
+        self._weights = [1] * n
+        self._fused = list(self.handlers)
+        self._bcosts = list(self.costs)
+        self._has_fused = False
+        self.fused_blocks = 0
+        for start, length, kind in self.plan:
+            if length < 2 or start < 0 or start + length > n:
+                continue
+            if kind == "mem":
+                fh = self._fuse_mem(start)
+            else:
+                fh = self._fuse_chain(start, length)
+            if fh is None:
+                continue
+            self._weights[start] = length
+            self._fused[start] = fh
+            self._bcosts[start] = sum(self.costs[start : start + length])
+            self._has_fused = True
+            self.fused_blocks += 1
+
+    def _fuse_chain(self, start: int, length: int):
+        """Compose consecutive handlers into one closure.  Members (all
+        but the last) must be straight-line and non-raising; they are
+        executed for their register effects and their returned pc is
+        statically the next index.  The terminal's return value is the
+        block's next pc."""
+        hs = self.handlers[start : start + length]
+        if any(getattr(h, "_raises", False) for h in hs[:-1]):
+            return None
+        if length == 2:
+            h0, h1 = hs
+
+            def fh(regs, h0=h0, h1=h1):
+                h0(regs)
+                return h1(regs)
+
+        elif length == 3:
+            h0, h1, h2 = hs
+
+            def fh(regs, h0=h0, h1=h1, h2=h2):
+                h0(regs)
+                h1(regs)
+                return h2(regs)
+
+        elif length == 4:
+            h0, h1, h2, h3 = hs
+
+            def fh(regs, h0=h0, h1=h1, h2=h2, h3=h3):
+                h0(regs)
+                h1(regs)
+                h2(regs)
+                return h3(regs)
+
+        else:
+            body = tuple(hs[:-1])
+            last = hs[-1]
+
+            def fh(regs, body=body, last=last):
+                for h in body:
+                    h(regs)
+                return last(regs)
+
+        return fh
+
+    def _fuse_mem(self, start: int):
+        """LDX -> GUARD -> STX over the extension heap, fast path only.
+
+        Everything is computed into locals and committed (register
+        write + store) in one shot, so returning the deopt sentinel
+        (-1) is always safe: the engine re-executes the block head
+        through the unfused handlers, which own the slow path and every
+        fault with exact attribution."""
+        insns = self.insns
+        ldx, g, stx = insns[start], insns[start + 1], insns[start + 2]
+        heap = self.env.heap
+        if heap is None:
+            return None
+        if (
+            (ldx.opcode & isa.CLASS_MASK) != isa.BPF_LDX
+            or g.opcode != isa.KFLEX_GUARD
+            or g.dst != ldx.dst
+            or (stx.opcode & isa.CLASS_MASK) != isa.BPF_STX
+            or stx.is_atomic
+            or stx.dst != g.dst
+            or stx.src == g.dst
+        ):
+            return None
+        hb = heap.base
+        hm = heap.mask
+        s1 = ldx.src
+        off1 = ldx.off
+        size1 = isa.size_bytes(ldx.opcode)
+        d = g.dst
+        s2 = stx.src
+        off2 = stx.off
+        size2 = isa.size_bytes(stx.opcode)
+        mask2 = (1 << (size2 * 8)) - 1
+        ld = self._ld_cache
+        st = self._st_cache
+        smap = self._smap
+        npc = start + 3
+
+        def fh(regs, s1=s1, off1=off1, size1=size1, d=d, s2=s2, off2=off2,
+               size2=size2, mask2=mask2, hb=hb, hm=hm, ld=ld, st=st,
+               smap=smap, npc=npc):
+            addr1 = (regs[s1] + off1) & U64
+            if smap and 4096 <= addr1 < 0x8000_0000_0000:
+                return -1  # the unfused LDX raises the SMAP fault
+            val = -1
+            for base, end, data, pages in ld:
+                if base <= addr1 and addr1 + size1 <= end:
+                    o = addr1 - base
+                    if pages is None:
+                        val = int.from_bytes(data[o : o + size1], "little")
+                    else:
+                        p0 = o >> 12
+                        p1 = (o + size1 - 1) >> 12
+                        if p0 in pages and (p1 == p0 or p1 in pages):
+                            val = int.from_bytes(data[o : o + size1], "little")
+                    break
+            if val < 0:
+                return -1
+            gv = (hb + (val & hm)) & U64
+            addr2 = (gv + off2) & U64
+            for base, end, data, pages in st:
+                if base <= addr2 and addr2 + size2 <= end:
+                    o = addr2 - base
+                    if pages is not None:
+                        p0 = o >> 12
+                        p1 = (o + size2 - 1) >> 12
+                        if p0 not in pages or (p1 != p0 and p1 not in pages):
+                            break
+                    regs[d] = gv
+                    data[o : o + size2] = (regs[s2] & mask2).to_bytes(
+                        size2, "little"
+                    )
+                    return npc
+            return -1
+
+        return fh
 
     def _compile(self, i: int, insn):
         op = insn.opcode
@@ -1003,11 +1226,21 @@ def engine_scope(name: str):
         _default_engine = prev
 
 
-def make_engine(name: str, insns, env, *, costs=None, helper_costs=None):
-    """Construct the named engine over a lowered instruction list."""
+def make_engine(name: str, insns, env, *, costs=None, helper_costs=None,
+                plan=None):
+    """Construct the named engine over a lowered instruction list.
+
+    ``plan`` is a superinstruction fusion plan (see
+    :class:`repro.ebpf.pipeline.FusePass`); engines that don't
+    advertise ``supports_fusion`` — the reference interpreter — simply
+    ignore it and stay the unfused semantics oracle.
+    """
     cls = ENGINES.get(name)
     if cls is None:
         raise LoadError(
             f"unknown execution engine {name!r} (have: {sorted(ENGINES)})"
         )
+    if plan and getattr(cls, "supports_fusion", False):
+        return cls(insns, env, costs=costs, helper_costs=helper_costs,
+                   plan=plan)
     return cls(insns, env, costs=costs, helper_costs=helper_costs)

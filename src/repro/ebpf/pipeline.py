@@ -55,6 +55,7 @@ cache is bounded (LRU) and counts hits/misses/evictions per stage;
 from __future__ import annotations
 
 import hashlib
+import os
 import struct
 import time
 from collections import OrderedDict
@@ -63,6 +64,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from repro.errors import LoadError
 from repro.ebpf import isa, jit
 from repro.ebpf.engine import make_engine
+from repro.ebpf.interpreter import ALU_BINOPS, JMP_TESTS
 from repro.ebpf.program import Program
 from repro.ebpf.verifier import Analysis, Verifier, VerifierConfig
 from repro.sim.metrics import StageStats
@@ -178,6 +180,167 @@ class LoweredProgram:
     @property
     def analysis(self) -> Analysis | None:
         return self.instrumented.source.analysis
+
+
+@dataclass(frozen=True)
+class FuseConfig:
+    """Superinstruction-fusion knobs.  Every field is folded into the
+    fuse stage's cache key (see :func:`fuse_config_key`), so fused and
+    unfused artifacts can never collide in the :class:`ProgramCache`."""
+
+    #: Master switch; ``False`` produces an empty plan (the escape
+    #: hatch behind ``kflexctl --no-fuse`` / ``REPRO_FUSE=0``).
+    enabled: bool = True
+    #: Longest run of instructions collapsed into one fused closure.
+    max_len: int = 8
+    #: Also fuse the LDX -> GUARD -> STX heap read-modify-write idiom
+    #: (deoptimizes to single-step execution on any fast-path miss).
+    mem_idioms: bool = True
+
+
+def fuse_config_key(config: FuseConfig | None) -> tuple:
+    """Field-by-field key, same convention as :func:`config_key`: a new
+    fusion knob automatically becomes part of the cache key."""
+    if config is None:
+        return ("nofuse",)
+    return tuple(
+        (f.name, getattr(config, f.name)) for f in dataclass_fields(config)
+    )
+
+
+def default_fuse_config() -> FuseConfig:
+    """Process-default fusion config (``REPRO_FUSE=0`` disables)."""
+    return FuseConfig(enabled=os.environ.get("REPRO_FUSE", "1") != "0")
+
+
+def _fusible_member(insn, has_heap: bool) -> bool:
+    """True for straight-line instructions that can never raise: safe
+    to execute mid-superinstruction, where a fault could not be
+    attributed to the right instruction index."""
+    cls = insn.opcode & isa.CLASS_MASK
+    if cls == isa.BPF_ALU64 or cls == isa.BPF_ALU:
+        op = insn.opcode & isa.OP_MASK
+        if op == isa.BPF_END:
+            return insn.imm in (16, 32, 64)
+        if op == isa.BPF_NEG:
+            return True
+        return op in ALU_BINOPS
+    if cls == isa.BPF_LD:
+        return insn.is_ld_imm64
+    if insn.opcode == isa.KFLEX_GUARD:
+        # The guard is pure arithmetic over burned heap constants; it
+        # compiles to a raiser without a heap, so only fuse with one.
+        return has_heap
+    return False
+
+
+def _fusible_terminal(insn) -> bool:
+    """True for instructions allowed to *end* a fused block.  They may
+    raise (CALL helper faults, EXIT, CANCELPT) — the engine points the
+    pc at the terminal before executing the block, so fault attribution
+    stays exact."""
+    cls = insn.opcode & isa.CLASS_MASK
+    if cls != isa.BPF_JMP and cls != isa.BPF_JMP32:
+        return False
+    if insn.opcode in (isa.KFLEX_GUARD, isa.KFLEX_TRANSLATE):
+        return False
+    if insn.opcode == isa.KFLEX_CANCELPT:
+        return True
+    if insn.is_call or insn.is_exit:
+        return True
+    op = insn.opcode & isa.OP_MASK
+    return op == isa.BPF_JA or op in JMP_TESTS
+
+
+def compute_fuse_plan(insns, config: FuseConfig, *, has_heap: bool) -> tuple:
+    """Scan a lowered instruction list for fusible runs.
+
+    Returns an immutable plan: ``((start, length, kind), ...)`` with
+    non-overlapping blocks in program order.  Kinds:
+
+    * ``"mem"`` — the LDX -> GUARD -> STX heap idiom (fast-path only,
+      deoptimizes on a cache miss);
+    * ``"mov"`` — a run of register moves;
+    * ``"alu"`` — a straight-line arithmetic run;
+    * ``"alu_jmp"`` — an arithmetic run absorbed into its terminal
+      branch / call / exit / cancellation point.
+
+    Jumping *into* the middle of a block is always legal: the engine
+    keeps the unfused handler at every index, so a mid-block entry
+    simply executes single-stepped.
+    """
+    if not config.enabled:
+        return ()
+    plan = []
+    n = len(insns)
+    max_len = max(2, config.max_len)
+    i = 0
+    while i < n:
+        if config.mem_idioms and has_heap and i + 2 < n:
+            ldx, g, stx = insns[i], insns[i + 1], insns[i + 2]
+            if (
+                (ldx.opcode & isa.CLASS_MASK) == isa.BPF_LDX
+                and g.opcode == isa.KFLEX_GUARD
+                and g.dst == ldx.dst
+                and (stx.opcode & isa.CLASS_MASK) == isa.BPF_STX
+                and not stx.is_atomic
+                and stx.dst == g.dst
+                and stx.src != g.dst
+            ):
+                plan.append((i, 3, "mem"))
+                i += 3
+                continue
+        if _fusible_member(insns[i], has_heap):
+            j = i + 1
+            while j < n and j - i < max_len and _fusible_member(insns[j], has_heap):
+                j += 1
+            kind = "mov" if all(
+                (x.opcode & isa.OP_MASK) == isa.BPF_MOV
+                and (x.opcode & isa.CLASS_MASK) in (isa.BPF_ALU64, isa.BPF_ALU)
+                for x in insns[i:j]
+            ) else "alu"
+            if j < n and j - i < max_len and _fusible_terminal(insns[j]):
+                j += 1
+                kind = "alu_jmp"
+            if j - i >= 2:
+                plan.append((i, j - i, kind))
+                i = j
+                continue
+        i += 1
+    return tuple(plan)
+
+
+@dataclass(frozen=True)
+class FusedProgram:
+    """Stage 3.5 output: the lowered program plus a superinstruction
+    plan.  Proxies the :class:`LoweredProgram` surface so downstream
+    consumers (the runtime, tools, tests) are agnostic to whether the
+    fuse stage ran."""
+
+    lowered: LoweredProgram
+    #: ``((start, length, kind), ...)`` — see :func:`compute_fuse_plan`.
+    plan: tuple
+    fuse_config: FuseConfig
+
+    @property
+    def jprog(self) -> jit.JitProgram:
+        return self.lowered.jprog
+
+    @property
+    def instrumented(self) -> InstrumentedProgram:
+        return self.lowered.instrumented
+
+    @property
+    def raw(self) -> RawProgram:
+        return self.lowered.raw
+
+    @property
+    def kprog(self):
+        return self.lowered.kprog
+
+    @property
+    def analysis(self) -> Analysis | None:
+        return self.lowered.analysis
 
 
 @dataclass(frozen=True)
@@ -383,6 +546,43 @@ class LowerPass(Pass):
         return LoweredProgram(art, payload)
 
 
+class FusePass(Pass):
+    """Superinstruction fusion: collapse hot straight-line runs of the
+    lowered program into single fused closures for the threaded-code
+    engine (ALU chains into their terminal branch, MOV chains, the
+    LDX -> GUARD -> STX heap idiom).
+
+    The pass computes a *plan* over instruction indices; the engine
+    composes its own per-instruction closures accordingly at translate
+    time, charging exactly the same per-instruction steps and costs, so
+    ``ExecResult`` is bit-identical with the pass on or off.  The plan
+    depends on the placement-keyed bytecode and every
+    :class:`FuseConfig` field, so fused and unfused artifacts occupy
+    distinct :class:`ProgramCache` keys.
+    """
+
+    name = "fuse"
+
+    def __init__(self, config: FuseConfig | None = None):
+        self.config = config if config is not None else default_fuse_config()
+
+    def cache_key(self, art: LoweredProgram) -> tuple:
+        return art.raw.placement_key() + (fuse_config_key(self.config),)
+
+    def run(self, art: LoweredProgram) -> FusedProgram:
+        plan = compute_fuse_plan(
+            art.jprog.insns, self.config,
+            has_heap=art.raw.heap is not None,
+        )
+        return FusedProgram(art, plan, self.config)
+
+    def payload(self, out: FusedProgram):
+        return out.plan
+
+    def rebuild(self, art: LoweredProgram, payload) -> FusedProgram:
+        return FusedProgram(art, payload, self.config)
+
+
 # ---------------------------------------------------------------------------
 # Pass manager
 # ---------------------------------------------------------------------------
@@ -455,7 +655,7 @@ class PassManager:
 
 
 def default_passes() -> list[Pass]:
-    return [VerifyPass(), InstrumentPass(), LowerPass()]
+    return [VerifyPass(), InstrumentPass(), LowerPass(), FusePass()]
 
 
 # ---------------------------------------------------------------------------
@@ -503,9 +703,15 @@ class CompilationPipeline:
     sequence, the content-addressed cache, and the statistics."""
 
     def __init__(self, *, cache: ProgramCache | None = None,
-                 passes: PassManager | None = None):
+                 passes: PassManager | None = None,
+                 fuse: FuseConfig | bool | None = None):
         self.cache = cache if cache is not None else ProgramCache()
         self.passes = passes if passes is not None else PassManager()
+        if fuse is not None:
+            cfg = fuse if isinstance(fuse, FuseConfig) else FuseConfig(
+                enabled=bool(fuse)
+            )
+            self.passes.replace("fuse", FusePass(cfg))
         self.stats = PipelineStats()
 
     # -- load-path stages -------------------------------------------------
@@ -534,6 +740,7 @@ class CompilationPipeline:
             env,
             costs=lowered.jprog.costs,
             helper_costs=lowered.jprog.helper_costs,
+            plan=getattr(lowered, "plan", None),
         )
         self.stats.record_stage("translate", time.perf_counter_ns() - t0)
         self.stats.translations += 1

@@ -182,6 +182,20 @@ class AddressSpace:
                 raise PageFault(addr, f"access to unpopulated page in {region.name}")
         return backing, off
 
+    def region_backing(self, addr: int) -> tuple[bytearray, int]:
+        """Kernel-trusted backing handle: the raw backing bytes of the
+        region containing ``addr`` plus the address's offset into them.
+
+        For kernel-staged slots only (per-CPU packet/ctx staging —
+        fully populated, unkeyed, never unmapped): the caller writes
+        directly into the returned buffer, skipping per-access
+        translation the way a driver writes its own DMA ring.
+        """
+        region = self.find_region(addr)
+        if region is None:
+            raise PageFault(addr, f"backing handle for unmapped {addr:#x}")
+        return region.backing.data, addr - region.base
+
     def read_bytes(self, addr: int, size: int) -> bytes:
         backing, off = self._translate(addr, size, write=False)
         return bytes(backing.data[off : off + size])

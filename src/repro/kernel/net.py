@@ -95,6 +95,15 @@ class NetStack:
 
     # -- packets ----------------------------------------------------------
 
+    def _slot(self, cpu: int) -> int:
+        """Map (once) and return the CPU's staging-slot base."""
+        base = self._pkt_slots.get(cpu)
+        if base is None:
+            base = PKT_REGION_BASE + cpu * PKT_SLOT_SIZE
+            self.aspace.map_region(base, PKT_SLOT_SIZE, f"kernel:pkt{cpu}")
+            self._pkt_slots[cpu] = base
+        return base
+
     def stage_packet(self, cpu: int, payload: bytes) -> tuple[int, int]:
         """Copy a packet into the CPU's staging buffer.
 
@@ -102,13 +111,43 @@ class NetStack:
         """
         if len(payload) > PKT_SLOT_SIZE:
             raise KernelPanic("packet larger than staging slot")
-        base = self._pkt_slots.get(cpu)
-        if base is None:
-            base = PKT_REGION_BASE + cpu * PKT_SLOT_SIZE
-            self.aspace.map_region(base, PKT_SLOT_SIZE, f"kernel:pkt{cpu}")
-            self._pkt_slots[cpu] = base
+        base = self._slot(cpu)
         self.aspace.write_bytes(base, payload)
         return base, base + len(payload)
+
+    def packet_stager(self, cpu: int):
+        """Amortized :meth:`stage_packet` for batched ingress.
+
+        Binds the CPU's slot once — region mapping, dict lookup and
+        address translation all happen here instead of per packet — and
+        returns a closure writing each payload straight into the slot's
+        backing (the region is kernel-staged and fully populated, the
+        same trusted-writer shortcut ``make_ctx`` takes).  The slot is
+        reused across the batch: each packet overwrites the last, so
+        callers must consume any in-place reply before staging the next.
+        """
+        base = self._slot(cpu)
+        data, off = self.aspace.region_backing(base)
+        slot_size = PKT_SLOT_SIZE
+
+        def stage(payload: bytes) -> tuple[int, int]:
+            n = len(payload)
+            if n > slot_size:
+                raise KernelPanic("packet larger than staging slot")
+            data[off : off + n] = payload
+            return base, base + n
+
+        return stage
+
+    def packet_reader(self, cpu: int):
+        """Amortized :meth:`read_packet` twin of :meth:`packet_stager`."""
+        base = self._slot(cpu)
+        data, off = self.aspace.region_backing(base)
+
+        def read(size: int) -> bytes:
+            return bytes(data[off : off + min(size, PKT_SLOT_SIZE)])
+
+        return read
 
     def read_packet(self, cpu: int, size: int) -> bytes:
         """Read back the CPU's staged packet (e.g. the reply an XDP_TX

@@ -24,7 +24,13 @@ generator).
 """
 
 from repro.net.backpressure import AdmissionControl, AdmissionPolicy, ShedStats
-from repro.net.client import LoadResult, TcpLoadGenerator, UdpLoadGenerator
+from repro.net.client import (
+    LoadResult,
+    OpenLoopResult,
+    OpenLoopUdpGenerator,
+    TcpLoadGenerator,
+    UdpLoadGenerator,
+)
 from repro.net.datapath import (
     DatapathStats,
     TcpDatapath,
@@ -53,6 +59,8 @@ __all__ = [
     "DatapathStats",
     "ExtensionService",
     "LoadResult",
+    "OpenLoopResult",
+    "OpenLoopUdpGenerator",
     "ServiceStats",
     "ShardRouterService",
     "ShardWorker",

@@ -182,6 +182,141 @@ class UdpLoadGenerator:
         return result
 
 
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop (offered-rate) run."""
+
+    sent: int = 0
+    replies: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def pps(self) -> float:
+        """Goodput: replies per second of offered-load wall time."""
+        return self.replies / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def loss(self) -> float:
+        return 1.0 - (self.replies / self.sent) if self.sent else 0.0
+
+
+class OpenLoopUdpGenerator:
+    """Open-loop UDP load: bursts of datagrams, no per-request await.
+
+    The closed-loop generator can never exercise ingress batching — at
+    ``n_clients`` outstanding requests the server's receive callback
+    sees at most that many pending datagrams.  This generator offers
+    load the way a pps benchmark does: fire ``burst``-sized volleys,
+    bounded only by a total ``window`` of outstanding requests (enough
+    to keep a backlog in front of the server without overflowing
+    loopback socket buffers), and count the replies that come back.
+    Requests carry no retry machinery; shed datagrams and drops simply
+    lower the measured goodput, as on a real packet generator.
+
+    The ``window`` bound counts outstanding requests as
+    ``sent - replies``, which drops silently inflate — without
+    correction, cumulative loss would eventually pin the window shut
+    and stall the run.  When the generator sits at the cap with no
+    reply progress for ``stall_s``, it writes the outstanding balance
+    off as lost and resumes offering load (the lost requests still
+    count against goodput via ``loss``).
+    """
+
+    def __init__(
+        self,
+        ports,
+        workload,
+        *,
+        host: str = "127.0.0.1",
+        ring=None,
+        duration_s: float = 1.0,
+        window: int = 128,
+        burst: int = 16,
+        grace_s: float = 0.1,
+        stall_s: float = 0.05,
+    ):
+        self.ports = list(ports)
+        self.workload = workload
+        self.host = host
+        self.ring = ring
+        if ring is None and len(self.ports) > 1:
+            raise ValueError("multiple ports need a ring to route by key")
+        self.duration_s = duration_s
+        self.window = window
+        self.burst = burst
+        self.grace_s = grace_s
+        self.stall_s = stall_s
+
+    def _addr_for(self, key) -> tuple[str, int]:
+        if self.ring is None:
+            return (self.host, self.ports[0])
+        return (self.host, self.ports[self.ring.shard_of(key)])
+
+    async def run(self) -> OpenLoopResult:
+        result = OpenLoopResult()
+
+        class _Counter(asyncio.DatagramProtocol):
+            replies = 0
+
+            def datagram_received(self, data, addr):
+                _Counter.replies += 1
+
+        _Counter.replies = 0
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            _Counter, local_addr=(self.host, 0)
+        )
+        from repro.net.datapath import _grow_sock_bufs
+
+        _grow_sock_bufs(transport)
+        sendto = transport.sendto
+        workload = self.workload
+        try:
+            t0 = time.monotonic()
+            deadline = t0 + self.duration_s
+            seq = 0
+            forgiven = 0
+            stall_t: float | None = None
+            last_replies = 0
+            while (now := time.monotonic()) < deadline:
+                if result.sent - _Counter.replies - forgiven >= self.window:
+                    # Backlog at the cap.  A real sleep (not sleep(0))
+                    # hands the CPU to the server to drain the burst —
+                    # on a single core that is what lets batches fill.
+                    if _Counter.replies != last_replies:
+                        last_replies = _Counter.replies
+                        stall_t = None
+                    elif stall_t is None:
+                        stall_t = now
+                    elif now - stall_t >= self.stall_s:
+                        # No reply progress at the cap: the outstanding
+                        # balance is loss, not backlog.  Write it off so
+                        # drops can't pin the window shut.
+                        forgiven = result.sent - _Counter.replies
+                        stall_t = None
+                    await asyncio.sleep(0.001)
+                    continue
+                stall_t = None
+                for _ in range(self.burst):
+                    key, payload = workload(0, seq)
+                    seq += 1
+                    sendto(payload, self._addr_for(key))
+                result.sent += self.burst
+                await asyncio.sleep(0)
+            # Let in-flight replies land; they were paid for in-window.
+            grace_end = time.monotonic() + self.grace_s
+            while (
+                time.monotonic() < grace_end
+                and _Counter.replies < result.sent
+            ):
+                await asyncio.sleep(0.005)
+            result.duration_s = time.monotonic() - t0
+            result.replies = _Counter.replies
+        finally:
+            transport.close()
+        return result
+
+
 class TcpLoadGenerator:
     """Closed-loop framed-TCP load; one connection per (client, shard).
 

@@ -30,10 +30,29 @@ endpoint and awaits its answer — so the fast path's advantage
 from __future__ import annotations
 
 import asyncio
+import socket
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.net.backpressure import AdmissionControl, AdmissionPolicy
+
+#: Socket buffer request for the UDP fast path — the stand-in for AF_XDP
+#: rx/tx ring sizing.  Batched draining services many datagrams per loop
+#: iteration, so bursts queue in the kernel socket buffer; the default
+#: (often 212 KiB) overflows under pps-benchmark volleys and the drops
+#: read as loss.  Best effort: the kernel clamps to net.core.rmem_max.
+SOCK_BUF_BYTES = 1 << 20
+
+
+def _grow_sock_bufs(transport: asyncio.BaseTransport) -> None:
+    sock = transport.get_extra_info("socket")
+    if sock is None:
+        return
+    for opt in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, opt, SOCK_BUF_BYTES)
+        except OSError:
+            pass
 
 #: TCP framing: 4-byte big-endian payload length.
 FRAME_HDR = struct.Struct(">I")
@@ -55,10 +74,26 @@ class DatapathStats:
     no_reply: int = 0
     #: TCP frames whose length prefix was invalid (connection closed).
     bad_frames: int = 0
+    #: Ingress batches drained through one engine entry.
+    batches: int = 0
+    #: Batch-size histogram: drained size -> count.  Partial batches
+    #: (timer fired, drain/stop flushed) show up as their actual size,
+    #: so the histogram is also the batching-effectiveness telemetry.
+    batch_hist: dict = field(default_factory=dict)
+
+    def note_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batch_hist[size] = self.batch_hist.get(size, 0) + 1
+
+    def mean_batch(self) -> float:
+        served = sum(s * c for s, c in self.batch_hist.items())
+        return served / self.batches if self.batches else 0.0
 
     def merge(self, other: "DatapathStats") -> "DatapathStats":
-        for f in ("received", "replied", "no_reply", "bad_frames"):
+        for f in ("received", "replied", "no_reply", "bad_frames", "batches"):
             setattr(self, f, getattr(self, f) + getattr(other, f))
+        for size, count in other.batch_hist.items():
+            self.batch_hist[size] = self.batch_hist.get(size, 0) + count
         return self
 
 
@@ -70,10 +105,21 @@ class _Ingress(asyncio.DatagramProtocol):
     task creation, no queue, no lock), and only packets whose verdict
     sends them up the stack (``"pass"``) are handed to the worker
     queue for asynchronous delivery.  Never blocks.
+
+    With ``batch_size > 1`` the callback turns into an AF_XDP/GRO-style
+    accumulator: admitted datagrams collect in a pending batch until
+    either the size budget fills or the time budget expires, then the
+    whole batch drains through *one* service/engine entry
+    (``ingress_batch``) and the ``TX`` replies flush together.
+    Admission stays strictly per packet — shedding happens before a
+    packet ever joins a batch, so shed accounting is identical batched
+    or not.
     """
 
     def __init__(self, dp: "UdpDatapath"):
         self.dp = dp
+        self._pending: list = []  # admitted (data, addr) awaiting drain
+        self._timer: asyncio.TimerHandle | None = None
 
     def connection_made(self, transport):
         self.dp._transport = transport
@@ -83,6 +129,15 @@ class _Ingress(asyncio.DatagramProtocol):
         dp.stats.received += 1
         if not dp.admission.try_admit():
             return  # shed: UDP silence, accounted by AdmissionControl
+        if dp._sync_ingress and dp.batch_size > 1:
+            self._pending.append((data, addr))
+            if len(self._pending) >= dp.batch_size:
+                self.flush()
+            elif self._timer is None:
+                self._timer = asyncio.get_event_loop().call_later(
+                    dp.batch_timeout, self.flush
+                )
+            return
         if dp._sync_ingress:
             reply, path = dp.service.ingress(data, dp.cpu)
             if path != "pass":
@@ -93,6 +148,10 @@ class _Ingress(asyncio.DatagramProtocol):
                     dp.stats.no_reply += 1
                 dp.admission.release()
                 return
+        self._enqueue(data, addr)
+
+    def _enqueue(self, data, addr) -> None:
+        dp = self.dp
         try:
             dp._queue.put_nowait((data, addr))
         except asyncio.QueueFull:
@@ -100,6 +159,39 @@ class _Ingress(asyncio.DatagramProtocol):
             dp.admission.inflight -= 1
             dp.admission.stats.admitted -= 1
             dp.admission.stats.shed_queue += 1
+
+    def flush(self) -> None:
+        """Drain the pending batch through one engine entry.
+
+        Runs at the size budget, at the time budget, or from the
+        datapath's graceful stop (a partial batch must still be served:
+        its packets were admitted).  Replies are collected during the
+        drain and flushed to the wire together afterwards.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = self._pending
+        if not batch:
+            return
+        self._pending = []
+        dp = self.dp
+        dp.stats.note_batch(len(batch))
+        results = dp.service.ingress_batch([d for d, _ in batch], dp.cpu)
+        replies = []
+        for (data, addr), (reply, path) in zip(batch, results):
+            if path == "pass":
+                self._enqueue(data, addr)
+            elif reply is not None:
+                replies.append((reply, addr))
+                dp.admission.release()
+            else:
+                dp.stats.no_reply += 1
+                dp.admission.release()
+        sendto = dp._transport.sendto
+        for reply, addr in replies:  # batched TX flush
+            sendto(reply, addr)
+        dp.stats.replied += len(replies)
 
 
 class UdpDatapath:
@@ -110,6 +202,13 @@ class UdpDatapath:
     worker).  ``n_workers`` > 1 lets PASS deliveries (which await the
     userspace hop) overlap; extension invocations themselves are
     serialized per CPU slot by ``_slot_lock``.
+
+    ``batch_size`` > 1 enables batched ingress: admitted datagrams
+    accumulate until the size budget fills or ``batch_timeout``
+    (seconds) elapses, then drain through one engine entry.  The
+    default of 1 keeps the unbatched per-datagram path (latency-
+    optimal for closed-loop clients); batching pays off under open-
+    loop/pipelined offered load, where a backlog exists to amortize.
     """
 
     def __init__(
@@ -121,6 +220,8 @@ class UdpDatapath:
         cpu: int = 0,
         policy: AdmissionPolicy | None = None,
         n_workers: int = 4,
+        batch_size: int = 1,
+        batch_timeout: float = 0.002,
     ):
         self.service = service
         self.host = host
@@ -129,8 +230,13 @@ class UdpDatapath:
         self.admission = AdmissionControl(policy)
         self.stats = DatapathStats()
         self.n_workers = n_workers
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
         self._queue: asyncio.Queue | None = None
         self._transport = None
+        self._ingress: _Ingress | None = None
         self._workers: list[asyncio.Task] = []
         self._slot_lock: asyncio.Lock | None = None
         self.port: int | None = None
@@ -138,15 +244,21 @@ class UdpDatapath:
         #: async-deliver entry; plain ``handle``-only services (e.g. a
         #: shard router) take the queued path for every packet.
         self._sync_ingress = hasattr(service, "ingress")
+        if batch_size > 1 and not hasattr(service, "ingress_batch"):
+            raise ValueError(
+                "batch_size > 1 needs a service with ingress_batch"
+            )
 
     async def start(self) -> "UdpDatapath":
         loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.admission.policy.max_queue)
         self._slot_lock = asyncio.Lock()
+        self._ingress = _Ingress(self)
         self._transport, _ = await loop.create_datagram_endpoint(
-            lambda: _Ingress(self),
+            lambda: self._ingress,
             local_addr=(self.host, self._requested_port),
         )
+        _grow_sock_bufs(self._transport)
         self.port = self._transport.get_extra_info("sockname")[1]
         self._workers = [
             loop.create_task(self._worker()) for _ in range(self.n_workers)
@@ -182,6 +294,11 @@ class UdpDatapath:
         supervisor (reason ``drain_timeout``) and the stragglers are
         cancelled with the workers instead of blocking shutdown.
         """
+        if self._ingress is not None:
+            # A partial batch waiting on its time budget holds admitted
+            # packets; serve it (and send its replies) before the socket
+            # closes, so the drain below can complete.
+            self._ingress.flush()
         if self._transport is not None:
             self._transport.close()  # no new datagrams
         await self.admission.drain(
@@ -220,6 +337,13 @@ class TcpDatapath:
     (``policy.per_conn_budget``); while it is full the reader does not
     read — TCP flow control pushes back on the sender.  Replies are
     written in request order.
+
+    ``batch_size`` > 1 makes the per-connection reader an accumulator:
+    after the first frame of a batch it keeps reading until the size
+    budget fills or ``batch_timeout`` elapses, and the writer then
+    serves the whole batch under one slot-lock acquisition and flushes
+    the reply frames in a single write.  Admission stays per frame;
+    the pipeline budget counts batches while batching is on.
     """
 
     def __init__(
@@ -230,6 +354,8 @@ class TcpDatapath:
         port: int = 0,
         cpu: int = 0,
         policy: AdmissionPolicy | None = None,
+        batch_size: int = 1,
+        batch_timeout: float = 0.002,
     ):
         self.service = service
         self.host = host
@@ -237,6 +363,10 @@ class TcpDatapath:
         self.cpu = cpu
         self.admission = AdmissionControl(policy)
         self.stats = DatapathStats()
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
         self._server: asyncio.AbstractServer | None = None
         self._slot_lock: asyncio.Lock | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -275,21 +405,62 @@ class TcpDatapath:
             self.admission.release_connection()
             self._conn_tasks.discard(task)
 
+    async def _read_frame(self, reader, timeout: float | None = None):
+        """Read one length-prefixed frame; None poisons the stream.
+
+        A ``timeout`` (batch time budget) applies to the *header* read
+        only: cancelling ``readexactly`` mid-wait leaves partial bytes
+        in the stream buffer, so timing out there keeps the stream in
+        sync, whereas a timeout between header and payload would not.
+        """
+        if timeout is None:
+            hdr = await reader.readexactly(FRAME_HDR.size)
+        else:
+            hdr = await asyncio.wait_for(
+                reader.readexactly(FRAME_HDR.size), timeout
+            )
+        (length,) = FRAME_HDR.unpack(hdr)
+        if length == 0 or length > MAX_FRAME:
+            self.stats.bad_frames += 1
+            return None
+        payload = await reader.readexactly(length)
+        self.stats.received += 1
+        return payload
+
     async def _conn_reader(self, reader, pipeline: asyncio.Queue) -> None:
+        bsz = self.batch_size
+        loop = asyncio.get_running_loop()
+        poisoned = False
         try:
-            while True:
-                hdr = await reader.readexactly(FRAME_HDR.size)
-                (length,) = FRAME_HDR.unpack(hdr)
-                if length == 0 or length > MAX_FRAME:
-                    self.stats.bad_frames += 1
-                    break
-                payload = await reader.readexactly(length)
-                self.stats.received += 1
-                if not self.admission.try_admit():
-                    continue  # shed this frame; connection stays up
-                if pipeline.full():
-                    self.admission.stats.budget_stalls += 1
-                await pipeline.put(payload)  # blocks at budget: backpressure
+            while not poisoned:
+                # First frame of a batch: wait as long as it takes.
+                batch = []
+                deadline = None
+                while len(batch) < bsz:
+                    if deadline is None:
+                        payload = await self._read_frame(reader)
+                    else:
+                        left = deadline - loop.time()
+                        if left <= 0:
+                            break
+                        try:
+                            payload = await self._read_frame(reader, left)
+                        except asyncio.TimeoutError:
+                            break  # time budget spent: drain what we have
+                    if payload is None:
+                        poisoned = True
+                        break
+                    if not self.admission.try_admit():
+                        continue  # shed this frame; connection stays up
+                    batch.append(payload)
+                    if deadline is None:
+                        if bsz == 1:
+                            break
+                        deadline = loop.time() + self.batch_timeout
+                if batch:
+                    if pipeline.full():
+                        self.admission.stats.budget_stalls += 1
+                    await pipeline.put(batch)  # blocks at budget: backpressure
         except (asyncio.IncompleteReadError, ConnectionResetError):
             pass
         finally:
@@ -300,25 +471,32 @@ class TcpDatapath:
 
     async def _conn_writer(self, pipeline: asyncio.Queue, writer) -> None:
         while True:
-            payload = await pipeline.get()
+            batch = await pipeline.get()
+            self.stats.note_batch(len(batch))
             try:
+                out = bytearray()
                 async with self._slot_lock:
-                    reply = await self.service.handle(payload, self.cpu)
-                if reply is not None:
-                    writer.write(FRAME_HDR.pack(len(reply)) + reply)
-                    await writer.drain()
-                    self.stats.replied += 1
-                else:
-                    # Framed transport cannot stay silent without
-                    # stalling the client: an explicit empty frame
-                    # signals "dropped / shed".
-                    writer.write(FRAME_HDR.pack(0))
-                    await writer.drain()
-                    self.stats.no_reply += 1
+                    # One lock round trip serves the whole batch; the
+                    # service still runs per-frame semantics inside.
+                    for payload in batch:
+                        reply = await self.service.handle(payload, self.cpu)
+                        if reply is not None:
+                            out += FRAME_HDR.pack(len(reply))
+                            out += reply
+                            self.stats.replied += 1
+                        else:
+                            # Framed transport cannot stay silent
+                            # without stalling the client: an explicit
+                            # empty frame signals "dropped / shed".
+                            out += FRAME_HDR.pack(0)
+                            self.stats.no_reply += 1
+                writer.write(bytes(out))  # batched reply flush
+                await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
                 pass
             finally:
-                self.admission.release()
+                for _ in batch:
+                    self.admission.release()
                 pipeline.task_done()
 
     async def stop(self, drain_timeout: float | None = None) -> dict:

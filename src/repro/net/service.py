@@ -142,6 +142,15 @@ class PacketService:
             self.stats.dropped += 1
         return reply, path
 
+    def ingress_batch(self, payloads, cpu: int = 0) -> list:
+        """Synchronous ingress for one accumulated batch: one entry
+        into the service for N packets.  Returns one ``(reply, path)``
+        per payload, in order, with per-packet semantics identical to
+        calling :meth:`ingress` N times.  The base implementation *is*
+        that loop; :class:`ExtensionService` overrides it with an
+        engine entry whose per-packet setup is amortized."""
+        return [self.ingress(p, cpu) for p in payloads]
+
     async def deliver(self, payload: bytes, cpu: int = 0) -> bytes | None:
         """Asynchronous stack delivery for an ``ingress`` that returned
         ``"pass"``.  Base services have nowhere to deliver to."""
@@ -201,6 +210,48 @@ class ExtensionService(PacketService):
             reply = await reply
         self.stats.userspace_pass += 1
         return reply
+
+    def ingress_batch(self, payloads, cpu: int = 0) -> list:
+        """Batched XDP dispatch: one engine entry for the whole batch.
+
+        The per-packet constants — pooled engine, staged packet slot,
+        ctx slot, watchdog arming — are bound once via
+        :meth:`~repro.core.runtime.LoadedExtension.xdp_batch_invoker`;
+        each packet then only rewrites the slot bytes and
+        data/data_end before running.  Verdict mapping stays strictly
+        per packet (an ``XDP_TX`` reply is read back before the next
+        packet overwrites the shared slot), and a mid-batch
+        cancellation that kills the extension downgrades the faulting
+        packet and the remainder to the per-packet path, which honors
+        quarantine/readmission exactly as unbatched ingress does.
+        """
+        ext = self.ext
+        if ext is None or ext.dead or ext.program.hook != "xdp":
+            return [self.ingress(p, cpu) for p in payloads]
+        self._tick()
+        run = ext.xdp_batch_invoker(cpu)
+        read_reply = self.runtime.kernel.net.packet_reader(cpu)
+        stats = self.stats
+        out = []
+        for i, payload in enumerate(payloads):
+            stats.requests += 1
+            verdict = run(payload)
+            if ext.dead:
+                # Cancelled + unloaded mid-batch: this packet falls
+                # back to the stack (same as _serve_sync's dead path),
+                # and the rest of the batch goes per-packet.
+                out.append((None, "pass"))
+                out.extend(self.ingress(p, cpu) for p in payloads[i + 1 :])
+                return out
+            if verdict == XDP_TX:
+                stats.kernel_tx += 1
+                out.append((read_reply(len(payload)), "kernel"))
+            elif verdict == XDP_PASS:
+                out.append((None, "pass"))
+            else:
+                stats.dropped += 1
+                out.append((None, "drop"))
+        return out
 
     def _serve_sync(self, payload: bytes, cpu: int):
         ext = self.ext
@@ -355,6 +406,7 @@ def build_service(
     fallback: str = "supervised",
     engine: str | None = None,
     userspace=None,
+    fuse=None,
     **kflex_kwargs,
 ) -> PacketService:
     """Service factory shared by ``kflexctl serve`` and the benchmarks.
@@ -367,8 +419,11 @@ def build_service(
       path (the stock-server baseline).  ``userspace`` must be the
       delivery callable (e.g. a :class:`UserspaceBridge` request);
     * ``"none"`` — extension only; PASS verdicts are dropped.
+
+    ``fuse`` is the superinstruction escape hatch (``False`` disables
+    the pipeline's fuse pass; see ``kflexctl serve --no-fuse``).
     """
-    runtime = runtime or KFlexRuntime(engine=engine)
+    runtime = runtime or KFlexRuntime(engine=engine, fuse=fuse)
     if fallback == "supervised":
         if app == "memcached":
             return SupervisedMemcachedService(runtime, **kflex_kwargs)

@@ -96,6 +96,8 @@ class ShardWorker(threading.Thread):
         host: str = "127.0.0.1",
         policy: AdmissionPolicy | None = None,
         n_workers: int = 4,
+        batch_size: int = 1,
+        batch_timeout: float = 0.002,
     ):
         super().__init__(daemon=True, name=f"kflex-shard-{shard_id}")
         self.shard_id = shard_id
@@ -103,6 +105,8 @@ class ShardWorker(threading.Thread):
         self.host = host
         self.policy = policy
         self.n_workers = n_workers
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
         self.loop: asyncio.AbstractEventLoop | None = None
         self.service = None
         self.datapath: UdpDatapath | None = None
@@ -133,6 +137,8 @@ class ShardWorker(threading.Thread):
                 cpu=self.cpu,
                 policy=self.policy,
                 n_workers=self.n_workers,
+                batch_size=self.batch_size,
+                batch_timeout=self.batch_timeout,
             )
             await self.datapath.start()
             self.port = self.datapath.port
@@ -262,6 +268,8 @@ class ShardedUdpDatapath:
         policy: AdmissionPolicy | None = None,
         n_workers: int = 4,
         vnodes: int = 64,
+        batch_size: int = 1,
+        batch_timeout: float = 0.002,
     ):
         self.service_factory = service_factory
         self.n_shards = n_shards
@@ -269,6 +277,8 @@ class ShardedUdpDatapath:
         self.host = host
         self.policy = policy
         self.n_workers = n_workers
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
         self.ring = ConsistentHashRing(n_shards, vnodes=vnodes)
         self.shards: list = []
 
@@ -281,6 +291,8 @@ class ShardedUdpDatapath:
                     host=self.host,
                     policy=self.policy,
                     n_workers=self.n_workers,
+                    batch_size=self.batch_size,
+                    batch_timeout=self.batch_timeout,
                 )
                 for i in range(self.n_shards)
             ]
@@ -300,6 +312,8 @@ class ShardedUdpDatapath:
                     cpu=cpu,
                     policy=self.policy,
                     n_workers=self.n_workers,
+                    batch_size=self.batch_size,
+                    batch_timeout=self.batch_timeout,
                 )
                 await dp.start()
                 self.shards.append(_InlineShard(i, service, dp))
@@ -359,6 +373,8 @@ class ShardFailover:
         host: str = "127.0.0.1",
         policy: AdmissionPolicy | None = None,
         n_workers: int = 4,
+        batch_size: int = 1,
+        batch_timeout: float = 0.002,
         backoff=None,
     ):
         from repro.core.supervisor import RestartBackoff
@@ -368,6 +384,8 @@ class ShardFailover:
         self.host = host
         self.policy = policy
         self.n_workers = n_workers
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
         self.backoff = backoff or RestartBackoff()
         self.replacements = 0
         self._locks: dict[int, asyncio.Lock] = {}
@@ -390,6 +408,8 @@ class ShardFailover:
                 host=self.host,
                 policy=self.policy,
                 n_workers=self.n_workers,
+                batch_size=self.batch_size,
+                batch_timeout=self.batch_timeout,
             )
             w.start()
             await loop.run_in_executor(None, w.wait_ready)

@@ -1,0 +1,88 @@
+"""Stock userspace server as a real separate process.
+
+The in-process :class:`~repro.net.datapath.UserspaceEndpoint` is fine
+for functional tests, but it shares the datapath's event loop, so the
+``XDP_PASS`` handoff it models costs almost nothing: no scheduler hop,
+no competing process.  Stock Memcached is its own process — a packet
+that traverses the stack pays real context switches to reach it.  This
+module runs the same endpoint (same table bytecode, bare KMod load)
+under its own interpreter so benchmarks measure that handoff for real.
+
+Run directly (``python -m repro.net.userspace_proc``): binds an
+ephemeral UDP port, prints ``PORT <n>`` on stdout, and serves until
+killed.  :func:`spawn` wraps the lifecycle for callers.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+
+def serve() -> None:  # pragma: no cover - exercised via subprocess
+    import asyncio
+
+    async def main():
+        from repro.apps.memcached.kflex_ext import KFlexMemcached
+        from repro.core.runtime import KFlexRuntime
+        from repro.net.datapath import UserspaceEndpoint
+
+        stock = KFlexMemcached(KFlexRuntime(), kmod=True)
+        endpoint = await UserspaceEndpoint(stock.handle).start()
+        print(f"PORT {endpoint.port}", flush=True)
+        await asyncio.Event().wait()
+
+    asyncio.run(main())
+
+
+class UserspaceProcess:
+    """A stock server subprocess: ``spawn()`` it, read ``.port``,
+    ``close()`` when done."""
+
+    def __init__(self, proc: subprocess.Popen, port: int):
+        self.proc = proc
+        self.port = port
+
+    def close(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def spawn(timeout_s: float = 30.0) -> UserspaceProcess:
+    """Start the stock server in its own interpreter and wait for its
+    port announcement."""
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.net.userspace_proc"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        import select
+
+        ready, _, _ = select.select([proc.stdout], [], [], timeout_s)
+        line = proc.stdout.readline() if ready else ""
+        if not line.startswith("PORT "):
+            err = proc.stderr.read() if proc.poll() is not None else ""
+            proc.kill()
+            raise RuntimeError(
+                f"userspace process failed to start: {line!r} {err}"
+            )
+        return UserspaceProcess(proc, int(line.split()[1]))
+    except Exception:
+        if proc.poll() is None:
+            proc.kill()
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    serve()

@@ -14,8 +14,9 @@ plus the network datapath (:mod:`repro.net`):
 
 .. code-block:: console
 
-    $ python -m repro.tools.kflexctl serve --app memcached --shards 2
+    $ python -m repro.tools.kflexctl serve --app memcached --shards 2 --batch 16
     $ python -m repro.tools.kflexctl loadtest --app memcached --clients 8
+    $ python -m repro.tools.kflexctl loadtest --batch 16 --open-loop 1.0
 
 and durable state (:mod:`repro.state` — the bpffs analog):
 
@@ -244,6 +245,7 @@ def _net_service_factory(args):
     """Per-shard service builder for serve/loadtest (late import: the
     file-based subcommands should not pay for the net package)."""
     store_dir = getattr(args, "store", "")
+    fuse = not getattr(args, "no_fuse", False)
     if store_dir:
         if args.app != "memcached":
             raise ReproError(
@@ -256,8 +258,8 @@ def _net_service_factory(args):
             # Per-shard subdirectory: each shard owns its pin, so a
             # crashed shard's replacement recovers exactly its state.
             return DurableMemcachedService(
+                KFlexRuntime(engine=args.engine, fuse=fuse),
                 store=DurableStore(f"{store_dir}/shard{shard_id}"),
-                engine=args.engine,
             )
 
         return durable_factory
@@ -266,7 +268,7 @@ def _net_service_factory(args):
 
     def factory(shard_id: int):
         return build_service(
-            args.app, fallback=args.fallback, engine=args.engine
+            args.app, fallback=args.fallback, engine=args.engine, fuse=fuse
         )
 
     return factory
@@ -318,12 +320,14 @@ def cmd_serve(args) -> int:
 
     async def run() -> int:
         sharded = ShardedUdpDatapath(
-            _net_service_factory(args), args.shards, threaded=True
+            _net_service_factory(args), args.shards, threaded=True,
+            batch_size=args.batch, batch_timeout=args.batch_timeout,
         )
         await sharded.start()
         print(f"serving {args.app} on UDP ports "
               f"{','.join(map(str, sharded.ports))} "
-              f"({args.shards} shard(s), fallback={args.fallback})")
+              f"({args.shards} shard(s), fallback={args.fallback}, "
+              f"batch={args.batch})")
         sys.stdout.flush()
         try:
             if args.duration > 0:
@@ -345,7 +349,12 @@ def cmd_serve(args) -> int:
 
 
 def cmd_loadtest(args) -> int:
-    from repro.net import ConsistentHashRing, ShardedUdpDatapath, UdpLoadGenerator
+    from repro.net import (
+        ConsistentHashRing,
+        OpenLoopUdpGenerator,
+        ShardedUdpDatapath,
+        UdpLoadGenerator,
+    )
 
     workload, matcher = _net_workload(args.app, args.keys, args.set_every)
 
@@ -356,33 +365,58 @@ def cmd_loadtest(args) -> int:
             ring = ConsistentHashRing(len(ports))
         else:
             sharded = ShardedUdpDatapath(
-                _net_service_factory(args), args.shards, threaded=True
+                _net_service_factory(args), args.shards, threaded=True,
+                batch_size=args.batch, batch_timeout=args.batch_timeout,
             )
             await sharded.start()
             ports, ring = sharded.ports, sharded.ring
-        gen = UdpLoadGenerator(
-            ports,
-            workload,
-            ring=ring,
-            n_clients=args.clients,
-            requests_per_client=args.requests,
-            matcher=matcher,
-        )
-        res = await gen.run()
-        lat = res.latency
-        print(f"loadtest {args.app}: {res.replies}/{res.requests} replies, "
-              f"{res.failures} failures, {res.retries} retries")
-        print(f"  throughput:     {res.throughput_rps:,.0f} req/s "
-              f"({res.duration_s:.2f}s, {args.clients} clients)")
-        if len(lat):
-            print(f"  latency us:     p50={lat.percentile(50) / 1e3:.1f} "
-                  f"p95={lat.percentile(95) / 1e3:.1f} "
-                  f"p99={lat.percentile(99) / 1e3:.1f}")
+        if args.open_loop:
+            gen = OpenLoopUdpGenerator(
+                ports,
+                workload,
+                ring=ring,
+                duration_s=args.open_loop,
+                window=args.window,
+                burst=args.burst,
+            )
+            res = await gen.run()
+            print(f"loadtest {args.app} (open loop): "
+                  f"{res.replies}/{res.sent} replies, "
+                  f"loss {res.loss:.1%}")
+            print(f"  goodput:        {res.pps:,.0f} pps "
+                  f"({res.duration_s:.2f}s offered, window {args.window}, "
+                  f"burst {args.burst})")
+            failures = 0
+        else:
+            gen = UdpLoadGenerator(
+                ports,
+                workload,
+                ring=ring,
+                n_clients=args.clients,
+                requests_per_client=args.requests,
+                matcher=matcher,
+            )
+            res = await gen.run()
+            lat = res.latency
+            print(f"loadtest {args.app}: "
+                  f"{res.replies}/{res.requests} replies, "
+                  f"{res.failures} failures, {res.retries} retries")
+            print(f"  throughput:     {res.throughput_rps:,.0f} req/s "
+                  f"({res.duration_s:.2f}s, {args.clients} clients)")
+            if len(lat):
+                print(f"  latency us:     p50={lat.percentile(50) / 1e3:.1f} "
+                      f"p95={lat.percentile(95) / 1e3:.1f} "
+                      f"p99={lat.percentile(99) / 1e3:.1f}")
+            failures = res.failures
         if sharded is not None:
             stats = sharded.merged_service_stats()
+            if args.batch > 1:
+                dstats = sharded.merged_datapath_stats()
+                print(f"  ingress batches: {dstats.batches} "
+                      f"(mean size {dstats.mean_batch():.1f})")
             report = await sharded.stop()
             _print_net_summary(stats, report)
-        return 1 if res.failures else 0
+        return 1 if failures else 0
 
     return asyncio.run(run())
 
@@ -446,6 +480,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "their maps (WAL + snapshots) under "
                             "DIR/shard{i} and recover them on restart "
                             "(memcached only)")
+        s.add_argument("--batch", type=int, default=1,
+                       help="ingress batch size: admitted datagrams "
+                            "accumulate until this many are pending "
+                            "(or --batch-timeout elapses) and drain "
+                            "through one engine entry (default 1 = "
+                            "unbatched)")
+        s.add_argument("--batch-timeout", type=float, default=0.002,
+                       help="ingress batching time budget in seconds "
+                            "(default 0.002)")
+        s.add_argument("--no-fuse", action="store_true",
+                       help="disable superinstruction fusion in the "
+                            "execution engine")
         if name == "serve":
             s.add_argument("--duration", type=float, default=0.0,
                            help="seconds to serve (0 = until Ctrl-C)")
@@ -461,6 +507,16 @@ def build_parser() -> argparse.ArgumentParser:
             s.add_argument("--set-every", type=int, default=4,
                            help="every Nth request per client is a "
                                 "SET (plus a ZADD for redis)")
+            s.add_argument("--open-loop", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="measure open-loop pps for this many "
+                                "seconds instead of the closed loop "
+                                "(burst offered load; the mode where "
+                                "--batch pays off)")
+            s.add_argument("--window", type=int, default=128,
+                           help="open loop: max outstanding requests")
+            s.add_argument("--burst", type=int, default=16,
+                           help="open loop: datagrams per volley")
 
     # Durable state: the bpffs-analog workflow over a store directory.
     sp = sub.add_parser("pin", help="create a map and pin it durably")

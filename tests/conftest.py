@@ -38,6 +38,8 @@ def pytest_collection_modifyitems(config, items):
             if not run_recovery:
                 item.add_marker(skip_recovery)
         else:
+            # ``fuse``-marked parity tests stay IN tier-1 (the marker
+            # only makes them selectable via `pytest -m fuse`).
             item.add_marker(pytest.mark.tier1)
 
 

@@ -34,6 +34,7 @@ from repro.ebpf.engine import (
 )
 from repro.ebpf.helpers import HelperTable
 from repro.ebpf.interpreter import ExecEnv, Interpreter
+from repro.ebpf.pipeline import FuseConfig, compute_fuse_plan
 from repro.kernel.addrspace import AddressSpace
 
 R = Reg
@@ -85,14 +86,34 @@ def assert_same(ri, rt, label=""):
         f"engine divergence {label}"
 
 
+#: Fusion config used by the differential harness, and a tally of how
+#: many harness runs actually executed fused superinstruction blocks —
+#: asserted non-vacuous by test_fused_parity_sweep_is_not_vacuous.
+_FUSE_CFG = FuseConfig()
+_FUSED_RUNS = {"runs": 0, "blocks": 0}
+
+
 def run_both(insns, *, setup=None, ctx_addr=0, max_steps=None, **env_kw):
-    """Run both engines over identical fresh environments; assert parity
-    and return the interpreter's result."""
+    """Run the interpreter, the unfused threaded engine, and (when the
+    program has fusible runs) the fused threaded engine over identical
+    fresh environments; assert three-way parity and return the
+    interpreter's result."""
     env_i = _fresh_env(setup, **env_kw)
     env_t = _fresh_env(setup, **env_kw)
     ri = Interpreter(insns, env_i).run(ctx_addr, max_steps=max_steps)
     rt = ThreadedEngine(insns, env_t).run(ctx_addr, max_steps=max_steps)
     assert_same(ri, rt)
+    plan = compute_fuse_plan(
+        insns, _FUSE_CFG, has_heap=env_kw.get("heap") is not None
+    )
+    if plan:
+        env_f = _fresh_env(setup, **env_kw)
+        eng_f = ThreadedEngine(insns, env_f, plan=plan)
+        rf = eng_f.run(ctx_addr, max_steps=max_steps)
+        assert_same(ri, rf, "(fused)")
+        if eng_f.fused_blocks:
+            _FUSED_RUNS["runs"] += 1
+            _FUSED_RUNS["blocks"] += eng_f.fused_blocks
     return ri
 
 
@@ -383,6 +404,140 @@ def test_watchdog_callback_sequence_parity():
     assert len(seen["interp"][0]) > 5  # the watchdog actually fired
 
 
+# -- fused superinstruction parity --------------------------------------------
+
+
+@pytest.mark.fuse
+def test_fused_parity_sweep_is_not_vacuous():
+    """A self-contained sweep across every generator: the fused engine
+    must agree bit-for-bit AND must actually have fused blocks — a
+    parity sweep that never fuses anything proves nothing."""
+    before = dict(_FUSED_RUNS)
+    rng = random.Random(0xF5)
+    for gen in (gen_alu, gen_branchy, gen_memory):
+        for _ in range(25):
+            run_both(gen(random.Random(rng.getrandbits(64))))
+    for _ in range(25):
+        run_both(gen_paged(random.Random(rng.getrandbits(64))),
+                 setup=_paged_setup)
+    assert _FUSED_RUNS["runs"] > before["runs"]
+    assert _FUSED_RUNS["blocks"] > before["blocks"]
+
+
+@pytest.mark.fuse
+def test_fused_watchdog_schedule_parity():
+    """The hot loop body (ADD -> JCC) fuses into one superinstruction,
+    so watchdog checkpoints repeatedly land *inside* blocks; the engine
+    must single-step across those boundaries so the watchdog observes
+    the interpreter's exact (step, cost) schedule."""
+    a = Assembler()
+    loop = a.fresh_label()
+    a.mov(R.R1, 0)
+    a.label(loop)
+    a.add(R.R1, 1)
+    a.jcc("<", R.R1, 40_000, loop)
+    a.mov(R.R0, R.R1)
+    a.exit()
+    insns = a.assemble()
+    plan = compute_fuse_plan(insns, _FUSE_CFG, has_heap=False)
+    assert plan  # the loop body is a fusible run
+    seen = {}
+    for name, make in (
+        ("interp", lambda e: Interpreter(insns, e)),
+        ("fused", lambda e: ThreadedEngine(insns, e, plan=plan)),
+    ):
+        calls = []
+        env = _fresh_env(watchdog=calls.append)
+        eng = make(env)
+        res = eng.run()
+        assert res.ok
+        seen[name] = (calls, res.ret, res.cost, res.steps)
+    assert seen["interp"] == seen["fused"]
+    assert len(seen["interp"][0]) > 5
+
+
+@pytest.mark.fuse
+def test_fused_step_limit_lands_mid_block():
+    """Sweep the hard step limit across every phase of the fused loop
+    body: the stall fault must report identical steps/cost/pc whether
+    the limit falls on a block head, mid-block, or a boundary."""
+    a = Assembler()
+    loop = a.fresh_label()
+    a.mov(R.R1, 1)
+    a.label(loop)
+    a.add(R.R1, 1)
+    a.xor(R.R2, R.R1)
+    a.jmp(loop)
+    insns = a.assemble()
+    plan = compute_fuse_plan(insns, _FUSE_CFG, has_heap=False)
+    assert plan
+    for limit in range(5, 17):
+        ri = Interpreter(insns, _fresh_env()).run(max_steps=limit)
+        rf = ThreadedEngine(insns, _fresh_env(), plan=plan).run(
+            max_steps=limit
+        )
+        assert_same(ri, rf, f"(stall at limit {limit})")
+        assert ri.fault is not None and ri.fault.kind == "stall"
+
+
+@pytest.mark.fuse
+def test_fused_mem_idiom_runtime_parity():
+    """The LDX -> GUARD -> STX idiom at runtime level: the fast path
+    commits load+guard+store in one closure; an unpopulated target page
+    deoptimizes to single-step execution and must fault exactly like
+    the interpreter (same insn index, same cancellation accounting)."""
+    from repro.core.runtime import KFlexRuntime
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+
+    def trace(engine, fuse):
+        rt = KFlexRuntime(engine=engine, fuse=fuse)
+        heap = rt.create_heap(1 << 16, name="memf")
+        m = MacroAsm()
+        m.heap_addr(R.R6, 0x40)
+        m.mov(R.R3, 0xABCD)
+        m.ldx(R.R7, R.R6)       # load a heap offset from the cell...
+        m.stx(R.R7, R.R3, 0, 8)  # ...and store through it (Kie guards R7)
+        m.mov(R.R0, 7)
+        m.exit()
+        prog = Program("memf", m.assemble(), hook="bench", heap_size=1 << 16)
+        ext = rt.load(prog, heap=heap, attach=False, elision=False)
+        assert heap.reserve_static(64) == 0x40
+        ctx = rt.make_ctx(0, [0] * 8)
+        out = []
+        # Populated header page: the fused fast path commits.
+        rt.kernel.aspace.write_int(heap.base + 0x40, 0x80, 8)
+        out.append((ext.invoke(ctx), describe_result(ext.last_result)))
+        out.append(rt.kernel.aspace.read_int(heap.base + 0x80, 8))
+        # Unpopulated page: deopt -> slow path -> page-fault cancel.
+        rt.kernel.aspace.write_int(heap.base + 0x40, 0x8000, 8)
+        ext.dead = False
+        out.append((ext.invoke(ctx), describe_result(ext.last_result)))
+        out.append(dict(ext.stats.cancellations_by_reason))
+        if engine == "threaded" and fuse is not False:
+            eng = ext._engines[0].engine
+            assert any(k == "mem" for _, _, k in eng.plan)
+            assert eng.fused_blocks > 0
+        return out
+
+    ti = trace("interp", None)
+    tu = trace("threaded", False)
+    tf = trace("threaded", None)
+    assert ti == tu == tf
+    assert ti[1] == 0xABCD  # the guarded store actually landed
+
+
+@pytest.mark.fuse
+def test_fused_injected_fault_parity():
+    """Same fault plan, same workload: fused and unfused threaded
+    execution produce bit-identical ExecResults and injector schedules
+    (and both match the interpreter via the default-on load path)."""
+    tu = _run_injected_ds("threaded", fuse=False)
+    tf = _run_injected_ds("threaded", fuse=None)
+    assert tu == tf
+    assert sum(tu[2].values()) > 0
+
+
 # -- runtime-level parity -----------------------------------------------------
 
 
@@ -553,13 +708,13 @@ def test_quarantine_readmission_parity_across_engines():
 # -- injected-fault parity ----------------------------------------------------
 
 
-def _run_injected_ds(engine: str):
+def _run_injected_ds(engine: str, fuse=None):
     """Drive a hashmap under a fault plan; capture every observable."""
     from repro.core.runtime import KFlexRuntime
     from repro.apps.datastructures import ALL_STRUCTURES
     from repro.sim.faults import FaultPlan
 
-    rt = KFlexRuntime(engine=engine)
+    rt = KFlexRuntime(engine=engine, fuse=fuse)
     rt.watchdog_period = 64
     ds = ALL_STRUCTURES["hashmap"](rt)
     inj = rt.install_injector(FaultPlan(11, {

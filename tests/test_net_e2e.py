@@ -159,3 +159,166 @@ def test_e2e_quarantine_cycle_is_oracle_exact():
         assert report["held_locks"] == 0
 
     asyncio.run(run())
+
+
+# -- batched-ingress boundaries ----------------------------------------------
+#
+# The batching contract: admission strictly per packet before a packet
+# joins a batch, partial batches always served (timer, drain, stop),
+# and wire behavior bit-identical to the unbatched path.
+
+
+class _ReplyCollector(asyncio.DatagramProtocol):
+    """Bare client endpoint: sends raw datagrams, collects replies."""
+
+    def __init__(self):
+        self.replies: list[bytes] = []
+        self.transport = None
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        self.replies.append(data)
+
+
+async def _collector(host="127.0.0.1"):
+    loop = asyncio.get_running_loop()
+    proto = _ReplyCollector()
+    await loop.create_datagram_endpoint(lambda: proto, local_addr=(host, 0))
+    return proto
+
+
+@pytest.mark.net
+def test_batched_ingress_is_oracle_exact_with_partial_batches():
+    """Closed-loop clients against a batched datapath: at most
+    N_CLIENTS packets are ever pending, so every batch is partial and
+    drains on the timer — and the wire replies must still be
+    bit-identical to the oracle."""
+    from repro.net import UdpDatapath, build_service
+
+    async def run():
+        svc = build_service("memcached", fallback="none", perf_mode=True)
+        dp = await UdpDatapath(
+            svc, cpu=0, batch_size=8, batch_timeout=0.001
+        ).start()
+        gen = UdpLoadGenerator(
+            [dp.port],
+            steady_workload,
+            n_clients=N_CLIENTS,
+            requests_per_client=300,
+            matcher=matcher,
+            keep_log=True,
+        )
+        res = await gen.run()
+        assert res.failures == 0
+        assert res.replies == N_CLIENTS * 300
+        # Everything went through batches, all within the size budget.
+        stats = dp.stats
+        assert stats.batches > 0
+        assert all(1 <= size <= 8 for size in stats.batch_hist)
+        assert sum(s * c for s, c in stats.batch_hist.items()) == res.replies
+        await dp.stop()
+        _replay_against_oracle([res])
+
+    asyncio.run(run())
+
+
+@pytest.mark.net
+def test_batch_timeout_flushes_single_queued_packet():
+    """One datagram against a size-64 batch: the time budget, not the
+    size budget, must flush it."""
+    from repro.net import UdpDatapath, build_service
+
+    async def run():
+        svc = build_service("memcached", fallback="none", perf_mode=True)
+        dp = await UdpDatapath(
+            svc, cpu=0, batch_size=64, batch_timeout=0.005
+        ).start()
+        client = await _collector()
+        client.transport.sendto(P.encode_set(7, 42), ("127.0.0.1", dp.port))
+        for _ in range(100):
+            if client.replies:
+                break
+            await asyncio.sleep(0.005)
+        assert len(client.replies) == 1
+        assert dp.stats.batch_hist == {1: 1}
+        await dp.stop()
+
+    asyncio.run(run())
+
+
+@pytest.mark.net
+def test_stop_flushes_partial_batch():
+    """Packets admitted into a pending batch are served on graceful
+    stop even if neither the size nor the time budget ever fired."""
+    from repro.net import UdpDatapath, build_service
+
+    async def run():
+        svc = build_service("memcached", fallback="none", perf_mode=True)
+        # Time budget far beyond the test: only stop() can flush.
+        dp = await UdpDatapath(
+            svc, cpu=0, batch_size=32, batch_timeout=30.0
+        ).start()
+        client = await _collector()
+        ingress = dp._ingress
+        for k in range(5):
+            ingress.datagram_received(
+                P.encode_set(k, k), client.transport.get_extra_info("sockname")
+            )
+        assert len(ingress._pending) == 5  # batched, not yet drained
+        assert dp.stats.replied == 0
+        await dp.stop()
+        for _ in range(100):
+            if len(client.replies) == 5:
+                break
+            await asyncio.sleep(0.005)
+        assert len(client.replies) == 5
+        assert dp.stats.replied == 5
+        assert dp.stats.batch_hist == {5: 1}
+
+    asyncio.run(run())
+
+
+@pytest.mark.net
+def test_mid_batch_shed_accounting_matches_unbatched():
+    """Admission happens before a packet joins a batch, so shed
+    accounting is identical batched or not: over-budget packets are
+    shed while a batch is pending, and draining the batch releases
+    exactly the admitted ones without disturbing the shed counters."""
+    from repro.net import AdmissionPolicy, UdpDatapath, build_service
+
+    async def run():
+        svc = build_service("memcached", fallback="none", perf_mode=True)
+        policy = AdmissionPolicy(max_inflight=2)
+        dp = await UdpDatapath(
+            svc, cpu=0, policy=policy, batch_size=4, batch_timeout=30.0
+        ).start()
+        client = await _collector()
+        addr = client.transport.get_extra_info("sockname")
+        ingress = dp._ingress
+        for k in range(5):
+            ingress.datagram_received(P.encode_set(k, k), addr)
+        # 2 admitted into the pending batch, 3 shed at admission —
+        # exactly what the unbatched path would have done.
+        assert len(ingress._pending) == 2
+        assert dp.admission.inflight == 2
+        assert dp.admission.stats.admitted == 2
+        assert dp.admission.stats.shed_inflight == 3
+        assert dp.stats.received == 5
+
+        shed_before = dp.admission.stats.shed_inflight
+        ingress.flush()
+        # The drain released the admitted packets and left shed alone.
+        assert dp.admission.inflight == 0
+        assert dp.admission.stats.completed == 2
+        assert dp.admission.stats.shed_inflight == shed_before
+        assert dp.stats.batch_hist == {2: 1}
+        for _ in range(100):
+            if len(client.replies) == 2:
+                break
+            await asyncio.sleep(0.005)
+        assert len(client.replies) == 2
+        await dp.stop()
+
+    asyncio.run(run())
