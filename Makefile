@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-net test-recovery bench bench-quick bench-load bench-net bench-recovery bench-baseline chaos-quick chaos-recovery
+.PHONY: test test-net test-recovery test-replication bench bench-quick bench-load bench-net bench-recovery bench-replication bench-baseline chaos-quick chaos-recovery chaos-replication
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -18,6 +18,12 @@ test-net:
 # end-to-end test (excluded from tier-1).
 test-recovery:
 	$(PY) -m pytest tests/ -q -m recovery
+
+# Replicated durable-state suite: multi-node WAL shipping over real
+# sockets, quorum acks, and primary-kill promotion (excluded from
+# tier-1).
+test-replication:
+	$(PY) -m pytest tests/ -q -m replication
 
 # Network datapath gate: kernel fast path (batched ingress + fused
 # engine, best point on the pps-vs-batch-size curve) must beat the
@@ -55,6 +61,19 @@ chaos-quick:
 # barrier rollback, or < 200 injected crashes.
 chaos-recovery:
 	sh scripts/chaos_recovery.sh
+
+# Replication gate: seeded crash-point fuzz over the WAL-shipping
+# pipeline — primary, follower, promotion, and anti-entropy deaths —
+# checked by a linearizability-of-acked-writes oracle; fails on any
+# acked-write loss, fencing violation, divergence, or < 200 deaths.
+chaos-replication:
+	sh scripts/chaos_replication.sh
+
+# Replication perf gate: quorum-ack (k=1) overhead on the 90:10 mix
+# must stay <= 35% vs single-node durable; promotion-to-first-request
+# time under budget.
+bench-replication:
+	$(PY) benchmarks/bench_replication.py --check
 
 # Durability perf gate: WAL-on overhead on the Fig-2 memcached workload
 # must stay <= 15%; warm recovery of a 100k-entry map under budget.

@@ -1,0 +1,317 @@
+"""Replication benchmark: quorum-ack overhead + promotion time.
+
+Replicated durable state is only practical if (a) waiting for follower
+acks costs little on the serving path and (b) a killed primary's
+replica set starts answering again fast.  This benchmark gates both:
+
+* **Quorum-ack overhead** — the map-authoritative Memcached extension
+  serves the Fig-2 workload shape (Zipfian(0.99) keys, the paper's
+  three GET:SET mixes) through real XDP invocations, once over a
+  single-node durable store (``sync_every=1``, the acked=>durable
+  baseline) and once with every journaled record shipped to follower
+  replicas and the ack held for ``sync_replicas=k`` confirmations
+  (in-process channels, so the number is the shipping pipeline's CPU
+  cost, not loopback RTT).  The gate: on the canonical 90:10 mix the
+  per-request p50 at k=1 may cost at most ``P50_OVERHEAD_CEILING``
+  over single-node durable.  k=2 and SET-heavy mixes are reported for
+  the curve but not gated — shipping is per-SET, so overhead scales
+  with the SET share by construction.
+
+* **Promotion time** — a real replica set (primary ShardWorker + two
+  follower nodes over TCP, as in ``tests/test_net_replication.py``)
+  serves acked SETs, the primary is killed (``kill -9`` analog), and
+  the clock runs from the kill to the first request served by the
+  promoted follower; must finish within ``PROMOTION_BUDGET_S``.
+
+.. code-block:: console
+
+    $ python benchmarks/bench_replication.py            # print results
+    $ python benchmarks/bench_replication.py --update   # refresh baseline
+    $ python benchmarks/bench_replication.py --check    # gate (make bench-replication)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import statistics
+import sys
+import tempfile
+import time
+
+HERE = pathlib.Path(__file__).parent
+BASELINE_JSON = HERE / "results" / "BENCH_replication.json"
+
+#: Acceptance ceiling: p50 per-request cost of quorum k=1 on the
+#: 90:10 mix, relative to single-node durable.
+P50_OVERHEAD_CEILING = 0.35
+#: Acceptance budget: primary kill -> first served request, seconds.
+PROMOTION_BUDGET_S = 10.0
+#: Loose regression gate vs the committed baseline (wall clock).
+REGRESSION_TOLERANCE = 0.50
+
+MIXES = {"90:10": 0.9, "50:50": 0.5, "10:90": 0.1}
+N_REQUESTS = 3000
+N_KEYS = 1000
+MAP_CAPACITY = 2048
+ZIPF_S = 0.99
+BEST_OF = 3
+
+
+def _zipf_keys(rng: random.Random, n: int) -> list[int]:
+    weights = [1.0 / (k + 1) ** ZIPF_S for k in range(N_KEYS)]
+    return rng.choices(range(N_KEYS), weights=weights, k=n)
+
+
+def _requests(mix_ratio: float, seed: str) -> list[bytes]:
+    from repro.apps.memcached import protocol as P
+
+    rng = random.Random(f"bench-replication:{seed}")
+    return [
+        P.encode_get(key) if rng.random() < mix_ratio
+        else P.encode_set(key, key * 7 + 1)
+        for key in _zipf_keys(rng, N_REQUESTS)
+    ]
+
+
+def _serve(requests: list[bytes], n_followers: int, k: int) -> list[float]:
+    """One serving run; returns per-request wall-clock seconds.
+
+    ``n_followers=0`` is the single-node durable baseline.  With
+    followers, each SET's journaled record is shipped over in-process
+    channels and the 'reply' waits for ``k`` durable follower acks —
+    the same stage/commit split the serving layer uses."""
+    from repro.apps.memcached import protocol as P
+    from repro.apps.memcached.durable_ext import build_durable_memcached_program
+    from repro.core.runtime import KFlexRuntime
+    from repro.ebpf.maps import HashMap
+    from repro.kernel.machine import Kernel
+    from repro.state import DurableStore, MemStorage
+    from repro.state.replication import (
+        LocalChannel,
+        QuorumShipper,
+        ReplicaSession,
+    )
+
+    shipper = None
+    if n_followers:
+        channels = [
+            LocalChannel(f"n{i}", ReplicaSession(MemStorage(),
+                                                 node_id=f"n{i}"))
+            for i in range(n_followers)
+        ]
+        shipper = QuorumShipper(channels, sync_replicas=k,
+                                maintenance_every=None)
+    rt = KFlexRuntime(Kernel())
+    cache = HashMap(
+        rt.kernel.aspace, rt.kernel.vmalloc,
+        key_size=P.KEY_SIZE, value_size=P.VAL_SIZE,
+        max_entries=MAP_CAPACITY,
+    )
+    store = DurableStore(storage=MemStorage(), sync_every=1,
+                         shipper=shipper)
+    rt.pin_map("bench/cache", cache, store)
+    ext = rt.load(build_durable_memcached_program(cache), mode="ebpf")
+    for key in range(int(N_KEYS * 0.6)):
+        cache.update(P.key_bytes(key), P.value_bytes(key))
+    if shipper is not None:
+        shipper.commit()  # ship the warmup out of the measured window
+    samples = []
+    for pkt in requests:
+        t0 = time.perf_counter()
+        ext.invoke(ext.xdp_ctx(pkt, 0), cpu=0)
+        if shipper is not None and shipper.has_staged():
+            shipper.commit()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _p50_us(samples: list[float]) -> float:
+    return statistics.median(samples) * 1e6
+
+
+def bench_quorum_overhead() -> dict:
+    out = {}
+    for mix, ratio in MIXES.items():
+        requests = _requests(ratio, seed=mix)
+        legs = {}
+        for name, (nf, k) in {
+            "single": (0, 0), "k1": (2, 1), "k2": (2, 2),
+        }.items():
+            best = min(
+                (_serve(requests, nf, k) for _ in range(BEST_OF)),
+                key=statistics.median,
+            )
+            legs[name] = best
+        base = _p50_us(legs["single"])
+        out[mix] = {
+            "single_p50_us": round(base, 3),
+            "k1_p50_us": round(_p50_us(legs["k1"]), 3),
+            "k2_p50_us": round(_p50_us(legs["k2"]), 3),
+            "k1_overhead": round((_p50_us(legs["k1"]) - base) / base, 4),
+            "k2_overhead": round((_p50_us(legs["k2"]) - base) / base, 4),
+            "single_krps": round(
+                N_REQUESTS / sum(legs["single"]) / 1e3, 2
+            ),
+            "k1_krps": round(N_REQUESTS / sum(legs["k1"]) / 1e3, 2),
+        }
+    return out
+
+
+def bench_promotion_time() -> dict:
+    """Primary kill -> first reply from the promoted follower (TCP)."""
+    import asyncio
+
+    from repro.apps.memcached import protocol as P
+    from repro.net import TcpDatapath, TcpLoadGenerator
+    from repro.net.replica import ReplicatedFailover, ReplicatedShard
+    from repro.net.shard import ConsistentHashRing, ShardRouterService
+
+    async def run(root) -> dict:
+        loop = asyncio.get_running_loop()
+        rset = ReplicatedShard(0, root, n_replicas=2, sync_replicas=1,
+                               capacity=MAP_CAPACITY)
+        await loop.run_in_executor(None, rset.start_followers)
+        primary = rset.build_primary(n_workers=2)
+        primary.start()
+        await loop.run_in_executor(None, primary.wait_ready)
+        workers = [primary]
+        failover = ReplicatedFailover(workers, [rset], n_workers=2)
+        router = ShardRouterService(
+            workers, ConsistentHashRing(1),
+            lambda p: P.decode_request(p)[1], failover=failover,
+        )
+        front = await TcpDatapath(router).start()
+        # Acked, replicated state for the promotee to serve.
+        seed = TcpLoadGenerator(
+            [front.port],
+            lambda cid, seq: (seq % 256, P.encode_set(seq % 256, seq)),
+            n_clients=2, requests_per_client=256,
+        )
+        res = await seed.run()
+        assert res.failures == 0
+        t0 = time.perf_counter()
+        await loop.run_in_executor(None, primary.crash)
+        probe = TcpLoadGenerator(
+            [front.port],
+            lambda cid, seq: (0, P.encode_get(0)),
+            n_clients=1, requests_per_client=1,
+        )
+        pres = await probe.run()
+        promotion_s = time.perf_counter() - t0
+        assert pres.failures == 0
+        assert rset.promotions == 1
+        await front.stop()
+        await loop.run_in_executor(None, failover.workers[0].shutdown)
+        await loop.run_in_executor(None, rset.stop)
+        return {
+            "acked_before_kill": res.requests,
+            "promotion_to_first_reply_s": round(promotion_s, 3),
+            "epoch_after": rset.epoch,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="kflex-bench-repl.") as tmp:
+        return asyncio.run(run(tmp))
+
+
+def run_benchmark() -> dict:
+    return {
+        "workload": "quorum-ack overhead (in-process shipping) + "
+                    "promotion time (TCP replica set)",
+        "quorum": bench_quorum_overhead(),
+        "promotion": bench_promotion_time(),
+    }
+
+
+def format_result(result: dict) -> str:
+    lines = ["replication benchmark (quorum-ack overhead, promotion time)"]
+    for mix, row in result["quorum"].items():
+        gate = "  (gated)" if mix == "90:10" else ""
+        lines.append(
+            f"  {mix}: p50 {row['single_p50_us']:7.2f}us single -> "
+            f"{row['k1_p50_us']:7.2f}us k=1 "
+            f"({row['k1_overhead'] * 100:+5.1f}%), "
+            f"{row['k2_p50_us']:7.2f}us k=2 "
+            f"({row['k2_overhead'] * 100:+5.1f}%){gate}"
+        )
+    pro = result["promotion"]
+    lines.append(
+        f"  promotion: kill -> first reply in "
+        f"{pro['promotion_to_first_reply_s']:.3f}s "
+        f"({pro['acked_before_kill']} acked writes promoted, "
+        f"epoch {pro['epoch_after']}, budget {PROMOTION_BUDGET_S}s)"
+    )
+    return "\n".join(lines)
+
+
+def check_result(result: dict) -> tuple[bool, str]:
+    overhead = result["quorum"]["90:10"]["k1_overhead"]
+    if overhead > P50_OVERHEAD_CEILING:
+        return False, (
+            f"quorum k=1 p50 overhead {overhead * 100:.1f}% on the 90:10 "
+            f"mix exceeds the {P50_OVERHEAD_CEILING * 100:.0f}% ceiling"
+        )
+    promo_s = result["promotion"]["promotion_to_first_reply_s"]
+    if promo_s > PROMOTION_BUDGET_S:
+        return False, (
+            f"promotion took {promo_s:.2f}s to first served request, "
+            f"over the {PROMOTION_BUDGET_S}s budget"
+        )
+    if not BASELINE_JSON.exists():
+        return True, f"no baseline at {BASELINE_JSON}; ceiling-only gate passed"
+    baseline = json.loads(BASELINE_JSON.read_text())
+    base_promo = baseline["promotion"]["promotion_to_first_reply_s"]
+    ceiling = max(base_promo * (1.0 + REGRESSION_TOLERANCE), 1.0)
+    ok = promo_s <= ceiling
+    msg = (
+        f"k=1 p50 overhead {overhead * 100:.1f}% (ceiling "
+        f"{P50_OVERHEAD_CEILING * 100:.0f}%), promotion {promo_s:.3f}s vs "
+        f"baseline {base_promo:.3f}s (ceiling {ceiling:.3f}s): "
+        + ("OK" if ok else "REGRESSION")
+    )
+    return ok, msg
+
+
+# -- pytest entry -------------------------------------------------------------
+
+
+def test_replication_benchmark():
+    from conftest import emit
+
+    result = run_benchmark()
+    emit("BENCH_replication", format_result(result))
+    ok, msg = check_result(result)
+    assert ok, msg
+
+
+# -- standalone entry ---------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(HERE.parent / "src"))
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--update", action="store_true",
+                   help="rewrite the committed baseline "
+                        "BENCH_replication.json")
+    p.add_argument("--check", action="store_true",
+                   help="fail over the 35%% p50 ceiling, the promotion "
+                        "budget, or a >50%% baseline regression")
+    args = p.parse_args(argv)
+
+    result = run_benchmark()
+    print(format_result(result))
+    if args.update:
+        BASELINE_JSON.parent.mkdir(exist_ok=True)
+        BASELINE_JSON.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_JSON}")
+    if args.check:
+        ok, msg = check_result(result)
+        print(msg)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Replication gate: seeded crash-point fuzz over the WAL-shipping
+# pipeline.  Five runs x 1200 mutations at sync_replicas=1 plus one
+# k=2 leg inject well over 200 deaths across primary kills, follower
+# kills mid-append/mid-flush, deaths during promotion recovery, and
+# deaths inside anti-entropy snapshot installs.  The campaign fails on
+# any acked-write loss across promotion (linearizability oracle), any
+# accepted stale-epoch frame, any divergence between a recovered node
+# and the acked-prefix shadow, or fewer than 200 injected deaths.
+# --min-deaths makes the coverage floor an explicit gate, not a hope.
+#
+# Usage: scripts/chaos_replication.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro.sim.chaos --apps none \
+        --replication 5 --replication-ops 1200 --seed 1 \
+        --min-deaths 200

@@ -88,7 +88,12 @@ class RestartBackoff:
     stays up longer than ``storm_window_s`` between crashes resets its
     strike count, mirroring the fault-rate window.
 
-    ``clock`` is injectable for deterministic tests.
+    Each delay carries multiplicative jitter in ``[1, 1 + jitter)`` so
+    simultaneous deaths (a replica set losing several nodes at once, or
+    every shard of a host dying together) decorrelate instead of
+    thundering back through the router's retry path in lockstep.
+
+    ``clock`` and ``rng`` are injectable for deterministic tests.
     """
 
     def __init__(
@@ -96,13 +101,18 @@ class RestartBackoff:
         policy: QuarantinePolicy | None = None,
         *,
         storm_window_s: float = 30.0,
+        jitter: float = 0.1,
         clock=None,
+        rng=None,
     ):
+        import random
         import time
 
         self.policy = policy or QuarantinePolicy()
         self.storm_window_s = storm_window_s
+        self.jitter = jitter
         self.clock = clock or time.monotonic
+        self.rng = rng or random.Random()
         self._strikes: dict[int, int] = {}
         self._last: dict[int, float] = {}
         self.restarts = 0
@@ -122,6 +132,8 @@ class RestartBackoff:
             self.policy.base_backoff_ns * self.policy.backoff_factor ** strikes,
             self.policy.max_backoff_ns,
         )
+        if self.jitter > 0.0:
+            delay_ns *= 1.0 + self.rng.uniform(0.0, self.jitter)
         return delay_ns / 1e9
 
     def strikes(self, shard_id: int) -> int:

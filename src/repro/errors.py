@@ -186,3 +186,58 @@ class ShardCrashed(ReproError):
     def __init__(self, shard_id: int):
         self.shard_id = shard_id
         super().__init__(f"shard {shard_id} crashed")
+
+
+# ---------------------------------------------------------------------------
+# Replication (repro.state.replication)
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ReproError):
+    """Base class for WAL-shipping / quorum replication failures.
+
+    Unlike :class:`StateError` these are *runtime* conditions (a
+    follower died, a quorum is unreachable, an epoch was superseded),
+    not programming errors; callers handle them by shedding the write
+    or triggering repair, never by acknowledging it."""
+
+
+class ChannelDown(ReplicationError):
+    """The shipping channel to one follower is unusable (connect
+    refused, send/recv failure, or the follower died mid-frame).  The
+    shipper marks the channel dead and counts the follower out of the
+    quorum until anti-entropy brings it back."""
+
+    def __init__(self, node_id: str, message: str = ""):
+        self.node_id = node_id
+        super().__init__(message or f"follower channel {node_id} down")
+
+
+class QuorumLost(ReplicationError):
+    """Fewer than ``sync_replicas`` followers acknowledged a shipped
+    record.  The write is durable locally but MUST NOT be acked to the
+    client — the service drops the reply and the client retries."""
+
+    def __init__(self, pin: str, seq: int, acked: int, needed: int):
+        self.pin = pin
+        self.seq = seq
+        self.acked = acked
+        self.needed = needed
+        super().__init__(
+            f"quorum lost shipping {pin!r} seq {seq}: "
+            f"{acked}/{needed} follower acks"
+        )
+
+
+class PrimaryFenced(ReplicationError):
+    """A follower rejected this primary's frames because it has seen a
+    higher epoch: a promotion happened and this primary is deposed.
+    Every subsequent ship fails immediately; nothing it journals may be
+    acknowledged again."""
+
+    def __init__(self, epoch: int, newer_epoch: int):
+        self.epoch = epoch
+        self.newer_epoch = newer_epoch
+        super().__init__(
+            f"primary at epoch {epoch} fenced by epoch {newer_epoch}"
+        )

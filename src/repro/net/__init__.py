@@ -45,6 +45,12 @@ from repro.net.service import (
     ServiceStats,
     build_service,
 )
+from repro.net.replica import (
+    ReplicatedFailover,
+    ReplicatedShard,
+    ReplicaWorker,
+    SocketFollowerChannel,
+)
 from repro.net.shard import (
     ConsistentHashRing,
     ShardedUdpDatapath,
@@ -61,7 +67,11 @@ __all__ = [
     "LoadResult",
     "OpenLoopResult",
     "OpenLoopUdpGenerator",
+    "ReplicaWorker",
+    "ReplicatedFailover",
+    "ReplicatedShard",
     "ServiceStats",
+    "SocketFollowerChannel",
     "ShardRouterService",
     "ShardWorker",
     "ShardedUdpDatapath",

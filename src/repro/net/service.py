@@ -299,6 +299,17 @@ class DurableMemcachedService(ExtensionService):
     With the store's default ``sync_every=1`` every SET is flushed
     before the XDP reply leaves, so an acknowledged write is durable —
     the invariant the failover test checks key by key.
+
+    When the store carries a :class:`~repro.state.replication
+    .QuorumShipper`, the ack path becomes quorum-aware: records the
+    extension journaled are shipped to the follower replicas *after*
+    the engine returns and *before* the reply goes out, and a write
+    that cannot reach ``sync_replicas`` durable follower acks is
+    dropped, not answered (the client retries; nothing unreplicated is
+    ever acknowledged).  A :class:`~repro.errors.PrimaryFenced` ship
+    means a promotion deposed this node — it stops answering writes
+    entirely and counts them as ``fenced_drops`` until failover
+    replaces it.
     """
 
     def __init__(
@@ -352,6 +363,36 @@ class DurableMemcachedService(ExtensionService):
                 attach=False,
             )
         super().__init__(runtime, ext=ext, userspace=userspace)
+        self.shipper = getattr(store, "shipper", None)
+        #: Writes dropped because the follower quorum was unreachable /
+        #: because this primary has been fenced by a newer epoch.
+        self.quorum_drops = 0
+        self.fenced_drops = 0
+
+    def _serve_sync(self, payload: bytes, cpu: int):
+        reply, path = super()._serve_sync(payload, cpu)
+        shipper = self.shipper
+        if shipper is not None and shipper.has_staged():
+            from repro.errors import PrimaryFenced, QuorumLost
+
+            try:
+                shipper.commit()
+            except QuorumLost:
+                self.quorum_drops += 1
+                return None, "drop"
+            except PrimaryFenced:
+                self.fenced_drops += 1
+                return None, "drop"
+        return reply, path
+
+    def ingress_batch(self, payloads, cpu: int = 0) -> list:
+        if self.shipper is None:
+            return super().ingress_batch(payloads, cpu)
+        # The batched engine entry bypasses _serve_sync, and with it the
+        # quorum commit; with replication on, every packet must pass
+        # through the ship-then-ack gate, so batching degrades to the
+        # per-packet loop (the replication benchmark prices this in).
+        return [self.ingress(p, cpu) for p in payloads]
 
     def close(self) -> None:
         # Flush, don't snapshot: close must be cheap and crash-safe

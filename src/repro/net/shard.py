@@ -388,9 +388,31 @@ class ShardFailover:
         self.batch_timeout = batch_timeout
         self.backoff = backoff or RestartBackoff()
         self.replacements = 0
+        #: Telemetry: every entry into :meth:`replace` that found the
+        #: worker still dead (including concurrent callers that lost the
+        #: race), and requests the router abandoned after exhausting its
+        #: retry budget.
+        self.attempts = 0
+        self.give_ups = 0
+        #: Fencing epoch per shard id (raised by replica promotion);
+        #: shards without replication stay at 0.
+        self.epochs: dict[int, int] = {}
         self._locks: dict[int, asyncio.Lock] = {}
 
+    def current_epoch(self, shard_id: int) -> int:
+        return self.epochs.get(shard_id, 0)
+
+    def telemetry(self) -> dict:
+        return {
+            "replacements": self.replacements,
+            "attempts": self.attempts,
+            "give_ups": self.give_ups,
+            "restarts": self.backoff.restarts,
+            "epochs": dict(self.epochs),
+        }
+
     async def replace(self, shard_id: int, crashed_worker) -> None:
+        self.attempts += 1
         lock = self._locks.setdefault(shard_id, asyncio.Lock())
         async with lock:
             if self.workers[shard_id] is not crashed_worker:
@@ -402,19 +424,25 @@ class ShardFailover:
             # Joining the dead thread blocks; keep it off the router loop.
             if getattr(crashed_worker, "is_alive", None) and crashed_worker.is_alive():
                 await loop.run_in_executor(None, crashed_worker.crash)
-            w = ShardWorker(
-                shard_id,
-                self.service_factory,
-                host=self.host,
-                policy=self.policy,
-                n_workers=self.n_workers,
-                batch_size=self.batch_size,
-                batch_timeout=self.batch_timeout,
-            )
-            w.start()
-            await loop.run_in_executor(None, w.wait_ready)
+            w = await self._build_replacement(shard_id, crashed_worker, loop)
             self.workers[shard_id] = w
             self.replacements += 1
+
+    async def _build_replacement(self, shard_id, crashed_worker, loop):
+        """Cold restart from local durable state (replication-aware
+        subclasses promote a follower instead)."""
+        w = ShardWorker(
+            shard_id,
+            self.service_factory,
+            host=self.host,
+            policy=self.policy,
+            n_workers=self.n_workers,
+            batch_size=self.batch_size,
+            batch_timeout=self.batch_timeout,
+        )
+        w.start()
+        await loop.run_in_executor(None, w.wait_ready)
+        return w
 
     def shutdown_all(self, timeout: float = 10.0) -> list:
         return [
@@ -440,20 +468,40 @@ class ShardRouterService:
     waits for the replacement (re-reading the failover's worker list)
     and retries there, so clients see latency, not failures.  ``shards``
     should then be the failover's own (mutable) worker list.
+
+    The retry path is bounded twice over: each attempt gets a
+    per-attempt deadline (``attempt_timeout``, so a wedged worker costs
+    one timeout, not the client's whole deadline-sweeper window), and
+    the retries share a total budget (``retry_budget_s``) after which
+    the request is *shed* — a ``None`` reply, the datapath's empty
+    frame, the same signal admission control uses — rather than parked
+    forever on a shard that keeps dying.  ``retries``,
+    ``retry_timeouts`` and ``shed_retry_budget`` sit next to the shed
+    counters a load generator's :class:`LatencyStats` sees.
     """
 
     def __init__(self, shards, ring: ConsistentHashRing, key_fn, *,
                  failover: ShardFailover | None = None,
-                 max_failover_retries: int = 3):
+                 max_failover_retries: int = 3,
+                 attempt_timeout: float | None = 5.0,
+                 retry_budget_s: float = 20.0):
         self.shards = shards if failover is not None else list(shards)
         self.ring = ring
         self.key_fn = key_fn
         self.failover = failover
         self.max_failover_retries = max_failover_retries
+        self.attempt_timeout = attempt_timeout
+        self.retry_budget_s = retry_budget_s
         self.stats = ServiceStats()
         #: Requests that hit a crashed shard and were retried on its
         #: replacement.
         self.failovers = 0
+        #: Total retry attempts (crash- and timeout-triggered alike).
+        self.retries = 0
+        #: Attempts abandoned by the per-attempt deadline.
+        self.retry_timeouts = 0
+        #: Requests shed after the total retry budget ran out.
+        self.shed_retry_budget = 0
 
     async def handle(self, payload: bytes, cpu: int = 0) -> bytes | None:
         self.stats.requests += 1
@@ -464,16 +512,64 @@ class ShardRouterService:
             return None
         sid = self.ring.shard_of(key)
         attempts = self.max_failover_retries if self.failover is not None else 0
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.retry_budget_s
         while True:
             shard = self.shards[sid]
+            if (
+                self.failover is not None
+                and getattr(shard, "epoch", None) is not None
+                and shard.epoch < self.failover.current_epoch(sid)
+            ):
+                # A promotion superseded this worker while we were
+                # waiting; treat it exactly like a crash so requests
+                # never land on a fenced primary.
+                if not await self._note_retry(sid, shard, deadline, attempts):
+                    return None
+                attempts -= 1
+                continue
             try:
+                if self.attempt_timeout is not None:
+                    return await asyncio.wait_for(
+                        shard.handle(payload), self.attempt_timeout
+                    )
                 return await shard.handle(payload)
+            except asyncio.TimeoutError:
+                self.retry_timeouts += 1
+                if attempts <= 0 or self.failover is None:
+                    self.stats.dropped += 1
+                    self.shed_retry_budget += 1
+                    return None
+                if not await self._note_retry(sid, shard, deadline, attempts):
+                    return None
+                attempts -= 1
             except ShardCrashed:
                 if attempts <= 0:
                     raise
+                if not await self._note_retry(sid, shard, deadline, attempts):
+                    return None
                 attempts -= 1
-                self.failovers += 1
-                await self.failover.replace(sid, shard)
+
+    async def _note_retry(self, sid, shard, deadline, attempts) -> bool:
+        """Account one retry and run failover; False -> budget spent,
+        the caller sheds the request."""
+        loop = asyncio.get_running_loop()
+        if loop.time() >= deadline:
+            self.stats.dropped += 1
+            self.shed_retry_budget += 1
+            self.failover.give_ups += 1
+            return False
+        self.retries += 1
+        self.failovers += 1
+        remaining = deadline - loop.time()
+        try:
+            await asyncio.wait_for(self.failover.replace(sid, shard), remaining)
+        except asyncio.TimeoutError:
+            self.stats.dropped += 1
+            self.shed_retry_budget += 1
+            self.failover.give_ups += 1
+            return False
+        return True
 
     def quiescence_report(self) -> dict:
         # Shards are drained by their owner (ShardedUdpDatapath.stop);

@@ -647,6 +647,448 @@ def run_recovery_campaign(
     return report
 
 
+DEFAULT_REPLICATION_RATES = {
+    # primary-side durability sites (kept mild: each fires a promotion)
+    "wal.append": 0.003,
+    "wal.flush": 0.003,
+    "snapshot.write": 0.030,
+    "snapshot.commit": 0.030,
+    "wal.compact": 0.030,
+    "recovery.replay": 0.002,
+    # shipping / follower / anti-entropy / promotion sites
+    "ship.send": 0.006,
+    "replica.append": 0.008,
+    "replica.flush": 0.008,
+    "antientropy.send": 0.030,
+    "antientropy.install": 0.060,
+    "promote.recover": 0.120,
+}
+
+
+@dataclass
+class ReplicationChaosReport:
+    """Outcome of one replicated-durability fuzz run."""
+
+    seed: int
+    n_ops: int
+    sync_replicas: int = 1
+    digest: str = ""
+    deaths: int = 0
+    sites_crashed: tuple = ()
+    primary_deaths: int = 0
+    follower_deaths: int = 0
+    promotion_deaths: int = 0
+    promotions: int = 0
+    epoch: int = 1
+    recoveries: int = 0
+    follower_restarts: int = 0
+    acked_ops: int = 0
+    quorum_losses: int = 0
+    resyncs: int = 0
+    snapshots_shipped: int = 0
+    fence_checks: int = 0
+    #: Oracle violations: (op index, description).  Must be empty.
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.errors)} ERRORS"
+        sites = ",".join(self.sites_crashed) or "-"
+        return (
+            f"chaos[replication] seed={self.seed} ops={self.n_ops} "
+            f"k={self.sync_replicas} deaths={self.deaths} ({sites}) "
+            f"primary={self.primary_deaths} follower={self.follower_deaths} "
+            f"promotions={self.promotions} epoch={self.epoch} "
+            f"acked={self.acked_ops} qlost={self.quorum_losses} "
+            f"resyncs={self.resyncs} fences={self.fence_checks} "
+            f"digest={self.digest[:16]} {status}"
+        )
+
+
+def run_replication_campaign(
+    seed: int = 0,
+    n_ops: int = 1200,
+    *,
+    n_followers: int = 2,
+    sync_replicas: int = 1,
+    crash_rates: dict | None = None,
+    snapshot_every: int | None = 64,
+    key_space: int = 48,
+    max_entries: int = 64,
+) -> ReplicationChaosReport:
+    """Seeded fuzz over a full replica set: primary + N followers.
+
+    Random churn runs against a journaled map whose WAL is shipped to
+    ``n_followers`` in-process replicas at write quorum
+    ``sync_replicas``.  Crash injection kills the primary (wal/snapshot
+    /ship sites), followers (replica.* and antientropy.install fire
+    *inside* the follower's frame handler — a death the primary sees as
+    a dead channel), the promotion itself (``promote.recover``) and the
+    anti-entropy sender.  Every primary death runs a real promotion:
+    watermark query, most-caught-up pick, epoch bump, recovery on the
+    promoted storage, deposed node rejoining dirty.
+
+    The oracle is **linearizability of acked writes**: a write whose
+    quorum ack-set intersects the followers alive at promotion time
+    must be covered by the promoted node's recovered seq — acked data
+    survives any crash sequence that leaves an acker alive — and the
+    recovered state must be byte-identical to the shadow history's
+    prefix at that seq.  The final convergence pass then requires every
+    node's durable bytes to recover to the *exact* full history.
+    """
+    import random
+
+    from repro.ebpf.maps import HashMap
+    from repro.errors import PrimaryFenced, QuorumLost, SimulatedCrash
+    from repro.kernel.machine import Kernel
+    from repro.sim.faults import CRASH_SITES, CrashPlan
+    from repro.state import DurableStore, MemStorage
+    from repro.state.replication import (
+        MSG_APPEND,
+        ST_FENCED,
+        LocalChannel,
+        QuorumShipper,
+        ReplicaSession,
+        decode_frame,
+        encode_frame,
+    )
+
+    PIN = "chaos/map"
+    KEY_SIZE, VALUE_SIZE = 8, 16
+    report = ReplicationChaosReport(seed, n_ops, sync_replicas=sync_replicas)
+    hasher = hashlib.sha256()
+    rng = random.Random(f"chaos:{seed}:replication")
+    crash = CrashPlan(seed, crash_rates or DEFAULT_REPLICATION_RATES).build()
+
+    n_nodes = n_followers + 1
+    node_storage = [MemStorage() for _ in range(n_nodes)]
+    primary = 0
+    epoch = 1
+    sessions: dict[int, ReplicaSession] = {}
+    channels: dict[int, LocalChannel] = {}
+
+    from repro.state.replication import ShipStats
+
+    shadow: list[tuple[str, bytes, bytes]] = []
+    #: seq -> follower node_ids that durably acked it (quorum evidence).
+    acked: dict[int, tuple[str, ...]] = {}
+    #: Shipping totals across every primary incarnation.
+    total_ship = ShipStats()
+
+    def follower_nodes() -> list[int]:
+        return [n for n in range(n_nodes) if n != primary]
+
+    def boot_followers() -> None:
+        for n in follower_nodes():
+            sess = sessions.get(n)
+            if sess is None or sess.crashed:
+                sessions[n] = ReplicaSession(
+                    node_storage[n], node_id=f"n{n}", crash=crash
+                )
+                if sess is not None:
+                    report.follower_restarts += 1
+                ch = channels.get(n)
+                if ch is not None:
+                    ch.restart(sessions[n])
+
+    def make_shipper() -> QuorumShipper:
+        chans = []
+        for n in follower_nodes():
+            ch = LocalChannel(f"n{n}", sessions.get(n))
+            channels[n] = ch
+            chans.append(ch)
+        return QuorumShipper(
+            chans,
+            sync_replicas=sync_replicas,
+            epoch=epoch,
+            crash=crash,
+            maintenance_every=None,  # the harness repairs deterministically
+        )
+
+    def apply_prefix(k: int) -> list[tuple[bytes, bytes]]:
+        d: dict[bytes, bytes] = {}
+        for op, key, value in shadow[:k]:
+            if op == "u":
+                d[key] = value
+            else:
+                d.pop(key, None)
+        return sorted(d.items())
+
+    boot_followers()
+    kernel = Kernel()
+    shipper = make_shipper()
+    store = DurableStore(
+        storage=node_storage[primary],
+        sync_every=1,
+        snapshot_every=snapshot_every,
+        crash=crash,
+        shipper=shipper,
+    )
+    m = HashMap(
+        kernel.aspace,
+        kernel.vmalloc,
+        key_size=KEY_SIZE,
+        value_size=VALUE_SIZE,
+        max_entries=max_entries,
+        name="chaos-repl",
+    )
+    store.attach(PIN, m)
+
+    def count_follower_deaths() -> None:
+        # A follower death shows up as a crashed session; tally once.
+        for n in follower_nodes():
+            sess = sessions.get(n)
+            if sess is not None and sess.crashed and not getattr(
+                sess, "_counted", False
+            ):
+                sess._counted = True
+                report.follower_deaths += 1
+
+    def handle_primary_death(i: int, site: str) -> None:
+        nonlocal primary, epoch, kernel, store, m, shipper, shadow, acked
+        report.primary_deaths += 1
+        _mix(hasher, i, "primary-death", site)
+        store.crash_volatile()
+        count_follower_deaths()
+        attempts = 0
+        floor = 0
+        while True:
+            live = {
+                n: sessions[n]
+                for n in follower_nodes()
+                if sessions.get(n) is not None and not sessions[n].crashed
+            }
+            floor = 0
+            for q, nodes in acked.items():
+                if any(f"n{n}" in nodes for n in live):
+                    floor = max(floor, q)
+            wms = {n: live[n].watermark(PIN) for n in live}
+            usable = {n: wm for n, wm in wms.items() if wm > 0}
+            if usable:
+                promoted = max(usable, key=lambda n: (usable[n], -n))
+            else:
+                # No follower holds a verified prefix (all down, or all
+                # dirty/fresh): cold-restart the primary node from its
+                # own durable bytes — the disk survived the process,
+                # and the pre-ship WAL flush means it covers every
+                # acked write.
+                promoted = primary
+            if promoted != primary:
+                try:
+                    crash.at("promote.recover")
+                except SimulatedCrash:
+                    # The chosen promotee died mid-promotion: its
+                    # volatile state is gone, pick the next-best.
+                    report.promotion_deaths += 1
+                    sessions[promoted].crashed = True
+                    node_storage[promoted].crash()
+                    count_follower_deaths()
+                    attempts += 1
+                    if attempts > 10:
+                        crash.disarm("promote.recover")
+                    continue
+            break
+        old_primary = primary
+        primary = promoted
+        epoch += 1
+        if promoted != old_primary:
+            report.promotions += 1
+            sessions.pop(promoted, None)
+            # The deposed node rejoins as a follower over its surviving
+            # storage; its unshipped WAL suffix is untrusted (dirty)
+            # until a snapshot re-bases it under the new epoch.
+            sessions[old_primary] = ReplicaSession(
+                node_storage[old_primary], node_id=f"n{old_primary}",
+                crash=crash,
+            )
+        boot_followers()
+        kernel = Kernel()
+        total_ship.merge(shipper.stats)
+        shipper = make_shipper()
+        store = DurableStore(
+            storage=node_storage[primary],
+            sync_every=1,
+            snapshot_every=snapshot_every,
+            crash=crash,
+            shipper=shipper,
+        )
+        rattempts = 0
+        while True:
+            try:
+                m, rep = store.recover_map(PIN, kernel.aspace, kernel.vmalloc)
+                break
+            except SimulatedCrash:
+                report.recoveries += 1
+                rattempts += 1
+                if rattempts > 50:
+                    crash.disarm("recovery.replay")
+        report.recoveries += 1
+        seq_rec = rep.recovered_seq
+        if seq_rec < floor:
+            _record_error(
+                report, i,
+                f"acked write lost in promotion: recovered seq {seq_rec} "
+                f"< acked floor {floor}",
+            )
+        if seq_rec > len(shadow):
+            _record_error(
+                report, i,
+                f"recovered seq {seq_rec} beyond {len(shadow)} shadow ops",
+            )
+            seq_rec = len(shadow)
+        if m.entries() != apply_prefix(seq_rec):
+            _record_error(
+                report, i,
+                f"promoted state is not the seq-{seq_rec} shadow prefix",
+            )
+        shadow = shadow[:seq_rec]
+        acked = {q: v for q, v in acked.items() if q <= seq_rec}
+        shipper.announce()  # fence survivors onto the new epoch
+        _mix(hasher, "promote", i, primary, epoch, seq_rec)
+
+    def repair_followers() -> None:
+        """Restart dead followers and run one anti-entropy pass.  May
+        raise SimulatedCrash (primary dies mid-anti-entropy)."""
+        count_follower_deaths()
+        boot_followers()
+        shipper.maintenance()
+
+    for i in range(n_ops):
+        if report.promotions and i % 61 == 0:
+            # A deposed primary's late frame must bounce: any follower
+            # already at the current epoch answers ST_FENCED.
+            for n in follower_nodes():
+                sess = sessions.get(n)
+                if sess is not None and not sess.crashed \
+                        and sess.epoch >= epoch:
+                    stale = encode_frame(MSG_APPEND, epoch - 1, 1 << 40,
+                                         PIN, b"")
+                    ack = decode_frame(sess.handle_frame(stale))
+                    if ack.status != ST_FENCED:
+                        _record_error(
+                            report, i,
+                            f"stale epoch {epoch - 1} frame not fenced "
+                            f"(status {ack.status})",
+                        )
+                    report.fence_checks += 1
+                    break
+
+        key = rng.randrange(key_space).to_bytes(KEY_SIZE, "little")
+        do_delete = rng.random() < 0.25
+        value = (
+            b"" if do_delete else rng.getrandbits(8 * VALUE_SIZE).to_bytes(
+                VALUE_SIZE, "little"
+            )
+        )
+        try:
+            rc = m.delete(key) if do_delete else m.update(key, value)
+        except SimulatedCrash as e:
+            # Mutation + WAL append landed before the crash site fired;
+            # the op joins the shadow and promotion rules on survival.
+            if do_delete:
+                shadow.append(("d", key, b""))
+            else:
+                canonical = m.aspace.read_bytes(m.lookup(key), VALUE_SIZE)
+                shadow.append(("u", key, canonical))
+            handle_primary_death(i, e.site)
+            continue
+        if rc == 0:
+            if do_delete:
+                shadow.append(("d", key, b""))
+            else:
+                canonical = m.aspace.read_bytes(m.lookup(key), VALUE_SIZE)
+                shadow.append(("u", key, canonical))
+        _mix(hasher, i, "d" if do_delete else "u", key.hex(), value.hex(), rc)
+
+        try:
+            for q, nodes in shipper.commit().items():
+                acked[q] = nodes
+                report.acked_ops += 1
+        except SimulatedCrash as e:
+            handle_primary_death(i, e.site)
+            continue
+        except QuorumLost:
+            # Durable locally, NOT acked to the client; the shadow op
+            # stays (it is history) but `acked` does not record it.
+            report.quorum_losses += 1
+        except PrimaryFenced:
+            _record_error(report, i, "primary fenced without a promotion")
+
+        if any(
+            sessions.get(n) is None or sessions[n].crashed
+            for n in follower_nodes()
+        ):
+            try:
+                repair_followers()
+            except SimulatedCrash as e:
+                handle_primary_death(i, e.site)
+                continue
+
+    # Convergence: keep repairing (injection still armed) until every
+    # follower's verified watermark reaches the full history, then
+    # disarm and check each node's durable bytes recover exactly.
+    converged = False
+    for attempt in range(80):
+        if attempt == 50:
+            for site in CRASH_SITES:
+                crash.disarm(site)
+        try:
+            repair_followers()
+            store.flush()
+            shipper.commit()
+            target = store.wal(PIN).seq
+            if all(
+                sessions.get(n) is not None
+                and not sessions[n].crashed
+                and sessions[n].watermark(PIN) == target
+                for n in follower_nodes()
+            ):
+                converged = True
+                break
+        except SimulatedCrash as e:
+            handle_primary_death(n_ops, e.site)
+        except (QuorumLost, PrimaryFenced):
+            pass
+    if not converged:
+        _record_error(report, n_ops, "replica set failed to converge")
+    else:
+        target = len(shadow)
+        want = apply_prefix(target)
+        for n in range(n_nodes):
+            fstore = DurableStore(storage=node_storage[n])
+            fk = Kernel()
+            try:
+                fm, frep = fstore.recover_map(PIN, fk.aspace, fk.vmalloc)
+            except Exception as exc:
+                _record_error(report, n_ops, f"node {n} unrecoverable: {exc}")
+                continue
+            if frep.recovered_seq != target:
+                _record_error(
+                    report, n_ops,
+                    f"node {n} converged to seq {frep.recovered_seq}, "
+                    f"expected {target}",
+                )
+            elif fm.entries() != want:
+                _record_error(
+                    report, n_ops, f"node {n} state diverges at seq {target}"
+                )
+
+    count_follower_deaths()
+    report.deaths = crash.total_crashes()
+    report.sites_crashed = tuple(sorted(crash.sites_crashed()))
+    report.epoch = epoch
+    total_ship.merge(shipper.stats)
+    report.resyncs = total_ship.resyncs
+    report.snapshots_shipped = total_ship.snapshots_shipped
+    for site, ordinal in crash.log:
+        _mix(hasher, "crashlog", site, ordinal)
+    report.digest = hasher.hexdigest()
+    return report
+
+
 _CAMPAIGNS = {
     "memcached": run_memcached_campaign,
     "redis": run_redis_campaign,
@@ -684,6 +1126,20 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--min-crashes", type=int, default=0,
         help="fail unless the recovery runs injected at least this many crashes",
+    )
+    ap.add_argument(
+        "--replication", type=int, default=0, metavar="RUNS",
+        help="also run RUNS replicated-durability fuzz runs "
+             "(seeds seed..seed+RUNS-1, plus one sync_replicas=2 run)",
+    )
+    ap.add_argument(
+        "--replication-ops", type=int, default=1200,
+        help="mutations per replication fuzz run",
+    )
+    ap.add_argument(
+        "--min-deaths", type=int, default=0,
+        help="fail unless the replication runs injected at least this "
+             "many node deaths",
     )
     args = ap.parse_args(argv)
 
@@ -723,6 +1179,41 @@ def main(argv=None) -> int:
                 f"  INSUFFICIENT CRASH COVERAGE: {total_crashes} < "
                 f"{args.min_crashes}"
             )
+            failed = True
+
+    total_deaths = 0
+    phases_hit: set = set()
+    if args.replication:
+        runs = [
+            (args.seed + i, args.replication_ops, 1)
+            for i in range(args.replication)
+        ]
+        # One quorum-2 leg: every follower outage is then a quorum loss.
+        runs.append((args.seed + 99, max(400, args.replication_ops // 2), 2))
+        for run_seed, run_ops, k in runs:
+            report = run_replication_campaign(
+                run_seed, run_ops, sync_replicas=k
+            )
+            print(report.describe())
+            for idx, msg in report.errors:
+                print(f"  op {idx}: {msg}")
+            total_deaths += report.deaths
+            phases_hit |= set(report.sites_crashed)
+            failed |= not report.ok
+        print(f"replication fuzz: {total_deaths} injected deaths total")
+        if total_deaths < args.min_deaths:
+            print(
+                f"  INSUFFICIENT DEATH COVERAGE: {total_deaths} < "
+                f"{args.min_deaths}"
+            )
+            failed = True
+        want_phases = {
+            "ship.send", "replica.append", "replica.flush",
+            "antientropy.install", "antientropy.send", "promote.recover",
+        }
+        missing = want_phases - phases_hit
+        if missing:
+            print(f"  REPLICATION PHASES NOT EXERCISED: {sorted(missing)}")
             failed = True
     return 1 if failed else 0
 

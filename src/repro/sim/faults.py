@@ -228,6 +228,17 @@ class FaultInjector:
 #: wal.compact    after old snapshots are deleted, before the WAL is
 #:                truncated — snapshot and WAL double-cover a range
 #: recovery.replay mid-recovery — recovery itself must be restartable
+#: ship.send      primary dies before shipping a journaled record — the
+#:                write is durable locally but never reached a follower
+#: replica.append follower dies after a shipped record entered its
+#:                volatile buffer, before its fsync-analog
+#: replica.flush  follower dies *mid*-fsync of a shipped record — a torn
+#:                tail on the receiving side
+#: antientropy.send    primary dies at the start of a resync transfer
+#: antientropy.install follower dies mid-snapshot-install, before the
+#:                     epoch-verification marker — the pin stays dirty
+#: promote.recover the follower chosen for promotion dies while
+#:                 rebuilding its map from shipped state
 #: ============== ========================================================
 CRASH_SITES = (
     "wal.append",
@@ -236,6 +247,12 @@ CRASH_SITES = (
     "snapshot.commit",
     "wal.compact",
     "recovery.replay",
+    "ship.send",
+    "replica.append",
+    "replica.flush",
+    "antientropy.send",
+    "antientropy.install",
+    "promote.recover",
 )
 
 

@@ -16,11 +16,23 @@ closes the gap:
   ``kill -9`` faithfully;
 * :mod:`repro.state.recovery` — ``KFlexRuntime.recover(store)``:
   rebuild pinned maps crash-consistently, reload programs through the
-  compilation pipeline, re-attach hooks, audit quiescence.
+  compilation pipeline, re-attach hooks, audit quiescence;
+* :mod:`repro.state.replication` — WAL shipping to follower replicas
+  with quorum acks, epoch fencing, replica promotion, and anti-entropy
+  repair, so acked writes survive a node's *disk* dying, not just its
+  process.
 """
 
 from repro.state.pins import PinRegistry
 from repro.state.recovery import PinRecovery, RecoveryReport, recover_runtime
+from repro.state.replication import (
+    LocalChannel,
+    QuorumShipper,
+    ReplicaSession,
+    bump_epoch,
+    pick_promotee,
+    read_epoch,
+)
 from repro.state.snapshot import SnapshotCorrupt, decode_snapshot, encode_snapshot
 from repro.state.storage import DirStorage, MemStorage
 from repro.state.store import DurableStore
@@ -29,17 +41,23 @@ from repro.state.wal import OP_DELETE, OP_UPDATE, MapWal, encode_record, scan_wa
 __all__ = [
     "DirStorage",
     "DurableStore",
+    "LocalChannel",
     "MapWal",
     "MemStorage",
     "OP_DELETE",
     "OP_UPDATE",
     "PinRecovery",
     "PinRegistry",
+    "QuorumShipper",
     "RecoveryReport",
+    "ReplicaSession",
     "SnapshotCorrupt",
+    "bump_epoch",
     "decode_snapshot",
     "encode_record",
     "encode_snapshot",
+    "pick_promotee",
+    "read_epoch",
     "recover_runtime",
     "scan_wal",
 ]

@@ -54,11 +54,23 @@ class MapJournal:
 
     def record_update(self, key: bytes, value: bytes) -> None:
         self.wal.append(OP_UPDATE, key, value)
+        self._stage_shipment()
         self._maybe_snapshot()
 
     def record_delete(self, key: bytes) -> None:
         self.wal.append(OP_DELETE, key)
+        self._stage_shipment()
         self._maybe_snapshot()
+
+    def _stage_shipment(self) -> None:
+        # Stage-only on the journal hook: the actual ship + quorum wait
+        # happens in QuorumShipper.commit(), which the serving layer
+        # calls after the extension returns and before the client's
+        # reply goes out.  Keeping the network out of the map mutation
+        # keeps the engine invocation path single-node-fast.
+        shipper = self.store.shipper
+        if shipper is not None:
+            shipper.stage(self.path, self.wal.seq, self.wal.last_blob)
 
     def _maybe_snapshot(self) -> None:
         self._since_snapshot += 1
@@ -82,7 +94,7 @@ class DurableStore:
     """
 
     def __init__(self, root=None, *, storage=None, sync_every: int | None = 1,
-                 snapshot_every: int | None = None, crash=None):
+                 snapshot_every: int | None = None, crash=None, shipper=None):
         if storage is None:
             storage = DirStorage(root) if root is not None else MemStorage()
         elif root is not None:
@@ -91,7 +103,13 @@ class DurableStore:
         self.sync_every = sync_every
         self.snapshot_every = snapshot_every
         self.crash = crash
+        #: Optional :class:`repro.state.replication.QuorumShipper`: every
+        #: journaled WAL record is staged for follower shipment, and the
+        #: serving layer commits the outbox before acking the client.
+        self.shipper = shipper
         self._journals: dict[str, MapJournal] = {}
+        if shipper is not None:
+            shipper.bind_store(self)
 
     # -- attach / journal -------------------------------------------------
 
@@ -170,6 +188,10 @@ class DurableStore:
             self.crash.at("wal.compact")
         journal.wal.reset(seq)
         journal._since_snapshot = 0
+        if self.shipper is not None:
+            # Propagate the compaction so follower WALs stay bounded;
+            # best-effort (the covered records were already acked).
+            self.shipper.ship_snapshot(path, seq, blob)
         return seq
 
     # -- recovery ---------------------------------------------------------

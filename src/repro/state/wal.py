@@ -135,6 +135,10 @@ class MapWal:
         #: Sequence covered by the last completed flush — the durable
         #: barrier: records at or below it survive any crash.
         self.durable_seq = start_seq
+        #: Encoded bytes of the most recent append — the exact frame a
+        #: replication shipper forwards to followers (no re-encoding,
+        #: so follower WALs are byte-identical to the primary's).
+        self.last_blob: bytes = b""
         self._unsynced = 0
         self.records_appended = 0
         self.flushes = 0
@@ -143,6 +147,7 @@ class MapWal:
     def append(self, op: int, key: bytes, value: bytes = b"") -> int:
         self.seq += 1
         blob = encode_record(self.seq, op, key, value)
+        self.last_blob = blob
         self.storage.append(self.name, blob)
         self.records_appended += 1
         self.bytes_appended += len(blob)

@@ -28,6 +28,15 @@ and durable state (:mod:`repro.state` — the bpffs analog):
     $ python -m repro.tools.kflexctl snapshot maps/cache --store /tmp/kflex
     $ python -m repro.tools.kflexctl recover --store /tmp/kflex
     $ python -m repro.tools.kflexctl serve --app memcached --store /tmp/kflex
+
+and replicated durable state (:mod:`repro.state.replication` — WAL
+shipping with quorum acks and replica promotion):
+
+.. code-block:: console
+
+    $ python -m repro.tools.kflexctl serve --store /tmp/kflex \\
+          --replicas 2 --sync-replicas 1
+    $ python -m repro.tools.kflexctl replication --store /tmp/kflex
 """
 
 from __future__ import annotations
@@ -315,8 +324,170 @@ def _print_net_summary(stats, report) -> None:
           f"held_locks={report['held_locks']}")
 
 
+def _serve_replicated(args) -> int:
+    """TCP front over replica sets: each shard is one primary plus N
+    follower nodes with their own store roots; every acked SET waits
+    for ``--sync-replicas`` follower acks, and a primary death promotes
+    the most-caught-up follower behind the router."""
+    from repro.apps.memcached import protocol as P
+    from repro.net import TcpDatapath
+    from repro.net.replica import ReplicatedFailover, ReplicatedShard
+    from repro.net.shard import ConsistentHashRing, ShardRouterService
+
+    if not args.store:
+        raise ReproError(
+            "--replicas requires --store (replication ships the durable WAL)"
+        )
+    if args.app != "memcached":
+        raise ReproError(
+            "--replicas currently serves the durable memcached app only"
+        )
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        sets = [
+            ReplicatedShard(
+                i, f"{args.store}/shard{i}",
+                n_replicas=args.replicas,
+                sync_replicas=args.sync_replicas,
+                engine=args.engine,
+            )
+            for i in range(args.shards)
+        ]
+        workers = []
+        for rset in sets:
+            await loop.run_in_executor(None, rset.start_followers)
+            w = rset.build_primary()
+            w.start()
+            await loop.run_in_executor(None, w.wait_ready)
+            workers.append(w)
+        failover = ReplicatedFailover(workers, sets)
+        ring = ConsistentHashRing(args.shards)
+        router = ShardRouterService(
+            workers, ring, lambda p: P.decode_request(p)[1],
+            failover=failover,
+        )
+        front = await TcpDatapath(router).start()
+        print(f"serving replicated {args.app} on TCP port {front.port} "
+              f"({args.shards} shard(s) x (1 primary + {args.replicas} "
+              f"follower(s)), quorum k={args.sync_replicas}, "
+              f"store {args.store})")
+        sys.stdout.flush()
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        tele = failover.telemetry()
+        await front.stop()
+        for w in failover.workers:
+            await loop.run_in_executor(None, w.shutdown)
+        for rset in sets:
+            await loop.run_in_executor(None, rset.stop)
+        print("server stopped")
+        print(f"  promotions:     {failover.promotions}  "
+              f"epochs: {tele['epochs']}")
+        print(f"  failover:       attempts={tele['attempts']} "
+              f"give_ups={tele['give_ups']} restarts={tele['restarts']}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _node_pin_status(storage, pin: str) -> tuple[int, int, bool]:
+    """(local_seq, verified_watermark, clean) for one pin on one node.
+
+    ``local_seq`` counts every durable byte (snapshot base + contiguous
+    WAL prefix) regardless of epoch; ``verified`` is what the node
+    would *ack* — zero while dirty, i.e. until anti-entropy re-bases it
+    under the current epoch."""
+    from repro.state.replication import ReplicaSession
+    from repro.state.snapshot import snapshot_seq
+    from repro.state.wal import scan_wal
+
+    base = 0
+    for name in storage.list(pin + "/"):
+        s = snapshot_seq(name)
+        if s is not None:
+            base = max(base, s)
+    records, _good, _torn = scan_wal(storage.read(f"{pin}/wal") or b"")
+    seq = base
+    for rec in records:
+        if rec.seq <= seq:
+            continue
+        if rec.seq != seq + 1:
+            break
+        seq = rec.seq
+    session = ReplicaSession(storage)
+    return seq, session.watermark(pin), session.clean(pin)
+
+
+def cmd_replication(args) -> int:
+    """Offline replication status: epochs, watermarks, promotion picks.
+
+    Reads the node storages under ``--store`` directly (the same bytes
+    promotion trusts), so it works on a stopped cluster or a crashed
+    one — no server required."""
+    import os
+
+    from repro.state import DirStorage
+    from repro.state.replication import pick_promotee, read_epoch
+
+    root = args.store
+    shards = sorted(
+        d for d in (os.listdir(root) if os.path.isdir(root) else [])
+        if d.startswith("shard")
+        and os.path.isdir(os.path.join(root, d, "node0"))
+    )
+    if not shards:
+        print(f"no replicated shards under {root} "
+              "(expected shard*/node* store roots)")
+        return 1
+    for shard in shards:
+        shard_root = os.path.join(root, shard)
+        nodes = sorted(
+            d for d in os.listdir(shard_root) if d.startswith("node")
+        )
+        storages = {n: DirStorage(os.path.join(shard_root, n))
+                    for n in nodes}
+        epoch = max(read_epoch(s) for s in storages.values())
+        print(f"{shard}: epoch {epoch}, {len(nodes)} nodes")
+        pins = sorted({
+            p for s in storages.values()
+            for name in s.list()
+            if "/" in name and not name.startswith("replication/")
+            for p in [name.rsplit("/", 1)[0]]
+        })
+        for pin in pins:
+            rows = {}
+            for node, storage in storages.items():
+                seq, verified, clean = _node_pin_status(storage, pin)
+                rows[node] = (seq, verified, clean)
+                state = "clean" if clean else "dirty"
+                print(f"  {node} (epoch {read_epoch(storage)}) {pin}: "
+                      f"seq {seq}, verified {verified} ({state})")
+            candidates = {n: v for n, (_s, v, c) in rows.items()
+                          if c and v > 0}
+            pick = pick_promotee(candidates)
+            if pick is not None:
+                print(f"  promotion pick for {pin}: {pick} "
+                      f"(watermark {candidates[pick]})")
+            else:
+                print(f"  promotion pick for {pin}: none verified — "
+                      f"cold restart from the primary's own disk")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.net import ShardedUdpDatapath
+
+    if getattr(args, "replicas", 0) > 0:
+        return _serve_replicated(args)
 
     async def run() -> int:
         sharded = ShardedUdpDatapath(
@@ -495,6 +666,16 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "serve":
             s.add_argument("--duration", type=float, default=0.0,
                            help="seconds to serve (0 = until Ctrl-C)")
+            s.add_argument("--replicas", type=int, default=0,
+                           help="follower replicas per shard: serve the "
+                                "durable memcached app over TCP with "
+                                "every journaled write shipped to this "
+                                "many follower nodes (requires --store; "
+                                "0 = no replication)")
+            s.add_argument("--sync-replicas", type=int, default=1,
+                           help="write quorum: follower acks required "
+                                "before the client's reply is released "
+                                "(default 1)")
         else:
             s.add_argument("--ports", default="",
                            help="comma-separated UDP ports of a running "
@@ -546,6 +727,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--store", required=True, help="store directory")
     sp.add_argument("--pin", default="", help="recover one pin only")
     sp.set_defaults(fn=cmd_recover)
+
+    sp = sub.add_parser("replication",
+                        help="offline replica-set status: epochs, "
+                             "watermarks, promotion picks")
+    sp.add_argument("--store", required=True,
+                    help="replicated store directory (shard*/node* "
+                         "roots, as written by serve --replicas)")
+    sp.set_defaults(fn=cmd_replication)
     return p
 
 

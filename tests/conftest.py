@@ -22,16 +22,25 @@ def pytest_collection_modifyitems(config, items):
     markexpr = config.option.markexpr or ""
     run_net = "net" in markexpr
     run_recovery = "recovery" in markexpr
+    run_replication = "replication" in markexpr
     skip_net = pytest.mark.skip(
         reason="network datapath test: run with -m net (make test-net)"
     )
     skip_recovery = pytest.mark.skip(
         reason="crash-recovery test: run with -m recovery (make test-recovery)"
     )
+    skip_replication = pytest.mark.skip(
+        reason="replication test: run with -m replication (make test-replication)"
+    )
     for item in items:
         if item.get_closest_marker("net") is not None:
             if not run_net:
                 item.add_marker(skip_net)
+        elif item.get_closest_marker("replication") is not None:
+            # Multi-node WAL shipping over real sockets (threaded replica
+            # workers + wall-clock load); excluded from tier-1 like ``net``.
+            if not run_replication:
+                item.add_marker(skip_replication)
         elif item.get_closest_marker("recovery") is not None:
             # File-backed (real fsync/rename) and/or real-socket crash
             # recovery; excluded from tier-1 like ``net``.

@@ -1,0 +1,198 @@
+"""Kill a replicated primary mid-load; promotion must be invisible.
+
+The replicated analog of ``test_net_failover.py``: one shard is a
+replica *set* — a primary :class:`~repro.net.shard.ShardWorker` over
+its own store root plus two follower nodes
+(:class:`~repro.net.replica.ReplicaWorker`, each with its own root and
+its own TCP replication port).  Every journaled WAL record is shipped
+over real sockets and the client ack waits for ``sync_replicas=1``
+follower acks.  Mid-load the primary is killed (``kill -9`` analog).
+Then:
+
+* zero failed client requests — the router retries onto the promoted
+  follower;
+* the replacement is a *promotion*, not a cold restart: it serves from
+  the most-caught-up follower's storage at a bumped epoch;
+* every SET acked before the kill reads back bit-identically (acked =>
+  durable on primary AND on the quorum — either survives);
+* the deposed primary's epoch is fenced: a late frame at the old epoch
+  answers ``ST_FENCED`` on the surviving followers.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps.memcached import protocol as P
+from repro.net import TcpDatapath, TcpLoadGenerator
+from repro.net.replica import (
+    ReplicatedFailover,
+    ReplicatedShard,
+    ReplicaWorker,
+    SocketFollowerChannel,
+)
+from repro.net.shard import ConsistentHashRing, ShardRouterService
+from repro.state import DurableStore, QuorumShipper
+from repro.state.replication import (
+    MSG_HELLO,
+    ST_FENCED,
+    decode_frame,
+    encode_frame,
+)
+
+N_CLIENTS = 4
+REQUESTS = 300          # per client, main phase
+KEYS_PER_CLIENT = 64
+
+
+def _workload(cid, seq):
+    key = cid * 1000 + seq % KEYS_PER_CLIENT
+    if seq % 3 != 2:
+        return key, P.encode_set(key, cid * 1_000_000 + seq)
+    return key, P.encode_get(key)
+
+
+def _route_key(payload):
+    return P.decode_request(payload)[1]
+
+
+@pytest.mark.replication
+def test_socket_channel_ships_and_probes_watermarks(tmp_path):
+    """The wire channel end-to-end: ship over TCP, probe, kill."""
+    from repro.ebpf.maps import HashMap
+    from repro.kernel.machine import Kernel
+
+    follower = ReplicaWorker("n0", tmp_path / "n0")
+    follower.start()
+    follower.wait_ready()
+    try:
+        ch = SocketFollowerChannel("n0", "127.0.0.1", follower.port)
+        shipper = QuorumShipper([ch], sync_replicas=1,
+                                maintenance_every=None)
+        store = DurableStore(storage=None, shipper=shipper)
+        k = Kernel()
+        m = HashMap(k.aspace, k.vmalloc, key_size=8, value_size=16,
+                    max_entries=64)
+        store.attach("net/map", m)
+        for i in range(10):
+            m.update(i.to_bytes(8, "little"), bytes(16))
+            shipper.commit()
+        assert shipper.watermarks("net/map") == {"n0": 10}
+        # Durable on the follower's real files, not just in its session.
+        store2 = DurableStore(root=tmp_path / "n0")
+        k2 = Kernel()
+        m2, rec = store2.recover_map("net/map", k2.aspace, k2.vmalloc)
+        assert rec.recovered_seq == 10
+        assert dict(m2.entries()) == dict(m.entries())
+    finally:
+        follower.crash()
+    # The port is dead now: the channel goes down, not up in flames.
+    from repro.errors import ChannelDown
+
+    ch2 = SocketFollowerChannel("n0", "127.0.0.1", follower.port,
+                                timeout=0.5)
+    with pytest.raises(ChannelDown):
+        ch2.send(encode_frame(MSG_HELLO, 1, 0, ""))
+        ch2.recv(0.5)
+
+
+@pytest.mark.replication
+def test_primary_kill_promotes_follower_with_no_lost_acks(tmp_path):
+    async def run():
+        loop = asyncio.get_running_loop()
+        rset = ReplicatedShard(
+            0, tmp_path, n_replicas=2, sync_replicas=1, capacity=1024
+        )
+        await loop.run_in_executor(None, rset.start_followers)
+        primary = rset.build_primary(n_workers=2)
+        primary.start()
+        await loop.run_in_executor(None, primary.wait_ready)
+
+        workers = [primary]
+        failover = ReplicatedFailover(workers, [rset], n_workers=2)
+        ring = ConsistentHashRing(1)
+        router = ShardRouterService(
+            workers, ring, _route_key, failover=failover
+        )
+        front = await TcpDatapath(router).start()
+
+        gen = TcpLoadGenerator(
+            [front.port],
+            _workload,
+            n_clients=N_CLIENTS,
+            requests_per_client=REQUESTS,
+            keep_log=True,
+        )
+        load = asyncio.ensure_future(gen.run())
+        # Let acked writes accumulate (and ship), then kill the primary.
+        await asyncio.sleep(0.3)
+        await loop.run_in_executor(None, primary.crash)
+        res = await load
+
+        # (1) The kill is invisible on the wire.
+        assert res.requests == N_CLIENTS * REQUESTS
+        assert res.failures == 0
+        assert res.replies == res.requests
+        # (2) The replacement is a promotion at a bumped, fenced epoch.
+        assert failover.promotions == 1
+        assert rset.promotions == 1
+        assert rset.primary_node != 0
+        assert rset.epoch >= 2
+        assert failover.current_epoch(0) == rset.epoch
+        assert failover.workers[0].epoch == rset.epoch
+        assert failover.workers[0] is not primary
+        assert failover.telemetry()["epochs"] == {0: rset.epoch}
+        replacement = failover.workers[0]
+        assert replacement.service.recovered  # promoted state replayed
+
+        # (3) Every acked SET reads back bit-identically.
+        shadow: dict[int, int] = {}
+        for _cid, _seq, payload, reply in res.log:
+            op, key, value_id = P.decode_request(payload)
+            if op == P.OP_SET and reply is not None:
+                hit, _ = P.decode_reply(reply)
+                if hit:
+                    shadow[key] = value_id
+
+        def _verify(cid, seq):
+            key = sorted(shadow)[seq]
+            return key, P.encode_get(key)
+
+        check = TcpLoadGenerator(
+            [front.port],
+            _verify,
+            n_clients=1,
+            requests_per_client=len(shadow),
+            keep_log=True,
+        )
+        ver = await check.run()
+        assert ver.failures == 0
+        for _cid, _seq, payload, reply in ver.log:
+            _op, key, _ = P.decode_request(payload)
+            hit, value_id = P.decode_reply(reply)
+            assert hit, f"acked key {key} lost in the promotion"
+            assert value_id == shadow[key], (
+                f"key {key}: read {value_id}, last acked SET {shadow[key]}"
+            )
+
+        # (4) The deposed primary is fenced: its old epoch is rejected
+        # by the surviving followers.
+        fenced = 0
+        for w in rset.followers.values():
+            if w.crashed:
+                continue
+            ch = SocketFollowerChannel(w.node_id, "127.0.0.1", w.port)
+            try:
+                ch.send(encode_frame(MSG_HELLO, 1, 0, ""))
+                ack = decode_frame(ch.recv(5.0))
+                if ack.status == ST_FENCED:
+                    fenced += 1
+            finally:
+                ch.close()
+        assert fenced >= 1
+
+        await front.stop()
+        await loop.run_in_executor(None, failover.workers[0].shutdown)
+        await loop.run_in_executor(None, rset.stop)
+
+    asyncio.run(run())
