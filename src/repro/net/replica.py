@@ -395,13 +395,20 @@ class ReplicatedShard:
             wm = _query_watermark(self.host, w.port, self.pin, w.node_id)
             if wm is not None:
                 watermarks[node] = wm
-        if not watermarks:
-            # No follower answered: fall back to cold-restarting the
-            # current primary node from its own durable state.
+        # A zero watermark is a follower with *no verified prefix*
+        # (fresh pin, or dirty after a missed re-base) — promoting it
+        # would abandon the dead primary's surviving durable bytes.
+        usable = {n: wm for n, wm in watermarks.items() if wm > 0}
+        if not usable:
+            # No follower holds a verified prefix (none answered, or
+            # all fresh/dirty): fall back to cold-restarting the
+            # current primary node from its own durable state — the
+            # disk survived the process, and the pre-ship WAL flush
+            # means it covers every acked write.
             self._fence_epoch()
             return
         best = pick_promotee(
-            {f"{n:08d}": wm for n, wm in watermarks.items()}
+            {f"{n:08d}": wm for n, wm in usable.items()}
         )
         promoted = int(best)
         old_primary = self.primary_node

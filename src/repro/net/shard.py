@@ -469,9 +469,12 @@ class ShardRouterService:
     and retries there, so clients see latency, not failures.  ``shards``
     should then be the failover's own (mutable) worker list.
 
-    The retry path is bounded twice over: each attempt gets a
+    The retry path is bounded twice over: each attempt may get a
     per-attempt deadline (``attempt_timeout``, so a wedged worker costs
-    one timeout, not the client's whole deadline-sweeper window), and
+    one timeout, not the client's whole deadline-sweeper window — but
+    note a timeout triggers ``failover.replace``, which force-crashes
+    the worker, so it is opt-in: under a load spike mere queueing delay
+    must not read as a wedge and kill healthy workers), and
     the retries share a total budget (``retry_budget_s``) after which
     the request is *shed* — a ``None`` reply, the datapath's empty
     frame, the same signal admission control uses — rather than parked
@@ -483,7 +486,7 @@ class ShardRouterService:
     def __init__(self, shards, ring: ConsistentHashRing, key_fn, *,
                  failover: ShardFailover | None = None,
                  max_failover_retries: int = 3,
-                 attempt_timeout: float | None = 5.0,
+                 attempt_timeout: float | None = None,
                  retry_budget_s: float = 20.0):
         self.shards = shards if failover is not None else list(shards)
         self.ring = ring

@@ -494,6 +494,7 @@ class ShipStats:
     maintenance_runs: int = 0
     quorum_losses: int = 0
     fenced: int = 0
+    oversized_records: int = 0
 
     def merge(self, other: "ShipStats") -> "ShipStats":
         for f in (
@@ -501,6 +502,7 @@ class ShipStats:
             "snapshots_shipped", "snapshot_chunks", "tail_records",
             "resyncs", "gaps_seen", "follower_downs", "reconnects",
             "maintenance_runs", "quorum_losses", "fenced",
+            "oversized_records",
         ):
             setattr(self, f, getattr(self, f) + getattr(other, f))
         return self
@@ -558,11 +560,10 @@ class QuorumShipper:
     # -- write path -------------------------------------------------------
 
     def stage(self, pin: str, seq: int, blob: bytes) -> None:
-        if len(blob) > MAX_REPL_FRAME - 128:
-            raise ReplicationError(
-                f"WAL record of {len(blob)}B exceeds the replication "
-                f"frame budget"
-            )
+        # No size check here: stage runs inside the map-mutation
+        # journal hook, after the local WAL append, where nothing can
+        # shed the request.  Oversized records are refused in commit()
+        # instead, whose QuorumLost the serving layer already sheds.
         self._outbox.append((pin, seq, blob))
 
     def has_staged(self) -> bool:
@@ -579,6 +580,13 @@ class QuorumShipper:
             raise PrimaryFenced(self.epoch, self.epoch)
         acks: dict[int, tuple[str, ...]] = {}
         for pin, seq, blob in outbox:
+            if len(blob) > MAX_REPL_FRAME - 128:
+                # Cannot be framed for shipment, so it can never reach
+                # a follower quorum.  The record is already in the
+                # local WAL, but the client is not acked — followers
+                # pick the value up via the chunked snapshot path.
+                self.stats.oversized_records += 1
+                raise QuorumLost(pin, seq, 0, self.sync_replicas)
             acks[seq] = self._ship_record(pin, seq, blob)
         self.last_acks = acks
         self._commits += 1
@@ -678,7 +686,11 @@ class QuorumShipper:
                     self.stats.tail_records += 1
                     wm = ack.seq
                 else:
-                    return wm
+                    if wm >= target:
+                        return wm
+                    # The tail closed no further than wm < target (the
+                    # WAL was compacted past records the follower never
+                    # saw): only a snapshot can finish the repair.
         return self._send_snapshot(
             ch, pin, target,
             encode_snapshot(target, journal.map.meta(),

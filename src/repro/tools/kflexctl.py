@@ -366,6 +366,7 @@ def _serve_replicated(args) -> int:
         router = ShardRouterService(
             workers, ring, lambda p: P.decode_request(p)[1],
             failover=failover,
+            attempt_timeout=args.attempt_timeout or None,
         )
         front = await TcpDatapath(router).start()
         print(f"serving replicated {args.app} on TCP port {front.port} "
@@ -676,6 +677,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write quorum: follower acks required "
                                 "before the client's reply is released "
                                 "(default 1)")
+            s.add_argument("--attempt-timeout", type=float, default=0.0,
+                           help="per-attempt router deadline in seconds: "
+                                "a request outstanding this long is "
+                                "treated as a wedged worker and triggers "
+                                "failover (0 = off; opt in with care — "
+                                "queueing delay under a load spike will "
+                                "also trip it)")
         else:
             s.add_argument("--ports", default="",
                            help="comma-separated UDP ports of a running "

@@ -38,6 +38,7 @@ from repro.state.replication import (
     ST_FENCED,
     decode_frame,
     encode_frame,
+    write_epoch,
 )
 
 N_CLIENTS = 4
@@ -94,6 +95,42 @@ def test_socket_channel_ships_and_probes_watermarks(tmp_path):
     with pytest.raises(ChannelDown):
         ch2.send(encode_frame(MSG_HELLO, 1, 0, ""))
         ch2.recv(0.5)
+
+
+@pytest.mark.replication
+def test_fresh_followers_never_promoted_over_primary_storage(tmp_path):
+    """A follower with watermark 0 holds no verified state (fresh pin,
+    or dirty after a missed re-base).  Promotion must skip it and fall
+    back to the primary node's own durable bytes — promoting it would
+    abandon every acked write surviving on the dead primary's disk."""
+    from repro.ebpf.maps import HashMap
+    from repro.kernel.machine import Kernel
+    from repro.state.storage import DirStorage
+
+    rset = ReplicatedShard(0, tmp_path, n_replicas=2, sync_replicas=1)
+    # The primary node's disk holds acked writes the followers never
+    # saw (fresh deploy over existing node0 data).
+    store = DurableStore(storage=DirStorage(rset.node_roots[0]))
+    k = Kernel()
+    m = HashMap(k.aspace, k.vmalloc, key_size=8, value_size=16,
+                max_entries=64)
+    store.attach(rset.pin, m)
+    m.update((7).to_bytes(8, "little"), bytes(16))
+    write_epoch(store.storage, rset.epoch)  # what bind_store persists
+    rset.start_followers()
+    try:
+        # Both followers answer the watermark probe — with 0.
+        rset.promote()
+        assert rset.primary_node == 0      # cold restart, not promotion
+        assert rset.promotions == 0
+        assert rset.epoch >= 2             # the epoch is fenced anyway
+        k2 = Kernel()
+        m2, rec = DurableStore(
+            storage=DirStorage(rset.node_roots[0])
+        ).recover_map(rset.pin, k2.aspace, k2.vmalloc)
+        assert rec.recovered_seq == 1      # node0's bytes still serve
+    finally:
+        rset.stop()
 
 
 @pytest.mark.replication

@@ -24,6 +24,7 @@ import pytest
 from repro.errors import PrimaryFenced, QuorumLost, ReplicationError
 from repro.state import DurableStore, MemStorage
 from repro.state.replication import (
+    MAX_REPL_FRAME,
     MSG_ACK,
     MSG_APPEND,
     MSG_HELLO,
@@ -171,6 +172,21 @@ def test_service_drops_reply_on_quorum_loss():
     assert svc.quorum_drops == 1
 
 
+def test_oversized_record_sheds_at_commit_not_in_journal_hook():
+    """A record over the frame budget must not raise out of stage()
+    (the map-mutation journal hook, where nothing catches); commit()
+    refuses it as a QuorumLost, which the serving layer already sheds."""
+    store, m, shipper, sessions, _ = _cluster()
+    _ship(m, shipper, 0, 2)
+    shipper.stage(PIN, 3, bytes(MAX_REPL_FRAME))  # hook path: no raise
+    with pytest.raises(QuorumLost):
+        shipper.commit()
+    assert shipper.stats.oversized_records == 1
+    # The shipper stays healthy: subsequent normal records still ship.
+    _ship(m, shipper, 2, 4)
+    assert shipper.watermarks(PIN) == {"n0": 4, "n1": 4}
+
+
 # -- follower log damage (scan_wal semantics on the receiving side) -----------
 
 
@@ -213,6 +229,24 @@ def test_follower_mid_record_truncation_heals_via_wal_tail():
     assert shipper.watermarks(PIN) == {"n0": 7}
     assert shipper.stats.tail_records >= 1
     assert shipper.stats.snapshots_shipped == before
+
+
+def test_maintenance_snapshots_idle_laggard_after_compaction():
+    """A follower that missed records *and* the compaction's best-effort
+    snapshot ship is repaired by maintenance even though the primary's
+    WAL is now empty — an empty tail "covers" nothing; only a snapshot
+    closes the gap, and no new write should be needed to trigger it."""
+    store, m, shipper, sessions, channels = _cluster()
+    _ship(m, shipper, 0, 4)
+    lagging = channels[1]
+    lagging.alive = False           # n1 misses everything from here on
+    _ship(m, shipper, 4, 8)
+    store.snapshot(PIN)             # compacts the WAL; dead n1 skipped
+    assert sessions["n1"].watermark(PIN) == 4
+    lagging.reconnect()
+    shipper.maintenance()
+    assert sessions["n1"].watermark(PIN) == 8
+    assert shipper.stats.snapshots_shipped >= 1
 
 
 # -- epoch fencing ------------------------------------------------------------
