@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-net test-recovery test-replication bench bench-quick bench-load bench-net bench-recovery bench-replication bench-baseline chaos-quick chaos-recovery chaos-replication
+.PHONY: test test-net test-recovery test-replication test-fleet bench bench-quick bench-load bench-net bench-recovery bench-replication bench-fleet bench-baseline chaos-quick chaos-recovery chaos-replication chaos-fleet
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -24,6 +24,12 @@ test-recovery:
 # tier-1).
 test-replication:
 	$(PY) -m pytest tests/ -q -m replication
+
+# Fleet control-plane suite: live scale-out under load with zero
+# failed requests, canary auto-rollback of a known-faulty artifact,
+# and scale-in preserving every acked write (excluded from tier-1).
+test-fleet:
+	$(PY) -m pytest tests/ -q -m fleet
 
 # Network datapath gate: kernel fast path (batched ingress + fused
 # engine, best point on the pps-vs-batch-size curve) must beat the
@@ -68,6 +74,20 @@ chaos-recovery:
 # acked-write loss, fencing violation, divergence, or < 200 deaths.
 chaos-replication:
 	sh scripts/chaos_replication.sh
+
+# Fleet control-plane gate: seeded crash-point fuzz over live segment
+# migration and canary rollouts — source/target deaths at every
+# migration stage, canary deaths at every rollout stage — checked by
+# an acked-writes-preserved oracle plus rollout-safety oracles; fails
+# on any loss, any bad promotion/rollback, or < 200 deaths.
+chaos-fleet:
+	sh scripts/chaos_fleet.sh
+
+# Fleet perf gate: live scale-out 2->3 migration wall time and
+# requests failed during cutover (must be zero) vs the committed
+# baseline in benchmarks/results/BENCH_fleet.json.
+bench-fleet:
+	$(PY) benchmarks/bench_fleet.py --check
 
 # Replication perf gate: quorum-ack (k=1) overhead on the 90:10 mix
 # must stay <= 35% vs single-node durable; promotion-to-first-request

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Fleet control-plane gate: seeded crash-point fuzz over live segment
+# migration and canary rollouts.  Eight runs x 150 event-loop steps
+# inject well over 200 shard deaths across every fleet crash site: the
+# migration source dying while cutting the segment image, the target
+# dying mid-install / mid-tail / inside the paused cutover, and the
+# canary dying at load, mid-window, mid-promote and mid-rollback.
+# Every death is followed by real crash recovery from the victim's
+# durable state.  The campaign fails on any acked-write loss across a
+# migration or rollout, any phantom hit, any flaky artifact promoted
+# fleet-wide, any clean artifact rolled back, fewer than 200 injected
+# deaths, or any fleet crash site left unexercised.
+#
+# Usage: scripts/chaos_fleet.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro.sim.chaos --apps none \
+        --fleet 8 --fleet-ops 150 --seed 1 \
+        --min-fleet-deaths 200

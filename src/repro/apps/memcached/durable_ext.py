@@ -21,16 +21,33 @@ from repro.ebpf.helpers import BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM
 from repro.ebpf.isa import Reg
 from repro.ebpf.macroasm import MacroAsm
 from repro.ebpf.maps import HashMap
-from repro.ebpf.program import Program, XDP_PASS, XDP_TX
+from repro.ebpf.program import Program, XDP_DROP, XDP_PASS, XDP_TX
 
 R0, R1, R2, R3, R4, R5 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5
 R6, R7, R8, R9, R10 = Reg.R6, Reg.R7, Reg.R8, Reg.R9, Reg.R10
 
 
 def build_durable_memcached_program(
-    cache: HashMap, name: str = "durable-memcached"
+    cache: HashMap,
+    name: str = "durable-memcached",
+    *,
+    tag: int = 0,
+    drop_mask: int | None = None,
 ) -> Program:
+    """Build the map-authoritative memcached program.
+
+    ``tag`` stamps an inert instruction into the prologue so two
+    otherwise-identical builds have distinct bytecode — and therefore
+    distinct content digests, which is how the fleet's rollout layer
+    tells artifact versions apart.  ``drop_mask`` compiles in a
+    deterministic defect (DROP every request whose key-id low bits
+    mask to zero) used to exercise canary rollback: the program
+    verifies clean but bleeds requests, exactly the failure a rollout
+    judge must catch from counters rather than from the verifier.
+    """
     m = MacroAsm()
+    if tag:
+        m.mov(R0, tag & 0x7FFFFFFF)  # inert: R0 is dead until exit
     # Parse + bounds check (identical prologue to BMC).
     m.ldx(R6, R1, 0, 8)
     m.ldx(R3, R1, 8, 8)
@@ -41,6 +58,14 @@ def build_durable_memcached_program(
     m.mov(R0, XDP_PASS)
     m.exit()
     m.label(ok)
+    if drop_mask is not None:
+        served = m.fresh_label("served")
+        m.ldx(R4, R6, P.KEY_OFF, 1)  # key-id low byte (LE)
+        m.and_(R4, drop_mask)
+        m.jcc("!=", R4, 0, served)
+        m.mov(R0, XDP_DROP)
+        m.exit()
+        m.label(served)
 
     # Key to the stack at R10-32 (map key argument).
     for i in range(4):
@@ -99,3 +124,15 @@ def build_durable_memcached_program(
     m.exit()
 
     return Program(name, m.assemble(), hook="xdp", maps={cache.fd: cache})
+
+
+def build_flaky_memcached_program(
+    cache: HashMap, name: str = "durable-memcached-flaky"
+) -> Program:
+    """A known-faulty artifact for rollout drills: verifies clean,
+    serves correctly for 3/4 of the key-space, silently DROPs the
+    rest.  A canary shard running it shows a drop-rate the fleet
+    baseline does not have — the judge's rollback trigger."""
+    return build_durable_memcached_program(
+        cache, name, tag=0x7E57BAD, drop_mask=0x03
+    )

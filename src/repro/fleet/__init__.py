@@ -1,0 +1,79 @@
+"""repro.fleet: a reconciling control plane over the sharded runtime.
+
+The paper stops at one fast, safe runtime; operating *many* of them is
+where real eBPF deployments spend their lives (see "The eBPF Runtime
+in the Linux Kernel" and Rex in PAPERS.md): shipping new bytecode to a
+serving fleet, rebalancing shards without dropping traffic, rolling
+back a bad extension before it takes the fleet down.  This package is
+that layer, built strictly *on top of* the existing machinery:
+
+* :mod:`repro.fleet.spec` — the desired state (`FleetSpec`): shard
+  count, artifact version, per-tenant quotas, canary policy.
+* :mod:`repro.fleet.reconciler` — pure planning: observed fleet state
+  diffed against the spec yields an ordered list of convergence
+  actions (quotas → scale-out → rollout → scale-in).
+* :mod:`repro.fleet.rollout` — artifact registry (content-addressed,
+  quarantine list) and the canary judge that decides promote /
+  rollback / no-data from supervisor + service counters.
+* :mod:`repro.fleet.migrate` — live pinned-map migration between
+  shards: segment snapshot install + WAL-tail catch-up over the
+  replication frame codec, with an atomic ring cutover.
+* :mod:`repro.fleet.controller` — the running control plane: owns the
+  ring, the failover table and the TCP front, and executes plans.
+"""
+
+from repro.fleet.spec import CanaryPolicy, FleetSpec, TenantQuota
+from repro.fleet.reconciler import (
+    AddShard,
+    ApplyQuota,
+    BlockedRollout,
+    FleetObservation,
+    RemoveShard,
+    RolloutVersion,
+    ShardView,
+    plan,
+)
+from repro.fleet.rollout import (
+    ArtifactRegistry,
+    CanaryJudge,
+    CanaryReading,
+    NO_DATA,
+    PROMOTE,
+    ROLLBACK,
+    default_registry,
+)
+from repro.fleet.migrate import (
+    MigrationReport,
+    SegmentMigration,
+    inline_call,
+    memcached_key_id,
+    worker_call,
+)
+from repro.fleet.controller import FleetController
+
+__all__ = [
+    "AddShard",
+    "ApplyQuota",
+    "ArtifactRegistry",
+    "BlockedRollout",
+    "CanaryJudge",
+    "CanaryPolicy",
+    "CanaryReading",
+    "FleetController",
+    "FleetObservation",
+    "FleetSpec",
+    "MigrationReport",
+    "NO_DATA",
+    "PROMOTE",
+    "ROLLBACK",
+    "RemoveShard",
+    "RolloutVersion",
+    "SegmentMigration",
+    "ShardView",
+    "TenantQuota",
+    "default_registry",
+    "inline_call",
+    "memcached_key_id",
+    "plan",
+    "worker_call",
+]

@@ -1,0 +1,521 @@
+"""The running control plane: observe, plan, converge.
+
+`FleetController` owns the live topology — the consistent-hash ring,
+the :class:`~repro.net.shard.ShardFailover` table (dict-keyed, so
+shard ids survive scale-in holes), the TCP front router — and executes
+reconciler plans against it:
+
+* **scale-out**: boot the worker, register it (unreachable until the
+  ring knows it), migrate every existing shard's slice of the new
+  segment via snapshot + WAL-tail, then flip the ring under the
+  router's pause gate — requests are held, never failed;
+* **scale-in**: migrate the leaving shard's segments to their new
+  owners, flip, then drain and retire the worker;
+* **rollout**: verify + load the new artifact on one canary shard,
+  watch fault counters against the fleet baseline for the policy
+  window, then promote fleet-wide or roll back and quarantine the
+  artifact (by version *and* content digest);
+* **quotas**: memcg limits on every shard runtime + per-tenant
+  admission control at the router.
+
+Control-plane state (desired spec, last status, quarantine list)
+persists through the same storage abstraction the durable stores use,
+so `kflexctl fleet status` works offline against a fleet root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.apps.memcached import protocol as P
+from repro.errors import FrameError
+from repro.fleet.migrate import SegmentMigration, worker_call
+from repro.fleet.reconciler import (
+    AddShard,
+    ApplyQuota,
+    BlockedRollout,
+    FleetObservation,
+    RemoveShard,
+    RolloutVersion,
+    ShardView,
+    plan,
+)
+from repro.fleet.rollout import (
+    CanaryJudge,
+    CanaryReading,
+    NO_DATA,
+    PROMOTE,
+    ROLLBACK,
+    default_registry,
+)
+from repro.fleet.spec import FleetSpec
+from repro.net.backpressure import AdmissionControl, AdmissionPolicy
+from repro.net.datapath import TcpDatapath
+from repro.net.service import DurableMemcachedService
+from repro.net.shard import ConsistentHashRing, ShardFailover, ShardRouterService, ShardWorker
+from repro.state.storage import DirStorage, MemStorage
+from repro.state.store import DurableStore
+
+SPEC_NAME = "fleet/spec"
+STATUS_NAME = "fleet/status"
+QUARANTINE_NAME = "fleet/quarantine"
+
+
+def route_key(payload: bytes) -> int:
+    return P.decode_request(payload)[1]
+
+
+class FleetController:
+    def __init__(
+        self,
+        *,
+        root: str | None = None,
+        registry=None,
+        host: str = "127.0.0.1",
+        policy: AdmissionPolicy | None = None,
+        pin: str = "memcached/cache",
+        capacity: int = 4096,
+        vnodes: int = 64,
+        stable_version: str = "stable",
+        backoff=None,
+    ):
+        self.root = root
+        self.registry = registry or default_registry()
+        self.host = host
+        self.policy = policy
+        self.pin = pin
+        self.capacity = capacity
+        self.vnodes = vnodes
+        self.stable_version = stable_version
+        self.backoff = backoff
+        #: Per-shard artifact version (what the factory builds — also
+        #: what a failover replacement comes back serving).
+        self.versions: dict[int, str] = {}
+        self._storages: dict[int, object] = {}
+        self.control = DirStorage(root) if root is not None else MemStorage()
+        self._load_quarantine()
+        self._tenant_ranges: list[tuple[str, int, int]] = []
+        self._quota_specs: dict = {}
+        self.quotas: dict[str, object] = {}
+        self.ring: ConsistentHashRing | None = None
+        self.failover: ShardFailover | None = None
+        self.router: ShardRouterService | None = None
+        self.front: TcpDatapath | None = None
+        self.last_actions: list[str] = []
+        self.pending_canary: dict | None = None
+
+    # -- storage plumbing --------------------------------------------------
+
+    def _storage(self, sid: int):
+        st = self._storages.get(sid)
+        if st is None:
+            st = (
+                DirStorage(f"{self.root}/shard-{sid}")
+                if self.root is not None
+                else MemStorage()
+            )
+            self._storages[sid] = st
+        return st
+
+    def _load_quarantine(self) -> None:
+        blob = self.control.read(QUARANTINE_NAME)
+        if blob:
+            data = json.loads(blob.decode())
+            self.registry.quarantined_versions |= set(data.get("versions", ()))
+            self.registry.quarantined_digests |= set(data.get("digests", ()))
+
+    def _save_quarantine(self) -> None:
+        self.control.write_atomic(
+            QUARANTINE_NAME,
+            json.dumps(
+                {
+                    "versions": sorted(self.registry.quarantined_versions),
+                    "digests": sorted(self.registry.quarantined_digests),
+                }
+            ).encode(),
+        )
+
+    # -- service / worker factories ---------------------------------------
+
+    def _service_factory(self, shard_id: int) -> DurableMemcachedService:
+        version = self.versions.get(shard_id, self.stable_version)
+        builder = self.registry.builder(version)
+        store = DurableStore(storage=self._storage(shard_id))
+        svc = DurableMemcachedService(
+            store=store,
+            pin=self.pin,
+            capacity=self.capacity,
+            program_builder=builder,
+        )
+        digest = svc.program_digest
+        if digest is not None:
+            self.registry.note_digest(version, digest)
+        return svc
+
+    async def _spawn(self, sid: int) -> ShardWorker:
+        w = ShardWorker(
+            sid,
+            self._service_factory,
+            host=self.host,
+            policy=self.policy,
+        )
+        w.start()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, w.wait_ready)
+        return w
+
+    def _tenant_of(self, payload: bytes) -> str | None:
+        try:
+            key_id = P.decode_request(payload)[1]
+        except (ValueError, FrameError):
+            return None
+        for name, lo, hi in self._tenant_ranges:
+            if lo <= key_id < hi:
+                return name
+        return None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, n_shards: int = 2) -> "FleetController":
+        """Boot the initial topology at the stable version."""
+        workers: dict[int, ShardWorker] = {}
+        for sid in range(n_shards):
+            workers[sid] = await self._spawn(sid)
+        self.ring = ConsistentHashRing(sorted(workers), vnodes=self.vnodes)
+        self.failover = ShardFailover(
+            workers,
+            self._service_factory,
+            host=self.host,
+            policy=self.policy,
+            backoff=self.backoff,
+        )
+        self.router = ShardRouterService(
+            self.failover.workers,
+            self.ring,
+            route_key,
+            failover=self.failover,
+            tenant_fn=self._tenant_of,
+        )
+        self.front = TcpDatapath(self.router, host=self.host, policy=self.policy)
+        await self.front.start()
+        return self
+
+    @property
+    def port(self) -> int | None:
+        return self.front.port if self.front is not None else None
+
+    async def stop(self) -> dict:
+        report = {}
+        if self.front is not None:
+            report["front"] = await self.front.stop()
+        if self.failover is not None:
+            loop = asyncio.get_running_loop()
+            report["shards"] = await loop.run_in_executor(
+                None, self.failover.shutdown_all
+            )
+        self._persist_status()
+        return report
+
+    # -- observation + reconciliation --------------------------------------
+
+    def observe(self) -> FleetObservation:
+        obs = FleetObservation(
+            ring_nodes=list(self.ring.nodes) if self.ring else [],
+            topology_epoch=self.failover.topology_epoch if self.failover else 0,
+            quotas={
+                name: q for name, q in (self._quota_specs or {}).items()
+            },
+        )
+        for sid in obs.ring_nodes:
+            version = self.versions.get(sid, self.stable_version)
+            obs.shards[sid] = ShardView(
+                shard_id=sid,
+                version=version,
+                digest=self.registry.digests.get(version),
+                healthy=not getattr(self.failover.worker(sid), "crashed", False),
+            )
+        return obs
+
+    async def apply(self, spec: FleetSpec) -> dict:
+        """Converge the live fleet onto ``spec``; returns an action
+        report (executed actions + per-action outcomes)."""
+        self.control.write_atomic(SPEC_NAME, spec.to_json().encode())
+        actions = plan(
+            spec,
+            self.observe(),
+            quarantined=self.registry.quarantined_versions,
+        )
+        report = {"actions": [], "rollout": None, "migrations": []}
+        for act in actions:
+            if isinstance(act, ApplyQuota):
+                self._apply_quota(act.tenant, act.quota)
+                self._quota_specs[act.tenant] = act.quota
+                report["actions"].append(str(act))
+            elif isinstance(act, AddShard):
+                migs = await self.scale_out(act.shard_id)
+                report["actions"].append(str(act))
+                report["migrations"].extend(migs)
+            elif isinstance(act, RemoveShard):
+                migs = await self.scale_in(act.shard_id)
+                report["actions"].append(str(act))
+                report["migrations"].extend(migs)
+            elif isinstance(act, RolloutVersion):
+                verdict = await self.rollout(act.version, policy=spec.canary)
+                report["actions"].append(f"{act} -> {verdict['verdict']}")
+                report["rollout"] = verdict
+            elif isinstance(act, BlockedRollout):
+                report["actions"].append(str(act))
+        self.last_actions = report["actions"]
+        self._persist_status()
+        return report
+
+    # -- quotas ------------------------------------------------------------
+
+    def _apply_quota(self, tenant: str, quota) -> None:
+        self._tenant_ranges = [
+            (n, q.key_lo, q.key_hi)
+            for n, q in sorted({**dict(self._quota_specs), tenant: quota}.items())
+        ]
+        if quota.max_inflight is not None:
+            self.router.tenant_admission[tenant] = AdmissionControl(
+                AdmissionPolicy(max_inflight=quota.max_inflight)
+            )
+        else:
+            self.router.tenant_admission.pop(tenant, None)
+        if quota.memory_bytes is not None:
+            for sid in self.ring.nodes:
+                w = self.failover.worker(sid)
+                if w is None or getattr(w, "crashed", False):
+                    continue
+                w.call(
+                    lambda svc, t=tenant, b=quota.memory_bytes: (
+                        svc.runtime.kernel.cgroups.group(t, limit_bytes=b)
+                    )
+                )
+        self.quotas[tenant] = quota
+
+    # -- elastic scale -----------------------------------------------------
+
+    async def scale_out(self, sid: int) -> list:
+        """Add a shard: migrate its ring segment in from every current
+        owner, then cut the ring over atomically."""
+        w = await self._spawn(sid)
+        self.failover.register(sid, w)
+        new_ring = self.ring.copy()
+        new_ring.add_node(sid)
+        migs = [
+            SegmentMigration(
+                worker_call(self.failover.worker(src)),
+                worker_call(w),
+                pin=self.pin,
+                moved=lambda kid, r=new_ring, t=sid: r.shard_of(kid) == t,
+            )
+            for src in self.ring.nodes
+        ]
+        await self._rebalance(new_ring, migs)
+        return [m.report for m in migs]
+
+    async def scale_in(self, sid: int) -> list:
+        """Remove a shard: migrate its segments to their new owners,
+        flip the ring, then drain and retire the worker."""
+        src = self.failover.worker(sid)
+        new_ring = self.ring.copy()
+        new_ring.remove_node(sid)
+        migs = [
+            SegmentMigration(
+                worker_call(src),
+                worker_call(self.failover.worker(t)),
+                pin=self.pin,
+                moved=lambda kid, r=new_ring, t=t: r.shard_of(kid) == t,
+            )
+            for t in new_ring.nodes
+        ]
+        await self._rebalance(new_ring, migs, cleanup=False)
+        self.failover.deregister(sid)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, src.shutdown)
+        self.versions.pop(sid, None)
+        self._storages.pop(sid, None)
+        return [m.report for m in migs]
+
+    async def _rebalance(self, new_ring, migs, *, cleanup: bool = True) -> None:
+        loop = asyncio.get_running_loop()
+        for mig in migs:
+            await loop.run_in_executor(None, mig.bulk_install)
+            await loop.run_in_executor(None, mig.catch_up)
+        await self.router.pause()
+        try:
+            for mig in migs:
+                await loop.run_in_executor(None, mig.final_tail)
+            # The flip: one assignment on the router's own loop while
+            # it is provably idle — no request ever sees a half-moved
+            # segment.
+            self.ring = new_ring
+            self.router.ring = new_ring
+            self.failover.bump_topology()
+        finally:
+            self.router.resume()
+        if cleanup:
+            for mig in migs:
+                await loop.run_in_executor(None, mig.cleanup_source)
+
+    # -- canary rollout ----------------------------------------------------
+
+    def _read_stats(self, sid: int) -> CanaryReading:
+        w = self.failover.worker(sid)
+        return w.call(lambda svc: CanaryReading.of_stats(svc.stats))
+
+    def _sum_readings(self, sids) -> CanaryReading:
+        total = CanaryReading()
+        for sid in sids:
+            r = self._read_stats(sid)
+            total = CanaryReading(
+                requests=total.requests + r.requests,
+                dropped=total.dropped + r.dropped,
+                quarantines=total.quarantines + r.quarantines,
+                bad_frames=total.bad_frames + r.bad_frames,
+            )
+        return total
+
+    async def rollout(self, version: str, *, policy=None) -> dict:
+        """Canary rollout of ``version``; returns a verdict report."""
+        if self.registry.is_quarantined(version):
+            return {"version": version, "verdict": "blocked", "reason": "quarantined"}
+        builder = self.registry.builder(version)
+        judge = CanaryJudge(policy)
+        canary_sid = min(self.ring.nodes)
+        others = [s for s in self.ring.nodes if s != canary_sid]
+        loop = asyncio.get_running_loop()
+        canary_w = self.failover.worker(canary_sid)
+        prev_version = self.versions.get(canary_sid, self.stable_version)
+
+        canary0 = self._read_stats(canary_sid)
+        base0 = self._sum_readings(others)
+        try:
+            digest = await loop.run_in_executor(
+                None, lambda: canary_w.call(lambda svc: svc.swap_program(builder))
+            )
+        except Exception as exc:
+            # Verification / load failure: nothing was swapped, the
+            # stable program kept serving.  Quarantine the artifact.
+            self.registry.quarantine(version)
+            self._save_quarantine()
+            return {
+                "version": version,
+                "verdict": ROLLBACK,
+                "reason": f"load failed: {exc}",
+            }
+        self.registry.note_digest(version, digest)
+        self.versions[canary_sid] = version
+        self.pending_canary = {"version": version, "shard": canary_sid}
+
+        # Observation window: wait for enough canary traffic or the
+        # policy timeout, whichever first.
+        pol = judge.policy
+        deadline = loop.time() + pol.timeout_s
+        while True:
+            canary_d = self._read_stats(canary_sid).delta(canary0)
+            if canary_d.requests >= pol.min_requests:
+                break
+            if loop.time() >= deadline:
+                break
+            await asyncio.sleep(pol.poll_s)
+        base_d = self._sum_readings(others).delta(base0)
+
+        verdict = judge.judge(canary_d, base_d)
+        report = {
+            "version": version,
+            "digest": digest,
+            "verdict": verdict,
+            "canary_shard": canary_sid,
+            "canary": canary_d.__dict__,
+            "baseline": base_d.__dict__,
+        }
+        if verdict == PROMOTE:
+            for sid in others:
+                w = self.failover.worker(sid)
+                await loop.run_in_executor(
+                    None, lambda w=w: w.call(lambda svc: svc.swap_program(builder))
+                )
+                self.versions[sid] = version
+            self.stable_version = version
+            self.pending_canary = None
+        elif verdict == ROLLBACK:
+            stable_builder = self.registry.builder(prev_version)
+            await loop.run_in_executor(
+                None,
+                lambda: canary_w.call(lambda svc: svc.swap_program(stable_builder)),
+            )
+            self.versions[canary_sid] = prev_version
+            self.registry.quarantine(version, digest)
+            self._save_quarantine()
+            self.pending_canary = None
+        # NO_DATA: the canary stays canarying — promoting or rolling
+        # back on zero traffic would be a coin flip; the next apply()
+        # re-opens the window.
+        return report
+
+    # -- status ------------------------------------------------------------
+
+    def status(self) -> dict:
+        return {
+            "ring": list(self.ring.nodes) if self.ring else [],
+            "topology_epoch": self.failover.topology_epoch if self.failover else 0,
+            "stable_version": self.stable_version,
+            "versions": {
+                str(sid): self.versions.get(sid, self.stable_version)
+                for sid in (self.ring.nodes if self.ring else [])
+            },
+            "quarantined": sorted(self.registry.quarantined_versions),
+            "tenants": {
+                name: q.to_dict() for name, q in self.quotas.items()
+            },
+            "pending_canary": self.pending_canary,
+            "last_actions": list(self.last_actions),
+            "failover": self.failover.telemetry() if self.failover else {},
+        }
+
+    def _persist_status(self) -> None:
+        self.control.write_atomic(
+            STATUS_NAME, json.dumps(self.status(), indent=2, sort_keys=True).encode()
+        )
+
+
+def read_status(root: str) -> dict | None:
+    """Offline status read for ``kflexctl fleet status``."""
+    blob = DirStorage(root).read(STATUS_NAME)
+    return json.loads(blob.decode()) if blob else None
+
+
+def read_spec(root: str) -> FleetSpec | None:
+    blob = DirStorage(root).read(SPEC_NAME)
+    return FleetSpec.from_json(blob.decode()) if blob else None
+
+
+def rollback_spec(root: str, *, to: str | None = None) -> dict:
+    """Offline rollback for ``kflexctl fleet rollback``: rewrite the
+    persisted desired spec to the last known-good version and add the
+    rolled-back version to the durable quarantine list."""
+    control = DirStorage(root)
+    status_blob = control.read(STATUS_NAME)
+    spec_blob = control.read(SPEC_NAME)
+    if spec_blob is None:
+        raise FileNotFoundError(f"no persisted fleet spec under {root!r}")
+    spec = FleetSpec.from_json(spec_blob.decode())
+    status = json.loads(status_blob.decode()) if status_blob else {}
+    target = to or status.get("stable_version", "stable")
+    bad = spec.version
+    qblob = control.read(QUARANTINE_NAME)
+    q = json.loads(qblob.decode()) if qblob else {"versions": [], "digests": []}
+    if bad != target and bad not in q["versions"]:
+        q["versions"].append(bad)
+    control.write_atomic(QUARANTINE_NAME, json.dumps(q).encode())
+    new_spec = FleetSpec(
+        shards=spec.shards,
+        version=target,
+        tenants=spec.tenants,
+        canary=spec.canary,
+    )
+    control.write_atomic(SPEC_NAME, new_spec.to_json().encode())
+    return {"rolled_back": bad, "to": target, "quarantined": q["versions"]}

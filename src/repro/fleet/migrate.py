@@ -1,0 +1,288 @@
+"""Live pinned-map migration: snapshot install + WAL-tail catch-up.
+
+Moving a ring segment between shards reuses the durable-state stack as
+the transport, exactly as PR 7's replication does:
+
+* the **segment image** is cut with the snapshot codec
+  (:func:`~repro.state.snapshot.encode_snapshot`) and shipped as
+  chunked ``MSG_SNAPSHOT`` replication frames;
+* the **tail** — writes the source accepted while the image shipped —
+  is the source's own CRC-framed WAL records, shipped verbatim as
+  ``MSG_APPEND`` frames and applied *journaled* on the target, so
+  every caught-up record is durable on the target before cutover;
+* the **cutover** happens under the router's pause gate: with no
+  request in flight, one final tail read is complete by construction,
+  the ring flips, and the router resumes — requests were held, never
+  failed.
+
+The migration itself is topology-agnostic: it talks to each side
+through a ``call(fn)`` that runs ``fn(service)`` in that shard's
+execution context.  ``worker_call`` adapts a threaded
+:class:`~repro.net.shard.ShardWorker` (cross-loop, blocking);
+``inline_call`` adapts an in-process service (tests, chaos campaigns).
+
+A WAL that compacted away mid-handoff (the source snapshotted and
+truncated past our catch-up cursor) is detected as a sequence gap and
+degrades to a full segment re-scan — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.state.replication import (
+    MSG_APPEND,
+    MSG_SNAPSHOT,
+    SNAP_CHUNK,
+    decode_frame,
+    encode_frame,
+)
+from repro.state.snapshot import decode_snapshot, encode_snapshot
+from repro.state.wal import OP_DELETE, OP_UPDATE, encode_record, scan_wal
+
+
+class MigrationError(Exception):
+    pass
+
+
+def memcached_key_id(map_key: bytes) -> int:
+    """Routing key of a memcached map key: the 8-byte LE id prefix
+    (see :func:`repro.apps.memcached.protocol.key_bytes`)."""
+    return struct.unpack_from("<Q", map_key)[0]
+
+
+def worker_call(worker):
+    """``call(fn)`` adapter for a threaded ShardWorker."""
+    return lambda fn: worker.call(fn)
+
+
+def inline_call(service):
+    """``call(fn)`` adapter for an in-process service."""
+    return lambda fn: fn(service)
+
+
+@dataclass
+class MigrationReport:
+    pin: str = ""
+    entries_moved: int = 0
+    tail_records: int = 0
+    catchup_rounds: int = 0
+    rescans: int = 0
+    base_seq: int = 0
+    final_seq: int = 0
+    source_cleaned: int = 0
+    snapshot_frames: int = 0
+    append_frames: int = 0
+
+
+class SegmentMigration:
+    """Ship one shard's slice of a pinned map to another shard.
+
+    ``moved(key_id) -> bool`` decides segment membership — typically
+    "the *new* ring owns this key at the target" — so the same
+    predicate serves scale-out (many sources, one new target) and
+    scale-in (one source, many surviving targets).
+
+    Call order: :meth:`bulk_install`, :meth:`catch_up` (repeatable),
+    then — with the router paused — :meth:`final_tail`, the ring flip,
+    resume, and :meth:`cleanup_source`.
+    """
+
+    def __init__(
+        self,
+        source_call,
+        target_call,
+        *,
+        pin: str,
+        moved,
+        route_key=memcached_key_id,
+        crash=None,
+    ):
+        self.source_call = source_call
+        self.target_call = target_call
+        self.pin = pin
+        self.moved = moved
+        self.route_key = route_key
+        self.crash = crash
+        self.report = MigrationReport(pin=pin)
+        #: Highest source WAL sequence whose effects are installed on
+        #: the target (via the image or an applied tail record).
+        self.last_seq = 0
+
+    # -- stage 1: segment image ------------------------------------------
+
+    def _read_segment(self, svc):
+        if self.crash is not None:
+            self.crash.at("migrate.snapshot")
+        wal = svc.store.wal(self.pin)
+        entries = [
+            (k, v)
+            for k, v in svc.cache.entries()
+            if self.moved(self.route_key(k))
+        ]
+        return wal.seq, svc.cache.meta(), entries
+
+    def bulk_install(self) -> int:
+        """Cut the segment image on the source, ship it as chunked
+        MSG_SNAPSHOT frames, install it on the target behind one
+        durable barrier (a target-side snapshot: N entries, one
+        fsync-analog, not N)."""
+        seq, meta, entries = self.source_call(self._read_segment)
+        blob = encode_snapshot(seq, meta, entries)
+        frames = []
+        total = len(blob)
+        for off in range(0, total or 1, SNAP_CHUNK):
+            chunk = blob[off : off + SNAP_CHUNK]
+            body = struct.pack("<II", total, off) + chunk
+            frames.append(encode_frame(MSG_SNAPSHOT, 0, seq, self.pin, body))
+        self.report.snapshot_frames = len(frames)
+
+        def install(svc):
+            if self.crash is not None:
+                self.crash.at("migrate.install")
+            buf = bytearray(total)
+            for fblob in frames:
+                fr = decode_frame(fblob)
+                if fr.kind != MSG_SNAPSHOT or fr.pin != self.pin:
+                    raise MigrationError("unexpected frame in segment stream")
+                ftotal, foff = struct.unpack_from("<II", fr.body)
+                if ftotal != total:
+                    raise MigrationError("segment stream length mismatch")
+                chunk = fr.body[8:]
+                buf[foff : foff + len(chunk)] = chunk
+            _, got_meta, got = decode_snapshot(bytes(buf))
+            mine = svc.cache.meta()
+            if (got_meta["key_size"], got_meta["value_size"]) != (
+                mine["key_size"],
+                mine["value_size"],
+            ):
+                raise MigrationError("segment image map geometry mismatch")
+            svc.cache.load_entries(got)
+            # One durable barrier for the whole image; the target's own
+            # snapshot covers the bulk entries without journaling each.
+            svc.store.snapshot(svc.pin)
+            return len(got)
+
+        n = self.target_call(install)
+        self.last_seq = seq
+        self.report.entries_moved = n
+        self.report.base_seq = seq
+        return n
+
+    # -- stage 2: WAL tail catch-up ---------------------------------------
+
+    def _read_tail(self, svc):
+        wal = svc.store.wal(self.pin)
+        blob = svc.store.storage.read(f"{self.pin}/wal") or b""
+        records, _, _ = scan_wal(blob)
+        fresh = [r for r in records if r.seq > self.last_seq]
+        # Sequence-gap detection: the WAL only reaches back to its last
+        # compaction point.  If our cursor predates it, the missing
+        # records were folded into a full-map snapshot we cannot slice
+        # a segment out of incrementally — signal a re-scan.
+        if fresh:
+            if fresh[0].seq > self.last_seq + 1:
+                return None
+        elif wal.seq > self.last_seq:
+            return None
+        frames = [
+            encode_frame(
+                MSG_APPEND,
+                0,
+                r.seq,
+                self.pin,
+                encode_record(r.seq, r.op, r.key, r.value),
+            )
+            for r in fresh
+            if self.moved(self.route_key(r.key))
+        ]
+        top = fresh[-1].seq if fresh else self.last_seq
+        return top, frames
+
+    def _apply_tail(self, frames, *, site: str) -> int:
+        def apply(svc):
+            if self.crash is not None:
+                self.crash.at(site)
+            n = 0
+            for fblob in frames:
+                fr = decode_frame(fblob)
+                if fr.kind != MSG_APPEND or fr.pin != self.pin:
+                    raise MigrationError("unexpected frame in tail stream")
+                recs, _, torn = scan_wal(fr.body)
+                if torn or len(recs) != 1:
+                    raise MigrationError("corrupt tail record")
+                rec = recs[0]
+                # Journaled apply: each record is durable on the target
+                # before the cutover can possibly happen.
+                if rec.op == OP_UPDATE:
+                    svc.cache.update(rec.key, rec.value)
+                elif rec.op == OP_DELETE:
+                    svc.cache.delete(rec.key)
+                n += 1
+            return n
+
+        return self.target_call(apply)
+
+    def _one_round(self, *, site: str) -> int:
+        """One catch-up round; returns frames applied, or -1 when the
+        tail compacted away and a full re-scan was performed."""
+        tail = self.source_call(self._read_tail)
+        if tail is None:
+            self.report.rescans += 1
+            self.bulk_install()
+            return -1
+        top, frames = tail
+        applied = self._apply_tail(frames, site=site) if frames else 0
+        self.last_seq = max(self.last_seq, top)
+        self.report.tail_records += applied
+        self.report.append_frames += len(frames)
+        return applied
+
+    def catch_up(self, max_rounds: int = 50) -> int:
+        """Repeat tail rounds until one ships nothing (the source is
+        momentarily caught up; only the paused final round makes that
+        durable truth)."""
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            self.report.catchup_rounds += 1
+            if self._one_round(site="migrate.tail") == 0:
+                break
+        return rounds
+
+    # -- stage 3: cutover (caller holds the router pause) ------------------
+
+    def final_tail(self) -> int:
+        """The last tail, read with the router quiesced: nothing can be
+        mid-write on the source, so after this the target holds every
+        acknowledged record of the segment."""
+        n = self._one_round(site="migrate.cutover")
+        while n != 0:
+            # A re-scan (-1) restarts the cursor; drain whatever the
+            # fresh image's tail shows.  Under the pause this converges
+            # immediately — the source WAL cannot grow.
+            n = self._one_round(site="migrate.cutover")
+        self.report.final_seq = self.last_seq
+        return self.report.tail_records
+
+    # -- stage 4: post-cutover source cleanup ------------------------------
+
+    def cleanup_source(self) -> int:
+        """Journaled deletes of the moved keys on the source — the ring
+        no longer routes them here, and leaving them would double-count
+        memory and resurrect stale values on a later scale-in."""
+
+        def clean(svc):
+            keys = [
+                k
+                for k, _ in svc.cache.entries()
+                if self.moved(self.route_key(k))
+            ]
+            for k in keys:
+                svc.cache.delete(k)
+            return len(keys)
+
+        n = self.source_call(clean)
+        self.report.source_cleaned = n
+        return n

@@ -1,0 +1,122 @@
+"""Pure reconciliation: desired spec − observed state → ordered actions.
+
+No I/O, no awaits — ``plan`` is a function from two values to a list,
+which is what makes convergence testable: the controller executes the
+actions, re-observes, and a converged fleet must plan to an empty
+list (idempotence).
+
+Action ordering is load-bearing:
+
+1. **quotas** first — tightening a tenant before growing the fleet
+   means the new capacity can never be consumed by a tenant the spec
+   just bounded;
+2. **scale-out** before rollout — a canary window judged over the
+   final topology, and extra headroom before any risky change;
+3. **rollout** next — one canary shard, judged, then fleet-wide;
+4. **scale-in** last — shrinking is the only destructive step, so it
+   runs after everything else proved healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.spec import FleetSpec, TenantQuota
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """What the controller observed about one live shard."""
+
+    shard_id: int
+    version: str
+    digest: str | None = None
+    healthy: bool = True
+    requests: int = 0
+
+
+@dataclass
+class FleetObservation:
+    """Observed fleet state, as the controller sees it."""
+
+    shards: dict = field(default_factory=dict)  # sid -> ShardView
+    ring_nodes: list = field(default_factory=list)
+    topology_epoch: int = 0
+    quotas: dict = field(default_factory=dict)  # tenant -> TenantQuota
+
+
+@dataclass(frozen=True)
+class ApplyQuota:
+    tenant: str
+    quota: TenantQuota
+
+    def __str__(self):
+        return f"quota {self.tenant}"
+
+
+@dataclass(frozen=True)
+class AddShard:
+    shard_id: int
+
+    def __str__(self):
+        return f"scale-out +shard {self.shard_id}"
+
+
+@dataclass(frozen=True)
+class RemoveShard:
+    shard_id: int
+
+    def __str__(self):
+        return f"scale-in -shard {self.shard_id}"
+
+
+@dataclass(frozen=True)
+class RolloutVersion:
+    version: str
+
+    def __str__(self):
+        return f"rollout {self.version}"
+
+
+@dataclass(frozen=True)
+class BlockedRollout:
+    """The spec asks for a quarantined artifact; the reconciler refuses
+    to plan it and surfaces the refusal instead of silently skipping."""
+
+    version: str
+    reason: str = "quarantined"
+
+    def __str__(self):
+        return f"rollout {self.version} BLOCKED ({self.reason})"
+
+
+def plan(
+    spec: FleetSpec,
+    obs: FleetObservation,
+    *,
+    quarantined=frozenset(),
+) -> list:
+    """Ordered convergence actions from observed state to the spec."""
+    actions: list = []
+
+    for tenant in sorted(spec.tenants):
+        quota = spec.tenants[tenant]
+        if obs.quotas.get(tenant) != quota:
+            actions.append(ApplyQuota(tenant, quota))
+
+    desired = set(range(spec.shards))
+    current = set(obs.ring_nodes)
+    for sid in sorted(desired - current):
+        actions.append(AddShard(sid))
+
+    versions = {v.version for v in obs.shards.values()}
+    if versions != {spec.version} or not versions:
+        if spec.version in quarantined:
+            actions.append(BlockedRollout(spec.version))
+        elif versions - {spec.version} or not versions:
+            actions.append(RolloutVersion(spec.version))
+
+    for sid in sorted(current - desired, reverse=True):
+        actions.append(RemoveShard(sid))
+
+    return actions

@@ -1,0 +1,168 @@
+"""Artifact registry + canary judge: the rollout half of the fleet.
+
+Artifacts are *versions* mapped to program builders; identity on the
+wire is the content digest
+(:func:`~repro.ebpf.pipeline.program_digest`), the same key the
+compilation pipeline's :class:`~repro.ebpf.pipeline.ProgramCache`
+uses — so a canary build and the stable build are distinct cache
+entries by construction, and quarantining an artifact pins the exact
+bytecode that misbehaved, not just its name.
+
+The judge is deliberately dumb and counter-driven: it sees two stat
+deltas (canary shard vs. the rest of the fleet) over the observation
+window and rules PROMOTE, ROLLBACK or NO_DATA.  Every input it uses —
+drops, supervisor quarantines, request counts — already existed as
+:class:`~repro.net.service.ServiceStats` /
+:class:`~repro.core.supervisor.SupervisorStats` counters; the fleet
+layer adds judgment, not instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.spec import CanaryPolicy
+
+PROMOTE = "promote"
+ROLLBACK = "rollback"
+NO_DATA = "no_data"
+
+
+class RolloutError(Exception):
+    pass
+
+
+class ArtifactRegistry:
+    """Named program builders + the quarantine list.
+
+    ``register(version, builder)`` with ``builder(map) -> Program``.
+    Quarantine is by version *and* digest: a rolled-back artifact's
+    version can never be applied again, and its digest is kept so an
+    operator re-registering the same bytecode under a new name is
+    detectable.
+    """
+
+    def __init__(self):
+        self._builders: dict[str, object] = {}
+        self.quarantined_versions: set[str] = set()
+        self.quarantined_digests: set[str] = set()
+        #: version -> last observed content digest (filled on load).
+        self.digests: dict[str, str] = {}
+
+    def register(self, version: str, builder) -> None:
+        self._builders[version] = builder
+
+    def versions(self) -> list[str]:
+        return sorted(self._builders)
+
+    def builder(self, version: str):
+        try:
+            return self._builders[version]
+        except KeyError:
+            raise RolloutError(f"unknown artifact version {version!r}") from None
+
+    def note_digest(self, version: str, digest: str) -> None:
+        self.digests[version] = digest
+        if digest in self.quarantined_digests:
+            self.quarantined_versions.add(version)
+
+    def quarantine(self, version: str, digest: str | None = None) -> None:
+        self.quarantined_versions.add(version)
+        if digest is None:
+            digest = self.digests.get(version)
+        if digest is not None:
+            self.quarantined_digests.add(digest)
+
+    def is_quarantined(self, version: str, digest: str | None = None) -> bool:
+        if version in self.quarantined_versions:
+            return True
+        d = digest if digest is not None else self.digests.get(version)
+        return d is not None and d in self.quarantined_digests
+
+
+def default_registry() -> ArtifactRegistry:
+    """Built-in artifacts for the durable-memcached fleet.
+
+    ``stable`` is the production program; ``v2`` is a behaviourally
+    identical build with distinct bytecode (a tag instruction), i.e. a
+    rollout that *should* promote; ``flaky-demo`` verifies clean but
+    drops a quarter of the key-space — the rollout that must be caught
+    by the canary window and rolled back.
+    """
+    from repro.apps.memcached.durable_ext import (
+        build_durable_memcached_program,
+        build_flaky_memcached_program,
+    )
+
+    reg = ArtifactRegistry()
+    reg.register("stable", build_durable_memcached_program)
+    reg.register(
+        "v2",
+        lambda cache: build_durable_memcached_program(
+            cache, "durable-memcached-v2", tag=2
+        ),
+    )
+    reg.register("flaky-demo", build_flaky_memcached_program)
+    return reg
+
+
+@dataclass(frozen=True)
+class CanaryReading:
+    """A stat snapshot (or delta) for one scope: the canary shard, or
+    the summed non-canary baseline."""
+
+    requests: int = 0
+    dropped: int = 0
+    quarantines: int = 0
+    bad_frames: int = 0
+
+    def delta(self, earlier: "CanaryReading") -> "CanaryReading":
+        return CanaryReading(
+            requests=self.requests - earlier.requests,
+            dropped=self.dropped - earlier.dropped,
+            quarantines=self.quarantines - earlier.quarantines,
+            bad_frames=self.bad_frames - earlier.bad_frames,
+        )
+
+    @property
+    def fault_ratio(self) -> float:
+        if self.requests <= 0:
+            return 0.0
+        return (self.dropped + self.quarantines) / self.requests
+
+    @classmethod
+    def of_stats(cls, stats) -> "CanaryReading":
+        return cls(
+            requests=stats.requests,
+            dropped=stats.dropped,
+            quarantines=stats.quarantines,
+            bad_frames=stats.bad_frames,
+        )
+
+
+class CanaryJudge:
+    """Rule on a finished observation window.
+
+    * zero canary traffic → NO_DATA (promoting or rolling back on an
+      empty window would be deciding from noise);
+    * any supervisor quarantine on the canary → ROLLBACK (the fleet
+      baseline running stable bytecode has none, so even one is
+      attributable to the new artifact);
+    * canary fault ratio more than ``fault_margin`` above the
+      baseline's → ROLLBACK;
+    * otherwise → PROMOTE.
+    """
+
+    def __init__(self, policy: CanaryPolicy | None = None):
+        self.policy = policy or CanaryPolicy()
+
+    def judge(
+        self, canary: CanaryReading, baseline: CanaryReading
+    ) -> str:
+        if canary.requests <= 0:
+            return NO_DATA
+        if canary.quarantines > 0:
+            return ROLLBACK
+        if canary.fault_ratio > baseline.fault_ratio + self.policy.fault_margin:
+            return ROLLBACK
+        return PROMOTE

@@ -1,0 +1,131 @@
+"""Desired fleet state: the declarative input to the reconciler.
+
+A `FleetSpec` says what the operator wants — how many shards, which
+artifact version serves, what each tenant may consume — and nothing
+about how to get there; the reconciler derives the ordered actions.
+Specs round-trip through JSON so `kflexctl fleet apply` can take a
+file and `fleet status` can show the persisted desired state next to
+the observed one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource bounds, enforced with existing machinery.
+
+    ``memory_bytes`` becomes a memcg limit on every shard's
+    :class:`~repro.kernel.cgroup.CgroupController` (heap pages charged
+    to the tenant's group fault with OutOfMemory past the limit);
+    ``max_inflight`` becomes a per-tenant
+    :class:`~repro.net.backpressure.AdmissionControl` at the router —
+    over-budget requests are shed before they touch a shard.  Tenancy
+    of a request is by key range: ``key_lo <= key_id < key_hi``.
+    """
+
+    key_lo: int = 0
+    key_hi: int = 0
+    memory_bytes: int | None = None
+    max_inflight: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "key_lo": self.key_lo,
+            "key_hi": self.key_hi,
+            "memory_bytes": self.memory_bytes,
+            "max_inflight": self.max_inflight,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TenantQuota":
+        return cls(
+            key_lo=int(d.get("key_lo", 0)),
+            key_hi=int(d.get("key_hi", 0)),
+            memory_bytes=d.get("memory_bytes"),
+            max_inflight=d.get("max_inflight"),
+        )
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """How long to watch a canary and how much worse it may be.
+
+    The observation window is demand-driven: the judge refuses to rule
+    until the canary shard has served ``min_requests`` *new* requests
+    (or ``timeout_s`` elapses — in which case the verdict is NO_DATA:
+    a canary that saw no traffic has proven nothing, so the rollout
+    neither promotes nor rolls back).  ``fault_margin`` is the
+    allowance on the canary's fault ratio (drops + quarantines per
+    request) over the non-canary baseline before rollback fires.
+    """
+
+    min_requests: int = 200
+    fault_margin: float = 0.01
+    poll_s: float = 0.05
+    timeout_s: float = 10.0
+
+    def to_dict(self) -> dict:
+        return {
+            "min_requests": self.min_requests,
+            "fault_margin": self.fault_margin,
+            "poll_s": self.poll_s,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CanaryPolicy":
+        return cls(
+            min_requests=int(d.get("min_requests", 200)),
+            fault_margin=float(d.get("fault_margin", 0.01)),
+            poll_s=float(d.get("poll_s", 0.05)),
+            timeout_s=float(d.get("timeout_s", 10.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The whole desired state of one fleet."""
+
+    #: Desired shard count; shard ids are always ``0..shards-1`` so a
+    #: scale-in always removes the highest ids (deterministic plans).
+    shards: int = 2
+    #: Artifact version every shard should serve (a name in the
+    #: :class:`~repro.fleet.rollout.ArtifactRegistry`).
+    version: str = "stable"
+    tenants: dict = field(default_factory=dict)  # name -> TenantQuota
+    canary: CanaryPolicy = field(default_factory=CanaryPolicy)
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError("spec needs at least one shard")
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "version": self.version,
+            "tenants": {n: q.to_dict() for n, q in self.tenants.items()},
+            "canary": self.canary.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FleetSpec":
+        return cls(
+            shards=int(d.get("shards", 2)),
+            version=str(d.get("version", "stable")),
+            tenants={
+                n: TenantQuota.from_dict(q)
+                for n, q in (d.get("tenants") or {}).items()
+            },
+            canary=CanaryPolicy.from_dict(d.get("canary") or {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        return cls.from_dict(json.loads(text))

@@ -321,6 +321,7 @@ class DurableMemcachedService(ExtensionService):
         capacity: int = 4096,
         userspace=None,
         engine: str | None = None,
+        program_builder=None,
     ):
         from repro.apps.memcached.durable_ext import (
             build_durable_memcached_program,
@@ -331,6 +332,9 @@ class DurableMemcachedService(ExtensionService):
         runtime = runtime or KFlexRuntime(engine=engine)
         self.store = store
         self.pin = pin
+        #: ``builder(map) -> Program``; the fleet's rollout layer swaps
+        #: it live via :meth:`swap_program`.
+        self.program_builder = program_builder or build_durable_memcached_program
         self.recovered = pin in store.pins()
         self.recovery = None
         if self.recovered:
@@ -338,7 +342,7 @@ class DurableMemcachedService(ExtensionService):
 
             def factory(rt, m):
                 ext = rt.load(
-                    build_durable_memcached_program(m), mode="ebpf", attach=False
+                    self.program_builder(m), mode="ebpf", attach=False
                 )
                 loaded["ext"] = ext
                 return ext
@@ -358,7 +362,7 @@ class DurableMemcachedService(ExtensionService):
             )
             runtime.pin_map(pin, self.cache, store)
             ext = runtime.load(
-                build_durable_memcached_program(self.cache),
+                self.program_builder(self.cache),
                 mode="ebpf",
                 attach=False,
             )
@@ -368,6 +372,36 @@ class DurableMemcachedService(ExtensionService):
         #: because this primary has been fenced by a newer epoch.
         self.quorum_drops = 0
         self.fenced_drops = 0
+
+    @property
+    def program_digest(self) -> str | None:
+        """Content digest of the live bytecode (the canary/stable key:
+        two artifact versions differ by digest by construction)."""
+        from repro.ebpf.pipeline import program_digest
+
+        return program_digest(self.ext.program) if self.ext is not None else None
+
+    def swap_program(self, builder):
+        """Verify + load new bytecode over the live pinned map and swap
+        it in atomically (single-loop service: no request is mid-invoke
+        while this runs on the shard's own loop).
+
+        The new program is built over the *same* map — pin identity and
+        journal hook are untouched, so durability is oblivious to the
+        swap.  Verification failures raise out of ``runtime.load``
+        before anything is swapped; the old extension keeps serving.
+        Returns the new extension's content digest.
+        """
+        from repro.ebpf.pipeline import program_digest
+
+        new_ext = self.runtime.load(
+            builder(self.cache), mode="ebpf", attach=False
+        )
+        old, self.ext = self.ext, new_ext
+        self.program_builder = builder
+        if old is not None and not old.dead:
+            old.unload()
+        return program_digest(new_ext.program)
 
     def _serve_sync(self, payload: bytes, cpu: int):
         reply, path = super()._serve_sync(payload, cpu)

@@ -27,6 +27,7 @@ runs).
 from __future__ import annotations
 
 import asyncio
+import bisect
 import hashlib
 import threading
 
@@ -43,21 +44,76 @@ class ConsistentHashRing:
     placement stable across processes and runs (no PYTHONHASHSEED
     dependence), so a client and a server that build the same ring
     agree on ownership without talking.
+
+    Membership is incremental: :meth:`add_node` and :meth:`remove_node`
+    insert or withdraw one shard's vnode points without disturbing any
+    other placement, so a membership change moves only the ~1/N of the
+    key-space adjacent to the changed node's points (asserted by the
+    key-movement bound test) — the property live migration depends on
+    to bound how much pinned state a scale-out has to ship.
     """
 
-    def __init__(self, n_shards: int, *, vnodes: int = 64):
-        if n_shards < 1:
-            raise ValueError("need at least one shard")
-        self.n_shards = n_shards
+    def __init__(self, nodes, *, vnodes: int = 64):
+        if isinstance(nodes, int):
+            if nodes < 1:
+                raise ValueError("need at least one shard")
+            nodes = range(nodes)
         self.vnodes = vnodes
-        points: list[tuple[int, int]] = []
-        for shard in range(n_shards):
-            for v in range(vnodes):
-                digest = hashlib.sha256(b"shard:%d:%d" % (shard, v)).digest()
-                points.append((int.from_bytes(digest[:8], "big"), shard))
-        points.sort()
-        self._points = [p for p, _ in points]
-        self._owners = [s for _, s in points]
+        self._nodes: set[int] = set()
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        for node in nodes:
+            self.add_node(node)
+        if not self._nodes:
+            raise ValueError("need at least one shard")
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def _node_points(self, node: int) -> list[int]:
+        return [
+            int.from_bytes(
+                hashlib.sha256(b"shard:%d:%d" % (node, v)).digest()[:8], "big"
+            )
+            for v in range(self.vnodes)
+        ]
+
+    def add_node(self, node: int) -> None:
+        """Insert one shard's vnode points (existing placement moves
+        only where a new point lands in front of an old one)."""
+        if node in self._nodes:
+            raise ValueError(f"shard {node} already in ring")
+        self._nodes.add(node)
+        for h in self._node_points(node):
+            i = bisect.bisect_left(self._points, h)
+            self._points.insert(i, h)
+            self._owners.insert(i, node)
+
+    def remove_node(self, node: int) -> None:
+        """Withdraw one shard's vnode points; its key-space falls to
+        the next points on the ring, everything else stays put."""
+        if node not in self._nodes:
+            raise ValueError(f"shard {node} not in ring")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._nodes.discard(node)
+        keep = [
+            (h, o)
+            for h, o in zip(self._points, self._owners)
+            if o != node
+        ]
+        self._points = [h for h, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def copy(self) -> "ConsistentHashRing":
+        """Independent ring with the same membership (for staging a
+        topology change before cutting the live router over)."""
+        return ConsistentHashRing(self.nodes, vnodes=self.vnodes)
 
     @staticmethod
     def _hash_key(key) -> int:
@@ -79,7 +135,7 @@ class ConsistentHashRing:
 
     def split(self, keys) -> dict[int, list]:
         """Partition an iterable of keys by owning shard."""
-        out: dict[int, list] = {s: [] for s in range(self.n_shards)}
+        out: dict[int, list] = {s: [] for s in self._nodes}
         for k in keys:
             out[self.shard_of(k)].append(k)
         return out
@@ -192,6 +248,27 @@ class ShardWorker(threading.Thread):
         self._inflight.add(cfut)
         cfut.add_done_callback(self._inflight.discard)
         return await asyncio.wrap_future(cfut)
+
+    def call(self, fn, timeout: float = 30.0):
+        """Run ``fn(service)`` inside this shard's event loop, blocking
+        the caller until it returns.
+
+        This is the control-plane entry the fleet layer uses: map
+        reads, snapshot cuts and program swaps must execute on the
+        shard's own loop (its runtime is single-threaded by design),
+        and ``call`` is the one safe way in from another thread.
+        """
+        if self.crashed:
+            raise ShardCrashed(self.shard_id)
+
+        async def _run():
+            return fn(self.service)
+
+        try:
+            cfut = asyncio.run_coroutine_threadsafe(_run(), self.loop)
+        except RuntimeError:
+            raise ShardCrashed(self.shard_id) from None
+        return cfut.result(timeout)
 
     def shutdown(self, timeout: float = 10.0) -> dict:
         """Drain the shard's datapath, stop its loop, join the thread."""
@@ -363,6 +440,15 @@ class ShardFailover:
     finds the shard's pinned state in its store and runs crash
     recovery, so the new worker answers with every acknowledged write
     of the old one.
+
+    ``workers`` may be a list (fixed topology, shard id == index — the
+    ``kflexctl serve`` shape) or a dict keyed by shard id (elastic
+    topology, the fleet controller's shape).  Either way membership
+    changes go through :meth:`register`/:meth:`deregister`, which bump
+    ``topology_epoch``; ``replace`` re-validates against the live
+    topology *after* building a replacement, so a failover that raced
+    a rebalance can never re-register a worker for a shard that was
+    removed (or already failed over) while the replacement booted.
     """
 
     def __init__(
@@ -397,26 +483,83 @@ class ShardFailover:
         #: Fencing epoch per shard id (raised by replica promotion);
         #: shards without replication stay at 0.
         self.epochs: dict[int, int] = {}
+        #: Bumped on every membership change (register/deregister).  A
+        #: replacement built against an older epoch is re-validated —
+        #: and discarded if the topology moved underneath it.
+        self.topology_epoch = 0
+        #: Replacements discarded because a concurrent membership
+        #: change invalidated them mid-build.
+        self.stale_replacements = 0
         self._locks: dict[int, asyncio.Lock] = {}
 
     def current_epoch(self, shard_id: int) -> int:
         return self.epochs.get(shard_id, 0)
+
+    # -- topology -----------------------------------------------------------
+
+    def worker(self, shard_id: int):
+        """The live worker for a shard id, or None if the shard is not
+        (or no longer) part of the topology."""
+        w = self.workers
+        if isinstance(w, dict):
+            return w.get(shard_id)
+        return w[shard_id] if 0 <= shard_id < len(w) else None
+
+    def _set_worker(self, shard_id: int, worker) -> None:
+        self.workers[shard_id] = worker
+
+    def bump_topology(self) -> int:
+        self.topology_epoch += 1
+        return self.topology_epoch
+
+    def register(self, shard_id: int, worker) -> None:
+        """Add a shard to the topology (scale-out).  The worker is
+        unreachable until a ring that contains its id is installed on
+        the router, so registering first is always safe."""
+        if self.worker(shard_id) is not None:
+            raise ValueError(f"shard {shard_id} already registered")
+        self._set_worker(shard_id, worker)
+        self.bump_topology()
+
+    def deregister(self, shard_id: int):
+        """Remove a shard from the topology (scale-in).  Returns the
+        worker that was serving it (None if it was already gone).  The
+        caller must have cut the ring over first — after the bump, any
+        in-flight ``replace`` for this id discards its replacement."""
+        w = self.worker(shard_id)
+        if isinstance(self.workers, dict):
+            self.workers.pop(shard_id, None)
+        elif w is not None:
+            self.workers[shard_id] = None
+        self.bump_topology()
+        return w
+
+    def lock(self, shard_id: int) -> asyncio.Lock:
+        """Per-shard failover lock; membership changes that must not
+        interleave with an in-flight replace can serialise on it."""
+        return self._locks.setdefault(shard_id, asyncio.Lock())
 
     def telemetry(self) -> dict:
         return {
             "replacements": self.replacements,
             "attempts": self.attempts,
             "give_ups": self.give_ups,
+            "stale_replacements": self.stale_replacements,
+            "topology_epoch": self.topology_epoch,
             "restarts": self.backoff.restarts,
             "epochs": dict(self.epochs),
         }
 
     async def replace(self, shard_id: int, crashed_worker) -> None:
         self.attempts += 1
-        lock = self._locks.setdefault(shard_id, asyncio.Lock())
+        lock = self.lock(shard_id)
         async with lock:
-            if self.workers[shard_id] is not crashed_worker:
+            if (
+                crashed_worker is None
+                or self.worker(shard_id) is not crashed_worker
+            ):
                 return  # somebody else already failed this shard over
+            epoch0 = self.topology_epoch
             delay = self.backoff.note_restart(shard_id)
             if delay > 0:
                 await asyncio.sleep(delay)
@@ -425,8 +568,25 @@ class ShardFailover:
             if getattr(crashed_worker, "is_alive", None) and crashed_worker.is_alive():
                 await loop.run_in_executor(None, crashed_worker.crash)
             w = await self._build_replacement(shard_id, crashed_worker, loop)
-            self.workers[shard_id] = w
+            if (
+                self.topology_epoch != epoch0
+                and self.worker(shard_id) is not crashed_worker
+            ):
+                # A rebalance removed (or re-owned) this shard while the
+                # replacement booted.  Registering it anyway would hand
+                # the router a worker outside the topology — the stale-
+                # snapshot bug this epoch exists to kill.  Discard it.
+                self.stale_replacements += 1
+                await self._discard(w, loop)
+                return
+            self._set_worker(shard_id, w)
             self.replacements += 1
+
+    async def _discard(self, worker, loop) -> None:
+        try:
+            await loop.run_in_executor(None, worker.shutdown)
+        except Exception:
+            pass
 
     async def _build_replacement(self, shard_id, crashed_worker, loop):
         """Cold restart from local durable state (replication-aware
@@ -445,8 +605,15 @@ class ShardFailover:
         return w
 
     def shutdown_all(self, timeout: float = 10.0) -> list:
+        workers = (
+            self.workers.values()
+            if isinstance(self.workers, dict)
+            else self.workers
+        )
         return [
-            w.shutdown(timeout) for w in self.workers if not w.crashed
+            w.shutdown(timeout)
+            for w in workers
+            if w is not None and not w.crashed
         ]
 
 
@@ -487,7 +654,9 @@ class ShardRouterService:
                  failover: ShardFailover | None = None,
                  max_failover_retries: int = 3,
                  attempt_timeout: float | None = None,
-                 retry_budget_s: float = 20.0):
+                 retry_budget_s: float = 20.0,
+                 tenant_fn=None,
+                 tenant_admission: dict | None = None):
         self.shards = shards if failover is not None else list(shards)
         self.ring = ring
         self.key_fn = key_fn
@@ -505,20 +674,91 @@ class ShardRouterService:
         self.retry_timeouts = 0
         #: Requests shed after the total retry budget ran out.
         self.shed_retry_budget = 0
+        #: Optional ``tenant_fn(payload) -> str | None`` plus a per-
+        #: tenant :class:`~repro.net.backpressure.AdmissionControl`
+        #: table: the fleet's quota knob.  A request whose tenant is
+        #: over its in-flight budget is shed here, before any shard is
+        #: touched, exactly like datapath admission control.
+        self.tenant_fn = tenant_fn
+        self.tenant_admission = tenant_admission or {}
+        self.tenant_sheds: dict[str, int] = {}
+        #: Cutover gate: cleared by :meth:`pause`, requests then queue
+        #: at entry until :meth:`resume`.  They are *held*, never
+        #: failed — a paused router costs latency, not errors.
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._inflight_reqs = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- cutover gate --------------------------------------------------------
+
+    async def pause(self) -> None:
+        """Stop admitting requests and wait for in-flight ones to
+        finish.  With the router quiesced, no request can be mid-write
+        on a migration source, so a final WAL tail read under the pause
+        is complete — the atomic-cutover precondition."""
+        self._gate.clear()
+        if self._inflight_reqs:
+            self._idle.clear()
+            await self._idle.wait()
+
+    def resume(self) -> None:
+        self._gate.set()
 
     async def handle(self, payload: bytes, cpu: int = 0) -> bytes | None:
         self.stats.requests += 1
+        if not self._gate.is_set():
+            await self._gate.wait()
         try:
             key = self.key_fn(payload)
         except ValueError:  # FrameError included
             self.stats.bad_frames += 1
             return None
-        sid = self.ring.shard_of(key)
+        tenant = self.tenant_fn(payload) if self.tenant_fn is not None else None
+        admission = self.tenant_admission.get(tenant) if tenant else None
+        if admission is not None and not admission.try_admit():
+            self.stats.dropped += 1
+            self.tenant_sheds[tenant] = self.tenant_sheds.get(tenant, 0) + 1
+            return None
+        self._inflight_reqs += 1
+        try:
+            return await self._route(payload, key)
+        finally:
+            self._inflight_reqs -= 1
+            if self._inflight_reqs == 0:
+                self._idle.set()
+            if admission is not None:
+                admission.release()
+
+    def _worker(self, sid: int):
+        s = self.shards
+        if isinstance(s, dict):
+            return s.get(sid)
+        return s[sid] if 0 <= sid < len(s) else None
+
+    async def _route(self, payload: bytes, key) -> bytes | None:
         attempts = self.max_failover_retries if self.failover is not None else 0
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.retry_budget_s
         while True:
-            shard = self.shards[sid]
+            # Re-resolve the owner every attempt: a rebalance may have
+            # moved the key while this request waited out a failover,
+            # and a retry against the stale owner would read (or worse,
+            # write) a segment that already migrated away.
+            sid = self.ring.shard_of(key)
+            shard = self._worker(sid)
+            if shard is None:
+                # Transient topology hole (flip mid-flight); wait a
+                # beat and re-resolve rather than failing the request.
+                if loop.time() >= deadline or attempts <= 0:
+                    self.stats.dropped += 1
+                    self.shed_retry_budget += 1
+                    return None
+                attempts -= 1
+                self.retries += 1
+                await asyncio.sleep(0.005)
+                continue
             if (
                 self.failover is not None
                 and getattr(shard, "epoch", None) is not None

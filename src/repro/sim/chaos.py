@@ -1089,6 +1089,478 @@ def run_replication_campaign(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Fleet control plane (repro.fleet): migration + rollout crash fuzz
+# ---------------------------------------------------------------------------
+
+DEFAULT_FLEET_RATES = {
+    # live-migration crash sites (source image cut, target install,
+    # tail rounds, and the paused cutover window)
+    "migrate.snapshot": 0.10,
+    "migrate.install": 0.10,
+    "migrate.tail": 0.08,
+    "migrate.cutover": 0.08,
+    # canary-rollout crash sites (swap, window, promote sweep, rollback)
+    "rollout.load": 0.15,
+    "rollout.window": 0.05,
+    "rollout.promote": 0.12,
+    "rollout.rollback": 0.20,
+    # recovery itself stays crash-tested while shards rebuild
+    "recovery.replay": 0.001,
+}
+
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one fleet-control-plane fuzz run."""
+
+    seed: int
+    n_ops: int
+    digest: str = ""
+    deaths: int = 0
+    sites_crashed: tuple = ()
+    migration_deaths: int = 0
+    rollout_deaths: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    aborted_migrations: int = 0
+    rollouts: int = 0
+    promotes: int = 0
+    rollbacks: int = 0
+    no_datas: int = 0
+    aborted_rollouts: int = 0
+    recoveries: int = 0
+    rescans: int = 0
+    shards_final: int = 0
+    acked_ops: int = 0
+    #: Oracle violations: (op index, description).  Must be empty.
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.errors)} ERRORS"
+        sites = ",".join(self.sites_crashed) or "-"
+        return (
+            f"chaos[fleet] seed={self.seed} ops={self.n_ops} "
+            f"deaths={self.deaths} ({sites}) "
+            f"mig={self.migration_deaths} roll={self.rollout_deaths} "
+            f"out={self.scale_outs} in={self.scale_ins} "
+            f"rollouts={self.rollouts} promote={self.promotes} "
+            f"rollback={self.rollbacks} nodata={self.no_datas} "
+            f"rescans={self.rescans} shards={self.shards_final} "
+            f"acked={self.acked_ops} digest={self.digest[:16]} {status}"
+        )
+
+
+def run_fleet_campaign(
+    seed: int = 0,
+    ops: int = 400,
+    *,
+    n_shards: int = 2,
+    n_keys: int = 512,
+    report: FleetChaosReport | None = None,
+) -> FleetChaosReport:
+    """Seeded crash-point fuzz over the fleet control plane.
+
+    An inline fleet (no threads, no sockets — every shard a full
+    durable memcached service over its own MemStorage "disk") serves a
+    seeded SET/GET stream while the campaign drives the real fleet
+    machinery against it: scale-outs and scale-ins through
+    :class:`~repro.fleet.migrate.SegmentMigration`, canary rollouts of
+    good and known-flaky artifacts judged by the real
+    :class:`~repro.fleet.rollout.CanaryJudge`.  A
+    :class:`~repro.sim.faults.CrashPlan` kills the migration source or
+    target and the canary shard at every fleet crash site; each death
+    is followed by real crash recovery from the victim's durable state.
+
+    Oracles, checked after every event and every death:
+
+    * **acked writes preserved** — every SET that was acknowledged
+      reads back bit-identical through the current ring, across
+      migrations, cutovers, aborted events and shard deaths;
+    * **misses are honest** — a key never acked never reads back;
+    * **rollout safety** — a flaky artifact is never promoted
+      fleet-wide, and a clean artifact is never rolled back.
+    """
+    import random as _random
+
+    from repro.apps.memcached import protocol as P
+    from repro.apps.memcached.durable_ext import (
+        build_durable_memcached_program,
+    )
+    from repro.errors import SimulatedCrash
+    from repro.fleet.migrate import SegmentMigration, inline_call
+    from repro.fleet.rollout import (
+        NO_DATA,
+        PROMOTE,
+        ROLLBACK,
+        CanaryJudge,
+        CanaryReading,
+    )
+    from repro.fleet.spec import CanaryPolicy
+    from repro.net.service import DurableMemcachedService
+    from repro.net.shard import ConsistentHashRing
+    from repro.sim.faults import CrashPlan
+    from repro.state.storage import MemStorage
+    from repro.state.store import DurableStore
+
+    report = report or FleetChaosReport(seed=seed, n_ops=ops)
+    rng = _random.Random(f"fleetchaos:{seed}")
+    hasher = hashlib.sha256()
+    crash = CrashPlan(seed, rates=dict(DEFAULT_FLEET_RATES)).build()
+    PIN = "memcached/cache"
+
+    def builder_for(version: str):
+        if version == "stable":
+            return build_durable_memcached_program
+        kind, _, num = version.partition("-")
+        tag = 16 + int(num)
+        mask = 0x03 if kind == "flaky" else None
+        return lambda cache: build_durable_memcached_program(
+            cache, f"durable-memcached-{version}", tag=tag, drop_mask=mask
+        )
+
+    shards: dict[int, dict] = {}
+    versions: dict[int, str] = {}
+    state = {"stable": "stable"}
+    quarantined: set[str] = set()
+
+    def build_svc(sid: int):
+        """(Re)incarnate a shard's process over its surviving disk,
+        retrying through injected recovery deaths."""
+        attempts = 0
+        while True:
+            try:
+                store = DurableStore(
+                    storage=shards[sid]["storage"], crash=crash
+                )
+                return DurableMemcachedService(
+                    store=store,
+                    pin=PIN,
+                    capacity=2048,
+                    program_builder=builder_for(versions[sid]),
+                )
+            except SimulatedCrash:
+                shards[sid]["storage"].crash()
+                report.recoveries += 1
+                attempts += 1
+                if attempts >= 25:
+                    crash.disarm("recovery.replay")
+
+    def kill(sid: int) -> None:
+        shards[sid]["svc"].store.crash_volatile()
+        shards[sid]["svc"] = build_svc(sid)
+        report.recoveries += 1
+
+    for sid in range(n_shards):
+        shards[sid] = {"storage": MemStorage()}
+        versions[sid] = "stable"
+        shards[sid]["svc"] = build_svc(sid)
+    ring = ConsistentHashRing(sorted(shards))
+    next_sid = n_shards
+    vcounter = 0
+    shadow: dict[int, int] = {}
+    next_val = [1]
+    #: While a flaky canary window is open: (canary sid, drop mask).
+    flaky_window = [None]
+
+    def tolerated_drop(sid: int, key_id: int) -> bool:
+        fw = flaky_window[0]
+        return fw is not None and fw[0] == sid and (key_id & fw[1]) == 0
+
+    def do_request(i: int, key_id: int, set_val=None) -> None:
+        sid = ring.shard_of(key_id)
+        svc = shards[sid]["svc"]
+        payload = (
+            P.encode_set(key_id, set_val)
+            if set_val is not None
+            else P.encode_get(key_id)
+        )
+        reply, path = svc.ingress(payload, 0)
+        _mix(hasher, "req", i, sid, key_id, set_val, path)
+        if reply is None:
+            if not tolerated_drop(sid, key_id):
+                _record_error(
+                    report, i,
+                    f"request dropped outside a flaky window "
+                    f"(shard {sid}, key {key_id}, path {path})",
+                )
+            return
+        hit, value = P.decode_reply(reply)
+        if set_val is not None:
+            if hit:
+                shadow[key_id] = set_val
+                report.acked_ops += 1
+            return
+        expected = shadow.get(key_id)
+        if expected is None:
+            if hit:
+                _record_error(
+                    report, i, f"phantom hit for never-acked key {key_id}"
+                )
+        elif not hit or value != expected:
+            _record_error(
+                report, i,
+                f"acked write lost: key {key_id} expected {expected}, "
+                f"got hit={hit} value={value}",
+            )
+
+    def traffic(i: int, n: int) -> None:
+        for _ in range(n):
+            k = rng.randrange(n_keys)
+            if rng.random() < 0.5:
+                v = next_val[0]
+                next_val[0] += 1
+                do_request(i, k, set_val=v)
+            else:
+                do_request(i, k)
+
+    def verify_all(i: int, ctx: str) -> None:
+        for k in sorted(shadow):
+            sid = ring.shard_of(k)
+            reply, _ = shards[sid]["svc"].ingress(P.encode_get(k), 0)
+            if reply is None:
+                if tolerated_drop(sid, k):
+                    continue
+                _record_error(
+                    report, i, f"[{ctx}] no reply for acked key {k}"
+                )
+                continue
+            hit, value = P.decode_reply(reply)
+            if not hit or value != shadow[k]:
+                _record_error(
+                    report, i,
+                    f"[{ctx}] acked write lost: key {k} expected "
+                    f"{shadow[k]}, got hit={hit} value={value}",
+                )
+
+    def victim_of(site: str, cur: dict) -> int:
+        return cur["src"] if site == "migrate.snapshot" else cur["dst"]
+
+    def run_migrations(i, mig_plan, new_ring, *, cleanup_sources) -> bool:
+        """One attempt at a full rebalance; False -> a death aborted it
+        (the victim was killed + recovered, the ring is unchanged)."""
+        cur = {"src": None, "dst": None}
+        migs = []
+        try:
+            for src, dst, moved in mig_plan:
+                cur["src"], cur["dst"] = src, dst
+                mig = SegmentMigration(
+                    inline_call(shards[src]["svc"]),
+                    inline_call(shards[dst]["svc"]),
+                    pin=PIN,
+                    moved=moved,
+                    crash=crash,
+                )
+                migs.append((src, dst, mig))
+                mig.bulk_install()
+            # Writes keep landing while the image ships: these become
+            # the WAL tail the catch-up rounds must drain.
+            traffic(i, 12)
+            if rng.random() < 0.3:
+                # Source compaction mid-handoff: snapshot + WAL reset
+                # on a source, forcing the sequence-gap rescan path.
+                src = mig_plan[0][0]
+                shards[src]["svc"].store.snapshot(PIN)
+            for src, dst, mig in migs:
+                cur["src"], cur["dst"] = src, dst
+                mig.catch_up()
+            traffic(i, 8)
+            # Inline "pause": the driver is the only client, so simply
+            # not sending is the quiesced router.
+            for src, dst, mig in migs:
+                cur["src"], cur["dst"] = src, dst
+                mig.final_tail()
+        except SimulatedCrash as exc:
+            site = str(exc.args[0]) if exc.args else "?"
+            _mix(hasher, "death", i, site, cur["src"], cur["dst"])
+            kill(victim_of(site, cur))
+            return False
+        # Atomic cutover.
+        ring.__dict__.update(new_ring.__dict__)
+        report.rescans += sum(m.report.rescans for _, _, m in migs)
+        if cleanup_sources:
+            for src, dst, mig in migs:
+                mig.cleanup_source()
+        return True
+
+    def event_scale_out(i) -> None:
+        sid = next_sid_holder[0]
+        next_sid_holder[0] += 1
+        shards[sid] = {"storage": MemStorage()}
+        versions[sid] = state["stable"]
+        shards[sid]["svc"] = build_svc(sid)
+        new_ring = ring.copy()
+        new_ring.add_node(sid)
+        moved = lambda kid, r=new_ring, t=sid: r.shard_of(kid) == t
+        plan_ = [(src, sid, moved) for src in ring.nodes]
+        for _ in range(10):
+            if run_migrations(i, plan_, new_ring, cleanup_sources=True):
+                report.scale_outs += 1
+                return
+        # Could not complete: the new shard never joined the ring, so
+        # dropping it wholesale is invisible to clients.
+        shards.pop(sid)
+        versions.pop(sid)
+        report.aborted_migrations += 1
+
+    def event_scale_in(i) -> None:
+        sid = rng.choice(ring.nodes)
+        new_ring = ring.copy()
+        new_ring.remove_node(sid)
+        plan_ = [
+            (sid, t, lambda kid, r=new_ring, t=t: r.shard_of(kid) == t)
+            for t in new_ring.nodes
+        ]
+        for _ in range(10):
+            if run_migrations(i, plan_, new_ring, cleanup_sources=False):
+                shards.pop(sid)
+                versions.pop(sid)
+                report.scale_ins += 1
+                return
+        report.aborted_migrations += 1
+
+    judge = CanaryJudge(CanaryPolicy(min_requests=1, fault_margin=0.01))
+
+    def reading(sid) -> CanaryReading:
+        return CanaryReading.of_stats(shards[sid]["svc"].stats)
+
+    def sum_readings(sids) -> CanaryReading:
+        rs = [reading(s) for s in sids]
+        return CanaryReading(
+            requests=sum(r.requests for r in rs),
+            dropped=sum(r.dropped for r in rs),
+            quarantines=sum(r.quarantines for r in rs),
+            bad_frames=sum(r.bad_frames for r in rs),
+        )
+
+    def event_rollout(i) -> None:
+        vcounter_holder[0] += 1
+        flaky = rng.random() < 0.5
+        version = (
+            f"flaky-{vcounter_holder[0]}" if flaky else f"good-{vcounter_holder[0]}"
+        )
+        if version in quarantined:
+            return
+        report.rollouts += 1
+        canary = min(ring.nodes)
+        others = [s for s in ring.nodes if s != canary]
+        canary0 = reading(canary)
+        base0 = sum_readings(others)
+        try:
+            crash.at("rollout.load")
+            shards[canary]["svc"].swap_program(builder_for(version))
+        except SimulatedCrash:
+            kill(canary)  # comes back serving its previous version
+            report.aborted_rollouts += 1
+            return
+        versions[canary] = version
+        if flaky:
+            flaky_window[0] = (canary, 0x03)
+        try:
+            for _ in range(6):
+                crash.at("rollout.window")
+                traffic(i, 12)
+        except SimulatedCrash:
+            # The canary died mid-window: recovery restarts it on the
+            # last converged (stable) artifact — the rollout aborts
+            # with no promotion and no quarantine.
+            versions[canary] = state["stable"]
+            flaky_window[0] = None
+            kill(canary)
+            report.aborted_rollouts += 1
+            return
+        canary_d = reading(canary).delta(canary0)
+        base_d = sum_readings(others).delta(base0)
+        verdict = judge.judge(canary_d, base_d)
+        _mix(hasher, "rollout", i, version, verdict,
+             canary_d.requests, canary_d.dropped)
+        if verdict == ROLLBACK:
+            if not flaky:
+                _record_error(
+                    report, i,
+                    f"clean artifact {version} rolled back "
+                    f"(canary {canary_d}, baseline {base_d})",
+                )
+            flaky_window[0] = None
+            try:
+                crash.at("rollout.rollback")
+                shards[canary]["svc"].swap_program(builder_for(state["stable"]))
+                versions[canary] = state["stable"]
+            except SimulatedCrash:
+                versions[canary] = state["stable"]
+                kill(canary)  # recovery rebuilds on stable: same outcome
+            quarantined.add(version)
+            report.rollbacks += 1
+        elif verdict == PROMOTE:
+            if flaky:
+                _record_error(
+                    report, i,
+                    f"flaky artifact {version} promoted fleet-wide "
+                    f"(canary {canary_d}, baseline {base_d})",
+                )
+            for sid in others:
+                try:
+                    crash.at("rollout.promote")
+                    shards[sid]["svc"].swap_program(builder_for(version))
+                    versions[sid] = version
+                except SimulatedCrash:
+                    # Recovery completes the promote: the rebuilt shard
+                    # comes up on the new version.
+                    versions[sid] = version
+                    kill(sid)
+            state["stable"] = version
+            flaky_window[0] = None
+            report.promotes += 1
+        else:  # NO_DATA: neither promote nor roll back (nor quarantine)
+            flaky_window[0] = None
+            shards[canary]["svc"].swap_program(builder_for(state["stable"]))
+            versions[canary] = state["stable"]
+            report.no_datas += 1
+
+    next_sid_holder = [next_sid]
+    vcounter_holder = [vcounter]
+
+    traffic(0, 40)  # seed the key-space before the first event
+    for i in range(1, ops + 1):
+        traffic(i, 8)
+        if i % 6 == 0:
+            n_live = len(ring.nodes)
+            choices = ["rollout"]
+            if n_live < 5:
+                choices.append("out")
+            if n_live > 2:
+                choices.append("in")
+            ev = rng.choice(choices)
+            _mix(hasher, "event", i, ev)
+            if ev == "out":
+                event_scale_out(i)
+            elif ev == "in":
+                event_scale_in(i)
+            else:
+                event_rollout(i)
+            verify_all(i, ev)
+
+    flaky_window[0] = None
+    verify_all(ops + 1, "final")
+    report.deaths = crash.total_crashes()
+    report.sites_crashed = tuple(sorted(crash.sites_crashed()))
+    report.migration_deaths = sum(
+        n for s, n in crash.crashes.items() if s.startswith("migrate.")
+    )
+    report.rollout_deaths = sum(
+        n for s, n in crash.crashes.items() if s.startswith("rollout.")
+    )
+    report.shards_final = len(ring.nodes)
+    for site, ordinal in crash.log:
+        _mix(hasher, "crashlog", site, ordinal)
+    report.digest = hasher.hexdigest()
+    return report
+
+
 _CAMPAIGNS = {
     "memcached": run_memcached_campaign,
     "redis": run_redis_campaign,
@@ -1140,6 +1612,20 @@ def main(argv=None) -> int:
         "--min-deaths", type=int, default=0,
         help="fail unless the replication runs injected at least this "
              "many node deaths",
+    )
+    ap.add_argument(
+        "--fleet", type=int, default=0, metavar="RUNS",
+        help="also run RUNS fleet-control-plane fuzz runs "
+             "(live migration + canary rollouts under crash injection)",
+    )
+    ap.add_argument(
+        "--fleet-ops", type=int, default=150,
+        help="event-loop steps per fleet fuzz run",
+    )
+    ap.add_argument(
+        "--min-fleet-deaths", type=int, default=0,
+        help="fail unless the fleet runs injected at least this many "
+             "shard deaths",
     )
     args = ap.parse_args(argv)
 
@@ -1214,6 +1700,34 @@ def main(argv=None) -> int:
         missing = want_phases - phases_hit
         if missing:
             print(f"  REPLICATION PHASES NOT EXERCISED: {sorted(missing)}")
+            failed = True
+
+    fleet_deaths = 0
+    fleet_sites: set = set()
+    if args.fleet:
+        for i in range(args.fleet):
+            report = run_fleet_campaign(args.seed + i, args.fleet_ops)
+            print(report.describe())
+            for idx, msg in report.errors:
+                print(f"  op {idx}: {msg}")
+            fleet_deaths += report.deaths
+            fleet_sites |= set(report.sites_crashed)
+            failed |= not report.ok
+        print(f"fleet fuzz: {fleet_deaths} injected deaths total")
+        if fleet_deaths < args.min_fleet_deaths:
+            print(
+                f"  INSUFFICIENT FLEET DEATH COVERAGE: {fleet_deaths} < "
+                f"{args.min_fleet_deaths}"
+            )
+            failed = True
+        want = {
+            "migrate.snapshot", "migrate.install", "migrate.tail",
+            "migrate.cutover", "rollout.load", "rollout.window",
+            "rollout.promote", "rollout.rollback",
+        }
+        missing = want - fleet_sites
+        if missing:
+            print(f"  FLEET PHASES NOT EXERCISED: {sorted(missing)}")
             failed = True
     return 1 if failed else 0
 

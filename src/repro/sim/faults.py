@@ -239,6 +239,16 @@ class FaultInjector:
 #:                     epoch-verification marker — the pin stays dirty
 #: promote.recover the follower chosen for promotion dies while
 #:                 rebuilding its map from shipped state
+#: migrate.snapshot migration source dies while cutting the segment
+#:                  image (ring unchanged — migration aborts/restarts)
+#: migrate.install  migration target dies mid-segment-install
+#: migrate.tail     migration target dies applying a WAL-tail round
+#: migrate.cutover  migration target dies inside the paused cutover
+#:                  window, before the ring flip
+#: rollout.load     canary shard dies right after loading new bytecode
+#: rollout.window   canary shard dies mid-observation-window
+#: rollout.promote  a shard dies while a promote sweeps the fleet
+#: rollout.rollback the canary dies while being rolled back to stable
 #: ============== ========================================================
 CRASH_SITES = (
     "wal.append",
@@ -253,6 +263,14 @@ CRASH_SITES = (
     "antientropy.send",
     "antientropy.install",
     "promote.recover",
+    "migrate.snapshot",
+    "migrate.install",
+    "migrate.tail",
+    "migrate.cutover",
+    "rollout.load",
+    "rollout.window",
+    "rollout.promote",
+    "rollout.rollback",
 )
 
 

@@ -484,6 +484,105 @@ def cmd_replication(args) -> int:
     return 0
 
 
+# -- fleet control plane (apply / status / rollback) ------------------------
+
+
+def cmd_fleet_apply(args) -> int:
+    """Boot a fleet, converge it onto the spec, optionally keep serving.
+
+    The spec file is the declarative input (see repro.fleet.spec):
+
+    .. code-block:: json
+
+        {"shards": 3, "version": "v2",
+         "tenants": {"acme": {"key_lo": 0, "key_hi": 256,
+                              "max_inflight": 64}}}
+    """
+    import json
+
+    from repro.fleet import FleetController, FleetSpec
+
+    with open(args.spec) as f:
+        spec = FleetSpec.from_dict(json.load(f))
+
+    async def run() -> int:
+        fleet = FleetController(root=args.root)
+        await fleet.start(n_shards=args.boot_shards)
+        print(f"fleet up on TCP port {fleet.port} "
+              f"({args.boot_shards} shard(s), root {args.root})")
+        sys.stdout.flush()
+        report = await fleet.apply(spec)
+        for line in report["actions"] or ["(converged; nothing to do)"]:
+            print(f"  {line}")
+        for mig in report["migrations"]:
+            print(f"  migrated {mig.entries_moved} entries + "
+                  f"{mig.tail_records} tail records ({mig.pin})")
+        if report["rollout"]:
+            r = report["rollout"]
+            print(f"  rollout {r['version']}: {r['verdict']}"
+                  + (f" ({r['reason']})" if r.get("reason") else ""))
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            elif args.serve:
+                await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        await fleet.stop()
+        print("fleet stopped; status persisted")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_fleet_status(args) -> int:
+    """Offline fleet status: reads the persisted control-plane state
+    under --root (works on a stopped fleet; no server required)."""
+    from repro.fleet.controller import read_spec, read_status
+
+    status = read_status(args.root)
+    spec = read_spec(args.root)
+    if status is None and spec is None:
+        print(f"no fleet state under {args.root}")
+        return 1
+    if spec is not None:
+        print(f"desired: {spec.shards} shard(s), version {spec.version}, "
+              f"{len(spec.tenants)} tenant(s)")
+    if status is not None:
+        print(f"observed: ring {status['ring']}, "
+              f"topology epoch {status['topology_epoch']}, "
+              f"stable {status['stable_version']}")
+        for sid, version in sorted(status["versions"].items()):
+            print(f"  shard {sid}: {version}")
+        if status["quarantined"]:
+            print(f"  quarantined: {', '.join(status['quarantined'])}")
+        if status["pending_canary"]:
+            pc = status["pending_canary"]
+            print(f"  pending canary: {pc['version']} on shard {pc['shard']}")
+        for name, q in sorted(status.get("tenants", {}).items()):
+            print(f"  tenant {name}: keys [{q['key_lo']}, {q['key_hi']}), "
+                  f"max_inflight {q['max_inflight']}, "
+                  f"memory {q['memory_bytes']}")
+        for line in status.get("last_actions", []):
+            print(f"  last: {line}")
+    return 0
+
+
+def cmd_fleet_rollback(args) -> int:
+    """Rewrite the persisted spec back to the last known-good version
+    and quarantine the bad one; the next apply converges onto it."""
+    from repro.fleet.controller import rollback_spec
+
+    out = rollback_spec(args.root, to=args.to or None)
+    print(f"rolled back {out['rolled_back']} -> {out['to']}")
+    if out["quarantined"]:
+        print(f"  quarantined: {', '.join(out['quarantined'])}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.net import ShardedUdpDatapath
 
@@ -743,6 +842,45 @@ def build_parser() -> argparse.ArgumentParser:
                     help="replicated store directory (shard*/node* "
                          "roots, as written by serve --replicas)")
     sp.set_defaults(fn=cmd_replication)
+
+    # Fleet control plane: declarative spec -> reconciled live fleet.
+    sp = sub.add_parser("fleet",
+                        help="fleet control plane: apply a declarative "
+                             "spec, inspect status, roll back a version")
+    fsub = sp.add_subparsers(dest="fleet_cmd", required=True)
+
+    fa = fsub.add_parser("apply",
+                         help="boot a fleet and converge it onto a "
+                              "JSON spec (scale, rollout, quotas)")
+    fa.add_argument("spec", help="fleet spec JSON file")
+    fa.add_argument("--root", required=True,
+                    help="fleet root directory (per-shard durable "
+                         "stores + persisted control-plane state)")
+    fa.add_argument("--boot-shards", type=int, default=2,
+                    help="shards to boot before converging (default 2; "
+                         "the spec's shard count is reached by live "
+                         "migration)")
+    fa.add_argument("--duration", type=float, default=0.0,
+                    help="seconds to keep serving after convergence")
+    fa.add_argument("--serve", action="store_true",
+                    help="keep serving until Ctrl-C after convergence")
+    fa.set_defaults(fn=cmd_fleet_apply)
+
+    fs = fsub.add_parser("status",
+                         help="offline fleet status from the persisted "
+                              "control-plane state")
+    fs.add_argument("--root", required=True, help="fleet root directory")
+    fs.set_defaults(fn=cmd_fleet_status)
+
+    fr = fsub.add_parser("rollback",
+                         help="rewrite the desired spec to the last "
+                              "known-good version and quarantine the "
+                              "bad one")
+    fr.add_argument("--root", required=True, help="fleet root directory")
+    fr.add_argument("--to", default="",
+                    help="explicit version to roll back to (default: "
+                         "the persisted stable version)")
+    fr.set_defaults(fn=cmd_fleet_rollback)
     return p
 
 

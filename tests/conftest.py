@@ -23,6 +23,7 @@ def pytest_collection_modifyitems(config, items):
     run_net = "net" in markexpr
     run_recovery = "recovery" in markexpr
     run_replication = "replication" in markexpr
+    run_fleet = "fleet" in markexpr
     skip_net = pytest.mark.skip(
         reason="network datapath test: run with -m net (make test-net)"
     )
@@ -32,10 +33,18 @@ def pytest_collection_modifyitems(config, items):
     skip_replication = pytest.mark.skip(
         reason="replication test: run with -m replication (make test-replication)"
     )
+    skip_fleet = pytest.mark.skip(
+        reason="fleet control-plane test: run with -m fleet (make test-fleet)"
+    )
     for item in items:
         if item.get_closest_marker("net") is not None:
             if not run_net:
                 item.add_marker(skip_net)
+        elif item.get_closest_marker("fleet") is not None:
+            # Live fleet tests: threaded shard workers + TCP front under
+            # wall-clock load; excluded from tier-1 like ``net``.
+            if not run_fleet:
+                item.add_marker(skip_fleet)
         elif item.get_closest_marker("replication") is not None:
             # Multi-node WAL shipping over real sockets (threaded replica
             # workers + wall-clock load); excluded from tier-1 like ``net``.

@@ -1,0 +1,439 @@
+"""Fleet control plane, tier-1: the pieces that need no sockets.
+
+Covers the incremental consistent-hash ring (key-movement bound), the
+pure reconciler, the canary judge (including the zero-traffic window),
+segment migration driven inline — empty source, WAL-tail catch-up, the
+compaction-mid-handoff re-scan — and the failover-vs-rebalance race
+(a replacement built against a stale topology must be discarded).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps.memcached import protocol as P
+from repro.fleet import (
+    ArtifactRegistry,
+    CanaryJudge,
+    CanaryPolicy,
+    CanaryReading,
+    FleetObservation,
+    FleetSpec,
+    NO_DATA,
+    PROMOTE,
+    ROLLBACK,
+    SegmentMigration,
+    ShardView,
+    TenantQuota,
+    default_registry,
+    inline_call,
+    plan,
+)
+from repro.fleet.reconciler import (
+    AddShard,
+    ApplyQuota,
+    BlockedRollout,
+    RemoveShard,
+    RolloutVersion,
+)
+from repro.fleet.rollout import RolloutError
+from repro.net.service import DurableMemcachedService
+from repro.net.shard import ConsistentHashRing, ShardFailover
+from repro.state.store import DurableStore
+
+
+# -- consistent-hash ring: incremental membership ---------------------------
+
+
+def test_ring_incremental_add_matches_wholesale():
+    ring = ConsistentHashRing(4)
+    ring.add_node(4)
+    fresh = ConsistentHashRing(5)
+    assert [ring.shard_of(k) for k in range(5000)] == [
+        fresh.shard_of(k) for k in range(5000)
+    ]
+
+
+def test_ring_add_node_moves_about_one_nth():
+    n = 8
+    ring = ConsistentHashRing(n)
+    before = {k: ring.shard_of(k) for k in range(20000)}
+    ring.add_node(n)
+    moved = [k for k, sid in before.items() if ring.shard_of(k) != sid]
+    frac = len(moved) / len(before)
+    # Expected 1/(n+1) ~ 11%; vnode variance bounds it well under 2x.
+    assert frac < 2.0 / (n + 1), f"moved {frac:.1%}"
+    assert frac > 0.25 / (n + 1), f"moved only {frac:.1%}"
+    # Minimal disruption: every moved key lands on the new node.
+    assert all(ring.shard_of(k) == n for k in moved)
+
+
+def test_ring_remove_node_restores_prior_placement():
+    ring = ConsistentHashRing(6)
+    before = {k: ring.shard_of(k) for k in range(5000)}
+    ring.add_node(6)
+    ring.remove_node(6)
+    assert {k: ring.shard_of(k) for k in range(5000)} == before
+
+
+def test_ring_remove_moves_only_the_leavers_keys():
+    ring = ConsistentHashRing(6)
+    before = {k: ring.shard_of(k) for k in range(5000)}
+    ring.remove_node(3)
+    for k, sid in before.items():
+        if sid == 3:
+            assert ring.shard_of(k) != 3
+        else:
+            assert ring.shard_of(k) == sid
+
+
+def test_ring_refuses_to_remove_last_node_and_dup_add():
+    ring = ConsistentHashRing(1)
+    with pytest.raises(ValueError):
+        ring.remove_node(0)
+    with pytest.raises(ValueError):
+        ring.add_node(0)
+    with pytest.raises(ValueError):
+        ring.remove_node(7)
+
+
+def test_ring_copy_is_independent():
+    ring = ConsistentHashRing(3)
+    clone = ring.copy()
+    clone.add_node(3)
+    assert ring.nodes == [0, 1, 2]
+    assert clone.nodes == [0, 1, 2, 3]
+
+
+# -- reconciler -------------------------------------------------------------
+
+
+def _obs(sids, version="stable", quotas=None):
+    return FleetObservation(
+        shards={s: ShardView(shard_id=s, version=version) for s in sids},
+        ring_nodes=list(sids),
+        quotas=quotas or {},
+    )
+
+
+def test_plan_converged_fleet_is_empty():
+    spec = FleetSpec(shards=3, version="stable")
+    assert plan(spec, _obs([0, 1, 2])) == []
+
+
+def test_plan_action_ordering():
+    q = TenantQuota(key_lo=0, key_hi=10, max_inflight=4)
+    spec = FleetSpec(shards=3, version="v2", tenants={"acme": q})
+    actions = plan(spec, _obs([0, 1, 2, 3]))
+    assert actions == [
+        ApplyQuota("acme", q),
+        RolloutVersion("v2"),
+        RemoveShard(3),
+    ]
+    actions = plan(spec, _obs([0, 1]))
+    assert actions == [ApplyQuota("acme", q), AddShard(2), RolloutVersion("v2")]
+
+
+def test_plan_scale_in_removes_highest_ids_first():
+    spec = FleetSpec(shards=2)
+    actions = plan(spec, _obs([0, 1, 2, 3, 4]))
+    assert actions == [RemoveShard(4), RemoveShard(3), RemoveShard(2)]
+
+
+def test_plan_quota_only_when_changed():
+    q = TenantQuota(key_lo=0, key_hi=10)
+    spec = FleetSpec(shards=2, tenants={"acme": q})
+    assert plan(spec, _obs([0, 1], quotas={"acme": q})) == []
+    q2 = TenantQuota(key_lo=0, key_hi=20)
+    assert plan(spec, _obs([0, 1], quotas={"acme": q2})) == [
+        ApplyQuota("acme", q)
+    ]
+
+
+def test_plan_blocks_quarantined_rollout():
+    spec = FleetSpec(shards=2, version="bad")
+    actions = plan(spec, _obs([0, 1]), quarantined={"bad"})
+    assert actions == [BlockedRollout("bad")]
+
+
+def test_plan_mixed_versions_replan_rollout():
+    spec = FleetSpec(shards=2, version="v2")
+    obs = FleetObservation(
+        shards={
+            0: ShardView(shard_id=0, version="v2"),
+            1: ShardView(shard_id=1, version="stable"),
+        },
+        ring_nodes=[0, 1],
+    )
+    assert plan(spec, obs) == [RolloutVersion("v2")]
+
+
+def test_spec_json_roundtrip():
+    spec = FleetSpec(
+        shards=4,
+        version="v2",
+        tenants={"acme": TenantQuota(key_lo=0, key_hi=64, memory_bytes=1 << 20)},
+        canary=CanaryPolicy(min_requests=50),
+    )
+    assert FleetSpec.from_json(spec.to_json()) == spec
+
+
+# -- canary judge -----------------------------------------------------------
+
+
+def _judge():
+    return CanaryJudge(CanaryPolicy(min_requests=1, fault_margin=0.01))
+
+
+def test_judge_promotes_clean_canary():
+    canary = CanaryReading(requests=100, dropped=0)
+    base = CanaryReading(requests=300, dropped=0)
+    assert _judge().judge(canary, base) == PROMOTE
+
+
+def test_judge_rolls_back_faulty_canary():
+    canary = CanaryReading(requests=100, dropped=25)
+    base = CanaryReading(requests=300, dropped=0)
+    assert _judge().judge(canary, base) == ROLLBACK
+
+
+def test_judge_tolerates_fleetwide_fault_level():
+    # The canary is no worse than the baseline: the fault is not the
+    # artifact's doing (e.g. a hot key being shed everywhere).
+    canary = CanaryReading(requests=100, dropped=5)
+    base = CanaryReading(requests=300, dropped=18)
+    assert _judge().judge(canary, base) == PROMOTE
+
+
+def test_judge_zero_traffic_is_no_data():
+    # A silent window proves nothing: neither promote nor roll back.
+    canary = CanaryReading()
+    base = CanaryReading(requests=500)
+    assert _judge().judge(canary, base) == NO_DATA
+
+
+def test_judge_quarantine_counter_forces_rollback():
+    canary = CanaryReading(requests=100, quarantines=1)
+    base = CanaryReading(requests=300)
+    assert _judge().judge(canary, base) == ROLLBACK
+
+
+def test_reading_delta_and_of_stats():
+    a = CanaryReading(requests=10, dropped=2)
+    b = CanaryReading(requests=25, dropped=2)
+    d = b.delta(a)
+    assert (d.requests, d.dropped) == (15, 0)
+    assert d.fault_ratio == 0.0
+
+
+# -- artifact registry ------------------------------------------------------
+
+
+def test_registry_quarantine_by_version_and_digest():
+    reg = default_registry()
+    assert "stable" in reg.versions()
+    reg.note_digest("v2", "d1")
+    reg.quarantine("v2", "d1")
+    assert reg.is_quarantined("v2")
+    # The same bytes under a new name stay quarantined.
+    reg.note_digest("v2-renamed", "d1")
+    assert reg.is_quarantined("v2-renamed")
+    with pytest.raises(RolloutError):
+        ArtifactRegistry().builder("nope")
+
+
+def test_flaky_builder_has_distinct_digest():
+    from repro.ebpf.pipeline import program_digest
+
+    reg = default_registry()
+    svc = _svc()
+    digests = {
+        program_digest(reg.builder(version)(svc.cache))
+        for version in ("stable", "v2", "flaky-demo")
+    }
+    assert len(digests) == 3
+
+
+# -- segment migration (inline, no sockets) ---------------------------------
+
+
+def _svc(storage=None):
+    store = DurableStore(storage=storage) if storage else DurableStore()
+    return DurableMemcachedService(store=store, pin="memcached/cache",
+                                   capacity=1024)
+
+
+def _set(svc, key, val):
+    reply, _ = svc.ingress(P.encode_set(key, val), 0)
+    hit, _v = P.decode_reply(reply)
+    assert hit
+    return reply
+
+
+def _get(svc, key):
+    reply, _ = svc.ingress(P.encode_get(key), 0)
+    if reply is None:
+        return None
+    hit, val = P.decode_reply(reply)
+    return val if hit else None
+
+
+def _mig(src, dst, moved):
+    return SegmentMigration(
+        inline_call(src), inline_call(dst), pin="memcached/cache",
+        moved=moved,
+    )
+
+
+def test_migration_moves_segment_and_cleans_source():
+    src, dst = _svc(), _svc()
+    for k in range(64):
+        _set(src, k, 100 + k)
+    mig = _mig(src, dst, moved=lambda kid: kid % 2 == 0)
+    assert mig.bulk_install() == 32
+    mig.catch_up()
+    mig.final_tail()
+    mig.cleanup_source()
+    for k in range(0, 64, 2):
+        assert _get(dst, k) == 100 + k
+        assert _get(src, k) is None
+    for k in range(1, 64, 2):
+        assert _get(src, k) == 100 + k
+    assert mig.report.entries_moved == 32
+    assert mig.report.source_cleaned == 32
+
+
+def test_migration_empty_source_map():
+    src, dst = _svc(), _svc()
+    mig = _mig(src, dst, moved=lambda kid: True)
+    assert mig.bulk_install() == 0
+    mig.catch_up()
+    mig.final_tail()
+    assert mig.cleanup_source() == 0
+    assert mig.report.tail_records == 0
+
+
+def test_migration_tail_catches_up_concurrent_writes():
+    src, dst = _svc(), _svc()
+    for k in range(16):
+        _set(src, k, 100 + k)
+    mig = _mig(src, dst, moved=lambda kid: True)
+    mig.bulk_install()
+    # Writes racing the handoff: accepted by the source after the
+    # image was cut, so only the WAL tail can carry them.
+    for k in range(16, 32):
+        _set(src, k, 100 + k)
+    _set(src, 3, 999)
+    mig.catch_up()
+    mig.final_tail()
+    for k in range(32):
+        assert _get(dst, k) == (999 if k == 3 else 100 + k)
+    assert mig.report.tail_records >= 17
+    assert mig.report.rescans == 0
+
+
+def test_migration_rescans_when_tail_compacts_away():
+    src, dst = _svc(), _svc()
+    for k in range(16):
+        _set(src, k, 100 + k)
+    mig = _mig(src, dst, moved=lambda kid: True)
+    mig.bulk_install()
+    _set(src, 40, 140)
+    # The source compacts: the tail past our cursor is folded into a
+    # snapshot and the WAL resets.  The cursor now points into a gap.
+    src.store.snapshot("memcached/cache")
+    _set(src, 41, 141)
+    mig.catch_up()
+    mig.final_tail()
+    assert mig.report.rescans >= 1
+    for k in list(range(16)) + [40, 41]:
+        assert _get(dst, k) == 100 + k
+
+
+def test_migration_tail_respects_segment_predicate():
+    src, dst = _svc(), _svc()
+    mig = _mig(src, dst, moved=lambda kid: kid < 10)
+    mig.bulk_install()
+    _set(src, 5, 105)
+    _set(src, 50, 150)
+    mig.catch_up()
+    mig.final_tail()
+    assert _get(dst, 5) == 105
+    assert _get(dst, 50) is None
+
+
+# -- failover vs rebalance race ---------------------------------------------
+
+
+class _StubWorker:
+    def __init__(self):
+        self.crashed = False
+        self.shutdowns = 0
+
+    def is_alive(self):
+        return False
+
+    def shutdown(self):
+        self.shutdowns += 1
+
+
+class _RacingFailover(ShardFailover):
+    """Build 'boots' slowly enough for a membership change to land."""
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self.mid_build = asyncio.Event()
+        self.resume_build = asyncio.Event()
+
+    async def _build_replacement(self, shard_id, crashed_worker, loop):
+        self.mid_build.set()
+        await self.resume_build.wait()
+        return _StubWorker()
+
+
+def test_failover_discards_replacement_after_concurrent_scale_in():
+    async def run():
+        dead = _StubWorker()
+        dead.crashed = True
+        fo = _RacingFailover({0: _StubWorker(), 1: dead}, None)
+        task = asyncio.ensure_future(fo.replace(1, dead))
+        await fo.mid_build.wait()
+        # Rebalance wins the race: shard 1 leaves the topology while
+        # the replacement is still booting.
+        fo.deregister(1)
+        fo.resume_build.set()
+        await task
+        assert fo.worker(1) is None, "stale replacement re-registered"
+        assert fo.stale_replacements == 1
+        assert fo.replacements == 0
+
+    asyncio.run(run())
+
+
+def test_failover_normal_replace_still_lands():
+    async def run():
+        dead = _StubWorker()
+        dead.crashed = True
+        fo = _RacingFailover({0: _StubWorker(), 1: dead}, None)
+        task = asyncio.ensure_future(fo.replace(1, dead))
+        await fo.mid_build.wait()
+        fo.resume_build.set()
+        await task
+        assert isinstance(fo.worker(1), _StubWorker)
+        assert fo.worker(1) is not dead
+        assert fo.replacements == 1
+        assert fo.stale_replacements == 0
+
+    asyncio.run(run())
+
+
+def test_failover_register_deregister_bump_epoch():
+    fo = ShardFailover({0: _StubWorker()}, None)
+    e0 = fo.topology_epoch
+    fo.register(1, _StubWorker())
+    assert fo.topology_epoch == e0 + 1
+    with pytest.raises(ValueError):
+        fo.register(1, _StubWorker())
+    fo.deregister(1)
+    assert fo.topology_epoch == e0 + 2
+    assert fo.worker(1) is None
