@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-net test-recovery test-replication test-fleet bench bench-quick bench-load bench-net bench-recovery bench-replication bench-fleet bench-baseline chaos-quick chaos-recovery chaos-replication chaos-fleet
+.PHONY: test test-net test-recovery test-replication test-fleet test-verify bench bench-quick bench-load bench-net bench-recovery bench-replication bench-fleet bench-verify bench-baseline chaos-quick chaos-recovery chaos-replication chaos-fleet
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -31,6 +31,11 @@ test-replication:
 test-fleet:
 	$(PY) -m pytest tests/ -q -m fleet
 
+# Verification-service suite: parallel/differential bit-identity,
+# profiles, worker-kill chaos (part of tier-1; this target selects it).
+test-verify:
+	$(PY) -m pytest tests/ -q -m verify_svc
+
 # Network datapath gate: kernel fast path (batched ingress + fused
 # engine, best point on the pps-vs-batch-size curve) must beat the
 # userspace-fallback leg by >= 3x in open-loop pps; also checks
@@ -52,6 +57,12 @@ bench-quick:
 # fails below the 5x floor or on a >50% regression vs the baseline.
 bench-load:
 	$(PY) benchmarks/bench_load_path.py --check
+
+# Verification-service gate: 64-program rollout through the worker
+# pool must beat serial re-verification >= 2x, and a 1-insn patch must
+# re-explore < 50% of regions (differential re-verification).
+bench-verify:
+	$(PY) benchmarks/bench_verify_service.py --check
 
 # Re-record the engine baseline (run on a quiet machine).
 bench-baseline:

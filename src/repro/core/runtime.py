@@ -461,6 +461,7 @@ class KFlexRuntime:
         engine: str | None = None,
         supervisor_policy=None,
         fuse=None,
+        verify_service=None,
     ):
         self.kernel = kernel or Kernel()
         #: Default execution engine for extensions loaded by this
@@ -490,7 +491,12 @@ class KFlexRuntime:
         #: concrete heap/map addresses, which are only unique within
         #: one kernel address space.  ``fuse`` overrides the
         #: superinstruction config (False disables, a FuseConfig tunes).
-        self.pipeline = CompilationPipeline(fuse=fuse)
+        #: ``verify_service`` routes the verify stage through a
+        #: :class:`repro.verify.VerificationService` (queue + workers +
+        #: differential memo); None keeps the serial in-process path.
+        self.pipeline = CompilationPipeline(
+            fuse=fuse, verify_service=verify_service
+        )
 
     # -- fault injection ------------------------------------------------------
 
@@ -561,25 +567,40 @@ class KFlexRuntime:
         elision: bool = True,
         cancel_scope: str = "global",
         engine: str | None = None,
+        profile: str | None = None,
     ) -> LoadedExtension:
-        """Verify, instrument, lower and (optionally) attach a program."""
+        """Verify, instrument, lower and (optionally) attach a program.
+
+        ``profile`` selects a named verifier profile
+        (:mod:`repro.verify.profiles`); its resolved settings replace
+        the per-knob arguments (``mode`` / ``perf_mode`` / ``elision``)
+        entirely — only ``translate_on_store`` still follows the
+        heap-sharing decision, which is a placement choice, not policy.
+        """
+        if profile is not None:
+            from repro.verify.profiles import profile_config
+
+            config = profile_config(
+                profile, translate_on_store=share_heap
+            )
+        else:
+            config = VerifierConfig(
+                mode=mode,
+                perf_mode=perf_mode,
+                translate_on_store=share_heap,
+                elision=elision,
+            )
         if program.heap_size is not None and heap is None:
             heap = self.create_heap(
                 program.heap_size, name=program.name, cgroup=cgroup
             )
-        if heap is not None and mode == "ebpf":
+        if heap is not None and config.mode == "ebpf":
             raise LoadError("eBPF mode cannot use extension heaps")
         if share_heap:
             if heap is None:
                 raise LoadError("share_heap requires an extension heap")
             heap.map_user()
 
-        config = VerifierConfig(
-            mode=mode,
-            perf_mode=perf_mode,
-            translate_on_store=share_heap,
-            elision=elision,
-        )
         lowered = self.pipeline.compile(program, config=config, heap=heap)
 
         helpers = HelperTable()

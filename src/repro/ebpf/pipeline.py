@@ -469,13 +469,32 @@ class Pass:
     def rebuild(self, art, payload):
         return payload
 
+    def consume_subtimings(self) -> dict | None:
+        """Wall-clock split of the last :meth:`run`, or None.  A pass
+        that reports one returns ``{sub-stage: ns}`` exactly once per
+        run (the manager records them as ``"name:sub"`` stages)."""
+        return None
+
 
 class VerifyPass(Pass):
     """Fig. 1 step 1: the eBPF verifier.  The single most expensive
     stage — and the one whose result depends only on bytecode, config
-    and heap geometry, so it caches across heap instances."""
+    and heap geometry, so it caches across heap instances.
+
+    With a :class:`repro.verify.VerificationService` plugged in, jobs
+    go through its queue/worker pool (and per-worker differential
+    memos); without one, the pass runs the verifier inline — the serial
+    fallback.  Either way the analysis is bit-identical and the
+    queue-wait / region-explore / merge split is reported via
+    :meth:`consume_subtimings`.
+    """
 
     name = "verify"
+
+    def __init__(self, service=None):
+        #: Optional :class:`repro.verify.VerificationService`.
+        self.service = service
+        self._subtimings: dict | None = None
 
     def cache_key(self, art: RawProgram) -> tuple:
         return art.verify_key()
@@ -485,9 +504,19 @@ class VerifyPass(Pass):
             # Unverified flavour (KMod baseline §5.2): admit everything,
             # learn nothing.  Downstream stages see analysis=None.
             return VerifiedProgram(art, None)
-        analysis = Verifier(
-            art.program, art.config, heap_size=art.heap_size
-        ).verify()
+        if self.service is not None:
+            analysis, timings = self.service.verify_timed(
+                art.program, art.config, art.heap_size
+            )
+            self._subtimings = timings
+        else:
+            v = Verifier(art.program, art.config, heap_size=art.heap_size)
+            analysis = v.verify()
+            self._subtimings = {
+                "queue": 0.0,
+                "explore": v.timings["explore_ns"],
+                "merge": v.timings["merge_ns"],
+            }
         return VerifiedProgram(art, analysis)
 
     def payload(self, out: VerifiedProgram):
@@ -495,6 +524,10 @@ class VerifyPass(Pass):
 
     def rebuild(self, art: RawProgram, payload) -> VerifiedProgram:
         return VerifiedProgram(art, payload[0])
+
+    def consume_subtimings(self) -> dict | None:
+        sub, self._subtimings = self._subtimings, None
+        return sub
 
 
 class InstrumentPass(Pass):
@@ -645,11 +678,15 @@ class PassManager:
                     cache.put(p.name, key, p.payload(out))
             else:
                 out = p.rebuild(art, payload)
+            sub = p.consume_subtimings()  # always drain, even w/o stats
             if stats is not None:
                 stats.record_stage(
                     p.name, time.perf_counter_ns() - t0,
                     cached=payload is not None,
                 )
+                if sub:
+                    for sub_name, ns in sub.items():
+                        stats.record_stage(f"{p.name}:{sub_name}", ns)
             art = out
         return art
 
@@ -704,7 +741,8 @@ class CompilationPipeline:
 
     def __init__(self, *, cache: ProgramCache | None = None,
                  passes: PassManager | None = None,
-                 fuse: FuseConfig | bool | None = None):
+                 fuse: FuseConfig | bool | None = None,
+                 verify_service=None):
         self.cache = cache if cache is not None else ProgramCache()
         self.passes = passes if passes is not None else PassManager()
         if fuse is not None:
@@ -712,6 +750,9 @@ class CompilationPipeline:
                 enabled=bool(fuse)
             )
             self.passes.replace("fuse", FusePass(cfg))
+        self.verify_service = verify_service
+        if verify_service is not None:
+            self.passes.replace("verify", VerifyPass(verify_service))
         self.stats = PipelineStats()
 
     # -- load-path stages -------------------------------------------------
@@ -727,6 +768,15 @@ class CompilationPipeline:
         if self.cache.stats.misses == misses_before:
             self.stats.warm_loads += 1
         return lowered
+
+    def seed_verify(self, program: Program, config: VerifierConfig,
+                    analysis: Analysis, heap=None) -> None:
+        """Pre-warm the verify stage with an analysis produced
+        elsewhere (a batch pre-verification through the service): the
+        next :meth:`compile` of the same (bytecode, config, heap
+        geometry) hits the cache and skips the verifier entirely."""
+        raw = RawProgram(program, config, heap, program_digest(program))
+        self.cache.put("verify", raw.verify_key(), (analysis,))
 
     def translate(self, lowered: LoweredProgram, engine_name: str, env,
                   cpu: int = 0) -> TranslatedProgram:
@@ -762,7 +812,12 @@ class CompilationPipeline:
             f"  {'stage':<12s} {'runs':>5s} {'cached':>7s} "
             f"{'total':>10s} {'mean':>10s} {'max':>10s}",
         ]
-        order = [n for n in self.passes.names if n in s.stages]
+        order = []
+        for n in self.passes.names:
+            if n in s.stages:
+                order.append(n)
+            # Sub-stages ("verify:explore") sit under their parent.
+            order += [k for k in s.stages if k.startswith(f"{n}:")]
         order += [n for n in s.stages if n not in order]
         for name in order:
             st = s.stages[name]

@@ -14,6 +14,19 @@ widening for loops whose bounds cannot be established statically.
 """
 
 from repro.ebpf.verifier.tnum import Tnum
-from repro.ebpf.verifier.verifier import Verifier, VerifierConfig, Analysis
+from repro.ebpf.verifier.verifier import (
+    Analysis,
+    RegionPartial,
+    Verifier,
+    VerifierConfig,
+    merge_region_partials,
+)
 
-__all__ = ["Tnum", "Verifier", "VerifierConfig", "Analysis"]
+__all__ = [
+    "Tnum",
+    "Verifier",
+    "VerifierConfig",
+    "Analysis",
+    "RegionPartial",
+    "merge_region_partials",
+]

@@ -5,6 +5,11 @@ cancellation-point sites of §3.3, class C1) and for a register liveness
 analysis that makes state pruning effective — without liveness, dead
 registers would keep otherwise-equal states from matching, and path
 exploration of real extensions would explode.
+
+Also computes the *region partition* the verification service
+(:mod:`repro.verify`) schedules over: maximal cut points that no edge
+crosses, so exploration of one region depends on earlier regions only
+through the states arriving at its start.
 """
 
 from __future__ import annotations
@@ -58,6 +63,68 @@ def build_cfg(insns: list[Insn]) -> Cfg:
     back = _find_back_edges(succ)
     live = _liveness(insns, succ)
     return Cfg(insns, succ, pred, back, live)
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous slice ``[start, end)`` of the instruction stream
+    that no control-flow edge crosses except at its boundaries.
+
+    Regions are delimited by *linear cut points*: an index ``c`` is a
+    cut iff no edge jumps over it — every forward edge ``(src, dst)``
+    with ``src < c`` has ``dst <= c`` and every back edge ``(src, dst)``
+    with ``src >= c`` has ``dst >= c``.  Two properties follow:
+
+    * loops never span a cut (their back edge would cross it), so each
+      region is explored to a fixpoint independently; and
+    * every edge leaving region ``k`` lands exactly on the *start* of
+      region ``k + 1`` — if it targeted a later cut, the cuts in
+      between would have been invalidated by that very edge.  Regions
+      therefore form a chain, and exploration state flows only through
+      the per-region entry states.
+    """
+
+    ordinal: int
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def compute_regions(cfg: Cfg) -> list[Region]:
+    """Partition the program into the maximal chain of regions.
+
+    A candidate cut exists between every pair of adjacent instructions;
+    an edge ``(src, dst)`` invalidates the cuts strictly inside its
+    span — ``(src, dst)`` for a forward edge, ``(dst, src]`` for a back
+    edge (the loop header itself stays a valid cut, so a region may
+    begin at a loop head).  Surviving cuts are found with a difference
+    array in O(insns + edges).
+    """
+    n = len(cfg.insns)
+    if n == 0:
+        return []
+    crossed = [0] * (n + 1)
+    for src in range(n):
+        for dst in cfg.succ[src]:
+            # Forward edges invalidate cuts in (src, dst); back edges
+            # (dst <= src, including self-loops) invalidate (dst, src].
+            lo, hi = (src + 1, dst) if dst > src else (dst + 1, src + 1)
+            if lo < hi:
+                crossed[lo] += 1
+                crossed[hi] -= 1
+    bounds = [0]
+    depth = 0
+    for c in range(1, n):
+        depth += crossed[c]
+        if depth == 0:
+            bounds.append(c)
+    bounds.append(n)
+    return [
+        Region(k, bounds[k], bounds[k + 1]) for k in range(len(bounds) - 1)
+    ]
 
 
 def _find_back_edges(succ: list[list[int]]) -> set[tuple[int, int]]:

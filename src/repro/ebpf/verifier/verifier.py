@@ -30,6 +30,7 @@ tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.errors import VerificationError
@@ -39,7 +40,7 @@ from repro.ebpf.program import Program, PSEUDO_MAP_FD, PSEUDO_HEAP_OFF
 from repro.ebpf.helpers import DECLARATIONS, KFLEX_ONLY, Arg, Ret
 from repro.ebpf.rewrite import jump_target_index
 from repro.ebpf.verifier.tnum import Tnum
-from repro.ebpf.verifier.cfg import build_cfg
+from repro.ebpf.verifier.cfg import build_cfg, compute_regions
 from repro.ebpf.verifier.state import Ref, Slot, VerifierState, STACK_SIZE
 from repro.ebpf.verifier.value import (
     KERNEL_POINTERS,
@@ -135,6 +136,13 @@ class VerifierConfig:
     #: Guard elision via range analysis (§3.2/§5.4).  Disabled only by
     #: the ablation benchmark, to measure what the co-design buys.
     elision: bool = True
+    #: Name of the verifier profile this config was resolved from
+    #: (:mod:`repro.verify.profiles`), or "" for an ad-hoc config.  The
+    #: name is part of the config (and thus of every ProgramCache key
+    #: via :func:`repro.ebpf.pipeline.config_key`), so artifacts
+    #: verified under different profiles can never collide even if the
+    #: profiles happen to resolve to the same knob values.
+    profile: str = ""
 
 
 @dataclass
@@ -215,6 +223,80 @@ class _CpRecord:
     conflict_sites: set[int] = field(default_factory=set)
 
 
+@dataclass
+class RegionPartial:
+    """Everything one region's exploration produced.
+
+    The unit of work the verification service schedules, caches and
+    merges (:mod:`repro.verify`).  Instruction-indexed payloads
+    (``analysis.accesses``, ``cp_records``, ``release_clears``) are
+    disjoint across regions by construction — every index is explored
+    inside exactly one region — so :func:`merge_region_partials` is a
+    deterministic reassembly, not a join.
+    """
+
+    ordinal: int
+    span: tuple[int, int]
+    #: Scratch Analysis holding the region-local accesses, back edges,
+    #: translate-store sites, max_stack and unbounded-loop flag.
+    analysis: Analysis = field(default_factory=Analysis)
+    cp_records: dict[int, _CpRecord] = field(default_factory=dict)
+    release_clears: dict[int, set[int]] = field(default_factory=dict)
+    spill_conflicts: set[int] = field(default_factory=set)
+    #: States that crossed into the next region's start: (state, via).
+    out_entries: list = field(default_factory=list)
+    processed: int = 0
+    pkt_id_out: int = 0
+    #: Largest within-region processed count observed at a worklist pop
+    #: — replays the instruction-budget check exactly when the partial
+    #: is reused with a different amount of budget already consumed.
+    budget_high_water: int = 0
+
+
+def merge_region_partials(
+    partials: list[RegionPartial], spill_sites: dict[int, int]
+) -> tuple[Analysis, set[int]]:
+    """Deterministically reassemble per-region partials (in ordinal
+    order) into one :class:`Analysis`, exactly as the tail of the old
+    monolithic exploration did.  Returns ``(analysis, new_spills)``."""
+    analysis = Analysis()
+    cp_records: dict[int, _CpRecord] = {}
+    release_clears: dict[int, set[int]] = {}
+    spill_conflicts: set[int] = set()
+    processed = 0
+    for part in partials:
+        pa = part.analysis
+        analysis.accesses.update(pa.accesses)
+        analysis.cp_back_edges |= pa.cp_back_edges
+        analysis.translate_stores |= pa.translate_stores
+        analysis.max_stack = max(analysis.max_stack, pa.max_stack)
+        analysis.has_unbounded_loops |= pa.has_unbounded_loops
+        cp_records.update(part.cp_records)
+        for site, offs in part.release_clears.items():
+            release_clears.setdefault(site, set()).update(offs)
+        spill_conflicts |= part.spill_conflicts
+        processed += part.processed
+    analysis.insns_processed = processed
+    analysis.max_stack = max(
+        analysis.max_stack,
+        max((-off for off in spill_sites.values()), default=0),
+    )
+    # Assemble object tables; collect conflicts.
+    for cp_idx, rec in cp_records.items():
+        for key, entry in rec.entries.items():
+            covered = rec.present.get(key, 0) + rec.zero.get(key, 0)
+            if covered < rec.n_paths:
+                rec.conflict_sites.add(entry.site)
+        spill_conflicts |= rec.conflict_sites
+        analysis.object_tables[cp_idx] = tuple(rec.entries.values())
+    analysis.release_clears = {
+        site: sorted(offs) for site, offs in release_clears.items()
+    }
+    analysis.spill_slots = dict(spill_sites)
+    new_spills = spill_conflicts - set(spill_sites)
+    return analysis, new_spills
+
+
 class Verifier:
     def __init__(
         self,
@@ -231,6 +313,19 @@ class Verifier:
         self.ctx_layout = CTX_LAYOUTS[program.hook]()
         self._id_counter = 0
         self._pkt_id = 0
+        #: Optional per-region result memo (duck-typed: ``key_for`` /
+        #: ``get`` / ``put``) enabling differential re-verification —
+        #: see :class:`repro.verify.differential.RegionMemo`.
+        self.region_memo = None
+        #: Optional callback ``(ordinal, RegionPartial) -> None`` fired
+        #: after each region completes (worker progress streaming and
+        #: chaos injection hang off this).
+        self.region_hook = None
+        self.regions_total = 0
+        self.regions_reused = 0
+        #: Wall-clock split of :meth:`verify`, consumed by the pipeline
+        #: sub-stage stats ("verify:explore" / "verify:merge").
+        self.timings = {"explore_ns": 0.0, "merge_ns": 0.0}
 
     # ------------------------------------------------------------------
     # public entry
@@ -275,6 +370,18 @@ class Verifier:
         return self._id_counter
 
     def _explore(self, spill_sites: dict[int, int]):
+        """Explore the program region by region (see
+        :func:`~repro.ebpf.verifier.cfg.compute_regions`).
+
+        Regions form a chain: states leaving region ``k`` arrive
+        exactly at region ``k + 1``'s start, so exploration walks the
+        chain forward, threading the entry states, the packet id and
+        the budget through.  Each region runs :meth:`_explore_region`
+        — the *same* code whether invoked here serially, inside a
+        verification-service worker, or replayed differentially from a
+        region memo — so all three schedules produce bit-identical
+        analyses by construction.
+        """
         insns = self.prog.insns
         if not insns:
             raise VerificationError("empty program")
@@ -282,18 +389,11 @@ class Verifier:
             raise VerificationError("program does not end with exit/jump", len(insns) - 1)
         cfg = build_cfg(insns)
         opts = self.cfg_opts
-
-        analysis = Analysis()
-        cp_records: dict[int, _CpRecord] = {}
-        spill_conflicts: set[int] = set()
-        release_clears: dict[int, set[int]] = {}
+        regions = compute_regions(cfg)
         # Pruning points: join points and jump targets.
         prune_points = {
             i for i in range(len(insns)) if len(cfg.pred[i]) > 1
         } | {dst for (_, dst) in cfg.back_edges}
-        seen: dict[int, list[VerifierState]] = {}
-        visits: dict[int, int] = {}
-        header_ref_sig: dict[int, tuple] = {}
 
         init = VerifierState()
         init.regs[1] = RegState(RType.PTR_TO_CTX, Tnum.const(0), 0, 0, 0, 0)
@@ -301,13 +401,103 @@ class Verifier:
         for site, off in spill_sites.items():
             init.stack[off] = Slot("spill", RegState.const(0))
 
-        # Worklist of (insn idx, state, came_via_back_edge_from).
-        stack: list[tuple[int, VerifierState, int | None]] = [(0, init, None)]
+        t0 = time.perf_counter_ns()
+        entries: list[tuple[VerifierState, int | None]] = [(init, None)]
+        partials: list[RegionPartial] = []
+        processed = 0
+        pkt_id = 0
+        memo = self.region_memo
+        for region in regions:
+            self.regions_total += 1
+            part = None
+            key = None
+            if memo is not None:
+                key = memo.key_for(self, region, entries, pkt_id, spill_sites)
+                part = memo.get(key)
+            if part is not None:
+                self.regions_reused += 1
+            else:
+                part = self._explore_region(
+                    cfg,
+                    region,
+                    entries,
+                    spill_sites,
+                    prune_points=prune_points,
+                    pkt_id_in=pkt_id,
+                    processed_start=processed,
+                )
+                if memo is not None:
+                    memo.put(key, part)
+            # Replay the per-pop budget check for reused partials (a
+            # no-op for freshly explored ones, which already raised).
+            if processed + part.budget_high_water > opts.insn_budget:
+                raise VerificationError(
+                    f"verification budget exceeded ({opts.insn_budget} insns)"
+                )
+            partials.append(part)
+            processed += part.processed
+            pkt_id = part.pkt_id_out
+            entries = part.out_entries
+            if self.region_hook is not None:
+                self.region_hook(region.ordinal, part)
+        self.timings["explore_ns"] += time.perf_counter_ns() - t0
+
+        t1 = time.perf_counter_ns()
+        result = merge_region_partials(partials, spill_sites)
+        self.timings["merge_ns"] += time.perf_counter_ns() - t1
+        return result
+
+    def _explore_region(
+        self,
+        cfg,
+        region,
+        entries: list,
+        spill_sites: dict[int, int],
+        *,
+        prune_points: set[int],
+        pkt_id_in: int,
+        processed_start: int,
+    ) -> RegionPartial:
+        """Path-sensitive exploration of one region, from its entry
+        states to its out-edge states.  Deterministic given the same
+        inputs: the value-id counter is rebased to the region's ordinal
+        (``ordinal << 32``), the packet id is threaded in explicitly,
+        and entry states are cloned before use — so the same region
+        explored by any scheduler yields an identical partial."""
+        insns = cfg.insns
+        opts = self.cfg_opts
+        start, end = region.start, region.end
+        # Region-scoped id namespace: ids allocated while exploring
+        # region k live in [k << 32, (k+1) << 32), disjoint from both
+        # earlier regions' ids (carried in by entry states) and later
+        # regions'.  No id ever reaches the merged Analysis.
+        self._id_counter = region.ordinal << 32
+        self._pkt_id = pkt_id_in
+
+        part = RegionPartial(ordinal=region.ordinal, span=(start, end))
+        analysis = part.analysis
+        cp_records = part.cp_records
+        spill_conflicts = part.spill_conflicts
+        release_clears = part.release_clears
+        out_entries = part.out_entries
+        seen: dict[int, list[VerifierState]] = {}
+        visits: dict[int, int] = {}
+        header_ref_sig: dict[int, tuple] = {}
+
+        # Worklist of (insn idx, state, came_via_back_edge_from),
+        # seeded so entry states are popped in arrival order.  Entry
+        # states are cloned: a reused partial's out states must stay
+        # pristine for the next reuse.
+        stack: list[tuple[int, VerifierState, int | None]] = [
+            (start, st.clone(), via) for st, via in reversed(entries)
+        ]
         processed = 0
 
         while stack:
             idx, st, via = stack.pop()
-            if processed > opts.insn_budget:
+            if processed > part.budget_high_water:
+                part.budget_high_water = processed
+            if processed_start + processed > opts.insn_budget:
                 raise VerificationError(
                     f"verification budget exceeded ({opts.insn_budget} insns)"
                 )
@@ -410,34 +600,26 @@ class Verifier:
                     break  # exit reached or both branch arms pushed
                 new_idx, branch_states = nxt
                 if branch_states is not None:
-                    # Conditional: push both arms through the prune logic.
+                    # Conditional: push both arms through the prune
+                    # logic; arms crossing the region boundary become
+                    # entry states of the next region instead.
                     for arm_idx, arm_state in branch_states:
-                        stack.append((arm_idx, arm_state, idx))
+                        if arm_idx == end:
+                            out_entries.append((arm_state, idx))
+                        else:
+                            stack.append((arm_idx, arm_state, idx))
+                    break
+                if new_idx == end:
+                    out_entries.append((st, idx))
                     break
                 if new_idx in prune_points or cfg.is_back_edge(idx, new_idx):
                     stack.append((new_idx, st, idx))
                     break
                 idx = new_idx
 
-        analysis.insns_processed = processed
-        analysis.max_stack = max(
-            analysis.max_stack,
-            max((-off for off in init.stack), default=0),
-        )
-        # Assemble object tables; collect conflicts.
-        for cp_idx, rec in cp_records.items():
-            for key, entry in rec.entries.items():
-                covered = rec.present.get(key, 0) + rec.zero.get(key, 0)
-                if covered < rec.n_paths:
-                    rec.conflict_sites.add(entry.site)
-            spill_conflicts |= rec.conflict_sites
-            analysis.object_tables[cp_idx] = tuple(rec.entries.values())
-        analysis.release_clears = {
-            site: sorted(offs) for site, offs in release_clears.items()
-        }
-        analysis.spill_slots = dict(spill_sites)
-        new_spills = spill_conflicts - set(spill_sites)
-        return analysis, new_spills
+        part.processed = processed
+        part.pkt_id_out = self._pkt_id
+        return part
 
     def _mark_unbounded(self, analysis: Analysis, back_edge_insn: int) -> None:
         analysis.cp_back_edges.add(back_edge_insn)

@@ -50,6 +50,7 @@ from repro.fleet.rollout import (
     default_registry,
 )
 from repro.fleet.spec import FleetSpec
+from repro.verify import VerificationService, VerifyJob
 from repro.net.backpressure import AdmissionControl, AdmissionPolicy
 from repro.net.datapath import TcpDatapath
 from repro.net.service import DurableMemcachedService
@@ -79,6 +80,8 @@ class FleetController:
         vnodes: int = 64,
         stable_version: str = "stable",
         backoff=None,
+        verify_profile: str = "",
+        verify_workers: int = 0,
     ):
         self.root = root
         self.registry = registry or default_registry()
@@ -89,6 +92,13 @@ class FleetController:
         self.vnodes = vnodes
         self.stable_version = stable_version
         self.backoff = backoff
+        #: Verifier profile every shard loads artifacts under; the spec
+        #: (`FleetSpec.verify_profile`) overrides it on apply().
+        self.verify_profile = verify_profile
+        #: The controller-side verification service: rollout candidates
+        #: are batch pre-verified through it (``verify_workers`` forked
+        #: workers; 0 = inline) before any shard is asked to swap.
+        self.verify_service = VerificationService(verify_workers)
         #: Per-shard artifact version (what the factory builds — also
         #: what a failover replacement comes back serving).
         self.versions: dict[int, str] = {}
@@ -147,6 +157,7 @@ class FleetController:
             pin=self.pin,
             capacity=self.capacity,
             program_builder=builder,
+            verify_profile=self.verify_profile,
         )
         digest = svc.program_digest
         if digest is not None:
@@ -214,6 +225,7 @@ class FleetController:
             report["shards"] = await loop.run_in_executor(
                 None, self.failover.shutdown_all
             )
+        self.verify_service.close()
         self._persist_status()
         return report
 
@@ -241,6 +253,22 @@ class FleetController:
         """Converge the live fleet onto ``spec``; returns an action
         report (executed actions + per-action outcomes)."""
         self.control.write_atomic(SPEC_NAME, spec.to_json().encode())
+        if spec.verify_profile:
+            # New shards (and every rollout pre-verification) pick the
+            # profile up immediately; already-running shards keep their
+            # loaded artifacts but re-verify under the new profile at
+            # their next swap.
+            self.verify_profile = spec.verify_profile
+            if self.failover is not None and self.ring is not None:
+                for sid in self.ring.nodes:
+                    w = self.failover.worker(sid)
+                    if w is None or getattr(w, "crashed", False):
+                        continue
+                    w.call(
+                        lambda svc, p=spec.verify_profile: setattr(
+                            svc, "verify_profile", p
+                        )
+                    )
         actions = plan(
             spec,
             self.observe(),
@@ -362,6 +390,37 @@ class FleetController:
 
     # -- canary rollout ----------------------------------------------------
 
+    def _preverify(self, builder, sids) -> None:
+        """Batch pre-verification of one artifact across shards.
+
+        Each shard materialises the candidate over its own live map
+        (placement differs per shard, so each is a distinct artifact),
+        the whole set goes through the verification service as one
+        batch, and every admitted analysis is seeded back into its
+        shard's pipeline cache.  A single rejection raises — no shard
+        swaps to a program that failed verification anywhere.
+        """
+        from repro.errors import VerificationError
+
+        cands = []
+        for sid in sids:
+            w = self.failover.worker(sid)
+            if w is None or getattr(w, "crashed", False):
+                continue
+            program, config = w.call(
+                lambda svc: (svc.build_candidate(builder), svc.verify_config())
+            )
+            cands.append((w, program, config))
+        outs = self.verify_service.submit_batch(
+            [VerifyJob(program, config) for _w, program, config in cands]
+        )
+        for (w, program, _config), out in zip(cands, outs):
+            if out.error is not None:
+                raise VerificationError(out.error)
+            w.call(
+                lambda svc, p=program, a=out.analysis: svc.adopt_analysis(p, a)
+            )
+
     def _read_stats(self, sid: int) -> CanaryReading:
         w = self.failover.worker(sid)
         return w.call(lambda svc: CanaryReading.of_stats(svc.stats))
@@ -393,6 +452,14 @@ class FleetController:
         canary0 = self._read_stats(canary_sid)
         base0 = self._sum_readings(others)
         try:
+            # Pre-verify the canary's candidate through the service
+            # before the shard is asked to do anything: a rejected
+            # artifact is quarantined without the serving path ever
+            # seeing it, and an admitted analysis seeds the shard's
+            # pipeline so the swap below is a warm (verify-free) load.
+            await loop.run_in_executor(
+                None, lambda: self._preverify(builder, [canary_sid])
+            )
             digest = await loop.run_in_executor(
                 None, lambda: canary_w.call(lambda svc: svc.swap_program(builder))
             )
@@ -433,6 +500,14 @@ class FleetController:
             "baseline": base_d.__dict__,
         }
         if verdict == PROMOTE:
+            # One service batch pre-verifies every remaining shard's
+            # candidate (each shard's artifact differs by map placement
+            # even when the bytecode template is shared), so the swap
+            # fan-out below runs verify-free.
+            if others:
+                await loop.run_in_executor(
+                    None, lambda: self._preverify(builder, others)
+                )
             for sid in others:
                 w = self.failover.worker(sid)
                 await loop.run_in_executor(
@@ -454,6 +529,7 @@ class FleetController:
         # NO_DATA: the canary stays canarying — promoting or rolling
         # back on zero traffic would be a coin flip; the next apply()
         # re-opens the window.
+        report["verify"] = self.verify_service.stats_dict()
         return report
 
     # -- status ------------------------------------------------------------
@@ -468,6 +544,7 @@ class FleetController:
                 for sid in (self.ring.nodes if self.ring else [])
             },
             "quarantined": sorted(self.registry.quarantined_versions),
+            "verify_profile": self.verify_profile,
             "tenants": {
                 name: q.to_dict() for name, q in self.quotas.items()
             },

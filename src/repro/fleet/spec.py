@@ -98,6 +98,9 @@ class FleetSpec:
     version: str = "stable"
     tenants: dict = field(default_factory=dict)  # name -> TenantQuota
     canary: CanaryPolicy = field(default_factory=CanaryPolicy)
+    #: Named verifier profile (:mod:`repro.verify.profiles`) every
+    #: shard verifies its artifacts under; "" = the built-in default.
+    verify_profile: str = ""
 
     def __post_init__(self):
         if self.shards < 1:
@@ -109,6 +112,7 @@ class FleetSpec:
             "version": self.version,
             "tenants": {n: q.to_dict() for n, q in self.tenants.items()},
             "canary": self.canary.to_dict(),
+            "verify_profile": self.verify_profile,
         }
 
     def to_json(self) -> str:
@@ -124,6 +128,7 @@ class FleetSpec:
                 for n, q in (d.get("tenants") or {}).items()
             },
             canary=CanaryPolicy.from_dict(d.get("canary") or {}),
+            verify_profile=str(d.get("verify_profile", "")),
         )
 
     @classmethod

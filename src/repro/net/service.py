@@ -322,6 +322,7 @@ class DurableMemcachedService(ExtensionService):
         userspace=None,
         engine: str | None = None,
         program_builder=None,
+        verify_profile: str = "",
     ):
         from repro.apps.memcached.durable_ext import (
             build_durable_memcached_program,
@@ -332,6 +333,9 @@ class DurableMemcachedService(ExtensionService):
         runtime = runtime or KFlexRuntime(engine=engine)
         self.store = store
         self.pin = pin
+        #: Named verifier profile every program (initial load, crash
+        #: recovery, live swap) is verified under; "" = plain eBPF.
+        self.verify_profile = verify_profile
         #: ``builder(map) -> Program``; the fleet's rollout layer swaps
         #: it live via :meth:`swap_program`.
         self.program_builder = program_builder or build_durable_memcached_program
@@ -341,9 +345,7 @@ class DurableMemcachedService(ExtensionService):
             loaded = {}
 
             def factory(rt, m):
-                ext = rt.load(
-                    self.program_builder(m), mode="ebpf", attach=False
-                )
+                ext = self._load(rt, self.program_builder(m))
                 loaded["ext"] = ext
                 return ext
 
@@ -361,17 +363,46 @@ class DurableMemcachedService(ExtensionService):
                 name="durable-memcached",
             )
             runtime.pin_map(pin, self.cache, store)
-            ext = runtime.load(
-                self.program_builder(self.cache),
-                mode="ebpf",
-                attach=False,
-            )
+            ext = self._load(runtime, self.program_builder(self.cache))
         super().__init__(runtime, ext=ext, userspace=userspace)
         self.shipper = getattr(store, "shipper", None)
         #: Writes dropped because the follower quorum was unreachable /
         #: because this primary has been fenced by a newer epoch.
         self.quorum_drops = 0
         self.fenced_drops = 0
+
+    def _load(self, runtime, program):
+        """Load a program under this shard's verification policy."""
+        if self.verify_profile:
+            return runtime.load(
+                program, profile=self.verify_profile, attach=False
+            )
+        return runtime.load(program, mode="ebpf", attach=False)
+
+    def verify_config(self):
+        """The exact :class:`VerifierConfig` :meth:`_load` verifies
+        under — what an out-of-band pre-verification must match for
+        :meth:`adopt_analysis` to produce warm loads."""
+        from repro.ebpf.verifier import VerifierConfig
+
+        if self.verify_profile:
+            from repro.verify.profiles import profile_config
+
+            return profile_config(self.verify_profile)
+        return VerifierConfig(mode="ebpf")
+
+    def build_candidate(self, builder):
+        """Materialise a candidate program over the live pinned map —
+        the controller pre-verifies this exact artifact before asking
+        for a swap."""
+        return builder(self.cache)
+
+    def adopt_analysis(self, program, analysis) -> None:
+        """Seed the runtime's pipeline with a pre-verified analysis so
+        the matching :meth:`swap_program` skips the verifier."""
+        self.runtime.pipeline.seed_verify(
+            program, self.verify_config(), analysis
+        )
 
     @property
     def program_digest(self) -> str | None:
@@ -394,9 +425,7 @@ class DurableMemcachedService(ExtensionService):
         """
         from repro.ebpf.pipeline import program_digest
 
-        new_ext = self.runtime.load(
-            builder(self.cache), mode="ebpf", attach=False
-        )
+        new_ext = self._load(self.runtime, builder(self.cache))
         old, self.ext = self.ext, new_ext
         self.program_builder = builder
         if old is not None and not old.dead:

@@ -1561,6 +1561,131 @@ def run_fleet_campaign(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Verification-service chaos: worker kills mid-exploration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VerifyChaosReport:
+    """Outcome of one verification-service worker-kill run."""
+
+    seed: int
+    n_programs: int
+    workers: int = 0
+    kills: int = 0
+    retries: int = 0
+    regions_retried: int = 0
+    #: Jobs whose merged analysis differed from the inline verifier.
+    mismatches: int = 0
+    #: Jobs that came back failed (must be zero: every program admits).
+    failures: int = 0
+    digest: str = ""
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.errors)} ERRORS"
+        return (
+            f"chaos[verify] seed={self.seed} programs={self.n_programs} "
+            f"workers={self.workers} kills={self.kills} "
+            f"retries={self.retries} regions_retried={self.regions_retried} "
+            f"digest={self.digest[:16]} {status}"
+        )
+
+
+def _verify_chaos_program(variant: int):
+    """A multi-region program (loop, branch diamond, tail) whose
+    analysis depends on ``variant`` — distinct artifacts per job."""
+    from repro.ebpf.isa import Reg
+    from repro.ebpf.macroasm import MacroAsm
+    from repro.ebpf.program import Program
+
+    m = MacroAsm()
+    m.mov(Reg.R6, 0)
+    m.label("loop")
+    m.add(Reg.R6, 1)
+    m.jcc("<", Reg.R6, 8 + (variant % 4), "loop")
+    m.mov(Reg.R7, variant)
+    m.jcc(">", Reg.R6, 4, "hi")
+    m.add(Reg.R7, 1)
+    m.label("hi")
+    m.mov(Reg.R8, 0)
+    m.label("loop2")
+    m.add(Reg.R8, 2)
+    m.jcc("<", Reg.R8, 6, "loop2")
+    m.mov(Reg.R0, 0)
+    m.exit()
+    return Program(f"verify-chaos-{variant}", m.assemble(), hook="bench",
+                   heap_size=4096)
+
+
+def run_verify_campaign(
+    seed: int = 0,
+    n_programs: int = 12,
+    *,
+    workers: int = 2,
+    profile: str = "default",
+) -> VerifyChaosReport:
+    """Kill verification workers mid-exploration and check the
+    scheduler's story: every killed job is retried (with the kill
+    stripped), every retry re-explores from scratch, and every merged
+    analysis is *bit-identical* to the inline single-threaded verifier
+    — a crashed worker's partial progress is never admitted.
+    """
+    import random
+
+    from repro.ebpf.verifier import Verifier
+    from repro.verify import VerificationService, VerifyJob
+    from repro.verify.profiles import profile_config
+
+    rng = random.Random(seed)
+    config = profile_config(profile)
+    report = VerifyChaosReport(seed, n_programs, workers=workers)
+    hasher = hashlib.sha256()
+
+    programs = [_verify_chaos_program(v) for v in range(n_programs)]
+    jobs = []
+    for i, prog in enumerate(programs):
+        die = rng.randrange(1, 4) if rng.random() < 0.5 else None
+        if die is not None:
+            report.kills += 1
+        jobs.append(VerifyJob(prog, config, die_after_regions=die))
+
+    svc = VerificationService(workers=workers, poll_s=0.02)
+    try:
+        outs = svc.submit_batch(jobs)
+    finally:
+        stats = dict(svc.stats)
+        svc.close()
+    report.retries = stats["retries"]
+    report.regions_retried = stats["regions_retried"]
+
+    for i, (prog, out) in enumerate(zip(programs, outs)):
+        if out.error is not None:
+            report.failures += 1
+            report.errors.append((i, f"job failed: {out.error}"))
+            continue
+        ref = Verifier(prog, config).verify()
+        if out.analysis != ref:
+            report.mismatches += 1
+            report.errors.append(
+                (i, "merged analysis differs from inline verifier")
+            )
+            continue
+        _mix(hasher, "verify", i, sorted(ref.object_tables),
+             ref.insns_processed)
+    if report.retries < report.kills:
+        report.errors.append(
+            (-1, f"only {report.retries} retries for {report.kills} kills")
+        )
+    report.digest = hasher.hexdigest()
+    return report
+
+
 _CAMPAIGNS = {
     "memcached": run_memcached_campaign,
     "redis": run_redis_campaign,
@@ -1626,6 +1751,15 @@ def main(argv=None) -> int:
         "--min-fleet-deaths", type=int, default=0,
         help="fail unless the fleet runs injected at least this many "
              "shard deaths",
+    )
+    ap.add_argument(
+        "--verify", type=int, default=0, metavar="RUNS",
+        help="also run RUNS verification-service worker-kill runs "
+             "(seeds seed..seed+RUNS-1)",
+    )
+    ap.add_argument(
+        "--verify-programs", type=int, default=12,
+        help="programs per verification-service chaos run",
     )
     args = ap.parse_args(argv)
 
@@ -1729,6 +1863,19 @@ def main(argv=None) -> int:
         if missing:
             print(f"  FLEET PHASES NOT EXERCISED: {sorted(missing)}")
             failed = True
+
+    verify_kills = 0
+    if args.verify:
+        for i in range(args.verify):
+            report = run_verify_campaign(
+                args.seed + i, args.verify_programs
+            )
+            print(report.describe())
+            for idx, msg in report.errors:
+                print(f"  job {idx}: {msg}")
+            verify_kills += report.kills
+            failed |= not report.ok
+        print(f"verify fuzz: {verify_kills} injected worker kills total")
     return 1 if failed else 0
 
 

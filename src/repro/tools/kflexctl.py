@@ -53,30 +53,93 @@ from repro.ebpf.program import Program, HOOKS
 from repro.ebpf.textasm import assemble_text
 
 
+def _effective_mode(args) -> str:
+    """The verifier mode a load will actually run under: the profile's
+    resolved ``mode`` wins over ``--mode`` (and validates the profile
+    name early, so typos fail before any file parsing)."""
+    profile = getattr(args, "profile", "")
+    if profile:
+        from repro.verify.profiles import resolve_profile
+
+        return resolve_profile(profile).get("mode", "kflex")
+    return args.mode
+
+
 def _read_program(args) -> Program:
     with open(args.file) as f:
         source = f.read()
     insns = assemble_text(source)
-    heap = args.heap if args.mode == "kflex" else None
+    heap = args.heap if _effective_mode(args) == "kflex" else None
     return Program(args.name, insns, hook=args.hook, heap_size=heap)
+
+
+def _make_verify_service(args):
+    """A worker-pool verification service when ``--workers`` asks for
+    one; None keeps the serial in-process verifier."""
+    workers = getattr(args, "workers", 0)
+    if not workers:
+        return None
+    from repro.verify import VerificationService
+
+    return VerificationService(workers)
+
+
+def _print_verify_service(svc) -> None:
+    d = svc.stats_dict()
+    print("verification service:")
+    print(f"  workers:             {d['workers']} "
+          f"({d['utilization'] * 100:.0f}% busy)")
+    print(f"  jobs:                {d['jobs']} "
+          f"({d['failures']} rejected, {d['retries']} retries)")
+    print(f"  queue depth peak:    {d['queue_depth_peak']}")
+    print(f"  regions:             {d['regions_total']} explored, "
+          f"{d['regions_reused']} reused "
+          f"({d['differential_saved'] * 100:.0f}% differential savings)")
 
 
 def cmd_verify(args) -> int:
     prog = _read_program(args)
-    rt = KFlexRuntime()
-    ext = rt.load(prog, mode=args.mode, attach=False, perf_mode=args.perf_mode)
-    an = ext.iprog.analysis
-    st = ext.iprog.stats
-    print(f"{args.file}: OK ({args.mode} mode)")
-    print(f"  instructions:        {len(prog.insns)} -> {len(ext.iprog.insns)} "
-          "after instrumentation")
-    if an is not None:
-        print(f"  verifier effort:     {an.insns_processed} insns processed")
-        print(f"  unbounded loops:     {len(an.cp_back_edges)}")
-    print(f"  guards:              {st.guards_emitted} emitted "
-          f"({st.formation_guards} formation), {st.guards_elided} elided")
-    print(f"  cancellation points: {st.cancel_points}")
-    print(f"  spilled resources:   {st.spills}")
+    svc = _make_verify_service(args)
+    rt = KFlexRuntime(verify_service=svc)
+    mode = _effective_mode(args)
+    try:
+        ext = rt.load(prog, mode=args.mode, attach=False,
+                      perf_mode=args.perf_mode,
+                      profile=args.profile or None)
+        an = ext.iprog.analysis
+        st = ext.iprog.stats
+        tag = f"{mode} mode"
+        if args.profile:
+            tag += f", profile {args.profile}"
+        print(f"{args.file}: OK ({tag})")
+        print(f"  instructions:        {len(prog.insns)} -> "
+              f"{len(ext.iprog.insns)} after instrumentation")
+        if an is not None:
+            print(f"  verifier effort:     {an.insns_processed} insns processed")
+            print(f"  unbounded loops:     {len(an.cp_back_edges)}")
+        print(f"  guards:              {st.guards_emitted} emitted "
+              f"({st.formation_guards} formation), {st.guards_elided} elided")
+        print(f"  cancellation points: {st.cancel_points}")
+        print(f"  spilled resources:   {st.spills}")
+        if svc is not None:
+            _print_verify_service(svc)
+    finally:
+        if svc is not None:
+            svc.close()
+    return 0
+
+
+def cmd_profiles(args) -> int:
+    """List the named verifier profiles."""
+    from repro.verify.profiles import list_profiles, resolve_profile
+
+    for prof in list_profiles():
+        base = f" (inherits {prof.inherit})" if prof.inherit else ""
+        print(f"{prof.name}{base}: {prof.description}")
+        resolved = resolve_profile(prof.name)
+        if resolved:
+            fields = ", ".join(f"{k}={v}" for k, v in sorted(resolved.items()))
+            print(f"  {fields}")
     return 0
 
 
@@ -124,19 +187,27 @@ def cmd_stats(args) -> int:
     surface a practitioner would scrape from a running KFlex kernel.
     """
     prog = _read_program(args)
-    rt = KFlexRuntime()
-    heap = None
-    if prog.heap_size is not None:
-        heap = rt.create_heap(prog.heap_size, name=args.name)
-    ctx = rt.make_ctx(0, [0] * 8)
-    for _ in range(max(1, args.loads)):
-        ext = rt.load(prog, mode=args.mode, attach=False,
-                      perf_mode=args.perf_mode, heap=heap)
-        for _ in range(args.invoke):
-            ext.invoke(ctx)
-            if ext.dead:
-                break
-    print(rt.pipeline.format_stats())
+    svc = _make_verify_service(args)
+    rt = KFlexRuntime(verify_service=svc)
+    try:
+        heap = None
+        if prog.heap_size is not None:
+            heap = rt.create_heap(prog.heap_size, name=args.name)
+        ctx = rt.make_ctx(0, [0] * 8)
+        for _ in range(max(1, args.loads)):
+            ext = rt.load(prog, mode=args.mode, attach=False,
+                          perf_mode=args.perf_mode, heap=heap,
+                          profile=args.profile or None)
+            for _ in range(args.invoke):
+                ext.invoke(ctx)
+                if ext.dead:
+                    break
+        print(rt.pipeline.format_stats())
+        if svc is not None:
+            _print_verify_service(svc)
+    finally:
+        if svc is not None:
+            svc.close()
     return 0
 
 
@@ -255,6 +326,16 @@ def _net_service_factory(args):
     file-based subcommands should not pay for the net package)."""
     store_dir = getattr(args, "store", "")
     fuse = not getattr(args, "no_fuse", False)
+    profile = getattr(args, "profile", "")
+    if profile:
+        from repro.verify.profiles import resolve_profile
+
+        resolve_profile(profile)  # fail fast on unknown names
+        if not store_dir:
+            raise ReproError(
+                "--profile currently applies to durable (--store) "
+                "serving only"
+            )
     if store_dir:
         if args.app != "memcached":
             raise ReproError(
@@ -269,6 +350,7 @@ def _net_service_factory(args):
             return DurableMemcachedService(
                 KFlexRuntime(engine=args.engine, fuse=fuse),
                 store=DurableStore(f"{store_dir}/shard{shard_id}"),
+                verify_profile=profile,
             )
 
         return durable_factory
@@ -707,7 +789,14 @@ def build_parser() -> argparse.ArgumentParser:
         s.add_argument("--name", default="prog")
         s.add_argument("--perf-mode", action="store_true",
                        help="enable performance mode (unsanitised reads)")
+        s.add_argument("--profile", default="",
+                       help="named verifier profile (see `kflexctl "
+                            "profiles`); overrides --mode/--perf-mode")
         s.set_defaults(fn=fn)
+        if name in ("verify", "stats"):
+            s.add_argument("--workers", type=int, default=0,
+                           help="verification worker processes "
+                                "(0 = in-process serial)")
         if name == "disasm":
             s.add_argument("--instrumented", action="store_true",
                            help="show post-Kie bytecode")
@@ -729,6 +818,10 @@ def build_parser() -> argparse.ArgumentParser:
             s.add_argument("--invoke", type=int, default=2,
                            help="invocations per load (exercises engine "
                                 "translation and pool reuse)")
+
+    sp = sub.add_parser("profiles",
+                        help="list named verifier profiles")
+    sp.set_defaults(fn=cmd_profiles)
 
     for name, fn in (("serve", cmd_serve), ("loadtest", cmd_loadtest)):
         s = sub.add_parser(name)
@@ -760,6 +853,9 @@ def build_parser() -> argparse.ArgumentParser:
         s.add_argument("--batch-timeout", type=float, default=0.002,
                        help="ingress batching time budget in seconds "
                             "(default 0.002)")
+        s.add_argument("--profile", default="",
+                       help="verifier profile shards verify programs "
+                            "under (durable --store serving only)")
         s.add_argument("--no-fuse", action="store_true",
                        help="disable superinstruction fusion in the "
                             "execution engine")

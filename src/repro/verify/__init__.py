@@ -1,0 +1,48 @@
+"""Verification-as-a-service (cf. Klever's scheduler/worker split).
+
+The verifier dominates cold-load cost (~80%; see BENCH_load.json), so
+fleets rolling out many programs pay it serially per node.  This
+package turns verification into a batched service:
+
+* :mod:`repro.verify.service` — job queue + scheduler fanning region
+  exploration across forked workers, with death detection, retries and
+  deterministic merge (bit-identical to the serial verifier);
+* :mod:`repro.verify.profiles` — named, inheritable
+  :class:`VerifierConfig` bundles folded into ``ProgramCache`` keys;
+* :mod:`repro.verify.differential` — content-addressed per-region memo
+  enabling differential re-verification of patched programs.
+"""
+
+from repro.verify.differential import RegionMemo
+from repro.verify.profiles import (
+    HOOK_PROFILES,
+    PROFILES,
+    ProfileError,
+    VerifierProfile,
+    list_profiles,
+    profile_config,
+    profile_for,
+    resolve_profile,
+)
+from repro.verify.service import (
+    VerificationService,
+    VerifyJob,
+    VerifyOutcome,
+    VerifyServiceError,
+)
+
+__all__ = [
+    "RegionMemo",
+    "HOOK_PROFILES",
+    "PROFILES",
+    "ProfileError",
+    "VerifierProfile",
+    "list_profiles",
+    "profile_config",
+    "profile_for",
+    "resolve_profile",
+    "VerificationService",
+    "VerifyJob",
+    "VerifyOutcome",
+    "VerifyServiceError",
+]

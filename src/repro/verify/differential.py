@@ -1,0 +1,169 @@
+"""Differential re-verification: a content-addressed per-region memo.
+
+The verifier explores the program region by region (the linear-cut
+partition of :func:`repro.ebpf.verifier.cfg.compute_regions`); each
+region's result (:class:`RegionPartial`) is a pure function of
+
+* the verification *context*: every ``VerifierConfig`` field, the heap
+  size, the hook, sleepability, the geometry of every attached map
+  (fd, key/value size — exploration never reads a map's placement),
+  and the spill-slot layout of the current pass;
+* the region itself: its ordinal, span, and exact instruction bytes;
+* the *entry states* flowing in from the previous region (plus the
+  packet-id counter threaded through them).
+
+:class:`RegionMemo` keys partials by a digest over exactly those
+inputs.  A patched program that shares a bytecode prefix with a cached
+ancestor reaches the first changed region with identical entry states,
+misses there, and — if its states re-converge to the ancestor's at a
+later cut — resumes hitting.  Because a hit replays the *same*
+``RegionPartial`` object the serial verifier would have produced, the
+merged :class:`Analysis` is bit-identical by construction; there is no
+separate "differential mode" to argue about.
+
+State canonicalisation flattens every register/stack/ref field into
+plain tuples (maps become their geometry triple) so the key is
+independent of object identity and dict insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import fields as dataclass_fields
+
+from repro.ebpf import isa
+from repro.ebpf.verifier import VerifierConfig
+
+
+def _map_geometry(m) -> tuple | None:
+    if m is None:
+        return None
+    return (m.fd, m.key_size, m.value_size)
+
+
+def canonical_reg(r) -> tuple:
+    """Flatten one ``RegState`` into a hashable value tuple."""
+    return (
+        r.type.value,
+        r.var_off.value,
+        r.var_off.mask,
+        r.smin,
+        r.smax,
+        r.umin,
+        r.umax,
+        r.off,
+        _map_geometry(r.map),
+        r.mem_size,
+        r.anchor,
+        r.ref_id,
+        r.id,
+        r.maybe_null,
+        r.pkt_range,
+        r.derived,
+    )
+
+
+def canonical_state(st) -> tuple:
+    """Flatten one ``VerifierState``; ``processed`` is write-only and
+    excluded (entry states are cloned at region seed, which resets it).
+    """
+    regs = tuple(canonical_reg(r) for r in st.regs)
+    stack = tuple(
+        (
+            off,
+            slot.kind,
+            canonical_reg(slot.reg) if slot.reg is not None else None,
+            slot.init_mask,
+        )
+        for off, slot in sorted(st.stack.items())
+    )
+    refs = tuple(
+        sorted(
+            (ref.ref_id, ref.kind, ref.destructor, ref.site, ref.val_id)
+            for ref in st.refs.values()
+        )
+    )
+    return (regs, stack, refs)
+
+
+def _config_tuple(cfg: VerifierConfig) -> tuple:
+    # Every field, including ``profile`` — two profiles that happen to
+    # resolve to identical fields still share partials, which is sound
+    # (the partial depends only on resolved semantics), but the
+    # artifact-level ProgramCache keys stay separate.
+    return tuple(
+        (f.name, getattr(cfg, f.name)) for f in dataclass_fields(cfg)
+    )
+
+
+class RegionMemo:
+    """LRU memo of :class:`RegionPartial` keyed by region content.
+
+    Duck-typed against the verifier's ``region_memo`` seam: the
+    verifier calls ``key_for`` / ``get`` / ``put`` and never imports
+    this module (``repro.verify`` depends on ``repro.ebpf``, not the
+    other way around).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, verifier, region, entries, pkt_id_in, spill_sites):
+        prog = verifier.prog
+        ctx = (
+            _config_tuple(verifier.cfg_opts),
+            verifier.heap_size,
+            prog.hook,
+            prog.sleepable,
+            tuple(
+                sorted(
+                    (fd, m.key_size, m.value_size)
+                    for fd, m in prog.maps.items()
+                )
+            ),
+            tuple(sorted(spill_sites.items())),
+        )
+        entry = tuple(
+            (canonical_state(st), via) for st, via in entries
+        )
+        h = hashlib.sha256(
+            repr(
+                (ctx, region.ordinal, region.start, region.end, entry,
+                 pkt_id_in)
+            ).encode()
+        )
+        h.update(isa.encode(prog.insns[region.start : region.end]))
+        return h.digest()
+
+    def get(self, key: bytes):
+        part = self._entries.get(key)
+        if part is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return part
+
+    def put(self, key: bytes, part) -> None:
+        self._entries[key] = part
+        self._entries.move_to_end(key)
+        self.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def stats_dict(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+        }

@@ -1,0 +1,178 @@
+"""Named verifier profiles.
+
+A profile is a declarative bundle of :class:`VerifierConfig` field
+overrides — strictness / loop-bound / guard-elision tradeoffs — that a
+tenant or hook type selects by *name* instead of hand-assembling config
+fields at every load site.  The resolved profile name is carried inside
+the config (``VerifierConfig.profile``) and therefore folds into the
+``ProgramCache`` key automatically: artifacts verified under different
+profiles never collide, even when every other field happens to match.
+
+Profiles may *inherit*: a child names a parent and overrides a subset
+of its settings.  Resolution walks the chain root-first so the child's
+settings win, mirroring Klever's verifier-profile format where a job's
+profile is a base template plus per-job deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+
+from repro.errors import ReproError
+from repro.ebpf.verifier import VerifierConfig
+
+
+class ProfileError(ReproError):
+    """Unknown profile name or malformed profile definition."""
+
+
+@dataclass(frozen=True)
+class VerifierProfile:
+    """One named bundle of :class:`VerifierConfig` overrides."""
+
+    name: str
+    description: str
+    #: ``((field_name, value), ...)`` — sorted, hashable.
+    settings: tuple
+    #: Parent profile name, or None for a root profile.
+    inherit: str | None = None
+
+
+def _p(name, description, inherit=None, **settings) -> VerifierProfile:
+    return VerifierProfile(
+        name, description, tuple(sorted(settings.items())), inherit
+    )
+
+
+#: The built-in registry.  ``default`` is the paper-faithful KFlex
+#: configuration; the rest trade precision, latency, or compatibility.
+PROFILES: dict[str, VerifierProfile] = {
+    p.name: p
+    for p in [
+        _p(
+            "default",
+            "paper-faithful KFlex defaults (elision on, widen at 24)",
+        ),
+        _p(
+            "strict",
+            "maximum assurance: no guard elision, deeper unrolling "
+            "before widening, larger pruning budget",
+            elision=False,
+            widen_threshold=48,
+            max_states_per_insn=128,
+        ),
+        _p(
+            "fast-rollout",
+            "verification latency over precision: widen early, keep "
+            "few pruning states per insn",
+            inherit="default",
+            widen_threshold=8,
+            max_states_per_insn=32,
+        ),
+        _p(
+            "canary",
+            "fast-rollout tuned for canary shards: widen even earlier",
+            inherit="fast-rollout",
+            widen_threshold=6,
+        ),
+        _p(
+            "perf",
+            "performance mode: heap loads are not sanitised (§4.2)",
+            inherit="default",
+            perf_mode=True,
+        ),
+        _p(
+            "ebpf-compat",
+            "upstream-compatible verification: reject exactly what "
+            "stock eBPF rejects (no heap, no widening)",
+            mode="ebpf",
+        ),
+    ]
+}
+
+_CONFIG_FIELDS = {f.name for f in dataclass_fields(VerifierConfig)}
+
+
+def _check_registry() -> None:
+    for prof in PROFILES.values():
+        for key, _val in prof.settings:
+            if key not in _CONFIG_FIELDS or key == "profile":
+                raise ProfileError(
+                    f"profile {prof.name!r} sets unknown VerifierConfig "
+                    f"field {key!r}"
+                )
+        if prof.inherit is not None and prof.inherit not in PROFILES:
+            raise ProfileError(
+                f"profile {prof.name!r} inherits unknown profile "
+                f"{prof.inherit!r}"
+            )
+
+
+_check_registry()
+
+
+def resolve_profile(name: str) -> dict:
+    """Resolved field overrides for ``name``, inherit chain applied.
+
+    Raises :class:`ProfileError` (listing known names) for unknown
+    profiles and on inheritance cycles.
+    """
+    chain: list[VerifierProfile] = []
+    seen: set[str] = set()
+    cur: str | None = name
+    while cur is not None:
+        if cur not in PROFILES:
+            known = ", ".join(sorted(PROFILES))
+            raise ProfileError(f"unknown profile {cur!r} (known: {known})")
+        if cur in seen:
+            raise ProfileError(f"profile inheritance cycle at {cur!r}")
+        seen.add(cur)
+        prof = PROFILES[cur]
+        chain.append(prof)
+        cur = prof.inherit
+    settings: dict = {}
+    for prof in reversed(chain):  # root first; child overrides parent
+        settings.update(dict(prof.settings))
+    return settings
+
+
+def profile_config(name: str, **overrides) -> VerifierConfig:
+    """Build a :class:`VerifierConfig` for profile ``name``.
+
+    ``overrides`` are per-load fields that are *not* policy (e.g.
+    ``translate_on_store`` follows the heap-sharing decision) and win
+    over the profile's settings.
+    """
+    settings = resolve_profile(name)
+    settings.update(overrides)
+    return VerifierConfig(profile=name, **settings)
+
+
+def list_profiles() -> list[VerifierProfile]:
+    """All registered profiles, sorted by name."""
+    return [PROFILES[n] for n in sorted(PROFILES)]
+
+
+#: Default profile per hook type, used when neither the tenant nor the
+#: caller picked one: security hooks get the strict profile.
+HOOK_PROFILES: dict[str, str] = {
+    "lsm": "strict",
+}
+
+
+def profile_for(
+    hook: str | None = None,
+    tenant_profile: str = "",
+    default: str = "default",
+) -> str:
+    """Select a profile name: tenant override > hook default > default."""
+    if tenant_profile:
+        if tenant_profile not in PROFILES:
+            known = ", ".join(sorted(PROFILES))
+            raise ProfileError(
+                f"unknown profile {tenant_profile!r} (known: {known})"
+            )
+        return tenant_profile
+    if hook is not None and hook in HOOK_PROFILES:
+        return HOOK_PROFILES[hook]
+    return default

@@ -56,8 +56,9 @@ def pytest_collection_modifyitems(config, items):
             if not run_recovery:
                 item.add_marker(skip_recovery)
         else:
-            # ``fuse``-marked parity tests stay IN tier-1 (the marker
-            # only makes them selectable via `pytest -m fuse`).
+            # ``fuse``- and ``verify_svc``-marked tests stay IN tier-1
+            # (the markers only make them selectable via `pytest -m
+            # fuse` / `pytest -m verify_svc`).
             item.add_marker(pytest.mark.tier1)
 
 

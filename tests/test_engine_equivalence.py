@@ -805,3 +805,59 @@ def test_runtime_engine_selector():
     assert KFlexRuntime(engine="interp").engine == "interp"
     with engine_scope("interp"):
         assert KFlexRuntime().engine == "interp"
+
+
+# -- verification-service parity ----------------------------------------------
+#
+# The verifier is an oracle too: the parallel worker pool and the
+# differential replay path must reproduce the single-threaded
+# ``Verifier.verify()`` analysis bit-for-bit — object tables included,
+# since those drive exception-cleanup at runtime.
+
+
+def _verify_corpus():
+    """(program, config, heap_size) triples: the Fig. 5 data-structure
+    extensions (real malloc/lock/unbounded-walk bytecode) plus the
+    multi-region chaos programs."""
+    from repro.core.runtime import KFlexRuntime
+    from repro.apps.datastructures import ALL_STRUCTURES
+    from repro.ebpf.verifier import VerifierConfig
+    from repro.sim.chaos import _verify_chaos_program
+
+    rt = KFlexRuntime()
+    corpus = []
+    for name in ("hashmap", "linkedlist"):
+        ds = ALL_STRUCTURES[name](rt)
+        for ext in ds.exts.values():
+            corpus.append((ext.program, ext.load_config, ext.heap.size))
+    for v in range(6):
+        corpus.append((_verify_chaos_program(v), VerifierConfig(), None))
+    return corpus
+
+
+@pytest.mark.verify_svc
+def test_verify_service_object_table_parity():
+    from repro.ebpf.verifier import Verifier
+    from repro.verify import VerificationService, VerifyJob
+
+    corpus = _verify_corpus()
+    refs = [Verifier(p, c, heap_size=h).verify() for p, c, h in corpus]
+
+    pool = VerificationService(workers=2, poll_s=0.02)
+    try:
+        outs = pool.submit_batch(
+            [VerifyJob(p, c, h) for p, c, h in corpus]
+        )
+        # Resubmit: the differential path replays memoised regions and
+        # must still merge to the identical analysis.
+        outs2 = pool.submit_batch(
+            [VerifyJob(p, c, h) for p, c, h in corpus]
+        )
+    finally:
+        pool.close()
+    for (prog, _c, _h), ref, out, out2 in zip(corpus, refs, outs, outs2):
+        assert out.ok and out2.ok, (prog.name, out.error, out2.error)
+        assert out.analysis == ref, prog.name
+        assert out2.analysis == ref, prog.name
+        assert out.analysis.object_tables == ref.object_tables, prog.name
+    assert sum(o.regions_reused for o in outs2) > 0

@@ -222,3 +222,59 @@ def test_serve_with_store_persists_across_restart(capsys, tmp_path):
     out = capsys.readouterr().out
     assert rc == 0, out
     assert "server stopped" in out
+
+
+# -- verifier profiles & the verification service ----------------------------
+
+
+@pytest.mark.verify_svc
+def test_profiles_lists_the_registry(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    for name in ("default", "strict", "fast-rollout", "canary"):
+        assert name in out
+    assert "inherits fast-rollout" in out  # canary's lineage is shown
+
+
+@pytest.mark.verify_svc
+def test_verify_with_profile_and_workers(capsys, kasm):
+    path = kasm("mov64 r0, 7\nexit\n")
+    assert main(["verify", path, "--profile", "strict",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "OK (kflex mode, profile strict)" in out
+    assert "verification service" in out
+    assert "explored" in out and "differential savings" in out
+
+
+@pytest.mark.verify_svc
+def test_verify_unknown_profile_names_the_known_set(capsys, kasm):
+    path = kasm("mov64 r0, 7\nexit\n")
+    assert main(["verify", path, "--profile", "bogus"]) == 1
+    err = capsys.readouterr().err
+    assert "bogus" in err and "strict" in err
+
+
+@pytest.mark.verify_svc
+def test_verify_profile_mode_overrides_mode_flag(capsys):
+    # ebpf-compat resolves to eBPF mode, so the heap-using example is
+    # rejected even without --mode ebpf.
+    assert main(["verify", str(EXAMPLE), "--profile", "ebpf-compat"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.verify_svc
+def test_stats_reports_verify_subtimings(capsys):
+    assert main(["stats", str(EXAMPLE), "--profile", "default"]) == 0
+    out = capsys.readouterr().out
+    assert "verify:explore" in out and "verify:merge" in out
+
+
+@pytest.mark.verify_svc
+def test_serve_profile_requires_store(capsys):
+    rc = main([
+        "serve", "--app", "memcached", "--shards", "1",
+        "--duration", "0.1", "--profile", "strict",
+    ])
+    assert rc == 1
+    assert "--store" in capsys.readouterr().err

@@ -128,6 +128,40 @@ def test_differing_verifier_config_misses():
     assert e3.iprog.stats.guards_emitted > e1.iprog.stats.guards_emitted
 
 
+def test_differing_profile_misses():
+    """The profile name is part of the config key: the same bytecode
+    verified under two profiles yields two cached analyses, and neither
+    collides with the profile-less default config."""
+    rt = KFlexRuntime()
+    heap = rt.create_heap(HEAP, name="pipe")
+    prog = make_program()
+    e1 = rt.load(prog, heap=heap, attach=False, profile="default")
+    e2 = rt.load(prog, heap=heap, attach=False, profile="strict")
+    e3 = rt.load(prog, heap=heap, attach=False)  # no profile at all
+    assert rt.pipeline.stats.warm_loads == 0
+    assert verify_stage(rt) == {"hits": 0, "misses": 3}
+    assert e2.iprog.analysis is not e1.iprog.analysis
+    assert e3.iprog.analysis is not e1.iprog.analysis
+
+
+def test_same_profile_hits_across_loads():
+    rt = KFlexRuntime()
+    heap = rt.create_heap(HEAP, name="pipe")
+    prog = make_program()
+    rt.load(prog, heap=heap, attach=False, profile="fast-rollout")
+    rt.load(prog, heap=heap, attach=False, profile="fast-rollout")
+    assert rt.pipeline.stats.warm_loads == 1
+
+
+def test_profile_is_in_the_config_key():
+    from repro.verify import profile_config
+
+    base = config_key(VerifierConfig())
+    tagged = config_key(profile_config("default"))
+    assert base != tagged
+    assert ("profile", "default") in tagged
+
+
 def test_same_heap_size_shares_analysis_not_placement():
     """Verification depends on heap geometry only, so a second heap of
     the same size hits; instrument/lower bake the heap base, so they
@@ -428,7 +462,8 @@ def test_stats_dict_shape():
     assert d["loads"] == 1 and d["warm_loads"] == 0
     assert d["translations"] == 1
     assert set(d["stages"]) == {
-        "verify", "instrument", "lower", "fuse", "translate"
+        "verify", "verify:queue", "verify:explore", "verify:merge",
+        "instrument", "lower", "fuse", "translate",
     }
     assert d["stages"]["verify"]["runs"] == 1
     assert d["stages"]["fuse"]["runs"] == 1
