@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test test-net test-recovery test-replication test-fleet test-verify bench bench-quick bench-load bench-net bench-recovery bench-replication bench-fleet bench-verify bench-baseline chaos-quick chaos-recovery chaos-replication chaos-fleet
+.PHONY: test test-net test-recovery test-replication test-fleet test-verify test-scenarios bench bench-quick bench-load bench-net bench-recovery bench-replication bench-fleet bench-verify bench-scenarios bench-baseline chaos-quick chaos-recovery chaos-replication chaos-fleet chaos-scenarios
 
 # Tier-1: the fast correctness suite (every test under tests/).
 test:
@@ -35,6 +35,13 @@ test-fleet:
 # profiles, worker-kill chaos (part of tier-1; this target selects it).
 test-verify:
 	$(PY) -m pytest tests/ -q -m verify_svc
+
+# Adversarial scenario suite: one seeded hostile-traffic run per
+# scenario (floods, slow-loris, flash crowd, migration-under-attack,
+# burst/drain, L4LB failover) with the oracles checked inside
+# (excluded from tier-1; the multi-seed sweep is chaos-scenarios).
+test-scenarios:
+	$(PY) -m pytest tests/ -q -m scenario
 
 # Network datapath gate: kernel fast path (batched ingress + fused
 # engine, best point on the pps-vs-batch-size curve) must beat the
@@ -93,6 +100,17 @@ chaos-replication:
 # on any loss, any bad promotion/rollback, or < 200 deaths.
 chaos-fleet:
 	sh scripts/chaos_fleet.sh
+
+# Hostile-traffic gate: the full scenario matrix across >= 200 seeded
+# runs; fails on any oracle violation (acked-write loss, ungraceful
+# shed, unbounded recovery, p99 blow-out) or a short campaign.
+chaos-scenarios:
+	sh scripts/chaos_scenarios.sh
+
+# Hostile-traffic perf gate: per-scenario p99 and shed-rate envelopes
+# vs the committed baseline in benchmarks/results/BENCH_scenarios.json.
+bench-scenarios:
+	$(PY) benchmarks/bench_scenarios.py --check
 
 # Fleet perf gate: live scale-out 2->3 migration wall time and
 # requests failed during cutover (must be zero) vs the committed

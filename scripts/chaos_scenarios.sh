@@ -1,0 +1,14 @@
+#!/bin/sh
+# Hostile-traffic gate: the full adversarial scenario matrix (floods,
+# slow-loris, flash crowds, mid-run migration, burst/drain, L4LB
+# backend failover) across many seeds.  Every run re-checks the
+# oracles — acked writes never lost, graceful shed, bounded recovery,
+# p99 envelope — and the driver exits non-zero on any failure or if
+# fewer than 200 seeded runs executed.
+#
+# Usage: scripts/chaos_scenarios.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m repro.sim.scenarios --seed 0 --runs 30 --min-runs 200

@@ -1,0 +1,30 @@
+"""``repro.apps.l4lb`` — Katran-style L4 load balancer at the XDP hook.
+
+The flagship production XDP use case: consistent-hash packets to
+backend shards entirely at ingress (``XDP_TX`` redirect), with the
+flow → backend binding held in a *pinned* map so a load-balancer
+restart — or a backend failover — keeps established flows sticky.
+See :mod:`repro.apps.l4lb.ext` for the program,
+:mod:`repro.apps.l4lb.ring` for the rendezvous ring, and
+:mod:`repro.apps.l4lb.service` for the datapath wrapper + failover.
+"""
+
+from repro.apps.l4lb.ext import (
+    HDR_SIZE,
+    MAGIC,
+    RING_SIZE,
+    build_l4lb_program,
+    wrap,
+)
+from repro.apps.l4lb.ring import build_ring
+from repro.apps.l4lb.service import L4LBService
+
+__all__ = [
+    "HDR_SIZE",
+    "L4LBService",
+    "MAGIC",
+    "RING_SIZE",
+    "build_l4lb_program",
+    "build_ring",
+    "wrap",
+]

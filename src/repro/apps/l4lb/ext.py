@@ -1,0 +1,157 @@
+"""The L4LB extension: flow table + ring lookup, XDP_TX redirect.
+
+Every packet carries an 8-byte L4LB envelope in front of the inner
+application payload:
+
+====== ====== ==================================================
+offset size   field
+====== ====== ==================================================
+0      1      magic (0xB4; anything else is wire garbage → DROP)
+1      1      flags (unused, reserved)
+2      2      backend id, u16 LE — *written by the extension*
+              (clients send 0); the redirect target
+4      4      flow id, u32 LE (the 5-tuple hash stand-in)
+====== ====== ==================================================
+
+Verdict pipeline, one extension invocation per packet:
+
+1. **Connection table** (pinned hash map, flow → backend): a hit is
+   an established flow and wins unconditionally — this is what keeps
+   flows sticky across ring changes *and* LB restarts (the map is
+   journaled into the WAL like any pinned map, so recovery replays
+   it).
+2. **Ring** (array map, slot → backend): on a miss the flow hashes to
+   a ring slot, the slot's backend is chosen, and the binding is
+   inserted into the connection table before the packet leaves —
+   the next packet of this flow takes path 1.
+3. The chosen backend id is written into the packet at offset 2 and
+   the verdict is ``XDP_TX``: on real hardware this is the rewrite-
+   and-retransmit Katran does toward the backend; here the datapath
+   wrapper reads the id back and forwards the inner payload to that
+   backend's service.
+
+A full connection table degrades gracefully: the insert fails
+(-E2BIG), the packet still redirects via the ring, and the flow is
+simply not sticky until space frees — the Katran failure mode, chosen
+deliberately over dropping new flows.
+"""
+
+from __future__ import annotations
+
+from repro.apps.datastructures.common import HASH_CONST
+from repro.ebpf.helpers import BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.maps import ArrayMap, HashMap
+from repro.ebpf.program import Program, XDP_DROP, XDP_TX
+
+R0, R1, R2, R3, R4, R5 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5
+R6, R7, R8, R9, R10 = Reg.R6, Reg.R7, Reg.R8, Reg.R9, Reg.R10
+
+MAGIC = 0xB4
+HDR_SIZE = 8
+BACKEND_OFF = 2
+FLOW_OFF = 4
+
+RING_BITS = 7
+RING_SIZE = 1 << RING_BITS
+
+SLOT_KEY = -16    # staged flow id (conn-table key, 8 bytes)
+SLOT_RING = -24   # staged ring slot (array key, 4 bytes)
+SLOT_VAL = -32    # staged backend id (conn-table value, 8 bytes)
+
+
+def wrap(flow: int, inner: bytes) -> bytes:
+    """Wrap an inner payload in the L4LB envelope (backend field 0)."""
+    return bytes([MAGIC, 0, 0, 0]) + (flow & 0xFFFFFFFF).to_bytes(
+        4, "little"
+    ) + inner
+
+
+def build_l4lb_program(
+    conn: HashMap,
+    ring: ArrayMap,
+    *,
+    name: str = "l4lb",
+    tag: int = 0,
+) -> Program:
+    """Build the balancer over an existing conn table + ring map.
+
+    ``tag`` stamps an inert instruction so rebuilt programs (e.g.
+    after recovery) can carry distinct content digests, mirroring the
+    durable-memcached convention.
+    """
+    m = MacroAsm()
+    if tag:
+        m.mov(R0, tag & 0x7FFFFFFF)  # inert: R0 is dead until exit
+
+    # Prologue: the envelope must be present and ours.
+    m.ldx(R6, R1, 0, 8)   # data
+    m.ldx(R3, R1, 8, 8)   # data_end
+    m.mov(R2, R6)
+    m.add(R2, HDR_SIZE)
+    ok = m.fresh_label("ok")
+    m.jcc("<=", R2, R3, ok)
+    m.mov(R0, XDP_DROP)
+    m.exit()
+    m.label(ok)
+    m.ldx(R4, R6, 0, 1)
+    magic_ok = m.fresh_label("magic")
+    m.jcc("==", R4, MAGIC, magic_ok)
+    m.mov(R0, XDP_DROP)
+    m.exit()
+    m.label(magic_ok)
+
+    # Flow id, staged as the conn-table key (zero-extended to 8 bytes).
+    m.ldx(R7, R6, FLOW_OFF, 4)
+    m.stx(R10, R7, SLOT_KEY, 8)
+
+    # 1. Established flow?  The pinned binding wins unconditionally.
+    m.map_ptr(R1, conn)
+    m.mov(R2, R10)
+    m.add(R2, SLOT_KEY)
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    miss = m.fresh_label("miss")
+    m.jcc("==", R0, 0, miss)
+    m.ldx(R8, R0, 0, 8)   # backend id
+    out = m.fresh_label("out")
+    m.jmp(out)
+
+    # 2. New flow: ring slot → backend, then bind it.
+    m.label(miss)
+    m.mov(R4, R7)
+    m.ld_imm64(R5, HASH_CONST)
+    m.mul(R4, R5)
+    m.rsh(R4, 64 - RING_BITS)
+    m.stx(R10, R4, SLOT_RING, 4)
+    m.map_ptr(R1, ring)
+    m.mov(R2, R10)
+    m.add(R2, SLOT_RING)
+    m.call(BPF_MAP_LOOKUP_ELEM)
+    have = m.fresh_label("have")
+    m.jcc("!=", R0, 0, have)
+    m.mov(R0, XDP_DROP)   # unreachable: every ring slot exists
+    m.exit()
+    m.label(have)
+    m.ldx(R8, R0, 0, 8)
+    m.stx(R10, R8, SLOT_VAL, 8)
+    m.map_ptr(R1, conn)
+    m.mov(R2, R10)
+    m.add(R2, SLOT_KEY)
+    m.mov(R3, R10)
+    m.add(R3, SLOT_VAL)
+    m.mov(R4, 0)          # BPF_ANY
+    m.call(BPF_MAP_UPDATE_ELEM)
+    # rc deliberately ignored: a full table forfeits stickiness for
+    # this flow, it does not drop the packet.
+
+    # 3. Redirect: backend id into the packet, transmit.
+    m.label(out)
+    m.stx(R6, R8, BACKEND_OFF, 2)
+    m.mov(R0, XDP_TX)
+    m.exit()
+
+    return Program(
+        name, m.assemble(), hook="xdp",
+        maps={conn.fd: conn, ring.fd: ring},
+    )

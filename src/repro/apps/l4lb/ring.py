@@ -1,0 +1,35 @@
+"""Rendezvous (highest-random-weight) hashing for the backend ring.
+
+Katran uses a Maglev-style lookup table; rendezvous hashing gives the
+same two properties with less machinery:
+
+* **balance** — each ring slot picks the backend with the highest
+  keyed hash, so slots spread near-uniformly for any backend set;
+* **minimal disruption** — removing a backend reassigns *only* the
+  slots it owned (every other slot's argmax is unchanged), so a
+  failover remaps exactly the failed backend's share of the
+  keyspace and nothing else.
+
+The ring is config, not state: it is rebuilt from the live backend
+list on every change and written into a plain (unpinned) array map.
+Stickiness for established flows lives in the pinned connection
+table, not here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _weight(slot: int, backend: int) -> bytes:
+    return hashlib.sha256(f"{slot}:{backend}".encode()).digest()
+
+
+def build_ring(backends, size: int) -> list[int]:
+    """``ring[slot] -> backend id`` for the given backend set."""
+    ids = sorted(backends)
+    if not ids:
+        raise ValueError("l4lb ring needs at least one backend")
+    return [
+        max(ids, key=lambda b, s=slot: _weight(s, b)) for slot in range(size)
+    ]

@@ -1,0 +1,35 @@
+"""``repro.apps.ratelimit`` — token-bucket rate limiter / SYN-flood
+shedder at the XDP hook.
+
+The first non-KV workload: a *protective* extension that sits in front
+of another service and spends a few hundred nanoseconds per packet to
+decide whether the engine should spend microseconds on it.  See
+:mod:`repro.apps.ratelimit.ext` for the verdict pipeline and
+:mod:`repro.apps.ratelimit.service` for the datapath wrapper.
+"""
+
+from repro.apps.ratelimit.ext import (
+    HDR_SIZE,
+    MAGIC,
+    TYPE_DATA,
+    TYPE_SYN,
+    TYPE_SYNACK,
+    RateLimitConfig,
+    build_ratelimit_program,
+    wrap,
+    wrap_syn,
+)
+from repro.apps.ratelimit.service import RateLimitedService
+
+__all__ = [
+    "HDR_SIZE",
+    "MAGIC",
+    "RateLimitConfig",
+    "RateLimitedService",
+    "TYPE_DATA",
+    "TYPE_SYN",
+    "TYPE_SYNACK",
+    "build_ratelimit_program",
+    "wrap",
+    "wrap_syn",
+]

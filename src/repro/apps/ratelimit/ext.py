@@ -1,0 +1,256 @@
+"""The shedder extension: sketch + token buckets, verdict at ingress.
+
+Hostile traffic must be refused *before* the engine burns per-request
+budget on it — the XDP analog of DDoS mitigation boxes, and the reason
+rate limiting is a flagship XDP workload.  Every packet carries an
+8-byte envelope in front of the inner application payload:
+
+====== ====== ==================================================
+offset size   field
+====== ====== ==================================================
+0      1      magic (0xF1; anything else is wire garbage → DROP)
+1      1      type: 0 = DATA, 1 = SYN, 2 = SYN-ACK (reply only)
+2      2      pad
+4      4      source id, u32 LE (client identity / spoofed origin)
+====== ====== ==================================================
+
+The verdict pipeline, entirely inside one extension invocation:
+
+1. **Heavy-hitter sketch** — a per-source count-min estimate over the
+   current time window (the same 4×4096 counter matrix as
+   :mod:`repro.apps.datastructures.sketch`, addressed with the same
+   emitter).  Counters are *epoch-tagged*: the top 16 bits hold
+   ``ktime >> epoch_shift``, so a counter whose tag is stale reads as
+   zero and is reset in place — window decay with no timer, no sweep,
+   no second map.  An estimate above ``hh_limit`` is an active flood
+   source: DROP.
+2. **Token bucket** — per-source buckets denominated in *nanoseconds*
+   (tokens accrue 1 ns per elapsed ns, a packet costs ``cost_ns`` ×
+   weight), which keeps the refill divide-free: refill is a single
+   subtraction against ``bpf_ktime_get_ns``.  SYNs carry
+   ``syn_weight`` so a connection-open flood exhausts its bucket
+   ``syn_weight`` times faster than data.  Empty bucket: DROP.
+3. **Verdict** — surviving SYNs are answered from the hook
+   (``XDP_TX`` with the type byte rewritten to SYN-ACK — the
+   SYN-cookie move: no server-side state until the source has proven
+   liveness); surviving DATA continues up the stack (``XDP_PASS``)
+   to the protected service.
+
+Buckets hash by source id into a fixed 1024-entry array; two sources
+sharing a bucket share a rate — collisions make the limiter strictly
+*more* aggressive, never less, which is the right failure direction
+for a shedder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datastructures.sketch import (
+    ROW_BYTES,
+    ROWS,
+    _emit_row_counter_addr,
+)
+from repro.apps.datastructures.common import HASH_CONST
+from repro.ebpf.helpers import BPF_KTIME_GET_NS
+from repro.ebpf.isa import Reg
+from repro.ebpf.macroasm import MacroAsm
+from repro.ebpf.program import Program, XDP_DROP, XDP_PASS, XDP_TX
+
+R0, R1, R2, R3, R4, R5 = Reg.R0, Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5
+R6, R7, R8, R9, R10 = Reg.R6, Reg.R7, Reg.R8, Reg.R9, Reg.R10
+
+MAGIC = 0xF1
+TYPE_DATA = 0
+TYPE_SYN = 1
+TYPE_SYNACK = 2
+HDR_SIZE = 8
+
+SRC_OFF = 4
+
+#: Token buckets: {tokens_ns: u64, last_ns: u64} per slot.
+BUCKET_BITS = 10
+N_BUCKETS = 1 << BUCKET_BITS
+BUCKET_SIZE = 16
+
+SKETCH_BYTES = ROWS * ROW_BYTES
+STATIC_BYTES = SKETCH_BYTES + N_BUCKETS * BUCKET_SIZE
+
+#: Epoch tag layout inside a sketch counter: count in the low 48 bits,
+#: window epoch in the top 16.  48 bits of count per window is
+#: unsaturable at any offered load this runtime can represent.
+COUNT_BITS = 48
+
+SLOT_WEIGHT = -72
+SLOT_TYPE = -80
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Shedder tuning; defaults suit the loopback scenario matrix."""
+
+    #: Per-window weighted-packet estimate above which a source is an
+    #: active flood origin (sketch verdict).  Generous by default: the
+    #: token bucket is the primary limiter, the sketch catches what a
+    #: bucket cannot — e.g. a source rotating ids within one window.
+    hh_limit: int = 1 << 16
+    #: Bucket capacity in nanoseconds-of-credit.
+    burst_ns: int = 50_000_000
+    #: Cost of one DATA packet in nanoseconds-of-credit — steady-state
+    #: per-source admission rate is ``1e9 / cost_ns`` packets/sec.
+    cost_ns: int = 1_000_000
+    #: SYN weight: a SYN spends this many packet costs (and counts this
+    #: many times toward the heavy-hitter estimate).
+    syn_weight: int = 8
+    #: Sketch window: epoch = ktime >> epoch_shift (27 → ~134 ms).
+    epoch_shift: int = 27
+
+    @property
+    def rate_pps(self) -> float:
+        return 1e9 / self.cost_ns
+
+    @property
+    def burst_packets(self) -> float:
+        return self.burst_ns / self.cost_ns
+
+
+def wrap(src: int, inner: bytes, type_: int = TYPE_DATA) -> bytes:
+    """Wrap an inner payload in the shedder envelope."""
+    return bytes([MAGIC, type_, 0, 0]) + (src & 0xFFFFFFFF).to_bytes(
+        4, "little"
+    ) + inner
+
+
+def wrap_syn(src: int) -> bytes:
+    """A bare SYN: envelope only, no inner payload."""
+    return wrap(src, b"", TYPE_SYN)
+
+
+def build_ratelimit_program(
+    static: int,
+    config: RateLimitConfig | None = None,
+    *,
+    heap_size: int = 1 << 20,
+    name: str = "ratelimit",
+) -> Program:
+    cfg = config or RateLimitConfig()
+    m = MacroAsm()
+
+    # Prologue: at least the envelope must be present.
+    m.ldx(R6, R1, 0, 8)   # data
+    m.ldx(R3, R1, 8, 8)   # data_end
+    m.mov(R2, R6)
+    m.add(R2, HDR_SIZE)
+    ok = m.fresh_label("ok")
+    m.jcc("<=", R2, R3, ok)
+    m.mov(R0, XDP_DROP)   # runt frame: wire garbage
+    m.exit()
+    m.label(ok)
+    m.ldx(R4, R6, 0, 1)
+    magic_ok = m.fresh_label("magic")
+    m.jcc("==", R4, MAGIC, magic_ok)
+    m.mov(R0, XDP_DROP)   # not our protocol: shed before any state
+    m.exit()
+    m.label(magic_ok)
+
+    # Source id and per-type weight (SYNs are expensive).
+    m.ldx(R7, R6, SRC_OFF, 4)
+    m.ldx(R2, R6, 1, 1)
+    m.stx(R10, R2, SLOT_TYPE, 8)
+    m.mov(R3, 1)
+    not_syn = m.fresh_label("not_syn")
+    m.jcc("!=", R2, TYPE_SYN, not_syn)
+    m.mov(R3, cfg.syn_weight)
+    m.label(not_syn)
+    m.stx(R10, R3, SLOT_WEIGHT, 8)
+
+    # One clock read serves the window epoch and the bucket refill.
+    # Biased by 1 ns: the simulated kernel clock starts at 0, and the
+    # bucket uses last_ns == 0 as its never-seen sentinel — an
+    # unbiased store at boot would hand the source a fresh full
+    # bucket on its next packet.
+    m.call(BPF_KTIME_GET_NS)
+    m.mov(R9, R0)
+    m.add(R9, 1)
+    m.mov(R8, R9)
+    m.rsh(R8, cfg.epoch_shift)
+    m.and_(R8, 0xFFFF)
+
+    # -- heavy-hitter sketch: fused update + estimate ---------------------
+    # Per row: stale-tagged counters reset in place (window decay),
+    # weight is added, and the running minimum accumulates in R0.
+    m.ld_imm64(R0, (1 << 64) - 1)
+    for row in range(ROWS):
+        _emit_row_counter_addr(m, static, row, R7, R4, R5)
+        m.ldx(R3, R4, 0, 8)
+        m.mov(R2, R3)
+        m.rsh(R2, COUNT_BITS)
+        fresh = m.fresh_label("fresh")
+        m.jcc("==", R2, R8, fresh)
+        m.mov(R3, R8)         # stale window: counter resets to epoch<<48
+        m.lsh(R3, COUNT_BITS)
+        m.label(fresh)
+        m.ldx(R5, R10, SLOT_WEIGHT, 8)
+        m.add(R3, R5)
+        m.stx(R4, R3, 0, 8)
+        m.lsh(R3, 64 - COUNT_BITS)  # strip the epoch tag
+        m.rsh(R3, 64 - COUNT_BITS)
+        keep = m.fresh_label("keep")
+        m.jcc(">=", R3, R0, keep)
+        m.mov(R0, R3)
+        m.label(keep)
+    m.ld_imm64(R2, cfg.hh_limit)
+    under = m.fresh_label("under")
+    m.jcc("<=", R0, R2, under)
+    m.mov(R0, XDP_DROP)       # active flood source this window
+    m.exit()
+    m.label(under)
+
+    # -- token bucket -----------------------------------------------------
+    m.mov(R4, R7)
+    m.ld_imm64(R5, HASH_CONST)
+    m.mul(R4, R5)
+    m.rsh(R4, 64 - BUCKET_BITS)
+    m.lsh(R4, 4)              # 16 bytes per bucket
+    m.heap_addr(R5, static + SKETCH_BYTES)
+    m.add(R4, R5)             # R4 = &bucket{tokens_ns, last_ns}
+    m.ldx(R2, R4, 0, 8)       # tokens_ns
+    m.ldx(R3, R4, 8, 8)       # last_ns
+    first = m.fresh_label("first")
+    have = m.fresh_label("have")
+    m.jcc("==", R3, 0, first)
+    m.mov(R5, R9)             # refill: tokens += now - last, cap at burst
+    m.sub(R5, R3)
+    m.add(R2, R5)
+    m.ld_imm64(R5, cfg.burst_ns)
+    m.jcc("<=", R2, R5, have)
+    m.mov(R2, R5)
+    m.jmp(have)
+    m.label(first)
+    m.ld_imm64(R2, cfg.burst_ns)  # first sight: a full bucket
+    m.label(have)
+    m.stx(R4, R9, 8, 8)       # last_ns = now
+    m.ldx(R5, R10, SLOT_WEIGHT, 8)
+    m.ld_imm64(R3, cfg.cost_ns)
+    m.mul(R5, R3)             # cost of this packet
+    paid = m.fresh_label("paid")
+    m.jcc(">=", R2, R5, paid)
+    m.stx(R4, R2, 0, 8)       # store the refill, then shed
+    m.mov(R0, XDP_DROP)
+    m.exit()
+    m.label(paid)
+    m.sub(R2, R5)
+    m.stx(R4, R2, 0, 8)
+
+    # -- verdict ----------------------------------------------------------
+    m.ldx(R2, R10, SLOT_TYPE, 8)
+    data = m.fresh_label("data")
+    m.jcc("!=", R2, TYPE_SYN, data)
+    m.st_imm(R6, 1, TYPE_SYNACK, 1)  # answer the SYN from the hook
+    m.mov(R0, XDP_TX)
+    m.exit()
+    m.label(data)
+    m.mov(R0, XDP_PASS)       # admitted: continue to the service
+    m.exit()
+
+    return Program(name, m.assemble(), hook="xdp", heap_size=heap_size)

@@ -548,6 +548,10 @@ class FleetController:
             "tenants": {
                 name: q.to_dict() for name, q in self.quotas.items()
             },
+            # Per-tenant shed attribution: without it a flood victim
+            # is indistinguishable from a flood source in the report.
+            "tenant_sheds": dict(self.router.tenant_sheds)
+            if self.router else {},
             "pending_canary": self.pending_canary,
             "last_actions": list(self.last_actions),
             "failover": self.failover.telemetry() if self.failover else {},

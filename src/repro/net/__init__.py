@@ -23,7 +23,14 @@ drain), :mod:`~repro.net.client` (wire-level closed-loop load
 generator).
 """
 
-from repro.net.backpressure import AdmissionControl, AdmissionPolicy, ShedStats
+from repro.net.backpressure import (
+    AdaptiveAdmission,
+    AdaptiveConfig,
+    AdaptiveStats,
+    AdmissionControl,
+    AdmissionPolicy,
+    ShedStats,
+)
 from repro.net.client import (
     LoadResult,
     OpenLoopResult,
@@ -59,6 +66,9 @@ from repro.net.shard import (
 )
 
 __all__ = [
+    "AdaptiveAdmission",
+    "AdaptiveConfig",
+    "AdaptiveStats",
     "AdmissionControl",
     "AdmissionPolicy",
     "ConsistentHashRing",

@@ -27,6 +27,12 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
+#: Distinct sources tracked in the per-source shed breakdown before new
+#: sources collapse into the ``"(other)"`` bucket — a spoofed flood must
+#: not be able to grow server memory by inventing source identities.
+MAX_SHED_SOURCES = 512
+OTHER_SOURCE = "(other)"
+
 
 @dataclass(frozen=True)
 class AdmissionPolicy:
@@ -41,6 +47,12 @@ class AdmissionPolicy:
     per_conn_budget: int = 8
     #: TCP: concurrent connections accepted; more are closed on sight.
     max_connections: int = 128
+    #: TCP: seconds a connection may sit idle — no new frame arriving
+    #: at a frame boundary, or a reply unwritable because the client
+    #: stopped reading — before the server closes it and releases its
+    #: slots.  ``None`` keeps the pre-slow-loris behaviour (wait
+    #: forever), which is what loopback unit tests want.
+    idle_timeout: float | None = None
 
 
 @dataclass
@@ -66,14 +78,43 @@ class ShedStats:
     #: Requests still in flight when a timed-out drain gave up on them
     #: (they are abandoned to worker cancellation, not completed).
     forced_cancellations: int = 0
+    #: TCP connections closed by the per-connection idle deadline
+    #: (slow-loris defence: an idle connection may not hold slots).
+    idle_closed: int = 0
+    #: Shed counts attributed to the source that offered the traffic
+    #: (client address or tenant id) — what lets an operator tell a
+    #: flood victim from a flood source.  Bounded by
+    #: :data:`MAX_SHED_SOURCES`; the overflow bucket is
+    #: :data:`OTHER_SOURCE`.
+    shed_by_source: dict = field(default_factory=dict)
+
+    def note_shed_source(self, source) -> None:
+        if source is None:
+            return
+        by_src = self.shed_by_source
+        if source not in by_src and len(by_src) >= MAX_SHED_SOURCES:
+            source = OTHER_SOURCE
+        by_src[source] = by_src.get(source, 0) + 1
+
+    def top_shed_sources(self, n: int = 8) -> list:
+        """``[(source, sheds)]`` sorted by shed count, largest first."""
+        return sorted(
+            self.shed_by_source.items(), key=lambda kv: -kv[1]
+        )[:n]
 
     def merge(self, other: "ShedStats") -> "ShedStats":
         for f in (
             "admitted", "completed", "shed_inflight", "shed_queue",
             "shed_draining", "refused_connections", "budget_stalls",
             "drained_inflight", "drain_timeouts", "forced_cancellations",
+            "idle_closed",
         ):
             setattr(self, f, getattr(self, f) + getattr(other, f))
+        for src, n in other.shed_by_source.items():
+            by_src = self.shed_by_source
+            if src not in by_src and len(by_src) >= MAX_SHED_SOURCES:
+                src = OTHER_SOURCE
+            by_src[src] = by_src.get(src, 0) + n
         return self
 
 
@@ -90,13 +131,25 @@ class AdmissionControl:
 
     # -- request admission -------------------------------------------------
 
-    def try_admit(self) -> bool:
-        """Admit one request into the service stage, or shed it."""
+    def _inflight_limit(self) -> int:
+        """The in-flight bound admissions are checked against; the
+        adaptive controller overrides this with its learned limit."""
+        return self.policy.max_inflight
+
+    def try_admit(self, source=None) -> bool:
+        """Admit one request into the service stage, or shed it.
+
+        ``source`` (a client address, tenant id — anything hashable)
+        attributes the shed when one happens; admission itself never
+        looks at it, so attribution costs nothing on the happy path.
+        """
         if self.draining:
             self.stats.shed_draining += 1
+            self.stats.note_shed_source(source)
             return False
-        if self.inflight >= self.policy.max_inflight:
+        if self.inflight >= self._inflight_limit():
             self.stats.shed_inflight += 1
+            self.stats.note_shed_source(source)
             return False
         self.inflight += 1
         self.stats.admitted += 1
@@ -112,9 +165,10 @@ class AdmissionControl:
 
     # -- connection admission ----------------------------------------------
 
-    def try_admit_connection(self) -> bool:
+    def try_admit_connection(self, source=None) -> bool:
         if self.draining or self.connections >= self.policy.max_connections:
             self.stats.refused_connections += 1
+            self.stats.note_shed_source(source)
             return False
         self.connections += 1
         return True
@@ -158,3 +212,114 @@ class AdmissionControl:
                 if asyncio.iscoroutine(res):
                     await res
             return False
+
+
+# ---------------------------------------------------------------------------
+# Overload-adaptive admission
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """AIMD knobs for :class:`AdaptiveAdmission`.
+
+    The controller watches two overload signals from scenario/runtime
+    telemetry — ingress queue depth and p99 drift against an unloaded
+    baseline — and moves the in-flight admission limit between
+    ``floor`` and the policy's ``max_inflight`` ceiling: multiplicative
+    decrease on an overloaded observation, additive increase on a calm
+    one.  The asymmetry is deliberate (the same reason TCP uses it):
+    collapse must be escaped in a few observations, while probing back
+    up may take many.
+    """
+
+    #: The limit never tightens below this — starvation is not
+    #: graceful degradation.
+    floor: int = 8
+    #: Additive step per calm observation.
+    increase: int = 4
+    #: Multiplicative factor per overloaded observation.
+    decrease: float = 0.5
+    #: Queue fill fraction (of ``policy.max_queue``) that reads as
+    #: overload regardless of latency.
+    queue_high: float = 0.75
+    #: p99 beyond ``baseline_p99_ns * p99_factor`` reads as overload.
+    p99_factor: float = 3.0
+    #: Unloaded-baseline p99; ``None`` learns it from the first few
+    #: calm observations.
+    baseline_p99_ns: float | None = None
+    #: Calm observations folded into the learned baseline.
+    warmup_obs: int = 3
+
+
+@dataclass
+class AdaptiveStats:
+    """Telemetry of the controller's decisions."""
+
+    observations: int = 0
+    tightenings: int = 0
+    relaxations: int = 0
+    #: Tightest limit the controller ever reached.
+    min_limit: int = 0
+
+
+class AdaptiveAdmission(AdmissionControl):
+    """Admission control whose in-flight limit learns from telemetry.
+
+    Drop-in for :class:`AdmissionControl` (the datapaths accept it via
+    their ``admission=`` argument).  Something periodic — the scenario
+    harness, a serving loop's housekeeping tick — feeds it
+    ``observe(queue_depth, p99_ns)``; admission decisions between
+    observations use the current learned limit.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None,
+                 config: AdaptiveConfig | None = None):
+        super().__init__(policy)
+        self.config = config or AdaptiveConfig()
+        self.ceiling = self.policy.max_inflight
+        self.limit = self.ceiling
+        self.baseline_p99_ns = self.config.baseline_p99_ns
+        self._warmup: list = []
+        self.adaptive = AdaptiveStats(min_limit=self.ceiling)
+
+    def _inflight_limit(self) -> int:
+        return self.limit
+
+    def observe(self, queue_depth: int, p99_ns: float | None = None) -> int:
+        """Feed one telemetry observation; returns the new limit."""
+        cfg = self.config
+        st = self.adaptive
+        st.observations += 1
+        queue_hot = queue_depth >= cfg.queue_high * self.policy.max_queue
+        if (
+            self.baseline_p99_ns is None
+            and p99_ns
+            and not queue_hot
+        ):
+            # Calm observations seed the unloaded baseline; the min is
+            # robust against one early sample already carrying queueing.
+            self._warmup.append(p99_ns)
+            if len(self._warmup) >= cfg.warmup_obs:
+                self.baseline_p99_ns = min(self._warmup)
+        latency_hot = bool(
+            p99_ns
+            and self.baseline_p99_ns
+            and p99_ns > self.baseline_p99_ns * cfg.p99_factor
+        )
+        if queue_hot or latency_hot:
+            new = max(cfg.floor, int(self.limit * cfg.decrease))
+            if new < self.limit:
+                st.tightenings += 1
+                self.limit = new
+        elif self.limit < self.ceiling:
+            st.relaxations += 1
+            self.limit = min(self.ceiling, self.limit + cfg.increase)
+        if self.limit < st.min_limit:
+            st.min_limit = self.limit
+        return self.limit
+
+    @property
+    def tightened(self) -> bool:
+        """True while the learned limit sits below the ceiling."""
+        return self.limit < self.ceiling

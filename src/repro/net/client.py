@@ -100,6 +100,7 @@ class UdpLoadGenerator:
         retries: int = 8,
         matcher=None,
         keep_log: bool = False,
+        think_s: float = 0.0,
     ):
         self.ports = list(ports)
         self.workload = workload
@@ -113,6 +114,13 @@ class UdpLoadGenerator:
         self.retries = retries
         self.matcher = matcher
         self.keep_log = keep_log
+        #: Per-request think time.  A closed loop on loopback offers
+        #: load at whatever rate the event loop allows, which is the
+        #: wrong model for a *legitimate* client sharing a link with an
+        #: attack; think time turns each client into a bounded-rate
+        #: source (~1/think_s rps) so rate-limit scenarios can speak of
+        #: "well-behaved" traffic.
+        self.think_s = think_s
 
     def _addr_for(self, key) -> tuple[str, int]:
         if self.ring is None:
@@ -127,6 +135,8 @@ class UdpLoadGenerator:
         )
         try:
             for seq in range(self.requests_per_client):
+                if self.think_s:
+                    await asyncio.sleep(self.think_s)
                 key, payload = self.workload(cid, seq)
                 addr = self._addr_for(key)
                 result.requests += 1
@@ -338,6 +348,8 @@ class TcpLoadGenerator:
         timeout: float = 2.0,
         retries: int = 8,
         keep_log: bool = False,
+        think_s: float = 0.0,
+        retry_backoff_s: float = 0.0,
     ):
         self.ports = list(ports)
         self.workload = workload
@@ -350,6 +362,13 @@ class TcpLoadGenerator:
         self.timeout = timeout
         self.retries = retries
         self.keep_log = keep_log
+        #: Per-request think time (see :class:`UdpLoadGenerator`).
+        self.think_s = think_s
+        #: Pause between retry attempts.  A refused/instantly-closed
+        #: connection fails in microseconds; without a backoff all
+        #: ``retries`` burn inside one contention window and the
+        #: client gives up before a slot ever frees.
+        self.retry_backoff_s = retry_backoff_s
 
     def _port_for(self, key) -> int:
         if self.ring is None:
@@ -384,6 +403,8 @@ class TcpLoadGenerator:
         conns: dict[int, tuple] = {}
         try:
             for seq in range(self.requests_per_client):
+                if self.think_s:
+                    await asyncio.sleep(self.think_s)
                 key, payload = self.workload(cid, seq)
                 port = self._port_for(key)
                 result.requests += 1
@@ -405,6 +426,8 @@ class TcpLoadGenerator:
                     if reply is not None:
                         break
                     result.retries += 1
+                    if self.retry_backoff_s:
+                        await asyncio.sleep(self.retry_backoff_s)
                 if reply is None:
                     result.failures += 1
                 else:

@@ -127,7 +127,7 @@ class _Ingress(asyncio.DatagramProtocol):
     def datagram_received(self, data, addr):
         dp = self.dp
         dp.stats.received += 1
-        if not dp.admission.try_admit():
+        if not dp.admission.try_admit(source=addr):
             return  # shed: UDP silence, accounted by AdmissionControl
         if dp._sync_ingress and dp.batch_size > 1:
             self._pending.append((data, addr))
@@ -219,6 +219,7 @@ class UdpDatapath:
         port: int = 0,
         cpu: int = 0,
         policy: AdmissionPolicy | None = None,
+        admission: AdmissionControl | None = None,
         n_workers: int = 4,
         batch_size: int = 1,
         batch_timeout: float = 0.002,
@@ -227,7 +228,10 @@ class UdpDatapath:
         self.host = host
         self._requested_port = port
         self.cpu = cpu
-        self.admission = AdmissionControl(policy)
+        # ``admission`` injects a pre-built controller (e.g. an
+        # AdaptiveAdmission whose limit the scenario harness steers);
+        # by default each datapath owns a plain AdmissionControl.
+        self.admission = admission or AdmissionControl(policy)
         self.stats = DatapathStats()
         self.n_workers = n_workers
         if batch_size < 1:
@@ -264,6 +268,11 @@ class UdpDatapath:
             loop.create_task(self._worker()) for _ in range(self.n_workers)
         ]
         return self
+
+    def queue_depth(self) -> int:
+        """Staged-but-unserved packets — the overload signal an
+        adaptive admission controller observes."""
+        return self._queue.qsize() if self._queue is not None else 0
 
     async def _worker(self) -> None:
         while True:
@@ -354,6 +363,7 @@ class TcpDatapath:
         port: int = 0,
         cpu: int = 0,
         policy: AdmissionPolicy | None = None,
+        admission: AdmissionControl | None = None,
         batch_size: int = 1,
         batch_timeout: float = 0.002,
     ):
@@ -361,7 +371,7 @@ class TcpDatapath:
         self.host = host
         self._requested_port = port
         self.cpu = cpu
-        self.admission = AdmissionControl(policy)
+        self.admission = admission or AdmissionControl(policy)
         self.stats = DatapathStats()
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -381,7 +391,8 @@ class TcpDatapath:
         return self
 
     async def _on_connection(self, reader, writer):
-        if not self.admission.try_admit_connection():
+        peer = writer.get_extra_info("peername")
+        if not self.admission.try_admit_connection(source=peer):
             writer.close()
             return
         task = asyncio.current_task()
@@ -391,7 +402,7 @@ class TcpDatapath:
         loop = asyncio.get_running_loop()
         writer_task = loop.create_task(self._conn_writer(pipeline, writer))
         try:
-            await self._conn_reader(reader, pipeline)
+            await self._conn_reader(reader, pipeline, source=peer)
         except asyncio.CancelledError:
             pass  # server stopping; fall through to cleanup
         finally:
@@ -405,13 +416,20 @@ class TcpDatapath:
             self.admission.release_connection()
             self._conn_tasks.discard(task)
 
-    async def _read_frame(self, reader, timeout: float | None = None):
+    async def _read_frame(self, reader, timeout: float | None = None,
+                          *, bound_payload: bool = False):
         """Read one length-prefixed frame; None poisons the stream.
 
         A ``timeout`` (batch time budget) applies to the *header* read
         only: cancelling ``readexactly`` mid-wait leaves partial bytes
         in the stream buffer, so timing out there keeps the stream in
         sync, whereas a timeout between header and payload would not.
+
+        ``bound_payload`` is the idle-deadline mode: the timeout also
+        covers the payload read, because a slow-loris client's favorite
+        move is sending the header and trickling the body.  A payload
+        timeout *does* desync the stream — which is fine, because the
+        caller closes the connection on it.
         """
         if timeout is None:
             hdr = await reader.readexactly(FRAME_HDR.size)
@@ -423,22 +441,39 @@ class TcpDatapath:
         if length == 0 or length > MAX_FRAME:
             self.stats.bad_frames += 1
             return None
-        payload = await reader.readexactly(length)
+        if bound_payload and timeout is not None:
+            payload = await asyncio.wait_for(
+                reader.readexactly(length), timeout
+            )
+        else:
+            payload = await reader.readexactly(length)
         self.stats.received += 1
         return payload
 
-    async def _conn_reader(self, reader, pipeline: asyncio.Queue) -> None:
+    async def _conn_reader(self, reader, pipeline: asyncio.Queue,
+                           source=None) -> None:
         bsz = self.batch_size
+        idle = self.admission.policy.idle_timeout
         loop = asyncio.get_running_loop()
         poisoned = False
         try:
             while not poisoned:
-                # First frame of a batch: wait as long as it takes.
+                # First frame of a batch: wait as long as it takes —
+                # unless an idle deadline is set, in which case a
+                # connection that produces no complete frame within it
+                # is closed and its slots released (slow-loris defence).
                 batch = []
                 deadline = None
                 while len(batch) < bsz:
                     if deadline is None:
-                        payload = await self._read_frame(reader)
+                        try:
+                            payload = await self._read_frame(
+                                reader, idle, bound_payload=idle is not None
+                            )
+                        except asyncio.TimeoutError:
+                            self.admission.stats.idle_closed += 1
+                            poisoned = True
+                            break
                     else:
                         left = deadline - loop.time()
                         if left <= 0:
@@ -450,7 +485,7 @@ class TcpDatapath:
                     if payload is None:
                         poisoned = True
                         break
-                    if not self.admission.try_admit():
+                    if not self.admission.try_admit(source=source):
                         continue  # shed this frame; connection stays up
                     batch.append(payload)
                     if deadline is None:
@@ -470,6 +505,7 @@ class TcpDatapath:
             await pipeline.join()
 
     async def _conn_writer(self, pipeline: asyncio.Queue, writer) -> None:
+        idle = self.admission.policy.idle_timeout
         while True:
             batch = await pipeline.get()
             self.stats.note_batch(len(batch))
@@ -491,7 +527,20 @@ class TcpDatapath:
                             out += FRAME_HDR.pack(0)
                             self.stats.no_reply += 1
                 writer.write(bytes(out))  # batched reply flush
-                await writer.drain()
+                if idle is None:
+                    await writer.drain()
+                else:
+                    # A client that stops *reading* pins the reply in
+                    # the send buffer and would park this drain — and
+                    # the budget's worth of admission slots behind it —
+                    # forever.  The idle deadline bounds it; on expiry
+                    # the connection is aborted (RST analog) and the
+                    # reader's next read tears the connection down.
+                    try:
+                        await asyncio.wait_for(writer.drain(), idle)
+                    except asyncio.TimeoutError:
+                        self.admission.stats.idle_closed += 1
+                        writer.transport.abort()
             except (ConnectionResetError, BrokenPipeError):
                 pass
             finally:

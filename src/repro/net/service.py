@@ -526,8 +526,47 @@ def build_service(
 
     ``fuse`` is the superinstruction escape hatch (``False`` disables
     the pipeline's fuse pass; see ``kflexctl serve --no-fuse``).
+
+    ``app="ratelimit"`` and ``app="l4lb"`` are the hostile-traffic
+    tiers and ignore ``fallback``: the shedder fronts a durable
+    memcached, the balancer fronts ``n_backends`` of them (each
+    backend owning its own runtime and store).
     """
     runtime = runtime or KFlexRuntime(engine=engine, fuse=fuse)
+    if app == "ratelimit":
+        from repro.apps.ratelimit import RateLimitConfig, RateLimitedService
+        from repro.state import DurableStore, MemStorage
+
+        inner = DurableMemcachedService(
+            runtime,
+            store=kflex_kwargs.pop("store", None)
+            or DurableStore(storage=MemStorage()),
+            pin=kflex_kwargs.pop("pin", "mc"),
+        )
+        return RateLimitedService(
+            inner,
+            config=kflex_kwargs.pop("config", None) or RateLimitConfig(),
+        )
+    if app == "l4lb":
+        from repro.apps.l4lb import L4LBService
+        from repro.state import DurableStore, MemStorage
+
+        n_backends = int(kflex_kwargs.pop("n_backends", 3))
+        backends = {
+            bid: DurableMemcachedService(
+                store=kflex_kwargs.pop(f"store{bid}", None)
+                or DurableStore(storage=MemStorage()),
+                pin=f"b{bid}",
+                engine=engine,
+            )
+            for bid in range(n_backends)
+        }
+        return L4LBService(
+            runtime,
+            store=kflex_kwargs.pop("store", None)
+            or DurableStore(storage=MemStorage()),
+            backends=backends,
+        )
     if fallback == "supervised":
         if app == "memcached":
             return SupervisedMemcachedService(runtime, **kflex_kwargs)

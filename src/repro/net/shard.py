@@ -408,6 +408,20 @@ class ShardedUdpDatapath:
             DatapathStats(), (s.datapath.stats for s in self.shards)
         )
 
+    def merged_shed_sources(self, n: int = 8) -> list:
+        """Fleet-wide ``[(source, sheds)]``, largest first.
+
+        Per-source attribution is what tells a flood *victim* apart
+        from a flood *source* — the aggregate shed counter cannot."""
+        by_src: dict = {}
+        for s in self.shards:
+            dp = s.datapath
+            if dp is None:
+                continue
+            for src, count in dp.admission.stats.shed_by_source.items():
+                by_src[src] = by_src.get(src, 0) + count
+        return sorted(by_src.items(), key=lambda kv: -kv[1])[:n]
+
     async def stop(self) -> dict:
         """Drain every shard; returns per-shard + summed quiescence."""
         reports = []

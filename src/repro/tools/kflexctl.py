@@ -357,9 +357,14 @@ def _net_service_factory(args):
 
     from repro.net import build_service
 
+    extra = {}
+    if args.app == "l4lb":
+        extra["n_backends"] = getattr(args, "backends", 3)
+
     def factory(shard_id: int):
         return build_service(
-            args.app, fallback=args.fallback, engine=args.engine, fuse=fuse
+            args.app, fallback=args.fallback, engine=args.engine, fuse=fuse,
+            **extra,
         )
 
     return factory
@@ -392,16 +397,46 @@ def _net_workload(app: str, keys: int, set_every: int):
             return key, RP.encode_get(key)
 
         return workload, None
+    if app in ("ratelimit", "l4lb"):
+        # Memcached traffic inside the app's 8-byte envelope.  Each
+        # client is one source id (shedder) / one flow id (balancer);
+        # replies come back as bare memcached packets, so the matcher
+        # compares the key echo against the *inner* request.
+        from repro.apps.memcached import protocol as P
+
+        if app == "ratelimit":
+            from repro.apps.ratelimit import wrap
+        else:
+            from repro.apps.l4lb import wrap
+
+        def workload(cid, seq):
+            key = (cid * 7919 + seq) % keys
+            if seq % set_every == 0:
+                inner = P.encode_set(key, cid * 100_000 + seq)
+            else:
+                inner = P.encode_get(key)
+            return key, wrap(cid + 1, inner)
+
+        hdr = 8
+
+        def matcher(req, rep):
+            return (len(rep) == P.PKT_SIZE
+                    and rep[8:40] == req[hdr + 8:hdr + 40])
+
+        return workload, matcher
     raise ValueError(f"unknown app {app!r}")
 
 
-def _print_net_summary(stats, report) -> None:
+def _print_net_summary(stats, report, shed_sources=None) -> None:
     print(f"  requests:       {stats.requests}")
     print(f"  kernel fast path: {stats.kernel_tx}")
     print(f"  userspace path: {stats.userspace_pass}")
     print(f"  dropped:        {stats.dropped}  bad frames: {stats.bad_frames}")
     print(f"  quarantines:    {stats.quarantines}  "
           f"readmissions: {stats.readmissions}")
+    if shed_sources:
+        top = ", ".join(f"{src}={count}" for src, count in shed_sources)
+        print(f"  shed by source: {top}")
     print(f"  quiescence:     sock_refs={report['sock_refs']} "
           f"held_locks={report['held_locks']}")
 
@@ -644,10 +679,12 @@ def cmd_fleet_status(args) -> int:
         if status["pending_canary"]:
             pc = status["pending_canary"]
             print(f"  pending canary: {pc['version']} on shard {pc['shard']}")
+        sheds = status.get("tenant_sheds", {})
         for name, q in sorted(status.get("tenants", {}).items()):
             print(f"  tenant {name}: keys [{q['key_lo']}, {q['key_hi']}), "
                   f"max_inflight {q['max_inflight']}, "
-                  f"memory {q['memory_bytes']}")
+                  f"memory {q['memory_bytes']}, "
+                  f"sheds {sheds.get(name, 0)}")
         for line in status.get("last_actions", []):
             print(f"  last: {line}")
     return 0
@@ -690,9 +727,10 @@ def cmd_serve(args) -> int:
         except asyncio.CancelledError:
             pass
         stats = sharded.merged_service_stats()
+        shed_sources = sharded.merged_shed_sources(5)
         report = await sharded.stop()
         print("server stopped")
-        _print_net_summary(stats, report)
+        _print_net_summary(stats, report, shed_sources)
         return 0
 
     try:
@@ -767,8 +805,9 @@ def cmd_loadtest(args) -> int:
                 dstats = sharded.merged_datapath_stats()
                 print(f"  ingress batches: {dstats.batches} "
                       f"(mean size {dstats.mean_batch():.1f})")
+            shed_sources = sharded.merged_shed_sources(5)
             report = await sharded.stop()
-            _print_net_summary(stats, report)
+            _print_net_summary(stats, report, shed_sources)
         return 1 if failures else 0
 
     return asyncio.run(run())
@@ -825,8 +864,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name, fn in (("serve", cmd_serve), ("loadtest", cmd_loadtest)):
         s = sub.add_parser(name)
-        s.add_argument("--app", choices=("memcached", "redis"),
-                       default="memcached")
+        s.add_argument("--app",
+                       choices=("memcached", "redis", "ratelimit", "l4lb"),
+                       default="memcached",
+                       help="ratelimit = token-bucket/SYN shedder over a "
+                            "durable memcached; l4lb = Katran-style "
+                            "balancer over --backends durable memcacheds")
+        s.add_argument("--backends", type=int, default=3,
+                       help="backend services behind the l4lb app "
+                            "(default 3)")
         s.add_argument("--shards", type=int, default=1,
                        help="SO_REUSEPORT-style shard workers, one "
                             "runtime + pinned CPU each")

@@ -24,6 +24,7 @@ def pytest_collection_modifyitems(config, items):
     run_recovery = "recovery" in markexpr
     run_replication = "replication" in markexpr
     run_fleet = "fleet" in markexpr
+    run_scenario = "scenario" in markexpr
     skip_net = pytest.mark.skip(
         reason="network datapath test: run with -m net (make test-net)"
     )
@@ -36,10 +37,19 @@ def pytest_collection_modifyitems(config, items):
     skip_fleet = pytest.mark.skip(
         reason="fleet control-plane test: run with -m fleet (make test-fleet)"
     )
+    skip_scenario = pytest.mark.skip(
+        reason="adversarial scenario run: run with -m scenario "
+        "(make test-scenarios)"
+    )
     for item in items:
         if item.get_closest_marker("net") is not None:
             if not run_net:
                 item.add_marker(skip_net)
+        elif item.get_closest_marker("scenario") is not None:
+            # Full adversarial scenarios: seeded hostile traffic over
+            # real loopback sockets; excluded from tier-1 like ``net``.
+            if not run_scenario:
+                item.add_marker(skip_scenario)
         elif item.get_closest_marker("fleet") is not None:
             # Live fleet tests: threaded shard workers + TCP front under
             # wall-clock load; excluded from tier-1 like ``net``.

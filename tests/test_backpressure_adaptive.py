@@ -1,0 +1,107 @@
+"""Overload-adaptive admission: the AIMD limit controller (tier-1).
+
+Pure-logic coverage of :class:`repro.net.backpressure.AdaptiveAdmission`
+— no sockets, no wall-clock load.  The scenario matrix exercises the
+same controller end to end (``flash_crowd`` / ``burst_drain``); these
+tests pin the decision rules themselves.
+"""
+
+from repro.net import AdaptiveAdmission, AdaptiveConfig, AdmissionPolicy
+from repro.net.backpressure import MAX_SHED_SOURCES, OTHER_SOURCE, ShedStats
+
+
+def mk(**cfg):
+    return AdaptiveAdmission(
+        AdmissionPolicy(max_inflight=64, max_queue=100),
+        AdaptiveConfig(**cfg),
+    )
+
+
+def test_queue_overload_halves_limit_down_to_floor():
+    adm = mk(floor=8)
+    assert adm.limit == 64 and not adm.tightened
+    adm.observe(75)  # >= queue_high (0.75) * max_queue (100)
+    assert adm.limit == 32
+    assert adm.adaptive.tightenings == 1
+    for _ in range(10):
+        adm.observe(100)
+    assert adm.limit == 8  # multiplicative decrease stops at the floor
+    assert adm.adaptive.min_limit == 8
+    assert adm.tightened
+
+
+def test_calm_observations_relax_additively_to_ceiling():
+    adm = mk(floor=8, increase=4)
+    adm.observe(100)
+    adm.observe(100)
+    assert adm.limit == 16
+    steps = 0
+    while adm.tightened:
+        adm.observe(0)
+        steps += 1
+    assert adm.limit == 64
+    assert steps == 12  # (64 - 16) / 4: probing back up is slow
+    assert adm.adaptive.relaxations == 12
+    adm.observe(0)  # at the ceiling, calm observations are a no-op
+    assert adm.adaptive.relaxations == 12
+
+
+def test_latency_baseline_learned_from_calm_warmup():
+    adm = mk(warmup_obs=3, p99_factor=3.0)
+    for p99 in (2e6, 1e6, 3e6):
+        adm.observe(0, p99_ns=p99)
+    # The min of the warmup window: robust against an early sample
+    # that already carried queueing delay.
+    assert adm.baseline_p99_ns == 1e6
+    adm.observe(0, p99_ns=2.9e6)
+    assert not adm.tightened
+    adm.observe(0, p99_ns=3.1e6)  # > baseline * p99_factor
+    assert adm.tightened
+    assert adm.adaptive.tightenings == 1
+
+
+def test_hot_queue_samples_never_seed_the_baseline():
+    adm = mk(warmup_obs=1)
+    adm.observe(90, p99_ns=50e6)  # overloaded observation
+    assert adm.baseline_p99_ns is None
+    adm.observe(0, p99_ns=1e6)
+    assert adm.baseline_p99_ns == 1e6
+
+
+def test_explicit_baseline_skips_warmup():
+    adm = mk(baseline_p99_ns=1e6)
+    adm.observe(0, p99_ns=4e6)
+    assert adm.tightened
+
+
+def test_learned_limit_governs_admission_with_source_attribution():
+    adm = mk(floor=2)
+    for _ in range(6):
+        adm.observe(100)
+    assert adm.limit < 64
+    admitted = 0
+    while adm.try_admit(source="tenant-a"):
+        admitted += 1
+    assert admitted == adm.limit
+    assert adm.stats.shed_by_source == {"tenant-a": 1}
+    assert adm.stats.top_shed_sources() == [("tenant-a", 1)]
+
+
+def test_shed_attribution_bounded_by_overflow_bucket():
+    st = ShedStats()
+    for i in range(MAX_SHED_SOURCES + 10):
+        st.note_shed_source(f"src{i}")
+    # A spoofed flood cannot grow server memory by inventing sources.
+    assert len(st.shed_by_source) == MAX_SHED_SOURCES + 1
+    assert st.shed_by_source[OTHER_SOURCE] == 10
+
+
+def test_merge_sums_sources_and_top_sorts():
+    a, b = ShedStats(), ShedStats()
+    for _ in range(3):
+        a.note_shed_source("x")
+    a.note_shed_source("y")
+    for _ in range(5):
+        b.note_shed_source("y")
+    a.merge(b)
+    assert a.top_shed_sources(2) == [("y", 6), ("x", 3)]

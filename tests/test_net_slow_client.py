@@ -1,0 +1,113 @@
+"""Slow-loris defence: the per-connection idle deadline (``net`` tier).
+
+A hostile client that sends a partial frame (or trickles a payload
+byte by byte) used to park the connection reader forever, pinning a
+connection slot per socket until the cap starved legitimate clients.
+With ``AdmissionPolicy.idle_timeout`` set, a connection that cannot
+produce one complete frame within the deadline is closed and its slot
+released; ``idle_timeout=None`` keeps the legacy wait-forever
+behavior for trusted backends.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps.redis import protocol as RP
+from repro.net import AdmissionPolicy, SupervisedRedisService, TcpDatapath
+from repro.net.datapath import FRAME_HDR
+
+
+async def _open(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def _close(writer):
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+
+
+async def _roundtrip(port, key, value):
+    reader, writer = await _open(port)
+    req = RP.encode_set(key, value)
+    writer.write(FRAME_HDR.pack(len(req)) + req)
+    await writer.drain()
+    (n,) = FRAME_HDR.unpack(await asyncio.wait_for(reader.readexactly(4), 2.0))
+    reply = await reader.readexactly(n)
+    await _close(writer)
+    return RP.decode_reply(reply)
+
+
+@pytest.mark.net
+def test_partial_header_connection_reaped_and_slot_released():
+    async def run():
+        tcp = await TcpDatapath(
+            SupervisedRedisService(),
+            policy=AdmissionPolicy(idle_timeout=0.1),
+        ).start()
+        reader, writer = await _open(tcp.port)
+        writer.write(b"\x00\x00")  # 2 of 4 header bytes, then silence
+        await writer.drain()
+        eof = await asyncio.wait_for(reader.read(), 2.0)
+        assert eof == b""  # server reaped the loris
+        assert tcp.admission.stats.idle_closed >= 1
+        await _close(writer)
+        for _ in range(50):
+            if tcp.admission.connections == 0:
+                break
+            await asyncio.sleep(0.02)
+        assert tcp.admission.connections == 0  # slot released, not stuck
+        # Legitimate traffic is unaffected afterwards.
+        assert await _roundtrip(tcp.port, 1, 11) == (True, 11)
+        await tcp.stop()
+
+    asyncio.run(run())
+
+
+@pytest.mark.net
+def test_trickled_payload_connection_reaped():
+    async def run():
+        tcp = await TcpDatapath(
+            SupervisedRedisService(),
+            policy=AdmissionPolicy(idle_timeout=0.1),
+        ).start()
+        reader, writer = await _open(tcp.port)
+        # Full header promising a frame, then one byte of payload: the
+        # classic loris move the header-only deadline cannot catch.
+        writer.write(FRAME_HDR.pack(RP.PKT_SIZE) + b"\xaa")
+        await writer.drain()
+        eof = await asyncio.wait_for(reader.read(), 2.0)
+        assert eof == b""
+        assert tcp.admission.stats.idle_closed >= 1
+        await _close(writer)
+        await tcp.stop()
+
+    asyncio.run(run())
+
+
+@pytest.mark.net
+def test_no_deadline_keeps_legacy_wait_forever():
+    async def run():
+        tcp = await TcpDatapath(SupervisedRedisService()).start()
+        reader, writer = await _open(tcp.port)
+        req = RP.encode_set(2, 22)
+        framed = FRAME_HDR.pack(len(req)) + req
+        writer.write(framed[:3])  # stall mid-header
+        await writer.drain()
+        await asyncio.sleep(0.3)
+        assert tcp.admission.stats.idle_closed == 0
+        assert tcp.admission.connections == 1  # still patiently held
+        writer.write(framed[3:])  # the slow-but-honest client finishes
+        await writer.drain()
+        (n,) = FRAME_HDR.unpack(
+            await asyncio.wait_for(reader.readexactly(4), 2.0)
+        )
+        reply = await reader.readexactly(n)
+        assert RP.decode_reply(reply) == (True, 22)
+        await _close(writer)
+        await tcp.stop()
+
+    asyncio.run(run())
